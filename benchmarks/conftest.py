@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks double as the experiment regeneration harness: each module
+covers one figure or Tier-B experiment of the paper (see DESIGN.md's
+experiment index) and asserts the qualitative *shape* of the result
+(who wins, what reproduces) while pytest-benchmark records the timing.
+Human-readable tables are produced by ``python -m repro.experiments.runner``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import DatasetConfig, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small flat dataset shared by decision-model benches."""
+    return generate_dataset(
+        DatasetConfig(entity_count=60, seed=101), flat=True
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """A medium x-tuple dataset shared by reduction benches."""
+    return generate_dataset(DatasetConfig(entity_count=150, seed=103))

@@ -1,0 +1,130 @@
+"""Bench: Tier-B experiment E5 — ablations of the design choices.
+
+Each ablation toggles one mechanism DESIGN.md calls out and asserts the
+direction of the effect:
+
+* ⊥ semantics — treating ⊥ like a regular (always-dissimilar) value
+  loses the sim(⊥,⊥)=1 signal for jointly missing properties;
+* conditioning — skipping the p(t)-normalization makes maybe tuples
+  systematically less similar (membership leaks into matching);
+* most-probable-world selection redundancy — the diverse selector picks
+  less mutually overlapping worlds than the top-k selector (Sec. V-A.1);
+* alternative count — more alternatives per x-tuple grow the comparison
+  matrix quadratically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_matcher, paper_model
+from repro.matching import (
+    DerivationInput,
+    ExpectedSimilarity,
+    XTupleDecisionProcedure,
+)
+from repro.pdb import ProbabilisticValue, XTuple, enumerate_full_worlds
+from repro.reduction import (
+    average_pairwise_overlap,
+    select_diverse_worlds,
+    select_probable_worlds,
+)
+from repro.similarity import HAMMING, UncertainValueComparator
+
+
+class TestNullSemanticsAblation:
+    def test_shared_null_signal(self, benchmark):
+        """With the paper's semantics, two mostly-missing values are
+        similar; without sim(⊥,⊥)=1 they would score near 0."""
+        left = ProbabilisticValue({"pilot": 0.1})  # ⊥ mass 0.9
+        right = ProbabilisticValue({"pilot": 0.1})
+        comparator = UncertainValueComparator(HAMMING)
+        with_null = benchmark(comparator, left, right)
+        # Paper semantics: 0.81·1 (both ⊥) + 0.01·1 (both pilot) = 0.82.
+        assert with_null == pytest.approx(0.82)
+        # Ablated semantics (⊥ similar to nothing, not even ⊥):
+        ablated = 0.1 * 0.1 * 1.0
+        assert with_null > ablated * 5
+
+
+class TestConditioningAblation:
+    def _procedure(self):
+        return XTupleDecisionProcedure(
+            paper_matcher(), paper_model(), ExpectedSimilarity()
+        )
+
+    def test_unconditioned_weights_punish_maybe_tuples(self, benchmark):
+        """Equation 6 without the p(t)-normalization underestimates the
+        similarity of maybe tuples — exactly what Section IV forbids."""
+        procedure = self._procedure()
+        maybe = XTuple.build(
+            "m", [({"name": "Tim", "job": "pilot"}, 0.5)]
+        )
+        certain = XTuple.certain("c", {"name": "Tim", "job": "pilot"})
+
+        conditioned = benchmark(procedure.similarity, maybe, certain)
+        assert conditioned == pytest.approx(1.0)
+
+        matrix = procedure.comparison_matrix(maybe, certain)
+        data = procedure.derivation_input(matrix)
+        unconditioned = DerivationInput(
+            similarities=data.similarities,
+            statuses=data.statuses,
+            weights=((0.5,),),  # raw p(t^i)·p(t^j), no scaling
+        )
+        assert ExpectedSimilarity()(unconditioned) == pytest.approx(0.5)
+        assert conditioned > ExpectedSimilarity()(unconditioned)
+
+
+class TestWorldSelectionAblation:
+    def _worlds(self):
+        xtuples = [
+            XTuple.build(
+                f"t{i}",
+                [
+                    ({"a": "x"}, 0.6),
+                    ({"a": "y"}, 0.25),
+                    ({"a": "z"}, 0.15),
+                ],
+            )
+            for i in range(4)
+        ]
+        return enumerate_full_worlds(xtuples)
+
+    def test_diverse_selection_less_redundant(self, benchmark):
+        """Section V-A.1's prediction: top-probability worlds are nearly
+        identical; the greedy diverse selection lowers mean overlap."""
+        worlds = self._worlds()
+
+        def run():
+            probable = select_probable_worlds(worlds, 4)
+            diverse = select_diverse_worlds(
+                worlds, 4, diversity_weight=1.0
+            )
+            return (
+                average_pairwise_overlap(probable),
+                average_pairwise_overlap(diverse),
+            )
+
+        probable_overlap, diverse_overlap = benchmark(run)
+        assert diverse_overlap < probable_overlap
+
+
+class TestMatrixGrowthAblation:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_bench_matrix_growth(self, benchmark, width):
+        """k×l growth of the Figure-6 inner loop."""
+        procedure = XTupleDecisionProcedure(
+            paper_matcher(), paper_model(), ExpectedSimilarity()
+        )
+        share = 0.9 / width
+        left = XTuple.build(
+            "L",
+            [({"name": f"N{i}", "job": "pilot"}, share) for i in range(width)],
+        )
+        right = XTuple.build(
+            "R",
+            [({"name": f"N{i}", "job": "pilot"}, share) for i in range(width)],
+        )
+        similarity = benchmark(procedure.similarity, left, right)
+        assert 0.0 <= similarity <= 1.0

@@ -1,0 +1,100 @@
+"""Bench: Figures 1–3 — decision models (rules, Fellegi–Sunter, EM).
+
+Times the per-pair decision cost of the knowledge-based and probabilistic
+models on identical comparison vectors, plus EM parameter estimation —
+the machinery behind Figure 2's threshold classification.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.quality import (
+    default_matcher,
+    fellegi_sunter_model,
+    knowledge_model,
+    weighted_model,
+)
+from repro.matching import ComparisonVector, estimate_em
+
+
+def _vectors(count: int, seed: int = 7) -> list[ComparisonVector]:
+    rng = random.Random(seed)
+    vectors = []
+    for _ in range(count):
+        vectors.append(
+            ComparisonVector(
+                ("name", "job"),
+                (rng.random(), rng.random()),
+            )
+        )
+    return vectors
+
+
+@pytest.mark.parametrize(
+    "model_name,factory",
+    [
+        ("knowledge_rules", knowledge_model),
+        ("fellegi_sunter", fellegi_sunter_model),
+        ("weighted_sum", weighted_model),
+    ],
+)
+def test_bench_decision_cost(benchmark, model_name, factory):
+    """Per-1000-pairs decision cost of each model family."""
+    model = factory()
+    vectors = _vectors(1000)
+
+    def run():
+        return sum(
+            1 for v in vectors if model.decide(v).status.value == "m"
+        )
+
+    matches = benchmark(run)
+    assert 0 <= matches <= 1000
+
+
+def test_bench_em_estimation(benchmark):
+    """EM over 2000 three-attribute agreement vectors."""
+    rng = random.Random(13)
+    vectors = []
+    for _ in range(2000):
+        is_match = rng.random() < 0.2
+        m = (0.9, 0.75, 0.85) if is_match else (0.05, 0.15, 0.1)
+        vectors.append(
+            ComparisonVector(
+                ("name", "job", "city"),
+                tuple(1.0 if rng.random() < p else 0.0 for p in m),
+            )
+        )
+    estimate = benchmark(
+        estimate_em, vectors, agreement_threshold=0.5
+    )
+    assert estimate.converged
+    assert estimate.m_probabilities["name"] > estimate.u_probabilities["name"]
+
+
+def test_bench_attribute_matching_cost(benchmark, small_dataset):
+    """Equation-5 attribute matching over 500 generated pairs."""
+    matcher = default_matcher()
+    relation = small_dataset.relation
+    ids = relation.tuple_ids
+    pairs = [
+        (ids[i], ids[j])
+        for i in range(0, min(50, len(ids)))
+        for j in range(i + 1, min(i + 11, len(ids)))
+    ][:500]
+
+    def run():
+        total = 0.0
+        for left, right in pairs:
+            vector = matcher.compare_rows(
+                relation.get(left).alternatives[0],
+                relation.get(right).alternatives[0],
+            )
+            total += vector[0]
+        return total
+
+    total = benchmark(run)
+    assert total >= 0.0

@@ -1,0 +1,95 @@
+"""Bench: Section IV-B — the derivation functions on x-tuple pairs.
+
+Regenerates the worked example (similarity-based 7/15, decision-based
+0.75, expected matching result 8/9) and compares the per-pair cost of
+every derivation on larger synthetic x-tuples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    paper_matcher,
+    paper_model,
+    section_4b_derivations,
+    xtuple_t32,
+    xtuple_t42,
+)
+from repro.matching import (
+    ExpectedMatchingResult,
+    ExpectedSimilarity,
+    MatchingWeight,
+    MostProbableWorldSimilarity,
+    XTupleDecisionProcedure,
+)
+from repro.pdb import XTuple
+
+
+def test_bench_section_4b_reproduction(benchmark):
+    """All §IV-B reference numbers in one pass."""
+    example = benchmark(section_4b_derivations)
+    assert example.similarity_based == pytest.approx(7 / 15)
+    assert example.decision_based == pytest.approx(0.75)
+    assert example.expected_matching_result == pytest.approx(8 / 9)
+    assert example.alternative_statuses == ("m", "p", "u")
+
+
+def _wide_xtuple(tid: str, width: int) -> XTuple:
+    share = 0.9 / width
+    return XTuple.build(
+        tid,
+        [
+            ({"name": f"Name{i:03d}", "job": f"job{i % 7}"}, share)
+            for i in range(width)
+        ],
+    )
+
+
+@pytest.mark.parametrize(
+    "derivation_name,derivation",
+    [
+        ("expected_similarity", ExpectedSimilarity()),
+        ("matching_weight", MatchingWeight()),
+        ("expected_matching_result", ExpectedMatchingResult()),
+        ("most_probable_world", MostProbableWorldSimilarity()),
+    ],
+)
+def test_bench_derivation_cost_10x10(benchmark, derivation_name, derivation):
+    """Per-pair cost of ϑ on a 10×10 comparison matrix.
+
+    All derivations are O(k·l) over the matrix; the decision-based ones
+    additionally classify each cell.  The bench records the constant-
+    factor differences.
+    """
+    matcher = paper_matcher()
+    model = paper_model()
+    procedure = XTupleDecisionProcedure(matcher, model, derivation)
+    left = _wide_xtuple("L", 10)
+    right = _wide_xtuple("R", 10)
+    result = benchmark(procedure.similarity, left, right)
+    assert result >= 0.0
+
+
+def test_bench_paper_pair_decision(benchmark):
+    """Full Figure-6 decision on the paper's (t32, t42) pair."""
+    matcher = paper_matcher()
+    model = paper_model()
+    procedure = XTupleDecisionProcedure(matcher, model, MatchingWeight())
+    t32, t42 = xtuple_t32(), xtuple_t42()
+    decision = benchmark(procedure.decide, t32, t42)
+    assert decision.similarity == pytest.approx(0.75)
+    assert decision.status.value == "m"  # 0.75 > T_mu=0.7
+
+
+def test_bench_flat_embedding_overhead(benchmark):
+    """The 1×1-matrix special case should cost ~one vector comparison."""
+    from repro.pdb import ProbabilisticTuple
+
+    matcher = paper_matcher()
+    model = paper_model()
+    procedure = XTupleDecisionProcedure(matcher, model)
+    left = ProbabilisticTuple("a", {"name": "Tim", "job": "pilot"})
+    right = ProbabilisticTuple("b", {"name": "Tom", "job": "pilot"})
+    decision = benchmark(procedure.decide_flat, left, right)
+    assert decision.similarity > 0.5

@@ -1,0 +1,109 @@
+"""Bench: data fusion and the uncertain result representation.
+
+Covers the paper's integration step (d) and the conclusion's outlook:
+fusion throughput over detected clusters, and construction cost of the
+probabilistic resolution with mutually exclusive tuple sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.fusion import (
+    build_uncertain_resolution,
+    decide_most_probable,
+    fuse_relation,
+    mediate_mixture,
+)
+from repro.matching import DuplicateDetector, ThresholdClassifier
+
+
+@pytest.fixture(scope="module")
+def detected():
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=100, seed=71), flat=True
+    )
+    model = weighted_model()
+    detector = DuplicateDetector(default_matcher(), model)
+    result = detector.detect(dataset.relation)
+    return dataset, result, model.classifier
+
+
+@pytest.mark.parametrize(
+    "strategy_name,strategy",
+    [
+        ("mixture", mediate_mixture),
+        ("most_probable", decide_most_probable),
+    ],
+)
+def test_bench_fuse_relation(benchmark, detected, strategy_name, strategy):
+    """Relation-level fusion with both strategy families."""
+    dataset, result, _ = detected
+    clustering = result.clusters()
+
+    fused = benchmark(
+        fuse_relation,
+        dataset.relation,
+        clustering,
+        value_fusion=strategy,
+    )
+    assert len(fused) < len(dataset.relation)
+    # Every definite cluster collapsed into exactly one tuple.
+    expected = len(dataset.relation) - sum(
+        len(cluster) - 1 for cluster in clustering.clusters
+    )
+    assert len(fused) == expected
+
+
+def test_bench_uncertain_resolution(benchmark, detected):
+    """Building the probabilistic result (outlook of the paper)."""
+    dataset, result, classifier = detected
+    resolution = benchmark(
+        build_uncertain_resolution,
+        dataset.relation,
+        result,
+        classifier,
+    )
+    # Consistency: expected size lies between all-merged and all-separate.
+    merged_size = len(
+        resolution.instantiate(
+            {d: 0 for d in resolution.hypotheses}
+        )
+    )
+    separate_size = len(
+        resolution.instantiate(
+            {d: 1 for d in resolution.hypotheses}
+        )
+    )
+    expected = resolution.expected_tuple_count()
+    assert merged_size <= expected <= separate_size
+
+
+def test_bench_e6_fusion_quality(benchmark):
+    """E6: deciding strategies concentrate mass on the true value;
+    mixture fusion is mass-preserving (a weighted average cannot move
+    the mean) — its role is calibration, not point accuracy."""
+    from repro.experiments import run_e6_fusion_quality
+
+    rows = benchmark.pedantic(
+        run_e6_fusion_quality,
+        kwargs={"entity_count": 100, "seed": 19},
+        iterations=1,
+        rounds=1,
+    )
+    by_name = {row.strategy: row for row in rows}
+    assert by_name["most_probable"].gain > 0.0
+    assert abs(by_name["mixture"].gain) < 0.05
+
+
+def test_bench_exclusive_pair_extraction(benchmark, detected):
+    """Cost of listing the mutually exclusive tuple sets."""
+    dataset, result, classifier = detected
+    resolution = build_uncertain_resolution(
+        dataset.relation, result, classifier
+    )
+    exclusive = benchmark(resolution.exclusive_pairs)
+    # Every hypothesis contributes ≥ 2 exclusive pairs (fused vs members).
+    assert len(exclusive) >= 2 * len(resolution.hypotheses)

@@ -1,0 +1,80 @@
+"""Bench: Swoosh-style iterative match-merge vs detect-then-cluster.
+
+Compares the two entity-resolution control flows on the same generated
+relation:
+
+* **batch** — pairwise detection over all pairs, then transitive
+  clustering, then fusion (this library's pipeline);
+* **iterative** — R-Swoosh-style match-merge ([18]), which merges on
+  first match and re-compares fused tuples.
+
+Shape assertions: both resolve the relation (fewer tuples than input),
+and the iterative resolver performs at most the full-comparison count
+plus merge-induced re-comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.fusion import fuse_relation
+from repro.matching import (
+    DuplicateDetector,
+    IterativeResolver,
+    XTupleDecisionProcedure,
+)
+
+
+@pytest.fixture(scope="module")
+def resolution_dataset():
+    return generate_dataset(
+        DatasetConfig(entity_count=60, seed=83), flat=True
+    )
+
+
+def test_bench_batch_resolution(benchmark, resolution_dataset):
+    """Detect → cluster → fuse."""
+    relation = resolution_dataset.relation
+    detector = DuplicateDetector(default_matcher(), weighted_model())
+
+    def run():
+        result = detector.detect(relation)
+        clustering = result.clusters()
+        return fuse_relation(relation, clustering)
+
+    fused = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert len(fused) < len(relation)
+
+
+def test_bench_iterative_resolution(benchmark, resolution_dataset):
+    """R-Swoosh match-merge to fixpoint."""
+    relation = resolution_dataset.relation
+    resolver = IterativeResolver(
+        XTupleDecisionProcedure(default_matcher(), weighted_model())
+    )
+    outcome = benchmark.pedantic(
+        resolver.resolve, args=(relation,), iterations=1, rounds=1
+    )
+    assert len(outcome.relation) < len(relation)
+    n = len(relation)
+    # Comparisons bounded by full comparison plus merge re-comparisons.
+    assert outcome.comparisons <= n * (n - 1) // 2 + outcome.merged_count * n
+
+
+def test_bench_control_flows_agree(resolution_dataset):
+    """Both control flows should find broadly the same entities."""
+    relation = resolution_dataset.relation
+    detector = DuplicateDetector(default_matcher(), weighted_model())
+    batch = fuse_relation(relation, detector.detect(relation).clusters())
+
+    resolver = IterativeResolver(
+        XTupleDecisionProcedure(default_matcher(), weighted_model())
+    )
+    iterative = resolver.resolve(relation).relation
+
+    # Same order of magnitude of resolved entities (iterative may merge
+    # more because fused evidence exposes extra matches).
+    assert abs(len(batch) - len(iterative)) <= 0.2 * len(relation)
+    assert len(iterative) <= len(batch)

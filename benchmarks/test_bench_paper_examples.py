@@ -1,0 +1,65 @@
+"""Bench: Figure 4 and the Section IV-A worked example.
+
+Regenerates the flat-model reference numbers (0.9 / 53/90 / 377/450) and
+times attribute value matching over the paper's relations ℛ1 × ℛ2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    paper_matcher,
+    paper_model,
+    relation_r1,
+    relation_r2,
+    section_4a_flat_example,
+)
+
+
+def test_bench_section_4a_numbers(benchmark):
+    """Recompute the three §IV-A reference values."""
+    example = benchmark(section_4a_flat_example)
+    assert example.name_similarity == pytest.approx(0.9)
+    assert example.job_similarity == pytest.approx(53 / 90)
+    assert example.tuple_similarity == pytest.approx(377 / 450)
+
+
+def test_bench_figure4_cross_source_matching(benchmark):
+    """Time the full ℛ1 × ℛ2 attribute-matching sweep (9 pairs)."""
+    r1, r2 = relation_r1(), relation_r2()
+    matcher = paper_matcher()
+    model = paper_model()
+
+    def run():
+        similarities = {}
+        for left in r1:
+            for right in r2:
+                vector = matcher.compare_rows(left, right)
+                similarities[(left.tuple_id, right.tuple_id)] = (
+                    model.similarity(vector)
+                )
+        return similarities
+
+    similarities = benchmark(run)
+    assert len(similarities) == 9
+    # The headline pair of the worked example is the most similar one.
+    best_pair = max(similarities, key=similarities.get)
+    assert best_pair == ("t11", "t22")
+    assert similarities[("t11", "t22")] == pytest.approx(377 / 450)
+
+
+def test_bench_equation5_scaling(benchmark):
+    """Equation 5 cost grows with support sizes; time a 10×10 support."""
+    from repro.pdb import ProbabilisticValue
+    from repro.similarity import HAMMING, UncertainValueComparator
+
+    left = ProbabilisticValue(
+        {f"value{i:02d}": 0.1 for i in range(10)}
+    )
+    right = ProbabilisticValue(
+        {f"value{i:02d}x": 0.1 for i in range(10)}
+    )
+    comparator = UncertainValueComparator(HAMMING)
+    result = benchmark(comparator, left, right)
+    assert 0.0 <= result <= 1.0

@@ -1,0 +1,73 @@
+"""Bench: Figure 7 — possible-world enumeration and conditioning.
+
+Regenerates the eight worlds of {t32, t42} with the paper's exact
+probabilities and P(B) = 0.72, then times world enumeration at growing
+relation sizes (the blow-up that motivates Section V's heuristics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure_7_possible_worlds, xtuple_t32
+from repro.pdb import (
+    XTuple,
+    enumerate_full_worlds,
+    enumerate_worlds,
+    world_count,
+)
+
+
+def test_bench_figure7_reproduction(benchmark):
+    """Eight worlds, paper order, P(B)=0.72, conditional probs 3/9 2/9 4/9."""
+    worlds = benchmark(figure_7_possible_worlds)
+    assert worlds.world_probabilities == pytest.approx(
+        (0.24, 0.16, 0.32, 0.08, 0.06, 0.04, 0.08, 0.02)
+    )
+    assert worlds.presence_probability == pytest.approx(0.72)
+    assert worlds.conditional_probabilities == pytest.approx(
+        (3 / 9, 2 / 9, 4 / 9)
+    )
+
+
+def _chain(length: int) -> list[XTuple]:
+    return [
+        XTuple.build(
+            f"t{i}",
+            [({"a": "x"}, 0.4), ({"a": "y"}, 0.3), ({"a": "z"}, 0.2)],
+        )
+        for i in range(length)
+    ]
+
+
+@pytest.mark.parametrize("size", [4, 6, 8])
+def test_bench_world_enumeration_blowup(benchmark, size):
+    """Exhaustive enumeration is exponential: 4^n worlds for maybe
+    3-alternative x-tuples — the cost Section V-A.1 warns about."""
+    xtuples = _chain(size)
+    expected = world_count(xtuples)
+
+    def run():
+        return sum(1 for _ in enumerate_worlds(xtuples))
+
+    count = benchmark(run)
+    assert count == expected == 4**size
+
+
+def test_bench_full_world_conditioning(benchmark):
+    """Conditioning on presence keeps 3^n of 4^n worlds (n=6)."""
+    xtuples = _chain(6)
+    full = benchmark(enumerate_full_worlds, xtuples)
+    assert len(full) == 3**6
+    assert sum(w.probability for w in full) == pytest.approx(1.0)
+
+
+def test_bench_figure7_pair_worlds_scaling(benchmark):
+    """Per-pair world work (the Figure-6 inner loop) stays tiny: k×l."""
+    t32 = xtuple_t32()
+
+    def run():
+        return len(list(enumerate_worlds([t32, t32, t32])))
+
+    count = benchmark(run)
+    assert count == 4**3

@@ -1,0 +1,74 @@
+"""Bench: Tier-B experiments E1/E2 — detection quality studies.
+
+The paper defines precision/recall/F1 (Section III-E) but reports no
+measurements; these benches run the full studies and assert the
+qualitative shape:
+
+* E1 — every decision model beats chance by a wide margin on light
+  uncertainty, and quality degrades as uncertainty grows;
+* E2 — the probability-aware derivations (expected similarity, matching
+  weight) beat the probability-blind maximum-similarity baseline on
+  precision.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_e1_decision_models, run_e2_derivations
+
+
+def _by(rows, **filters):
+    matching = [
+        row
+        for row in rows
+        if all(getattr(row, key) == value for key, value in filters.items())
+    ]
+    assert matching, f"no rows for {filters}"
+    return matching
+
+
+def test_bench_e1_decision_models(benchmark):
+    """E1: knowledge rules vs Fellegi–Sunter vs weighted sum."""
+    rows = benchmark.pedantic(
+        run_e1_decision_models,
+        kwargs={"entity_count": 60, "seed": 11},
+        iterations=1,
+        rounds=1,
+    )
+    assert len(rows) == 9  # 3 models × 3 profiles
+
+    for configuration in (
+        "knowledge_rules",
+        "fellegi_sunter",
+        "weighted_sum",
+    ):
+        light = _by(rows, configuration=configuration, profile="light")[0]
+        assert light.report.recall > 0.3, configuration
+        assert light.report.precision > 0.2, configuration
+
+    # Shape: heavy uncertainty must not *improve* F1 for the FS model.
+    fs_light = _by(rows, configuration="fellegi_sunter", profile="light")[0]
+    fs_heavy = _by(rows, configuration="fellegi_sunter", profile="heavy")[0]
+    assert fs_heavy.report.f1 <= fs_light.report.f1 + 0.1
+
+
+def test_bench_e2_derivations(benchmark):
+    """E2: derivation functions on x-relations."""
+    rows = benchmark.pedantic(
+        run_e2_derivations,
+        kwargs={"entity_count": 50, "seed": 13},
+        iterations=1,
+        rounds=1,
+    )
+    assert len(rows) == 15  # 5 derivations × 3 profiles
+
+    # Shape: the probability-blind maximum-similarity baseline buys
+    # recall by giving up precision relative to expected similarity.
+    for profile in ("light", "default"):
+        expected = _by(
+            rows, configuration="expected_similarity", profile=profile
+        )[0]
+        maximum = _by(
+            rows, configuration="maximum_similarity", profile=profile
+        )[0]
+        assert maximum.report.recall >= expected.report.recall - 1e-9
+        assert expected.report.precision >= maximum.report.precision - 0.02

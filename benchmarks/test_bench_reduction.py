@@ -1,0 +1,97 @@
+"""Bench: Figures 8–13 — the Sorted-Neighborhood family on ℛ34.
+
+Regenerates every SNM figure (per-world orders, certain-key order,
+sorting alternatives with its five matchings, the uncertain-key
+ranking) and times each strategy on the paper relation and on a
+generated x-relation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SORTING_KEY,
+    figure_9_sorted_world_orders,
+    figure_10_certain_key_order,
+    figure_11_sorted_alternatives,
+    figure_13_uncertain_key_ranking,
+)
+from repro.reduction import (
+    AlternativeSorting,
+    MultiPassSNM,
+    SortedNeighborhood,
+    UncertainKeySNM,
+)
+
+
+def test_bench_figure9_multipass_orders(benchmark):
+    """Both Figure-8 worlds found; their Figure-9 orders reproduced."""
+    orders = benchmark(figure_9_sorted_world_orders)
+    assert orders["I1"] == ["t31", "t41", "t43", "t32", "t42"]
+    assert orders["I2"] == ["t32", "t43", "t31", "t41", "t42"]
+
+
+def test_bench_figure10_certain_keys(benchmark):
+    """Figure 10's sorted key column."""
+    rows = benchmark(figure_10_certain_key_order)
+    assert rows == [
+        ("Jimba", "t32"),
+        ("Johpi", "t31"),
+        ("Johpi", "t41"),
+        ("Seapi", "t43"),
+        ("Tomme", "t42"),
+    ]
+
+
+def test_bench_figure11_sorting_alternatives(benchmark):
+    """Figure 11/12: 9 entries, neighbor dedup, exactly 5 matchings."""
+    result = benchmark(figure_11_sorted_alternatives)
+    assert len(result["sorted_entries"]) == 9
+    assert len(result["deduped_entries"]) == 7
+    assert len(result["matchings"]) == 5
+
+
+def test_bench_figure13_uncertain_ranking(benchmark):
+    """Figure 13: expected-rank order over uncertain keys."""
+    result = benchmark(figure_13_uncertain_key_ranking)
+    assert result["ranked_ids"] == ["t32", "t31", "t41", "t43", "t42"]
+
+
+@pytest.mark.parametrize(
+    "strategy_name,factory",
+    [
+        ("snm_certain_key", lambda: SortedNeighborhood(SORTING_KEY, 5)),
+        ("snm_alternatives", lambda: AlternativeSorting(SORTING_KEY, 5)),
+        ("snm_uncertain_ranked", lambda: UncertainKeySNM(SORTING_KEY, 5)),
+    ],
+)
+def test_bench_snm_on_generated_data(
+    benchmark, medium_dataset, strategy_name, factory
+):
+    """Candidate generation cost of each SNM variant (n≈300 x-tuples)."""
+    strategy = factory()
+    relation = medium_dataset.relation
+
+    def run():
+        return sum(1 for _ in strategy.pairs(relation))
+
+    candidates = benchmark(run)
+    total = len(relation) * (len(relation) - 1) // 2
+    assert 0 < candidates < total, "SNM must prune the pair space"
+
+
+def test_bench_multipass_diverse_selection(benchmark):
+    """Multi-pass with greedy diverse world selection on ℛ34."""
+    from repro.experiments.paper_examples import _expand_r34
+
+    relation = _expand_r34()
+    multipass = MultiPassSNM(
+        SORTING_KEY, window=2, selection="diverse", world_count=3
+    )
+
+    def run():
+        return set(multipass.pairs(relation))
+
+    pairs = benchmark(run)
+    assert pairs  # the example relation yields candidates

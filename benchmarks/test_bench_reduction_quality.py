@@ -1,0 +1,77 @@
+"""Bench: Tier-B experiment E3 — reduction ratio vs pairs completeness.
+
+Runs every search-space reduction strategy of Section V on a generated
+x-relation with ground truth and asserts the qualitative trade-off the
+paper argues for:
+
+* every heuristic prunes most of the pair space (high reduction ratio);
+* the probabilistic adaptations (alternatives / uncertain keys) retain
+  at least as many true matches as the naive certain-key strategies;
+* growing the SNM window increases pairs completeness monotonically
+  (up to noise) while reduction ratio falls.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_e3_reduction, run_e3_window_sweep
+
+
+def _row(rows, name):
+    for row in rows:
+        if row.strategy == name:
+            return row
+    raise AssertionError(f"strategy {name} missing")
+
+
+def test_bench_e3_strategy_table(benchmark):
+    rows = benchmark.pedantic(
+        run_e3_reduction,
+        kwargs={"entity_count": 100, "seed": 17, "window": 5},
+        iterations=1,
+        rounds=1,
+    )
+
+    full = _row(rows, "full_comparison")
+    assert full.reduction_ratio == 0.0
+    assert full.pairs_completeness == 1.0
+
+    for name in (
+        "snm_certain_key",
+        "snm_alternatives",
+        "snm_uncertain_ranked",
+        "blocking_certain_key",
+        "blocking_alternative_keys",
+    ):
+        row = _row(rows, name)
+        assert row.reduction_ratio > 0.6, name
+        assert row.pairs_completeness > 0.3, name
+
+    # Probabilistic adaptations keep at least the certain-key matches.
+    assert (
+        _row(rows, "snm_alternatives").pairs_completeness
+        >= _row(rows, "snm_certain_key").pairs_completeness - 0.05
+    )
+    assert (
+        _row(rows, "blocking_alternative_keys").pairs_completeness
+        >= _row(rows, "blocking_certain_key").pairs_completeness - 1e-9
+    )
+
+
+def test_bench_e3_window_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_e3_window_sweep,
+        kwargs={"entity_count": 100, "seed": 17, "windows": (2, 5, 10)},
+        iterations=1,
+        rounds=1,
+    )
+    by_strategy: dict[str, list[dict]] = {}
+    for row in rows:
+        by_strategy.setdefault(row["strategy"], []).append(row)
+
+    for strategy, strategy_rows in by_strategy.items():
+        strategy_rows.sort(key=lambda r: r["window"])
+        completenesses = [r["pairs_completeness"] for r in strategy_rows]
+        ratios = [r["reduction_ratio"] for r in strategy_rows]
+        # Wider window ⇒ completeness non-decreasing, reduction falls.
+        assert completenesses == sorted(completenesses), strategy
+        assert ratios == sorted(ratios, reverse=True), strategy

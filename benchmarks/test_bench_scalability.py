@@ -1,0 +1,69 @@
+"""Bench: Tier-B experiment E4 — scalability.
+
+* full pipeline wall-time with and without reduction (the motivation of
+  Section V: full comparison is quadratic, reduced pipelines near-linear
+  in candidates);
+* the O(n log n) uncertain-key ranking claim (Section V-A.4, [37]).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.matching import DuplicateDetector
+from repro.reduction import (
+    SortedNeighborhood,
+    SubstringKey,
+    UncertainKeySNM,
+)
+
+KEY = SubstringKey([("name", 3), ("job", 2)])
+
+
+@pytest.mark.parametrize("entities", [50, 100, 200])
+def test_bench_full_pipeline(benchmark, entities):
+    """Unreduced detection: quadratic pair growth."""
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=entities, seed=41), flat=True
+    )
+    detector = DuplicateDetector(default_matcher(), weighted_model())
+    result = benchmark.pedantic(
+        detector.detect, args=(dataset.relation,), iterations=1, rounds=1
+    )
+    n = result.relation_size
+    assert len(result.compared_pairs) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("entities", [50, 100, 200])
+def test_bench_reduced_pipeline(benchmark, entities):
+    """SNM-reduced detection: candidate count linear in n·window."""
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=entities, seed=41), flat=True
+    )
+    detector = DuplicateDetector(
+        default_matcher(),
+        weighted_model(),
+        reducer=SortedNeighborhood(KEY, window=5),
+    )
+    result = benchmark.pedantic(
+        detector.detect, args=(dataset.relation,), iterations=1, rounds=1
+    )
+    n = result.relation_size
+    assert len(result.compared_pairs) <= n * 4
+
+
+@pytest.mark.parametrize("entities", [200, 400, 800])
+def test_bench_uncertain_key_ranking_scaling(benchmark, entities):
+    """Expected-rank sorting of uncertain keys: O(n log n) (Sec. V-A.4)."""
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=entities, seed=43)
+    )
+    snm = UncertainKeySNM(KEY, window=3)
+
+    def run():
+        return len(snm.ranked_ids(dataset.relation))
+
+    count = benchmark(run)
+    assert count == len(dataset.relation)

@@ -1,0 +1,73 @@
+"""Choosing a search-space reduction strategy for probabilistic data.
+
+Section V adapts the Sorted-Neighborhood method and blocking to
+probabilistic data but gives no measurements.  This example compares all
+strategies on one generated x-relation, reporting for each:
+
+* reduction ratio   — how much of the n(n-1)/2 pair space is pruned,
+* pairs completeness — how many true duplicate pairs survive pruning,
+* the harmonic mean of the two,
+
+then shows the window-size trade-off for the SNM variants.
+
+Run:  python examples/search_space_tuning.py
+"""
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.experiments import (
+    evaluate_strategy,
+    render_mapping_table,
+    strategy_table,
+)
+from repro.reduction import SortedNeighborhood, SubstringKey, UncertainKeySNM
+
+KEY = SubstringKey([("name", 3), ("job", 2)])
+
+
+def main() -> None:
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=150, duplicate_rate=0.5, seed=17)
+    )
+    relation = dataset.relation
+    print(
+        f"{len(relation)} x-tuples, "
+        f"{len(relation) * (len(relation) - 1) // 2} total pairs, "
+        f"{len(dataset.true_matches)} true duplicate pairs\n"
+    )
+
+    rows = []
+    for name, factory in strategy_table(key=KEY, window=5).items():
+        row = evaluate_strategy(
+            factory(), relation, dataset.true_matches, name=name
+        )
+        rows.append(row.as_dict())
+    print(render_mapping_table(rows, title="Strategy comparison (window=5)"))
+
+    sweep_rows = []
+    for window in (2, 3, 5, 8, 12):
+        for name, strategy in (
+            ("snm_certain_key", SortedNeighborhood(KEY, window)),
+            ("snm_uncertain_ranked", UncertainKeySNM(KEY, window)),
+        ):
+            row = evaluate_strategy(
+                strategy, relation, dataset.true_matches, name=name
+            )
+            sweep_rows.append({"window": window, **row.as_dict()})
+    print()
+    print(render_mapping_table(sweep_rows, title="SNM window sweep"))
+
+    print(
+        "\nReading: larger windows buy pairs completeness with a lower "
+        "reduction ratio.  Note the measured ordering: sorting "
+        "alternatives (V-A.3) wins on completeness because a tuple is "
+        "filed under every alternative key, while the expected-rank "
+        "uncertain-key SNM (V-A.4) actually trails the certain-key "
+        "strategy — averaging key positions destroys the lexicographic "
+        "locality the window relies on.  The paper called the "
+        "uncertain-key handling 'more promising' but never measured it; "
+        "see EXPERIMENTS.md for the discussion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without ``wheel``, so editable
+installs must go through ``setup.py develop``.  All metadata lives in
+``pyproject.toml``; this file only triggers the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

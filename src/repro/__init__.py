@@ -1,0 +1,43 @@
+"""repro — duplicate detection in probabilistic data.
+
+A complete reproduction of Panse, van Keulen, de Keijzer & Ritter,
+*Duplicate Detection in Probabilistic Data* (ICDE 2010), as a
+production-quality Python library:
+
+* :mod:`repro.pdb` — probabilistic database substrate (values with ⊥,
+  flat tuples, x-tuples, relations, possible worlds, conditioning,
+  uncertain-key ranking);
+* :mod:`repro.similarity` — comparison functions and the Equation-4/5
+  lift to uncertain values;
+* :mod:`repro.matching` — the core contribution: attribute matching,
+  decision models (knowledge-based, Fellegi–Sunter + EM), derivation
+  functions (Equations 6–9), the Figure-6 procedures and the five-step
+  pipeline;
+* :mod:`repro.reduction` — search-space reduction adapted to
+  probabilistic data (SNM and blocking families, Section V);
+* :mod:`repro.preparation` / :mod:`repro.verification` — pipeline
+  steps A and E;
+* :mod:`repro.datagen` — synthetic probabilistic data with ground truth;
+* :mod:`repro.experiments` — figure-by-figure paper reproductions and
+  the Tier-B studies.
+
+Quickstart
+----------
+>>> from repro.datagen import generate_dataset
+>>> from repro.matching import (AttributeMatcher, CombinedDecisionModel,
+...     DuplicateDetector, ThresholdClassifier, WeightedSum)
+>>> from repro.similarity import JARO_WINKLER
+>>> dataset = generate_dataset(entity_count=30, seed=1)
+>>> detector = DuplicateDetector(
+...     AttributeMatcher({"name": JARO_WINKLER, "job": JARO_WINKLER}),
+...     CombinedDecisionModel(WeightedSum({"name": 0.7, "job": 0.3}),
+...                           ThresholdClassifier(0.85, 0.65)),
+... )
+>>> result = detector.detect(dataset.relation)
+>>> len(result.matches) > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,59 @@
+"""Synthetic uncertain data with duplicate ground truth (Tier-B workloads)."""
+
+from repro.datagen.corpus import (
+    FIRST_NAMES,
+    JOB_RELATED_PAIRS,
+    JOB_SYNONYM_GROUPS,
+    JOBS,
+    jobs_with_prefix,
+)
+from repro.datagen.corruption import (
+    Corruptor,
+    delete_char,
+    insert_char,
+    ocr_confuse,
+    substitute_char,
+    transpose_chars,
+    truncate,
+)
+from repro.datagen.generator import (
+    PERSON_SCHEMA,
+    Dataset,
+    DatasetConfig,
+    DatasetGenerator,
+    Entity,
+    generate_dataset,
+)
+from repro.datagen.uncertainty import (
+    HEAVY_UNCERTAINTY,
+    LIGHT_UNCERTAINTY,
+    UncertaintyProfile,
+    make_uncertain_value,
+    membership_probability,
+)
+
+__all__ = [
+    "FIRST_NAMES",
+    "HEAVY_UNCERTAINTY",
+    "JOBS",
+    "JOB_RELATED_PAIRS",
+    "JOB_SYNONYM_GROUPS",
+    "LIGHT_UNCERTAINTY",
+    "PERSON_SCHEMA",
+    "Corruptor",
+    "Dataset",
+    "DatasetConfig",
+    "DatasetGenerator",
+    "Entity",
+    "UncertaintyProfile",
+    "delete_char",
+    "generate_dataset",
+    "insert_char",
+    "jobs_with_prefix",
+    "make_uncertain_value",
+    "membership_probability",
+    "ocr_confuse",
+    "substitute_char",
+    "transpose_chars",
+    "truncate",
+]

@@ -1,0 +1,78 @@
+"""Offline corpora for synthetic uncertain person data.
+
+The paper's running schema is ``(name, job)``; the generator draws true
+entity values from these lists.  The job lexicon deliberately contains
+several ``mu``-prefixed occupations so the paper's pattern-value example
+(``mu*`` as a uniform distribution over jobs starting with "mu") is
+exercised by generated data, plus near-duplicate occupation pairs
+(machinist/mechanic, confectioner/confectionist) mirroring the paper's
+Figure 4.
+"""
+
+from __future__ import annotations
+
+#: First names — includes the paper's cast (Tim, Tom, Jim, Kim, John,
+#: Johan, Jon, Timothy, Sean) plus common census-style names.
+FIRST_NAMES: tuple[str, ...] = (
+    "Tim", "Tom", "Jim", "Kim", "John", "Johan", "Jon", "Timothy", "Sean",
+    "Anna", "Anne", "Anja", "Ben", "Bernd", "Bert", "Carl", "Karl",
+    "Clara", "Klara", "Daniel", "David", "Emma", "Emil", "Erik", "Eric",
+    "Frank", "Franz", "Greta", "Hanna", "Hannah", "Henry", "Henri",
+    "Ida", "Ingrid", "Jacob", "Jakob", "Jan", "Jana", "Johanna", "Jonas",
+    "Julia", "Jule", "Lara", "Laura", "Lena", "Leon", "Lisa", "Liesa",
+    "Lukas", "Lucas", "Marie", "Maria", "Mark", "Marc", "Martin", "Max",
+    "Mia", "Michael", "Mikael", "Nina", "Noah", "Ole", "Olga", "Otto",
+    "Paul", "Paula", "Peter", "Petra", "Philip", "Phillip", "Rita",
+    "Robert", "Rupert", "Sara", "Sarah", "Simon", "Sophie", "Sofie",
+    "Stefan", "Stephan", "Theo", "Thea", "Ulrich", "Uwe", "Vera",
+    "Victor", "Viktor", "Walter", "Werner", "Yara", "Yusuf", "Zoe",
+)
+
+#: Occupations — includes the paper's jobs (machinist, mechanic, baker,
+#: confectioner, confectionist, pilot, pianist, engineer, musician) and a
+#: family of ``mu``-prefixed jobs for the pattern-value example.
+JOBS: tuple[str, ...] = (
+    "machinist", "mechanic", "mechanist", "baker", "confectioner",
+    "confectionist", "pilot", "pianist", "engineer",
+    "musician", "museum guide", "musicologist", "muralist",
+    "accountant", "actor", "architect", "astronomer", "athlete",
+    "attorney", "barber", "bartender", "biologist", "bookkeeper",
+    "brewer", "bricklayer", "butcher", "carpenter", "cashier", "chef",
+    "chemist", "clerk", "coach", "composer", "cook", "courier",
+    "dancer", "dentist", "designer", "detective", "doctor", "driver",
+    "economist", "editor", "electrician", "farmer", "firefighter",
+    "fisherman", "florist", "gardener", "geologist", "glazier",
+    "goldsmith", "guard", "hairdresser", "historian", "janitor",
+    "jeweler", "journalist", "judge", "laborer", "lawyer", "librarian",
+    "locksmith", "manager", "mason", "mathematician", "merchant",
+    "midwife", "miller", "miner", "nurse", "optician", "painter",
+    "pharmacist", "photographer", "physicist", "plumber", "porter",
+    "printer", "professor", "programmer", "publisher", "roofer",
+    "sailor", "salesman", "scientist", "sculptor", "secretary",
+    "shepherd", "shoemaker", "singer", "smith", "surgeon", "surveyor",
+    "tailor", "teacher", "translator", "veterinarian", "waiter",
+    "watchmaker", "weaver", "welder", "writer", "zoologist",
+)
+
+#: Glossary seed: occupation synonym groups for semantic matching tests.
+JOB_SYNONYM_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("confectioner", "confectionist"),
+    ("machinist", "mechanist"),
+    ("doctor", "physician"),
+    ("lawyer", "attorney"),
+    ("cook", "chef"),
+)
+
+#: Glossary seed: related (but not synonymous) occupations with scores.
+JOB_RELATED_PAIRS: dict[tuple[str, str], float] = {
+    ("machinist", "mechanic"): 0.8,
+    ("baker", "confectioner"): 0.6,
+    ("pianist", "musician"): 0.7,
+    ("composer", "musician"): 0.6,
+    ("nurse", "doctor"): 0.4,
+}
+
+
+def jobs_with_prefix(prefix: str) -> tuple[str, ...]:
+    """All corpus jobs starting with *prefix* (the ``mu*`` family)."""
+    return tuple(job for job in JOBS if job.startswith(prefix))

@@ -1,0 +1,181 @@
+"""Error injection: the dissimilarity sources of Section III.
+
+"Due to deficiencies in data collection, data modeling or data
+management, real-life data is often incorrect and/or incomplete …
+duplicate detection techniques have to be designed for properly handling
+dissimilarities due to missing data, typos, data obsolescence or
+misspellings."
+
+Every corruption operator takes a string and a :class:`random.Random` and
+returns a corrupted variant.  :class:`Corruptor` composes them with
+configurable rates; it is deliberately deterministic given the RNG so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from collections.abc import Callable, Sequence
+
+#: Keyboard-neighborhood map for realistic substitution typos (QWERTY).
+_NEIGHBORS: dict[str, str] = {
+    "a": "qwsz", "b": "vghn", "c": "xdfv", "d": "serfcx", "e": "wsdr",
+    "f": "drtgvc", "g": "ftyhbv", "h": "gyujnb", "i": "ujko", "j": "huikmn",
+    "k": "jiolm", "l": "kop", "m": "njk", "n": "bhjm", "o": "iklp",
+    "p": "ol", "q": "wa", "r": "edft", "s": "awedxz", "t": "rfgy",
+    "u": "yhji", "v": "cfgb", "w": "qase", "x": "zsdc", "y": "tghu",
+    "z": "asx",
+}
+
+#: Classic OCR confusion pairs.
+_OCR_CONFUSIONS: tuple[tuple[str, str], ...] = (
+    ("0", "O"), ("1", "l"), ("1", "I"), ("5", "S"), ("8", "B"),
+    ("m", "rn"), ("cl", "d"), ("vv", "w"), ("e", "c"), ("u", "v"),
+)
+
+
+def _random_position(text: str, rng: random.Random) -> int:
+    return rng.randrange(len(text))
+
+
+def substitute_char(text: str, rng: random.Random) -> str:
+    """Replace one character with a keyboard neighbor (or random letter)."""
+    if not text:
+        return text
+    index = _random_position(text, rng)
+    original = text[index]
+    pool = _NEIGHBORS.get(original.lower())
+    if pool:
+        replacement = rng.choice(pool)
+        if original.isupper():
+            replacement = replacement.upper()
+    else:
+        replacement = rng.choice(string.ascii_lowercase)
+    return text[:index] + replacement + text[index + 1 :]
+
+
+def delete_char(text: str, rng: random.Random) -> str:
+    """Drop one character."""
+    if len(text) <= 1:
+        return text
+    index = _random_position(text, rng)
+    return text[:index] + text[index + 1 :]
+
+
+def insert_char(text: str, rng: random.Random) -> str:
+    """Insert a random lowercase letter."""
+    index = rng.randrange(len(text) + 1)
+    return text[:index] + rng.choice(string.ascii_lowercase) + text[index:]
+
+
+def transpose_chars(text: str, rng: random.Random) -> str:
+    """Swap two adjacent characters (the dominant real-world typo)."""
+    if len(text) < 2:
+        return text
+    index = rng.randrange(len(text) - 1)
+    return (
+        text[:index]
+        + text[index + 1]
+        + text[index]
+        + text[index + 2 :]
+    )
+
+
+def ocr_confuse(text: str, rng: random.Random) -> str:
+    """Apply one OCR confusion if any pattern occurs; else substitute."""
+    applicable = [
+        (src, dst)
+        for src, dst in _OCR_CONFUSIONS
+        if src in text
+    ]
+    if not applicable:
+        return substitute_char(text, rng)
+    src, dst = rng.choice(applicable)
+    index = text.index(src)
+    return text[:index] + dst + text[index + len(src) :]
+
+
+def truncate(text: str, rng: random.Random) -> str:
+    """Cut the value short (field-length limits, lazy entry)."""
+    if len(text) <= 2:
+        return text
+    keep = rng.randrange(2, len(text))
+    return text[:keep]
+
+
+#: A corruption operator.
+CorruptionOp = Callable[[str, random.Random], str]
+
+#: The default typo mix with realistic relative frequencies.
+DEFAULT_OPERATORS: tuple[tuple[CorruptionOp, float], ...] = (
+    (substitute_char, 0.30),
+    (transpose_chars, 0.25),
+    (delete_char, 0.20),
+    (insert_char, 0.15),
+    (ocr_confuse, 0.07),
+    (truncate, 0.03),
+)
+
+
+class Corruptor:
+    """Composable, reproducible string corruption.
+
+    Parameters
+    ----------
+    operators:
+        ``(operator, weight)`` pairs; weights need not sum to 1.
+    max_errors:
+        Upper bound on how many operators one corruption applies (the
+        actual count is drawn uniformly from 1..max_errors).
+    """
+
+    def __init__(
+        self,
+        operators: Sequence[tuple[CorruptionOp, float]] = DEFAULT_OPERATORS,
+        *,
+        max_errors: int = 2,
+    ) -> None:
+        if not operators:
+            raise ValueError("need at least one corruption operator")
+        if max_errors < 1:
+            raise ValueError(f"max_errors must be >= 1, got {max_errors}")
+        total = sum(weight for _, weight in operators)
+        if total <= 0.0:
+            raise ValueError("operator weights must sum to a positive value")
+        self._operators = [(op, weight / total) for op, weight in operators]
+        self._max_errors = max_errors
+
+    def _pick_operator(self, rng: random.Random) -> CorruptionOp:
+        threshold = rng.random()
+        cumulative = 0.0
+        for op, weight in self._operators:
+            cumulative += weight
+            if threshold <= cumulative:
+                return op
+        return self._operators[-1][0]
+
+    def corrupt(self, text: str, rng: random.Random) -> str:
+        """One corrupted variant of *text* (never the identical string,
+        unless the value is too short for any operator to change it)."""
+        error_count = rng.randint(1, self._max_errors)
+        corrupted = text
+        for _ in range(error_count):
+            corrupted = self._pick_operator(rng)(corrupted, rng)
+        if corrupted == text and len(text) >= 2:
+            corrupted = transpose_chars(text, rng)
+        return corrupted
+
+    def variants(
+        self, text: str, count: int, rng: random.Random
+    ) -> list[str]:
+        """*count* distinct corrupted variants (best effort for short
+        strings, where the variant space may be exhausted)."""
+        produced: list[str] = []
+        attempts = 0
+        while len(produced) < count and attempts < count * 20:
+            attempts += 1
+            candidate = self.corrupt(text, rng)
+            if candidate != text and candidate not in produced:
+                produced.append(candidate)
+        return produced

@@ -1,0 +1,352 @@
+"""Synthetic probabilistic datasets with exact duplicate ground truth.
+
+The Tier-B experiments need what the paper never had: probabilistic
+relations whose true duplicate pairs are known.  The generator
+
+1. draws ground-truth entities (name, job) from the corpora,
+2. materializes 1..k *records* per entity (records of the same entity are
+   true duplicates); non-first records are *perturbed* — their clean
+   values carry realistic errors (typos, obsolescence, missing data),
+3. wraps every record's values into probabilistic values / x-tuple
+   alternatives according to an :class:`UncertaintyProfile`,
+4. optionally splits the records into two source relations (the paper's
+   integration scenario ℛ1/ℛ2),
+
+and returns the relations together with the gold pair set.
+
+Everything is driven by one :class:`random.Random` seed — identical
+configurations produce identical datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.datagen.corpus import FIRST_NAMES, JOBS
+from repro.datagen.corruption import Corruptor
+from repro.datagen.uncertainty import (
+    UncertaintyProfile,
+    make_uncertain_value,
+    membership_probability,
+)
+from repro.pdb.relations import Schema, XRelation
+from repro.pdb.tuples import ProbabilisticTuple
+from repro.pdb.values import NULL, ProbabilisticValue
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: The running schema of the paper's examples.
+PERSON_SCHEMA = Schema(("name", "job"))
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One ground-truth real-world person."""
+
+    entity_id: int
+    name: str
+    job: str
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Generator configuration.
+
+    Attributes
+    ----------
+    entity_count:
+        Number of distinct real-world entities.
+    duplicate_rate:
+        Fraction of entities that get more than one record.
+    max_records_per_entity:
+        Upper bound on records per duplicated entity (≥ 2).
+    record_error_rate:
+        Probability that a duplicate record's clean value differs from
+        the entity's true value (typos/obsolescence *between* records —
+        this is what makes detection non-trivial).
+    missing_rate:
+        Probability that a duplicate record loses its job value entirely
+        (data incompleteness between records).
+    profile:
+        Uncertainty injection profile (within-record uncertainty).
+    alternatives_per_xtuple:
+        Maximum alternatives of generated x-tuples (≥ 1).
+    seed:
+        RNG seed; every run with equal config is identical.
+    """
+
+    entity_count: int = 100
+    duplicate_rate: float = 0.4
+    max_records_per_entity: int = 3
+    record_error_rate: float = 0.5
+    missing_rate: float = 0.05
+    profile: UncertaintyProfile = field(default_factory=UncertaintyProfile)
+    alternatives_per_xtuple: int = 3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.entity_count < 1:
+            raise ValueError("entity_count must be >= 1")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must lie in [0, 1]")
+        if self.max_records_per_entity < 2:
+            raise ValueError("max_records_per_entity must be >= 2")
+        if not 0.0 <= self.record_error_rate <= 1.0:
+            raise ValueError("record_error_rate must lie in [0, 1]")
+        if not 0.0 <= self.missing_rate <= 1.0:
+            raise ValueError("missing_rate must lie in [0, 1]")
+        if self.alternatives_per_xtuple < 1:
+            raise ValueError("alternatives_per_xtuple must be >= 1")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated dataset plus its ground truth.
+
+    Attributes
+    ----------
+    relation:
+        The full x-relation (union of both sources when split).
+    sources:
+        The per-source relations (length 1 or 2).
+    true_matches:
+        Gold standard: unordered tuple-id pairs referring to the same
+        entity.
+    entity_of:
+        ``tuple id → entity id`` (for cluster-level evaluation).
+    """
+
+    relation: XRelation
+    sources: tuple[XRelation, ...]
+    true_matches: frozenset[tuple[str, str]]
+    entity_of: dict[str, int]
+
+    @property
+    def duplicate_cluster_count(self) -> int:
+        """Number of entities represented by ≥ 2 records."""
+        counts: dict[int, int] = {}
+        for entity_id in self.entity_of.values():
+            counts[entity_id] = counts.get(entity_id, 0) + 1
+        return sum(1 for count in counts.values() if count >= 2)
+
+
+class DatasetGenerator:
+    """Builds reproducible probabilistic datasets from a config."""
+
+    def __init__(self, config: DatasetConfig) -> None:
+        self._config = config
+        self._corruptor = Corruptor()
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+
+    def _entities(self, rng: random.Random) -> list[Entity]:
+        return [
+            Entity(
+                entity_id=index,
+                name=rng.choice(FIRST_NAMES),
+                job=rng.choice(JOBS),
+            )
+            for index in range(self._config.entity_count)
+        ]
+
+    def _records_of(
+        self, entity: Entity, rng: random.Random
+    ) -> Iterator[tuple[str, str | None]]:
+        """Clean ``(name, job)`` records of one entity.
+
+        The first record is faithful; further records carry record-level
+        errors (the *between-record* dissimilarities of Section III).
+        A job of ``None`` means the record lost the value entirely.
+        """
+        yield entity.name, entity.job
+        if rng.random() >= self._config.duplicate_rate:
+            return
+        extra = rng.randint(1, self._config.max_records_per_entity - 1)
+        for _ in range(extra):
+            name, job = entity.name, entity.job
+            if rng.random() < self._config.record_error_rate:
+                name = self._corruptor.corrupt(name, rng)
+            if rng.random() < self._config.missing_rate:
+                yield name, None
+                continue
+            if rng.random() < self._config.record_error_rate * 0.6:
+                # Data obsolescence: the person changed jobs, or the job
+                # was recorded with errors.
+                if rng.random() < 0.4:
+                    job = rng.choice(JOBS)
+                else:
+                    job = self._corruptor.corrupt(job, rng)
+            yield name, job
+
+    # ------------------------------------------------------------------
+    # Probabilistic wrapping
+    # ------------------------------------------------------------------
+
+    def _flat_tuple(
+        self,
+        tuple_id: str,
+        name: str,
+        job: str | None,
+        rng: random.Random,
+    ) -> ProbabilisticTuple:
+        profile = self._config.profile
+        name_value = make_uncertain_value(
+            name, self._corruptor, profile, rng
+        )
+        job_value = (
+            ProbabilisticValue.missing()
+            if job is None
+            else make_uncertain_value(
+                job, self._corruptor, profile, rng, pattern_lexicon=JOBS
+            )
+        )
+        return ProbabilisticTuple(
+            tuple_id,
+            {"name": name_value, "job": job_value},
+            membership_probability(profile, rng),
+        )
+
+    def _xtuple(
+        self,
+        tuple_id: str,
+        name: str,
+        job: str | None,
+        rng: random.Random,
+    ) -> XTuple:
+        profile = self._config.profile
+        membership = membership_probability(profile, rng)
+        alternative_count = rng.randint(
+            1, self._config.alternatives_per_xtuple
+        )
+        if alternative_count == 1:
+            # Single alternative, possibly with value-level uncertainty.
+            flat = self._flat_tuple(tuple_id, name, job, rng)
+            return XTuple(
+                tuple_id,
+                [TupleAlternative(flat.values(), membership)],
+            )
+        # Multiple certain alternatives: the true record plus corrupted
+        # appearances, mutually exclusive (the ULDB reading).
+        masses = [rng.uniform(0.5, 1.5) for _ in range(alternative_count)]
+        scale = membership / sum(masses)
+        masses = [mass * scale for mass in masses]
+        masses.sort(reverse=True)
+        alternatives: list[TupleAlternative] = []
+        seen: set[tuple[str, object]] = set()
+        for index, mass in enumerate(masses):
+            alt_name, alt_job = name, job
+            if index > 0:
+                if rng.random() < 0.7:
+                    alt_name = self._corruptor.corrupt(name, rng)
+                if alt_job is not None and rng.random() < 0.5:
+                    alt_job = self._corruptor.corrupt(alt_job, rng)
+            signature = (alt_name, alt_job)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            alternatives.append(
+                TupleAlternative(
+                    {
+                        "name": alt_name,
+                        "job": NULL if alt_job is None else alt_job,
+                    },
+                    mass,
+                )
+            )
+        return XTuple(tuple_id, alternatives)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def generate(
+        self, *, split_sources: bool = False, flat: bool = False
+    ) -> Dataset:
+        """Build the dataset.
+
+        Parameters
+        ----------
+        split_sources:
+            Distribute records over two source relations R1/R2 (records
+            of one entity may land in either — inter- and intra-source
+            duplicates both occur, as in the paper's scenario).
+        flat:
+            Generate 1-alternative x-tuples whose uncertainty lives
+            entirely on the attribute level (the Section IV-A model)
+            instead of multi-alternative x-tuples.
+        """
+        rng = random.Random(self._config.seed)
+        entity_of: dict[str, int] = {}
+        xtuples: list[XTuple] = []
+        counter = 0
+        for entity in self._entities(rng):
+            for name, job in self._records_of(entity, rng):
+                tuple_id = f"t{counter:05d}"
+                counter += 1
+                if flat:
+                    xtuple = XTuple.from_flat(
+                        self._flat_tuple(tuple_id, name, job, rng)
+                    )
+                else:
+                    xtuple = self._xtuple(tuple_id, name, job, rng)
+                xtuples.append(xtuple)
+                entity_of[tuple_id] = entity.entity_id
+
+        true_matches: set[tuple[str, str]] = set()
+        by_entity: dict[int, list[str]] = {}
+        for tuple_id, entity_id in entity_of.items():
+            by_entity.setdefault(entity_id, []).append(tuple_id)
+        for members in by_entity.values():
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    true_matches.add(
+                        (left, right) if left <= right else (right, left)
+                    )
+
+        if split_sources:
+            first: list[XTuple] = []
+            second: list[XTuple] = []
+            for xtuple in xtuples:
+                (first if rng.random() < 0.5 else second).append(xtuple)
+            sources = (
+                XRelation("R1", PERSON_SCHEMA, first),
+                XRelation("R2", PERSON_SCHEMA, second),
+            )
+            relation = sources[0].union(sources[1], "R1∪R2")
+        else:
+            relation = XRelation("R", PERSON_SCHEMA, xtuples)
+            sources = (relation,)
+
+        return Dataset(
+            relation=relation,
+            sources=sources,
+            true_matches=frozenset(true_matches),
+            entity_of=entity_of,
+        )
+
+
+def generate_dataset(
+    config: DatasetConfig | None = None, **overrides
+) -> Dataset:
+    """Convenience one-call generation.
+
+    ``generate_dataset(entity_count=50, seed=3)`` builds a default config
+    with the given overrides and generates the dataset.  The keyword
+    arguments ``split_sources`` and ``flat`` are forwarded to
+    :meth:`DatasetGenerator.generate`.
+    """
+    generate_kwargs = {
+        key: overrides.pop(key)
+        for key in ("split_sources", "flat")
+        if key in overrides
+    }
+    if config is None:
+        config = DatasetConfig(**overrides)
+    elif overrides:
+        raise TypeError(
+            "pass either a config object or field overrides, not both"
+        )
+    return DatasetGenerator(config).generate(**generate_kwargs)

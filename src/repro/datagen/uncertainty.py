@@ -1,0 +1,190 @@
+"""Uncertainty injection: turning clean values into probabilistic ones.
+
+The generator models how probabilistic data arises in practice (the
+paper's motivation: extraction pipelines and sensors that cannot decide
+between readings):
+
+* an **uncertain attribute value** holds the true value with dominant
+  probability and corrupted variants as the remaining alternatives —
+  or, with some probability, the true value is *not* among the
+  alternatives at all (a hard error);
+* **non-existence**: with some probability an attribute has ⊥ mass
+  (missing data, Section III);
+* **maybe tuples**: x-tuples whose alternatives sum below 1
+  (tuple-membership uncertainty, which detection must ignore);
+* **pattern values**: occasionally a value is only known up to a prefix
+  family (the paper's ``mu*``), emitted as a
+  :class:`~repro.pdb.values.PatternValue` over the job lexicon.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.corruption import Corruptor
+from repro.pdb.values import NULL, PatternValue, ProbabilisticValue
+
+
+@dataclass(frozen=True)
+class UncertaintyProfile:
+    """Knobs controlling how much uncertainty the generator injects.
+
+    Attributes
+    ----------
+    uncertain_value_rate:
+        Probability that an attribute value becomes a distribution
+        instead of staying certain.
+    max_alternatives:
+        Maximum number of outcomes per uncertain value (≥ 2).
+    true_value_mass:
+        Expected probability mass of the true value inside an uncertain
+        value (the rest is spread over corrupted variants).
+    true_value_dropout:
+        Probability that the true value is missing from the support
+        entirely (hard extraction error).
+    null_rate:
+        Probability that a value carries ⊥ mass (and how much, jittered).
+    pattern_rate:
+        Probability that an uncertain *job* value is emitted as a prefix
+        pattern instead of explicit alternatives.
+    maybe_rate:
+        Probability that a tuple becomes a maybe tuple.
+    min_membership:
+        Lower bound for the membership probability of maybe tuples.
+    """
+
+    uncertain_value_rate: float = 0.5
+    max_alternatives: int = 3
+    true_value_mass: float = 0.7
+    true_value_dropout: float = 0.05
+    null_rate: float = 0.08
+    pattern_rate: float = 0.05
+    maybe_rate: float = 0.2
+    min_membership: float = 0.4
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "uncertain_value_rate",
+            "true_value_mass",
+            "true_value_dropout",
+            "null_rate",
+            "pattern_rate",
+            "maybe_rate",
+            "min_membership",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{field_name} must lie in [0, 1], got {value}"
+                )
+        if self.max_alternatives < 2:
+            raise ValueError(
+                f"max_alternatives must be >= 2, got {self.max_alternatives}"
+            )
+        if not 0.0 < self.true_value_mass < 1.0:
+            raise ValueError(
+                "true_value_mass must lie strictly inside (0, 1), got "
+                f"{self.true_value_mass}"
+            )
+
+
+#: A conservative profile: mostly certain data, light uncertainty.
+LIGHT_UNCERTAINTY = UncertaintyProfile(
+    uncertain_value_rate=0.25,
+    max_alternatives=2,
+    true_value_mass=0.85,
+    true_value_dropout=0.02,
+    null_rate=0.04,
+    pattern_rate=0.02,
+    maybe_rate=0.1,
+)
+
+#: A heavy profile: most values uncertain, frequent maybes and nulls.
+HEAVY_UNCERTAINTY = UncertaintyProfile(
+    uncertain_value_rate=0.8,
+    max_alternatives=4,
+    true_value_mass=0.55,
+    true_value_dropout=0.1,
+    null_rate=0.15,
+    pattern_rate=0.08,
+    maybe_rate=0.35,
+)
+
+
+def _spread(total: float, count: int, rng: random.Random) -> list[float]:
+    """Split *total* mass over *count* positive shares, randomly jittered."""
+    raw = [rng.uniform(0.5, 1.5) for _ in range(count)]
+    scale = total / sum(raw)
+    return [share * scale for share in raw]
+
+
+def make_uncertain_value(
+    true_value: str,
+    corruptor: Corruptor,
+    profile: UncertaintyProfile,
+    rng: random.Random,
+    *,
+    pattern_lexicon: tuple[str, ...] = (),
+) -> ProbabilisticValue:
+    """One probabilistic attribute value around *true_value*.
+
+    Follows the profile: with ``uncertain_value_rate`` the value becomes
+    a distribution over the true value and corrupted variants; ⊥ mass and
+    pattern emission are applied per the profile's rates.
+    """
+    # Pattern emission: represent the value only by its 2-char prefix
+    # family, provided the lexicon supports it (the paper's mu* case).
+    if (
+        pattern_lexicon
+        and len(true_value) >= 2
+        and rng.random() < profile.pattern_rate
+    ):
+        prefix = true_value[:2]
+        family = [w for w in pattern_lexicon if w.startswith(prefix)]
+        if len(family) >= 2:
+            return ProbabilisticValue.certain(PatternValue(prefix + "*"))
+
+    if rng.random() >= profile.uncertain_value_rate:
+        # Certain value — possibly with ⊥ instead (pure missing data).
+        if rng.random() < profile.null_rate:
+            return ProbabilisticValue.missing()
+        return ProbabilisticValue.certain(true_value)
+
+    alternative_count = rng.randint(2, profile.max_alternatives)
+    variant_count = alternative_count - 1
+    variants = corruptor.variants(true_value, variant_count, rng)
+    if not variants:
+        return ProbabilisticValue.certain(true_value)
+
+    null_mass = (
+        rng.uniform(0.05, 0.2) if rng.random() < profile.null_rate else 0.0
+    )
+    remaining = 1.0 - null_mass
+
+    outcomes: dict[object, float] = {}
+    if rng.random() < profile.true_value_dropout:
+        # Hard error: the truth is not among the alternatives.
+        shares = _spread(remaining, len(variants), rng)
+        for variant, share in zip(variants, shares):
+            outcomes[variant] = share
+    else:
+        true_mass = remaining * min(
+            0.95, max(0.05, rng.gauss(profile.true_value_mass, 0.08))
+        )
+        outcomes[true_value] = true_mass
+        shares = _spread(remaining - true_mass, len(variants), rng)
+        for variant, share in zip(variants, shares):
+            outcomes[variant] = outcomes.get(variant, 0.0) + share
+    if null_mass > 0.0:
+        outcomes[NULL] = null_mass
+    return ProbabilisticValue(outcomes)
+
+
+def membership_probability(
+    profile: UncertaintyProfile, rng: random.Random
+) -> float:
+    """Draw a tuple membership probability p(t) per the maybe rate."""
+    if rng.random() < profile.maybe_rate:
+        return rng.uniform(profile.min_membership, 0.95)
+    return 1.0

@@ -1,0 +1,170 @@
+"""The paper's example relations, verbatim (Figures 4 and 5).
+
+These fixtures are shared by the golden tests, the example scripts and
+the benchmark harness.  Values and probabilities are transcribed exactly
+from the paper.
+"""
+
+from __future__ import annotations
+
+from repro.pdb.relations import ProbabilisticRelation, Schema, XRelation
+from repro.pdb.tuples import ProbabilisticTuple
+from repro.pdb.values import PatternValue
+from repro.pdb.xtuples import XTuple
+
+#: The (name, job) schema of all examples.
+SCHEMA = Schema(("name", "job"))
+
+#: Job lexicon used to expand the paper's ``mu*`` pattern ("e.g.,
+#: musician"); any lexicon with ≥ 1 ``mu``-word works, this one mirrors
+#: the corpus.
+MU_JOBS = ("musician", "museum guide", "musicologist")
+
+
+def relation_r1() -> ProbabilisticRelation:
+    """Figure 4, left: the probabilistic relation ℛ1.
+
+    Note the implicit ⊥ masses: ``t11.job`` sums to 0.9 — "the person
+    represented by tuple t11 is jobless with a probability of 10%".
+    """
+    return ProbabilisticRelation(
+        "R1",
+        SCHEMA,
+        [
+            ProbabilisticTuple(
+                "t11",
+                {
+                    "name": "Tim",
+                    "job": {"machinist": 0.7, "mechanic": 0.2},
+                },
+                1.0,
+            ),
+            ProbabilisticTuple(
+                "t12",
+                {
+                    "name": {"John": 0.5, "Johan": 0.5},
+                    "job": {"baker": 0.7, "confectioner": 0.3},
+                },
+                1.0,
+            ),
+            ProbabilisticTuple(
+                "t13",
+                {
+                    "name": {"Tim": 0.6, "Tom": 0.4},
+                    "job": "machinist",
+                },
+                0.6,
+            ),
+        ],
+    )
+
+
+def relation_r2() -> ProbabilisticRelation:
+    """Figure 4, right: the probabilistic relation ℛ2."""
+    return ProbabilisticRelation(
+        "R2",
+        SCHEMA,
+        [
+            ProbabilisticTuple(
+                "t21",
+                {
+                    "name": {"John": 0.7, "Jon": 0.3},
+                    "job": "confectionist",
+                },
+                1.0,
+            ),
+            ProbabilisticTuple(
+                "t22",
+                {
+                    "name": {"Tim": 0.7, "Kim": 0.3},
+                    "job": "mechanic",
+                },
+                0.8,
+            ),
+            ProbabilisticTuple(
+                "t23",
+                {
+                    "name": "Timothy",
+                    "job": {"mechanist": 0.8, "engineer": 0.2},
+                },
+                0.7,
+            ),
+        ],
+    )
+
+
+def relation_r3() -> XRelation:
+    """Figure 5, left: the x-relation ℛ3.
+
+    ``t31``'s second alternative has the pattern job ``mu*`` — "a uniform
+    distribution over all possible jobs starting with the characters
+    'mu'".  ``t32`` is a maybe x-tuple (mass 0.9).
+    """
+    return XRelation(
+        "R3",
+        SCHEMA,
+        [
+            XTuple.build(
+                "t31",
+                [
+                    ({"name": "John", "job": "pilot"}, 0.7),
+                    ({"name": "Johan", "job": PatternValue("mu*")}, 0.3),
+                ],
+            ),
+            XTuple.build(
+                "t32",
+                [
+                    ({"name": "Tim", "job": "mechanic"}, 0.3),
+                    ({"name": "Jim", "job": "mechanic"}, 0.2),
+                    ({"name": "Jim", "job": "baker"}, 0.4),
+                ],
+            ),
+        ],
+    )
+
+
+def relation_r4() -> XRelation:
+    """Figure 5, right: the x-relation ℛ4.
+
+    ``t42`` and ``t43`` are maybe x-tuples (masses 0.8); ``t43``'s first
+    alternative has a non-existent job (⊥).
+    """
+    return XRelation(
+        "R4",
+        SCHEMA,
+        [
+            XTuple.build(
+                "t41",
+                [
+                    ({"name": "John", "job": "pilot"}, 0.8),
+                    ({"name": "Johan", "job": "pianist"}, 0.2),
+                ],
+            ),
+            XTuple.build(
+                "t42",
+                [({"name": "Tom", "job": "mechanic"}, 0.8)],
+            ),
+            XTuple.build(
+                "t43",
+                [
+                    ({"name": "John", "job": None}, 0.2),
+                    ({"name": "Sean", "job": "pilot"}, 0.6),
+                ],
+            ),
+        ],
+    )
+
+
+def relation_r34() -> XRelation:
+    """The union ℛ34 = ℛ3 ∪ ℛ4 of Section V's examples."""
+    return relation_r3().union(relation_r4(), "R34")
+
+
+def xtuple_t32() -> XTuple:
+    """The x-tuple t32 of the Section IV-B worked example."""
+    return relation_r3().get("t32")
+
+
+def xtuple_t42() -> XTuple:
+    """The x-tuple t42 of the Section IV-B worked example."""
+    return relation_r4().get("t42")

@@ -1,0 +1,248 @@
+"""Tier-B experiment E1/E2: detection quality across models & derivations.
+
+The paper defines the verification metrics (Section III-E) but reports no
+measurements.  These studies run the full pipeline over generated
+probabilistic data with known ground truth and score every combination:
+
+* **E1** — decision models on flat probabilistic relations
+  (knowledge-based rules vs Fellegi–Sunter, both over Equation-5
+  attribute similarities), swept over uncertainty profiles.
+* **E2** — derivation functions on x-relations (similarity-based Eq. 6 vs
+  decision-based Eq. 7 vs expected matching result), same decision model
+  underneath.
+
+Both return structured rows ready for :mod:`repro.experiments.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.generator import DatasetConfig, generate_dataset
+from repro.datagen.uncertainty import (
+    HEAVY_UNCERTAINTY,
+    LIGHT_UNCERTAINTY,
+    UncertaintyProfile,
+)
+from repro.matching.combination import WeightedSum
+from repro.matching.comparison import AttributeMatcher
+from repro.matching.decision.base import (
+    CombinedDecisionModel,
+    ThresholdClassifier,
+)
+from repro.matching.decision.fellegi_sunter import FellegiSunterModel
+from repro.matching.decision.rules import (
+    IdentificationRule,
+    RuleBasedModel,
+)
+from repro.matching.derivation import (
+    ExpectedMatchingResult,
+    ExpectedSimilarity,
+    MatchingWeight,
+    MaximumSimilarity,
+    MostProbableWorldSimilarity,
+)
+from repro.matching.pipeline import DuplicateDetector
+from repro.datagen.corpus import JOBS
+from repro.similarity.jaro import JARO_WINKLER
+from repro.similarity.uncertain import (
+    PatternPolicy,
+    UncertainValueComparator,
+)
+from repro.verification.metrics import (
+    PossiblePolicy,
+    QualityReport,
+    evaluate_detection,
+)
+
+#: Default uncertainty sweep of E1/E2.
+PROFILES: dict[str, UncertaintyProfile] = {
+    "light": LIGHT_UNCERTAINTY,
+    "default": UncertaintyProfile(),
+    "heavy": HEAVY_UNCERTAINTY,
+}
+
+
+def default_matcher() -> AttributeMatcher:
+    """Jaro–Winkler matcher, pattern-aware on the job attribute.
+
+    Generated jobs occasionally arrive as ``mu*``-style pattern values,
+    so the job comparator expands them against the corpus lexicon.
+    """
+    return AttributeMatcher(
+        {
+            "name": UncertainValueComparator(JARO_WINKLER),
+            "job": UncertainValueComparator(
+                JARO_WINKLER,
+                pattern_policy=PatternPolicy.EXPAND,
+                pattern_lexicon=JOBS,
+            ),
+        }
+    )
+
+
+def knowledge_model() -> RuleBasedModel:
+    """A small expert rule set in the spirit of Figure 1."""
+    rules = [
+        IdentificationRule.build(
+            [("name", 0.85), ("job", 0.85)], 0.95, name="both-strong"
+        ),
+        IdentificationRule.build(
+            [("name", 0.92)], 0.8, name="name-near-exact"
+        ),
+        IdentificationRule.build(
+            [("name", 0.8), ("job", 0.5)], 0.7, name="name-strong-job-weak"
+        ),
+    ]
+    return RuleBasedModel(rules, ThresholdClassifier(0.75, 0.5))
+
+
+def fellegi_sunter_model() -> FellegiSunterModel:
+    """An FS model with generic name/job m-u parameters.
+
+    The parameters encode that name agreement is strong match evidence
+    (high m, low u) while job agreement is weaker (jobs repeat across
+    people); thresholds in the ratio domain with a possible band.
+    """
+    return FellegiSunterModel(
+        m_probabilities={"name": 0.92, "job": 0.7},
+        u_probabilities={"name": 0.03, "job": 0.05},
+        classifier=ThresholdClassifier(40.0, 2.0),
+        agreement_threshold=0.82,
+    )
+
+
+def weighted_model(
+    t_mu: float = 0.9, t_lambda: float = 0.78
+) -> CombinedDecisionModel:
+    """The paper-style weighted-sum model for derivation comparisons.
+
+    Equal weights with tight thresholds: the corpus contains many
+    near-duplicate names (Anna/Anne, Carl/Karl), so strong agreement on
+    both attributes is required for acceptable precision.
+    """
+    return CombinedDecisionModel(
+        WeightedSum({"name": 0.5, "job": 0.5}),
+        ThresholdClassifier(t_mu, t_lambda),
+        name="weighted",
+    )
+
+
+@dataclass(frozen=True)
+class QualityRow:
+    """One result row of E1/E2."""
+
+    experiment: str
+    configuration: str
+    profile: str
+    report: QualityReport
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        row: dict[str, object] = {
+            "experiment": self.experiment,
+            "configuration": self.configuration,
+            "profile": self.profile,
+        }
+        metrics = self.report.as_dict()
+        for key in ("precision", "recall", "f1", "fn_rate", "fp_rate"):
+            row[key] = metrics[key]
+        row["tp"] = metrics["tp"]
+        row["fp"] = metrics["fp"]
+        row["fn"] = metrics["fn"]
+        return row
+
+
+def run_e1_decision_models(
+    *,
+    entity_count: int = 120,
+    seed: int = 11,
+    possible_policy: str = PossiblePolicy.AS_MATCH,
+) -> list[QualityRow]:
+    """E1: knowledge-based vs Fellegi–Sunter on flat relations."""
+    matcher = default_matcher()
+    models = {
+        "knowledge_rules": knowledge_model,
+        "fellegi_sunter": fellegi_sunter_model,
+        "weighted_sum": weighted_model,
+    }
+    rows: list[QualityRow] = []
+    for profile_name, profile in PROFILES.items():
+        dataset = generate_dataset(
+            DatasetConfig(
+                entity_count=entity_count,
+                profile=profile,
+                seed=seed,
+            ),
+            flat=True,
+        )
+        for model_name, factory in models.items():
+            detector = DuplicateDetector(matcher, factory())
+            result = detector.detect(dataset.relation)
+            report = evaluate_detection(
+                result,
+                dataset.true_matches,
+                possible_policy=possible_policy,
+            )
+            rows.append(
+                QualityRow("E1", model_name, profile_name, report)
+            )
+    return rows
+
+
+def run_e2_derivations(
+    *,
+    entity_count: int = 100,
+    seed: int = 13,
+    possible_policy: str = PossiblePolicy.AS_MATCH,
+) -> list[QualityRow]:
+    """E2: derivation functions ϑ on multi-alternative x-relations.
+
+    The similarity-based expectation (Eq. 6) is classified by the model's
+    normalized thresholds; the decision-based matching weight (Eq. 7)
+    needs ratio-domain thresholds (T_λ < 1 < T_μ); the expected matching
+    result lives in [0, 2].
+    """
+    matcher = default_matcher()
+    derivations = {
+        "expected_similarity": (
+            ExpectedSimilarity(),
+            None,  # reuse the model's normalized thresholds
+        ),
+        "most_probable_world": (MostProbableWorldSimilarity(), None),
+        "maximum_similarity": (MaximumSimilarity(), None),
+        "matching_weight": (
+            MatchingWeight(),
+            ThresholdClassifier(1.5, 0.5),
+        ),
+        "expected_matching_result": (
+            ExpectedMatchingResult(),
+            ThresholdClassifier(1.2, 0.6),
+        ),
+    }
+    rows: list[QualityRow] = []
+    for profile_name, profile in PROFILES.items():
+        dataset = generate_dataset(
+            DatasetConfig(
+                entity_count=entity_count,
+                profile=profile,
+                seed=seed,
+            ),
+        )
+        for derivation_name, (derivation, classifier) in derivations.items():
+            detector = DuplicateDetector(
+                matcher,
+                weighted_model(),
+                derivation=derivation,
+                final_classifier=classifier,
+            )
+            result = detector.detect(dataset.relation)
+            report = evaluate_detection(
+                result,
+                dataset.true_matches,
+                possible_policy=possible_policy,
+            )
+            rows.append(
+                QualityRow("E2", derivation_name, profile_name, report)
+            )
+    return rows

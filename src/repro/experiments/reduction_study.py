@@ -1,0 +1,173 @@
+"""Tier-B experiment E3: search-space reduction trade-offs.
+
+Section V motivates reduction ("low risk of loosing matches") but never
+measures it.  E3 quantifies, for every strategy of Sections V-A and V-B,
+
+* **reduction ratio** — how much of the pair space is pruned,
+* **pairs completeness** — how many true matches survive,
+* the harmonic **reduction F1** of the two,
+
+on generated x-relations with ground truth.  E4 (scalability) reuses the
+same strategy table under a growing relation size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.datagen.generator import DatasetConfig, generate_dataset
+from repro.datagen.uncertainty import UncertaintyProfile
+from repro.matching.pipeline import FullComparison, PairGenerator
+from repro.pdb.relations import XRelation
+from repro.reduction.alternatives import AlternativeSorting
+from repro.reduction.blocking import (
+    AlternativeKeyBlocking,
+    CertainKeyBlocking,
+)
+from repro.reduction.derived_keys import PhoneticBlocking
+from repro.reduction.keys import SubstringKey
+from repro.reduction.snm import SortedNeighborhood
+from repro.reduction.uncertain_clustering import (
+    UncertainKeyClusteringBlocking,
+)
+from repro.reduction.uncertain_keys import UncertainKeySNM
+from repro.verification.metrics import (
+    pairs_completeness,
+    reduction_f1,
+    reduction_ratio,
+)
+
+#: Default reduction key on the person schema.
+DEFAULT_KEY = SubstringKey([("name", 3), ("job", 2)])
+
+#: Coarser blocking key (more, larger blocks survive typos better).
+COARSE_KEY = SubstringKey([("name", 1), ("job", 1)])
+
+
+def strategy_table(
+    *, key: SubstringKey | None = None, window: int = 5
+) -> dict[str, Callable[[], PairGenerator]]:
+    """Factories for every reduction strategy under comparison.
+
+    Multi-pass world strategies are excluded here: full-world enumeration
+    explodes on generated relations with hundreds of maybe x-tuples; they
+    are exercised on paper-sized relations in the ablation study instead.
+    """
+    key = key or DEFAULT_KEY
+    return {
+        "full_comparison": FullComparison,
+        "snm_certain_key": lambda: SortedNeighborhood(key, window),
+        "snm_alternatives": lambda: AlternativeSorting(key, window),
+        "snm_uncertain_ranked": lambda: UncertainKeySNM(key, window),
+        "blocking_certain_key": lambda: CertainKeyBlocking(key),
+        "blocking_alternative_keys": lambda: AlternativeKeyBlocking(key),
+        "blocking_coarse_key": lambda: CertainKeyBlocking(COARSE_KEY),
+        "blocking_uncertain_clustering": lambda: (
+            UncertainKeyClusteringBlocking(key, radius=0.34)
+        ),
+        "blocking_phonetic": PhoneticBlocking,
+    }
+
+
+@dataclass(frozen=True)
+class ReductionRow:
+    """One strategy's reduction metrics on one dataset."""
+
+    strategy: str
+    candidate_pairs: int
+    total_pairs: int
+    reduction_ratio: float
+    pairs_completeness: float
+    reduction_f1: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "strategy": self.strategy,
+            "candidates": self.candidate_pairs,
+            "total": self.total_pairs,
+            "reduction_ratio": self.reduction_ratio,
+            "pairs_completeness": self.pairs_completeness,
+            "reduction_f1": self.reduction_f1,
+        }
+
+
+def evaluate_strategy(
+    generator: PairGenerator,
+    relation: XRelation,
+    true_matches: Iterable[tuple[str, str]],
+    *,
+    name: str = "strategy",
+) -> ReductionRow:
+    """Reduction metrics of one pair generator on one relation."""
+    candidates = set(generator.pairs(relation))
+    gold = frozenset(true_matches)
+    size = len(relation)
+    return ReductionRow(
+        strategy=name,
+        candidate_pairs=len(candidates),
+        total_pairs=size * (size - 1) // 2,
+        reduction_ratio=reduction_ratio(candidates, size),
+        pairs_completeness=pairs_completeness(candidates, gold),
+        reduction_f1=reduction_f1(candidates, gold, size),
+    )
+
+
+def run_e3_reduction(
+    *,
+    entity_count: int = 150,
+    seed: int = 17,
+    window: int = 5,
+    profile: UncertaintyProfile | None = None,
+) -> list[ReductionRow]:
+    """E3: all strategies on one generated x-relation."""
+    dataset = generate_dataset(
+        DatasetConfig(
+            entity_count=entity_count,
+            profile=profile or UncertaintyProfile(),
+            seed=seed,
+        )
+    )
+    rows = []
+    for name, factory in strategy_table(window=window).items():
+        rows.append(
+            evaluate_strategy(
+                factory(),
+                dataset.relation,
+                dataset.true_matches,
+                name=name,
+            )
+        )
+    return rows
+
+
+def run_e3_window_sweep(
+    *,
+    entity_count: int = 150,
+    seed: int = 17,
+    windows: tuple[int, ...] = (2, 3, 5, 8, 12),
+) -> list[dict[str, object]]:
+    """Window-size sweep for the three SNM variants.
+
+    Larger windows trade reduction ratio for pairs completeness; the
+    sweep exposes where each variant's curve lies.
+    """
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=entity_count, seed=seed)
+    )
+    rows: list[dict[str, object]] = []
+    for window in windows:
+        for name, factory in (
+            ("snm_certain_key", lambda w=window: SortedNeighborhood(DEFAULT_KEY, w)),
+            ("snm_alternatives", lambda w=window: AlternativeSorting(DEFAULT_KEY, w)),
+            ("snm_uncertain_ranked", lambda w=window: UncertainKeySNM(DEFAULT_KEY, w)),
+        ):
+            row = evaluate_strategy(
+                factory(),
+                dataset.relation,
+                dataset.true_matches,
+                name=name,
+            )
+            rows.append({"window": window, **row.as_dict()})
+    return rows

@@ -1,0 +1,250 @@
+"""Experiment report runner: ``python -m repro.experiments.runner``.
+
+Prints every reproduced figure and Tier-B study as plain-text tables —
+the source of the numbers recorded in EXPERIMENTS.md.  Pass section
+names to restrict the output (e.g. ``figures``, ``e1``, ``e2``, ``e3``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.paper_examples import (
+    figure_7_possible_worlds,
+    figure_9_sorted_world_orders,
+    figure_10_certain_key_order,
+    figure_11_sorted_alternatives,
+    figure_13_uncertain_key_ranking,
+    figure_14_alternative_key_blocking,
+    section_4a_flat_example,
+    section_4b_derivations,
+)
+from repro.experiments.fusion_study import run_e6_fusion_quality
+from repro.experiments.quality import (
+    run_e1_decision_models,
+    run_e2_derivations,
+)
+from repro.experiments.reduction_study import (
+    run_e3_reduction,
+    run_e3_window_sweep,
+)
+from repro.experiments.tables import render_mapping_table, render_table
+
+
+def report_figures() -> str:
+    """All paper-exact reproductions, one block per figure."""
+    blocks: list[str] = []
+
+    flat = section_4a_flat_example()
+    blocks.append(
+        render_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["sim(t11.name, t22.name)", "0.9", flat.name_similarity],
+                ["sim(t11.job, t22.job)", "0.59", flat.job_similarity],
+                ["sim(t11, t22)", "0.838", flat.tuple_similarity],
+            ],
+            title="§IV-A worked example (Figure 4 relations)",
+            precision=6,
+        )
+    )
+
+    worlds = figure_7_possible_worlds()
+    blocks.append(
+        render_table(
+            ["world", "paper P(I)", "measured P(I)"],
+            [
+                [f"I{i + 1}", paper, measured]
+                for i, (paper, measured) in enumerate(
+                    zip(
+                        (0.24, 0.16, 0.32, 0.08, 0.06, 0.04, 0.08, 0.02),
+                        worlds.world_probabilities,
+                    )
+                )
+            ]
+            + [["P(B)", 0.72, worlds.presence_probability]],
+            title="Figure 7: possible worlds of {t32, t42}",
+        )
+    )
+
+    derivations = section_4b_derivations()
+    blocks.append(
+        render_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["sim(t32^1, t42)", "11/15", derivations.alternative_similarities[0]],
+                ["sim(t32^2, t42)", "7/15", derivations.alternative_similarities[1]],
+                ["sim(t32^3, t42)", "4/15", derivations.alternative_similarities[2]],
+                ["similarity-based sim (Eq. 6)", "7/15", derivations.similarity_based],
+                ["statuses η(t32^i, t42)", "m,p,u", ",".join(derivations.alternative_statuses)],
+                ["P(m)", "3/9", derivations.p_match],
+                ["P(u)", "4/9", derivations.p_unmatch],
+                ["decision-based sim (Eq. 7)", "0.75", derivations.decision_based],
+                ["expected matching result", "-", derivations.expected_matching_result],
+            ],
+            title="§IV-B worked example: derivations on (t32, t42)",
+            precision=6,
+        )
+    )
+
+    orders = figure_9_sorted_world_orders()
+    blocks.append(
+        render_table(
+            ["world", "paper order", "measured order"],
+            [
+                ["I1", "t31 t41 t43 t32 t42", " ".join(orders["I1"])],
+                ["I2", "t32 t43 t31 t41 t42", " ".join(orders["I2"])],
+            ],
+            title="Figure 9: multi-pass SNM orders per world",
+        )
+    )
+
+    blocks.append(
+        render_table(
+            ["key", "tuple"],
+            figure_10_certain_key_order(),
+            title="Figure 10: certain keys (most probable alternative)",
+        )
+    )
+
+    fig11 = figure_11_sorted_alternatives()
+    blocks.append(
+        render_table(
+            ["key", "tuple"],
+            fig11["deduped_entries"],
+            title=(
+                "Figure 11: sorting alternatives "
+                f"({len(fig11['sorted_entries'])} entries, "
+                f"{len(fig11['deduped_entries'])} after neighbor dedup)"
+            ),
+        )
+    )
+    blocks.append(
+        "Figure 12: matchings at window=2 (paper: 5): "
+        + ", ".join(f"({a},{b})" for a, b in fig11["matchings"])
+    )
+
+    fig13 = figure_13_uncertain_key_ranking()
+    rows = []
+    for tuple_id, distribution in fig13["key_distributions"]:
+        rows.append(
+            [
+                tuple_id,
+                ", ".join(f"{k}:{p:g}" for k, p in distribution),
+            ]
+        )
+    blocks.append(
+        render_table(
+            ["tuple", "uncertain key distribution"],
+            rows,
+            title=(
+                "Figure 13: uncertain keys; ranked order = "
+                + " ".join(fig13["ranked_ids"])
+                + " (paper: t32 t31 t41 t43 t42)"
+            ),
+        )
+    )
+
+    fig14 = figure_14_alternative_key_blocking()
+    blocks.append(
+        render_table(
+            ["block", "members"],
+            [
+                [key, " ".join(members)]
+                for key, members in fig14["blocks"].items()
+            ],
+            title=(
+                "Figure 14: alternative-key blocking "
+                f"({fig14['block_count']} blocks, paper: 6); matchings: "
+                + ", ".join(f"({a},{b})" for a, b in fig14["matchings"])
+            ),
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def report_e1(entity_count: int = 120, seed: int = 11) -> str:
+    """E1: decision-model quality table."""
+    rows = [row.as_dict() for row in run_e1_decision_models(
+        entity_count=entity_count, seed=seed
+    )]
+    return render_mapping_table(
+        rows,
+        title="E1: decision models × uncertainty profiles "
+        f"(n={entity_count} entities, flat relations)",
+    )
+
+
+def report_e2(entity_count: int = 100, seed: int = 13) -> str:
+    """E2: derivation-function quality table."""
+    rows = [row.as_dict() for row in run_e2_derivations(
+        entity_count=entity_count, seed=seed
+    )]
+    return render_mapping_table(
+        rows,
+        title="E2: derivation functions × uncertainty profiles "
+        f"(n={entity_count} entities, x-relations)",
+    )
+
+
+def report_e3(entity_count: int = 150, seed: int = 17) -> str:
+    """E3: reduction strategy table plus window sweep."""
+    table = render_mapping_table(
+        [row.as_dict() for row in run_e3_reduction(
+            entity_count=entity_count, seed=seed
+        )],
+        title=f"E3: search-space reduction (n={entity_count} entities)",
+    )
+    sweep = render_mapping_table(
+        run_e3_window_sweep(entity_count=entity_count, seed=seed),
+        title="E3b: SNM window sweep",
+    )
+    return table + "\n\n" + sweep
+
+
+def report_e6(entity_count: int = 120, seed: int = 19) -> str:
+    """E6: fusion quality table."""
+    rows = [
+        row.as_dict()
+        for row in run_e6_fusion_quality(
+            entity_count=entity_count, seed=seed
+        )
+    ]
+    return render_mapping_table(
+        rows,
+        title=(
+            "E6: true-value probability mass before/after fusion "
+            f"(pure detected clusters, n={entity_count} entities)"
+        ),
+    )
+
+
+SECTIONS = {
+    "figures": report_figures,
+    "e1": report_e1,
+    "e2": report_e2,
+    "e3": report_e3,
+    "e6": report_e6,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    requested = (argv if argv is not None else sys.argv[1:]) or list(
+        SECTIONS
+    )
+    unknown = [name for name in requested if name not in SECTIONS]
+    if unknown:
+        print(
+            f"unknown sections: {unknown}; available: {list(SECTIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in requested:
+        print(f"\n{'=' * 72}\n{name.upper()}\n{'=' * 72}\n")
+        print(SECTIONS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Plain-text table rendering for experiment reports.
+
+The harness prints results as aligned monospace tables (the closest
+analogue of the paper's figures for terminal output); no third-party
+table libraries are used.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+def format_cell(value: Any, *, precision: int = 4) -> str:
+    """Uniform cell formatting: floats rounded, everything else ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned table with a header rule.
+
+    Column widths adapt to contents; numeric-looking columns are right
+    aligned, text columns left aligned.
+    """
+    rendered_rows = [
+        [format_cell(cell, precision=precision) for cell in row]
+        for row in rows
+    ]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(
+            len(str(headers[i])),
+            *(len(row[i]) for row in rendered_rows),
+        )
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+
+    def _is_numeric(column: int) -> bool:
+        cells = [row[column] for row in rendered_rows]
+        if not cells:
+            return False
+        return all(
+            cell.replace(".", "", 1)
+            .replace("-", "", 1)
+            .replace("e", "", 1)
+            .replace("+", "", 1)
+            .isdigit()
+            or cell in ("inf", "-inf", "nan")
+            for cell in cells
+        )
+
+    numeric = [_is_numeric(i) for i in range(columns)]
+
+    def _format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(
+                cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i])
+            )
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_format_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def render_mapping_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows, inferring columns when omitted."""
+    if not rows:
+        return title or ""
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    return render_table(
+        keys,
+        [[row.get(key, "") for key in keys] for row in rows],
+        title=title,
+        precision=precision,
+    )

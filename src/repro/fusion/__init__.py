@@ -1,0 +1,60 @@
+"""Data fusion (integration step (d)) and uncertain result representation.
+
+* :mod:`repro.fusion.strategies` — conflict resolution for probabilistic
+  values ([17], the strategies Section V-A.2 borrows for key creation);
+* :mod:`repro.fusion.fuse` — fusing duplicate clusters into consolidated
+  x-tuples and whole relations;
+* :mod:`repro.fusion.uncertain_result` — the paper's outlook: modeling
+  uncertain match decisions as mutually exclusive tuple sets tied by
+  lineage (ULDB-style).
+"""
+
+from repro.fusion.fuse import (
+    MembershipRule,
+    collapse_xtuple,
+    fuse_cluster,
+    fuse_relation,
+    fused_membership,
+    fusion_summary,
+    iter_cluster_members,
+)
+from repro.fusion.strategies import (
+    FUSION_STRATEGIES,
+    decide_first,
+    decide_least_uncertain,
+    decide_most_probable,
+    mediate_intersection,
+    mediate_mixture,
+)
+from repro.fusion.uncertain_result import (
+    MERGE,
+    SEPARATE,
+    MergeHypothesis,
+    ResultTuple,
+    UncertainResolution,
+    build_uncertain_resolution,
+    ramp_confidence,
+)
+
+__all__ = [
+    "FUSION_STRATEGIES",
+    "MERGE",
+    "SEPARATE",
+    "MembershipRule",
+    "MergeHypothesis",
+    "ResultTuple",
+    "UncertainResolution",
+    "build_uncertain_resolution",
+    "collapse_xtuple",
+    "decide_first",
+    "decide_least_uncertain",
+    "decide_most_probable",
+    "fuse_cluster",
+    "fuse_relation",
+    "fused_membership",
+    "fusion_summary",
+    "iter_cluster_members",
+    "mediate_intersection",
+    "mediate_mixture",
+    "ramp_confidence",
+]

@@ -1,0 +1,186 @@
+"""Fusing duplicate clusters of x-tuples into consolidated tuples.
+
+Completes the paper's integration pipeline (Section I, step (d)): after
+duplicate detection has grouped tuples representing the same real-world
+entity, fusion merges every cluster into a single representation.
+
+Fusion of probabilistic tuples follows the same conditioning discipline
+as matching: alternatives are first conditioned on presence (membership
+must not bias the fused *values*), each attribute's per-source
+distributions are combined by a configurable conflict-resolution
+strategy, and the fused tuple's membership probability is derived from
+the sources' (``any``: 1 - Π(1-p)  — present if any source tuple is —
+or ``max``/``mean``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.fusion.strategies import WeightedValue, mediate_mixture
+from repro.pdb.relations import XRelation
+
+if TYPE_CHECKING:  # import only for annotations: avoids a cycle with
+    # repro.matching, whose iterative resolver imports this module.
+    from repro.matching.clustering import ClusteringResult
+from repro.pdb.values import ProbabilisticValue
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: A value-fusion strategy.
+ValueFusion = Callable[[Sequence[WeightedValue]], ProbabilisticValue]
+
+
+class MembershipRule:
+    """How the fused tuple's p(t) derives from the sources'."""
+
+    ANY = "any"
+    MAX = "max"
+    MEAN = "mean"
+
+    ALL = (ANY, MAX, MEAN)
+
+
+def collapse_xtuple(xtuple: XTuple) -> dict[str, ProbabilisticValue]:
+    """One distribution per attribute, marginalizing the alternatives.
+
+    The x-tuple's alternatives are conditioned on presence and their
+    attribute distributions are mixed with the conditional weights —
+    the attribute-wise marginal of the tuple's appearance distribution.
+    """
+    marginals: dict[str, ProbabilisticValue] = {}
+    conditioned = xtuple.conditioned_alternatives()
+    for attribute in xtuple.attributes:
+        inputs: list[WeightedValue] = [
+            (alternative.value(attribute), weight)
+            for alternative, weight in conditioned
+        ]
+        marginals[attribute] = mediate_mixture(inputs)
+    return marginals
+
+
+def fused_membership(
+    xtuples: Sequence[XTuple], rule: str = MembershipRule.ANY
+) -> float:
+    """The fused tuple's membership probability."""
+    if rule not in MembershipRule.ALL:
+        raise ValueError(f"unknown membership rule {rule!r}")
+    probabilities = [xt.probability for xt in xtuples]
+    if rule == MembershipRule.MAX:
+        return max(probabilities)
+    if rule == MembershipRule.MEAN:
+        return sum(probabilities) / len(probabilities)
+    absent = 1.0
+    for probability in probabilities:
+        absent *= 1.0 - probability
+    return min(1.0, 1.0 - absent)
+
+
+def fuse_cluster(
+    xtuples: Sequence[XTuple],
+    *,
+    tuple_id: str | None = None,
+    value_fusion: ValueFusion = mediate_mixture,
+    source_weights: Sequence[float] | None = None,
+    membership_rule: str = MembershipRule.ANY,
+) -> XTuple:
+    """Fuse one duplicate cluster into a single 1-alternative x-tuple.
+
+    Parameters
+    ----------
+    xtuples:
+        The cluster members (≥ 1, same schema).
+    tuple_id:
+        Id of the fused tuple; defaults to the members' ids joined by
+        ``+``.
+    value_fusion:
+        Conflict-resolution strategy applied per attribute.
+    source_weights:
+        Optional per-source trust weights (default: all equal).
+    membership_rule:
+        How to derive the fused p(t).
+    """
+    if not xtuples:
+        raise ValueError("cannot fuse an empty cluster")
+    weights = (
+        [float(w) for w in source_weights]
+        if source_weights is not None
+        else [1.0] * len(xtuples)
+    )
+    if len(weights) != len(xtuples):
+        raise ValueError(
+            f"{len(weights)} weights for {len(xtuples)} cluster members"
+        )
+    attributes = xtuples[0].attributes
+    collapsed = [collapse_xtuple(xt) for xt in xtuples]
+    fused_values: dict[str, ProbabilisticValue] = {}
+    for attribute in attributes:
+        inputs: list[WeightedValue] = [
+            (marginals[attribute], weight)
+            for marginals, weight in zip(collapsed, weights)
+        ]
+        fused_values[attribute] = value_fusion(inputs)
+    return XTuple(
+        tuple_id or "+".join(xt.tuple_id for xt in xtuples),
+        [
+            TupleAlternative(
+                fused_values,
+                fused_membership(xtuples, membership_rule),
+            )
+        ],
+    )
+
+
+def fuse_relation(
+    relation: XRelation,
+    clustering: ClusteringResult,
+    *,
+    value_fusion: ValueFusion = mediate_mixture,
+    membership_rule: str = MembershipRule.ANY,
+    name: str | None = None,
+) -> XRelation:
+    """Fuse every duplicate cluster of *relation*; keep singletons as-is.
+
+    The result is the consolidated relation of the paper's integration
+    scenario: one tuple per detected real-world entity.
+    """
+    fused: list[XTuple] = []
+    clustered_ids: set[str] = set()
+    for cluster in clustering.clusters:
+        members = [relation.get(tuple_id) for tuple_id in cluster]
+        clustered_ids.update(cluster)
+        fused.append(
+            fuse_cluster(
+                members,
+                value_fusion=value_fusion,
+                membership_rule=membership_rule,
+            )
+        )
+    for xtuple in relation:
+        if xtuple.tuple_id not in clustered_ids:
+            fused.append(xtuple)
+    return XRelation(
+        name or f"fused({relation.name})", relation.schema, fused
+    )
+
+
+def fusion_summary(
+    relation: XRelation, fused: XRelation
+) -> dict[str, int | float]:
+    """Before/after statistics for reports."""
+    return {
+        "source_tuples": len(relation),
+        "fused_tuples": len(fused),
+        "merged_away": len(relation) - len(fused),
+        "compression": (
+            1.0 - len(fused) / len(relation) if len(relation) else 0.0
+        ),
+    }
+
+
+def iter_cluster_members(
+    relation: XRelation, clustering: ClusteringResult
+) -> Iterable[tuple[tuple[str, ...], list[XTuple]]]:
+    """Yield ``(cluster ids, member x-tuples)`` pairs for inspection."""
+    for cluster in clustering.clusters:
+        yield cluster, [relation.get(tuple_id) for tuple_id in cluster]

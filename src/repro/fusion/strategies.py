@@ -1,0 +1,132 @@
+"""Conflict resolution strategies for probabilistic values ([17]).
+
+Data fusion (step (d) of the paper's integration process) reconciles the
+attribute values of tuples identified as duplicates.  Section V-A.2
+already borrows these strategies for certain-key creation ("according to
+a metadata based deciding strategy the most probable alternative can be
+chosen"); this module provides them for full fusion of probabilistic
+values, following Bleiholder & Naumann's taxonomy:
+
+* **deciding** strategies pick one input value —
+  :func:`decide_most_probable`, :func:`decide_first`,
+  :func:`decide_least_uncertain`;
+* **mediating** strategies build a new value from all inputs —
+  :func:`mediate_mixture` (confidence-weighted average of the
+  distributions, the canonical probabilistic fusion),
+  :func:`mediate_intersection` (keep only outcomes all sources support).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.pdb.errors import EmptyDistributionError
+from repro.pdb.values import ProbabilisticValue
+
+#: A fusion input: one value per source, with a source weight.
+WeightedValue = tuple[ProbabilisticValue, float]
+
+
+def _check_inputs(values: Sequence[WeightedValue]) -> None:
+    if not values:
+        raise ValueError("fusion needs at least one input value")
+    if any(weight <= 0.0 for _, weight in values):
+        raise ValueError("source weights must be positive")
+
+
+def decide_most_probable(
+    values: Sequence[WeightedValue],
+) -> ProbabilisticValue:
+    """Deciding / metadata-based: the outcome with the highest weighted
+    probability across all sources becomes certain.
+
+    This is the fusion analogue of the Section V-A.2 key strategy.
+    """
+    _check_inputs(values)
+    best_outcome = None
+    best_score = -1.0
+    for value, weight in values:
+        for outcome, probability in value.items():
+            score = weight * probability
+            if score > best_score:
+                best_outcome, best_score = outcome, score
+    return ProbabilisticValue({best_outcome: 1.0})
+
+
+def decide_first(values: Sequence[WeightedValue]) -> ProbabilisticValue:
+    """Deciding / trust-your-first-source: keep the first input as-is."""
+    _check_inputs(values)
+    return values[0][0]
+
+
+def decide_least_uncertain(
+    values: Sequence[WeightedValue],
+) -> ProbabilisticValue:
+    """Deciding / prefer-certain: keep the input with minimal entropy.
+
+    Ties fall back to source order; a certain value always wins over any
+    uncertain one.
+    """
+    _check_inputs(values)
+    best_value, best_entropy = values[0][0], values[0][0].entropy()
+    for value, _ in values[1:]:
+        entropy = value.entropy()
+        if entropy < best_entropy - 1e-12:
+            best_value, best_entropy = value, entropy
+    return best_value
+
+
+def mediate_mixture(
+    values: Sequence[WeightedValue],
+) -> ProbabilisticValue:
+    """Mediating: the weight-normalized mixture of the distributions.
+
+    ``P(d) = Σ_s w_s · P_s(d) / Σ_s w_s`` — outcome masses combine
+    across sources, so corroborated outcomes gain probability.  This is
+    the natural fusion for probabilistic source data (cf. Tseng [10]).
+    """
+    _check_inputs(values)
+    total_weight = sum(weight for _, weight in values)
+    mixture: dict[object, float] = {}
+    for value, weight in values:
+        share = weight / total_weight
+        for outcome, probability in value.items():
+            mixture[outcome] = (
+                mixture.get(outcome, 0.0) + share * probability
+            )
+    return ProbabilisticValue(mixture)
+
+
+def mediate_intersection(
+    values: Sequence[WeightedValue],
+) -> ProbabilisticValue:
+    """Mediating: keep outcomes in *every* source's support, renormalized.
+
+    Conservative fusion: an outcome survives only when all sources grant
+    it positive probability; the mixture masses are then rescaled.
+
+    Raises
+    ------
+    EmptyDistributionError
+        If the supports are disjoint (no common outcome).
+    """
+    _check_inputs(values)
+    common = set(values[0][0].support)
+    for value, _ in values[1:]:
+        common &= set(value.support)
+    if not common:
+        raise EmptyDistributionError(
+            "intersection fusion over disjoint supports"
+        )
+    mixture = mediate_mixture(values)
+    return mixture.filter(lambda outcome: outcome in common)
+
+
+#: Registry by name, for configuration.
+FUSION_STRATEGIES = {
+    "most_probable": decide_most_probable,
+    "first": decide_first,
+    "least_uncertain": decide_least_uncertain,
+    "mixture": mediate_mixture,
+    "intersection": mediate_intersection,
+}

@@ -1,0 +1,320 @@
+"""Probabilistic result representation of uncertain match decisions.
+
+The paper's closing outlook: "by using a probabilistic data model for
+the target schema, any kind of uncertainty arising in the duplicate
+detection process (e.g., two tuples are duplicates with only a less
+confidence) can be directly modeled in the resulting data by creating
+mutually exclusive sets of tuples.  For that purpose, the used
+probabilistic data model must be able to represent dependencies between
+multiple sets of tuples … in the ULDB model [this] can be realized by
+the concept of lineage."
+
+This module implements exactly that:
+
+* definite matches (η = m) are fused unconditionally;
+* every connected component of *possible* matches (η = p) becomes a
+  **merge hypothesis**: an auxiliary boolean decision x-tuple with
+  alternatives ``merge`` (confidence q) and ``separate`` (1 − q);
+* the result relation contains, per hypothesis, the fused tuple carrying
+  lineage ``decision[merge]`` *and* the individual tuples carrying
+  lineage ``decision[separate]`` — mutually exclusive sets of tuples in
+  the ULDB sense;
+* the result can be instantiated for any assignment of the decision
+  variables, and expected statistics (e.g. expected tuple count) are
+  available in closed form.
+
+Merge confidence is calibrated from the derived similarity by a linear
+ramp between the classifier's thresholds (T_λ ↦ 0, T_μ ↦ 1), the
+natural reading of "duplicates with only a less confidence".
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.fusion.fuse import ValueFusion, fuse_cluster
+from repro.fusion.strategies import mediate_mixture
+from repro.matching.clustering import UnionFind
+from repro.matching.decision.base import MatchStatus, ThresholdClassifier
+from repro.matching.pipeline import DetectionResult
+from repro.pdb.lineage import Lineage, LineageAtom, mutually_exclusive
+from repro.pdb.relations import XRelation
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: Alternative indices of a decision x-tuple.
+MERGE, SEPARATE = 0, 1
+
+
+def ramp_confidence(
+    similarity: float, classifier: ThresholdClassifier
+) -> float:
+    """Linear T_λ↦0, T_μ↦1 calibration of a similarity into a confidence.
+
+    Infinite similarities (decision-based derivation with P(u)=0) map
+    to 1; a collapsed band (T_λ = T_μ) maps everything at/above the
+    threshold to 1.
+    """
+    if math.isinf(similarity):
+        return 1.0 if similarity > 0 else 0.0
+    low = classifier.unmatch_threshold
+    high = classifier.match_threshold
+    if high <= low:
+        return 1.0 if similarity >= high else 0.0
+    return min(1.0, max(0.0, (similarity - low) / (high - low)))
+
+
+@dataclass(frozen=True)
+class MergeHypothesis:
+    """One uncertain merge: a tuple group that may or may not be fused.
+
+    Attributes
+    ----------
+    decision_id:
+        Id of the auxiliary decision x-tuple.
+    member_ids:
+        The source tuples involved (sorted).
+    confidence:
+        P(merge) — calibrated from the pair similarities.
+    """
+
+    decision_id: str
+    member_ids: tuple[str, ...]
+    confidence: float
+
+
+@dataclass(frozen=True)
+class ResultTuple:
+    """One tuple of the probabilistic result with its lineage."""
+
+    xtuple: XTuple
+    lineage: Lineage
+
+    @property
+    def is_conditional(self) -> bool:
+        """Whether the tuple depends on a merge decision."""
+        return not self.lineage.is_empty
+
+
+class UncertainResolution:
+    """The probabilistic deduplication result (ULDB-style).
+
+    Attributes
+    ----------
+    tuples:
+        All result tuples with lineage; unconditional ones first.
+    hypotheses:
+        The merge hypotheses, keyed by decision id.
+    decisions:
+        The auxiliary decision x-relation (one boolean x-tuple per
+        hypothesis; alternative 0 = merge, 1 = separate).
+    """
+
+    def __init__(
+        self,
+        schema,
+        tuples: list[ResultTuple],
+        hypotheses: dict[str, MergeHypothesis],
+        decisions: XRelation,
+    ) -> None:
+        self.schema = schema
+        self.tuples = tuples
+        self.hypotheses = hypotheses
+        self.decisions = decisions
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+
+    def exclusive_pairs(self) -> list[tuple[str, str]]:
+        """All pairs of result tuples that can never coexist.
+
+        The "mutually exclusive sets of tuples" of the paper's outlook:
+        a fused tuple and its members have contradictory lineage.
+        """
+        pairs: list[tuple[str, str]] = []
+        for i, left in enumerate(self.tuples):
+            for right in self.tuples[i + 1 :]:
+                if mutually_exclusive(left.lineage, right.lineage):
+                    pairs.append(
+                        (left.xtuple.tuple_id, right.xtuple.tuple_id)
+                    )
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+
+    def tuple_probability(self, result_tuple: ResultTuple) -> float:
+        """Marginal probability that the result tuple exists.
+
+        The product of the lineage atoms' decision probabilities
+        (decision variables are independent across hypotheses).
+        """
+        probability = 1.0
+        for atom in result_tuple.lineage.atoms:
+            hypothesis = self.hypotheses[atom.tuple_id]
+            if atom.alternative_index == MERGE:
+                probability *= hypothesis.confidence
+            else:
+                probability *= 1.0 - hypothesis.confidence
+        return probability
+
+    def expected_tuple_count(self) -> float:
+        """Expected size of the result over all decision outcomes."""
+        return sum(self.tuple_probability(t) for t in self.tuples)
+
+    # ------------------------------------------------------------------
+    # Instantiation
+    # ------------------------------------------------------------------
+
+    def instantiate(
+        self, choices: Mapping[str, int] | None = None, *, name: str = "resolved"
+    ) -> XRelation:
+        """Materialize one decision world as a plain x-relation.
+
+        Parameters
+        ----------
+        choices:
+            ``decision id → MERGE|SEPARATE``; missing hypotheses default
+            to their modal outcome (merge iff confidence ≥ 0.5).
+        """
+        resolved: dict[str, int] = {}
+        for decision_id, hypothesis in self.hypotheses.items():
+            default = MERGE if hypothesis.confidence >= 0.5 else SEPARATE
+            resolved[decision_id] = (
+                choices.get(decision_id, default)
+                if choices is not None
+                else default
+            )
+        kept: list[XTuple] = []
+        for result_tuple in self.tuples:
+            consistent = all(
+                resolved[atom.tuple_id] == atom.alternative_index
+                for atom in result_tuple.lineage.atoms
+            )
+            if consistent:
+                kept.append(result_tuple.xtuple)
+        return XRelation(name, self.schema, kept)
+
+    def __repr__(self) -> str:
+        conditional = sum(1 for t in self.tuples if t.is_conditional)
+        return (
+            f"UncertainResolution({len(self.tuples)} tuples, "
+            f"{conditional} conditional, "
+            f"{len(self.hypotheses)} hypotheses)"
+        )
+
+
+def _possible_components(
+    result: DetectionResult, merged_away: set[str]
+) -> list[tuple[tuple[str, ...], float]]:
+    """Connected components of possible-match pairs with mean similarity."""
+    uf = UnionFind()
+    similarities: dict[tuple[str, str], float] = {}
+    for decision in result.decisions:
+        if decision.status is not MatchStatus.POSSIBLE:
+            continue
+        left, right = decision.left_id, decision.right_id
+        if left in merged_away or right in merged_away:
+            # Already part of a definite cluster; the definite merge wins.
+            continue
+        uf.union(left, right)
+        key = (left, right) if left <= right else (right, left)
+        similarities[key] = decision.similarity
+    components: list[tuple[tuple[str, ...], float]] = []
+    for group in uf.groups():
+        if len(group) < 2:
+            continue
+        members = tuple(sorted(group))
+        sims = [
+            sim
+            for (a, b), sim in similarities.items()
+            if a in group and b in group
+        ]
+        finite = [s for s in sims if not math.isinf(s)]
+        mean_similarity = (
+            sum(finite) / len(finite) if finite else float("inf")
+        )
+        components.append((members, mean_similarity))
+    components.sort()
+    return components
+
+
+def build_uncertain_resolution(
+    relation: XRelation,
+    result: DetectionResult,
+    classifier: ThresholdClassifier,
+    *,
+    value_fusion: ValueFusion = mediate_mixture,
+) -> UncertainResolution:
+    """Turn a detection result into a probabilistic target relation.
+
+    Definite matches are fused outright; each possible-match component
+    becomes a merge hypothesis with calibrated confidence, represented
+    by mutually exclusive result tuples tied together by lineage over an
+    auxiliary decision x-tuple.
+    """
+    clusters = result.clusters()
+    merged_away: set[str] = {
+        tuple_id for cluster in clusters.clusters for tuple_id in cluster
+    }
+
+    tuples: list[ResultTuple] = []
+    consumed: set[str] = set()
+
+    # 1. Definite clusters: unconditional fused tuples.
+    for cluster in clusters.clusters:
+        members = [relation.get(tuple_id) for tuple_id in cluster]
+        fused = fuse_cluster(members, value_fusion=value_fusion)
+        tuples.append(ResultTuple(fused, Lineage()))
+        consumed.update(cluster)
+
+    # 2. Possible components: decision variable + exclusive tuple sets.
+    hypotheses: dict[str, MergeHypothesis] = {}
+    decision_tuples: list[XTuple] = []
+    for index, (members, mean_similarity) in enumerate(
+        _possible_components(result, merged_away)
+    ):
+        confidence = ramp_confidence(mean_similarity, classifier)
+        confidence = min(max(confidence, 1e-6), 1.0 - 1e-6)
+        decision_id = f"merge_{index:03d}"
+        hypotheses[decision_id] = MergeHypothesis(
+            decision_id, members, confidence
+        )
+        decision_tuples.append(
+            XTuple.build(
+                decision_id,
+                [
+                    ({"choice": "merge"}, confidence),
+                    ({"choice": "separate"}, 1.0 - confidence),
+                ],
+            )
+        )
+        member_tuples = [relation.get(tuple_id) for tuple_id in members]
+        fused = fuse_cluster(member_tuples, value_fusion=value_fusion)
+        tuples.append(
+            ResultTuple(
+                fused, Lineage([LineageAtom(decision_id, MERGE)])
+            )
+        )
+        for xtuple in member_tuples:
+            tuples.append(
+                ResultTuple(
+                    xtuple, Lineage([LineageAtom(decision_id, SEPARATE)])
+                )
+            )
+        consumed.update(members)
+
+    # 3. Everything else passes through unconditionally.
+    for xtuple in relation:
+        if xtuple.tuple_id not in consumed:
+            tuples.append(ResultTuple(xtuple, Lineage()))
+
+    decisions = XRelation(
+        "decisions", ("choice",), decision_tuples
+    )
+    return UncertainResolution(
+        relation.schema, tuples, hypotheses, decisions
+    )

@@ -1,0 +1,121 @@
+"""The paper's core contribution: duplicate detection in probabilistic data.
+
+* attribute value matching — :class:`AttributeMatcher`,
+  :class:`ComparisonVector`, :class:`ComparisonMatrix` (Sections III-C,
+  IV-A, IV-B);
+* combination functions φ — :mod:`repro.matching.combination`
+  (Equation 3);
+* decision models — :mod:`repro.matching.decision` (knowledge-based
+  rules, Fellegi–Sunter, EM estimation);
+* derivation functions ϑ — :mod:`repro.matching.derivation`
+  (Equations 6–9 and the expected matching result);
+* the Figure-6 procedures — :class:`XTupleDecisionProcedure`;
+* the five-step pipeline — :class:`DuplicateDetector`;
+* match clustering — :mod:`repro.matching.clustering`.
+"""
+
+from repro.matching.clustering import (
+    ClusteringResult,
+    UnionFind,
+    cluster_matches,
+)
+from repro.matching.combination import (
+    COMBINATION_FUNCTIONS,
+    Average,
+    CombinationFunction,
+    LogLikelihoodRatio,
+    Maximum,
+    Minimum,
+    Product,
+    WeightedSum,
+)
+from repro.matching.comparison import (
+    AttributeMatcher,
+    ComparisonMatrix,
+    ComparisonVector,
+)
+from repro.matching.decision import (
+    CertaintyCombination,
+    CombinedDecisionModel,
+    Condition,
+    Decision,
+    DecisionModel,
+    EMEstimate,
+    FellegiSunterModel,
+    IdentificationRule,
+    MatchStatus,
+    RuleBasedModel,
+    ThresholdClassifier,
+    agreement_pattern,
+    estimate_em,
+    paper_example_rule,
+    select_thresholds,
+)
+from repro.matching.derivation import (
+    DERIVATIONS,
+    DerivationFunction,
+    DerivationInput,
+    ExpectedMatchingResult,
+    ExpectedSimilarity,
+    MatchProbability,
+    MatchingWeight,
+    MaximumSimilarity,
+    MostProbableWorldSimilarity,
+    normalized_weights,
+)
+from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.iterative import IterativeResolver, ResolutionOutcome
+from repro.matching.pipeline import (
+    DetectionResult,
+    DuplicateDetector,
+    FullComparison,
+    PairGenerator,
+)
+
+__all__ = [
+    "COMBINATION_FUNCTIONS",
+    "DERIVATIONS",
+    "AttributeMatcher",
+    "Average",
+    "CertaintyCombination",
+    "ClusteringResult",
+    "CombinationFunction",
+    "CombinedDecisionModel",
+    "ComparisonMatrix",
+    "ComparisonVector",
+    "Condition",
+    "Decision",
+    "DecisionModel",
+    "DetectionResult",
+    "DuplicateDetector",
+    "EMEstimate",
+    "ExpectedMatchingResult",
+    "ExpectedSimilarity",
+    "FellegiSunterModel",
+    "FullComparison",
+    "IdentificationRule",
+    "IterativeResolver",
+    "LogLikelihoodRatio",
+    "MatchProbability",
+    "MatchStatus",
+    "MatchingWeight",
+    "Maximum",
+    "MaximumSimilarity",
+    "Minimum",
+    "MostProbableWorldSimilarity",
+    "PairGenerator",
+    "Product",
+    "ResolutionOutcome",
+    "RuleBasedModel",
+    "ThresholdClassifier",
+    "UnionFind",
+    "WeightedSum",
+    "XTupleDecision",
+    "XTupleDecisionProcedure",
+    "agreement_pattern",
+    "cluster_matches",
+    "estimate_em",
+    "normalized_weights",
+    "paper_example_rule",
+    "select_thresholds",
+]

@@ -1,0 +1,157 @@
+"""Grouping pairwise match decisions into duplicate clusters.
+
+Duplicate detection produces pairwise decisions; an integration process
+(entity resolution, merge/purge [18], [19]) ultimately needs *groups* of
+tuples representing the same real-world entity.  The standard closure is
+transitive: if (a, b) and (b, c) are matches then {a, b, c} form one
+cluster, implemented here with a union-find structure.
+
+The module also reports *conflicts* — pairs inside one cluster that were
+explicitly classified as non-matches.  Such inconsistencies are exactly
+the cases the paper's outlook suggests representing as mutually exclusive
+tuple sets in a probabilistic target model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.matching.decision.base import MatchStatus
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items (path compression)."""
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._rank: dict = {}
+
+    def add(self, item) -> None:
+        """Register *item* as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item):
+        """Canonical representative of *item*'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left, right) -> None:
+        """Merge the sets containing *left* and *right*."""
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return
+        if self._rank[left_root] < self._rank[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        if self._rank[left_root] == self._rank[right_root]:
+            self._rank[left_root] += 1
+
+    def groups(self) -> list[set]:
+        """All sets with at least one member."""
+        by_root: dict = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Clusters plus consistency diagnostics.
+
+    Attributes
+    ----------
+    clusters:
+        Duplicate groups (size ≥ 2) as sorted tuples of tuple ids.
+    singletons:
+        Tuple ids that matched nothing.
+    conflicts:
+        Pairs classified UNMATCH that ended up in the same cluster via
+        transitivity — candidates for clerical review.
+    """
+
+    clusters: tuple[tuple[str, ...], ...]
+    singletons: tuple[str, ...]
+    conflicts: tuple[tuple[str, str], ...] = field(default=())
+
+    @property
+    def duplicate_pairs(self) -> set[tuple[str, str]]:
+        """All unordered in-cluster pairs implied by the clustering."""
+        pairs: set[tuple[str, str]] = set()
+        for cluster in self.clusters:
+            for i, left in enumerate(cluster):
+                for right in cluster[i + 1 :]:
+                    pairs.add((left, right) if left <= right else (right, left))
+        return pairs
+
+    def cluster_of(self, tuple_id: str) -> tuple[str, ...] | None:
+        """The cluster containing *tuple_id*, or ``None``."""
+        for cluster in self.clusters:
+            if tuple_id in cluster:
+                return cluster
+        return None
+
+
+def cluster_matches(
+    all_ids: Iterable[str],
+    decided_pairs: Sequence[tuple[str, str, MatchStatus]],
+    *,
+    include_possible: bool = False,
+) -> ClusteringResult:
+    """Transitive closure of the match decisions.
+
+    Parameters
+    ----------
+    all_ids:
+        Every tuple id under consideration (so unmatched tuples appear as
+        singletons).
+    decided_pairs:
+        ``(left_id, right_id, status)`` triples.
+    include_possible:
+        Whether POSSIBLE pairs also merge clusters (pessimistic closure);
+        by default only definite matches do.
+    """
+    uf = UnionFind()
+    ids = list(all_ids)
+    for tuple_id in ids:
+        uf.add(tuple_id)
+
+    merge_statuses = {MatchStatus.MATCH}
+    if include_possible:
+        merge_statuses.add(MatchStatus.POSSIBLE)
+
+    unmatch_pairs: list[tuple[str, str]] = []
+    for left, right, status in decided_pairs:
+        if status in merge_statuses:
+            uf.union(left, right)
+        elif status is MatchStatus.UNMATCH:
+            unmatch_pairs.append((left, right))
+
+    clusters: list[tuple[str, ...]] = []
+    singletons: list[str] = []
+    for group in uf.groups():
+        ordered = tuple(sorted(group))
+        if len(ordered) >= 2:
+            clusters.append(ordered)
+        else:
+            singletons.append(ordered[0])
+
+    conflicts = tuple(
+        (left, right)
+        for left, right in unmatch_pairs
+        if uf.find(left) == uf.find(right)
+    )
+    clusters.sort()
+    singletons.sort()
+    return ClusteringResult(
+        clusters=tuple(clusters),
+        singletons=tuple(singletons),
+        conflicts=conflicts,
+    )

@@ -1,0 +1,269 @@
+"""Attribute value matching: comparison vectors and matrices.
+
+Section III-C: "From comparing two tuples, we obtain a comparison vector
+c⃗ = [c1, …, cn], where ci represents the similarity of the values from
+the i-th attribute."  For x-tuple pairs (Section IV-B) one comparison
+vector per *alternative pair* is produced, forming a ``k × l`` comparison
+matrix.
+
+The central class is :class:`AttributeMatcher`: it holds one uncertain-
+value comparator per attribute and turns tuple pairs into comparison
+vectors and x-tuple pairs into comparison matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any, Union
+
+from repro.pdb.tuples import ProbabilisticTuple
+from repro.pdb.values import ProbabilisticValue
+from repro.pdb.xtuples import TupleAlternative, XTuple
+from repro.similarity.base import Comparator
+from repro.similarity.uncertain import UncertainValueComparator
+
+#: Things an attribute matcher can compare: flat tuples or x-tuple alternatives.
+Row = Union[ProbabilisticTuple, TupleAlternative]
+
+
+class ComparisonVector:
+    """The paper's c⃗: per-attribute similarities of one tuple pair.
+
+    Behaves as an immutable sequence of floats while retaining the
+    attribute names for reporting.
+    """
+
+    __slots__ = ("_attributes", "_values")
+
+    def __init__(
+        self, attributes: Sequence[str], values: Sequence[float]
+    ) -> None:
+        if len(attributes) != len(values):
+            raise ValueError(
+                f"{len(attributes)} attributes but {len(values)} similarities"
+            )
+        for attribute, value in zip(attributes, values):
+            if not 0.0 <= value <= 1.0 + 1e-12:
+                raise ValueError(
+                    f"similarity of {attribute!r} outside [0, 1]: {value}"
+                )
+        self._attributes = tuple(attributes)
+        self._values = tuple(min(float(v), 1.0) for v in values)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names, aligned with :attr:`values`."""
+        return self._attributes
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The similarities ``c1, …, cn``."""
+        return self._values
+
+    def similarity(self, attribute: str) -> float:
+        """The similarity of one named attribute."""
+        try:
+            return self._values[self._attributes.index(attribute)]
+        except ValueError:
+            raise KeyError(attribute) from None
+
+    def as_dict(self) -> dict[str, float]:
+        """``{attribute: similarity}`` mapping."""
+        return dict(zip(self._attributes, self._values))
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index: int) -> float:
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComparisonVector):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._values))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{attr}={value:.4g}"
+            for attr, value in zip(self._attributes, self._values)
+        )
+        return f"ComparisonVector({body})"
+
+
+class ComparisonMatrix:
+    """The paper's c⃗(t1, t2) = [c⃗11, …, c⃗kl] for an x-tuple pair.
+
+    Element ``(i, j)`` is the comparison vector of alternative pair
+    ``(t1ⁱ, t2ʲ)``.  Alternative probabilities are carried along because
+    every derivation function needs them.
+    """
+
+    __slots__ = ("_vectors", "_left_probs", "_right_probs")
+
+    def __init__(
+        self,
+        vectors: Sequence[Sequence[ComparisonVector]],
+        left_probabilities: Sequence[float],
+        right_probabilities: Sequence[float],
+    ) -> None:
+        if len(vectors) != len(left_probabilities):
+            raise ValueError("row count must match left alternative count")
+        for row in vectors:
+            if len(row) != len(right_probabilities):
+                raise ValueError(
+                    "column count must match right alternative count"
+                )
+        self._vectors = tuple(tuple(row) for row in vectors)
+        self._left_probs = tuple(float(p) for p in left_probabilities)
+        self._right_probs = tuple(float(p) for p in right_probabilities)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(k, l)`` — alternative counts of the two x-tuples."""
+        return (len(self._left_probs), len(self._right_probs))
+
+    @property
+    def left_probabilities(self) -> tuple[float, ...]:
+        """Raw probabilities ``p(t1ⁱ)`` of the left alternatives."""
+        return self._left_probs
+
+    @property
+    def right_probabilities(self) -> tuple[float, ...]:
+        """Raw probabilities ``p(t2ʲ)`` of the right alternatives."""
+        return self._right_probs
+
+    def vector(self, i: int, j: int) -> ComparisonVector:
+        """The comparison vector of alternative pair ``(i, j)``."""
+        return self._vectors[i][j]
+
+    def __getitem__(self, index: tuple[int, int]) -> ComparisonVector:
+        i, j = index
+        return self._vectors[i][j]
+
+    def cells(self) -> Iterator[tuple[int, int, ComparisonVector]]:
+        """Iterate ``(i, j, vector)`` in row-major order."""
+        for i, row in enumerate(self._vectors):
+            for j, vector in enumerate(row):
+                yield i, j, vector
+
+    def conditional_weight(self, i: int, j: int) -> float:
+        """``p(t1ⁱ)/p(t1) · p(t2ʲ)/p(t2)`` — the Eq. 6/8/9 pair weight.
+
+        This is the probability of the possible world (restricted to the
+        two x-tuples) in which alternatives *i* and *j* co-occur,
+        conditioned on both tuples being present (event B).
+        """
+        left_total = sum(self._left_probs)
+        right_total = sum(self._right_probs)
+        return (
+            self._left_probs[i]
+            / left_total
+            * self._right_probs[j]
+            / right_total
+        )
+
+    def __repr__(self) -> str:
+        k, l = self.shape
+        return f"ComparisonMatrix({k}×{l})"
+
+
+class AttributeMatcher:
+    """Turns tuple pairs into comparison vectors / matrices.
+
+    Parameters
+    ----------
+    comparators:
+        Mapping from attribute name to a comparator.  Plain comparators on
+        certain values are lifted automatically with
+        :class:`UncertainValueComparator` (Equation 5); pass an
+        :class:`UncertainValueComparator` directly to control pattern
+        policy or to select the error-free Equation 4.
+        Attributes missing from the mapping fall back to *default*.
+    default:
+        Comparator used for attributes without an explicit entry; when
+        ``None`` (default), comparing an unconfigured attribute raises.
+    """
+
+    def __init__(
+        self,
+        comparators: Mapping[str, Comparator | UncertainValueComparator],
+        *,
+        default: Comparator | UncertainValueComparator | None = None,
+    ) -> None:
+        self._comparators: dict[str, UncertainValueComparator] = {
+            str(attr): self._lift(comparator)
+            for attr, comparator in comparators.items()
+        }
+        self._default = self._lift(default) if default is not None else None
+
+    @staticmethod
+    def _lift(
+        comparator: Comparator | UncertainValueComparator,
+    ) -> UncertainValueComparator:
+        if isinstance(comparator, UncertainValueComparator):
+            return comparator
+        return UncertainValueComparator(comparator)
+
+    def comparator_for(self, attribute: str) -> UncertainValueComparator:
+        """The configured comparator for *attribute*."""
+        comparator = self._comparators.get(attribute, self._default)
+        if comparator is None:
+            raise KeyError(
+                f"no comparator configured for attribute {attribute!r} "
+                "and no default given"
+            )
+        return comparator
+
+    # ------------------------------------------------------------------
+    # Vector level
+    # ------------------------------------------------------------------
+
+    def compare_values(
+        self,
+        attribute: str,
+        left: ProbabilisticValue | Any,
+        right: ProbabilisticValue | Any,
+    ) -> float:
+        """Expected similarity of one attribute value pair (Eq. 4/5)."""
+        return self.comparator_for(attribute)(left, right)
+
+    def compare_rows(self, left: Row, right: Row) -> ComparisonVector:
+        """Comparison vector of two rows (flat tuples or alternatives).
+
+        The attribute set is taken from the left row; both rows must share
+        the schema (guaranteed when they come from unioned relations).
+        """
+        attributes = list(left.attributes)
+        values = [
+            self.compare_values(attr, left.value(attr), right.value(attr))
+            for attr in attributes
+        ]
+        return ComparisonVector(attributes, values)
+
+    # ------------------------------------------------------------------
+    # Matrix level
+    # ------------------------------------------------------------------
+
+    def compare_xtuples(self, left: XTuple, right: XTuple) -> ComparisonMatrix:
+        """The ``k × l`` comparison matrix of an x-tuple pair."""
+        vectors = [
+            [
+                self.compare_rows(left_alt, right_alt)
+                for right_alt in right.alternatives
+            ]
+            for left_alt in left.alternatives
+        ]
+        return ComparisonMatrix(
+            vectors,
+            [alt.probability for alt in left.alternatives],
+            [alt.probability for alt in right.alternatives],
+        )

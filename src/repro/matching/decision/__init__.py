@@ -1,0 +1,40 @@
+"""Decision models (Section III-D) and their estimation routines."""
+
+from repro.matching.decision.base import (
+    CombinedDecisionModel,
+    Decision,
+    DecisionModel,
+    MatchStatus,
+    ThresholdClassifier,
+)
+from repro.matching.decision.em import EMEstimate, estimate_em
+from repro.matching.decision.fellegi_sunter import (
+    FellegiSunterModel,
+    agreement_pattern,
+    select_thresholds,
+)
+from repro.matching.decision.rules import (
+    CertaintyCombination,
+    Condition,
+    IdentificationRule,
+    RuleBasedModel,
+    paper_example_rule,
+)
+
+__all__ = [
+    "CertaintyCombination",
+    "CombinedDecisionModel",
+    "Condition",
+    "Decision",
+    "DecisionModel",
+    "EMEstimate",
+    "FellegiSunterModel",
+    "IdentificationRule",
+    "MatchStatus",
+    "RuleBasedModel",
+    "ThresholdClassifier",
+    "agreement_pattern",
+    "estimate_em",
+    "paper_example_rule",
+    "select_thresholds",
+]

@@ -1,0 +1,171 @@
+"""EM estimation of Fellegi–Sunter parameters without labels ([26]).
+
+Winkler's application of the EM algorithm to record linkage treats the
+match status of every compared pair as a latent binary variable.  Under
+per-attribute conditional independence the complete-data likelihood of a
+binary agreement pattern γ is
+
+``P(γ) = π · Π mᵢ^γᵢ (1-mᵢ)^(1-γᵢ)  +  (1-π) · Π uᵢ^γᵢ (1-uᵢ)^(1-γᵢ)``
+
+with π the match prevalence.  EM alternates
+
+* **E-step** — posterior match responsibility of every pattern,
+* **M-step** — re-estimate π, mᵢ, uᵢ from responsibility-weighted counts,
+
+and converges monotonically in likelihood.  The routine operates on the
+*distinct* agreement patterns with multiplicities, so its per-iteration
+cost is ``O(2ⁿ)``-bounded rather than ``O(#pairs)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.matching.comparison import ComparisonVector
+from repro.matching.decision.fellegi_sunter import agreement_pattern
+
+
+@dataclass(frozen=True)
+class EMEstimate:
+    """Result of an EM run.
+
+    Attributes
+    ----------
+    m_probabilities / u_probabilities:
+        Estimated per-attribute agreement probabilities.
+    prevalence:
+        Estimated fraction π of true matches among the compared pairs.
+    log_likelihood:
+        Final observed-data log-likelihood.
+    iterations:
+        Number of EM iterations performed.
+    converged:
+        Whether the log-likelihood improvement fell below the tolerance
+        before the iteration cap.
+    """
+
+    m_probabilities: dict[str, float]
+    u_probabilities: dict[str, float]
+    prevalence: float
+    log_likelihood: float
+    iterations: int
+    converged: bool
+
+
+def _clip(p: float, epsilon: float = 1e-6) -> float:
+    """Keep probabilities strictly inside (0, 1)."""
+    return min(max(p, epsilon), 1.0 - epsilon)
+
+
+def _pattern_likelihood(
+    pattern: tuple[bool, ...], params: Sequence[float]
+) -> float:
+    likelihood = 1.0
+    for agrees, p in zip(pattern, params):
+        likelihood *= p if agrees else (1.0 - p)
+    return likelihood
+
+
+def estimate_em(
+    vectors: Iterable[ComparisonVector],
+    *,
+    agreement_threshold: float = 0.85,
+    initial_m: float = 0.9,
+    initial_u: float = 0.1,
+    initial_prevalence: float = 0.1,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> EMEstimate:
+    """Run EM over the agreement patterns of unlabeled comparison vectors.
+
+    Parameters mirror Winkler's classic setup; the defaults (m₀=0.9,
+    u₀=0.1, π₀=0.1) are the customary symmetric starting point that breaks
+    the label-swap symmetry towards "matches agree".
+
+    Raises
+    ------
+    ValueError
+        If no comparison vectors are supplied.
+    """
+    vector_list = list(vectors)
+    if not vector_list:
+        raise ValueError("EM needs at least one comparison vector")
+    attributes = vector_list[0].attributes
+    arity = len(attributes)
+
+    pattern_counts = Counter(
+        agreement_pattern(vector, agreement_threshold)
+        for vector in vector_list
+    )
+    total = sum(pattern_counts.values())
+
+    m = [_clip(initial_m)] * arity
+    u = [_clip(initial_u)] * arity
+    prevalence = _clip(initial_prevalence)
+
+    log_likelihood = -math.inf
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # E-step: responsibility of the match class per distinct pattern.
+        responsibilities: dict[tuple[bool, ...], float] = {}
+        new_log_likelihood = 0.0
+        for pattern, count in pattern_counts.items():
+            match_term = prevalence * _pattern_likelihood(pattern, m)
+            unmatch_term = (1.0 - prevalence) * _pattern_likelihood(
+                pattern, u
+            )
+            denominator = match_term + unmatch_term
+            responsibilities[pattern] = (
+                match_term / denominator if denominator > 0.0 else 0.5
+            )
+            new_log_likelihood += count * math.log(max(denominator, 1e-300))
+
+        # M-step: responsibility-weighted counts.
+        match_mass = sum(
+            responsibilities[pattern] * count
+            for pattern, count in pattern_counts.items()
+        )
+        unmatch_mass = total - match_mass
+        prevalence = _clip(match_mass / total)
+        for index in range(arity):
+            agree_match = sum(
+                responsibilities[pattern] * count
+                for pattern, count in pattern_counts.items()
+                if pattern[index]
+            )
+            agree_unmatch = sum(
+                (1.0 - responsibilities[pattern]) * count
+                for pattern, count in pattern_counts.items()
+                if pattern[index]
+            )
+            m[index] = _clip(
+                agree_match / match_mass if match_mass > 0.0 else 0.5
+            )
+            u[index] = _clip(
+                agree_unmatch / unmatch_mass if unmatch_mass > 0.0 else 0.5
+            )
+
+        if new_log_likelihood - log_likelihood < tolerance and iteration > 1:
+            log_likelihood = new_log_likelihood
+            converged = True
+            break
+        log_likelihood = new_log_likelihood
+
+    # Canonical orientation: the match class is the agreeing one.  EM is
+    # symmetric under swapping (m, π) with (u, 1-π); flip if needed.
+    if sum(m) < sum(u):
+        m, u = u, m
+        prevalence = 1.0 - prevalence
+
+    return EMEstimate(
+        m_probabilities=dict(zip(attributes, m)),
+        u_probabilities=dict(zip(attributes, u)),
+        prevalence=prevalence,
+        log_likelihood=log_likelihood,
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,268 @@
+"""Probabilistic decision model: the Fellegi–Sunter theory ([16], [25]).
+
+Section III-D defines, for each tuple pair, the conditional probabilities
+
+* ``m(c⃗) = P(c⃗ | (t1, t2) ∈ M)`` — Equation 1,
+* ``u(c⃗) = P(c⃗ | (t1, t2) ∈ U)`` — Equation 2,
+
+and classifies by the matching weight ``R = m(c⃗)/u(c⃗)`` against the
+thresholds ``T_μ`` and ``T_λ`` (Figure 2): match if ``R > T_μ``,
+non-match if ``R < T_λ``, otherwise possible match (clerical review).
+
+Following standard record-linkage practice ([26], [27]) we assume
+conditional independence of per-attribute *agreement bits*: the
+comparison vector is reduced to γ ∈ {0,1}ⁿ via an agreement threshold,
+and ``m(γ) = Π mᵢ^γᵢ (1-mᵢ)^(1-γᵢ)`` (analogously ``u``).
+
+m/u parameters can be
+
+* supplied directly,
+* estimated from labeled pairs (:meth:`FellegiSunterModel.fit_labeled`),
+* estimated without labels via EM (:mod:`repro.matching.decision.em`).
+
+Threshold selection from tolerable error rates is provided by
+:func:`select_thresholds` ([25]'s decision-rule construction on the
+discrete weight distribution).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.matching.comparison import ComparisonVector
+from repro.matching.decision.base import (
+    Decision,
+    ThresholdClassifier,
+)
+
+
+def agreement_pattern(
+    vector: ComparisonVector, threshold: float = 0.85
+) -> tuple[bool, ...]:
+    """Reduce c⃗ to the binary agreement vector γ."""
+    return tuple(c >= threshold for c in vector.values)
+
+
+class FellegiSunterModel:
+    """The Fellegi–Sunter decision model with conditional independence.
+
+    Parameters
+    ----------
+    m_probabilities / u_probabilities:
+        Per-attribute probabilities that the attribute *agrees* given the
+        pair is a true match / true non-match.  All values in (0, 1).
+    classifier:
+        Thresholds on the matching weight ``R`` (non-normalized!).  Note
+        that R is a likelihood *ratio*: sensible thresholds satisfy
+        ``T_λ < 1 < T_μ`` in the ratio domain.
+    agreement_threshold:
+        Similarity level from which an attribute counts as agreeing.
+    use_log:
+        Work with ``log2 R`` instead of ``R`` (numerically safer for many
+        attributes); thresholds are then in the log domain.
+    """
+
+    def __init__(
+        self,
+        m_probabilities: Mapping[str, float],
+        u_probabilities: Mapping[str, float],
+        classifier: ThresholdClassifier,
+        *,
+        agreement_threshold: float = 0.85,
+        use_log: bool = False,
+    ) -> None:
+        if set(m_probabilities) != set(u_probabilities):
+            raise ValueError(
+                "m- and u-probabilities must cover the same attributes"
+            )
+        for label, probs in (
+            ("m", m_probabilities),
+            ("u", u_probabilities),
+        ):
+            for attr, prob in probs.items():
+                if not 0.0 < prob < 1.0:
+                    raise ValueError(
+                        f"{label}-probability of {attr!r} must lie in (0, 1),"
+                        f" got {prob}"
+                    )
+        if not 0.0 < agreement_threshold <= 1.0:
+            raise ValueError(
+                "agreement_threshold must lie in (0, 1], got "
+                f"{agreement_threshold}"
+            )
+        self._m = {str(k): float(v) for k, v in m_probabilities.items()}
+        self._u = {str(k): float(v) for k, v in u_probabilities.items()}
+        self.classifier = classifier
+        self._agreement_threshold = agreement_threshold
+        self._use_log = use_log
+
+    # ------------------------------------------------------------------
+    # Probabilities and weights
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes covered by the m/u parameters."""
+        return tuple(self._m.keys())
+
+    @property
+    def m_probabilities(self) -> dict[str, float]:
+        """Copy of the per-attribute m-probabilities."""
+        return dict(self._m)
+
+    @property
+    def u_probabilities(self) -> dict[str, float]:
+        """Copy of the per-attribute u-probabilities."""
+        return dict(self._u)
+
+    def m_probability(self, vector: ComparisonVector) -> float:
+        """Equation 1 under conditional independence: ``P(γ(c⃗) | M)``."""
+        return self._pattern_probability(vector, self._m)
+
+    def u_probability(self, vector: ComparisonVector) -> float:
+        """Equation 2 under conditional independence: ``P(γ(c⃗) | U)``."""
+        return self._pattern_probability(vector, self._u)
+
+    def _pattern_probability(
+        self, vector: ComparisonVector, params: Mapping[str, float]
+    ) -> float:
+        probability = 1.0
+        for attribute, similarity in zip(vector.attributes, vector.values):
+            if attribute not in params:
+                raise KeyError(
+                    f"no m/u probabilities for attribute {attribute!r}"
+                )
+            p = params[attribute]
+            if similarity >= self._agreement_threshold:
+                probability *= p
+            else:
+                probability *= 1.0 - p
+        return probability
+
+    def matching_weight(self, vector: ComparisonVector) -> float:
+        """``R = m(c⃗)/u(c⃗)`` (or ``log2 R`` with ``use_log=True``)."""
+        m = self.m_probability(vector)
+        u = self.u_probability(vector)
+        if self._use_log:
+            return math.log2(m) - math.log2(u)
+        return m / u
+
+    # ------------------------------------------------------------------
+    # DecisionModel protocol
+    # ------------------------------------------------------------------
+
+    def similarity(self, vector: ComparisonVector) -> float:
+        """Step 1 of Figure 3 — the (non-normalized) matching weight."""
+        return self.matching_weight(vector)
+
+    def decide(self, vector: ComparisonVector) -> Decision:
+        """Classify by R against T_μ / T_λ (Figure 2)."""
+        return self.classifier.decide(self.matching_weight(vector))
+
+    # ------------------------------------------------------------------
+    # Estimation from labeled data
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit_labeled(
+        cls,
+        match_vectors: Sequence[ComparisonVector],
+        unmatch_vectors: Sequence[ComparisonVector],
+        classifier: ThresholdClassifier,
+        *,
+        agreement_threshold: float = 0.85,
+        smoothing: float = 0.5,
+        use_log: bool = False,
+    ) -> "FellegiSunterModel":
+        """Estimate mᵢ/uᵢ by (smoothed) counting on labeled pairs.
+
+        *smoothing* is the additive (Laplace/Jeffreys) pseudo-count that
+        keeps all probabilities inside (0, 1) even for degenerate samples.
+        """
+        if not match_vectors or not unmatch_vectors:
+            raise ValueError("need labeled pairs of both classes")
+        attributes = match_vectors[0].attributes
+        m_est: dict[str, float] = {}
+        u_est: dict[str, float] = {}
+        for index, attribute in enumerate(attributes):
+            m_agree = sum(
+                1
+                for vector in match_vectors
+                if vector[index] >= agreement_threshold
+            )
+            u_agree = sum(
+                1
+                for vector in unmatch_vectors
+                if vector[index] >= agreement_threshold
+            )
+            m_est[attribute] = (m_agree + smoothing) / (
+                len(match_vectors) + 2 * smoothing
+            )
+            u_est[attribute] = (u_agree + smoothing) / (
+                len(unmatch_vectors) + 2 * smoothing
+            )
+        return cls(
+            m_est,
+            u_est,
+            classifier,
+            agreement_threshold=agreement_threshold,
+            use_log=use_log,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FellegiSunterModel({len(self._m)} attributes, "
+            f"log={self._use_log}, {self.classifier!r})"
+        )
+
+
+def select_thresholds(
+    weights_matches: Iterable[float],
+    weights_unmatches: Iterable[float],
+    *,
+    false_match_rate: float = 0.01,
+    false_unmatch_rate: float = 0.01,
+) -> ThresholdClassifier:
+    """Pick ``T_μ``/``T_λ`` from tolerable error rates (Fellegi–Sunter).
+
+    Given matching-weight samples of true matches and true non-matches
+    (e.g. from a labeled calibration set), choose
+
+    * ``T_μ`` as the smallest weight such that the fraction of *non-match*
+      weights above it is at most *false_match_rate*, and
+    * ``T_λ`` as the largest weight such that the fraction of *match*
+      weights below it is at most *false_unmatch_rate*.
+
+    If the two constraints cross (perfectly separable data), both
+    thresholds collapse to the crossing point and the possible-match band
+    is empty.
+    """
+    match_sorted = sorted(weights_matches)
+    unmatch_sorted = sorted(weights_unmatches)
+    if not match_sorted or not unmatch_sorted:
+        raise ValueError("need weight samples of both classes")
+    if not 0.0 <= false_match_rate <= 1.0:
+        raise ValueError(f"false_match_rate outside [0, 1]: {false_match_rate}")
+    if not 0.0 <= false_unmatch_rate <= 1.0:
+        raise ValueError(
+            f"false_unmatch_rate outside [0, 1]: {false_unmatch_rate}"
+        )
+
+    # T_mu: walk the non-match weights from above until the allowed tail
+    # mass is exceeded.
+    allowed_fm = int(false_match_rate * len(unmatch_sorted))
+    t_mu = unmatch_sorted[-1 - allowed_fm] if allowed_fm < len(
+        unmatch_sorted
+    ) else unmatch_sorted[0]
+
+    # T_lambda: walk the match weights from below analogously.
+    allowed_fu = int(false_unmatch_rate * len(match_sorted))
+    t_lambda = match_sorted[allowed_fu] if allowed_fu < len(
+        match_sorted
+    ) else match_sorted[-1]
+
+    if t_lambda > t_mu:
+        midpoint = 0.5 * (t_lambda + t_mu)
+        t_lambda = t_mu = midpoint
+    return ThresholdClassifier(t_mu, t_lambda)

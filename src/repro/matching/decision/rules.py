@@ -1,0 +1,218 @@
+"""Knowledge-based decision model: identification rules (Figure 1).
+
+Section III-D, knowledge-based techniques: "domain experts define
+identification rules … conditions when two tuples are considered
+duplicates with a given confidence (certainty factor)."  The paper's
+example rule:
+
+    IF name > threshold1 AND job > threshold2
+    THEN DUPLICATES with CERTAINTY=0.8
+
+"Ultimately, if the resulting certainty is greater than a third,
+user-defined threshold separating M and U, the tuple pair is considered
+to be a duplicate (the set P is usually not considered in works on these
+techniques)."
+
+A :class:`RuleBasedModel` therefore evaluates a rule set against a
+comparison vector, combines the certainties of all firing rules, and
+classifies with a single threshold by default (two thresholds remain
+possible — useful for the decision-based x-tuple derivation which needs a
+possible band).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.matching.comparison import ComparisonVector
+from repro.matching.decision.base import (
+    Decision,
+    ThresholdClassifier,
+)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One conjunct of a rule: ``attribute > threshold``.
+
+    The paper's rules compare attribute similarities strictly against
+    expert-chosen thresholds; *inclusive* switches to ``>=`` for corner
+    cases where a similarity of exactly 1.0 must fire a rule with
+    threshold 1.0.
+    """
+
+    attribute: str
+    threshold: float
+    inclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(
+                f"condition threshold for {self.attribute!r} outside "
+                f"[0, 1]: {self.threshold}"
+            )
+
+    def holds(self, vector: ComparisonVector) -> bool:
+        """Whether the condition is satisfied by the comparison vector."""
+        similarity = vector.similarity(self.attribute)
+        if self.inclusive:
+            return similarity >= self.threshold
+        return similarity > self.threshold
+
+    def pretty(self) -> str:
+        """Figure-1 style rendering."""
+        op = ">=" if self.inclusive else ">"
+        return f"{self.attribute} {op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class IdentificationRule:
+    """A conjunctive rule with a certainty factor (Figure 1).
+
+    All conditions must hold for the rule to fire; a firing rule asserts
+    "DUPLICATES with CERTAINTY=<certainty>".
+    """
+
+    conditions: tuple[Condition, ...]
+    certainty: float
+    name: str = "rule"
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise ValueError(f"{self.name}: a rule needs conditions")
+        if not 0.0 < self.certainty <= 1.0:
+            raise ValueError(
+                f"{self.name}: certainty must lie in (0, 1], "
+                f"got {self.certainty}"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        conditions: Iterable[tuple[str, float]] | Iterable[Condition],
+        certainty: float,
+        *,
+        name: str = "rule",
+    ) -> "IdentificationRule":
+        """Build from ``(attribute, threshold)`` pairs or conditions."""
+        normalized: list[Condition] = []
+        for item in conditions:
+            if isinstance(item, Condition):
+                normalized.append(item)
+            else:
+                attribute, threshold = item
+                normalized.append(Condition(attribute, threshold))
+        return cls(tuple(normalized), certainty, name)
+
+    def fires(self, vector: ComparisonVector) -> bool:
+        """Whether every condition holds."""
+        return all(condition.holds(vector) for condition in self.conditions)
+
+    def pretty(self) -> str:
+        """Figure-1 style rendering of the whole rule."""
+        body = " AND ".join(c.pretty() for c in self.conditions)
+        return f"IF {body} THEN DUPLICATES with CERTAINTY={self.certainty:g}"
+
+
+class CertaintyCombination:
+    """How certainties of several firing rules combine.
+
+    ``MAXIMUM``
+        The strongest rule wins — the usual certainty-factor reading.
+    ``NOISY_OR``
+        Probabilistic sum ``1 - Π(1 - cf)`` — rules as independent
+        evidence (MYCIN-style combination).
+    """
+
+    MAXIMUM = "maximum"
+    NOISY_OR = "noisy_or"
+
+    ALL = (MAXIMUM, NOISY_OR)
+
+
+class RuleBasedModel:
+    """Knowledge-based decision model over identification rules.
+
+    Parameters
+    ----------
+    rules:
+        The expert rule set.
+    classifier:
+        Threshold classifier on the combined certainty.  Knowledge-based
+        techniques usually use a single threshold ("the set P is usually
+        not considered"), but a two-threshold classifier is accepted.
+    combination:
+        One of :class:`CertaintyCombination`'s constants.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[IdentificationRule],
+        classifier: ThresholdClassifier,
+        *,
+        combination: str = CertaintyCombination.MAXIMUM,
+    ) -> None:
+        if not rules:
+            raise ValueError("need at least one identification rule")
+        if combination not in CertaintyCombination.ALL:
+            raise ValueError(
+                f"unknown certainty combination {combination!r}"
+            )
+        self._rules = tuple(rules)
+        self.classifier = classifier
+        self._combination = combination
+
+    @property
+    def rules(self) -> tuple[IdentificationRule, ...]:
+        """The rule set."""
+        return self._rules
+
+    def firing_rules(
+        self, vector: ComparisonVector
+    ) -> tuple[IdentificationRule, ...]:
+        """All rules whose conditions hold for *vector*."""
+        return tuple(rule for rule in self._rules if rule.fires(vector))
+
+    def similarity(self, vector: ComparisonVector) -> float:
+        """The combined certainty factor (normalized, Figure 3 step 1)."""
+        certainties = [
+            rule.certainty for rule in self._rules if rule.fires(vector)
+        ]
+        if not certainties:
+            return 0.0
+        if self._combination == CertaintyCombination.MAXIMUM:
+            return max(certainties)
+        result = 1.0
+        for certainty in certainties:
+            result *= 1.0 - certainty
+        return 1.0 - result
+
+    def decide(self, vector: ComparisonVector) -> Decision:
+        """Classify the pair by its combined certainty."""
+        return self.classifier.decide(self.similarity(vector))
+
+    def pretty(self) -> str:
+        """Render the whole rule set Figure-1 style."""
+        return "\n".join(rule.pretty() for rule in self._rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleBasedModel({len(self._rules)} rules, "
+            f"combination={self._combination!r}, {self.classifier!r})"
+        )
+
+
+def paper_example_rule(
+    threshold1: float = 0.8, threshold2: float = 0.5
+) -> IdentificationRule:
+    """The literal Figure-1 rule with configurable thresholds.
+
+    ``IF name > threshold1 AND job > threshold2
+    THEN DUPLICATES with CERTAINTY=0.8``
+    """
+    return IdentificationRule.build(
+        [("name", threshold1), ("job", threshold2)],
+        certainty=0.8,
+        name="figure1",
+    )

@@ -1,0 +1,282 @@
+"""Derivation functions ϑ for x-tuple pairs (Section IV-B, Figure 6).
+
+An x-tuple pair produces a ``k × l`` comparison matrix instead of a single
+vector, so decision models must be adapted.  The paper defines two
+procedures:
+
+* **similarity-based derivation** (Figure 6, left): φ is applied to every
+  alternative-pair vector, then ϑ : ℝ^{k×l} → ℝ maps the similarity
+  matrix to one x-tuple similarity.  The paper's concrete ϑ is the
+  *conditional expectation* (Equation 6)
+
+  ``sim(t1, t2) = Σᵢ Σⱼ p(t1ⁱ)/p(t1) · p(t2ʲ)/p(t2) · sim(t1ⁱ, t2ʲ)``
+
+  — the expected similarity over all possible worlds containing both
+  tuples.  Suitable for knowledge-based (normalized) step-1 results; with
+  non-normalized results the expectation "can become unrepresentative".
+
+* **decision-based derivation** (Figure 6, right): every alternative pair
+  is *classified* first (η(t1ⁱ, t2ʲ) ∈ {m, p, u}); ϑ then maps the
+  matching-value matrix to a similarity.  The paper's concrete ϑ is the
+  matching weight (Equations 7–9)
+
+  ``sim(t1, t2) = P(m)/P(u)`` with
+  ``P(m) = Σ_{(i,j) ∈ M} wᵢⱼ`` and ``P(u) = Σ_{(i,j) ∈ U} wᵢⱼ``
+
+  where ``wᵢⱼ`` is the conditional world weight.  Suitable for
+  probabilistic techniques.
+
+* the **expected matching result** (the paper's closing suggestion):
+  ``ϑ(η⃗) = E(η(t1ⁱ, t2ʲ) | B)`` with the coding m=2, p=1, u=0.
+
+All derivations consume a :class:`DerivationInput` holding the per-pair
+similarities *and* decisions plus the conditional weights, so the three
+families share one call signature and further derivations can be plugged
+in (the paper: "further adequate derivation functions are possible").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.matching.decision.base import MatchStatus
+
+
+@dataclass(frozen=True)
+class DerivationInput:
+    """Everything a derivation function ϑ may look at.
+
+    Attributes
+    ----------
+    similarities:
+        Row-major ``k × l`` matrix of alternative-pair similarities
+        (step 1.1 results, ``s⃗(t1, t2)``).
+    statuses:
+        Row-major ``k × l`` matrix of alternative-pair matching values
+        (step 1.2 results, ``η⃗(t1, t2)``); ``None`` when the procedure is
+        similarity-based and no per-pair classification happened.
+    weights:
+        Row-major ``k × l`` matrix of conditional pair weights
+        ``p(t1ⁱ)/p(t1) · p(t2ʲ)/p(t2)``; rows sum to the left conditional
+        probabilities, the whole matrix sums to 1.
+    """
+
+    similarities: tuple[tuple[float, ...], ...]
+    statuses: tuple[tuple[MatchStatus, ...], ...] | None
+    weights: tuple[tuple[float, ...], ...]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(k, l)``."""
+        return (len(self.weights), len(self.weights[0]))
+
+    def cells(self):
+        """Iterate ``(i, j, similarity, status, weight)``."""
+        for i, row in enumerate(self.weights):
+            for j, weight in enumerate(row):
+                status = (
+                    self.statuses[i][j] if self.statuses is not None else None
+                )
+                yield i, j, self.similarities[i][j], status, weight
+
+
+@runtime_checkable
+class DerivationFunction(Protocol):
+    """ϑ — maps the matrix information of an x-tuple pair to one degree."""
+
+    #: Whether the procedure must classify alternative pairs first
+    #: (decision-based, Figure 6 right) or not (similarity-based, left).
+    requires_statuses: bool
+
+    def __call__(self, data: DerivationInput) -> float:  # pragma: no cover
+        ...
+
+
+class ExpectedSimilarity:
+    """Equation 6: conditional expectation of alternative similarities.
+
+    The canonical similarity-based ϑ.  Probabilities are already
+    conditioned (normalized w.r.t. the x-tuple probability) inside the
+    weights, so this is exactly
+    ``E(sim(t1ⁱ, t2ʲ) | B)`` — the expected value over all possible worlds
+    containing both tuples.
+    """
+
+    requires_statuses = False
+
+    def __call__(self, data: DerivationInput) -> float:
+        return sum(
+            weight * similarity
+            for _, _, similarity, _, weight in data.cells()
+        )
+
+    def __repr__(self) -> str:
+        return "ExpectedSimilarity()"
+
+
+class MostProbableWorldSimilarity:
+    """Similarity of the modal alternative pair (ablation baseline).
+
+    Takes the similarity of the single most probable world containing
+    both tuples — the similarity-based analogue of the certain-key
+    reduction strategy (Section V-A.2).  Cheaper but blind to all other
+    worlds; included for the ablation experiments.
+    """
+
+    requires_statuses = False
+
+    def __call__(self, data: DerivationInput) -> float:
+        best_weight = -1.0
+        best_similarity = 0.0
+        for _, _, similarity, _, weight in data.cells():
+            if weight > best_weight:
+                best_weight = weight
+                best_similarity = similarity
+        return best_similarity
+
+    def __repr__(self) -> str:
+        return "MostProbableWorldSimilarity()"
+
+
+class MaximumSimilarity:
+    """Optimistic ϑ: the best alternative-pair similarity.
+
+    Corresponds to "the tuples match if *any* of their possible
+    appearances match"; probability-blind, included for ablations.
+    """
+
+    requires_statuses = False
+
+    def __call__(self, data: DerivationInput) -> float:
+        return max(
+            similarity for _, _, similarity, _, weight in data.cells()
+        )
+
+    def __repr__(self) -> str:
+        return "MaximumSimilarity()"
+
+
+class MatchingWeight:
+    """Equations 7–9: ``sim(t1, t2) = P(m) / P(u)``.
+
+    The canonical decision-based ϑ.  ``P(m)`` aggregates the conditional
+    world weights of alternative pairs classified as matches, ``P(u)``
+    those classified as non-matches; possible matches contribute to
+    neither.
+
+    Edge cases (the paper leaves them open; we document our choices):
+
+    * ``P(u) = 0`` and ``P(m) > 0`` — no world votes against:
+      returns ``math.inf`` (an unconditional match for any threshold).
+    * ``P(m) = P(u) = 0`` — every world is a possible match: returns 1.0,
+      the neutral weight, which any classifier with ``T_λ ≤ 1 ≤ T_μ``
+      assigns to the possible band.
+    """
+
+    requires_statuses = True
+
+    def __call__(self, data: DerivationInput) -> float:
+        if data.statuses is None:
+            raise ValueError(
+                "MatchingWeight is decision-based and needs statuses"
+            )
+        p_match = 0.0
+        p_unmatch = 0.0
+        for _, _, _, status, weight in data.cells():
+            if status is MatchStatus.MATCH:
+                p_match += weight
+            elif status is MatchStatus.UNMATCH:
+                p_unmatch += weight
+        if p_unmatch <= 0.0:
+            return math.inf if p_match > 0.0 else 1.0
+        return p_match / p_unmatch
+
+    def __repr__(self) -> str:
+        return "MatchingWeight()"
+
+
+class MatchProbability:
+    """Normalized decision-based ϑ: just ``P(m)``.
+
+    The overall probability of all possible worlds in which the tuples
+    are determined to be a match — a normalized alternative to
+    :class:`MatchingWeight`, convenient when downstream thresholds must
+    live in [0, 1].
+    """
+
+    requires_statuses = True
+
+    def __call__(self, data: DerivationInput) -> float:
+        if data.statuses is None:
+            raise ValueError(
+                "MatchProbability is decision-based and needs statuses"
+            )
+        return sum(
+            weight
+            for _, _, _, status, weight in data.cells()
+            if status is MatchStatus.MATCH
+        )
+
+    def __repr__(self) -> str:
+        return "MatchProbability()"
+
+
+class ExpectedMatchingResult:
+    """The paper's suggested further decision-based ϑ.
+
+    ``ϑ(η⃗) = E(η(t1ⁱ, t2ʲ) | B)`` with matching results coded as
+    ``{m = 2, p = 1, u = 0}``; the result lives in [0, 2] and thresholds
+    must be chosen in that range (e.g. T_λ, T_μ around 1).
+    """
+
+    requires_statuses = True
+
+    def __call__(self, data: DerivationInput) -> float:
+        if data.statuses is None:
+            raise ValueError(
+                "ExpectedMatchingResult is decision-based and needs statuses"
+            )
+        return sum(
+            weight * status.numeric
+            for _, _, _, status, weight in data.cells()
+        )
+
+    def __repr__(self) -> str:
+        return "ExpectedMatchingResult()"
+
+
+def normalized_weights(
+    left_probabilities: Sequence[float],
+    right_probabilities: Sequence[float],
+) -> tuple[tuple[float, ...], ...]:
+    """Conditional pair-weight matrix from raw alternative probabilities.
+
+    ``wᵢⱼ = p(t1ⁱ)/p(t1) · p(t2ʲ)/p(t2)`` — the paper's normalization
+    "also known as conditioning or scaling" that removes tuple-membership
+    uncertainty.  The matrix always sums to 1.
+    """
+    left_total = sum(left_probabilities)
+    right_total = sum(right_probabilities)
+    if left_total <= 0.0 or right_total <= 0.0:
+        raise ValueError("alternative probabilities must have positive mass")
+    return tuple(
+        tuple(
+            (lp / left_total) * (rp / right_total)
+            for rp in right_probabilities
+        )
+        for lp in left_probabilities
+    )
+
+
+#: Registry of derivation functions by name.
+DERIVATIONS = {
+    "expected_similarity": ExpectedSimilarity,
+    "most_probable_world": MostProbableWorldSimilarity,
+    "maximum_similarity": MaximumSimilarity,
+    "matching_weight": MatchingWeight,
+    "match_probability": MatchProbability,
+    "expected_matching_result": ExpectedMatchingResult,
+}

@@ -1,0 +1,200 @@
+"""The two adapted decision procedures of Figure 6.
+
+:class:`XTupleDecisionProcedure` executes, for an x-tuple pair:
+
+1. attribute value matching → comparison matrix (Section IV-B),
+2. per-alternative-pair combination φ(c⃗ᵢⱼ) (step 1.1) and — for
+   decision-based derivations — per-pair classification (step 1.2),
+3. the derivation function ϑ (step 2),
+4. final classification of the x-tuple pair into {M, P, U} (step 3).
+
+The same engine covers the flat model of Section IV-A: a probabilistic
+relation is embedded as 1-alternative x-tuples, the matrix degenerates to
+1×1, ϑ is the identity on a single cell, and the procedure reduces
+exactly to Figure 3 — tests assert this equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.comparison import (
+    AttributeMatcher,
+    ComparisonMatrix,
+)
+from repro.matching.decision.base import (
+    Decision,
+    DecisionModel,
+    MatchStatus,
+    ThresholdClassifier,
+)
+from repro.matching.derivation import (
+    DerivationFunction,
+    DerivationInput,
+    ExpectedSimilarity,
+)
+from repro.pdb.tuples import ProbabilisticTuple
+from repro.pdb.xtuples import XTuple
+
+
+@dataclass(frozen=True)
+class XTupleDecision:
+    """Full record of one x-tuple pair decision.
+
+    Attributes
+    ----------
+    left_id / right_id:
+        Tuple identifiers.
+    decision:
+        The final classification (status + x-tuple similarity).
+    derivation_input:
+        The intermediate matrices, kept for explainability: per-pair
+        similarities, per-pair statuses (decision-based only) and the
+        conditional weights.
+    """
+
+    left_id: str
+    right_id: str
+    decision: Decision
+    derivation_input: DerivationInput
+
+    @property
+    def status(self) -> MatchStatus:
+        """The matching value η of the x-tuple pair."""
+        return self.decision.status
+
+    @property
+    def similarity(self) -> float:
+        """The derived similarity sim(t1, t2)."""
+        return self.decision.similarity
+
+
+class XTupleDecisionProcedure:
+    """Figure 6, both variants, behind one object.
+
+    Parameters
+    ----------
+    matcher:
+        Attribute matcher producing comparison matrices.
+    model:
+        The per-alternative decision model.  Its combination function is
+        step 1.1; for decision-based derivations its classifier also runs
+        step 1.2.
+    derivation:
+        The ϑ function (step 2).  Its ``requires_statuses`` flag selects
+        between the similarity-based (left) and decision-based (right)
+        variants of Figure 6.
+    classifier:
+        Final classifier for step 3.  Defaults to the model's classifier —
+        appropriate when ϑ preserves the similarity scale (e.g. expected
+        similarity of normalized degrees, or matching weights classified
+        by the same R-thresholds, as in the paper's examples).
+    """
+
+    def __init__(
+        self,
+        matcher: AttributeMatcher,
+        model: DecisionModel,
+        derivation: DerivationFunction | None = None,
+        *,
+        classifier: ThresholdClassifier | None = None,
+    ) -> None:
+        self._matcher = matcher
+        self._model = model
+        self._derivation = (
+            derivation if derivation is not None else ExpectedSimilarity()
+        )
+        self._final_classifier = (
+            classifier if classifier is not None else model.classifier
+        )
+
+    @property
+    def derivation(self) -> DerivationFunction:
+        """The configured ϑ."""
+        return self._derivation
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def comparison_matrix(
+        self, left: XTuple, right: XTuple
+    ) -> ComparisonMatrix:
+        """Attribute value matching for all alternative pairs."""
+        return self._matcher.compare_xtuples(left, right)
+
+    def derivation_input(
+        self, matrix: ComparisonMatrix
+    ) -> DerivationInput:
+        """Steps 1.1 (+1.2) — similarity and status matrices plus weights."""
+        k, l = matrix.shape
+        similarities: list[tuple[float, ...]] = []
+        statuses: list[tuple[MatchStatus, ...]] | None = (
+            [] if self._derivation.requires_statuses else None
+        )
+        for i in range(k):
+            sim_row: list[float] = []
+            status_row: list[MatchStatus] = []
+            for j in range(l):
+                similarity = self._model.similarity(matrix.vector(i, j))
+                sim_row.append(similarity)
+                if statuses is not None:
+                    status_row.append(
+                        self._model.classifier.classify(similarity)
+                    )
+            similarities.append(tuple(sim_row))
+            if statuses is not None:
+                statuses.append(tuple(status_row))
+        weights = tuple(
+            tuple(matrix.conditional_weight(i, j) for j in range(l))
+            for i in range(k)
+        )
+        return DerivationInput(
+            similarities=tuple(similarities),
+            statuses=tuple(statuses) if statuses is not None else None,
+            weights=weights,
+        )
+
+    def similarity(self, left: XTuple, right: XTuple) -> float:
+        """sim(t1, t2) — steps 1 and 2 only."""
+        matrix = self.comparison_matrix(left, right)
+        return self._derivation(self.derivation_input(matrix))
+
+    def decide(self, left: XTuple, right: XTuple) -> XTupleDecision:
+        """The full Figure-6 procedure for one x-tuple pair."""
+        matrix = self.comparison_matrix(left, right)
+        data = self.derivation_input(matrix)
+        similarity = self._derivation(data)
+        decision = self._final_classifier.decide(similarity)
+        return XTupleDecision(
+            left_id=left.tuple_id,
+            right_id=right.tuple_id,
+            decision=decision,
+            derivation_input=data,
+        )
+
+    # ------------------------------------------------------------------
+    # Flat-tuple convenience (Section IV-A)
+    # ------------------------------------------------------------------
+
+    def decide_flat(
+        self, left: ProbabilisticTuple, right: ProbabilisticTuple
+    ) -> XTupleDecision:
+        """Decide a flat tuple pair by embedding into the x-tuple model.
+
+        Uncertainty stays on the attribute level (Equation 5 inside the
+        matcher); the 1×1 matrix makes every ϑ act as the identity, so
+        this is exactly the common decision model of Figure 3.
+        """
+        return self.decide(XTuple.from_flat(left), XTuple.from_flat(right))
+
+    def __repr__(self) -> str:
+        variant = (
+            "decision-based"
+            if self._derivation.requires_statuses
+            else "similarity-based"
+        )
+        return (
+            f"XTupleDecisionProcedure({variant}, ϑ={self._derivation!r}, "
+            f"final={self._final_classifier!r})"
+        )

@@ -1,0 +1,222 @@
+"""End-to-end duplicate detection: the five steps of Section III.
+
+:class:`DuplicateDetector` wires together
+
+(A) data preparation — optional standardization hooks
+    (:mod:`repro.preparation`),
+(B) search space reduction — any pair generator
+    (:mod:`repro.reduction`); defaults to the full cross product,
+(C) attribute value matching — :class:`AttributeMatcher`,
+(D) a decision model, lifted to x-tuples through
+    :class:`XTupleDecisionProcedure` (Figure 6),
+(E) verification — the returned :class:`DetectionResult` feeds directly
+    into :mod:`repro.verification`.
+
+Intra-source and inter-source duplicates are both covered: detection runs
+over one (possibly unioned) relation, comparing every candidate pair once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.matching.clustering import ClusteringResult, cluster_matches
+from repro.matching.comparison import AttributeMatcher
+from repro.matching.decision.base import DecisionModel, MatchStatus
+from repro.matching.derivation import DerivationFunction
+from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.pdb.relations import ProbabilisticRelation, XRelation
+
+
+@runtime_checkable
+class PairGenerator(Protocol):
+    """Search-space reduction strategy: yields candidate tuple-id pairs."""
+
+    def pairs(
+        self, relation: XRelation
+    ) -> Iterable[tuple[str, str]]:  # pragma: no cover
+        ...
+
+
+class FullComparison:
+    """The unreduced search space: all ``n(n-1)/2`` unordered pairs."""
+
+    def pairs(self, relation: XRelation) -> Iterable[tuple[str, str]]:
+        ids = relation.tuple_ids
+        for i, left in enumerate(ids):
+            for right in ids[i + 1 :]:
+                yield left, right
+
+    def __repr__(self) -> str:
+        return "FullComparison()"
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Everything duplicate detection produced, ready for verification.
+
+    Attributes
+    ----------
+    decisions:
+        One :class:`XTupleDecision` per compared candidate pair.
+    compared_pairs:
+        The candidate pairs that were actually compared (normalized so
+        ``left <= right``), i.e. the reduced search space.
+    relation_size:
+        Number of tuples in the searched relation (for reduction-ratio
+        computations).
+    """
+
+    decisions: tuple[XTupleDecision, ...]
+    compared_pairs: frozenset[tuple[str, str]]
+    relation_size: int
+
+    def pairs_with_status(
+        self, status: MatchStatus
+    ) -> tuple[tuple[str, str], ...]:
+        """All compared pairs that received the given matching value."""
+        return tuple(
+            _ordered(d.left_id, d.right_id)
+            for d in self.decisions
+            if d.status is status
+        )
+
+    @property
+    def matches(self) -> tuple[tuple[str, str], ...]:
+        """The set M."""
+        return self.pairs_with_status(MatchStatus.MATCH)
+
+    @property
+    def possible_matches(self) -> tuple[tuple[str, str], ...]:
+        """The set P (clerical review)."""
+        return self.pairs_with_status(MatchStatus.POSSIBLE)
+
+    @property
+    def unmatches(self) -> tuple[tuple[str, str], ...]:
+        """The set U."""
+        return self.pairs_with_status(MatchStatus.UNMATCH)
+
+    def clusters(self, *, include_possible: bool = False) -> ClusteringResult:
+        """Transitive closure of the decisions into duplicate clusters."""
+        ids: set[str] = set()
+        for left, right in self.compared_pairs:
+            ids.add(left)
+            ids.add(right)
+        return cluster_matches(
+            sorted(ids),
+            [(d.left_id, d.right_id, d.status) for d in self.decisions],
+            include_possible=include_possible,
+        )
+
+
+def _ordered(left: str, right: str) -> tuple[str, str]:
+    return (left, right) if left <= right else (right, left)
+
+
+class DuplicateDetector:
+    """Configurable five-step duplicate detection pipeline.
+
+    Parameters
+    ----------
+    matcher:
+        Attribute value matching configuration (step C).
+    model:
+        Per-alternative decision model (step D).
+    derivation:
+        ϑ for x-tuple pairs; default expected similarity (Equation 6).
+    reducer:
+        Search-space reduction (step B); default full comparison.
+    preparation:
+        Optional relation-level preparation hook (step A): a callable
+        ``XRelation -> XRelation`` applied before anything else, e.g.
+        :func:`repro.preparation.standardize_relation` partially applied.
+    final_classifier:
+        Optional distinct classifier for the x-tuple level (step 3 of
+        Figure 6); defaults to the model's classifier.
+    """
+
+    def __init__(
+        self,
+        matcher: AttributeMatcher,
+        model: DecisionModel,
+        *,
+        derivation: DerivationFunction | None = None,
+        reducer: PairGenerator | None = None,
+        preparation: Callable[[XRelation], XRelation] | None = None,
+        final_classifier=None,
+    ) -> None:
+        self._procedure = XTupleDecisionProcedure(
+            matcher, model, derivation, classifier=final_classifier
+        )
+        self._reducer: PairGenerator = (
+            reducer if reducer is not None else FullComparison()
+        )
+        self._preparation = preparation
+
+    @property
+    def procedure(self) -> XTupleDecisionProcedure:
+        """The underlying Figure-6 decision procedure."""
+        return self._procedure
+
+    @property
+    def reducer(self) -> PairGenerator:
+        """The configured search-space reduction strategy."""
+        return self._reducer
+
+    def detect(
+        self, relation: XRelation | ProbabilisticRelation
+    ) -> DetectionResult:
+        """Run steps A–D over one relation and collect the decisions.
+
+        Flat probabilistic relations are embedded into the x-tuple model
+        first (Section IV-A as the 1-alternative special case).
+        """
+        if isinstance(relation, ProbabilisticRelation):
+            relation = relation.to_x_relation()
+        if self._preparation is not None:
+            relation = self._preparation(relation)
+
+        decisions: list[XTupleDecision] = []
+        seen: set[tuple[str, str]] = set()
+        for left_id, right_id in self._reducer.pairs(relation):
+            if left_id == right_id:
+                continue
+            pair = _ordered(left_id, right_id)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            decisions.append(
+                self._procedure.decide(
+                    relation.get(pair[0]), relation.get(pair[1])
+                )
+            )
+        return DetectionResult(
+            decisions=tuple(decisions),
+            compared_pairs=frozenset(seen),
+            relation_size=len(relation),
+        )
+
+    def detect_between(
+        self,
+        left: XRelation | ProbabilisticRelation,
+        right: XRelation | ProbabilisticRelation,
+    ) -> DetectionResult:
+        """Inter-source detection: union the sources, then detect.
+
+        The paper's scenario — consolidating two autonomous probabilistic
+        sources (ℛ1/ℛ2 or ℛ3/ℛ4) — reduces to detection over the union;
+        intra-source duplicates are found along the way.
+        """
+        if isinstance(left, ProbabilisticRelation):
+            left = left.to_x_relation()
+        if isinstance(right, ProbabilisticRelation):
+            right = right.to_x_relation()
+        return self.detect(left.union(right))
+
+    def __repr__(self) -> str:
+        return (
+            f"DuplicateDetector({self._procedure!r}, "
+            f"reducer={self._reducer!r})"
+        )

@@ -1,0 +1,71 @@
+"""Conditioning (scaling) of probabilistic data, after [32] and [33].
+
+Section IV-B removes tuple-membership uncertainty before matching by
+conditioning the database on the event ``B`` that the considered tuples
+belong to their relations: worlds violating ``B`` are dropped and the
+remaining world probabilities are renormalized by ``P(B)``.
+
+For independent x-tuples, ``P(B)`` factorizes into the product of the
+x-tuples' membership probabilities — the paper's worked example computes
+``P(B) = p(t32) · p(t42) = 0.9 · 0.8 = 0.72`` this way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.pdb.errors import ConditioningError
+from repro.pdb.worlds import PossibleWorld
+from repro.pdb.xtuples import XTuple
+
+
+def presence_probability(xtuples: Iterable[XTuple]) -> float:
+    """``P(B)``: probability that every given x-tuple is present.
+
+    X-tuples are independent, so this is the product of their membership
+    probabilities ``p(t)``.
+    """
+    probability = 1.0
+    for xtuple in xtuples:
+        probability *= xtuple.probability
+    return probability
+
+
+def condition_worlds(
+    worlds: Sequence[PossibleWorld],
+    event: Callable[[PossibleWorld], bool],
+) -> tuple[list[PossibleWorld], float]:
+    """Condition a world set on an arbitrary event.
+
+    Returns the retained worlds with renormalized probabilities together
+    with the event probability ``P(B)`` (the normalization constant).
+
+    Raises
+    ------
+    ConditioningError
+        If the event has probability 0 in the given world set.
+    """
+    kept = [world for world in worlds if event(world)]
+    mass = sum(world.probability for world in kept)
+    if mass <= 0.0:
+        raise ConditioningError("conditioning on a zero-probability event")
+    renormalized = [
+        PossibleWorld(world.selection, world.probability / mass)
+        for world in kept
+    ]
+    return renormalized, mass
+
+
+def condition_on_presence(
+    worlds: Sequence[PossibleWorld],
+    tuple_ids: Iterable[str],
+) -> tuple[list[PossibleWorld], float]:
+    """Condition on the event that all *tuple_ids* are present.
+
+    This is the paper's event ``B``; for Figure 7's example it removes the
+    worlds ``{I4, …, I8}`` and returns ``P(B) = 0.72``.
+    """
+    ids = tuple(tuple_ids)
+    return condition_worlds(
+        worlds, lambda world: all(world.contains(tid) for tid in ids)
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the probabilistic database substrate.
+
+All errors raised by :mod:`repro.pdb` derive from :class:`ProbabilisticDataError`
+so callers can catch substrate problems with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ProbabilisticDataError(Exception):
+    """Base class for all errors raised by the probabilistic data model."""
+
+
+class InvalidProbabilityError(ProbabilisticDataError):
+    """A probability is outside ``(0, 1]`` or a distribution exceeds mass 1."""
+
+
+class EmptyDistributionError(ProbabilisticDataError):
+    """A probabilistic value or x-tuple was constructed with no outcomes."""
+
+
+class SchemaMismatchError(ProbabilisticDataError):
+    """Tuples or relations with incompatible schemas were combined."""
+
+
+class UnknownAttributeError(ProbabilisticDataError, KeyError):
+    """An attribute name is not part of the relation schema."""
+
+
+class DuplicateTupleIdError(ProbabilisticDataError):
+    """Two tuples in one relation share the same identifier."""
+
+
+class WorldEnumerationError(ProbabilisticDataError):
+    """Possible-world enumeration would exceed the configured safety bound."""
+
+
+class ConditioningError(ProbabilisticDataError):
+    """Conditioning on an event of probability zero was requested."""

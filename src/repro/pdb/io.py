@@ -1,0 +1,222 @@
+"""JSON serialization of probabilistic relations.
+
+A portable, human-readable interchange format so datasets can be stored,
+diffed and shared.  The format is self-describing:
+
+.. code-block:: json
+
+    {
+      "name": "R3",
+      "schema": ["name", "job"],
+      "xtuples": [
+        {
+          "id": "t31",
+          "alternatives": [
+            {"p": 0.7, "values": {"name": "John", "job": "pilot"}},
+            {"p": 0.3, "values": {"name": "Johan",
+                                  "job": {"pattern": "mu*"}}}
+          ]
+        }
+      ]
+    }
+
+Value encodings:
+
+* plain JSON scalars — certain values;
+* ``null`` — the ⊥ marker;
+* ``{"pattern": "mu*"}`` — a pattern value;
+* ``{"dist": {"Tim": 0.6, "Tom": 0.4}, "null": 0.0}`` — a distribution
+  (the ``null`` key carries explicit ⊥ mass; residual mass is implied).
+
+Distribution outcomes are stored as strings; non-string domain values
+round-trip through their ``str`` form (documented limitation — the
+paper's examples are string-valued).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.pdb.errors import ProbabilisticDataError
+from repro.pdb.relations import Schema, XRelation
+from repro.pdb.values import NULL, PatternValue, ProbabilisticValue
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: Format identifier embedded in every document.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ProbabilisticDataError):
+    """Malformed document or unsupported value during (de)serialization."""
+
+
+# ----------------------------------------------------------------------
+# Values
+# ----------------------------------------------------------------------
+
+
+def encode_value(value: ProbabilisticValue) -> Any:
+    """Encode one probabilistic value into its JSON form."""
+    if value.is_null:
+        return None
+    if value.is_certain:
+        outcome = value.certain_value
+        if isinstance(outcome, PatternValue):
+            return {"pattern": outcome.pattern}
+        return outcome
+    distribution: dict[str, float] = {}
+    null_mass = 0.0
+    patterns: dict[str, float] = {}
+    for outcome, probability in value.items():
+        if outcome is NULL:
+            null_mass = probability
+        elif isinstance(outcome, PatternValue):
+            patterns[outcome.pattern] = probability
+        else:
+            distribution[str(outcome)] = probability
+    encoded: dict[str, Any] = {"dist": distribution}
+    if null_mass > 0.0:
+        encoded["null"] = null_mass
+    if patterns:
+        encoded["patterns"] = patterns
+    return encoded
+
+
+def decode_value(encoded: Any) -> ProbabilisticValue:
+    """Decode the JSON form back into a probabilistic value."""
+    if encoded is None:
+        return ProbabilisticValue.missing()
+    if isinstance(encoded, dict):
+        if "pattern" in encoded and "dist" not in encoded:
+            return ProbabilisticValue.certain(
+                PatternValue(encoded["pattern"])
+            )
+        if "dist" in encoded:
+            outcomes: dict[Any, float] = dict(encoded["dist"])
+            for pattern, probability in encoded.get(
+                "patterns", {}
+            ).items():
+                outcomes[PatternValue(pattern)] = probability
+            null_mass = encoded.get("null", 0.0)
+            if null_mass:
+                outcomes[NULL] = null_mass
+            if not outcomes:
+                raise SerializationError("empty distribution document")
+            return ProbabilisticValue(outcomes)
+        raise SerializationError(
+            f"unrecognized value document: {encoded!r}"
+        )
+    return ProbabilisticValue.certain(encoded)
+
+
+# ----------------------------------------------------------------------
+# Tuples and relations
+# ----------------------------------------------------------------------
+
+
+def encode_xtuple(xtuple: XTuple) -> dict[str, Any]:
+    """Encode one x-tuple."""
+    return {
+        "id": xtuple.tuple_id,
+        "alternatives": [
+            {
+                "p": alternative.probability,
+                "values": {
+                    attribute: encode_value(alternative.value(attribute))
+                    for attribute in alternative.attributes
+                },
+            }
+            for alternative in xtuple.alternatives
+        ],
+    }
+
+
+def decode_xtuple(document: dict[str, Any]) -> XTuple:
+    """Decode one x-tuple document."""
+    try:
+        tuple_id = document["id"]
+        alternative_docs = document["alternatives"]
+    except KeyError as missing:
+        raise SerializationError(
+            f"x-tuple document missing key {missing.args[0]!r}"
+        ) from None
+    alternatives = []
+    for alternative_doc in alternative_docs:
+        try:
+            probability = alternative_doc["p"]
+            values = alternative_doc["values"]
+        except KeyError as missing:
+            raise SerializationError(
+                f"alternative document missing key {missing.args[0]!r}"
+            ) from None
+        alternatives.append(
+            TupleAlternative(
+                {
+                    attribute: decode_value(encoded)
+                    for attribute, encoded in values.items()
+                },
+                probability,
+            )
+        )
+    return XTuple(tuple_id, alternatives)
+
+
+def relation_to_dict(relation: XRelation) -> dict[str, Any]:
+    """Encode a whole x-relation as a JSON-ready dictionary."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": relation.name,
+        "schema": list(relation.schema.attributes),
+        "xtuples": [encode_xtuple(xtuple) for xtuple in relation],
+    }
+
+
+def relation_from_dict(document: dict[str, Any]) -> XRelation:
+    """Decode a dictionary document into an x-relation."""
+    version = document.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version!r}"
+        )
+    try:
+        name = document["name"]
+        schema = Schema(document["schema"])
+        xtuple_docs = document["xtuples"]
+    except KeyError as missing:
+        raise SerializationError(
+            f"relation document missing key {missing.args[0]!r}"
+        ) from None
+    return XRelation(
+        name, schema, [decode_xtuple(doc) for doc in xtuple_docs]
+    )
+
+
+def dumps(relation: XRelation, *, indent: int | None = 2) -> str:
+    """Serialize an x-relation to a JSON string."""
+    return json.dumps(
+        relation_to_dict(relation), indent=indent, ensure_ascii=False
+    )
+
+
+def loads(text: str) -> XRelation:
+    """Deserialize an x-relation from a JSON string."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise SerializationError("top-level JSON value must be an object")
+    return relation_from_dict(document)
+
+
+def dump(relation: XRelation, path: str, *, indent: int | None = 2) -> None:
+    """Write an x-relation to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(relation, indent=indent))
+
+
+def load(path: str) -> XRelation:
+    """Read an x-relation from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,133 @@
+"""Minimal ULDB-style lineage for derived x-tuples.
+
+The paper's conclusion: "in the ULDB model dependencies between two or
+more x-tuple sets can be realized by the concept of lineage" [29, 33].
+Result alternatives produced by duplicate detection / fusion depend on
+*which source alternatives are true*; lineage records that dependency so
+result probabilities stay consistent with the source possible worlds.
+
+We implement the fragment the paper's outlook needs:
+
+* :class:`LineageAtom` — "source x-tuple ``t`` took alternative ``i``"
+  (or, with ``alternative_index=None``, "``t`` is absent");
+* conjunctive lineage per result alternative
+  (:class:`Lineage` = a set of atoms, all of which must hold);
+* evaluation against a possible world and probability computation under
+  tuple independence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.pdb.worlds import PossibleWorld
+from repro.pdb.xtuples import XTuple
+
+
+@dataclass(frozen=True)
+class LineageAtom:
+    """One source condition: x-tuple *tuple_id* resolved to an alternative.
+
+    ``alternative_index is None`` denotes absence of the (maybe) tuple.
+    """
+
+    tuple_id: str
+    alternative_index: int | None
+
+    def holds_in(self, world: PossibleWorld) -> bool:
+        """Whether the condition is true in *world*."""
+        return world.alternative_index(self.tuple_id) == (
+            self.alternative_index
+        )
+
+    def probability(self, sources: Mapping[str, XTuple]) -> float:
+        """Marginal probability of the atom under independence."""
+        xtuple = sources[self.tuple_id]
+        if self.alternative_index is None:
+            return xtuple.absence_probability
+        return xtuple.alternatives[self.alternative_index].probability
+
+    def __repr__(self) -> str:
+        if self.alternative_index is None:
+            return f"¬{self.tuple_id}"
+        return f"{self.tuple_id}[{self.alternative_index}]"
+
+
+class Lineage:
+    """A conjunction of lineage atoms (the ULDB base case).
+
+    Atoms over the same source tuple must agree (a conjunction demanding
+    two different alternatives of one x-tuple is unsatisfiable and is
+    rejected at construction).
+    """
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self, atoms: Iterable[LineageAtom] = ()) -> None:
+        by_tuple: dict[str, LineageAtom] = {}
+        for atom in atoms:
+            existing = by_tuple.get(atom.tuple_id)
+            if existing is not None and existing != atom:
+                raise ValueError(
+                    f"contradictory lineage: {existing} vs {atom}"
+                )
+            by_tuple[atom.tuple_id] = atom
+        self._atoms: tuple[LineageAtom, ...] = tuple(by_tuple.values())
+
+    @property
+    def atoms(self) -> tuple[LineageAtom, ...]:
+        """The conjunction's atoms (one per source tuple)."""
+        return self._atoms
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the lineage is unconditional (always true)."""
+        return not self._atoms
+
+    def holds_in(self, world: PossibleWorld) -> bool:
+        """Whether every atom holds in *world*."""
+        return all(atom.holds_in(world) for atom in self._atoms)
+
+    def probability(self, sources: Mapping[str, XTuple]) -> float:
+        """Joint probability under x-tuple independence."""
+        probability = 1.0
+        for atom in self._atoms:
+            probability *= atom.probability(sources)
+        return probability
+
+    def conjoin(self, other: "Lineage") -> "Lineage":
+        """The conjunction of two lineages (raises if contradictory)."""
+        return Lineage(self._atoms + other._atoms)
+
+    def mentions(self, tuple_id: str) -> bool:
+        """Whether the lineage constrains *tuple_id*."""
+        return any(atom.tuple_id == tuple_id for atom in self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lineage):
+            return NotImplemented
+        return frozenset(self._atoms) == frozenset(other._atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._atoms))
+
+    def __repr__(self) -> str:
+        if not self._atoms:
+            return "Lineage(⊤)"
+        return "Lineage(" + " ∧ ".join(map(repr, self._atoms)) + ")"
+
+
+def mutually_exclusive(left: Lineage, right: Lineage) -> bool:
+    """Whether two lineages can never hold in the same world.
+
+    True when they demand different alternatives of a shared source
+    tuple — the structural condition behind the paper's "mutually
+    exclusive sets of tuples".  (Disjoint lineages are *not* exclusive.)
+    """
+    left_map = {atom.tuple_id: atom for atom in left.atoms}
+    for atom in right.atoms:
+        other = left_map.get(atom.tuple_id)
+        if other is not None and other != atom:
+            return True
+    return False

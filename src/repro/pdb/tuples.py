@@ -1,0 +1,203 @@
+"""Probabilistic tuples for models *without* attribute dependencies.
+
+Section IV-A of the paper considers probabilistic relational models in
+which every attribute value is an independent random variable (e.g. the
+model of Barbará et al. [3]).  A :class:`ProbabilisticTuple` therefore
+carries
+
+* one :class:`~repro.pdb.values.ProbabilisticValue` per attribute
+  (attribute-value-level uncertainty), and
+* a membership probability ``p(t) ∈ (0, 1]`` (tuple-level uncertainty).
+
+The paper's key observation (Section IV) is that tuple membership results
+from the *application context* and must **not** influence duplicate
+detection — only attribute-level uncertainty matters.  The matching layer
+therefore never reads :attr:`ProbabilisticTuple.probability`; it is kept
+here because it is part of the data model and is used by possible-world
+enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.pdb.errors import InvalidProbabilityError, UnknownAttributeError
+from repro.pdb.values import NULL, ProbabilisticValue
+
+
+def _coerce_value(raw: Any) -> ProbabilisticValue:
+    """Accept plain values, mappings and ready-made probabilistic values."""
+    if isinstance(raw, ProbabilisticValue):
+        return raw
+    if isinstance(raw, Mapping):
+        return ProbabilisticValue(raw)
+    if raw is None:
+        return ProbabilisticValue.missing()
+    return ProbabilisticValue.certain(raw)
+
+
+class ProbabilisticTuple:
+    """One row of a probabilistic relation in the independence model.
+
+    Parameters
+    ----------
+    tuple_id:
+        Identifier unique within the relation (e.g. ``"t11"``).
+    values:
+        Mapping from attribute name to the attribute value.  Values may be
+        given as plain Python objects (interpreted as certain), mappings
+        ``{value: probability}`` or :class:`ProbabilisticValue` instances.
+        ``None`` is interpreted as certainly-missing (⊥).
+    probability:
+        The membership probability ``p(t)``; defaults to 1.0.
+    """
+
+    __slots__ = ("tuple_id", "_values", "probability")
+
+    def __init__(
+        self,
+        tuple_id: str,
+        values: Mapping[str, Any],
+        probability: float = 1.0,
+    ) -> None:
+        probability = float(probability)
+        if not 0.0 < probability <= 1.0:
+            raise InvalidProbabilityError(
+                f"p({tuple_id}) must lie in (0, 1], got {probability}"
+            )
+        self.tuple_id = str(tuple_id)
+        self._values: dict[str, ProbabilisticValue] = {
+            str(attr): _coerce_value(raw) for attr, raw in values.items()
+        }
+        self.probability = probability
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(self._values.keys())
+
+    def value(self, attribute: str) -> ProbabilisticValue:
+        """The (possibly uncertain) value of *attribute*."""
+        try:
+            return self._values[attribute]
+        except KeyError:
+            raise UnknownAttributeError(attribute) from None
+
+    def __getitem__(self, attribute: str) -> ProbabilisticValue:
+        return self.value(attribute)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._values
+
+    def values(self) -> Mapping[str, ProbabilisticValue]:
+        """Read-only view of the attribute mapping."""
+        return dict(self._values)
+
+    @property
+    def is_maybe(self) -> bool:
+        """Whether membership of the tuple itself is uncertain."""
+        return self.probability < 1.0
+
+    @property
+    def is_certain(self) -> bool:
+        """Whether every attribute value is certain."""
+        return all(value.is_certain for value in self._values.values())
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def possible_assignments(
+        self,
+    ) -> Iterator[tuple[dict[str, Any], float]]:
+        """Enumerate all joint value assignments with their probabilities.
+
+        Because attributes are independent (Section IV-A), the joint
+        probability of an assignment is the product of the per-attribute
+        probabilities.  The tuple membership probability is *not* folded
+        in; callers that enumerate worlds multiply it themselves.
+
+        Yields
+        ------
+        tuple
+            ``(assignment, probability)`` where *assignment* maps each
+            attribute to one concrete outcome (possibly :data:`NULL`).
+        """
+        attrs = list(self._values.keys())
+        outcome_lists = [list(self._values[a].items()) for a in attrs]
+        for combo in itertools.product(*outcome_lists):
+            assignment = {attr: value for attr, (value, _) in zip(attrs, combo)}
+            prob = 1.0
+            for _, outcome_prob in combo:
+                prob *= outcome_prob
+            yield assignment, prob
+
+    def assignment_count(self) -> int:
+        """Number of distinct joint assignments (product of support sizes)."""
+        count = 1
+        for value in self._values.values():
+            count *= value.alternative_count()
+        return count
+
+    def most_probable_assignment(self) -> dict[str, Any]:
+        """The modal joint assignment (independent ⇒ per-attribute modes)."""
+        return {
+            attr: value.most_probable() for attr, value in self._values.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def map_values(self, attribute: str, fn) -> "ProbabilisticTuple":
+        """Return a copy with *fn* applied to every outcome of *attribute*."""
+        updated = dict(self._values)
+        updated[attribute] = self.value(attribute).map(fn)
+        return ProbabilisticTuple(self.tuple_id, updated, self.probability)
+
+    def with_probability(self, probability: float) -> "ProbabilisticTuple":
+        """Return a copy with a different membership probability."""
+        return ProbabilisticTuple(self.tuple_id, self._values, probability)
+
+    # ------------------------------------------------------------------
+    # Value protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProbabilisticTuple):
+            return NotImplemented
+        return (
+            self.tuple_id == other.tuple_id
+            and self._values == other._values
+            and abs(self.probability - other.probability) <= 1e-9
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tuple_id, frozenset(self._values.items())))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{attr}={value.pretty()}" for attr, value in self._values.items()
+        )
+        return (
+            f"ProbabilisticTuple({self.tuple_id}: {body}, "
+            f"p={self.probability:g})"
+        )
+
+    def pretty(self) -> str:
+        """Row rendering close to the paper's Figure 4."""
+        cells = [value.pretty() for value in self._values.values()]
+        return f"{self.tuple_id} | " + " | ".join(cells) + (
+            f" | p={self.probability:g}"
+        )
+
+
+def has_null_support(tuple_: ProbabilisticTuple, attribute: str) -> bool:
+    """Whether ⊥ has positive probability for *attribute* of *tuple_*."""
+    return tuple_.value(attribute).probability(NULL) > 0.0

@@ -1,0 +1,267 @@
+"""Possible-world semantics for x-relations.
+
+A probabilistic database is formally ``PDB = (W, P)`` with possible worlds
+``W = {I1, …, In}`` and a probability distribution ``P`` over them
+(Section IV).  For x-relations, a world picks at most one alternative per
+x-tuple (none, if the x-tuple is a maybe tuple and is absent); world
+probabilities are products because x-tuples are independent.
+
+This module provides
+
+* exhaustive enumeration (:func:`enumerate_worlds`) with a safety bound —
+  used to reproduce Figure 7's eight worlds of ``{t32, t42}``;
+* enumeration restricted to worlds containing *all* tuples
+  (:func:`enumerate_full_worlds`) — the multi-pass reduction of
+  Section V-A.1 only considers such worlds ("each tuple has to be
+  assigned to a key value");
+* Monte-Carlo sampling (:func:`sample_world`) for relations whose world
+  count explodes;
+* the most probable world (:func:`most_probable_world`), which underlies
+  the certain-key strategy of Section V-A.2;
+* world similarity/distance, needed to pick "highly probable and pairwise
+  dissimilar worlds" (Section V-A.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.pdb.errors import WorldEnumerationError
+from repro.pdb.relations import XRelation
+from repro.pdb.values import ProbabilisticValue
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: Default ceiling on exhaustively enumerated worlds.
+DEFAULT_MAX_WORLDS = 1_000_000
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One possible world: a choice of alternative per present x-tuple.
+
+    Attributes
+    ----------
+    selection:
+        Mapping from tuple id to the index of the chosen alternative.
+        Absent (maybe) tuples simply do not appear in the mapping.
+    probability:
+        The world's probability ``P(I)``.
+    """
+
+    selection: tuple[tuple[str, int], ...]
+    probability: float
+
+    @property
+    def tuple_ids(self) -> tuple[str, ...]:
+        """Ids of the x-tuples present in this world."""
+        return tuple(tid for tid, _ in self.selection)
+
+    def alternative_index(self, tuple_id: str) -> int | None:
+        """Index of the chosen alternative, or ``None`` if absent."""
+        for tid, index in self.selection:
+            if tid == tuple_id:
+                return index
+        return None
+
+    def contains(self, tuple_id: str) -> bool:
+        """Whether *tuple_id* is present in this world."""
+        return any(tid == tuple_id for tid, _ in self.selection)
+
+    def instantiate(
+        self, xtuples: Mapping[str, XTuple]
+    ) -> dict[str, TupleAlternative]:
+        """Materialize the world as ``tuple id → chosen alternative``."""
+        return {
+            tid: xtuples[tid].alternatives[index]
+            for tid, index in self.selection
+        }
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{tid}[{idx}]" for tid, idx in self.selection)
+        return f"PossibleWorld({{{body}}}, P={self.probability:g})"
+
+
+def _choices(xtuple: XTuple) -> list[tuple[int | None, float]]:
+    """Alternative choices of one x-tuple, including possible absence."""
+    options: list[tuple[int | None, float]] = [
+        (index, alt.probability)
+        for index, alt in enumerate(xtuple.alternatives)
+    ]
+    absence = xtuple.absence_probability
+    if absence > 0.0:
+        options.append((None, absence))
+    return options
+
+
+def world_count(xtuples: Iterable[XTuple]) -> int:
+    """Number of possible worlds without enumerating them."""
+    count = 1
+    for xtuple in xtuples:
+        per_tuple = len(xtuple.alternatives)
+        if xtuple.absence_probability > 0.0:
+            per_tuple += 1
+        count *= per_tuple
+    return count
+
+
+def enumerate_worlds(
+    xtuples: Sequence[XTuple] | XRelation,
+    *,
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+) -> Iterator[PossibleWorld]:
+    """Exhaustively enumerate all possible worlds.
+
+    Worlds are yielded in lexicographic order of alternative indices, so
+    the first yielded world picks each x-tuple's first alternative — the
+    ordering used by the paper's Figure 7.
+
+    Raises
+    ------
+    WorldEnumerationError
+        If the number of worlds exceeds *max_worlds*.
+    """
+    xtuple_list = list(xtuples)
+    total = world_count(xtuple_list)
+    if total > max_worlds:
+        raise WorldEnumerationError(
+            f"{total} possible worlds exceed the bound of {max_worlds}; "
+            "use sample_world() or most_probable_world() instead"
+        )
+    choice_lists = [_choices(xt) for xt in xtuple_list]
+    for combo in itertools.product(*choice_lists):
+        probability = 1.0
+        selection: list[tuple[str, int]] = []
+        for xtuple, (index, prob) in zip(xtuple_list, combo):
+            probability *= prob
+            if index is not None:
+                selection.append((xtuple.tuple_id, index))
+        yield PossibleWorld(tuple(selection), probability)
+
+
+def enumerate_full_worlds(
+    xtuples: Sequence[XTuple] | XRelation,
+    *,
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+    renormalize: bool = True,
+) -> list[PossibleWorld]:
+    """Worlds containing *all* x-tuples, conditioned on that event.
+
+    Section V-A.1: "since tuple membership should not influence the
+    duplicate detection process and each tuple has to be assigned to a key
+    value, only possible worlds containing all tuples have to be
+    considered."  With ``renormalize=True`` the returned probabilities are
+    conditional probabilities ``P(I | B)`` that sum to 1.
+    """
+    xtuple_list = list(xtuples)
+    full = [
+        world
+        for world in enumerate_worlds(xtuple_list, max_worlds=max_worlds)
+        if len(world.selection) == len(xtuple_list)
+    ]
+    if not renormalize:
+        return full
+    mass = sum(world.probability for world in full)
+    if mass <= 0.0:
+        return []
+    return [
+        PossibleWorld(world.selection, world.probability / mass)
+        for world in full
+    ]
+
+
+def most_probable_world(
+    xtuples: Sequence[XTuple] | XRelation,
+    *,
+    require_all: bool = True,
+) -> PossibleWorld:
+    """The modal world, computed per-tuple (x-tuples are independent).
+
+    With ``require_all=True`` absence is not an option, matching the
+    certain-key strategy of Section V-A.2 ("choosing the most probable
+    alternatives … is equivalent to take the most probable world").
+    """
+    probability = 1.0
+    selection: list[tuple[str, int]] = []
+    for xtuple in xtuples:
+        best_index, best_prob = max(
+            enumerate(alt.probability for alt in xtuple.alternatives),
+            key=lambda pair: pair[1],
+        )
+        if not require_all and xtuple.absence_probability > best_prob:
+            probability *= xtuple.absence_probability
+            continue
+        probability *= best_prob
+        selection.append((xtuple.tuple_id, best_index))
+    return PossibleWorld(tuple(selection), probability)
+
+
+def sample_world(
+    xtuples: Sequence[XTuple] | XRelation,
+    rng: random.Random,
+    *,
+    require_all: bool = False,
+) -> PossibleWorld:
+    """Draw one world at random according to the world distribution.
+
+    With ``require_all=True`` each x-tuple's alternatives are first
+    conditioned on presence, i.e. sampling happens in the sub-space of
+    full worlds (rejection-free).
+    """
+    probability = 1.0
+    selection: list[tuple[str, int]] = []
+    for xtuple in xtuples:
+        options = _choices(xtuple)
+        if require_all:
+            options = [(idx, p) for idx, p in options if idx is not None]
+            mass = sum(p for _, p in options)
+            options = [(idx, p / mass) for idx, p in options]
+        pick = rng.random()
+        cumulative = 0.0
+        chosen_index: int | None = options[-1][0]
+        chosen_prob = options[-1][1]
+        for index, prob in options:
+            cumulative += prob
+            if pick <= cumulative:
+                chosen_index, chosen_prob = index, prob
+                break
+        probability *= chosen_prob
+        if chosen_index is not None:
+            selection.append((xtuple.tuple_id, chosen_index))
+    return PossibleWorld(tuple(selection), probability)
+
+
+def world_overlap(
+    left: PossibleWorld,
+    right: PossibleWorld,
+) -> float:
+    """Fraction of x-tuples on which two worlds agree.
+
+    Used by world selection (Section V-A.1) to prefer "highly probable and
+    pairwise dissimilar worlds": two worlds agree on an x-tuple when both
+    pick the same alternative or both drop the tuple.  The result is
+    normalized by the union of tuple ids mentioned by either world.
+    """
+    left_map = dict(left.selection)
+    right_map = dict(right.selection)
+    ids = set(left_map) | set(right_map)
+    if not ids:
+        return 1.0
+    agreements = sum(
+        1 for tid in ids if left_map.get(tid) == right_map.get(tid)
+    )
+    return agreements / len(ids)
+
+
+def value_in_world(
+    xtuple: XTuple,
+    world: PossibleWorld,
+    attribute: str,
+) -> ProbabilisticValue | None:
+    """The attribute value of *xtuple* in *world* (``None`` if absent)."""
+    index = world.alternative_index(xtuple.tuple_id)
+    if index is None:
+        return None
+    return xtuple.alternatives[index].value(attribute)

@@ -1,0 +1,326 @@
+"""X-tuples: the ULDB-style dependency model of Section IV-B.
+
+An *x-tuple* consists of one or more mutually exclusive *alternatives*
+``t = {t¹, …, tⁿ}``.  Each alternative is (conceptually) one possible
+appearance of the tuple; alternatives carry their own probabilities whose
+sum ``p(t) = Σ p(tⁱ)`` may be below 1, in which case the x-tuple is a
+*maybe* x-tuple (rendered ``?`` in the paper's figures) — the entity may
+not belong to the relation at all.
+
+The paper additionally allows *individual attribute values of an
+alternative* to be uncertain (e.g. the pattern value ``mu*`` of ``t31``'s
+second alternative), so alternatives here store
+:class:`~repro.pdb.values.ProbabilisticValue` objects, with certain values
+being the common case.
+
+The flat model of Section IV-A embeds into this model two ways:
+
+* :meth:`XTuple.from_flat` wraps a probabilistic tuple as a single
+  alternative keeping attribute-level distributions intact;
+* :meth:`XTuple.expand` multiplies out all attribute distributions into
+  fully-certain alternatives — the bridge that makes Equation 5 and
+  Equation 6 provably consistent (both equal the possible-world
+  expectation, as the paper remarks after Equation 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.pdb.errors import (
+    EmptyDistributionError,
+    InvalidProbabilityError,
+)
+from repro.pdb.tuples import ProbabilisticTuple, _coerce_value
+from repro.pdb.values import (
+    PROBABILITY_TOLERANCE,
+    ProbabilisticValue,
+)
+
+
+class TupleAlternative:
+    """One alternative ``tⁱ`` of an x-tuple.
+
+    Parameters
+    ----------
+    values:
+        Mapping from attribute name to value; accepts the same coercions
+        as :class:`~repro.pdb.tuples.ProbabilisticTuple` (plain values,
+        ``{value: prob}`` mappings, ``None`` for ⊥,
+        :class:`ProbabilisticValue`).
+    probability:
+        ``p(tⁱ) ∈ (0, 1]`` — the alternative's share of the x-tuple mass.
+    """
+
+    __slots__ = ("_values", "probability")
+
+    def __init__(self, values: Mapping[str, Any], probability: float) -> None:
+        probability = float(probability)
+        if not 0.0 < probability <= 1.0:
+            raise InvalidProbabilityError(
+                f"alternative probability must lie in (0, 1], got {probability}"
+            )
+        self._values: dict[str, ProbabilisticValue] = {
+            str(attr): _coerce_value(raw) for attr, raw in values.items()
+        }
+        self.probability = probability
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(self._values.keys())
+
+    def value(self, attribute: str) -> ProbabilisticValue:
+        """The (possibly uncertain) value of *attribute*."""
+        return self._values[attribute]
+
+    def __getitem__(self, attribute: str) -> ProbabilisticValue:
+        return self._values[attribute]
+
+    def values(self) -> Mapping[str, ProbabilisticValue]:
+        """Read-only copy of the attribute mapping."""
+        return dict(self._values)
+
+    @property
+    def is_certain(self) -> bool:
+        """Whether every attribute value of the alternative is certain."""
+        return all(value.is_certain for value in self._values.values())
+
+    def with_probability(self, probability: float) -> "TupleAlternative":
+        """Copy with a different probability (used by conditioning)."""
+        return TupleAlternative(self._values, probability)
+
+    def map_values(self, attribute: str, fn) -> "TupleAlternative":
+        """Copy with *fn* applied to every outcome of *attribute*."""
+        updated = dict(self._values)
+        updated[attribute] = self._values[attribute].map(fn)
+        return TupleAlternative(updated, self.probability)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleAlternative):
+            return NotImplemented
+        return (
+            self._values == other._values
+            and abs(self.probability - other.probability)
+            <= PROBABILITY_TOLERANCE
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self._values.items()), round(self.probability, 9))
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{attr}={value.pretty()}" for attr, value in self._values.items()
+        )
+        return f"TupleAlternative({body}, p={self.probability:g})"
+
+
+class XTuple:
+    """An x-tuple: mutually exclusive alternatives with membership mass.
+
+    Parameters
+    ----------
+    tuple_id:
+        Identifier unique within the x-relation (e.g. ``"t32"``).
+    alternatives:
+        Non-empty iterable of :class:`TupleAlternative`.  The probability
+        sum must not exceed 1; a sum strictly below 1 makes this a *maybe*
+        x-tuple (``?`` in the paper's figures).
+    """
+
+    __slots__ = ("tuple_id", "_alternatives")
+
+    def __init__(
+        self, tuple_id: str, alternatives: Iterable[TupleAlternative]
+    ) -> None:
+        alts = list(alternatives)
+        if not alts:
+            raise EmptyDistributionError(
+                f"x-tuple {tuple_id} needs at least one alternative"
+            )
+        total = sum(alt.probability for alt in alts)
+        if total > 1.0 + PROBABILITY_TOLERANCE:
+            raise InvalidProbabilityError(
+                f"alternative probabilities of {tuple_id} sum to {total} > 1"
+            )
+        self.tuple_id = str(tuple_id)
+        self._alternatives: tuple[TupleAlternative, ...] = tuple(alts)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        tuple_id: str,
+        rows: Iterable[tuple[Mapping[str, Any], float]],
+    ) -> "XTuple":
+        """Build from ``(values, probability)`` pairs."""
+        return cls(
+            tuple_id,
+            [TupleAlternative(values, prob) for values, prob in rows],
+        )
+
+    @classmethod
+    def certain(
+        cls, tuple_id: str, values: Mapping[str, Any]
+    ) -> "XTuple":
+        """A certain tuple: one alternative with probability 1."""
+        return cls(tuple_id, [TupleAlternative(values, 1.0)])
+
+    @classmethod
+    def from_flat(cls, flat: ProbabilisticTuple) -> "XTuple":
+        """Wrap a flat probabilistic tuple as a 1-alternative x-tuple.
+
+        The membership probability of the flat tuple becomes the
+        alternative probability, and attribute-level distributions are
+        kept as-is.
+        """
+        return cls(
+            flat.tuple_id,
+            [TupleAlternative(flat.values(), flat.probability)],
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def alternatives(self) -> tuple[TupleAlternative, ...]:
+        """The mutually exclusive alternatives ``t¹, …, tⁿ``."""
+        return self._alternatives
+
+    def __iter__(self):
+        return iter(self._alternatives)
+
+    def __len__(self) -> int:
+        return len(self._alternatives)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names of the first alternative (shared schema)."""
+        return self._alternatives[0].attributes
+
+    @property
+    def probability(self) -> float:
+        """``p(t) = Σᵢ p(tⁱ)`` — total membership probability."""
+        return min(
+            1.0, sum(alt.probability for alt in self._alternatives)
+        )
+
+    @property
+    def is_maybe(self) -> bool:
+        """Whether the x-tuple may be absent (``?`` in the paper)."""
+        return self.probability < 1.0 - PROBABILITY_TOLERANCE
+
+    @property
+    def absence_probability(self) -> float:
+        """``1 - p(t)`` — probability the entity is in no alternative."""
+        return max(0.0, 1.0 - self.probability)
+
+    # ------------------------------------------------------------------
+    # Conditioning (Section IV-B, "normalization w.r.t. the x-tuple")
+    # ------------------------------------------------------------------
+
+    def conditioned_alternatives(
+        self,
+    ) -> tuple[tuple[TupleAlternative, float], ...]:
+        """Alternatives with conditional probabilities ``p(tⁱ)/p(t)``.
+
+        This is the paper's normalization ("conditioning [32] or scaling
+        [33]") that removes tuple-membership uncertainty before duplicate
+        detection: we condition on the event B that the tuple belongs to
+        its relation.
+        """
+        total = sum(alt.probability for alt in self._alternatives)
+        return tuple(
+            (alt, alt.probability / total) for alt in self._alternatives
+        )
+
+    def conditioned(self) -> "XTuple":
+        """A copy whose alternative probabilities are scaled to sum to 1."""
+        return XTuple(
+            self.tuple_id,
+            [
+                alt.with_probability(cond_prob)
+                for alt, cond_prob in self.conditioned_alternatives()
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def expand(self) -> "XTuple":
+        """Multiply out uncertain attribute values into certain alternatives.
+
+        Every alternative with uncertain attribute values is replaced by
+        the cross product of its per-attribute outcomes; probabilities
+        multiply because attribute distributions within an alternative are
+        independent.  The result represents the same distribution over
+        possible appearances using only certain alternatives (pure ULDB
+        form).
+        """
+        expanded: list[TupleAlternative] = []
+        for alt in self._alternatives:
+            attrs = list(alt.attributes)
+            outcome_lists = [list(alt.value(a).items()) for a in attrs]
+            for combo in itertools.product(*outcome_lists):
+                prob = alt.probability
+                assignment: dict[str, Any] = {}
+                for attr, (value, value_prob) in zip(attrs, combo):
+                    prob *= value_prob
+                    assignment[attr] = value
+                expanded.append(TupleAlternative(assignment, prob))
+        return XTuple(self.tuple_id, expanded)
+
+    def expand_patterns(self, lexicons: Mapping[str, Iterable[str]]) -> "XTuple":
+        """Expand pattern values attribute-wise against per-attribute lexicons."""
+        updated: list[TupleAlternative] = []
+        for alt in self._alternatives:
+            values = dict(alt.values())
+            for attr, lexicon in lexicons.items():
+                if attr in values:
+                    values[attr] = values[attr].expand_patterns(lexicon)
+            updated.append(TupleAlternative(values, alt.probability))
+        return XTuple(self.tuple_id, updated)
+
+    # ------------------------------------------------------------------
+    # Value protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XTuple):
+            return NotImplemented
+        return (
+            self.tuple_id == other.tuple_id
+            and self._alternatives == other._alternatives
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tuple_id, self._alternatives))
+
+    def __repr__(self) -> str:
+        marker = " ?" if self.is_maybe else ""
+        return (
+            f"XTuple({self.tuple_id}: {len(self._alternatives)} "
+            f"alternatives, p={self.probability:g}{marker})"
+        )
+
+    def pretty(self) -> str:
+        """Multi-row rendering close to the paper's Figure 5."""
+        rows = []
+        for index, alt in enumerate(self._alternatives):
+            cells = " | ".join(
+                alt.value(attr).pretty() for attr in alt.attributes
+            )
+            prefix = self.tuple_id if index == 0 else " " * len(self.tuple_id)
+            rows.append(f"{prefix} | {cells} | {alt.probability:g}")
+        if self.is_maybe:
+            rows[-1] += " ?"
+        return "\n".join(rows)

@@ -1,0 +1,39 @@
+"""Data preparation (Section III-A): standardization and cleaning."""
+
+from repro.preparation.cleaning import (
+    DEFAULT_MISSING_MARKERS,
+    clean_relation,
+    clean_value,
+    clean_xtuple,
+    missing_marker_to_null,
+    remove_control_characters,
+)
+from repro.preparation.standardize import (
+    DEFAULT_STANDARDIZATION,
+    apply_replacements,
+    apply_token_replacements,
+    casefold_value,
+    compose,
+    normalize_whitespace,
+    standardize_relation,
+    standardize_xtuple,
+    strip_accents,
+)
+
+__all__ = [
+    "DEFAULT_MISSING_MARKERS",
+    "DEFAULT_STANDARDIZATION",
+    "apply_replacements",
+    "apply_token_replacements",
+    "casefold_value",
+    "clean_relation",
+    "clean_value",
+    "clean_xtuple",
+    "compose",
+    "missing_marker_to_null",
+    "normalize_whitespace",
+    "remove_control_characters",
+    "standardize_relation",
+    "standardize_xtuple",
+    "strip_accents",
+]

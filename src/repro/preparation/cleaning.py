@@ -1,0 +1,100 @@
+"""Data preparation: cleaning of easy-to-recognize errors (Section III-A).
+
+Cleaning differs from standardization in that it *repairs* values rather
+than re-encoding them: control characters, placeholder strings that
+actually denote missing data ("n/a", "-", "unknown"), and empty strings
+are normalized to proper non-existence (⊥), keeping the probabilistic
+interpretation intact (mass of repaired outcomes moves to ⊥ or merges).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+from typing import Any
+
+from repro.pdb.relations import XRelation
+from repro.pdb.values import NULL, ProbabilisticValue
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: Strings commonly used as ad-hoc missing-data markers.
+DEFAULT_MISSING_MARKERS = frozenset(
+    {"", "-", "?", "n/a", "na", "null", "none", "unknown", "missing"}
+)
+
+_CONTROL = re.compile(r"[\x00-\x1f\x7f]")
+
+
+def remove_control_characters(value: Any) -> Any:
+    """Strip ASCII control characters from strings."""
+    if not isinstance(value, str):
+        return value
+    return _CONTROL.sub("", value)
+
+
+def missing_marker_to_null(
+    value: Any,
+    markers: frozenset[str] = DEFAULT_MISSING_MARKERS,
+) -> Any:
+    """Map placeholder strings to the proper ⊥ marker."""
+    if isinstance(value, str) and value.strip().casefold() in markers:
+        return NULL
+    return value
+
+
+def clean_value(
+    value: ProbabilisticValue,
+    *,
+    markers: frozenset[str] = DEFAULT_MISSING_MARKERS,
+) -> ProbabilisticValue:
+    """Clean every outcome of an uncertain value.
+
+    Control characters are removed first; outcomes that then read as
+    missing-data markers become ⊥ (their mass joins the ⊥ mass).
+    """
+    return value.map(
+        lambda outcome: missing_marker_to_null(
+            remove_control_characters(outcome), markers
+        )
+    )
+
+
+def clean_xtuple(
+    xtuple: XTuple,
+    *,
+    attributes: Iterable[str] | None = None,
+    markers: frozenset[str] = DEFAULT_MISSING_MARKERS,
+) -> XTuple:
+    """Clean selected attributes of every alternative."""
+    targets = (
+        tuple(attributes)
+        if attributes is not None
+        else xtuple.attributes
+    )
+    updated: list[TupleAlternative] = []
+    for alternative in xtuple.alternatives:
+        values = dict(alternative.values())
+        for attribute in targets:
+            if attribute in values:
+                values[attribute] = clean_value(
+                    values[attribute], markers=markers
+                )
+        updated.append(TupleAlternative(values, alternative.probability))
+    return XTuple(xtuple.tuple_id, updated)
+
+
+def clean_relation(
+    relation: XRelation,
+    *,
+    attributes: Iterable[str] | None = None,
+    markers: frozenset[str] = DEFAULT_MISSING_MARKERS,
+) -> XRelation:
+    """Clean a whole x-relation."""
+    return XRelation(
+        relation.name,
+        relation.schema,
+        [
+            clean_xtuple(xtuple, attributes=attributes, markers=markers)
+            for xtuple in relation
+        ],
+    )

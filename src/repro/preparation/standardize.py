@@ -1,0 +1,154 @@
+"""Data preparation: standardization (Section III-A).
+
+"Data is standardized (e.g., unification of conventions and units) and
+cleaned … to obtain a homogeneous representation of all source data."
+
+For probabilistic data, standardization must respect distributions: a
+transformation is applied to *every outcome* of an uncertain value, with
+colliding outcomes merging their probability mass (two spellings that
+standardize to the same string become one alternative) — implemented via
+:meth:`repro.pdb.values.ProbabilisticValue.map`.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+from repro.pdb.relations import XRelation
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: A value-level standardization step.
+ValueTransform = Callable[[Any], Any]
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_whitespace(value: Any) -> Any:
+    """Trim and collapse internal whitespace runs of strings."""
+    if not isinstance(value, str):
+        return value
+    return _WHITESPACE.sub(" ", value).strip()
+
+
+def casefold_value(value: Any) -> Any:
+    """Case-normalize strings (full Unicode casefold)."""
+    if not isinstance(value, str):
+        return value
+    return value.casefold()
+
+
+def strip_accents(value: Any) -> Any:
+    """Remove combining marks: ``'Müller' → 'Muller'``."""
+    if not isinstance(value, str):
+        return value
+    decomposed = unicodedata.normalize("NFKD", value)
+    return "".join(c for c in decomposed if not unicodedata.combining(c))
+
+
+def apply_replacements(
+    replacements: Mapping[str, str],
+) -> ValueTransform:
+    """Transform factory: exact-match convention unification.
+
+    E.g. ``{"Dr.": "doctor", "eng.": "engineer"}`` — the mapping is
+    applied to whole values (use :func:`apply_token_replacements` for
+    within-string token rewriting).
+    """
+    table = dict(replacements)
+
+    def _replace(value: Any) -> Any:
+        if isinstance(value, str) and value in table:
+            return table[value]
+        return value
+
+    return _replace
+
+
+def apply_token_replacements(
+    replacements: Mapping[str, str],
+) -> ValueTransform:
+    """Transform factory: token-wise abbreviation expansion."""
+    table = {k.casefold(): v for k, v in replacements.items()}
+
+    def _replace(value: Any) -> Any:
+        if not isinstance(value, str):
+            return value
+        tokens = value.split()
+        return " ".join(table.get(t.casefold(), t) for t in tokens)
+
+    return _replace
+
+
+def compose(*transforms: ValueTransform) -> ValueTransform:
+    """Chain several value transforms left to right."""
+
+    def _composed(value: Any) -> Any:
+        for transform in transforms:
+            value = transform(value)
+        return value
+
+    return _composed
+
+
+#: A sensible default pipeline: whitespace, accents, case.
+DEFAULT_STANDARDIZATION = compose(
+    normalize_whitespace, strip_accents, casefold_value
+)
+
+
+def standardize_xtuple(
+    xtuple: XTuple,
+    transforms: Mapping[str, ValueTransform],
+) -> XTuple:
+    """Apply per-attribute transforms to every alternative's outcomes.
+
+    Outcomes that collide after transformation merge probability mass —
+    e.g. alternatives ``{"Tim": 0.6, "tim": 0.4}`` standardize to the
+    certain value ``"tim"``.
+    """
+    updated: list[TupleAlternative] = []
+    for alternative in xtuple.alternatives:
+        current = alternative
+        for attribute, transform in transforms.items():
+            if attribute in current.attributes:
+                current = current.map_values(attribute, transform)
+        updated.append(current)
+    return XTuple(xtuple.tuple_id, updated)
+
+
+def standardize_relation(
+    relation: XRelation,
+    transforms: Mapping[str, ValueTransform] | None = None,
+    *,
+    attributes: Iterable[str] | None = None,
+) -> XRelation:
+    """Standardize a whole x-relation.
+
+    Parameters
+    ----------
+    relation:
+        The relation to standardize.
+    transforms:
+        Per-attribute transforms; when omitted,
+        :data:`DEFAULT_STANDARDIZATION` is applied to *attributes*.
+    attributes:
+        Attributes to default-standardize (all schema attributes when
+        omitted); ignored if *transforms* is given.
+    """
+    if transforms is None:
+        targets = (
+            tuple(attributes)
+            if attributes is not None
+            else relation.schema.attributes
+        )
+        transforms = {
+            attribute: DEFAULT_STANDARDIZATION for attribute in targets
+        }
+    return XRelation(
+        relation.name,
+        relation.schema,
+        [standardize_xtuple(xtuple, transforms) for xtuple in relation],
+    )

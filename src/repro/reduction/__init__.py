@@ -1,0 +1,100 @@
+"""Search-space reduction adapted to probabilistic data (Section V).
+
+Sorted-Neighborhood family (Section V-A):
+
+* :class:`SortedNeighborhood` — classic SNM over certain(ized) keys;
+* :class:`MultiPassSNM` — one pass per (selected) possible world
+  (V-A.1), with world selection in :mod:`~repro.reduction.world_selection`;
+* certain keys by conflict resolution (V-A.2) — the default
+  ``key_strategy`` of :class:`SortedNeighborhood`
+  (:func:`~repro.reduction.keys.most_probable_key`);
+* :class:`AlternativeSorting` — sorting alternatives with neighbor dedup
+  and the Figure-12 matching matrix (V-A.3);
+* :class:`UncertainKeySNM` — ranking-based SNM on uncertain keys (V-A.4).
+
+Blocking family (Section V-B):
+
+* :class:`CertainKeyBlocking`, :class:`AlternativeKeyBlocking`
+  (Figure 14), :class:`MultiPassBlocking`,
+  :class:`UncertainKeyClusteringBlocking` (clustering of uncertain keys).
+
+All strategies implement the ``pairs(relation)`` protocol of
+:class:`repro.matching.pipeline.PairGenerator` and can be plugged into
+:class:`repro.matching.DuplicateDetector` directly.
+"""
+
+from repro.reduction.alternatives import AlternativeSorting, MatchingMatrix
+from repro.reduction.derived_keys import (
+    DerivedKey,
+    PhoneticBlocking,
+    derived_most_probable_key,
+    derived_xtuple_key_distribution,
+    phonetic_key,
+    prefix_transform,
+    soundex_transform,
+)
+from repro.reduction.blocking import (
+    AlternativeKeyBlocking,
+    CertainKeyBlocking,
+    MultiPassBlocking,
+    pairs_from_blocks,
+)
+from repro.reduction.keys import (
+    KeyFunction,
+    SubstringKey,
+    alternative_key_distribution,
+    expand_pattern_keys,
+    keys_of_world_assignment,
+    most_probable_key,
+    xtuple_key_distribution,
+)
+from repro.reduction.multipass import MultiPassSNM, WorldSelection
+from repro.reduction.snm import (
+    SortedNeighborhood,
+    sort_by_key,
+    window_pairs,
+)
+from repro.reduction.uncertain_clustering import (
+    UncertainKeyClusteringBlocking,
+    expected_key_distance,
+)
+from repro.reduction.uncertain_keys import UncertainKeySNM
+from repro.reduction.world_selection import (
+    average_pairwise_overlap,
+    select_diverse_worlds,
+    select_probable_worlds,
+)
+
+__all__ = [
+    "AlternativeKeyBlocking",
+    "AlternativeSorting",
+    "CertainKeyBlocking",
+    "DerivedKey",
+    "KeyFunction",
+    "PhoneticBlocking",
+    "MatchingMatrix",
+    "MultiPassBlocking",
+    "MultiPassSNM",
+    "SortedNeighborhood",
+    "SubstringKey",
+    "UncertainKeyClusteringBlocking",
+    "UncertainKeySNM",
+    "WorldSelection",
+    "alternative_key_distribution",
+    "average_pairwise_overlap",
+    "derived_most_probable_key",
+    "derived_xtuple_key_distribution",
+    "expand_pattern_keys",
+    "expected_key_distance",
+    "keys_of_world_assignment",
+    "most_probable_key",
+    "pairs_from_blocks",
+    "phonetic_key",
+    "prefix_transform",
+    "select_diverse_worlds",
+    "select_probable_worlds",
+    "sort_by_key",
+    "soundex_transform",
+    "window_pairs",
+    "xtuple_key_distribution",
+]

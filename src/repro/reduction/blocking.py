@@ -1,0 +1,209 @@
+"""Blocking and its probabilistic adaptations (Section V-B, Figure 14).
+
+"With blocking, the considered tuples are partitioned into mutually
+exclusive blocks … only tuples in one block are compared with each
+other."  For probabilistic data the paper lists four handlings, all
+implemented here:
+
+* **multi-pass blocking** over (finely chosen) possible worlds —
+  :class:`MultiPassBlocking`;
+* **certain keys via conflict resolution** (e.g. most probable
+  alternative) — :class:`CertainKeyBlocking`;
+* **alternative-key blocking** — an x-tuple is inserted into one block
+  per alternative key value; within a block, repeated entries of the same
+  tuple are removed (Figure 14) — :class:`AlternativeKeyBlocking`;
+* **clustering of uncertain keys** — blocks from clustering the key
+  *distributions* ([38]–[40]) — :class:`UncertainKeyClusteringBlocking`
+  in :mod:`repro.reduction.uncertain_clustering`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+
+from repro.pdb.relations import XRelation
+from repro.pdb.worlds import PossibleWorld, enumerate_full_worlds
+from repro.pdb.xtuples import XTuple
+from repro.reduction.keys import (
+    SubstringKey,
+    alternative_key_distribution,
+    most_probable_key,
+)
+from repro.reduction.world_selection import (
+    select_diverse_worlds,
+    select_probable_worlds,
+)
+
+
+def _ordered(left: str, right: str) -> tuple[str, str]:
+    return (left, right) if left <= right else (right, left)
+
+
+def pairs_from_blocks(
+    blocks: Mapping[str, list[str]],
+) -> Iterator[tuple[str, str]]:
+    """All unordered within-block pairs, each emitted once.
+
+    Tuples may appear in several blocks (alternative-key blocking), so a
+    matching matrix suppresses repeats across blocks.
+    """
+    emitted: set[tuple[str, str]] = set()
+    for members in blocks.values():
+        for i, left in enumerate(members):
+            for right in members[i + 1 :]:
+                if left == right:
+                    continue
+                pair = _ordered(left, right)
+                if pair not in emitted:
+                    emitted.add(pair)
+                    yield pair
+
+
+class CertainKeyBlocking:
+    """Blocking on one certain key per x-tuple (Section V-B).
+
+    "Conflict resolution strategies can be used to produce certain key
+    values.  In this case, blocking can be performed as usual."  The
+    default strategy picks the most probable key value (metadata-based
+    deciding, as in Section V-A.2).
+    """
+
+    def __init__(
+        self,
+        key: SubstringKey,
+        *,
+        key_strategy: Callable[[XTuple, SubstringKey], str] = most_probable_key,
+    ) -> None:
+        self._key = key
+        self._key_strategy = key_strategy
+
+    def blocks(self, relation: XRelation) -> dict[str, list[str]]:
+        """Partition: ``key value → member tuple ids``."""
+        blocks: dict[str, list[str]] = {}
+        for xtuple in relation:
+            key_value = self._key_strategy(xtuple, self._key)
+            blocks.setdefault(key_value, []).append(xtuple.tuple_id)
+        return blocks
+
+    def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
+        """Within-block candidate pairs."""
+        return pairs_from_blocks(self.blocks(relation))
+
+    def __repr__(self) -> str:
+        return f"CertainKeyBlocking(key={self._key!r})"
+
+
+class AlternativeKeyBlocking:
+    """Blocking with one block entry per alternative key (Figure 14).
+
+    "Similar to the approach of sorting alternatives an x-tuple can be
+    inserted into multiple blocks by creating a key for each alternative.
+    … If an x-tuple is allocated to a single block for multiple times,
+    except for one, all entries of this tuple are removed."
+    """
+
+    def __init__(self, key: SubstringKey) -> None:
+        self._key = key
+
+    def blocks(self, relation: XRelation) -> dict[str, list[str]]:
+        """``key value → member tuple ids`` with in-block tuple dedup."""
+        blocks: dict[str, list[str]] = {}
+        for xtuple in relation:
+            key_values: list[str] = []
+            for alternative in xtuple.alternatives:
+                for key_value, _ in alternative_key_distribution(
+                    alternative, self._key
+                ):
+                    if key_value not in key_values:
+                        key_values.append(key_value)
+            for key_value in key_values:
+                members = blocks.setdefault(key_value, [])
+                if xtuple.tuple_id not in members:
+                    members.append(xtuple.tuple_id)
+        return blocks
+
+    def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
+        """Within-block candidate pairs (across-block repeats removed)."""
+        return pairs_from_blocks(self.blocks(relation))
+
+    def __repr__(self) -> str:
+        return f"AlternativeKeyBlocking(key={self._key!r})"
+
+
+class MultiPassBlocking:
+    """Blocking repeated over selected possible worlds (Section V-B).
+
+    "As for the sorted neighborhood method, a multi-pass approach over
+    all possible worlds is most often not efficient.  However, a
+    multi-pass over some finely chosen worlds seems to be an option."
+    World selection reuses :mod:`repro.reduction.world_selection`.
+    """
+
+    def __init__(
+        self,
+        key: SubstringKey,
+        *,
+        selection: str = "diverse",
+        world_count: int = 3,
+        diversity_weight: float = 0.5,
+        max_worlds: int = 100_000,
+    ) -> None:
+        if selection not in ("all", "most_probable", "diverse"):
+            raise ValueError(f"unknown world selection {selection!r}")
+        if world_count < 1:
+            raise ValueError(f"world_count must be >= 1, got {world_count}")
+        self._key = key
+        self._selection = selection
+        self._world_count = world_count
+        self._diversity_weight = diversity_weight
+        self._max_worlds = max_worlds
+
+    def select_worlds(self, relation: XRelation) -> list[PossibleWorld]:
+        """The worlds blocked over (full worlds, conditioned)."""
+        worlds = enumerate_full_worlds(
+            relation.xtuples, max_worlds=self._max_worlds
+        )
+        if self._selection == "all":
+            return worlds
+        if self._selection == "most_probable":
+            return select_probable_worlds(worlds, self._world_count)
+        return select_diverse_worlds(
+            worlds,
+            self._world_count,
+            diversity_weight=self._diversity_weight,
+        )
+
+    def blocks_for_world(
+        self, relation: XRelation, world: PossibleWorld
+    ) -> dict[str, list[str]]:
+        """Certain-key blocks of one world."""
+        blocks: dict[str, list[str]] = {}
+        for xtuple in relation:
+            index = world.alternative_index(xtuple.tuple_id)
+            if index is None:
+                continue
+            alternative = xtuple.alternatives[index]
+            assignment = {
+                attribute: alternative.value(attribute).most_probable()
+                for attribute in alternative.attributes
+            }
+            key_value = self._key.for_assignment(assignment)
+            blocks.setdefault(key_value, []).append(xtuple.tuple_id)
+        return blocks
+
+    def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
+        """Union of within-block pairs over all selected worlds."""
+        emitted: set[tuple[str, str]] = set()
+        for world in self.select_worlds(relation):
+            for pair in pairs_from_blocks(
+                self.blocks_for_world(relation, world)
+            ):
+                if pair not in emitted:
+                    emitted.add(pair)
+                    yield pair
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiPassBlocking(key={self._key!r}, "
+            f"selection={self._selection!r}, k={self._world_count})"
+        )

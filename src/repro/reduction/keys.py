@@ -1,0 +1,205 @@
+"""Key creation for sorting and blocking (Section V).
+
+Both Sorted-Neighborhood and blocking need a *key* derived from attribute
+values — the paper's example: "the first three characters of the name
+value and the first two characters of the job value".  With probabilistic
+data the key itself may be uncertain; this module provides
+
+* :class:`SubstringKey` — the paper's prefix-concatenation keys;
+* key creation for certain rows (:meth:`SubstringKey.for_assignment`);
+* key *distributions* for alternatives and whole x-tuples
+  (:func:`alternative_key_distribution`,
+  :func:`xtuple_key_distribution`) — the input of the uncertain-key
+  strategies (Sections V-A.3, V-A.4, V-B).
+
+Value handling mirrors the paper's figures:
+
+* ⊥ contributes the empty string — tuple ``t43``'s alternative
+  ``(John, ⊥)`` gets the key ``Joh`` (Figures 9 and 13);
+* a pattern value whose fixed prefix covers the requested length
+  contributes that prefix — ``mu*`` under a 2-character job key yields
+  ``mu`` (the key ``Johmu`` of Figure 13); shorter prefixes require
+  expansion and raise otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any, Protocol, runtime_checkable
+
+from repro.pdb.values import NULL, PatternValue, ProbabilisticValue
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+
+@runtime_checkable
+class KeyFunction(Protocol):
+    """Maps one concrete attribute assignment to a sorting/blocking key."""
+
+    def for_assignment(
+        self, assignment: Mapping[str, Any]
+    ) -> str:  # pragma: no cover
+        ...
+
+
+class SubstringKey:
+    """Concatenation of attribute-value prefixes.
+
+    Parameters
+    ----------
+    parts:
+        ``(attribute, length)`` pairs; the key is the concatenation of
+        ``str(value)[:length]`` in the given order.
+
+    Examples
+    --------
+    The paper's sorting key: ``SubstringKey([("name", 3), ("job", 2)])``
+    maps ``(John, pilot)`` to ``"Johpi"``.  The paper's blocking key:
+    ``SubstringKey([("name", 1), ("job", 1)])`` maps it to ``"Jp"``.
+    """
+
+    def __init__(self, parts: Sequence[tuple[str, int]]) -> None:
+        if not parts:
+            raise ValueError("a key needs at least one part")
+        for attribute, length in parts:
+            if length < 1:
+                raise ValueError(
+                    f"part length for {attribute!r} must be >= 1, "
+                    f"got {length}"
+                )
+        self._parts = tuple((str(a), int(n)) for a, n in parts)
+
+    @property
+    def parts(self) -> tuple[tuple[str, int], ...]:
+        """The ``(attribute, length)`` specification."""
+        return self._parts
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes the key reads."""
+        return tuple(attribute for attribute, _ in self._parts)
+
+    def _piece(self, value: Any, length: int) -> str:
+        if value is NULL:
+            return ""
+        if isinstance(value, PatternValue):
+            if len(value.prefix) >= length:
+                return value.prefix[:length]
+            raise ValueError(
+                f"pattern {value.pattern!r} has a prefix shorter than the "
+                f"key part length {length}; expand the pattern first"
+            )
+        return str(value)[:length]
+
+    def for_assignment(self, assignment: Mapping[str, Any]) -> str:
+        """Key of one concrete (certain) attribute assignment."""
+        return "".join(
+            self._piece(assignment[attribute], length)
+            for attribute, length in self._parts
+        )
+
+    def __repr__(self) -> str:
+        return f"SubstringKey({list(self._parts)!r})"
+
+
+def _value_outcomes(
+    value: ProbabilisticValue, length: int, key: SubstringKey
+) -> list[tuple[str, float]]:
+    """Key pieces of one (possibly uncertain) attribute value."""
+    outcomes: dict[str, float] = {}
+    for outcome, probability in value.items():
+        piece = key._piece(outcome, length)
+        outcomes[piece] = outcomes.get(piece, 0.0) + probability
+    return list(outcomes.items())
+
+
+def alternative_key_distribution(
+    alternative: TupleAlternative, key: SubstringKey
+) -> list[tuple[str, float]]:
+    """Key distribution of one alternative, *within* that alternative.
+
+    Certain alternatives yield a single key with probability 1.  Uncertain
+    attribute values multiply out (independence within an alternative);
+    equal keys merge.  The alternative's own probability is *not* folded
+    in — callers combine it as needed.
+    """
+    pieces_per_part: list[list[tuple[str, float]]] = [
+        _value_outcomes(alternative.value(attribute), length, key)
+        for attribute, length in key.parts
+    ]
+    keys: dict[str, float] = {"": 1.0}
+    for part_outcomes in pieces_per_part:
+        next_keys: dict[str, float] = {}
+        for prefix, prefix_prob in keys.items():
+            for piece, piece_prob in part_outcomes:
+                candidate = prefix + piece
+                next_keys[candidate] = (
+                    next_keys.get(candidate, 0.0) + prefix_prob * piece_prob
+                )
+        keys = next_keys
+    return list(keys.items())
+
+
+def xtuple_key_distribution(
+    xtuple: XTuple, key: SubstringKey, *, conditioned: bool = True
+) -> list[tuple[str, float]]:
+    """Key distribution of a whole x-tuple.
+
+    Aggregates the alternatives' key distributions weighted by their
+    (by default conditioned) probabilities; equal keys merge — the paper
+    notes ``t41`` "has a certain key value despite of having two
+    alternative tuples" because both alternatives map to ``Johpi``.
+    """
+    weighted: dict[str, float] = {}
+    pairs = (
+        xtuple.conditioned_alternatives()
+        if conditioned
+        else [(alt, alt.probability) for alt in xtuple.alternatives]
+    )
+    for alternative, weight in pairs:
+        for candidate, probability in alternative_key_distribution(
+            alternative, key
+        ):
+            weighted[candidate] = (
+                weighted.get(candidate, 0.0) + weight * probability
+            )
+    return list(weighted.items())
+
+
+def most_probable_key(
+    xtuple: XTuple, key: SubstringKey
+) -> str:
+    """The modal key value of an x-tuple (ties by first occurrence)."""
+    distribution = xtuple_key_distribution(xtuple, key)
+    best_key, best_prob = distribution[0]
+    for candidate, probability in distribution[1:]:
+        if probability > best_prob + 1e-12:
+            best_key, best_prob = candidate, probability
+    return best_key
+
+
+def keys_of_world_assignment(
+    assignments: Mapping[str, Mapping[str, Any]], key: SubstringKey
+) -> dict[str, str]:
+    """Certain keys for a full world: ``tuple id → key value``."""
+    return {
+        tuple_id: key.for_assignment(assignment)
+        for tuple_id, assignment in assignments.items()
+    }
+
+
+def expand_pattern_keys(
+    xtuple: XTuple,
+    key: SubstringKey,
+    lexicons: Mapping[str, Iterable[str]],
+) -> XTuple:
+    """Pre-expand pattern values that are too short for the key parts.
+
+    Convenience wrapper: returns the x-tuple with patterns expanded for
+    exactly the attributes the key reads, leaving others untouched.
+    """
+    relevant = {
+        attribute: lexicon
+        for attribute, lexicon in lexicons.items()
+        if attribute in key.attributes
+    }
+    return xtuple.expand_patterns(relevant) if relevant else xtuple

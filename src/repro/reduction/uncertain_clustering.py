@@ -1,0 +1,106 @@
+"""Blocking uncertain keys by clustering key distributions.
+
+Section V-B: "Handlings for uncertain key values can be based on
+clustering techniques for uncertain data (e.g., [38], [39], [40])."
+
+We implement a leader-style clustering over *key distributions* with an
+expected-distance measure, in the spirit of the UK-means family [39]:
+
+* the distance between two uncertain keys is the expected normalized
+  edit distance between their values,
+  ``E[d(K1, K2)] = Σ Σ P(k1) P(k2) · d(k1, k2)``;
+* greedy leader clustering assigns each x-tuple to the first cluster
+  whose leader is within *radius*, or opens a new cluster — one pass,
+  deterministic given the input order, ``O(n · #clusters)``.
+
+The resulting clusters act as blocks: only tuples in the same cluster
+are compared.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.pdb.relations import XRelation
+from repro.reduction.blocking import pairs_from_blocks
+from repro.reduction.keys import SubstringKey, xtuple_key_distribution
+from repro.similarity.edit import levenshtein_distance
+
+#: An uncertain key: outcomes with probabilities.
+KeyDistribution = Sequence[tuple[str, float]]
+
+
+def expected_key_distance(
+    left: KeyDistribution, right: KeyDistribution
+) -> float:
+    """Expected normalized edit distance between two uncertain keys.
+
+    Distances of individual key pairs are normalized by the longer key
+    length, so the expectation stays in [0, 1]; two certain equal keys
+    have distance 0.
+    """
+    total = 0.0
+    for left_key, left_prob in left:
+        for right_key, right_prob in right:
+            longest = max(len(left_key), len(right_key))
+            if longest == 0:
+                distance = 0.0
+            else:
+                distance = (
+                    levenshtein_distance(left_key, right_key) / longest
+                )
+            total += left_prob * right_prob * distance
+    left_mass = sum(p for _, p in left)
+    right_mass = sum(p for _, p in right)
+    if left_mass <= 0.0 or right_mass <= 0.0:
+        raise ValueError("key distributions need positive mass")
+    return total / (left_mass * right_mass)
+
+
+class UncertainKeyClusteringBlocking:
+    """Leader clustering of uncertain keys as a blocking strategy.
+
+    Parameters
+    ----------
+    key:
+        Key specification (distributions built conditioned on presence).
+    radius:
+        Maximum expected key distance to a cluster leader; smaller radius
+        means more, tighter blocks.  Must lie in [0, 1].
+    """
+
+    def __init__(self, key: SubstringKey, *, radius: float = 0.35) -> None:
+        if not 0.0 <= radius <= 1.0:
+            raise ValueError(f"radius must lie in [0, 1], got {radius}")
+        self._key = key
+        self._radius = radius
+
+    def clusters(self, relation: XRelation) -> dict[str, list[str]]:
+        """``leader tuple id → member tuple ids`` (leaders included)."""
+        leaders: list[tuple[str, KeyDistribution]] = []
+        clusters: dict[str, list[str]] = {}
+        for xtuple in relation:
+            distribution = xtuple_key_distribution(xtuple, self._key)
+            assigned = False
+            for leader_id, leader_distribution in leaders:
+                if (
+                    expected_key_distance(distribution, leader_distribution)
+                    <= self._radius
+                ):
+                    clusters[leader_id].append(xtuple.tuple_id)
+                    assigned = True
+                    break
+            if not assigned:
+                leaders.append((xtuple.tuple_id, distribution))
+                clusters[xtuple.tuple_id] = [xtuple.tuple_id]
+        return clusters
+
+    def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
+        """Within-cluster candidate pairs."""
+        return pairs_from_blocks(self.clusters(relation))
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainKeyClusteringBlocking(key={self._key!r}, "
+            f"radius={self._radius})"
+        )

@@ -1,0 +1,104 @@
+"""Selecting probable, pairwise dissimilar worlds (Section V-A.1).
+
+A multi-pass over *all* possible worlds is usually infeasible, and the
+most probable worlds tend to be nearly identical, so passes over them are
+redundant: "a set of highly probable and pairwise dissimilar worlds has
+to be chosen, but this requires comparison techniques on complete
+worlds."
+
+We implement exactly that comparison technique plus a greedy selector:
+
+* world similarity = fraction of x-tuples on which two worlds agree
+  (:func:`repro.pdb.worlds.world_overlap`);
+* greedy maximum-diversity selection: start from the most probable world,
+  then repeatedly add the world maximizing
+  ``probability - diversity_weight · max_overlap_with_selected``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.pdb.worlds import PossibleWorld, world_overlap
+
+
+def select_probable_worlds(
+    worlds: Sequence[PossibleWorld], count: int
+) -> list[PossibleWorld]:
+    """The *count* most probable worlds (ties by enumeration order).
+
+    The naive strategy the paper warns about — kept as the baseline for
+    the redundancy ablation (E5).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return sorted(
+        worlds, key=lambda world: -world.probability
+    )[:count]
+
+
+def select_diverse_worlds(
+    worlds: Sequence[PossibleWorld],
+    count: int,
+    *,
+    diversity_weight: float = 0.5,
+) -> list[PossibleWorld]:
+    """Greedy selection of highly probable, pairwise dissimilar worlds.
+
+    Scores a candidate world as
+    ``probability − diversity_weight · max(overlap with selected)``;
+    the first pick is always the most probable world.  With
+    ``diversity_weight = 0`` this degenerates to
+    :func:`select_probable_worlds`.
+
+    Parameters
+    ----------
+    worlds:
+        Candidate worlds (typically full worlds, conditioned).
+    count:
+        Number of worlds to select (capped at ``len(worlds)``).
+    diversity_weight:
+        Trade-off λ ≥ 0 between probability and dissimilarity.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if diversity_weight < 0.0:
+        raise ValueError(
+            f"diversity_weight must be >= 0, got {diversity_weight}"
+        )
+    remaining = list(worlds)
+    if not remaining:
+        return []
+    remaining.sort(key=lambda world: -world.probability)
+    selected = [remaining.pop(0)]
+    while remaining and len(selected) < count:
+        best_index = 0
+        best_score = float("-inf")
+        for index, candidate in enumerate(remaining):
+            redundancy = max(
+                world_overlap(candidate, chosen) for chosen in selected
+            )
+            score = candidate.probability - diversity_weight * redundancy
+            if score > best_score:
+                best_score = score
+                best_index = index
+        selected.append(remaining.pop(best_index))
+    return selected
+
+
+def average_pairwise_overlap(worlds: Sequence[PossibleWorld]) -> float:
+    """Mean pairwise overlap of a world set (redundancy measure).
+
+    1.0 means all worlds are identical; lower is more diverse.  Used by
+    the ablation experiments to quantify the redundancy the paper
+    predicts for most-probable-world selections.
+    """
+    if len(worlds) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for i, left in enumerate(worlds):
+        for right in worlds[i + 1 :]:
+            total += world_overlap(left, right)
+            pairs += 1
+    return total / pairs

@@ -1,0 +1,126 @@
+"""Comparison-function protocol and shared helpers.
+
+Section III-C quantifies attribute value similarity "by syntactic (e.g.,
+n-grams, edit- or jaro distance) and semantic (e.g., glossaries or
+ontologies) means" and the paper restricts itself to *normalized*
+comparison functions, i.e. ``sim : D × D → [0, 1]``.
+
+A comparison function here is simply a callable ``(a, b) -> float``; the
+classes in this package add introspection (a name), validation and
+composition helpers on top.  Plain functions can be used anywhere a
+:class:`Comparator` is expected.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Comparator(Protocol):
+    """Anything that maps a value pair to a similarity in ``[0, 1]``."""
+
+    def __call__(self, left: Any, right: Any) -> float:  # pragma: no cover
+        ...
+
+
+class NamedComparator:
+    """A comparison function with a name, for reports and registries."""
+
+    __slots__ = ("name", "_fn")
+
+    def __init__(self, name: str, fn: Comparator) -> None:
+        self.name = str(name)
+        self._fn = fn
+
+    def __call__(self, left: Any, right: Any) -> float:
+        return self._fn(left, right)
+
+    def __repr__(self) -> str:
+        return f"NamedComparator({self.name!r})"
+
+
+def clamp01(value: float) -> float:
+    """Clamp *value* into ``[0, 1]`` (guards float round-off)."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def as_strings(left: Any, right: Any) -> tuple[str, str]:
+    """Coerce both operands to ``str`` for string comparators."""
+    return str(left), str(right)
+
+
+def similarity_from_distance(
+    distance: float, normalizer: float
+) -> float:
+    """Turn an absolute distance into a normalized similarity.
+
+    ``sim = 1 - distance / normalizer`` clamped to ``[0, 1]``; a
+    *normalizer* of 0 means both operands are empty ⇒ similarity 1.
+    """
+    if normalizer <= 0.0:
+        return 1.0
+    return clamp01(1.0 - distance / normalizer)
+
+
+def checked(fn: Comparator, *, name: str | None = None) -> Comparator:
+    """Wrap *fn* so results outside ``[0, 1]`` raise immediately.
+
+    The paper's formulas require normalized comparison functions; this
+    wrapper converts silent violations into loud errors during testing.
+    """
+
+    label = name or getattr(fn, "name", getattr(fn, "__name__", "comparator"))
+
+    def _checked(left: Any, right: Any) -> float:
+        result = fn(left, right)
+        if not 0.0 <= result <= 1.0:
+            raise ValueError(
+                f"{label} returned {result!r} outside [0, 1] "
+                f"for ({left!r}, {right!r})"
+            )
+        return result
+
+    return NamedComparator(f"checked({label})", _checked)
+
+
+def symmetrized(fn: Comparator) -> Comparator:
+    """Force symmetry by averaging ``fn(a, b)`` and ``fn(b, a)``."""
+
+    def _sym(left: Any, right: Any) -> float:
+        return 0.5 * (fn(left, right) + fn(right, left))
+
+    return NamedComparator(
+        f"symmetrized({getattr(fn, 'name', 'comparator')})", _sym
+    )
+
+
+def weighted_mean(
+    comparators: list[tuple[Comparator, float]],
+) -> Comparator:
+    """Combine several comparators into one by weighted averaging.
+
+    Weights must be positive; they are normalized to sum to 1 so the
+    result is again a normalized comparison function.
+    """
+    if not comparators:
+        raise ValueError("need at least one comparator")
+    total = sum(weight for _, weight in comparators)
+    if total <= 0.0:
+        raise ValueError("weights must sum to a positive value")
+    scaled: list[tuple[Comparator, float]] = [
+        (fn, weight / total) for fn, weight in comparators
+    ]
+
+    def _mean(left: Any, right: Any) -> float:
+        return sum(weight * fn(left, right) for fn, weight in scaled)
+
+    return NamedComparator("weighted_mean", _mean)
+
+
+ComparatorFactory = Callable[[], Comparator]

@@ -1,0 +1,74 @@
+"""Exact, numeric and token-set comparison functions.
+
+These round out the comparator toolbox for non-string or structured
+attributes: exact equality (the degenerate comparison function), absolute
+and relative numeric proximity, and Jaccard similarity over token sets
+(useful for multi-word values such as addresses).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.similarity.base import NamedComparator, clamp01
+
+
+def exact_similarity(left: Any, right: Any) -> float:
+    """1.0 when the operands are equal, else 0.0."""
+    return 1.0 if left == right else 0.0
+
+
+def numeric_similarity(
+    left: Any,
+    right: Any,
+    *,
+    scale: float = 1.0,
+) -> float:
+    """Exponentially decaying similarity of two numbers.
+
+    ``sim = exp(-|a - b| / scale)`` — 1 for equal numbers, ~0.37 when the
+    difference equals *scale*.  Non-numeric operands compare as 0.
+    """
+    if scale <= 0.0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    try:
+        left_num = float(left)
+        right_num = float(right)
+    except (TypeError, ValueError):
+        return 0.0
+    if math.isnan(left_num) or math.isnan(right_num):
+        return 0.0
+    return clamp01(math.exp(-abs(left_num - right_num) / scale))
+
+
+def relative_numeric_similarity(left: Any, right: Any) -> float:
+    """``1 - |a-b| / max(|a|, |b|)``; 1 when both are zero."""
+    try:
+        left_num = float(left)
+        right_num = float(right)
+    except (TypeError, ValueError):
+        return 0.0
+    denominator = max(abs(left_num), abs(right_num))
+    if denominator == 0.0:
+        return 1.0
+    return clamp01(1.0 - abs(left_num - right_num) / denominator)
+
+
+def token_jaccard_similarity(left: Any, right: Any) -> float:
+    """Jaccard similarity of whitespace-token sets (case-folded)."""
+    left_tokens = {token.casefold() for token in str(left).split()}
+    right_tokens = {token.casefold() for token in str(right).split()}
+    union = left_tokens | right_tokens
+    if not union:
+        return 1.0
+    return len(left_tokens & right_tokens) / len(union)
+
+
+#: Ready-to-use named comparator instances.
+EXACT = NamedComparator("exact", exact_similarity)
+NUMERIC = NamedComparator("numeric", numeric_similarity)
+RELATIVE_NUMERIC = NamedComparator(
+    "relative_numeric", relative_numeric_similarity
+)
+TOKEN_JACCARD = NamedComparator("token_jaccard", token_jaccard_similarity)

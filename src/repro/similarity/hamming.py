@@ -1,0 +1,51 @@
+"""Normalized Hamming similarity — the paper's running comparator.
+
+The worked examples of Section IV use "the normalized hamming distance":
+strings are compared position by position, the shorter string is
+implicitly padded so every surplus position counts as a mismatch, and the
+mismatch count is divided by the length of the longer string.
+
+The paper's reference values, all reproduced by tests:
+
+* ``sim(Tim, Kim) = 2/3``
+* ``sim(Tim, Tom) = 2/3``
+* ``sim(Jim, Tom) = 1/3``
+* ``sim(machinist, mechanic) = 5/9``
+* ``sim(baker, mechanic) = 0``
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.similarity.base import NamedComparator, as_strings
+
+
+def hamming_distance(left: str, right: str) -> int:
+    """Positional mismatch count, padding the shorter operand.
+
+    ``hamming_distance("abc", "abcd") == 1`` — the unmatched trailing
+    character counts as one mismatch.
+    """
+    longer, shorter = (left, right) if len(left) >= len(right) else (right, left)
+    mismatches = len(longer) - len(shorter)
+    for left_char, right_char in zip(longer, shorter):
+        if left_char != right_char:
+            mismatches += 1
+    return mismatches
+
+
+def normalized_hamming_similarity(left: Any, right: Any) -> float:
+    """``1 - hamming_distance / max(len)``, in ``[0, 1]``.
+
+    Two empty strings are identical (similarity 1).
+    """
+    left_str, right_str = as_strings(left, right)
+    longest = max(len(left_str), len(right_str))
+    if longest == 0:
+        return 1.0
+    return 1.0 - hamming_distance(left_str, right_str) / longest
+
+
+#: Ready-to-use named comparator instance.
+HAMMING = NamedComparator("normalized_hamming", normalized_hamming_similarity)

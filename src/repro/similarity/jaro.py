@@ -1,0 +1,93 @@
+"""Jaro and Jaro–Winkler similarities.
+
+The Jaro distance is named by Section III-C among the standard syntactic
+comparison functions [15]; Jaro–Winkler adds the prefix bonus that Winkler
+introduced for census name matching [27].
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.similarity.base import NamedComparator, as_strings, clamp01
+
+
+def jaro_similarity(left: Any, right: Any) -> float:
+    """Classic Jaro similarity in ``[0, 1]``.
+
+    Characters match when equal and within half the longer length
+    (rounded down, minus one) of each other; the score combines the match
+    counts and transposition count in Jaro's formula.
+    """
+    left_str, right_str = as_strings(left, right)
+    if left_str == right_str:
+        return 1.0
+    left_len, right_len = len(left_str), len(right_str)
+    if left_len == 0 or right_len == 0:
+        return 0.0
+    window = max(left_len, right_len) // 2 - 1
+    window = max(window, 0)
+
+    left_matched = [False] * left_len
+    right_matched = [False] * right_len
+    matches = 0
+    for i, char in enumerate(left_str):
+        start = max(0, i - window)
+        stop = min(i + window + 1, right_len)
+        for j in range(start, stop):
+            if right_matched[j] or right_str[j] != char:
+                continue
+            left_matched[i] = True
+            right_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i in range(left_len):
+        if not left_matched[i]:
+            continue
+        while not right_matched[j]:
+            j += 1
+        if left_str[i] != right_str[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / left_len
+        + matches / right_len
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    left: Any,
+    right: Any,
+    *,
+    prefix_scale: float = 0.1,
+    max_prefix: int = 4,
+) -> float:
+    """Jaro similarity with Winkler's common-prefix bonus.
+
+    ``sim = jaro + ℓ · p · (1 - jaro)`` where ``ℓ`` is the length of the
+    common prefix (capped at *max_prefix*) and ``p`` the *prefix_scale*
+    (0.1 by default, keeping results ≤ 1 for prefixes up to 4).
+    """
+    if not 0.0 <= prefix_scale * max_prefix <= 1.0:
+        raise ValueError("prefix_scale * max_prefix must stay within [0, 1]")
+    left_str, right_str = as_strings(left, right)
+    jaro = jaro_similarity(left_str, right_str)
+    prefix = 0
+    for left_char, right_char in zip(left_str, right_str):
+        if left_char != right_char or prefix >= max_prefix:
+            break
+        prefix += 1
+    return clamp01(jaro + prefix * prefix_scale * (1.0 - jaro))
+
+
+#: Ready-to-use named comparator instances.
+JARO = NamedComparator("jaro", jaro_similarity)
+JARO_WINKLER = NamedComparator("jaro_winkler", jaro_winkler_similarity)

@@ -1,0 +1,185 @@
+"""Phonetic encodings and comparators (Soundex, NYSIIS).
+
+Phonetic codes are a record-linkage staple for person names (the paper's
+running attribute): two spellings of the same spoken name receive the
+same code, making phonetic equality a strong semantic comparator and a
+robust *blocking key* (misspellings rarely change the code).
+
+Implemented:
+
+* :func:`soundex` — the classic 4-character American Soundex;
+* :func:`nysiis` — the New York State Identification and Intelligence
+  System code (better for non-Anglo names);
+* :func:`soundex_similarity` / :func:`nysiis_similarity` — exact-match
+  comparators over the codes;
+* blended comparators that back off to an edit similarity when codes
+  differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.similarity.base import Comparator, NamedComparator, as_strings
+from repro.similarity.edit import levenshtein_similarity
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("BFPV", "1"),
+    **dict.fromkeys("CGJKQSXZ", "2"),
+    **dict.fromkeys("DT", "3"),
+    **dict.fromkeys("L", "4"),
+    **dict.fromkeys("MN", "5"),
+    **dict.fromkeys("R", "6"),
+}
+
+#: Letters Soundex skips entirely (vowels break runs; H/W do not).
+_SOUNDEX_IGNORED = set("AEIOUY")
+
+
+def soundex(text: str) -> str:
+    """American Soundex code (letter + 3 digits, zero padded).
+
+    Non-alphabetic characters are ignored; empty input maps to ``0000``.
+    """
+    letters = [c for c in text.upper() if c.isalpha()]
+    if not letters:
+        return "0000"
+    first = letters[0]
+    digits = [_SOUNDEX_CODES.get(first, "")]
+    for letter in letters[1:]:
+        code = _SOUNDEX_CODES.get(letter)
+        if code is None:
+            # H and W are transparent (do not break runs); vowels break.
+            if letter in _SOUNDEX_IGNORED:
+                digits.append("")
+            continue
+        if digits and digits[-1] == code:
+            continue
+        digits.append(code)
+    encoded = "".join(d for d in digits[1:] if d)
+    return (first + encoded + "000")[:4]
+
+
+def nysiis(text: str) -> str:
+    """NYSIIS phonetic code (classic rules, unbounded length).
+
+    Follows the original 1970 algorithm: head/tail substitutions, vowel
+    flattening to ``A``, consonant transformations, duplicate collapse
+    and tail cleanup.
+    """
+    letters = [c for c in text.upper() if c.isalpha()]
+    if not letters:
+        return ""
+    word = "".join(letters)
+
+    for prefix, replacement in (
+        ("MAC", "MCC"),
+        ("KN", "NN"),
+        ("K", "C"),
+        ("PH", "FF"),
+        ("PF", "FF"),
+        ("SCH", "SSS"),
+    ):
+        if word.startswith(prefix):
+            word = replacement + word[len(prefix):]
+            break
+    for suffix, replacement in (
+        ("EE", "Y"),
+        ("IE", "Y"),
+        ("DT", "D"),
+        ("RT", "D"),
+        ("RD", "D"),
+        ("NT", "D"),
+        ("ND", "D"),
+    ):
+        if word.endswith(suffix):
+            word = word[: -len(suffix)] + replacement
+            break
+
+    key = [word[0]]
+    i = 1
+    while i < len(word):
+        chunk = word[i:]
+        if chunk.startswith("EV"):
+            replacement, step = "AF", 2
+        elif word[i] in "AEIOU":
+            replacement, step = "A", 1
+        elif chunk.startswith("KN"):
+            replacement, step = "NN", 2
+        elif word[i] == "Q":
+            replacement, step = "G", 1
+        elif word[i] == "Z":
+            replacement, step = "S", 1
+        elif word[i] == "M":
+            replacement, step = "N", 1
+        elif chunk.startswith("SCH"):
+            replacement, step = "SSS", 3
+        elif chunk.startswith("PH"):
+            replacement, step = "FF", 2
+        elif word[i] == "K":
+            replacement, step = "C", 1
+        elif (
+            word[i] == "H"
+            and (
+                word[i - 1] not in "AEIOU"
+                or (i + 1 < len(word) and word[i + 1] not in "AEIOU")
+            )
+        ):
+            replacement, step = word[i - 1], 1
+        elif word[i] == "W" and word[i - 1] in "AEIOU":
+            replacement, step = word[i - 1], 1
+        else:
+            replacement, step = word[i], 1
+        for char in replacement:
+            if key[-1] != char:
+                key.append(char)
+        i += step
+
+    # Tail cleanup: drop trailing S and A, rewrite trailing AY to Y.
+    while len(key) > 1 and key[-1] == "S":
+        key.pop()
+    if len(key) >= 2 and key[-2:] == ["A", "Y"]:
+        key = key[:-2] + ["Y"]
+    while len(key) > 1 and key[-1] == "A":
+        key.pop()
+    return "".join(key)
+
+
+def soundex_similarity(left: Any, right: Any) -> float:
+    """1.0 when the Soundex codes agree, else 0.0."""
+    left_str, right_str = as_strings(left, right)
+    return 1.0 if soundex(left_str) == soundex(right_str) else 0.0
+
+
+def nysiis_similarity(left: Any, right: Any) -> float:
+    """1.0 when the NYSIIS codes agree, else 0.0."""
+    left_str, right_str = as_strings(left, right)
+    code_left, code_right = nysiis(left_str), nysiis(right_str)
+    if not code_left and not code_right:
+        return 1.0
+    return 1.0 if code_left == code_right else 0.0
+
+
+def phonetic_backoff(
+    phonetic: Comparator, fallback: Comparator | None = None
+) -> Comparator:
+    """Phonetic agreement, else the fallback's (dampened) similarity.
+
+    The standard blend: phonetically equal names score 1.0; otherwise
+    the fallback similarity (Levenshtein by default) is scaled by 0.9 so
+    phonetic agreement strictly dominates.
+    """
+    base = fallback if fallback is not None else levenshtein_similarity
+
+    def _blend(left: Any, right: Any) -> float:
+        if phonetic(left, right) >= 1.0:
+            return 1.0
+        return 0.9 * base(left, right)
+
+    return NamedComparator("phonetic_backoff", _blend)
+
+
+#: Ready-to-use named comparator instances.
+SOUNDEX = NamedComparator("soundex", soundex_similarity)
+NYSIIS = NamedComparator("nysiis", nysiis_similarity)
+SOUNDEX_LEVENSHTEIN = phonetic_backoff(soundex_similarity)

@@ -1,0 +1,106 @@
+"""Semantic similarity via glossaries and synonym groups.
+
+Section III-C: "attribute value similarity is quantified by syntactic
+(e.g., n-grams, edit- or jaro distance) and semantic (e.g., glossaries or
+ontologies) means."  A :class:`Glossary` records that e.g. *confectioner*
+and *confectionist* denote the same occupation, or that *mechanic* and
+*machinist* are closely related, and turns such domain knowledge into a
+normalized comparison function — optionally backed off to a syntactic
+comparator for unknown pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.similarity.base import Comparator, NamedComparator
+
+
+class Glossary:
+    """Domain knowledge as synonym groups plus scored related pairs.
+
+    Parameters
+    ----------
+    synonym_groups:
+        Iterable of groups (iterables of terms); every pair of terms within
+        a group has similarity 1.0.
+    related:
+        Mapping from unordered term pairs (given as 2-tuples) to a
+        similarity score in ``[0, 1]``.
+    case_sensitive:
+        Whether lookup distinguishes case; off by default, matching the
+        usual glossary convention.
+    """
+
+    def __init__(
+        self,
+        synonym_groups: Iterable[Iterable[str]] = (),
+        related: Mapping[tuple[str, str], float] | None = None,
+        *,
+        case_sensitive: bool = False,
+    ) -> None:
+        self._case_sensitive = case_sensitive
+        self._group_of: dict[str, int] = {}
+        for group_id, group in enumerate(synonym_groups):
+            for term in group:
+                self._group_of[self._key(term)] = group_id
+        self._related: dict[frozenset[str], float] = {}
+        for (left, right), score in (related or {}).items():
+            if not 0.0 <= score <= 1.0:
+                raise ValueError(
+                    f"related score for ({left!r}, {right!r}) "
+                    f"outside [0, 1]: {score}"
+                )
+            self._related[
+                frozenset((self._key(left), self._key(right)))
+            ] = score
+
+    def _key(self, term: str) -> str:
+        term = str(term)
+        return term if self._case_sensitive else term.casefold()
+
+    def lookup(self, left: Any, right: Any) -> float | None:
+        """Glossary-backed similarity, or ``None`` when unknown.
+
+        Equal terms score 1.0, members of the same synonym group 1.0,
+        explicitly related pairs their recorded score.
+        """
+        left_key, right_key = self._key(left), self._key(right)
+        if left_key == right_key:
+            return 1.0
+        left_group = self._group_of.get(left_key)
+        if left_group is not None and left_group == self._group_of.get(
+            right_key
+        ):
+            return 1.0
+        return self._related.get(frozenset((left_key, right_key)))
+
+    def comparator(
+        self, fallback: Comparator | None = None
+    ) -> Comparator:
+        """A comparison function backed by this glossary.
+
+        Unknown pairs are delegated to *fallback* (default: similarity 0,
+        the conservative choice for purely semantic matching).
+        """
+
+        def _compare(left: Any, right: Any) -> float:
+            known = self.lookup(left, right)
+            if known is not None:
+                return known
+            if fallback is None:
+                return 0.0
+            return fallback(left, right)
+
+        return NamedComparator("glossary", _compare)
+
+    def __contains__(self, term: str) -> bool:
+        return self._key(term) in self._group_of
+
+    def __repr__(self) -> str:
+        groups = len(set(self._group_of.values()))
+        return (
+            f"Glossary({groups} synonym groups, "
+            f"{len(self._related)} related pairs)"
+        )

@@ -1,0 +1,194 @@
+"""Similarity of *uncertain* attribute values — Equations 4 and 5.
+
+This is the paper's first technical contribution (Section IV-A): lifting
+a normalized comparison function on domain elements to probabilistic
+values.
+
+* **Error-free data** (Equation 4): similarity is the probability that
+  both values are equal, ``sim(a1, a2) = P(a1 = a2)``.
+* **Erroneous data** (Equation 5): domain-element similarity is folded
+  into the expectation,
+  ``sim(a1, a2) = Σ_{d1} Σ_{d2} P(a1=d1, a2=d2) · sim(d1, d2)``.
+
+Non-existence semantics (both equations): ``sim(⊥, ⊥) = 1`` — two
+non-existent values refer to the same real-world fact — and
+``sim(a, ⊥) = sim(⊥, a) = 0`` for existing ``a``.
+
+Pattern values (``mu*``) are handled either by expansion against a
+lexicon (exact, preferred) or by a documented prefix heuristic for
+lexicon-free use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.pdb.values import NULL, PatternValue, ProbabilisticValue
+from repro.similarity.base import Comparator, NamedComparator
+
+
+class PatternPolicy:
+    """How to compare :class:`PatternValue` outcomes.
+
+    ``expand``
+        Expand patterns against the configured lexicon before comparing
+        (exact semantics; requires a lexicon).
+    ``prefix``
+        Compare the pattern's fixed prefix against the equally long prefix
+        of the other operand with the base comparator.  A heuristic for
+        lexicon-free operation: it preserves the intuition that ``mu*`` is
+        similar to ``musician`` and dissimilar to ``baker``.
+    ``strict``
+        Raise on any pattern encounter (default — silent guessing is worse
+        than a loud error).
+    """
+
+    EXPAND = "expand"
+    PREFIX = "prefix"
+    STRICT = "strict"
+
+    ALL = (EXPAND, PREFIX, STRICT)
+
+
+def _prefix_pattern_similarity(
+    base: Comparator, pattern: PatternValue, other: Any
+) -> float:
+    """Prefix-heuristic similarity between a pattern and a plain value."""
+    if isinstance(other, PatternValue):
+        return base(pattern.prefix, other.prefix)
+    other_str = str(other)
+    prefix = pattern.prefix
+    if not pattern.is_wildcard():
+        return base(pattern.pattern, other_str)
+    return base(prefix, other_str[: len(prefix)])
+
+
+class UncertainValueComparator:
+    """Lift a domain comparator to probabilistic values (Eq. 4 / Eq. 5).
+
+    Parameters
+    ----------
+    base:
+        Normalized comparison function on certain domain elements.  When
+        ``None``, exact equality is used and the comparator computes
+        Equation 4 (the error-free case) instead of Equation 5.
+    pattern_policy:
+        One of :class:`PatternPolicy`'s constants.
+    pattern_lexicon:
+        Lexicon used by the ``expand`` policy.
+    """
+
+    def __init__(
+        self,
+        base: Comparator | None = None,
+        *,
+        pattern_policy: str = PatternPolicy.STRICT,
+        pattern_lexicon: Iterable[str] | None = None,
+    ) -> None:
+        if pattern_policy not in PatternPolicy.ALL:
+            raise ValueError(
+                f"unknown pattern policy {pattern_policy!r}; "
+                f"expected one of {PatternPolicy.ALL}"
+            )
+        if pattern_policy == PatternPolicy.EXPAND and pattern_lexicon is None:
+            raise ValueError("expand policy requires a pattern_lexicon")
+        self._base = base
+        self._policy = pattern_policy
+        self._lexicon = (
+            tuple(pattern_lexicon) if pattern_lexicon is not None else None
+        )
+
+    @property
+    def is_error_free(self) -> bool:
+        """Whether this comparator implements Equation 4 (no base sim)."""
+        return self._base is None
+
+    def _domain_similarity(self, left: Any, right: Any) -> float:
+        """Similarity of two concrete (non-⊥) domain elements."""
+        left_is_pattern = isinstance(left, PatternValue)
+        right_is_pattern = isinstance(right, PatternValue)
+        if left_is_pattern or right_is_pattern:
+            if self._policy == PatternPolicy.STRICT:
+                raise ValueError(
+                    "encountered a PatternValue but pattern_policy is "
+                    "'strict'; expand patterns or configure a policy"
+                )
+            base = self._base if self._base is not None else _equality
+            if left_is_pattern:
+                return _prefix_pattern_similarity(base, left, right)
+            return _prefix_pattern_similarity(base, right, left)
+        if self._base is None:
+            return 1.0 if left == right else 0.0
+        return self._base(left, right)
+
+    def _prepared(self, value: ProbabilisticValue) -> ProbabilisticValue:
+        """Expand patterns when the policy requires it."""
+        if self._policy != PatternPolicy.EXPAND:
+            return value
+        if any(isinstance(v, PatternValue) for v in value.support):
+            return value.expand_patterns(self._lexicon or ())
+        return value
+
+    def __call__(
+        self,
+        left: ProbabilisticValue | Any,
+        right: ProbabilisticValue | Any,
+    ) -> float:
+        """Expected similarity of two (possibly certain) attribute values.
+
+        Plain Python values are coerced to certain probabilistic values so
+        the comparator can be used uniformly.
+        """
+        left_value = _coerce(left)
+        right_value = _coerce(right)
+        left_value = self._prepared(left_value)
+        right_value = self._prepared(right_value)
+        return left_value.expected_similarity(
+            right_value, self._domain_similarity
+        )
+
+    def __repr__(self) -> str:
+        base_name = (
+            "equality"
+            if self._base is None
+            else getattr(self._base, "name", "comparator")
+        )
+        return (
+            f"UncertainValueComparator(base={base_name}, "
+            f"patterns={self._policy})"
+        )
+
+
+def _equality(left: Any, right: Any) -> float:
+    return 1.0 if left == right else 0.0
+
+
+def _coerce(value: Any) -> ProbabilisticValue:
+    if isinstance(value, ProbabilisticValue):
+        return value
+    if value is None or value is NULL:
+        return ProbabilisticValue.missing()
+    return ProbabilisticValue.certain(value)
+
+
+def equality_probability(
+    left: ProbabilisticValue | Any, right: ProbabilisticValue | Any
+) -> float:
+    """Equation 4 as a plain function: ``P(a1 = a2)``."""
+    return _coerce(left).equality_probability(_coerce(right))
+
+
+def expected_similarity(
+    left: ProbabilisticValue | Any,
+    right: ProbabilisticValue | Any,
+    base: Comparator,
+) -> float:
+    """Equation 5 as a plain function, strict about patterns."""
+    return UncertainValueComparator(base)(left, right)
+
+
+#: Equation-4 comparator ready for registry use.
+EQUALITY_PROBABILITY = NamedComparator(
+    "equality_probability", equality_probability
+)

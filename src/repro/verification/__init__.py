@@ -1,0 +1,37 @@
+"""Verification (Section III-E): quality metrics and threshold tuning."""
+
+from repro.verification.tuning import (
+    SweepPoint,
+    best_f1_threshold,
+    candidate_thresholds,
+    recommend_thresholds,
+    threshold_sweep,
+)
+from repro.verification.metrics import (
+    PossiblePolicy,
+    QualityReport,
+    evaluate_detection,
+    evaluate_pairs,
+    normalize_pairs,
+    pairs_completeness,
+    reduction_f1,
+    reduction_ratio,
+    total_pair_count,
+)
+
+__all__ = [
+    "PossiblePolicy",
+    "QualityReport",
+    "SweepPoint",
+    "best_f1_threshold",
+    "candidate_thresholds",
+    "evaluate_detection",
+    "evaluate_pairs",
+    "normalize_pairs",
+    "pairs_completeness",
+    "recommend_thresholds",
+    "reduction_f1",
+    "reduction_ratio",
+    "threshold_sweep",
+    "total_pair_count",
+]

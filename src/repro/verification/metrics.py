@@ -1,0 +1,246 @@
+"""Verification metrics (Section III-E) and reduction quality measures.
+
+"The effectiveness of the applied identification is checked in terms of
+recall, precision, false negative percentage, false positive percentage
+and F1-measure."
+
+Matching quality is evaluated on *pairs*: the gold standard is the set of
+true duplicate pairs; the prediction is the decision per compared pair.
+Possible matches (the set P) can be scored three ways — excluded,
+counted as matches (optimistic clerical review) or counted as non-matches
+(pessimistic) — because the paper keeps clerical review outside the
+automatic decision.
+
+Search-space reduction is evaluated by the standard pair:
+
+* **reduction ratio** — fraction of the full pair space pruned away;
+* **pairs completeness** — fraction of true matches surviving pruning
+  ("low risk of loosing matches", Section V).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass
+
+from repro.matching.decision.base import MatchStatus
+from repro.matching.pipeline import DetectionResult
+
+Pair = tuple[str, str]
+
+
+def _ordered(pair: Pair) -> Pair:
+    left, right = pair
+    return (left, right) if left <= right else (right, left)
+
+
+def normalize_pairs(pairs: Iterable[Pair]) -> frozenset[Pair]:
+    """Normalize unordered pairs for set arithmetic."""
+    return frozenset(_ordered(pair) for pair in pairs)
+
+
+class PossiblePolicy:
+    """How possible matches count in quality metrics."""
+
+    EXCLUDE = "exclude"
+    AS_MATCH = "as_match"
+    AS_UNMATCH = "as_unmatch"
+
+    ALL = (EXCLUDE, AS_MATCH, AS_UNMATCH)
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Confusion counts and the derived Section III-E measures.
+
+    ``false_negative_rate`` is FN / (TP + FN) — the fraction of true
+    duplicate pairs missed; ``false_positive_rate`` is FP / (FP + TN) —
+    the fraction of true non-duplicate pairs wrongly declared, following
+    the percentages of Batini & Scannapieco [22].
+    """
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+    possible_pairs: int = 0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was declared."""
+        declared = self.true_positives + self.false_positives
+        return self.true_positives / declared if declared else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when no true matches exist."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0.0 else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        """FN / (TP + FN) = 1 - recall."""
+        actual = self.true_positives + self.false_negatives
+        return self.false_negatives / actual if actual else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN)."""
+        negatives = self.false_positives + self.true_negatives
+        return self.false_positives / negatives if negatives else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / all decided pairs."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+        return (
+            (self.true_positives + self.true_negatives) / total
+            if total
+            else 1.0
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """All measures as a flat mapping (for table printers)."""
+        return {
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "tn": self.true_negatives,
+            "fn": self.false_negatives,
+            "possible": self.possible_pairs,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "fn_rate": self.false_negative_rate,
+            "fp_rate": self.false_positive_rate,
+            "accuracy": self.accuracy,
+        }
+
+
+def evaluate_pairs(
+    predicted_matches: Iterable[Pair],
+    true_matches: Iterable[Pair],
+    compared_pairs: Iterable[Pair],
+    *,
+    possible_matches: Iterable[Pair] = (),
+    possible_policy: str = PossiblePolicy.EXCLUDE,
+) -> QualityReport:
+    """Score predicted match pairs against the gold standard.
+
+    Only *compared_pairs* enter the confusion matrix: pairs pruned by
+    search-space reduction are invisible to the decision model and are
+    scored separately via :func:`pairs_completeness`.  True matches that
+    were pruned therefore do **not** count as false negatives here; use
+    :func:`evaluate_detection` for an end-to-end score that does charge
+    pruned matches as misses.
+    """
+    if possible_policy not in PossiblePolicy.ALL:
+        raise ValueError(f"unknown possible policy {possible_policy!r}")
+    predicted = normalize_pairs(predicted_matches)
+    possible = normalize_pairs(possible_matches)
+    gold = normalize_pairs(true_matches)
+    compared = normalize_pairs(compared_pairs)
+
+    if possible_policy == PossiblePolicy.AS_MATCH:
+        predicted = predicted | possible
+        possible = frozenset()
+    elif possible_policy == PossiblePolicy.AS_UNMATCH:
+        possible = frozenset()
+
+    scored = compared - possible
+    tp = len(predicted & gold & scored)
+    fp = len((predicted - gold) & scored)
+    fn = len((gold & scored) - predicted)
+    tn = len(scored) - tp - fp - fn
+    return QualityReport(
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=tn,
+        false_negatives=fn,
+        possible_pairs=len(possible & compared),
+    )
+
+
+def evaluate_detection(
+    result: DetectionResult,
+    true_matches: Iterable[Pair],
+    *,
+    possible_policy: str = PossiblePolicy.EXCLUDE,
+) -> QualityReport:
+    """End-to-end score of a :class:`DetectionResult`.
+
+    True matches that never reached the decision model (pruned by
+    reduction) are charged as false negatives — the honest end-to-end
+    reading of Section III-E's recall.
+    """
+    gold = normalize_pairs(true_matches)
+    compared = normalize_pairs(result.compared_pairs)
+    report = evaluate_pairs(
+        result.matches,
+        gold & compared,
+        compared,
+        possible_matches=result.possible_matches,
+        possible_policy=possible_policy,
+    )
+    pruned_misses = len(gold - compared)
+    return QualityReport(
+        true_positives=report.true_positives,
+        false_positives=report.false_positives,
+        true_negatives=report.true_negatives,
+        false_negatives=report.false_negatives + pruned_misses,
+        possible_pairs=report.possible_pairs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Search-space reduction quality (Section V)
+# ----------------------------------------------------------------------
+
+
+def total_pair_count(relation_size: int) -> int:
+    """``n(n-1)/2`` — the unreduced search-space size."""
+    if relation_size < 0:
+        raise ValueError(f"relation size must be >= 0, got {relation_size}")
+    return relation_size * (relation_size - 1) // 2
+
+
+def reduction_ratio(
+    candidate_pairs: Collection[Pair], relation_size: int
+) -> float:
+    """1 − |candidates| / |all pairs| — higher means more pruning."""
+    total = total_pair_count(relation_size)
+    if total == 0:
+        return 0.0
+    return 1.0 - len(normalize_pairs(candidate_pairs)) / total
+
+
+def pairs_completeness(
+    candidate_pairs: Collection[Pair], true_matches: Collection[Pair]
+) -> float:
+    """|candidates ∩ true matches| / |true matches| — recall ceiling."""
+    gold = normalize_pairs(true_matches)
+    if not gold:
+        return 1.0
+    candidates = normalize_pairs(candidate_pairs)
+    return len(candidates & gold) / len(gold)
+
+
+def reduction_f1(
+    candidate_pairs: Collection[Pair],
+    true_matches: Collection[Pair],
+    relation_size: int,
+) -> float:
+    """Harmonic mean of reduction ratio and pairs completeness."""
+    rr = reduction_ratio(candidate_pairs, relation_size)
+    pc = pairs_completeness(candidate_pairs, true_matches)
+    return 2.0 * rr * pc / (rr + pc) if (rr + pc) > 0.0 else 0.0

@@ -1,0 +1,160 @@
+"""Threshold tuning: the Section III-E verification feedback loop.
+
+"If the effectiveness is not satisfactory, duplicate detection is
+repeated with other, better suitable thresholds or methods."  This
+module closes that loop: given the similarities the decision model
+produced for a labeled calibration set, it sweeps candidate thresholds
+and recommends T_μ / T_λ.
+
+Two entry points:
+
+* :func:`threshold_sweep` — precision/recall/F1 at every candidate
+  match-threshold (a precision-recall curve over the similarity scale);
+* :func:`recommend_thresholds` — pick T_μ maximizing F1 and T_λ from a
+  target recall of the possible band (pairs the clerical review should
+  still catch).
+
+Both operate on plain ``(similarity, is_true_match)`` samples, so they
+work for every decision-model family — normalized certainties and
+unbounded matching weights alike.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.matching.decision.base import ThresholdClassifier
+
+#: One calibration sample: the model's similarity and the gold label.
+Sample = tuple[float, bool]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Quality at one candidate match threshold (matches are > threshold)."""
+
+    threshold: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        declared = self.true_positives + self.false_positives
+        return self.true_positives / declared if declared else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten for table rendering."""
+        return {
+            "threshold": self.threshold,
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def _clean(samples: Iterable[Sample]) -> list[Sample]:
+    cleaned = [
+        (float(similarity), bool(label)) for similarity, label in samples
+    ]
+    if not cleaned:
+        raise ValueError("threshold tuning needs calibration samples")
+    return cleaned
+
+
+def candidate_thresholds(samples: Sequence[Sample]) -> list[float]:
+    """Midpoints between adjacent distinct similarity values.
+
+    Sweeping midpoints covers every achievable confusion matrix without
+    redundant candidates; infinite similarities are clamped out (they
+    classify as matches under any finite threshold).
+    """
+    finite = sorted(
+        {similarity for similarity, _ in samples if math.isfinite(similarity)}
+    )
+    if not finite:
+        return [0.0]
+    candidates = [finite[0] - 1.0]
+    candidates.extend(
+        (low + high) / 2.0 for low, high in zip(finite, finite[1:])
+    )
+    candidates.append(finite[-1] + 1.0)
+    return candidates
+
+
+def threshold_sweep(samples: Iterable[Sample]) -> list[SweepPoint]:
+    """Precision/recall/F1 at every candidate threshold.
+
+    ``O(n log n)``: samples are sorted once and the confusion counts are
+    maintained incrementally while walking the candidates upward.
+    """
+    cleaned = _clean(samples)
+    ordered = sorted(cleaned, key=lambda sample: sample[0])
+    total_true = sum(1 for _, label in ordered if label)
+
+    points: list[SweepPoint] = []
+    index = 0
+    passed_true = 0
+    for threshold in candidate_thresholds(cleaned):
+        while index < len(ordered) and ordered[index][0] <= threshold:
+            if ordered[index][1]:
+                passed_true += 1
+            index += 1
+        tp = total_true - passed_true
+        fp = (len(ordered) - index) - tp
+        fn = passed_true
+        points.append(SweepPoint(threshold, tp, fp, fn))
+    return points
+
+
+def best_f1_threshold(samples: Iterable[Sample]) -> SweepPoint:
+    """The sweep point with maximal F1 (ties: highest threshold)."""
+    points = threshold_sweep(samples)
+    return max(points, key=lambda point: (point.f1, point.threshold))
+
+
+def recommend_thresholds(
+    samples: Iterable[Sample],
+    *,
+    review_recall: float = 0.95,
+) -> ThresholdClassifier:
+    """Recommend (T_μ, T_λ) from labeled calibration samples.
+
+    * ``T_μ`` maximizes F1 of the automatic match decision;
+    * ``T_λ`` is the largest threshold at which the match+possible bands
+      together still reach *review_recall* of the true matches — the
+      band below T_μ is what clerical review sees (Figure 2).
+    """
+    if not 0.0 < review_recall <= 1.0:
+        raise ValueError(
+            f"review_recall must lie in (0, 1], got {review_recall}"
+        )
+    cleaned = _clean(samples)
+    t_mu = best_f1_threshold(cleaned).threshold
+
+    true_similarities = sorted(
+        similarity for similarity, label in cleaned if label
+    )
+    if not true_similarities:
+        return ThresholdClassifier(t_mu, t_mu)
+    # Largest T_lambda such that at least review_recall of true matches
+    # lie at or above it.
+    missed_allowed = int((1.0 - review_recall) * len(true_similarities))
+    t_lambda = true_similarities[missed_allowed] - 1e-12
+    t_lambda = min(t_lambda, t_mu)
+    return ThresholdClassifier(t_mu, t_lambda)

@@ -1,0 +1,229 @@
+"""Unit tests for blocking strategies and world selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdb import PossibleWorld, XRelation, XTuple, enumerate_full_worlds
+from repro.reduction import (
+    AlternativeKeyBlocking,
+    CertainKeyBlocking,
+    MultiPassBlocking,
+    SubstringKey,
+    UncertainKeyClusteringBlocking,
+    average_pairwise_overlap,
+    expected_key_distance,
+    pairs_from_blocks,
+    select_diverse_worlds,
+    select_probable_worlds,
+)
+
+BLOCK_KEY = SubstringKey([("name", 1), ("job", 1)])
+
+
+def r34() -> XRelation:
+    from repro.experiments.paper_data import MU_JOBS, relation_r34
+
+    return XRelation(
+        "R34x",
+        ("name", "job"),
+        [
+            xt.expand_patterns({"job": MU_JOBS}).expand()
+            for xt in relation_r34()
+        ],
+    )
+
+
+class TestPairsFromBlocks:
+    def test_within_block_pairs(self):
+        blocks = {"A": ["x", "y", "z"]}
+        assert set(pairs_from_blocks(blocks)) == {
+            ("x", "y"),
+            ("x", "z"),
+            ("y", "z"),
+        }
+
+    def test_cross_block_repeats_suppressed(self):
+        blocks = {"A": ["x", "y"], "B": ["y", "x"]}
+        assert list(pairs_from_blocks(blocks)) == [("x", "y")]
+
+    def test_singleton_blocks_produce_nothing(self):
+        assert list(pairs_from_blocks({"A": ["x"]})) == []
+
+
+class TestCertainKeyBlocking:
+    def test_blocks_by_most_probable_key(self):
+        blocking = CertainKeyBlocking(BLOCK_KEY)
+        blocks = blocking.blocks(r34())
+        # Most probable worlds: t31→Jp, t32→Jb, t41→Jp, t42→Tm, t43→Sp
+        assert set(blocks["Jp"]) == {"t31", "t41"}
+        assert blocks["Jb"] == ["t32"]
+
+    def test_pairs_only_within_blocks(self):
+        blocking = CertainKeyBlocking(BLOCK_KEY)
+        assert list(blocking.pairs(r34())) == [("t31", "t41")]
+
+
+class TestAlternativeKeyBlocking:
+    def test_tuples_in_multiple_blocks(self):
+        blocking = AlternativeKeyBlocking(BLOCK_KEY)
+        blocks = blocking.blocks(r34())
+        memberships = [
+            key for key, members in blocks.items() if "t32" in members
+        ]
+        assert len(memberships) >= 2  # Tm, Jm, Jb
+
+    def test_in_block_dedup(self):
+        blocking = AlternativeKeyBlocking(BLOCK_KEY)
+        for members in blocking.blocks(r34()).values():
+            assert len(members) == len(set(members))
+
+    def test_superset_of_certain_key_blocking(self):
+        relation = r34()
+        certain_pairs = set(CertainKeyBlocking(BLOCK_KEY).pairs(relation))
+        alternative_pairs = set(
+            AlternativeKeyBlocking(BLOCK_KEY).pairs(relation)
+        )
+        assert certain_pairs <= alternative_pairs
+
+
+class TestMultiPassBlocking:
+    def test_selection_validated(self):
+        with pytest.raises(ValueError):
+            MultiPassBlocking(BLOCK_KEY, selection="nope")
+        with pytest.raises(ValueError):
+            MultiPassBlocking(BLOCK_KEY, world_count=0)
+
+    def test_blocks_for_single_world(self):
+        relation = r34()
+        blocking = MultiPassBlocking(BLOCK_KEY, selection="all")
+        world = enumerate_full_worlds(relation.xtuples)[0]
+        blocks = blocking.blocks_for_world(relation, world)
+        assert sum(len(m) for m in blocks.values()) == len(relation)
+
+    def test_all_worlds_superset_of_most_probable(self):
+        relation = r34()
+        single = MultiPassBlocking(
+            BLOCK_KEY, selection="most_probable", world_count=1
+        )
+        full = MultiPassBlocking(BLOCK_KEY, selection="all")
+        assert set(single.pairs(relation)) <= set(full.pairs(relation))
+
+    def test_diverse_selection_runs(self):
+        blocking = MultiPassBlocking(
+            BLOCK_KEY, selection="diverse", world_count=2
+        )
+        pairs = set(blocking.pairs(r34()))
+        assert pairs  # non-empty on the example
+
+
+class TestUncertainKeyClustering:
+    def test_radius_validated(self):
+        with pytest.raises(ValueError):
+            UncertainKeyClusteringBlocking(BLOCK_KEY, radius=1.5)
+
+    def test_expected_key_distance_zero_for_equal_certain(self):
+        assert expected_key_distance([("Jp", 1.0)], [("Jp", 1.0)]) == 0.0
+
+    def test_expected_key_distance_weights_probabilities(self):
+        left = [("ab", 0.5), ("cd", 0.5)]
+        right = [("ab", 1.0)]
+        assert expected_key_distance(left, right) == pytest.approx(0.5)
+
+    def test_expected_key_distance_normalizes_maybe_mass(self):
+        full = expected_key_distance([("ab", 1.0)], [("cd", 1.0)])
+        scaled = expected_key_distance([("ab", 0.5)], [("cd", 0.25)])
+        assert full == pytest.approx(scaled)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            expected_key_distance([], [("a", 1.0)])
+
+    def test_zero_radius_groups_identical_keys_only(self):
+        key = SubstringKey([("name", 3), ("job", 2)])
+        blocking = UncertainKeyClusteringBlocking(key, radius=0.0)
+        clusters = blocking.clusters(r34())
+        # t31 and t41 have overlapping but unequal key distributions ⇒
+        # with radius 0 only exactly-equal distributions co-cluster.
+        sizes = sorted(len(m) for m in clusters.values())
+        assert sum(sizes) == 5
+
+    def test_wide_radius_merges_everything(self):
+        blocking = UncertainKeyClusteringBlocking(BLOCK_KEY, radius=1.0)
+        clusters = blocking.clusters(r34())
+        assert len(clusters) == 1
+
+    def test_pairs_flow_from_clusters(self):
+        blocking = UncertainKeyClusteringBlocking(BLOCK_KEY, radius=0.6)
+        pairs = set(blocking.pairs(r34()))
+        clusters = blocking.clusters(r34())
+        implied = set(pairs_from_blocks(clusters))
+        assert pairs == implied
+
+
+class TestWorldSelection:
+    def make_worlds(self):
+        return [
+            PossibleWorld((("a", 0), ("b", 0)), 0.4),
+            PossibleWorld((("a", 0), ("b", 1)), 0.3),
+            PossibleWorld((("a", 1), ("b", 0)), 0.2),
+            PossibleWorld((("a", 1), ("b", 1)), 0.1),
+        ]
+
+    def test_probable_selection_orders_by_probability(self):
+        selected = select_probable_worlds(self.make_worlds(), 2)
+        assert [w.probability for w in selected] == [0.4, 0.3]
+
+    def test_probable_count_validated(self):
+        with pytest.raises(ValueError):
+            select_probable_worlds(self.make_worlds(), 0)
+
+    def test_diverse_first_pick_is_most_probable(self):
+        selected = select_diverse_worlds(self.make_worlds(), 2)
+        assert selected[0].probability == 0.4
+
+    def test_diverse_prefers_dissimilar_second_pick(self):
+        # With strong diversity weight, the second pick should be the
+        # fully different world (a=1, b=1) despite lowest probability.
+        selected = select_diverse_worlds(
+            self.make_worlds(), 2, diversity_weight=2.0
+        )
+        assert selected[1].selection == (("a", 1), ("b", 1))
+
+    def test_zero_diversity_equals_probable_selection(self):
+        diverse = select_diverse_worlds(
+            self.make_worlds(), 3, diversity_weight=0.0
+        )
+        probable = select_probable_worlds(self.make_worlds(), 3)
+        assert [w.selection for w in diverse] == [
+            w.selection for w in probable
+        ]
+
+    def test_diverse_validation(self):
+        with pytest.raises(ValueError):
+            select_diverse_worlds(self.make_worlds(), 0)
+        with pytest.raises(ValueError):
+            select_diverse_worlds(
+                self.make_worlds(), 1, diversity_weight=-1.0
+            )
+
+    def test_diverse_empty_input(self):
+        assert select_diverse_worlds([], 3) == []
+
+    def test_average_pairwise_overlap_bounds(self):
+        worlds = self.make_worlds()
+        overlap = average_pairwise_overlap(worlds)
+        assert 0.0 <= overlap <= 1.0
+
+    def test_average_overlap_single_world_is_one(self):
+        assert average_pairwise_overlap(self.make_worlds()[:1]) == 1.0
+
+    def test_diverse_selection_lowers_redundancy(self):
+        """The paper's motivation: diversified worlds are less redundant
+        than the top-probability worlds."""
+        worlds = self.make_worlds()
+        probable = select_probable_worlds(worlds, 2)
+        diverse = select_diverse_worlds(worlds, 2, diversity_weight=2.0)
+        assert average_pairwise_overlap(diverse) <= average_pairwise_overlap(
+            probable
+        )

@@ -1,0 +1,222 @@
+"""Unit tests for match clustering and the five-step pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import (
+    AttributeMatcher,
+    CombinedDecisionModel,
+    DuplicateDetector,
+    FullComparison,
+    MatchStatus,
+    ThresholdClassifier,
+    UnionFind,
+    WeightedSum,
+    cluster_matches,
+)
+from repro.pdb import ProbabilisticRelation, ProbabilisticTuple, XRelation, XTuple
+from repro.similarity import HAMMING
+
+M, P, U = MatchStatus.MATCH, MatchStatus.POSSIBLE, MatchStatus.UNMATCH
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        assert uf.find("a") != uf.find("b")
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.find("a") == uf.find("c")
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("c")
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [["a", "b"], ["c"]]
+
+    def test_find_auto_registers(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+
+    def test_idempotent_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("a", "b")
+        assert len(uf.groups()) == 1
+
+
+class TestClusterMatches:
+    def test_transitive_closure(self):
+        result = cluster_matches(
+            ["a", "b", "c", "d"],
+            [("a", "b", M), ("b", "c", M)],
+        )
+        assert result.clusters == (("a", "b", "c"),)
+        assert result.singletons == ("d",)
+
+    def test_possible_excluded_by_default(self):
+        result = cluster_matches(["a", "b"], [("a", "b", P)])
+        assert result.clusters == ()
+
+    def test_possible_included_on_request(self):
+        result = cluster_matches(
+            ["a", "b"], [("a", "b", P)], include_possible=True
+        )
+        assert result.clusters == (("a", "b"),)
+
+    def test_conflicts_reported(self):
+        """a~b, b~c matched, but a–c explicitly unmatch ⇒ conflict."""
+        result = cluster_matches(
+            ["a", "b", "c"],
+            [("a", "b", M), ("b", "c", M), ("a", "c", U)],
+        )
+        assert result.conflicts == (("a", "c"),)
+
+    def test_duplicate_pairs_property(self):
+        result = cluster_matches(
+            ["a", "b", "c"], [("a", "b", M), ("b", "c", M)]
+        )
+        assert result.duplicate_pairs == {
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "c"),
+        }
+
+    def test_cluster_of(self):
+        result = cluster_matches(["a", "b", "c"], [("a", "b", M)])
+        assert result.cluster_of("a") == ("a", "b")
+        assert result.cluster_of("c") is None
+
+
+def build_relation() -> XRelation:
+    """Five x-tuples: {A, A', A''} one entity, {B, B'} another, C alone."""
+    rows = [
+        ("a1", "Tim", "pilot"),
+        ("a2", "Tim", "pilot"),
+        ("a3", "Tim", "pilots"),
+        ("b1", "Johan", "baker"),
+        ("b2", "Johan", "baker"),
+        ("c1", "Walter", "zoologist"),
+    ]
+    return XRelation(
+        "R",
+        ["name", "job"],
+        [XTuple.certain(tid, {"name": n, "job": j}) for tid, n, j in rows],
+    )
+
+
+def build_detector(**kwargs) -> DuplicateDetector:
+    matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+    model = CombinedDecisionModel(
+        WeightedSum({"name": 0.7, "job": 0.3}),
+        ThresholdClassifier(0.9, 0.5),
+    )
+    return DuplicateDetector(matcher, model, **kwargs)
+
+
+class TestFullComparison:
+    def test_pair_count(self):
+        relation = build_relation()
+        pairs = list(FullComparison().pairs(relation))
+        assert len(pairs) == 15  # 6·5/2
+
+    def test_no_self_pairs(self):
+        for left, right in FullComparison().pairs(build_relation()):
+            assert left != right
+
+
+class TestDuplicateDetector:
+    def test_detects_expected_matches(self):
+        result = build_detector().detect(build_relation())
+        matches = set(result.matches)
+        assert ("a1", "a2") in matches
+        assert ("b1", "b2") in matches
+        assert not any("c1" in pair for pair in matches)
+
+    def test_result_partitions_compared_pairs(self):
+        result = build_detector().detect(build_relation())
+        total = (
+            len(result.matches)
+            + len(result.possible_matches)
+            + len(result.unmatches)
+        )
+        assert total == len(result.compared_pairs) == 15
+
+    def test_relation_size_recorded(self):
+        result = build_detector().detect(build_relation())
+        assert result.relation_size == 6
+
+    def test_flat_relation_accepted(self):
+        relation = ProbabilisticRelation(
+            "R",
+            ["name", "job"],
+            [
+                ProbabilisticTuple("x", {"name": "Tim", "job": "pilot"}),
+                ProbabilisticTuple("y", {"name": "Tim", "job": "pilot"}),
+            ],
+        )
+        result = build_detector().detect(relation)
+        assert result.matches == (("x", "y"),)
+
+    def test_detect_between_unions_sources(self):
+        left = XRelation(
+            "L",
+            ["name", "job"],
+            [XTuple.certain("l1", {"name": "Tim", "job": "pilot"})],
+        )
+        right = XRelation(
+            "R",
+            ["name", "job"],
+            [XTuple.certain("r1", {"name": "Tim", "job": "pilot"})],
+        )
+        result = build_detector().detect_between(left, right)
+        assert result.matches == (("l1", "r1"),)
+
+    def test_reducer_pairs_deduplicated(self):
+        class NoisyReducer:
+            def pairs(self, relation):
+                ids = relation.tuple_ids
+                yield ids[0], ids[1]
+                yield ids[1], ids[0]  # reversed duplicate
+                yield ids[0], ids[0]  # self pair
+                yield ids[0], ids[1]  # exact duplicate
+
+        detector = build_detector(reducer=NoisyReducer())
+        result = detector.detect(build_relation())
+        assert len(result.decisions) == 1
+
+    def test_preparation_hook_applied(self):
+        from repro.preparation import standardize_relation
+
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("x", {"name": "TIM  ", "job": "pilot"}),
+                XTuple.certain("y", {"name": "tim", "job": "pilot"}),
+            ],
+        )
+        unprepared = build_detector().detect(relation)
+        prepared = build_detector(
+            preparation=standardize_relation
+        ).detect(relation)
+        assert unprepared.matches == ()
+        assert prepared.matches == (("x", "y"),)
+
+    def test_clusters_from_result(self):
+        result = build_detector().detect(build_relation())
+        clusters = result.clusters()
+        flattened = {tid for cluster in clusters.clusters for tid in cluster}
+        assert {"a1", "a2", "b1", "b2"} <= flattened
+
+    def test_pairs_with_status(self):
+        result = build_detector().detect(build_relation())
+        for pair in result.pairs_with_status(MatchStatus.MATCH):
+            assert pair in result.compared_pairs

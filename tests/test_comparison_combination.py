@@ -1,0 +1,231 @@
+"""Unit tests for comparison vectors/matrices and combination functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.matching import (
+    AttributeMatcher,
+    Average,
+    ComparisonMatrix,
+    ComparisonVector,
+    LogLikelihoodRatio,
+    Maximum,
+    Minimum,
+    Product,
+    WeightedSum,
+)
+from repro.pdb import ProbabilisticTuple, ProbabilisticValue, XTuple
+from repro.similarity import HAMMING, UncertainValueComparator
+
+
+def vector(**values: float) -> ComparisonVector:
+    return ComparisonVector(tuple(values), tuple(values.values()))
+
+
+class TestComparisonVector:
+    def test_attribute_alignment(self):
+        v = vector(name=0.9, job=0.5)
+        assert v.similarity("name") == 0.9
+        assert v.similarity("job") == 0.5
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            vector(name=0.9).similarity("job")
+
+    def test_out_of_range_similarity_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonVector(("a",), (1.5,))
+        with pytest.raises(ValueError):
+            ComparisonVector(("a",), (-0.1,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonVector(("a", "b"), (0.5,))
+
+    def test_sequence_protocol(self):
+        v = vector(a=0.1, b=0.2)
+        assert len(v) == 2
+        assert v[1] == pytest.approx(0.2)
+        assert list(v) == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_as_dict(self):
+        assert vector(a=0.25).as_dict() == {"a": 0.25}
+
+    def test_equality_and_hash(self):
+        assert vector(a=0.5) == vector(a=0.5)
+        assert hash(vector(a=0.5)) == hash(vector(a=0.5))
+
+
+class TestComparisonMatrix:
+    def make(self) -> ComparisonMatrix:
+        rows = [
+            [vector(a=0.9), vector(a=0.1)],
+            [vector(a=0.4), vector(a=0.6)],
+            [vector(a=0.2), vector(a=0.8)],
+        ]
+        return ComparisonMatrix(rows, [0.3, 0.2, 0.4], [0.8, 0.2])
+
+    def test_shape(self):
+        assert self.make().shape == (3, 2)
+
+    def test_indexing(self):
+        matrix = self.make()
+        assert matrix[1, 0].similarity("a") == pytest.approx(0.4)
+        assert matrix.vector(2, 1).similarity("a") == pytest.approx(0.8)
+
+    def test_cells_row_major(self):
+        cells = list(self.make().cells())
+        assert [(i, j) for i, j, _ in cells] == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1),
+        ]
+
+    def test_conditional_weights_sum_to_one(self):
+        matrix = self.make()
+        total = sum(
+            matrix.conditional_weight(i, j)
+            for i in range(3)
+            for j in range(2)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_conditional_weight_value(self):
+        matrix = self.make()
+        # p(t1^0)/0.9 · p(t2^0)/1.0 = (0.3/0.9)·(0.8/1.0)
+        assert matrix.conditional_weight(0, 0) == pytest.approx(
+            (0.3 / 0.9) * 0.8
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonMatrix([[vector(a=0.5)]], [0.5, 0.5], [1.0])
+        with pytest.raises(ValueError):
+            ComparisonMatrix([[vector(a=0.5)]], [1.0], [0.5, 0.5])
+
+
+class TestAttributeMatcher:
+    def test_plain_comparator_lifted(self):
+        matcher = AttributeMatcher({"name": HAMMING})
+        value = ProbabilisticValue({"Tim": 0.7, "Kim": 0.3})
+        assert matcher.compare_values("name", "Tim", value) == pytest.approx(
+            0.9
+        )
+
+    def test_uncertain_comparator_passes_through(self):
+        lifted = UncertainValueComparator(HAMMING)
+        matcher = AttributeMatcher({"name": lifted})
+        assert matcher.comparator_for("name") is lifted
+
+    def test_default_comparator_used_for_missing(self):
+        matcher = AttributeMatcher({}, default=HAMMING)
+        assert matcher.compare_values("anything", "x", "x") == 1.0
+
+    def test_missing_comparator_raises(self):
+        matcher = AttributeMatcher({"name": HAMMING})
+        with pytest.raises(KeyError):
+            matcher.comparator_for("job")
+
+    def test_compare_rows(self):
+        matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+        left = ProbabilisticTuple("t1", {"name": "Tim", "job": "pilot"})
+        right = ProbabilisticTuple("t2", {"name": "Tom", "job": "pilot"})
+        vector_ = matcher.compare_rows(left, right)
+        assert vector_.similarity("name") == pytest.approx(2 / 3)
+        assert vector_.similarity("job") == 1.0
+
+    def test_compare_xtuples_shape(self):
+        matcher = AttributeMatcher({"a": HAMMING})
+        left = XTuple.build("l", [({"a": "x"}, 0.5), ({"a": "y"}, 0.5)])
+        right = XTuple.build("r", [({"a": "x"}, 1.0)])
+        matrix = matcher.compare_xtuples(left, right)
+        assert matrix.shape == (2, 1)
+        assert matrix[0, 0].similarity("a") == 1.0
+
+
+class TestCombinationFunctions:
+    def test_weighted_sum_paper_example(self):
+        phi = WeightedSum({"name": 0.8, "job": 0.2})
+        assert phi(vector(name=0.9, job=0.59)) == pytest.approx(0.838)
+
+    def test_weighted_sum_sequence_weights(self):
+        phi = WeightedSum([0.5, 0.5])
+        assert phi(vector(a=1.0, b=0.0)) == pytest.approx(0.5)
+
+    def test_weighted_sum_normalized_flag(self):
+        assert WeightedSum({"a": 0.8, "b": 0.2}).normalized
+        assert not WeightedSum({"a": 2.0, "b": 1.0}).normalized
+
+    def test_weighted_sum_missing_weight_raises(self):
+        phi = WeightedSum({"a": 1.0})
+        with pytest.raises(KeyError):
+            phi(vector(b=0.5))
+
+    def test_weighted_sum_wrong_arity_raises(self):
+        phi = WeightedSum([1.0])
+        with pytest.raises(ValueError):
+            phi(vector(a=0.5, b=0.5))
+
+    def test_weighted_sum_validation(self):
+        with pytest.raises(ValueError):
+            WeightedSum([])
+        with pytest.raises(ValueError):
+            WeightedSum([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            WeightedSum([0.0, 0.0])
+
+    def test_average(self):
+        assert Average()(vector(a=0.2, b=0.8)) == pytest.approx(0.5)
+
+    def test_minimum_maximum(self):
+        v = vector(a=0.2, b=0.8)
+        assert Minimum()(v) == pytest.approx(0.2)
+        assert Maximum()(v) == pytest.approx(0.8)
+
+    def test_product(self):
+        assert Product()(vector(a=0.5, b=0.5)) == pytest.approx(0.25)
+
+    def test_normalized_flags(self):
+        for combiner in (Average(), Minimum(), Maximum(), Product()):
+            assert combiner.normalized
+
+
+class TestLogLikelihoodRatio:
+    def make(self) -> LogLikelihoodRatio:
+        return LogLikelihoodRatio(
+            m_probabilities={"name": 0.9, "job": 0.8},
+            u_probabilities={"name": 0.1, "job": 0.2},
+            agreement_threshold=0.8,
+        )
+
+    def test_full_agreement_weight(self):
+        weight = self.make()(vector(name=0.9, job=0.85))
+        assert weight == pytest.approx(math.log2(9) + math.log2(4))
+
+    def test_full_disagreement_weight(self):
+        weight = self.make()(vector(name=0.1, job=0.1))
+        assert weight == pytest.approx(
+            math.log2(0.1 / 0.9) + math.log2(0.2 / 0.8)
+        )
+
+    def test_non_normalized(self):
+        assert not self.make().normalized
+
+    def test_agreement_pattern(self):
+        pattern = self.make().agreement_pattern(vector(name=0.9, job=0.1))
+        assert pattern == (True, False)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogLikelihoodRatio({"a": 1.0}, {"a": 0.5})
+        with pytest.raises(ValueError):
+            LogLikelihoodRatio({"a": 0.5}, {"b": 0.5})
+        with pytest.raises(ValueError):
+            LogLikelihoodRatio(
+                {"a": 0.5}, {"a": 0.5}, agreement_threshold=0.0
+            )
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            self.make()(vector(other=0.5))

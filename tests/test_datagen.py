@@ -1,0 +1,291 @@
+"""Unit tests for the synthetic data generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen import (
+    FIRST_NAMES,
+    JOBS,
+    Corruptor,
+    DatasetConfig,
+    HEAVY_UNCERTAINTY,
+    LIGHT_UNCERTAINTY,
+    UncertaintyProfile,
+    delete_char,
+    generate_dataset,
+    insert_char,
+    jobs_with_prefix,
+    make_uncertain_value,
+    membership_probability,
+    ocr_confuse,
+    substitute_char,
+    transpose_chars,
+    truncate,
+)
+from repro.pdb import NULL, PatternValue
+
+
+class TestCorpora:
+    def test_paper_cast_present(self):
+        for name in ("Tim", "Tom", "Jim", "Kim", "John", "Johan", "Timothy"):
+            assert name in FIRST_NAMES
+
+    def test_paper_jobs_present(self):
+        for job in (
+            "machinist",
+            "mechanic",
+            "baker",
+            "confectioner",
+            "confectionist",
+            "pilot",
+            "pianist",
+        ):
+            assert job in JOBS
+
+    def test_mu_family_nonempty(self):
+        family = jobs_with_prefix("mu")
+        assert len(family) >= 3
+        assert all(job.startswith("mu") for job in family)
+
+    def test_corpora_have_no_duplicates(self):
+        assert len(set(FIRST_NAMES)) == len(FIRST_NAMES)
+        assert len(set(JOBS)) == len(JOBS)
+
+
+class TestCorruptionOperators:
+    @pytest.mark.parametrize(
+        "op", [substitute_char, delete_char, insert_char, transpose_chars,
+               ocr_confuse, truncate]
+    )
+    def test_operator_returns_string(self, op):
+        rng = random.Random(3)
+        result = op("machinist", rng)
+        assert isinstance(result, str)
+
+    def test_substitute_changes_one_char(self):
+        rng = random.Random(1)
+        result = substitute_char("abcdef", rng)
+        assert len(result) == 6
+        assert sum(a != b for a, b in zip(result, "abcdef")) == 1
+
+    def test_delete_shortens(self):
+        rng = random.Random(1)
+        assert len(delete_char("abcdef", rng)) == 5
+
+    def test_delete_keeps_single_char(self):
+        rng = random.Random(1)
+        assert delete_char("a", rng) == "a"
+
+    def test_insert_lengthens(self):
+        rng = random.Random(1)
+        assert len(insert_char("abc", rng)) == 4
+
+    def test_transpose_preserves_multiset(self):
+        rng = random.Random(1)
+        result = transpose_chars("abcdef", rng)
+        assert sorted(result) == sorted("abcdef")
+
+    def test_truncate_shortens(self):
+        rng = random.Random(1)
+        result = truncate("abcdefgh", rng)
+        assert result == "abcdefgh"[: len(result)]
+        assert 2 <= len(result) < 8
+
+
+class TestCorruptor:
+    def test_corrupt_changes_value(self):
+        corruptor = Corruptor()
+        rng = random.Random(7)
+        for _ in range(50):
+            assert corruptor.corrupt("machinist", rng) != "machinist"
+
+    def test_variants_distinct(self):
+        corruptor = Corruptor()
+        rng = random.Random(7)
+        variants = corruptor.variants("machinist", 4, rng)
+        assert len(variants) == 4
+        assert len(set(variants)) == 4
+        assert "machinist" not in variants
+
+    def test_variants_best_effort_when_space_exhausted(self):
+        """Substitution-only on a 1-char string has < 26 variants; the
+        attempt cap must terminate instead of spinning forever."""
+        corruptor = Corruptor([(substitute_char, 1.0)], max_errors=1)
+        rng = random.Random(7)
+        variants = corruptor.variants("a", 100, rng)
+        assert 0 < len(variants) <= 26
+
+    def test_reproducible_with_same_seed(self):
+        corruptor = Corruptor()
+        first = corruptor.corrupt("machinist", random.Random(42))
+        second = corruptor.corrupt("machinist", random.Random(42))
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Corruptor([])
+        with pytest.raises(ValueError):
+            Corruptor(max_errors=0)
+        with pytest.raises(ValueError):
+            Corruptor([(substitute_char, 0.0)])
+
+
+class TestUncertaintyProfile:
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            UncertaintyProfile(uncertain_value_rate=1.5)
+        with pytest.raises(ValueError):
+            UncertaintyProfile(max_alternatives=1)
+        with pytest.raises(ValueError):
+            UncertaintyProfile(true_value_mass=1.0)
+
+    def test_presets_are_valid(self):
+        assert LIGHT_UNCERTAINTY.uncertain_value_rate < (
+            HEAVY_UNCERTAINTY.uncertain_value_rate
+        )
+
+
+class TestMakeUncertainValue:
+    def test_distribution_mass_valid(self):
+        corruptor = Corruptor()
+        profile = UncertaintyProfile(uncertain_value_rate=1.0)
+        rng = random.Random(5)
+        for _ in range(100):
+            value = make_uncertain_value(
+                "machinist", corruptor, profile, rng
+            )
+            total = sum(p for _, p in value.items())
+            assert total == pytest.approx(1.0)
+
+    def test_true_value_usually_dominant(self):
+        corruptor = Corruptor()
+        profile = UncertaintyProfile(
+            uncertain_value_rate=1.0, true_value_dropout=0.0, null_rate=0.0
+        )
+        rng = random.Random(5)
+        dominant = 0
+        for _ in range(100):
+            value = make_uncertain_value(
+                "machinist", corruptor, profile, rng
+            )
+            if value.most_probable() == "machinist":
+                dominant += 1
+        assert dominant >= 80
+
+    def test_pattern_emission(self):
+        corruptor = Corruptor()
+        profile = UncertaintyProfile(pattern_rate=1.0)
+        rng = random.Random(5)
+        value = make_uncertain_value(
+            "musician", corruptor, profile, rng, pattern_lexicon=tuple(JOBS)
+        )
+        assert isinstance(value.certain_value, PatternValue)
+        assert value.certain_value.prefix == "mu"
+
+    def test_pattern_needs_family(self):
+        """No pattern for a prefix matched by a single lexicon word."""
+        corruptor = Corruptor()
+        profile = UncertaintyProfile(pattern_rate=1.0)
+        rng = random.Random(5)
+        value = make_uncertain_value(
+            "zoologist", corruptor, profile, rng, pattern_lexicon=tuple(JOBS)
+        )
+        assert not isinstance(value.most_probable(), PatternValue)
+
+    def test_membership_probability_range(self):
+        profile = UncertaintyProfile(maybe_rate=1.0, min_membership=0.4)
+        rng = random.Random(5)
+        for _ in range(100):
+            p = membership_probability(profile, rng)
+            assert 0.4 <= p <= 0.95
+
+
+class TestDatasetGenerator:
+    def test_deterministic(self):
+        first = generate_dataset(entity_count=20, seed=3)
+        second = generate_dataset(entity_count=20, seed=3)
+        assert first.relation.tuple_ids == second.relation.tuple_ids
+        assert first.true_matches == second.true_matches
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(entity_count=20, seed=3)
+        second = generate_dataset(entity_count=20, seed=4)
+        assert (
+            first.true_matches != second.true_matches
+            or first.relation.tuple_ids != second.relation.tuple_ids
+        )
+
+    def test_gold_pairs_reference_existing_tuples(self):
+        dataset = generate_dataset(entity_count=30, seed=5)
+        ids = set(dataset.relation.tuple_ids)
+        for left, right in dataset.true_matches:
+            assert left in ids and right in ids
+            assert left < right
+
+    def test_gold_pairs_match_entity_mapping(self):
+        dataset = generate_dataset(entity_count=30, seed=5)
+        for left, right in dataset.true_matches:
+            assert dataset.entity_of[left] == dataset.entity_of[right]
+
+    def test_duplicate_rate_zero_yields_no_gold(self):
+        dataset = generate_dataset(
+            entity_count=30, duplicate_rate=0.0, seed=5
+        )
+        assert dataset.true_matches == frozenset()
+
+    def test_flat_mode_single_alternatives(self):
+        dataset = generate_dataset(entity_count=20, seed=5, flat=True)
+        assert all(len(xt) == 1 for xt in dataset.relation)
+
+    def test_xtuple_mode_produces_multi_alternatives(self):
+        dataset = generate_dataset(entity_count=40, seed=5)
+        assert any(len(xt) > 1 for xt in dataset.relation)
+
+    def test_split_sources(self):
+        dataset = generate_dataset(entity_count=30, seed=5, split_sources=True)
+        assert len(dataset.sources) == 2
+        total = len(dataset.sources[0]) + len(dataset.sources[1])
+        assert total == len(dataset.relation)
+
+    def test_duplicate_cluster_count(self):
+        dataset = generate_dataset(entity_count=50, seed=5)
+        assert dataset.duplicate_cluster_count > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(entity_count=0)
+        with pytest.raises(ValueError):
+            DatasetConfig(duplicate_rate=2.0)
+        with pytest.raises(ValueError):
+            DatasetConfig(max_records_per_entity=1)
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            generate_dataset(DatasetConfig(), entity_count=5)
+
+    def test_all_xtuples_valid_probability(self):
+        dataset = generate_dataset(
+            entity_count=50,
+            seed=9,
+            profile=HEAVY_UNCERTAINTY,
+        )
+        for xt in dataset.relation:
+            assert 0.0 < xt.probability <= 1.0 + 1e-9
+
+    def test_heavy_profile_produces_nulls_and_maybes(self):
+        dataset = generate_dataset(
+            entity_count=80, seed=9, profile=HEAVY_UNCERTAINTY, flat=True
+        )
+        has_null = any(
+            any(
+                alt.value(a).probability(NULL) > 0
+                for a in alt.attributes
+            )
+            for xt in dataset.relation
+            for alt in xt.alternatives
+        )
+        has_maybe = any(xt.is_maybe for xt in dataset.relation)
+        assert has_null and has_maybe

@@ -1,0 +1,379 @@
+"""Unit tests for decision models: thresholds, rules, Fellegi–Sunter, EM."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.matching import (
+    CertaintyCombination,
+    CombinedDecisionModel,
+    ComparisonVector,
+    Condition,
+    FellegiSunterModel,
+    IdentificationRule,
+    MatchStatus,
+    RuleBasedModel,
+    ThresholdClassifier,
+    WeightedSum,
+    agreement_pattern,
+    estimate_em,
+    paper_example_rule,
+    select_thresholds,
+)
+
+
+def vector(**values: float) -> ComparisonVector:
+    return ComparisonVector(tuple(values), tuple(values.values()))
+
+
+class TestMatchStatus:
+    def test_values(self):
+        assert MatchStatus.MATCH.value == "m"
+        assert MatchStatus.POSSIBLE.value == "p"
+        assert MatchStatus.UNMATCH.value == "u"
+
+    def test_numeric_coding(self):
+        """The paper's coding m=2, p=1, u=0."""
+        assert MatchStatus.MATCH.numeric == 2
+        assert MatchStatus.POSSIBLE.numeric == 1
+        assert MatchStatus.UNMATCH.numeric == 0
+
+
+class TestThresholdClassifier:
+    def test_two_threshold_bands(self):
+        classifier = ThresholdClassifier(0.7, 0.4)
+        assert classifier.classify(0.8) is MatchStatus.MATCH
+        assert classifier.classify(0.5) is MatchStatus.POSSIBLE
+        assert classifier.classify(0.3) is MatchStatus.UNMATCH
+
+    def test_strict_inequalities(self):
+        """The paper uses R > T_μ and R < T_λ (strict)."""
+        classifier = ThresholdClassifier(0.7, 0.4)
+        assert classifier.classify(0.7) is MatchStatus.POSSIBLE
+        assert classifier.classify(0.4) is MatchStatus.POSSIBLE
+
+    def test_single_threshold_collapses_band(self):
+        classifier = ThresholdClassifier(0.5)
+        assert not classifier.supports_possible
+        assert classifier.classify(0.6) is MatchStatus.MATCH
+        assert classifier.classify(0.4) is MatchStatus.UNMATCH
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdClassifier(0.4, 0.7)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdClassifier(float("nan"))
+
+    def test_infinite_similarity_is_match(self):
+        classifier = ThresholdClassifier(0.7, 0.4)
+        assert classifier.classify(math.inf) is MatchStatus.MATCH
+
+    def test_decide_bundles_similarity(self):
+        decision = ThresholdClassifier(0.7, 0.4).decide(0.9)
+        assert decision.is_match
+        assert decision.similarity == 0.9
+
+
+class TestIdentificationRules:
+    def test_condition_strict_comparison(self):
+        condition = Condition("name", 0.8)
+        assert condition.holds(vector(name=0.81))
+        assert not condition.holds(vector(name=0.8))
+
+    def test_condition_inclusive(self):
+        condition = Condition("name", 1.0, inclusive=True)
+        assert condition.holds(vector(name=1.0))
+
+    def test_condition_threshold_validated(self):
+        with pytest.raises(ValueError):
+            Condition("name", 1.5)
+
+    def test_rule_fires_when_all_conditions_hold(self):
+        rule = IdentificationRule.build(
+            [("name", 0.8), ("job", 0.5)], 0.8
+        )
+        assert rule.fires(vector(name=0.9, job=0.6))
+        assert not rule.fires(vector(name=0.9, job=0.4))
+
+    def test_rule_requires_conditions(self):
+        with pytest.raises(ValueError):
+            IdentificationRule((), 0.8)
+
+    def test_rule_certainty_validated(self):
+        with pytest.raises(ValueError):
+            IdentificationRule.build([("a", 0.5)], 0.0)
+        with pytest.raises(ValueError):
+            IdentificationRule.build([("a", 0.5)], 1.1)
+
+    def test_paper_rule_pretty_matches_figure_1(self):
+        rule = paper_example_rule(0.8, 0.5)
+        assert rule.pretty() == (
+            "IF name > 0.8 AND job > 0.5 "
+            "THEN DUPLICATES with CERTAINTY=0.8"
+        )
+
+
+class TestRuleBasedModel:
+    def make(self, combination=CertaintyCombination.MAXIMUM) -> RuleBasedModel:
+        rules = [
+            IdentificationRule.build([("name", 0.9)], 0.9, name="strong"),
+            IdentificationRule.build(
+                [("name", 0.7), ("job", 0.7)], 0.6, name="both"
+            ),
+        ]
+        return RuleBasedModel(
+            rules, ThresholdClassifier(0.7), combination=combination
+        )
+
+    def test_no_rule_fires_similarity_zero(self):
+        model = self.make()
+        assert model.similarity(vector(name=0.1, job=0.1)) == 0.0
+        assert model.decide(vector(name=0.1, job=0.1)).is_unmatch
+
+    def test_maximum_combination(self):
+        model = self.make()
+        assert model.similarity(vector(name=0.95, job=0.8)) == pytest.approx(
+            0.9
+        )
+
+    def test_noisy_or_combination(self):
+        model = self.make(CertaintyCombination.NOISY_OR)
+        # both rules fire: 1 - (1-0.9)(1-0.6) = 0.96
+        assert model.similarity(vector(name=0.95, job=0.8)) == pytest.approx(
+            0.96
+        )
+
+    def test_firing_rules_listing(self):
+        model = self.make()
+        fired = model.firing_rules(vector(name=0.95, job=0.8))
+        assert {rule.name for rule in fired} == {"strong", "both"}
+
+    def test_decision_uses_threshold(self):
+        model = self.make()
+        assert model.decide(vector(name=0.95, job=0.1)).is_match
+
+    def test_empty_rule_set_rejected(self):
+        with pytest.raises(ValueError):
+            RuleBasedModel([], ThresholdClassifier(0.5))
+
+    def test_unknown_combination_rejected(self):
+        with pytest.raises(ValueError):
+            RuleBasedModel(
+                [paper_example_rule()],
+                ThresholdClassifier(0.5),
+                combination="votes",
+            )
+
+    def test_pretty_lists_all_rules(self):
+        assert self.make().pretty().count("IF") == 2
+
+
+class TestFellegiSunter:
+    def make(self, use_log=False) -> FellegiSunterModel:
+        return FellegiSunterModel(
+            m_probabilities={"name": 0.9, "job": 0.8},
+            u_probabilities={"name": 0.1, "job": 0.2},
+            classifier=ThresholdClassifier(10.0, 0.5),
+            agreement_threshold=0.8,
+            use_log=use_log,
+        )
+
+    def test_m_probability_product(self):
+        model = self.make()
+        assert model.m_probability(vector(name=0.9, job=0.9)) == pytest.approx(
+            0.72
+        )
+        assert model.m_probability(vector(name=0.9, job=0.1)) == pytest.approx(
+            0.9 * 0.2
+        )
+
+    def test_u_probability_product(self):
+        model = self.make()
+        assert model.u_probability(vector(name=0.9, job=0.9)) == pytest.approx(
+            0.02
+        )
+
+    def test_matching_weight_ratio(self):
+        model = self.make()
+        weight = model.matching_weight(vector(name=0.9, job=0.9))
+        assert weight == pytest.approx(0.72 / 0.02)
+
+    def test_log_domain(self):
+        linear = self.make().matching_weight(vector(name=0.9, job=0.9))
+        logged = self.make(use_log=True).matching_weight(
+            vector(name=0.9, job=0.9)
+        )
+        assert logged == pytest.approx(math.log2(linear))
+
+    def test_decide_classifies_by_ratio(self):
+        model = self.make()
+        assert model.decide(vector(name=0.9, job=0.9)).is_match
+        assert model.decide(vector(name=0.1, job=0.1)).is_unmatch
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FellegiSunterModel(
+                {"a": 1.0}, {"a": 0.5}, ThresholdClassifier(1.0)
+            )
+        with pytest.raises(ValueError):
+            FellegiSunterModel(
+                {"a": 0.5}, {"b": 0.5}, ThresholdClassifier(1.0)
+            )
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            self.make().m_probability(vector(other=0.9))
+
+    def test_agreement_pattern_helper(self):
+        assert agreement_pattern(vector(a=0.9, b=0.5), 0.8) == (True, False)
+
+    def test_fit_labeled_recovers_rates(self):
+        matches = [vector(name=0.95, job=0.9)] * 90 + [
+            vector(name=0.95, job=0.1)
+        ] * 10
+        unmatches = [vector(name=0.1, job=0.1)] * 95 + [
+            vector(name=0.95, job=0.9)
+        ] * 5
+        model = FellegiSunterModel.fit_labeled(
+            matches, unmatches, ThresholdClassifier(10.0, 0.5),
+            agreement_threshold=0.8,
+        )
+        assert model.m_probabilities["name"] == pytest.approx(0.995, abs=0.01)
+        assert model.m_probabilities["job"] == pytest.approx(0.9, abs=0.01)
+        assert model.u_probabilities["name"] == pytest.approx(0.05, abs=0.01)
+
+    def test_fit_labeled_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            FellegiSunterModel.fit_labeled(
+                [], [vector(a=0.1)], ThresholdClassifier(1.0)
+            )
+
+
+class TestThresholdSelection:
+    def test_separable_data_collapses_band(self):
+        classifier = select_thresholds(
+            weights_matches=[10.0, 12.0, 15.0],
+            weights_unmatches=[0.1, 0.2, 0.3],
+            false_match_rate=0.0,
+            false_unmatch_rate=0.0,
+        )
+        assert classifier.unmatch_threshold <= classifier.match_threshold
+
+    def test_tolerated_error_rates_widen_band(self):
+        matches = [5.0] * 90 + [0.5] * 10
+        unmatches = [0.1] * 90 + [4.0] * 10
+        classifier = select_thresholds(
+            matches, unmatches, false_match_rate=0.05, false_unmatch_rate=0.05
+        )
+        assert classifier.match_threshold > classifier.unmatch_threshold
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            select_thresholds([], [1.0])
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            select_thresholds([1.0], [0.5], false_match_rate=1.5)
+
+
+class TestEMEstimation:
+    def _synthetic_vectors(self, n=2000, seed=5):
+        """Two latent classes with known m/u agreement rates.
+
+        Three attributes: the latent-class model with two binary
+        attributes is not identifiable (5 parameters, 3 degrees of
+        freedom), so parameter-recovery tests need n ≥ 3 — the same
+        reason practical linkage uses several comparison fields.
+        """
+        rng = random.Random(seed)
+        true_m = {"name": 0.9, "job": 0.75, "city": 0.85}
+        true_u = {"name": 0.05, "job": 0.15, "city": 0.1}
+        prevalence = 0.2
+        vectors = []
+        for _ in range(n):
+            params = true_m if rng.random() < prevalence else true_u
+            vectors.append(
+                vector(
+                    name=1.0 if rng.random() < params["name"] else 0.0,
+                    job=1.0 if rng.random() < params["job"] else 0.0,
+                    city=1.0 if rng.random() < params["city"] else 0.0,
+                )
+            )
+        return vectors
+
+    def test_recovers_parameters(self):
+        estimate = estimate_em(
+            self._synthetic_vectors(), agreement_threshold=0.5
+        )
+        assert estimate.m_probabilities["name"] == pytest.approx(0.9, abs=0.07)
+        assert estimate.u_probabilities["name"] == pytest.approx(
+            0.05, abs=0.05
+        )
+        assert estimate.prevalence == pytest.approx(0.2, abs=0.07)
+
+    def test_convergence_flag(self):
+        estimate = estimate_em(
+            self._synthetic_vectors(500), agreement_threshold=0.5
+        )
+        assert estimate.converged
+        assert estimate.iterations <= 200
+
+    def test_orientation_is_canonical(self):
+        """m-probabilities describe the agreeing class even if the
+        initialization would converge swapped."""
+        estimate = estimate_em(
+            self._synthetic_vectors(),
+            agreement_threshold=0.5,
+            initial_m=0.2,
+            initial_u=0.8,
+            initial_prevalence=0.9,
+        )
+        assert sum(estimate.m_probabilities.values()) >= sum(
+            estimate.u_probabilities.values()
+        )
+
+    def test_probabilities_stay_in_bounds(self):
+        estimate = estimate_em(
+            self._synthetic_vectors(200), agreement_threshold=0.5
+        )
+        for probs in (estimate.m_probabilities, estimate.u_probabilities):
+            for value in probs.values():
+                assert 0.0 < value < 1.0
+        assert 0.0 < estimate.prevalence < 1.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_em([])
+
+    def test_estimates_power_a_model(self):
+        """EM output plugs directly into FellegiSunterModel."""
+        estimate = estimate_em(
+            self._synthetic_vectors(), agreement_threshold=0.5
+        )
+        model = FellegiSunterModel(
+            estimate.m_probabilities,
+            estimate.u_probabilities,
+            ThresholdClassifier(10.0, 0.5),
+            agreement_threshold=0.5,
+        )
+        agreeing = vector(name=1.0, job=1.0)
+        disagreeing = vector(name=0.0, job=0.0)
+        assert model.matching_weight(agreeing) > model.matching_weight(
+            disagreeing
+        )
+
+
+class TestCombinedDecisionModel:
+    def test_figure_3_two_steps(self):
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 0.8, "job": 0.2}),
+            ThresholdClassifier(0.7, 0.4),
+        )
+        decision = model.decide(vector(name=0.9, job=0.59))
+        assert decision.similarity == pytest.approx(0.838)
+        assert decision.is_match

@@ -1,0 +1,232 @@
+"""Unit tests for derivation functions ϑ and the Figure-6 engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.matching import (
+    AttributeMatcher,
+    CombinedDecisionModel,
+    DerivationInput,
+    ExpectedMatchingResult,
+    ExpectedSimilarity,
+    MatchProbability,
+    MatchStatus,
+    MatchingWeight,
+    MaximumSimilarity,
+    MostProbableWorldSimilarity,
+    ThresholdClassifier,
+    WeightedSum,
+    XTupleDecisionProcedure,
+    normalized_weights,
+)
+from repro.pdb import ProbabilisticTuple, XTuple
+from repro.similarity import HAMMING
+
+M, P, U = MatchStatus.MATCH, MatchStatus.POSSIBLE, MatchStatus.UNMATCH
+
+
+def make_input(
+    similarities, weights, statuses=None
+) -> DerivationInput:
+    return DerivationInput(
+        similarities=tuple(tuple(row) for row in similarities),
+        statuses=(
+            tuple(tuple(row) for row in statuses)
+            if statuses is not None
+            else None
+        ),
+        weights=tuple(tuple(row) for row in weights),
+    )
+
+
+class TestNormalizedWeights:
+    def test_paper_example_weights(self):
+        weights = normalized_weights([0.3, 0.2, 0.4], [0.8])
+        assert weights[0][0] == pytest.approx(3 / 9)
+        assert weights[1][0] == pytest.approx(2 / 9)
+        assert weights[2][0] == pytest.approx(4 / 9)
+
+    def test_always_sums_to_one(self):
+        weights = normalized_weights([0.1, 0.2], [0.3, 0.3, 0.2])
+        assert sum(sum(row) for row in weights) == pytest.approx(1.0)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_weights([], [1.0])
+
+
+class TestSimilarityBasedDerivations:
+    def test_expected_similarity_weighted_mean(self):
+        data = make_input(
+            [[11 / 15], [7 / 15], [4 / 15]],
+            [[3 / 9], [2 / 9], [4 / 9]],
+        )
+        assert ExpectedSimilarity()(data) == pytest.approx(7 / 15)
+
+    def test_most_probable_world_picks_heaviest(self):
+        data = make_input(
+            [[0.9], [0.1]],
+            [[0.3], [0.7]],
+        )
+        assert MostProbableWorldSimilarity()(data) == pytest.approx(0.1)
+
+    def test_maximum_similarity(self):
+        data = make_input([[0.2, 0.9], [0.5, 0.1]], [[0.25] * 2] * 2)
+        assert MaximumSimilarity()(data) == pytest.approx(0.9)
+
+    def test_requires_statuses_flags(self):
+        assert not ExpectedSimilarity().requires_statuses
+        assert not MostProbableWorldSimilarity().requires_statuses
+        assert MatchingWeight().requires_statuses
+        assert ExpectedMatchingResult().requires_statuses
+
+
+class TestDecisionBasedDerivations:
+    def test_matching_weight_paper_example(self):
+        data = make_input(
+            [[11 / 15], [7 / 15], [4 / 15]],
+            [[3 / 9], [2 / 9], [4 / 9]],
+            [[M], [P], [U]],
+        )
+        assert MatchingWeight()(data) == pytest.approx(0.75)
+
+    def test_matching_weight_no_unmatch_is_infinite(self):
+        data = make_input([[0.9]], [[1.0]], [[M]])
+        assert MatchingWeight()(data) == math.inf
+
+    def test_matching_weight_all_possible_is_neutral(self):
+        data = make_input([[0.5]], [[1.0]], [[P]])
+        assert MatchingWeight()(data) == pytest.approx(1.0)
+
+    def test_matching_weight_requires_statuses(self):
+        data = make_input([[0.5]], [[1.0]])
+        with pytest.raises(ValueError):
+            MatchingWeight()(data)
+
+    def test_match_probability(self):
+        data = make_input(
+            [[0.9], [0.1]], [[0.6], [0.4]], [[M], [U]]
+        )
+        assert MatchProbability()(data) == pytest.approx(0.6)
+
+    def test_expected_matching_result_coding(self):
+        data = make_input(
+            [[0.9], [0.5], [0.1]],
+            [[3 / 9], [2 / 9], [4 / 9]],
+            [[M], [P], [U]],
+        )
+        assert ExpectedMatchingResult()(data) == pytest.approx(8 / 9)
+
+    def test_expected_matching_result_bounds(self):
+        all_match = make_input([[1.0]], [[1.0]], [[M]])
+        all_unmatch = make_input([[0.0]], [[1.0]], [[U]])
+        assert ExpectedMatchingResult()(all_match) == pytest.approx(2.0)
+        assert ExpectedMatchingResult()(all_unmatch) == pytest.approx(0.0)
+
+
+def paper_setup():
+    matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+    model = CombinedDecisionModel(
+        WeightedSum({"name": 0.8, "job": 0.2}),
+        ThresholdClassifier(0.7, 0.4),
+    )
+    return matcher, model
+
+
+class TestXTupleDecisionProcedure:
+    def test_flat_pair_equals_direct_model(self):
+        """A 1×1 matrix must reduce Figure 6 to Figure 3 exactly."""
+        matcher, model = paper_setup()
+        procedure = XTupleDecisionProcedure(
+            matcher, model, ExpectedSimilarity()
+        )
+        left = ProbabilisticTuple("a", {"name": "Tim", "job": "pilot"}, 0.9)
+        right = ProbabilisticTuple("b", {"name": "Tom", "job": "pilot"}, 0.4)
+        via_procedure = procedure.decide_flat(left, right)
+        direct = model.decide(matcher.compare_rows(left, right))
+        assert via_procedure.similarity == pytest.approx(direct.similarity)
+        assert via_procedure.status is direct.status
+
+    def test_membership_probability_is_invariant(self):
+        """Scaling all alternative masses of an x-tuple changes nothing
+        (Section IV: tuple membership must not influence detection)."""
+        matcher, model = paper_setup()
+        procedure = XTupleDecisionProcedure(
+            matcher, model, ExpectedSimilarity()
+        )
+        base = XTuple.build(
+            "x",
+            [
+                ({"name": "Tim", "job": "pilot"}, 0.6),
+                ({"name": "Tom", "job": "pilot"}, 0.3),
+            ],
+        )
+        scaled = XTuple.build(
+            "x",
+            [
+                ({"name": "Tim", "job": "pilot"}, 0.2),
+                ({"name": "Tom", "job": "pilot"}, 0.1),
+            ],
+        )
+        other = XTuple.certain("y", {"name": "Tim", "job": "pilot"})
+        assert procedure.similarity(base, other) == pytest.approx(
+            procedure.similarity(scaled, other)
+        )
+
+    def test_decision_based_records_statuses(self):
+        matcher, model = paper_setup()
+        procedure = XTupleDecisionProcedure(matcher, model, MatchingWeight())
+        left = XTuple.build(
+            "l", [({"name": "Tim", "job": "x"}, 0.5), ({"name": "Zed", "job": "x"}, 0.5)]
+        )
+        right = XTuple.certain("r", {"name": "Tim", "job": "x"})
+        decision = procedure.decide(left, right)
+        assert decision.derivation_input.statuses is not None
+        assert decision.derivation_input.statuses[0][0] is MatchStatus.MATCH
+
+    def test_similarity_based_keeps_statuses_none(self):
+        matcher, model = paper_setup()
+        procedure = XTupleDecisionProcedure(
+            matcher, model, ExpectedSimilarity()
+        )
+        left = XTuple.certain("l", {"name": "Tim", "job": "x"})
+        right = XTuple.certain("r", {"name": "Tim", "job": "x"})
+        decision = procedure.decide(left, right)
+        assert decision.derivation_input.statuses is None
+
+    def test_final_classifier_override(self):
+        matcher, model = paper_setup()
+        procedure = XTupleDecisionProcedure(
+            matcher,
+            model,
+            MatchingWeight(),
+            classifier=ThresholdClassifier(2.0, 0.5),
+        )
+        left = XTuple.build(
+            "l",
+            [
+                ({"name": "Tim", "job": "pilot"}, 0.5),
+                ({"name": "Tim", "job": "pilot"}, 0.5),
+            ],
+        )
+        right = XTuple.certain("r", {"name": "Tim", "job": "pilot"})
+        decision = procedure.decide(left, right)
+        # All alternative pairs match ⇒ P(u)=0 ⇒ weight=inf ⇒ match.
+        assert decision.similarity == math.inf
+        assert decision.status is MatchStatus.MATCH
+
+    def test_default_derivation_is_expected_similarity(self):
+        matcher, model = paper_setup()
+        procedure = XTupleDecisionProcedure(matcher, model)
+        assert isinstance(procedure.derivation, ExpectedSimilarity)
+
+    def test_identity_pair_is_match(self):
+        matcher, model = paper_setup()
+        procedure = XTupleDecisionProcedure(matcher, model)
+        tuple_ = XTuple.certain("t", {"name": "Tim", "job": "pilot"})
+        decision = procedure.decide(tuple_, tuple_)
+        assert decision.status is MatchStatus.MATCH
+        assert decision.similarity == pytest.approx(1.0)

@@ -1,0 +1,187 @@
+"""Edge-case and failure-injection tests across modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_matcher
+from repro.fusion import build_uncertain_resolution
+from repro.matching import (
+    AttributeMatcher,
+    CombinedDecisionModel,
+    DuplicateDetector,
+    MatchStatus,
+    ThresholdClassifier,
+    WeightedSum,
+)
+from repro.pdb import (
+    NULL,
+    ProbabilisticValue,
+    XRelation,
+    XTuple,
+)
+from repro.similarity import HAMMING
+
+
+def detector(t_mu: float, t_lambda: float) -> DuplicateDetector:
+    matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+    model = CombinedDecisionModel(
+        WeightedSum({"name": 0.5, "job": 0.5}),
+        ThresholdClassifier(t_mu, t_lambda),
+    )
+    return DuplicateDetector(matcher, model)
+
+
+class TestUncertainResolutionEdgeCases:
+    def test_possible_pair_touching_definite_cluster_is_skipped(self):
+        """A possible match whose endpoint already merged definitively
+        must not create a hypothesis — the definite merge wins."""
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("a1", {"name": "Timothy", "job": "pilot"}),
+                XTuple.certain("a2", {"name": "Timothy", "job": "pilot"}),
+                # Close to a1/a2 but only possibly: same name, odd job.
+                XTuple.certain("a3", {"name": "Timothy", "job": "zilot"}),
+            ],
+        )
+        classifier = ThresholdClassifier(0.95, 0.5)
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 0.5, "job": 0.5}), classifier
+        )
+        matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+        result = DuplicateDetector(matcher, model).detect(relation)
+        assert ("a1", "a2") in result.matches
+        statuses = {
+            (d.left_id, d.right_id): d.status for d in result.decisions
+        }
+        assert statuses[("a1", "a3")] is MatchStatus.POSSIBLE
+        resolution = build_uncertain_resolution(
+            relation, result, classifier
+        )
+        # a3 touches the definite {a1, a2} cluster, so no hypothesis.
+        assert resolution.hypotheses == {}
+        ids = {t.xtuple.tuple_id for t in resolution.tuples}
+        assert ids == {"a1+a2", "a3"}
+
+    def test_no_possible_matches_means_no_decisions_relation(self):
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("x", {"name": "Tim", "job": "pilot"}),
+                XTuple.certain("y", {"name": "Walter", "job": "judge"}),
+            ],
+        )
+        classifier = ThresholdClassifier(0.9, 0.1)
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 0.5, "job": 0.5}), classifier
+        )
+        matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+        result = DuplicateDetector(matcher, model).detect(relation)
+        resolution = build_uncertain_resolution(
+            relation, result, classifier
+        )
+        assert len(resolution.decisions) == 0
+        assert resolution.expected_tuple_count() == pytest.approx(2.0)
+
+
+class TestClusteringWithPossible:
+    def test_include_possible_merges_more(self):
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("a", {"name": "Timothy", "job": "pilot"}),
+                XTuple.certain("b", {"name": "Timothy", "job": "zilot"}),
+            ],
+        )
+        result = detector(0.95, 0.5).detect(relation)
+        strict = result.clusters()
+        loose = result.clusters(include_possible=True)
+        assert strict.clusters == ()
+        assert loose.clusters == (("a", "b"),)
+
+
+class TestValuesWithExoticDomains:
+    def test_numeric_domain_values(self):
+        value = ProbabilisticValue({1: 0.5, 2: 0.5})
+        assert value.probability(1) == pytest.approx(0.5)
+
+    def test_tuple_domain_values_hashable(self):
+        value = ProbabilisticValue({("a", 1): 1.0})
+        assert value.certain_value == ("a", 1)
+
+    def test_unicode_values(self):
+        value = ProbabilisticValue({"Müller": 0.6, "Muller": 0.4})
+        mapped = value.map(lambda s: s.replace("ü", "u"))
+        assert mapped.is_certain
+
+
+class TestMatcherWithMixedSchemas:
+    def test_left_schema_drives_comparison(self):
+        """compare_rows reads the left row's attributes; both rows must
+        share them (union-of-sources guarantees this in the pipeline)."""
+        matcher = AttributeMatcher({"name": HAMMING}, default=HAMMING)
+        left = XTuple.certain("l", {"name": "Tim"}).alternatives[0]
+        right = XTuple.certain("r", {"name": "Tom"}).alternatives[0]
+        vector = matcher.compare_rows(left, right)
+        assert vector.attributes == ("name",)
+
+
+class TestPatternInteractionWithNull:
+    def test_pattern_and_null_coexist(self):
+        from repro.pdb import PatternValue
+        from repro.similarity import PatternPolicy, UncertainValueComparator
+
+        value = ProbabilisticValue({PatternValue("mu*"): 0.5})  # ⊥ 0.5
+        comparator = UncertainValueComparator(
+            HAMMING,
+            pattern_policy=PatternPolicy.EXPAND,
+            pattern_lexicon=["musician"],
+        )
+        # vs certain musician: 0.5·1 (expanded pattern) + 0.5·0 (⊥ vs val)
+        assert comparator(value, "musician") == pytest.approx(0.5)
+        # vs ⊥: 0.5·0 + 0.5·1 (⊥=⊥)
+        assert comparator(value, None) == pytest.approx(0.5)
+
+
+class TestDetectorReducerContracts:
+    def test_reducer_yielding_unknown_id_raises_keyerror(self):
+        class BadReducer:
+            def pairs(self, relation):
+                yield "ghost", relation.tuple_ids[0]
+
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [XTuple.certain("x", {"name": "Tim", "job": "p"})],
+        )
+        matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 0.5, "job": 0.5}),
+            ThresholdClassifier(0.9, 0.5),
+        )
+        bad = DuplicateDetector(matcher, model, reducer=BadReducer())
+        with pytest.raises(KeyError):
+            bad.detect(relation)
+
+    def test_empty_relation_detection(self):
+        relation = XRelation("R", ["name", "job"], [])
+        result = detector(0.9, 0.5).detect(relation)
+        assert result.compared_pairs == frozenset()
+        assert result.relation_size == 0
+
+
+class TestPaperMatcherPatternLexicon:
+    def test_mu_pattern_expands_against_fixture_lexicon(self):
+        from repro.experiments import relation_r3, relation_r4
+
+        matcher = paper_matcher()
+        t31_alt2 = relation_r3().get("t31").alternatives[1]
+        t41_alt2 = relation_r4().get("t41").alternatives[1]
+        similarity = matcher.compare_values(
+            "job", t31_alt2.value("job"), t41_alt2.value("job")
+        )
+        assert 0.0 <= similarity <= 1.0

@@ -1,0 +1,134 @@
+"""Unit tests for the experiment harness itself (tables, runner, studies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    render_mapping_table,
+    render_table,
+    run_e1_decision_models,
+    run_e2_derivations,
+    run_e3_reduction,
+    run_e3_window_sweep,
+    run_e6_fusion_quality,
+    strategy_table,
+)
+from repro.experiments.runner import SECTIONS, main
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        table = render_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 22.5]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+
+    def test_title_prepended(self):
+        table = render_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_precision(self):
+        table = render_table(["x"], [[1 / 3]], precision=3)
+        assert "0.333" in table
+
+    def test_special_floats(self):
+        table = render_table(
+            ["x"], [[float("inf")], [float("nan")], [float("-inf")]]
+        )
+        assert "inf" in table and "nan" in table and "-inf" in table
+
+    def test_booleans_rendered_as_words(self):
+        table = render_table(["flag"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert "a" in table
+
+    def test_mapping_table_infers_columns(self):
+        table = render_mapping_table([{"x": 1, "y": 2}])
+        assert table.splitlines()[0].split() == ["x", "y"]
+
+    def test_mapping_table_explicit_columns(self):
+        table = render_mapping_table(
+            [{"x": 1, "y": 2}], columns=["y"]
+        )
+        assert "x" not in table.splitlines()[0]
+
+    def test_mapping_table_empty(self):
+        assert render_mapping_table([], title="t") == "t"
+
+
+class TestRunner:
+    def test_sections_registered(self):
+        assert set(SECTIONS) == {"figures", "e1", "e2", "e3", "e6"}
+
+    def test_unknown_section_rejected(self):
+        assert main(["nope"]) == 2
+
+    def test_figures_section_runs(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "0.72" in out
+
+    def test_section_callables_return_text(self):
+        text = SECTIONS["figures"]()
+        assert "§IV-A" in text
+        assert "Figure 14" in text
+
+
+class TestStudies:
+    """Smoke the Tier-B studies at small scale (shapes, not timings)."""
+
+    def test_e1_row_grid(self):
+        rows = run_e1_decision_models(entity_count=25, seed=1)
+        assert len(rows) == 9
+        assert {row.experiment for row in rows} == {"E1"}
+        for row in rows:
+            metrics = row.as_dict()
+            assert 0.0 <= metrics["precision"] <= 1.0
+            assert 0.0 <= metrics["recall"] <= 1.0
+
+    def test_e2_row_grid(self):
+        rows = run_e2_derivations(entity_count=20, seed=2)
+        assert len(rows) == 15
+        assert {row.profile for row in rows} == {
+            "light",
+            "default",
+            "heavy",
+        }
+
+    def test_e3_contains_all_strategies(self):
+        rows = run_e3_reduction(entity_count=30, seed=3)
+        names = {row.strategy for row in rows}
+        assert names == set(strategy_table())
+
+    def test_e3_metrics_bounded(self):
+        for row in run_e3_reduction(entity_count=30, seed=3):
+            assert 0.0 <= row.reduction_ratio <= 1.0
+            assert 0.0 <= row.pairs_completeness <= 1.0
+            assert row.candidate_pairs <= row.total_pairs
+
+    def test_e3_window_sweep_shape(self):
+        rows = run_e3_window_sweep(
+            entity_count=30, seed=3, windows=(2, 4)
+        )
+        assert len(rows) == 6  # 2 windows × 3 strategies
+        assert {row["window"] for row in rows} == {2, 4}
+
+    def test_e6_rows(self):
+        rows = run_e6_fusion_quality(entity_count=40, seed=4)
+        names = {row.strategy for row in rows}
+        assert "mixture" in names
+        for row in rows:
+            assert 0.0 <= row.source_mass <= 1.0
+            assert 0.0 <= row.fused_mass <= 1.0
+            assert row.clusters > 0

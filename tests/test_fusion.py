@@ -1,0 +1,356 @@
+"""Unit tests for data fusion and the uncertain result representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fusion import (
+    MERGE,
+    SEPARATE,
+    MembershipRule,
+    build_uncertain_resolution,
+    collapse_xtuple,
+    decide_first,
+    decide_least_uncertain,
+    decide_most_probable,
+    fuse_cluster,
+    fuse_relation,
+    fused_membership,
+    fusion_summary,
+    mediate_intersection,
+    mediate_mixture,
+    ramp_confidence,
+)
+from repro.matching import (
+    AttributeMatcher,
+    CombinedDecisionModel,
+    DuplicateDetector,
+    ThresholdClassifier,
+    WeightedSum,
+)
+from repro.pdb import (
+    EmptyDistributionError,
+    NULL,
+    ProbabilisticValue,
+    XRelation,
+    XTuple,
+)
+from repro.similarity import HAMMING
+
+
+def value(**outcomes: float) -> ProbabilisticValue:
+    return ProbabilisticValue(outcomes)
+
+
+class TestStrategies:
+    def test_decide_most_probable(self):
+        fused = decide_most_probable(
+            [
+                (value(pilot=0.6, baker=0.4), 1.0),
+                (value(baker=0.9), 1.0),
+            ]
+        )
+        assert fused.is_certain
+        assert fused.certain_value == "baker"
+
+    def test_decide_most_probable_respects_weights(self):
+        fused = decide_most_probable(
+            [
+                (value(pilot=0.6), 2.0),  # weighted score 1.2
+                (value(baker=0.9), 1.0),  # weighted score 0.9
+            ]
+        )
+        assert fused.certain_value == "pilot"
+
+    def test_decide_first(self):
+        first = value(pilot=0.6, baker=0.4)
+        assert decide_first([(first, 1.0), (value(baker=1.0), 9.0)]) is first
+
+    def test_decide_least_uncertain(self):
+        certain = value(pilot=1.0)
+        noisy = value(pilot=0.5, baker=0.5)
+        assert decide_least_uncertain([(noisy, 1.0), (certain, 1.0)]) is (
+            certain
+        )
+
+    def test_mediate_mixture_combines_mass(self):
+        fused = mediate_mixture(
+            [(value(pilot=0.8, baker=0.2), 1.0), (value(pilot=0.4), 1.0)]
+        )
+        assert fused.probability("pilot") == pytest.approx(0.6)
+        assert fused.probability("baker") == pytest.approx(0.1)
+        assert fused.null_probability == pytest.approx(0.3)
+
+    def test_mixture_weights(self):
+        fused = mediate_mixture(
+            [(value(pilot=1.0), 3.0), (value(baker=1.0), 1.0)]
+        )
+        assert fused.probability("pilot") == pytest.approx(0.75)
+
+    def test_mediate_intersection(self):
+        fused = mediate_intersection(
+            [
+                (value(pilot=0.5, baker=0.5), 1.0),
+                (value(pilot=0.9, singer=0.1), 1.0),
+            ]
+        )
+        assert set(fused.existing_support) == {"pilot"}
+        assert fused.probability("pilot") == pytest.approx(1.0)
+
+    def test_intersection_disjoint_raises(self):
+        with pytest.raises(EmptyDistributionError):
+            mediate_intersection(
+                [(value(pilot=1.0), 1.0), (value(baker=1.0), 1.0)]
+            )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            mediate_mixture([])
+        with pytest.raises(ValueError):
+            mediate_mixture([(value(a=1.0), 0.0)])
+
+
+class TestCollapseAndMembership:
+    def test_collapse_marginalizes_alternatives(self):
+        xt = XTuple.build(
+            "t",
+            [
+                ({"job": "pilot"}, 0.6),
+                ({"job": "baker"}, 0.2),
+            ],
+        )
+        marginals = collapse_xtuple(xt)
+        assert marginals["job"].probability("pilot") == pytest.approx(0.75)
+        assert marginals["job"].probability("baker") == pytest.approx(0.25)
+
+    def test_membership_any(self):
+        a = XTuple.build("a", [({"v": "x"}, 0.5)])
+        b = XTuple.build("b", [({"v": "x"}, 0.5)])
+        assert fused_membership([a, b], MembershipRule.ANY) == pytest.approx(
+            0.75
+        )
+
+    def test_membership_max_and_mean(self):
+        a = XTuple.build("a", [({"v": "x"}, 0.4)])
+        b = XTuple.build("b", [({"v": "x"}, 0.8)])
+        assert fused_membership([a, b], MembershipRule.MAX) == pytest.approx(
+            0.8
+        )
+        assert fused_membership([a, b], MembershipRule.MEAN) == pytest.approx(
+            0.6
+        )
+
+    def test_unknown_rule_rejected(self):
+        a = XTuple.build("a", [({"v": "x"}, 0.4)])
+        with pytest.raises(ValueError):
+            fused_membership([a], "median")
+
+
+class TestFuseCluster:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_cluster([])
+
+    def test_weight_count_validated(self):
+        a = XTuple.certain("a", {"v": "x"})
+        with pytest.raises(ValueError):
+            fuse_cluster([a], source_weights=[1.0, 2.0])
+
+    def test_default_id_joins_members(self):
+        a = XTuple.certain("a", {"v": "x"})
+        b = XTuple.certain("b", {"v": "x"})
+        assert fuse_cluster([a, b]).tuple_id == "a+b"
+
+    def test_corroboration_boosts_shared_outcome(self):
+        a = XTuple.build("a", [({"v": {"x": 0.8, "y": 0.2}}, 1.0)])
+        b = XTuple.build("b", [({"v": {"x": 0.6, "z": 0.4}}, 1.0)])
+        fused = fuse_cluster([a, b])
+        assert fused.alternatives[0].value("v").probability(
+            "x"
+        ) == pytest.approx(0.7)
+
+    def test_null_mass_fuses_too(self):
+        a = XTuple.build("a", [({"v": {"x": 0.5}}, 1.0)])  # ⊥ 0.5
+        b = XTuple.build("b", [({"v": None}, 1.0)])  # ⊥ 1.0
+        fused = fuse_cluster([a, b])
+        assert fused.alternatives[0].value("v").probability(
+            NULL
+        ) == pytest.approx(0.75)
+
+    def test_alternate_strategy(self):
+        a = XTuple.build("a", [({"v": {"x": 0.9, "y": 0.1}}, 1.0)])
+        b = XTuple.build("b", [({"v": {"y": 0.8, "x": 0.2}}, 1.0)])
+        fused = fuse_cluster([a, b], value_fusion=decide_most_probable)
+        assert fused.alternatives[0].value("v").certain_value == "x"
+
+
+class TestFuseRelation:
+    def build(self) -> XRelation:
+        return XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("a1", {"name": "Tim", "job": "pilot"}),
+                XTuple.certain("a2", {"name": "Tim", "job": "pilot"}),
+                XTuple.certain("c1", {"name": "Walter", "job": "judge"}),
+            ],
+        )
+
+    def detect(self, relation: XRelation):
+        matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 0.5, "job": 0.5}),
+            ThresholdClassifier(0.9, 0.7),
+        )
+        return DuplicateDetector(matcher, model).detect(relation)
+
+    def test_fuses_detected_clusters(self):
+        relation = self.build()
+        clustering = self.detect(relation).clusters()
+        fused = fuse_relation(relation, clustering)
+        assert len(fused) == 2
+        assert "a1+a2" in fused.tuple_ids
+
+    def test_singletons_pass_through(self):
+        relation = self.build()
+        clustering = self.detect(relation).clusters()
+        fused = fuse_relation(relation, clustering)
+        assert "c1" in fused.tuple_ids
+
+    def test_summary(self):
+        relation = self.build()
+        clustering = self.detect(relation).clusters()
+        fused = fuse_relation(relation, clustering)
+        summary = fusion_summary(relation, fused)
+        assert summary["source_tuples"] == 3
+        assert summary["fused_tuples"] == 2
+        assert summary["merged_away"] == 1
+
+
+class TestRampConfidence:
+    def test_below_lambda_is_zero(self):
+        classifier = ThresholdClassifier(0.7, 0.4)
+        assert ramp_confidence(0.3, classifier) == 0.0
+
+    def test_above_mu_is_one(self):
+        classifier = ThresholdClassifier(0.7, 0.4)
+        assert ramp_confidence(0.9, classifier) == 1.0
+
+    def test_linear_in_between(self):
+        classifier = ThresholdClassifier(0.7, 0.4)
+        assert ramp_confidence(0.55, classifier) == pytest.approx(0.5)
+
+    def test_infinite_similarity(self):
+        classifier = ThresholdClassifier(0.7, 0.4)
+        assert ramp_confidence(float("inf"), classifier) == 1.0
+
+    def test_collapsed_band(self):
+        classifier = ThresholdClassifier(0.5)
+        assert ramp_confidence(0.5, classifier) == 1.0
+        assert ramp_confidence(0.49, classifier) == 0.0
+
+
+class TestUncertainResolution:
+    def build(self) -> XRelation:
+        return XRelation(
+            "R",
+            ["name", "job"],
+            [
+                # definite duplicates:
+                XTuple.certain("a1", {"name": "Tim", "job": "pilot"}),
+                XTuple.certain("a2", {"name": "Tim", "job": "pilot"}),
+                # a possible pair (name agrees, job differs):
+                XTuple.certain("b1", {"name": "Johan", "job": "baker"}),
+                XTuple.certain("b2", {"name": "Johan", "job": "tailor"}),
+                # a singleton:
+                XTuple.certain("c1", {"name": "Walter", "job": "judge"}),
+            ],
+        )
+
+    def resolve(self):
+        relation = self.build()
+        matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+        classifier = ThresholdClassifier(0.9, 0.4)
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 0.5, "job": 0.5}), classifier
+        )
+        result = DuplicateDetector(matcher, model).detect(relation)
+        return relation, result, build_uncertain_resolution(
+            relation, result, classifier
+        )
+
+    def test_definite_cluster_fused_unconditionally(self):
+        _, _, resolution = self.resolve()
+        unconditional = [
+            t for t in resolution.tuples if not t.is_conditional
+        ]
+        ids = {t.xtuple.tuple_id for t in unconditional}
+        assert "a1+a2" in ids
+        assert "c1" in ids
+
+    def test_possible_pair_creates_hypothesis(self):
+        _, _, resolution = self.resolve()
+        assert len(resolution.hypotheses) == 1
+        hypothesis = next(iter(resolution.hypotheses.values()))
+        assert hypothesis.member_ids == ("b1", "b2")
+        assert 0.0 < hypothesis.confidence < 1.0
+
+    def test_mutually_exclusive_sets(self):
+        _, _, resolution = self.resolve()
+        exclusive = resolution.exclusive_pairs()
+        # fused(b1,b2) vs b1, fused vs b2 — but b1 vs b2 share the
+        # SEPARATE alternative, so they are NOT exclusive.
+        assert ("b1+b2", "b1") in exclusive
+        assert ("b1+b2", "b2") in exclusive
+        assert ("b1", "b2") not in exclusive
+
+    def test_decision_relation_has_two_alternatives(self):
+        _, _, resolution = self.resolve()
+        decision = resolution.decisions.xtuples[0]
+        assert len(decision) == 2
+        assert decision.probability == pytest.approx(1.0)
+
+    def test_expected_tuple_count(self):
+        _, _, resolution = self.resolve()
+        hypothesis = next(iter(resolution.hypotheses.values()))
+        q = hypothesis.confidence
+        # a1+a2, c1 always; merged (q) or two separates (2(1-q)).
+        expected = 2 + q + 2 * (1 - q)
+        assert resolution.expected_tuple_count() == pytest.approx(expected)
+
+    def test_instantiate_merge_world(self):
+        _, _, resolution = self.resolve()
+        decision_id = next(iter(resolution.hypotheses))
+        merged = resolution.instantiate({decision_id: MERGE})
+        assert "b1+b2" in merged.tuple_ids
+        assert "b1" not in merged.tuple_ids
+
+    def test_instantiate_separate_world(self):
+        _, _, resolution = self.resolve()
+        decision_id = next(iter(resolution.hypotheses))
+        separate = resolution.instantiate({decision_id: SEPARATE})
+        assert "b1" in separate.tuple_ids
+        assert "b2" in separate.tuple_ids
+        assert "b1+b2" not in separate.tuple_ids
+
+    def test_default_instantiation_uses_modal_choice(self):
+        _, _, resolution = self.resolve()
+        hypothesis = next(iter(resolution.hypotheses.values()))
+        materialized = resolution.instantiate()
+        if hypothesis.confidence >= 0.5:
+            assert "b1+b2" in materialized.tuple_ids
+        else:
+            assert "b1" in materialized.tuple_ids
+
+    def test_tuple_probability_matches_confidence(self):
+        _, _, resolution = self.resolve()
+        hypothesis = next(iter(resolution.hypotheses.values()))
+        for result_tuple in resolution.tuples:
+            if result_tuple.xtuple.tuple_id == "b1+b2":
+                assert resolution.tuple_probability(
+                    result_tuple
+                ) == pytest.approx(hypothesis.confidence)
+            elif result_tuple.xtuple.tuple_id == "b1":
+                assert resolution.tuple_probability(
+                    result_tuple
+                ) == pytest.approx(1.0 - hypothesis.confidence)

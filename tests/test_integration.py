@@ -1,0 +1,309 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise realistic end-to-end flows: generate probabilistic data →
+(optionally) prepare → reduce the search space → match → decide → verify,
+including EM-trained Fellegi–Sunter models and both Figure-6 procedures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (
+    DatasetConfig,
+    LIGHT_UNCERTAINTY,
+    UncertaintyProfile,
+    generate_dataset,
+)
+from repro.matching import (
+    AttributeMatcher,
+    CombinedDecisionModel,
+    DuplicateDetector,
+    ExpectedSimilarity,
+    FellegiSunterModel,
+    MatchingWeight,
+    ThresholdClassifier,
+    WeightedSum,
+    estimate_em,
+)
+from repro.reduction import (
+    AlternativeKeyBlocking,
+    AlternativeSorting,
+    CertainKeyBlocking,
+    SortedNeighborhood,
+    SubstringKey,
+    UncertainKeySNM,
+)
+from repro.datagen import JOBS
+from repro.similarity import (
+    JARO_WINKLER,
+    PatternPolicy,
+    UncertainValueComparator,
+)
+from repro.verification import (
+    PossiblePolicy,
+    evaluate_detection,
+    pairs_completeness,
+    reduction_ratio,
+)
+
+KEY = SubstringKey([("name", 3), ("job", 2)])
+
+
+def matcher() -> AttributeMatcher:
+    """Pattern-aware Jaro–Winkler matcher (generated jobs may be mu*)."""
+    name_cmp = UncertainValueComparator(JARO_WINKLER)
+    job_cmp = UncertainValueComparator(
+        JARO_WINKLER,
+        pattern_policy=PatternPolicy.EXPAND,
+        pattern_lexicon=JOBS,
+    )
+    return AttributeMatcher({"name": name_cmp, "job": job_cmp})
+
+
+def model(t_mu=0.9, t_lambda=0.8) -> CombinedDecisionModel:
+    """Equal-weight combiner with tight thresholds.
+
+    The name corpus intentionally contains near-duplicate names
+    (Anna/Anne, Carl/Karl), so requiring strong agreement on *both*
+    attributes is what keeps precision usable — mirroring why real
+    linkage uses several comparison fields.
+    """
+    return CombinedDecisionModel(
+        WeightedSum({"name": 0.5, "job": 0.5}),
+        ThresholdClassifier(t_mu, t_lambda),
+    )
+
+
+@pytest.fixture(scope="module")
+def flat_dataset():
+    return generate_dataset(
+        DatasetConfig(
+            entity_count=80,
+            duplicate_rate=0.5,
+            record_error_rate=0.4,
+            profile=LIGHT_UNCERTAINTY,
+            seed=23,
+        ),
+        flat=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def x_dataset():
+    return generate_dataset(
+        DatasetConfig(
+            entity_count=60,
+            duplicate_rate=0.5,
+            record_error_rate=0.4,
+            seed=29,
+        )
+    )
+
+
+class TestFullComparisonPipeline:
+    def test_quality_is_reasonable_on_light_noise(self, flat_dataset):
+        detector = DuplicateDetector(matcher(), model())
+        result = detector.detect(flat_dataset.relation)
+        report = evaluate_detection(
+            result,
+            flat_dataset.true_matches,
+            possible_policy=PossiblePolicy.AS_MATCH,
+        )
+        assert report.recall > 0.6
+        assert report.precision > 0.6
+        assert report.f1 > 0.6
+
+    def test_tighter_thresholds_trade_recall_for_precision(
+        self, flat_dataset
+    ):
+        loose = DuplicateDetector(matcher(), model(0.75, 0.6)).detect(
+            flat_dataset.relation
+        )
+        strict = DuplicateDetector(matcher(), model(0.97, 0.9)).detect(
+            flat_dataset.relation
+        )
+        loose_report = evaluate_detection(
+            loose, flat_dataset.true_matches
+        )
+        strict_report = evaluate_detection(
+            strict, flat_dataset.true_matches
+        )
+        assert strict_report.recall <= loose_report.recall + 1e-9
+        assert len(strict.matches) <= len(loose.matches)
+
+
+class TestReducedPipelines:
+    @pytest.mark.parametrize(
+        "reducer_factory",
+        [
+            lambda: SortedNeighborhood(KEY, window=6),
+            lambda: AlternativeSorting(KEY, window=6),
+            lambda: UncertainKeySNM(KEY, window=6),
+            lambda: CertainKeyBlocking(
+                SubstringKey([("name", 1), ("job", 1)])
+            ),
+            lambda: AlternativeKeyBlocking(
+                SubstringKey([("name", 1), ("job", 1)])
+            ),
+        ],
+        ids=[
+            "snm_certain",
+            "snm_alternatives",
+            "snm_uncertain",
+            "blocking_certain",
+            "blocking_alternatives",
+        ],
+    )
+    def test_reduction_prunes_but_keeps_quality(
+        self, x_dataset, reducer_factory
+    ):
+        reducer = reducer_factory()
+        detector = DuplicateDetector(matcher(), model(), reducer=reducer)
+        result = detector.detect(x_dataset.relation)
+
+        ratio = reduction_ratio(
+            result.compared_pairs, result.relation_size
+        )
+        completeness = pairs_completeness(
+            result.compared_pairs, x_dataset.true_matches
+        )
+        assert ratio > 0.5, "reduction should prune most pairs"
+        assert completeness > 0.4, "reduction should keep most matches"
+
+    def test_alternative_sorting_completeness_geq_certain_key(
+        self, x_dataset
+    ):
+        """Considering all alternatives can only widen the candidate set
+        relative to a single certain key per tuple (same window)."""
+        certain = set(
+            SortedNeighborhood(KEY, window=6).pairs(x_dataset.relation)
+        )
+        alternatives = set(
+            AlternativeSorting(KEY, window=6).pairs(x_dataset.relation)
+        )
+        pc_certain = pairs_completeness(certain, x_dataset.true_matches)
+        pc_alternatives = pairs_completeness(
+            alternatives, x_dataset.true_matches
+        )
+        # Not a strict theorem for SNM (window dilution), but holds on
+        # generated data with a sensible margin.
+        assert pc_alternatives >= pc_certain - 0.05
+
+
+class TestXTupleDerivationsEndToEnd:
+    def test_similarity_and_decision_based_agree_on_easy_pairs(
+        self, x_dataset
+    ):
+        sim_detector = DuplicateDetector(
+            matcher(), model(), derivation=ExpectedSimilarity()
+        )
+        dec_detector = DuplicateDetector(
+            matcher(),
+            model(),
+            derivation=MatchingWeight(),
+            final_classifier=ThresholdClassifier(1.5, 0.6),
+        )
+        sim_result = sim_detector.detect(x_dataset.relation)
+        dec_result = dec_detector.detect(x_dataset.relation)
+        sim_matches = set(sim_result.matches)
+        dec_matches = set(dec_result.matches)
+        overlap = len(sim_matches & dec_matches)
+        union = len(sim_matches | dec_matches)
+        assert union > 0
+        assert overlap / union > 0.5, "derivations should broadly agree"
+
+
+class TestEMTrainedPipeline:
+    def test_em_parameters_power_detection(self, flat_dataset):
+        """Unsupervised FS: estimate m/u on SNM candidates, then detect."""
+        att_matcher = matcher()
+        candidates = list(
+            SortedNeighborhood(KEY, window=8).pairs(flat_dataset.relation)
+        )
+        vectors = [
+            att_matcher.compare_rows(
+                flat_dataset.relation.get(left).alternatives[0],
+                flat_dataset.relation.get(right).alternatives[0],
+            )
+            for left, right in candidates
+        ]
+        estimate = estimate_em(vectors, agreement_threshold=0.85)
+        fs_model = FellegiSunterModel(
+            estimate.m_probabilities,
+            estimate.u_probabilities,
+            ThresholdClassifier(20.0, 1.0),
+            agreement_threshold=0.85,
+        )
+        detector = DuplicateDetector(att_matcher, fs_model)
+        result = detector.detect(flat_dataset.relation)
+        # Score the automatic decisions: possible matches go to clerical
+        # review (the paper's Figure-2 semantics), so they are excluded.
+        report = evaluate_detection(
+            result,
+            flat_dataset.true_matches,
+            possible_policy=PossiblePolicy.EXCLUDE,
+        )
+        assert report.f1 > 0.7
+        assert report.precision > 0.8
+
+    def test_em_prevalence_in_plausible_range(self, flat_dataset):
+        att_matcher = matcher()
+        pairs = list(
+            SortedNeighborhood(KEY, window=8).pairs(flat_dataset.relation)
+        )
+        vectors = [
+            att_matcher.compare_rows(
+                flat_dataset.relation.get(a).alternatives[0],
+                flat_dataset.relation.get(b).alternatives[0],
+            )
+            for a, b in pairs
+        ]
+        estimate = estimate_em(vectors, agreement_threshold=0.85)
+        assert 0.0 < estimate.prevalence < 0.6
+
+
+class TestClusterConsistency:
+    def test_clusters_respect_entity_structure(self, flat_dataset):
+        detector = DuplicateDetector(matcher(), model())
+        result = detector.detect(flat_dataset.relation)
+        clusters = result.clusters()
+        # Most in-cluster pairs should share the true entity.
+        agree = 0
+        total = 0
+        for cluster in clusters.clusters:
+            for i, left in enumerate(cluster):
+                for right in cluster[i + 1 :]:
+                    total += 1
+                    if (
+                        flat_dataset.entity_of[left]
+                        == flat_dataset.entity_of[right]
+                    ):
+                        agree += 1
+        if total:
+            assert agree / total > 0.7
+
+
+class TestHeavyUncertaintyRobustness:
+    def test_pipeline_survives_heavy_uncertainty(self):
+        dataset = generate_dataset(
+            DatasetConfig(
+                entity_count=40,
+                profile=UncertaintyProfile(
+                    uncertain_value_rate=0.9,
+                    max_alternatives=4,
+                    true_value_mass=0.5,
+                    null_rate=0.2,
+                    maybe_rate=0.5,
+                    pattern_rate=0.0,
+                ),
+                seed=31,
+            )
+        )
+        detector = DuplicateDetector(matcher(), model())
+        result = detector.detect(dataset.relation)
+        # Sanity: every decision has a finite or infinite similarity and
+        # a valid status; nothing crashes under heavy uncertainty.
+        assert len(result.decisions) == len(result.compared_pairs)
+        report = evaluate_detection(result, dataset.true_matches)
+        assert 0.0 <= report.precision <= 1.0

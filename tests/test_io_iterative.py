@@ -1,0 +1,241 @@
+"""Unit tests for JSON serialization and iterative match-merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    paper_matcher,
+    paper_model,
+    relation_r1,
+    relation_r3,
+    relation_r4,
+)
+from repro.matching import (
+    IterativeResolver,
+    XTupleDecisionProcedure,
+)
+from repro.pdb import (
+    NULL,
+    PatternValue,
+    ProbabilisticValue,
+    XRelation,
+    XTuple,
+)
+from repro.pdb.io import (
+    SerializationError,
+    decode_value,
+    dumps,
+    encode_value,
+    load,
+    loads,
+    dump,
+    relation_from_dict,
+    relation_to_dict,
+)
+
+
+class TestValueCodec:
+    def test_certain_scalar(self):
+        value = ProbabilisticValue.certain("Tim")
+        assert encode_value(value) == "Tim"
+        assert decode_value("Tim") == value
+
+    def test_null(self):
+        assert encode_value(ProbabilisticValue.missing()) is None
+        assert decode_value(None).is_null
+
+    def test_distribution_roundtrip(self):
+        value = ProbabilisticValue({"Tim": 0.6, "Tom": 0.3})
+        assert decode_value(encode_value(value)) == value
+
+    def test_explicit_null_mass_roundtrip(self):
+        value = ProbabilisticValue({"Tim": 0.7})  # ⊥ 0.3
+        encoded = encode_value(value)
+        assert encoded["null"] == pytest.approx(0.3)
+        assert decode_value(encoded).null_probability == pytest.approx(0.3)
+
+    def test_certain_pattern_roundtrip(self):
+        value = ProbabilisticValue.certain(PatternValue("mu*"))
+        encoded = encode_value(value)
+        assert encoded == {"pattern": "mu*"}
+        assert decode_value(encoded) == value
+
+    def test_mixed_pattern_distribution_roundtrip(self):
+        value = ProbabilisticValue(
+            {PatternValue("mu*"): 0.4, "pilot": 0.6}
+        )
+        assert decode_value(encode_value(value)) == value
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value({"bogus": 1})
+        with pytest.raises(SerializationError):
+            decode_value({"dist": {}})
+
+
+class TestRelationCodec:
+    @pytest.mark.parametrize(
+        "relation_factory",
+        [relation_r3, relation_r4, lambda: relation_r1().to_x_relation()],
+        ids=["r3", "r4", "r1_flat"],
+    )
+    def test_paper_relations_roundtrip(self, relation_factory):
+        relation = relation_factory()
+        restored = loads(dumps(relation))
+        assert restored.name == relation.name
+        assert restored.schema == relation.schema
+        assert restored.tuple_ids == relation.tuple_ids
+        for xtuple in relation:
+            restored_xtuple = restored.get(xtuple.tuple_id)
+            assert restored_xtuple == xtuple
+
+    def test_file_roundtrip(self, tmp_path):
+        relation = relation_r3()
+        path = str(tmp_path / "r3.json")
+        dump(relation, path)
+        assert load(path) == relation or load(path).tuple_ids == (
+            relation.tuple_ids
+        )
+
+    def test_dict_roundtrip(self):
+        relation = relation_r4()
+        assert relation_from_dict(
+            relation_to_dict(relation)
+        ).tuple_ids == relation.tuple_ids
+
+    def test_version_checked(self):
+        document = relation_to_dict(relation_r3())
+        document["format"] = 99
+        with pytest.raises(SerializationError):
+            relation_from_dict(document)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SerializationError):
+            relation_from_dict({"name": "R"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            loads("{not json")
+        with pytest.raises(SerializationError):
+            loads("[1, 2]")
+
+    def test_generated_dataset_roundtrip(self):
+        from repro.datagen import DatasetConfig, generate_dataset
+
+        dataset = generate_dataset(DatasetConfig(entity_count=20, seed=3))
+        restored = loads(dumps(dataset.relation))
+        assert len(restored) == len(dataset.relation)
+        for xtuple in dataset.relation:
+            assert restored.get(xtuple.tuple_id).probability == (
+                pytest.approx(xtuple.probability)
+            )
+
+
+def make_resolver(**kwargs) -> IterativeResolver:
+    return IterativeResolver(
+        XTupleDecisionProcedure(paper_matcher(), paper_model()), **kwargs
+    )
+
+
+class TestIterativeResolver:
+    def test_exact_duplicates_merge(self):
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("a", {"name": "Tim", "job": "pilot"}),
+                XTuple.certain("b", {"name": "Tim", "job": "pilot"}),
+                XTuple.certain("c", {"name": "Walter", "job": "judge"}),
+            ],
+        )
+        outcome = make_resolver().resolve(relation)
+        assert len(outcome.relation) == 2
+        assert outcome.merges == (("a", "b"),)
+        assert outcome.merged_count == 1
+
+    def test_transitive_chain_collapses(self):
+        """a≈b and b≈c but a̸≈c directly: merging must still unify all
+        three (the Swoosh argument for iterating)."""
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("a", {"name": "Timothy", "job": "pilot"}),
+                XTuple.certain("b", {"name": "Timothyx", "job": "pilot"}),
+                XTuple.certain("c", {"name": "Timothyxx", "job": "pilot"}),
+            ],
+        )
+        outcome = make_resolver().resolve(relation)
+        assert len(outcome.relation) == 1
+        assert outcome.source_of[
+            outcome.relation.tuple_ids[0]
+        ] == frozenset({"a", "b", "c"})
+
+    def test_no_matches_is_identity(self):
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain("a", {"name": "Tim", "job": "pilot"}),
+                XTuple.certain("b", {"name": "Walter", "job": "judge"}),
+            ],
+        )
+        outcome = make_resolver().resolve(relation)
+        assert set(outcome.relation.tuple_ids) == {"a", "b"}
+        assert outcome.merges == ()
+
+    def test_merged_distributions_accumulate_evidence(self):
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.build(
+                    "a", [({"name": {"Tim": 0.8, "Tom": 0.2}, "job": "pilot"}, 1.0)]
+                ),
+                XTuple.build(
+                    "b", [({"name": {"Tim": 0.6, "Jim": 0.4}, "job": "pilot"}, 1.0)]
+                ),
+            ],
+        )
+        outcome = make_resolver().resolve(relation)
+        assert len(outcome.relation) == 1
+        merged = outcome.relation.xtuples[0]
+        name = merged.alternatives[0].value("name")
+        assert name.probability("Tim") == pytest.approx(0.7)
+
+    def test_comparison_budget_enforced(self):
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [
+                XTuple.certain(f"t{i}", {"name": f"N{i}", "job": "j"})
+                for i in range(5)
+            ],
+        )
+        with pytest.raises(RuntimeError):
+            make_resolver(max_iterations=2).resolve(relation)
+
+    def test_empty_relation(self):
+        relation = XRelation("R", ["name", "job"], [])
+        outcome = make_resolver().resolve(relation)
+        assert len(outcome.relation) == 0
+        assert outcome.comparisons == 0
+
+    def test_sources_partition_input(self):
+        from repro.datagen import DatasetConfig, generate_dataset
+        from repro.experiments.quality import default_matcher
+
+        dataset = generate_dataset(
+            DatasetConfig(entity_count=15, seed=9), flat=True
+        )
+        # Generated jobs may carry any-prefix patterns, so the resolver
+        # needs the corpus-wide matcher, not the mu*-only paper matcher.
+        resolver = IterativeResolver(
+            XTupleDecisionProcedure(default_matcher(), paper_model())
+        )
+        outcome = resolver.resolve(dataset.relation)
+        absorbed = [
+            tid for group in outcome.source_of.values() for tid in group
+        ]
+        assert sorted(absorbed) == sorted(dataset.relation.tuple_ids)

@@ -1,0 +1,120 @@
+"""Unit tests for ULDB-style lineage (repro.pdb.lineage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdb import (
+    Lineage,
+    LineageAtom,
+    PossibleWorld,
+    XTuple,
+    mutually_exclusive,
+)
+
+
+def world(*selection: tuple[str, int]) -> PossibleWorld:
+    return PossibleWorld(tuple(selection), 1.0)
+
+
+class TestLineageAtom:
+    def test_holds_when_alternative_matches(self):
+        atom = LineageAtom("t", 1)
+        assert atom.holds_in(world(("t", 1)))
+        assert not atom.holds_in(world(("t", 0)))
+
+    def test_absence_atom(self):
+        atom = LineageAtom("t", None)
+        assert atom.holds_in(world())
+        assert not atom.holds_in(world(("t", 0)))
+
+    def test_probability_of_alternative(self):
+        xt = XTuple.build("t", [({"a": "x"}, 0.3), ({"a": "y"}, 0.5)])
+        assert LineageAtom("t", 1).probability({"t": xt}) == pytest.approx(
+            0.5
+        )
+
+    def test_probability_of_absence(self):
+        xt = XTuple.build("t", [({"a": "x"}, 0.3)])
+        assert LineageAtom("t", None).probability({"t": xt}) == pytest.approx(
+            0.7
+        )
+
+    def test_repr(self):
+        assert repr(LineageAtom("t", 2)) == "t[2]"
+        assert repr(LineageAtom("t", None)) == "¬t"
+
+
+class TestLineage:
+    def test_empty_lineage_always_holds(self):
+        assert Lineage().holds_in(world(("x", 0)))
+        assert Lineage().is_empty
+        assert Lineage().probability({}) == 1.0
+
+    def test_conjunction_holds(self):
+        lineage = Lineage([LineageAtom("a", 0), LineageAtom("b", 1)])
+        assert lineage.holds_in(world(("a", 0), ("b", 1)))
+        assert not lineage.holds_in(world(("a", 0), ("b", 0)))
+
+    def test_duplicate_atoms_deduplicated(self):
+        lineage = Lineage([LineageAtom("a", 0), LineageAtom("a", 0)])
+        assert len(lineage.atoms) == 1
+
+    def test_contradictory_atoms_rejected(self):
+        with pytest.raises(ValueError):
+            Lineage([LineageAtom("a", 0), LineageAtom("a", 1)])
+
+    def test_probability_factorizes(self):
+        xt_a = XTuple.build("a", [({"v": "x"}, 0.5)])
+        xt_b = XTuple.build("b", [({"v": "y"}, 0.4)])
+        lineage = Lineage([LineageAtom("a", 0), LineageAtom("b", 0)])
+        assert lineage.probability({"a": xt_a, "b": xt_b}) == pytest.approx(
+            0.2
+        )
+
+    def test_conjoin(self):
+        left = Lineage([LineageAtom("a", 0)])
+        right = Lineage([LineageAtom("b", 1)])
+        combined = left.conjoin(right)
+        assert len(combined.atoms) == 2
+
+    def test_conjoin_contradiction_raises(self):
+        left = Lineage([LineageAtom("a", 0)])
+        right = Lineage([LineageAtom("a", 1)])
+        with pytest.raises(ValueError):
+            left.conjoin(right)
+
+    def test_mentions(self):
+        lineage = Lineage([LineageAtom("a", 0)])
+        assert lineage.mentions("a")
+        assert not lineage.mentions("b")
+
+    def test_equality_is_order_insensitive(self):
+        left = Lineage([LineageAtom("a", 0), LineageAtom("b", 1)])
+        right = Lineage([LineageAtom("b", 1), LineageAtom("a", 0)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestMutualExclusion:
+    def test_different_alternatives_of_shared_tuple(self):
+        left = Lineage([LineageAtom("d", 0)])
+        right = Lineage([LineageAtom("d", 1)])
+        assert mutually_exclusive(left, right)
+
+    def test_same_alternative_not_exclusive(self):
+        left = Lineage([LineageAtom("d", 0)])
+        assert not mutually_exclusive(left, left)
+
+    def test_disjoint_lineages_not_exclusive(self):
+        left = Lineage([LineageAtom("d1", 0)])
+        right = Lineage([LineageAtom("d2", 1)])
+        assert not mutually_exclusive(left, right)
+
+    def test_presence_vs_absence_exclusive(self):
+        left = Lineage([LineageAtom("d", 0)])
+        right = Lineage([LineageAtom("d", None)])
+        assert mutually_exclusive(left, right)
+
+    def test_empty_lineage_never_exclusive(self):
+        assert not mutually_exclusive(Lineage(), Lineage([LineageAtom("d", 0)]))

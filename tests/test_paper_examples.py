@@ -1,0 +1,377 @@
+"""Golden tests: every worked example of the paper, pinned exactly.
+
+Each test cites the paper location it reproduces.  Exact fractions are
+used where the paper's arithmetic is exact; printed roundings (0.59,
+0.838) are additionally checked at their printed precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    figure_7_possible_worlds,
+    figure_9_sorted_world_orders,
+    figure_10_certain_key_order,
+    figure_11_sorted_alternatives,
+    figure_13_uncertain_key_ranking,
+    figure_14_alternative_key_blocking,
+    paper_matcher,
+    paper_model,
+    relation_r1,
+    relation_r2,
+    relation_r3,
+    relation_r34,
+    relation_r4,
+    section_4a_flat_example,
+    section_4b_derivations,
+)
+from repro.similarity import HAMMING
+
+EXACT = 1e-12
+
+
+class TestReferenceSimilarities:
+    """The normalized-Hamming reference values of Section IV."""
+
+    @pytest.mark.parametrize(
+        ("left", "right", "expected"),
+        [
+            ("Tim", "Kim", 2 / 3),
+            ("Tim", "Tom", 2 / 3),
+            ("Jim", "Tom", 1 / 3),
+            ("machinist", "mechanic", 5 / 9),
+            ("baker", "mechanic", 0.0),
+        ],
+    )
+    def test_hamming_reference_value(self, left, right, expected):
+        assert HAMMING(left, right) == pytest.approx(expected, abs=EXACT)
+
+
+class TestFigure4Relations:
+    """Figure 4: the probabilistic relations ℛ1 and ℛ2."""
+
+    def test_r1_has_three_tuples(self):
+        assert relation_r1().tuple_ids == ("t11", "t12", "t13")
+
+    def test_r2_has_three_tuples(self):
+        assert relation_r2().tuple_ids == ("t21", "t22", "t23")
+
+    def test_t11_is_jobless_with_ten_percent(self):
+        """Section IV-A: implicit ⊥ mass of t11.job is 0.1."""
+        job = relation_r1().get("t11")["job"]
+        assert job.null_probability == pytest.approx(0.1, abs=EXACT)
+
+    def test_t13_membership_probability(self):
+        assert relation_r1().get("t13").probability == pytest.approx(0.6)
+
+    def test_t22_membership_probability(self):
+        assert relation_r2().get("t22").probability == pytest.approx(0.8)
+
+
+class TestSection4AFlatExample:
+    """Section IV-A worked example on (t11, t22)."""
+
+    @pytest.fixture(scope="class")
+    def example(self):
+        return section_4a_flat_example()
+
+    def test_name_similarity_is_0_9(self, example):
+        """sim(t11.name, t22.name) = 0.7·1 + 0.3·(2/3) = 0.9."""
+        assert example.name_similarity == pytest.approx(0.9, abs=EXACT)
+
+    def test_job_similarity_exact_value(self, example):
+        """sim(t11.job, t22.job) = 0.2 + 0.7·5/9 = 53/90 (printed 0.59)."""
+        assert example.job_similarity == pytest.approx(53 / 90, abs=EXACT)
+        assert round(example.job_similarity, 2) == 0.59
+
+    def test_tuple_similarity_exact_value(self, example):
+        """sim(t11, t22) = 0.8·0.9 + 0.2·53/90 = 377/450 (printed 0.838)."""
+        assert example.tuple_similarity == pytest.approx(
+            377 / 450, abs=EXACT
+        )
+        assert round(example.tuple_similarity, 3) == 0.838
+
+    def test_membership_probabilities_do_not_matter(self):
+        """Section IV: p(t)=0.8 of t22 must not influence similarity."""
+        t11 = relation_r1().get("t11")
+        t22 = relation_r2().get("t22")
+        matcher = paper_matcher()
+        base = matcher.compare_rows(t11, t22)
+        boosted = matcher.compare_rows(
+            t11.with_probability(1.0), t22.with_probability(0.01)
+        )
+        assert base.values == boosted.values
+
+
+class TestFigure5Relations:
+    """Figure 5: the x-relations ℛ3 and ℛ4."""
+
+    def test_r3_tuple_ids(self):
+        assert relation_r3().tuple_ids == ("t31", "t32")
+
+    def test_r4_tuple_ids(self):
+        assert relation_r4().tuple_ids == ("t41", "t42", "t43")
+
+    def test_t32_is_maybe_with_mass_0_9(self):
+        t32 = relation_r3().get("t32")
+        assert t32.is_maybe
+        assert t32.probability == pytest.approx(0.9, abs=EXACT)
+
+    def test_t42_and_t43_are_maybe(self):
+        r4 = relation_r4()
+        assert r4.get("t42").is_maybe
+        assert r4.get("t43").is_maybe
+
+    def test_t41_is_not_maybe(self):
+        assert not relation_r4().get("t41").is_maybe
+
+    def test_t43_first_alternative_job_is_null(self):
+        first = relation_r4().get("t43").alternatives[0]
+        assert first.value("job").is_null
+
+
+class TestFigure7PossibleWorlds:
+    """Figure 7: the eight worlds of {t32, t42} and conditioning."""
+
+    @pytest.fixture(scope="class")
+    def worlds(self):
+        return figure_7_possible_worlds()
+
+    def test_world_probabilities_in_paper_order(self, worlds):
+        expected = (0.24, 0.16, 0.32, 0.08, 0.06, 0.04, 0.08, 0.02)
+        assert worlds.world_probabilities == pytest.approx(
+            expected, abs=EXACT
+        )
+
+    def test_world_probabilities_sum_to_one(self, worlds):
+        assert sum(worlds.world_probabilities) == pytest.approx(
+            1.0, abs=EXACT
+        )
+
+    def test_presence_probability_is_0_72(self, worlds):
+        """P(B) = p(t32)·p(t42) = 0.9·0.8 = 0.72."""
+        assert worlds.presence_probability == pytest.approx(0.72, abs=EXACT)
+
+    def test_conditional_probabilities(self, worlds):
+        """P(I1|B)=0.24/0.72=3/9, P(I2|B)=2/9, P(I3|B)=4/9."""
+        assert worlds.conditional_probabilities == pytest.approx(
+            (3 / 9, 2 / 9, 4 / 9), abs=EXACT
+        )
+
+
+class TestSection4BDerivations:
+    """Section IV-B worked example: both derivations on (t32, t42)."""
+
+    @pytest.fixture(scope="class")
+    def example(self):
+        return section_4b_derivations()
+
+    def test_alternative_similarities(self, example):
+        """sim(t32^i, t42) = 11/15, 7/15, 4/15."""
+        assert example.alternative_similarities == pytest.approx(
+            (11 / 15, 7 / 15, 4 / 15), abs=EXACT
+        )
+
+    def test_similarity_based_equals_7_15(self, example):
+        """Equation 6: sim(t32, t42) = 7/15."""
+        assert example.similarity_based == pytest.approx(7 / 15, abs=1e-10)
+
+    def test_alternative_statuses_m_p_u(self, example):
+        """With T_λ=0.4, T_μ=0.7: I1 match, I2 possible, I3 non-match."""
+        assert example.alternative_statuses == ("m", "p", "u")
+
+    def test_p_match_is_3_9(self, example):
+        assert example.p_match == pytest.approx(3 / 9, abs=EXACT)
+
+    def test_p_unmatch_is_4_9(self, example):
+        assert example.p_unmatch == pytest.approx(4 / 9, abs=1e-10)
+
+    def test_decision_based_equals_0_75(self, example):
+        """Equation 7: sim(t32, t42) = (3/9)/(4/9) = 0.75."""
+        assert example.decision_based == pytest.approx(0.75, abs=1e-10)
+
+    def test_expected_matching_result(self, example):
+        """E(η|B) with m=2,p=1,u=0: 2·3/9 + 1·2/9 + 0·4/9 = 8/9."""
+        assert example.expected_matching_result == pytest.approx(
+            8 / 9, abs=1e-10
+        )
+
+
+class TestFigure9MultiPass:
+    """Figures 8/9: per-world sort orders of the multi-pass SNM."""
+
+    @pytest.fixture(scope="class")
+    def orders(self):
+        return figure_9_sorted_world_orders()
+
+    def test_both_figure_worlds_found(self, orders):
+        assert set(orders) == {"I1", "I2"}
+
+    def test_world_i1_order(self, orders):
+        """Figure 9 left: Johpi t31, Johpi t41, Seapil t43, Timme t32, Tomme t42."""
+        assert orders["I1"] == ["t31", "t41", "t43", "t32", "t42"]
+
+    def test_world_i2_order(self, orders):
+        """Figure 9 right: Jimme t32, Joh t43, Johmu t31, Johpi t41, Tomme t42."""
+        assert orders["I2"] == ["t32", "t43", "t31", "t41", "t42"]
+
+    def test_different_worlds_give_different_orders(self, orders):
+        """The paper's point: passes over different worlds differ."""
+        assert orders["I1"] != orders["I2"]
+
+
+class TestFigure10CertainKeys:
+    """Figure 10: most-probable-alternative keys, sorted."""
+
+    def test_sorted_key_rows(self):
+        assert figure_10_certain_key_order() == [
+            ("Jimba", "t32"),
+            ("Johpi", "t31"),
+            ("Johpi", "t41"),
+            ("Seapi", "t43"),
+            ("Tomme", "t42"),
+        ]
+
+
+class TestFigure11SortingAlternatives:
+    """Figures 11/12: sorting alternatives, dedup, five matchings."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_11_sorted_alternatives()
+
+    def test_nine_sorted_entries(self, result):
+        """Figure 11 right column has nine key rows."""
+        assert result["sorted_entries"] == [
+            ("Jimba", "t32"),
+            ("Jimme", "t32"),
+            ("Joh", "t43"),
+            ("Johmu", "t31"),
+            ("Johpi", "t31"),
+            ("Johpi", "t41"),
+            ("Seapi", "t43"),
+            ("Timme", "t32"),
+            ("Tomme", "t42"),
+        ]
+
+    def test_neighbor_dedup_removes_two_entries(self, result):
+        """The figure strikes Jimme(t32) and Johpi(t31)."""
+        assert result["deduped_entries"] == [
+            ("Jimba", "t32"),
+            ("Joh", "t43"),
+            ("Johmu", "t31"),
+            ("Johpi", "t41"),
+            ("Seapi", "t43"),
+            ("Timme", "t32"),
+            ("Tomme", "t42"),
+        ]
+
+    def test_exactly_the_five_paper_matchings(self, result):
+        """Window 2 ⇒ (t32,t43), (t43,t31), (t31,t41), (t41,t43), (t32,t42)."""
+        normalized = {tuple(sorted(p)) for p in result["matchings"]}
+        assert normalized == {
+            ("t32", "t43"),
+            ("t31", "t43"),
+            ("t31", "t41"),
+            ("t41", "t43"),
+            ("t32", "t42"),
+        }
+
+    def test_each_matching_applied_exactly_once(self, result):
+        assert len(result["matchings"]) == 5
+
+
+class TestFigure13UncertainKeyRanking:
+    """Figure 13: ranking by uncertain key values."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_13_uncertain_key_ranking()
+
+    def test_ranked_order_matches_figure(self, result):
+        """Figure 13 right: t32, t31, t41, t43, t42."""
+        assert result["ranked_ids"] == ["t32", "t31", "t41", "t43", "t42"]
+
+    def test_t41_key_is_certain_despite_two_alternatives(self, result):
+        """Both alternatives of t41 map to 'Johpi' (paper's remark)."""
+        distributions = dict(result["key_distributions"])
+        assert distributions["t41"] == [("Johpi", pytest.approx(1.0))]
+
+    def test_t31_key_distribution(self, result):
+        """t31: Johpi 0.7 (John/pilot), Johmu 0.3 (Johan/mu*)."""
+        distributions = dict(result["key_distributions"])
+        assert dict(distributions["t31"]) == pytest.approx(
+            {"Johpi": 0.7, "Johmu": 0.3}
+        )
+
+    def test_t32_raw_key_probabilities(self, result):
+        """Figure 13 shows raw probabilities 0.3/0.2/0.4 for t32."""
+        distributions = dict(result["key_distributions"])
+        assert dict(distributions["t32"]) == pytest.approx(
+            {"Timme": 0.3, "Jimme": 0.2, "Jimba": 0.4}
+        )
+
+    def test_t43_raw_key_probabilities(self, result):
+        """t43: Joh 0.2 (John/⊥ — ⊥ contributes nothing), Seapi 0.6."""
+        distributions = dict(result["key_distributions"])
+        assert dict(distributions["t43"]) == pytest.approx(
+            {"Joh": 0.2, "Seapi": 0.6}
+        )
+
+
+class TestFigure14AlternativeKeyBlocking:
+    """Figure 14: blocking with alternative key values on ℛ34."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_14_alternative_key_blocking()
+
+    def test_six_blocks(self, result):
+        """The paper partitions into six blocks."""
+        assert result["block_count"] == 6
+
+    def test_block_membership(self, result):
+        blocks = {
+            key: set(members) for key, members in result["blocks"].items()
+        }
+        assert blocks == {
+            "Jp": {"t31", "t41"},
+            "Jm": {"t31", "t32"},
+            "Tm": {"t32", "t42"},
+            "Jb": {"t32"},
+            "J": {"t43"},
+            "Sp": {"t43"},
+        }
+
+    def test_three_matchings_result(self, result):
+        """Three x-tuple matchings result (the paper's count)."""
+        normalized = {tuple(sorted(p)) for p in result["matchings"]}
+        assert normalized == {
+            ("t31", "t41"),
+            ("t31", "t32"),
+            ("t32", "t42"),
+        }
+
+    def test_no_tuple_twice_in_one_block(self, result):
+        """t31 maps to Jp twice (pilot/pianist…); duplicates removed."""
+        for members in result["blocks"].values():
+            assert len(members) == len(set(members))
+
+
+class TestPaperModelConfiguration:
+    """The reference model: φ = 0.8·name + 0.2·job, T_λ=0.4, T_μ=0.7."""
+
+    def test_model_classifier_thresholds(self):
+        model = paper_model()
+        assert model.classifier.match_threshold == pytest.approx(0.7)
+        assert model.classifier.unmatch_threshold == pytest.approx(0.4)
+
+    def test_r34_union_has_five_xtuples(self):
+        assert relation_r34().tuple_ids == (
+            "t31",
+            "t32",
+            "t41",
+            "t42",
+            "t43",
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for phonetic encodings (repro.similarity.phonetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.similarity import (
+    NYSIIS,
+    SOUNDEX,
+    SOUNDEX_LEVENSHTEIN,
+    nysiis,
+    nysiis_similarity,
+    phonetic_backoff,
+    soundex,
+    soundex_similarity,
+)
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        ("name", "code"),
+        [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+            ("Jackson", "J250"),
+        ],
+    )
+    def test_canonical_codes(self, name, code):
+        assert soundex(name) == code
+
+    def test_case_insensitive(self):
+        assert soundex("TIM") == soundex("tim")
+
+    def test_non_alpha_ignored(self):
+        assert soundex("O'Brien") == soundex("OBrien")
+
+    def test_empty_input(self):
+        assert soundex("") == "0000"
+        assert soundex("123") == "0000"
+
+    def test_short_names_zero_padded(self):
+        assert len(soundex("Al")) == 4
+
+    def test_similarity_same_code(self):
+        assert soundex_similarity("Robert", "Rupert") == 1.0
+
+    def test_similarity_different_code(self):
+        assert soundex_similarity("Robert", "Baker") == 0.0
+
+
+class TestNysiis:
+    @pytest.mark.parametrize(
+        ("name", "code"),
+        [
+            ("MACINTOSH", "MCANT"),
+            ("KNIGHT", "NAGT"),
+            ("PHILLIPSON", "FALAPSAN"),
+        ],
+    )
+    def test_canonical_codes(self, name, code):
+        assert nysiis(name) == code
+
+    def test_spelling_variants_share_code(self):
+        assert nysiis("Stephan") == nysiis("Stefan")
+
+    def test_empty_input(self):
+        assert nysiis("") == ""
+        assert nysiis_similarity("", "") == 1.0
+
+    def test_similarity(self):
+        assert nysiis_similarity("Stephan", "Stefan") == 1.0
+        assert nysiis_similarity("Stephan", "Walter") == 0.0
+
+
+class TestBackoff:
+    def test_phonetic_agreement_dominates(self):
+        assert SOUNDEX_LEVENSHTEIN("Robert", "Rupert") == 1.0
+
+    def test_fallback_is_dampened(self):
+        from repro.similarity import levenshtein_similarity
+
+        # Tim/Dan disagree phonetically (T500 vs D500), so the blend is
+        # the dampened edit similarity.
+        assert soundex("Tim") != soundex("Dan")
+        raw = levenshtein_similarity("Tim", "Dan")
+        assert SOUNDEX_LEVENSHTEIN("Tim", "Dan") == pytest.approx(0.9 * raw)
+
+    def test_custom_fallback(self):
+        blend = phonetic_backoff(
+            soundex_similarity, fallback=lambda a, b: 0.5
+        )
+        assert blend("completely", "different") == pytest.approx(0.45)
+
+    def test_bounded(self):
+        for pair in [("a", "b"), ("Tim", "Timothy"), ("", "x")]:
+            assert 0.0 <= SOUNDEX_LEVENSHTEIN(*pair) <= 1.0
+
+
+class TestRegistryIntegration:
+    def test_comparators_registered(self):
+        from repro.similarity import COMPARATORS
+
+        assert "soundex" in COMPARATORS
+        assert "nysiis" in COMPARATORS
+
+    def test_named_instances(self):
+        assert SOUNDEX("Robert", "Rupert") == 1.0
+        assert NYSIIS("Stephan", "Stefan") == 1.0
+
+    def test_usable_in_uncertain_lift(self):
+        """Phonetic comparators slot into the Equation-5 machinery."""
+        from repro.pdb import ProbabilisticValue
+        from repro.similarity import UncertainValueComparator
+
+        comparator = UncertainValueComparator(SOUNDEX)
+        left = ProbabilisticValue({"Robert": 0.7, "Walter": 0.3})
+        right = ProbabilisticValue.certain("Rupert")
+        assert comparator(left, right) == pytest.approx(0.7)

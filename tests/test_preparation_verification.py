@@ -1,0 +1,234 @@
+"""Unit tests for data preparation and verification metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import MatchStatus
+from repro.pdb import NULL, ProbabilisticValue, XRelation, XTuple
+from repro.preparation import (
+    apply_replacements,
+    apply_token_replacements,
+    casefold_value,
+    clean_relation,
+    clean_value,
+    compose,
+    missing_marker_to_null,
+    normalize_whitespace,
+    remove_control_characters,
+    standardize_relation,
+    standardize_xtuple,
+    strip_accents,
+)
+from repro.verification import (
+    PossiblePolicy,
+    evaluate_pairs,
+    normalize_pairs,
+    pairs_completeness,
+    reduction_f1,
+    reduction_ratio,
+    total_pair_count,
+)
+
+
+class TestStandardizationTransforms:
+    def test_normalize_whitespace(self):
+        assert normalize_whitespace("  Tim   the  Pilot ") == "Tim the Pilot"
+
+    def test_casefold(self):
+        assert casefold_value("TIM") == "tim"
+
+    def test_strip_accents(self):
+        assert strip_accents("Müller-José") == "Muller-Jose"
+
+    def test_non_strings_untouched(self):
+        assert normalize_whitespace(42) == 42
+        assert casefold_value(None) is None
+        assert strip_accents(3.14) == 3.14
+
+    def test_apply_replacements_whole_value(self):
+        transform = apply_replacements({"Dr.": "doctor"})
+        assert transform("Dr.") == "doctor"
+        assert transform("Dr. Smith") == "Dr. Smith"  # not token-wise
+
+    def test_apply_token_replacements(self):
+        transform = apply_token_replacements({"st.": "street"})
+        assert transform("Main St.") == "Main street"
+
+    def test_compose_ordering(self):
+        transform = compose(normalize_whitespace, casefold_value)
+        assert transform("  TIM ") == "tim"
+
+
+class TestRelationStandardization:
+    def test_xtuple_outcomes_merge_after_standardization(self):
+        xt = XTuple.build(
+            "t", [({"name": {"Tim": 0.6, "tim": 0.4}}, 1.0)]
+        )
+        standardized = standardize_xtuple(xt, {"name": casefold_value})
+        value = standardized.alternatives[0].value("name")
+        assert value.is_certain
+        assert value.certain_value == "tim"
+
+    def test_relation_default_pipeline(self):
+        relation = XRelation(
+            "R",
+            ["name"],
+            [XTuple.certain("t", {"name": "  TÏM  "})],
+        )
+        standardized = standardize_relation(relation)
+        value = standardized.get("t").alternatives[0].value("name")
+        assert value.certain_value == "tim"
+
+    def test_relation_selected_attributes(self):
+        relation = XRelation(
+            "R",
+            ["name", "job"],
+            [XTuple.certain("t", {"name": "TIM", "job": "PILOT"})],
+        )
+        standardized = standardize_relation(relation, attributes=["name"])
+        assert (
+            standardized.get("t").alternatives[0].value("name").certain_value
+            == "tim"
+        )
+        assert (
+            standardized.get("t").alternatives[0].value("job").certain_value
+            == "PILOT"
+        )
+
+
+class TestCleaning:
+    def test_control_characters_removed(self):
+        assert remove_control_characters("Tim\x00\x1f!") == "Tim!"
+
+    def test_missing_markers(self):
+        assert missing_marker_to_null("n/a") is NULL
+        assert missing_marker_to_null(" UNKNOWN ") is NULL
+        assert missing_marker_to_null("Tim") == "Tim"
+
+    def test_clean_value_moves_mass_to_null(self):
+        value = ProbabilisticValue({"n/a": 0.4, "pilot": 0.6})
+        cleaned = clean_value(value)
+        assert cleaned.null_probability == pytest.approx(0.4)
+        assert cleaned.probability("pilot") == pytest.approx(0.6)
+
+    def test_clean_relation(self):
+        relation = XRelation(
+            "R",
+            ["job"],
+            [XTuple.certain("t", {"job": "unknown"})],
+        )
+        cleaned = clean_relation(relation)
+        assert cleaned.get("t").alternatives[0].value("job").is_null
+
+
+class TestQualityMetrics:
+    def score(self, **kwargs):
+        compared = [("a", "b"), ("a", "c"), ("b", "c"), ("c", "d")]
+        defaults = dict(
+            predicted_matches=[("a", "b"), ("a", "c")],
+            true_matches=[("a", "b"), ("c", "d")],
+            compared_pairs=compared,
+        )
+        defaults.update(kwargs)
+        return evaluate_pairs(**defaults)
+
+    def test_confusion_counts(self):
+        report = self.score()
+        assert report.true_positives == 1  # (a,b)
+        assert report.false_positives == 1  # (a,c)
+        assert report.false_negatives == 1  # (c,d)
+        assert report.true_negatives == 1  # (b,c)
+
+    def test_precision_recall_f1(self):
+        report = self.score()
+        assert report.precision == pytest.approx(0.5)
+        assert report.recall == pytest.approx(0.5)
+        assert report.f1 == pytest.approx(0.5)
+
+    def test_error_rates(self):
+        report = self.score()
+        assert report.false_negative_rate == pytest.approx(0.5)
+        assert report.false_positive_rate == pytest.approx(0.5)
+
+    def test_pair_order_is_irrelevant(self):
+        report = self.score(predicted_matches=[("b", "a"), ("c", "a")])
+        assert report.true_positives == 1
+
+    def test_possible_policy_exclude(self):
+        report = self.score(
+            possible_matches=[("c", "d")],
+            possible_policy=PossiblePolicy.EXCLUDE,
+        )
+        # (c,d) removed from scoring entirely.
+        assert report.false_negatives == 0
+        assert report.possible_pairs == 1
+
+    def test_possible_policy_as_match(self):
+        report = self.score(
+            possible_matches=[("c", "d")],
+            possible_policy=PossiblePolicy.AS_MATCH,
+        )
+        assert report.true_positives == 2
+
+    def test_possible_policy_as_unmatch(self):
+        report = self.score(
+            possible_matches=[("c", "d")],
+            possible_policy=PossiblePolicy.AS_UNMATCH,
+        )
+        assert report.false_negatives == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            self.score(possible_policy="sometimes")
+
+    def test_empty_gold_perfect_recall(self):
+        report = evaluate_pairs([], [], [("a", "b")])
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+
+    def test_as_dict_contains_all_measures(self):
+        keys = set(self.score().as_dict())
+        assert {
+            "precision",
+            "recall",
+            "f1",
+            "fn_rate",
+            "fp_rate",
+            "accuracy",
+        } <= keys
+
+
+class TestReductionMetrics:
+    def test_total_pair_count(self):
+        assert total_pair_count(6) == 15
+        assert total_pair_count(0) == 0
+        with pytest.raises(ValueError):
+            total_pair_count(-1)
+
+    def test_reduction_ratio(self):
+        candidates = [("a", "b"), ("c", "d")]
+        assert reduction_ratio(candidates, 6) == pytest.approx(1 - 2 / 15)
+
+    def test_reduction_ratio_empty_relation(self):
+        assert reduction_ratio([], 1) == 0.0
+
+    def test_pairs_completeness(self):
+        candidates = [("a", "b"), ("x", "y")]
+        gold = [("a", "b"), ("c", "d")]
+        assert pairs_completeness(candidates, gold) == pytest.approx(0.5)
+
+    def test_pairs_completeness_no_gold(self):
+        assert pairs_completeness([("a", "b")], []) == 1.0
+
+    def test_reduction_f1_harmonic(self):
+        candidates = [("a", "b")]
+        gold = [("a", "b")]
+        rr = reduction_ratio(candidates, 6)
+        f1 = reduction_f1(candidates, gold, 6)
+        assert f1 == pytest.approx(2 * rr * 1.0 / (rr + 1.0))
+
+    def test_normalize_pairs(self):
+        assert normalize_pairs([("b", "a"), ("a", "b")]) == frozenset(
+            {("a", "b")}
+        )

@@ -1,0 +1,406 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin the paper's structural claims rather than individual numbers:
+
+* distributions stay normalized under every transformation,
+* Equation 5 stays within [0, 1] for normalized base comparators,
+* expected similarity is symmetric when the base comparator is,
+* value-level Eq. 5 ≡ tuple-level Eq. 6 after expansion (the paper's
+  possible-world equivalence remark),
+* tuple membership never influences similarities (Section IV),
+* window pairs are unique and respect the window,
+* world enumeration is a probability distribution,
+* verification metrics stay within bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.matching import (
+    AttributeMatcher,
+    CombinedDecisionModel,
+    ExpectedSimilarity,
+    ThresholdClassifier,
+    WeightedSum,
+    XTupleDecisionProcedure,
+)
+from repro.pdb import (
+    NULL,
+    ProbabilisticValue,
+    XTuple,
+    enumerate_worlds,
+    expected_rank_order,
+    world_count,
+)
+from repro.reduction import window_pairs
+from repro.similarity import HAMMING, LEVENSHTEIN, UncertainValueComparator
+from repro.verification import (
+    evaluate_pairs,
+    pairs_completeness,
+    reduction_ratio,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+short_text = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=0,
+    max_size=8,
+)
+
+nonempty_text = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def distributions(draw, min_outcomes=1, max_outcomes=4):
+    """A valid ProbabilisticValue over short lowercase strings."""
+    outcomes = draw(
+        st.lists(
+            nonempty_text,
+            min_size=min_outcomes,
+            max_size=max_outcomes,
+            unique=True,
+        )
+    )
+    raw_weights = [
+        draw(st.floats(min_value=0.01, max_value=1.0)) for _ in outcomes
+    ]
+    scale = draw(st.floats(min_value=0.3, max_value=1.0)) / sum(raw_weights)
+    return ProbabilisticValue(
+        {o: w * scale for o, w in zip(outcomes, raw_weights)}
+    )
+
+
+@st.composite
+def xtuples(draw, tuple_id="t", min_alts=1, max_alts=3):
+    """A valid x-tuple over the (name, job) schema."""
+    count = draw(st.integers(min_alts, max_alts))
+    raw = [
+        draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(count)
+    ]
+    scale = draw(st.floats(min_value=0.4, max_value=1.0)) / sum(raw)
+    rows = []
+    for weight in raw:
+        rows.append(
+            (
+                {
+                    "name": draw(nonempty_text),
+                    "job": draw(st.one_of(st.none(), nonempty_text)),
+                },
+                weight * scale,
+            )
+        )
+    return XTuple.build(tuple_id, rows)
+
+
+# ----------------------------------------------------------------------
+# Distribution invariants
+# ----------------------------------------------------------------------
+
+
+class TestDistributionInvariants:
+    @given(distributions())
+    def test_total_mass_is_one(self, value):
+        assert sum(p for _, p in value.items()) == math.isclose(
+            1.0, 1.0
+        ) or abs(sum(p for _, p in value.items()) - 1.0) < 1e-9
+
+    @given(distributions())
+    def test_map_preserves_mass(self, value):
+        mapped = value.map(lambda s: s[:2])
+        assert abs(sum(p for _, p in mapped.items()) - 1.0) < 1e-9
+
+    @given(distributions())
+    def test_filter_existing_renormalizes(self, value):
+        kept = value.filter(lambda v: True)
+        assert abs(sum(p for _, p in kept.items()) - 1.0) < 1e-9
+
+    @given(distributions())
+    def test_most_probable_in_support(self, value):
+        assert value.most_probable() in value.support
+
+    @given(distributions())
+    def test_entropy_non_negative(self, value):
+        assert value.entropy() >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Equation 4/5 invariants
+# ----------------------------------------------------------------------
+
+
+class TestSimilarityInvariants:
+    @given(distributions(), distributions())
+    def test_equation_5_bounded(self, left, right):
+        comparator = UncertainValueComparator(HAMMING)
+        assert -1e-9 <= comparator(left, right) <= 1.0 + 1e-9
+
+    @given(distributions(), distributions())
+    def test_equation_5_symmetric(self, left, right):
+        comparator = UncertainValueComparator(HAMMING)
+        assert abs(comparator(left, right) - comparator(right, left)) < 1e-9
+
+    @given(distributions())
+    def test_self_similarity_at_least_collision_probability(self, value):
+        """sim(a,a) ≥ P(a=a): identical outcomes score 1 under Hamming."""
+        comparator = UncertainValueComparator(HAMMING)
+        assert (
+            comparator(value, value)
+            >= value.equality_probability(value) - 1e-9
+        )
+
+    @given(distributions(), distributions())
+    def test_equation_4_leq_one(self, left, right):
+        assert 0.0 <= left.equality_probability(right) <= 1.0 + 1e-9
+
+    @given(st.lists(nonempty_text, min_size=1, max_size=4, unique=True))
+    def test_equation_4_equals_eq5_with_exact_base(self, outcomes):
+        """Eq. 4 is Eq. 5 with the Kronecker-delta comparator."""
+        share = 1.0 / len(outcomes)
+        value = ProbabilisticValue({o: share for o in outcomes})
+        comparator = UncertainValueComparator()  # error-free
+        assert abs(
+            comparator(value, value) - value.equality_probability(value)
+        ) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Equation 5 ≡ Equation 6 under expansion
+# ----------------------------------------------------------------------
+
+
+class TestExpansionEquivalence:
+    @given(distributions(max_outcomes=3), distributions(max_outcomes=3))
+    @settings(max_examples=50)
+    def test_value_level_equals_alternative_level(self, left, right):
+        """Comparing uncertain values inside one alternative (Eq. 5) must
+        equal expanding them into certain alternatives and applying the
+        expected-similarity derivation (Eq. 6) — both are the expectation
+        over possible worlds, as the paper notes."""
+        matcher = AttributeMatcher({"name": HAMMING})
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 1.0}), ThresholdClassifier(0.7, 0.4)
+        )
+        procedure = XTupleDecisionProcedure(
+            matcher, model, ExpectedSimilarity()
+        )
+
+        compact_left = XTuple.build("l", [({"name": left}, 1.0)])
+        compact_right = XTuple.build("r", [({"name": right}, 1.0)])
+        expanded_left = compact_left.expand()
+        expanded_right = compact_right.expand()
+
+        compact_sim = procedure.similarity(compact_left, compact_right)
+        expanded_sim = procedure.similarity(expanded_left, expanded_right)
+        assert abs(compact_sim - expanded_sim) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Membership invariance (Section IV)
+# ----------------------------------------------------------------------
+
+
+class TestMembershipInvariance:
+    @given(
+        xtuples(tuple_id="a"),
+        xtuples(tuple_id="b"),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_scaling_alternatives_changes_nothing(self, left, right, factor):
+        """Multiplying every alternative probability of an x-tuple by a
+        constant λ (lowering p(t)) must not change the derived
+        similarity — Section IV's central requirement."""
+        matcher = AttributeMatcher({"name": HAMMING, "job": HAMMING})
+        model = CombinedDecisionModel(
+            WeightedSum({"name": 0.8, "job": 0.2}),
+            ThresholdClassifier(0.7, 0.4),
+        )
+        procedure = XTupleDecisionProcedure(
+            matcher, model, ExpectedSimilarity()
+        )
+        scaled = XTuple(
+            left.tuple_id,
+            [
+                alt.with_probability(alt.probability * factor)
+                for alt in left.alternatives
+            ],
+        )
+        original = procedure.similarity(left, right)
+        rescaled = procedure.similarity(scaled, right)
+        assert abs(original - rescaled) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Possible worlds
+# ----------------------------------------------------------------------
+
+
+class TestWorldInvariants:
+    @given(st.lists(xtuples(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_enumeration_is_a_distribution(self, tuples):
+        # Re-id the tuples uniquely.
+        tuples = [
+            XTuple(f"t{i}", xt.alternatives) for i, xt in enumerate(tuples)
+        ]
+        assume(world_count(tuples) <= 200)
+        worlds = list(enumerate_worlds(tuples))
+        assert abs(sum(w.probability for w in worlds) - 1.0) < 1e-9
+        assert all(w.probability > 0.0 for w in worlds)
+
+    @given(st.lists(xtuples(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_world_count_matches_enumeration(self, tuples):
+        tuples = [
+            XTuple(f"t{i}", xt.alternatives) for i, xt in enumerate(tuples)
+        ]
+        assume(world_count(tuples) <= 200)
+        assert len(list(enumerate_worlds(tuples))) == world_count(tuples)
+
+
+# ----------------------------------------------------------------------
+# Reduction invariants
+# ----------------------------------------------------------------------
+
+
+class TestReductionInvariants:
+    @given(
+        st.lists(
+            st.sampled_from("abcdefgh"), min_size=2, max_size=12
+        ),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_window_pairs_unique_and_non_self(self, ids, window):
+        pairs = list(window_pairs(ids, window))
+        assert len(pairs) == len(set(pairs))
+        for left, right in pairs:
+            assert left != right
+            assert left <= right
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=110),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=2,
+            max_size=10,
+        ),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_window_pairs_only_within_window_distance(self, keys, window):
+        ids = [f"t{i}" for i in range(len(keys))]
+        order = [tid for _, tid in sorted(zip(keys, ids))]
+        position = {tid: i for i, tid in enumerate(order)}
+        for left, right in window_pairs(order, window):
+            assert abs(position[left] - position[right]) < window
+
+    @given(st.data())
+    def test_ranking_is_a_permutation(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=8))
+        items = []
+        for i in range(n):
+            keys = data.draw(
+                st.lists(nonempty_text, min_size=1, max_size=3, unique=True)
+            )
+            probs = [
+                data.draw(st.floats(min_value=0.05, max_value=1.0))
+                for _ in keys
+            ]
+            scale = 1.0 / sum(probs)
+            items.append(
+                (f"t{i}", [(k, p * scale) for k, p in zip(keys, probs)])
+            )
+        ranked = expected_rank_order(items)
+        assert sorted(ranked) == sorted(f"t{i}" for i in range(n))
+
+
+# ----------------------------------------------------------------------
+# Verification invariants
+# ----------------------------------------------------------------------
+
+pair_sets = st.sets(
+    st.tuples(
+        st.sampled_from("abcdef"), st.sampled_from("abcdef")
+    ).filter(lambda p: p[0] < p[1]),
+    max_size=10,
+)
+
+
+class TestMetricInvariants:
+    @given(pair_sets, pair_sets)
+    def test_precision_recall_bounded(self, predicted, gold):
+        compared = predicted | gold
+        assume(compared)
+        report = evaluate_pairs(predicted, gold, compared)
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        assert 0.0 <= report.f1 <= 1.0
+
+    @given(pair_sets, pair_sets)
+    def test_fn_rate_complements_recall(self, predicted, gold):
+        compared = predicted | gold
+        assume(gold)
+        report = evaluate_pairs(predicted, gold, compared)
+        assert abs(report.false_negative_rate - (1 - report.recall)) < 1e-9
+
+    @given(pair_sets, st.integers(min_value=4, max_value=12))
+    def test_reduction_ratio_bounded(self, candidates, size):
+        assume(len(candidates) <= size * (size - 1) // 2)
+        ratio = reduction_ratio(candidates, size)
+        assert 0.0 <= ratio <= 1.0
+
+    @given(pair_sets, pair_sets)
+    def test_pairs_completeness_bounded(self, candidates, gold):
+        pc = pairs_completeness(candidates, gold)
+        assert 0.0 <= pc <= 1.0
+
+    @given(pair_sets)
+    def test_full_candidate_set_has_complete_pairs(self, gold):
+        assert pairs_completeness(gold, gold) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Comparator invariants over arbitrary strings
+# ----------------------------------------------------------------------
+
+
+class TestComparatorProperties:
+    @given(short_text, short_text)
+    def test_levenshtein_triangle_inequality(self, left, right):
+        from repro.similarity import levenshtein_distance
+
+        via_empty = levenshtein_distance(left, "") + levenshtein_distance(
+            "", right
+        )
+        assert levenshtein_distance(left, right) <= via_empty
+
+    @given(short_text, short_text)
+    def test_levenshtein_symmetry(self, left, right):
+        from repro.similarity import levenshtein_distance
+
+        assert levenshtein_distance(left, right) == levenshtein_distance(
+            right, left
+        )
+
+    @given(short_text)
+    def test_identity_maximal(self, text):
+        for fn in (HAMMING, LEVENSHTEIN):
+            assert fn(text, text) == 1.0
+
+    @given(short_text, short_text)
+    def test_all_bounded(self, left, right):
+        for fn in (HAMMING, LEVENSHTEIN):
+            assert 0.0 <= fn(left, right) <= 1.0

@@ -1,0 +1,216 @@
+"""Property-based tests for the extension subsystems.
+
+Invariants covered:
+
+* JSON serialization round-trips arbitrary x-relations exactly;
+* mixture fusion preserves total probability mass and is a convex
+  combination (fused outcome mass never exceeds the max source mass);
+* fused membership under the ANY rule dominates MAX dominates MEAN;
+* lineage probabilities agree with brute-force world enumeration;
+* derived-key distributions are proper distributions;
+* threshold-sweep points are consistent confusion matrices.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import (
+    MembershipRule,
+    fuse_cluster,
+    fused_membership,
+    mediate_mixture,
+)
+from repro.pdb import (
+    Lineage,
+    LineageAtom,
+    ProbabilisticValue,
+    XRelation,
+    XTuple,
+    enumerate_worlds,
+    world_count,
+)
+from repro.pdb.io import dumps, loads
+from repro.reduction import DerivedKey, soundex_transform
+from repro.reduction.derived_keys import derived_xtuple_key_distribution
+from repro.verification import threshold_sweep
+
+nonempty_text = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def values(draw, max_outcomes=4):
+    outcomes = draw(
+        st.lists(nonempty_text, min_size=1, max_size=max_outcomes, unique=True)
+    )
+    raw = [draw(st.floats(min_value=0.01, max_value=1.0)) for _ in outcomes]
+    scale = draw(st.floats(min_value=0.3, max_value=1.0)) / sum(raw)
+    return ProbabilisticValue(
+        {o: w * scale for o, w in zip(outcomes, raw)}
+    )
+
+
+@st.composite
+def xtuples(draw, tuple_id="t", min_alts=1, max_alts=3):
+    count = draw(st.integers(min_alts, max_alts))
+    raw = [draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(count)]
+    scale = draw(st.floats(min_value=0.4, max_value=1.0)) / sum(raw)
+    rows = []
+    for weight in raw:
+        rows.append(
+            (
+                {
+                    "name": draw(values(max_outcomes=2)),
+                    "job": draw(st.one_of(st.none(), nonempty_text)),
+                },
+                weight * scale,
+            )
+        )
+    return XTuple.build(tuple_id, rows)
+
+
+@st.composite
+def xrelations(draw, max_tuples=4):
+    count = draw(st.integers(1, max_tuples))
+    tuples = [
+        XTuple(f"t{i}", draw(xtuples()).alternatives) for i in range(count)
+    ]
+    return XRelation("R", ("name", "job"), tuples)
+
+
+class TestSerializationRoundTrip:
+    @given(xrelations())
+    @settings(max_examples=50)
+    def test_roundtrip_preserves_everything(self, relation):
+        restored = loads(dumps(relation))
+        assert restored.name == relation.name
+        assert restored.schema == relation.schema
+        assert restored.tuple_ids == relation.tuple_ids
+        for xtuple in relation:
+            assert restored.get(xtuple.tuple_id) == xtuple
+
+
+class TestFusionInvariants:
+    @given(st.lists(values(), min_size=1, max_size=4))
+    def test_mixture_is_a_distribution(self, inputs):
+        fused = mediate_mixture([(v, 1.0) for v in inputs])
+        assert abs(sum(p for _, p in fused.items()) - 1.0) < 1e-9
+
+    @given(st.lists(values(), min_size=2, max_size=4))
+    def test_mixture_is_convex(self, inputs):
+        """No outcome can exceed its maximal source probability."""
+        fused = mediate_mixture([(v, 1.0) for v in inputs])
+        for outcome, probability in fused.items():
+            sources = [v.probability(outcome) for v in inputs]
+            assert probability <= max(sources) + 1e-9
+            assert probability >= min(sources) - 1e-9
+
+    @given(st.lists(xtuples(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_membership_rule_ordering(self, tuples):
+        tuples = [
+            XTuple(f"t{i}", xt.alternatives) for i, xt in enumerate(tuples)
+        ]
+        any_rule = fused_membership(tuples, MembershipRule.ANY)
+        max_rule = fused_membership(tuples, MembershipRule.MAX)
+        mean_rule = fused_membership(tuples, MembershipRule.MEAN)
+        assert any_rule >= max_rule - 1e-9
+        assert max_rule >= mean_rule - 1e-9
+        assert 0.0 < any_rule <= 1.0 + 1e-9
+
+    @given(st.lists(xtuples(), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_fused_cluster_is_valid_xtuple(self, tuples):
+        tuples = [
+            XTuple(f"t{i}", xt.alternatives) for i, xt in enumerate(tuples)
+        ]
+        fused = fuse_cluster(tuples)
+        assert len(fused) == 1
+        assert 0.0 < fused.probability <= 1.0 + 1e-9
+        for attribute in ("name", "job"):
+            value = fused.alternatives[0].value(attribute)
+            assert abs(sum(p for _, p in value.items()) - 1.0) < 1e-9
+
+
+class TestLineageConsistency:
+    @given(st.lists(xtuples(), min_size=1, max_size=3), st.data())
+    @settings(max_examples=40)
+    def test_lineage_probability_equals_world_mass(self, tuples, data):
+        """P(lineage) computed by factorization must equal the summed
+        probability of all worlds where the lineage holds."""
+        tuples = [
+            XTuple(f"t{i}", xt.alternatives) for i, xt in enumerate(tuples)
+        ]
+        assume(world_count(tuples) <= 200)
+        sources = {xt.tuple_id: xt for xt in tuples}
+
+        atoms = []
+        for xt in tuples:
+            if data.draw(st.booleans()):
+                index = data.draw(
+                    st.one_of(
+                        st.none(),
+                        st.integers(0, len(xt.alternatives) - 1),
+                    )
+                )
+                if index is None and xt.absence_probability <= 0.0:
+                    continue
+                atoms.append(LineageAtom(xt.tuple_id, index))
+        lineage = Lineage(atoms)
+
+        factorized = lineage.probability(sources)
+        enumerated = sum(
+            world.probability
+            for world in enumerate_worlds(tuples)
+            if lineage.holds_in(world)
+        )
+        assert abs(factorized - enumerated) < 1e-9
+
+
+class TestDerivedKeyInvariants:
+    @given(xtuples())
+    @settings(max_examples=50)
+    def test_conditioned_distribution_sums_to_one(self, xtuple):
+        key = DerivedKey([("name", soundex_transform)])
+        distribution = derived_xtuple_key_distribution(xtuple, key)
+        assert abs(sum(p for _, p in distribution) - 1.0) < 1e-9
+
+    @given(xtuples())
+    @settings(max_examples=50)
+    def test_unconditioned_mass_equals_membership(self, xtuple):
+        key = DerivedKey([("name", soundex_transform)])
+        distribution = derived_xtuple_key_distribution(
+            xtuple, key, conditioned=False
+        )
+        assert abs(
+            sum(p for _, p in distribution) - xtuple.probability
+        ) < 1e-9
+
+
+class TestSweepInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_sweep_points_are_consistent(self, samples):
+        total = len(samples)
+        total_true = sum(1 for _, label in samples if label)
+        for point in threshold_sweep(samples):
+            declared = point.true_positives + point.false_positives
+            assert 0 <= declared <= total
+            assert (
+                point.true_positives + point.false_negatives == total_true
+            )
+            assert 0.0 <= point.precision <= 1.0
+            assert 0.0 <= point.recall <= 1.0

@@ -1,0 +1,115 @@
+"""Unit tests for uncertain-key ranking (repro.pdb.ranking)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdb import (
+    RANKING_FUNCTIONS,
+    expected_rank_order,
+    most_probable_key_order,
+    prf_e_order,
+)
+
+
+def certain(key: str) -> list[tuple[str, float]]:
+    return [(key, 1.0)]
+
+
+class TestExpectedRankOrder:
+    def test_certain_keys_sort_lexicographically(self):
+        items = [("b", certain("beta")), ("a", certain("alpha"))]
+        assert expected_rank_order(items) == ["a", "b"]
+
+    def test_ties_preserve_input_order(self):
+        items = [("x", certain("same")), ("y", certain("same"))]
+        assert expected_rank_order(items) == ["x", "y"]
+
+    def test_uncertain_key_placed_by_expectation(self):
+        # keys: a(0), c(1), e(2); item m has 50/50 a/e ⇒ expected 1.0,
+        # equal to certain c — tie broken by input order.
+        items = [
+            ("m", [("a", 0.5), ("e", 0.5)]),
+            ("c", certain("c")),
+        ]
+        assert expected_rank_order(items) == ["m", "c"]
+
+    def test_probability_shifts_position(self):
+        # m is mostly "a" ⇒ should come before certain "c".
+        items = [
+            ("c", certain("c")),
+            ("m", [("a", 0.9), ("e", 0.1)]),
+        ]
+        assert expected_rank_order(items) == ["m", "c"]
+
+    def test_maybe_mass_is_conditioned_away(self):
+        """Scaling a key distribution must not change the order."""
+        items_full = [
+            ("m", [("a", 0.9), ("e", 0.1)]),
+            ("c", certain("c")),
+        ]
+        items_scaled = [
+            ("m", [("a", 0.45), ("e", 0.05)]),  # maybe tuple, mass 0.5
+            ("c", certain("c")),
+        ]
+        assert expected_rank_order(items_full) == expected_rank_order(
+            items_scaled
+        )
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            expected_rank_order([("x", [])])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            expected_rank_order([("x", [("a", 0.0)])])
+
+
+class TestMostProbableKeyOrder:
+    def test_sorts_by_modal_key(self):
+        items = [
+            ("x", [("zeta", 0.6), ("alpha", 0.4)]),
+            ("y", certain("beta")),
+        ]
+        assert most_probable_key_order(items) == ["y", "x"]
+
+    def test_tie_on_key_preserves_input_order(self):
+        items = [("x", certain("k")), ("y", certain("k"))]
+        assert most_probable_key_order(items) == ["x", "y"]
+
+
+class TestPrfEOrder:
+    def test_alpha_bounds_validated(self):
+        with pytest.raises(ValueError):
+            prf_e_order([("x", certain("a"))], alpha=1.0)
+        with pytest.raises(ValueError):
+            prf_e_order([("x", certain("a"))], alpha=0.0)
+
+    def test_certain_keys_sort_lexicographically(self):
+        items = [("b", certain("beta")), ("a", certain("alpha"))]
+        assert prf_e_order(items) == ["a", "b"]
+
+    def test_high_alpha_matches_expected_rank_on_paper_data(self):
+        # The Figure-13 distributions.
+        items = [
+            ("t31", [("Johpi", 0.7), ("Johmu", 0.3)]),
+            ("t32", [("Timme", 0.3), ("Jimme", 0.2), ("Jimba", 0.4)]),
+            ("t41", [("Johpi", 1.0)]),
+            ("t42", [("Tomme", 0.8)]),
+            ("t43", [("Joh", 0.2), ("Seapi", 0.6)]),
+        ]
+        assert prf_e_order(items, alpha=0.99) == expected_rank_order(items)
+
+
+class TestRegistry:
+    def test_all_functions_registered(self):
+        assert set(RANKING_FUNCTIONS) == {
+            "expected_rank",
+            "most_probable_key",
+            "prf_e",
+        }
+
+    def test_registered_functions_are_callable(self):
+        items = [("a", certain("x")), ("b", certain("y"))]
+        for fn in RANKING_FUNCTIONS.values():
+            assert fn(items) == ["a", "b"]

@@ -1,0 +1,306 @@
+"""Unit tests for key creation and the Sorted-Neighborhood family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdb import NULL, PatternValue, ProbabilisticValue, XRelation, XTuple
+from repro.pdb.xtuples import TupleAlternative
+from repro.reduction import (
+    AlternativeSorting,
+    MatchingMatrix,
+    MultiPassSNM,
+    SortedNeighborhood,
+    SubstringKey,
+    UncertainKeySNM,
+    alternative_key_distribution,
+    most_probable_key,
+    window_pairs,
+    xtuple_key_distribution,
+)
+
+KEY = SubstringKey([("name", 3), ("job", 2)])
+
+
+class TestSubstringKey:
+    def test_paper_key(self):
+        assert KEY.for_assignment({"name": "John", "job": "pilot"}) == "Johpi"
+
+    def test_short_values_truncate_gracefully(self):
+        assert KEY.for_assignment({"name": "Al", "job": "x"}) == "Alx"
+
+    def test_null_contributes_empty(self):
+        """t43's (John, ⊥) keys to 'Joh' (Figures 9/13)."""
+        assert KEY.for_assignment({"name": "John", "job": NULL}) == "Joh"
+
+    def test_pattern_prefix_used_when_long_enough(self):
+        """mu* under a 2-char job part keys to 'mu' (Figure 13's Johmu)."""
+        assert (
+            KEY.for_assignment(
+                {"name": "Johan", "job": PatternValue("mu*")}
+            )
+            == "Johmu"
+        )
+
+    def test_pattern_prefix_too_short_raises(self):
+        key = SubstringKey([("job", 5)])
+        with pytest.raises(ValueError):
+            key.for_assignment({"job": PatternValue("mu*")})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubstringKey([])
+        with pytest.raises(ValueError):
+            SubstringKey([("name", 0)])
+
+    def test_attributes_property(self):
+        assert KEY.attributes == ("name", "job")
+
+
+class TestKeyDistributions:
+    def test_certain_alternative_single_key(self):
+        alt = TupleAlternative({"name": "John", "job": "pilot"}, 0.7)
+        assert alternative_key_distribution(alt, KEY) == [("Johpi", 1.0)]
+
+    def test_uncertain_value_splits_key(self):
+        alt = TupleAlternative(
+            {"name": {"Tim": 0.6, "Tom": 0.4}, "job": "pilot"}, 1.0
+        )
+        distribution = dict(alternative_key_distribution(alt, KEY))
+        assert distribution["Timpi"] == pytest.approx(0.6)
+        assert distribution["Tompi"] == pytest.approx(0.4)
+
+    def test_equal_keys_merge_within_alternative(self):
+        alt = TupleAlternative(
+            {"name": {"Timon": 0.5, "Timmy": 0.5}, "job": "pilot"}, 1.0
+        )
+        distribution = alternative_key_distribution(alt, KEY)
+        assert distribution == [("Timpi", pytest.approx(1.0))]
+
+    def test_xtuple_distribution_merges_across_alternatives(self):
+        """t41: both alternatives key to Johpi ⇒ certain key."""
+        t41 = XTuple.build(
+            "t41",
+            [
+                ({"name": "John", "job": "pilot"}, 0.8),
+                ({"name": "Johan", "job": "pianist"}, 0.2),
+            ],
+        )
+        assert xtuple_key_distribution(t41, KEY) == [
+            ("Johpi", pytest.approx(1.0))
+        ]
+
+    def test_unconditioned_distribution_keeps_raw_mass(self):
+        maybe = XTuple.build("t", [({"name": "Tim", "job": "x"}, 0.5)])
+        raw = xtuple_key_distribution(maybe, KEY, conditioned=False)
+        assert raw == [("Timx", pytest.approx(0.5))]
+
+    def test_most_probable_key(self):
+        t32 = XTuple.build(
+            "t32",
+            [
+                ({"name": "Tim", "job": "mechanic"}, 0.3),
+                ({"name": "Jim", "job": "mechanic"}, 0.2),
+                ({"name": "Jim", "job": "baker"}, 0.4),
+            ],
+        )
+        assert most_probable_key(t32, KEY) == "Jimba"
+
+
+class TestWindowPairs:
+    def test_window_two_adjacent_pairs(self):
+        pairs = list(window_pairs(["a", "b", "c"], 2))
+        assert pairs == [("a", "b"), ("b", "c")]
+
+    def test_window_three_reaches_two_ahead(self):
+        pairs = set(window_pairs(["a", "b", "c"], 3))
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_self_pairs_skipped(self):
+        pairs = list(window_pairs(["a", "a", "b"], 2))
+        assert pairs == [("a", "b")]
+
+    def test_duplicate_pairs_suppressed(self):
+        pairs = list(window_pairs(["a", "b", "a", "b"], 2))
+        assert pairs == [("a", "b")]
+
+    def test_duplicates_allowed_when_requested(self):
+        pairs = list(
+            window_pairs(["a", "b", "a"], 2, skip_duplicate_pairs=False)
+        )
+        assert pairs == [("a", "b"), ("a", "b")]
+
+    def test_window_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            list(window_pairs(["a"], 1))
+
+    def test_window_larger_than_sequence(self):
+        pairs = set(window_pairs(["a", "b"], 10))
+        assert pairs == {("a", "b")}
+
+
+def r34() -> XRelation:
+    from repro.experiments.paper_data import MU_JOBS, relation_r34
+
+    return XRelation(
+        "R34x",
+        ("name", "job"),
+        [
+            xt.expand_patterns({"job": MU_JOBS}).expand()
+            for xt in relation_r34()
+        ],
+    )
+
+
+class TestSortedNeighborhood:
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhood(KEY, window=1)
+
+    def test_sorted_ids_match_figure_10(self):
+        snm = SortedNeighborhood(KEY, window=2)
+        assert snm.sorted_ids(r34()) == ["t32", "t31", "t41", "t43", "t42"]
+
+    def test_pairs_are_window_pairs_of_sorted_order(self):
+        snm = SortedNeighborhood(KEY, window=2)
+        assert list(snm.pairs(r34())) == [
+            ("t31", "t32"),
+            ("t31", "t41"),
+            ("t41", "t43"),
+            ("t42", "t43"),
+        ]
+
+    def test_custom_key_strategy(self):
+        def first_alternative_key(xtuple, key):
+            alternative = xtuple.alternatives[0]
+            assignment = {
+                a: alternative.value(a).most_probable()
+                for a in alternative.attributes
+            }
+            return key.for_assignment(assignment)
+
+        snm = SortedNeighborhood(
+            KEY, window=2, key_strategy=first_alternative_key
+        )
+        ids = snm.sorted_ids(r34())
+        assert set(ids) == {"t31", "t32", "t41", "t42", "t43"}
+
+
+class TestMatchingMatrix:
+    def test_record_and_seen(self):
+        matrix = MatchingMatrix()
+        assert matrix.record("a", "b")
+        assert matrix.seen("b", "a")  # symmetric
+        assert not matrix.record("b", "a")
+
+    def test_len_and_contains(self):
+        matrix = MatchingMatrix()
+        matrix.record("x", "y")
+        assert len(matrix) == 1
+        assert ("y", "x") in matrix
+
+    def test_pairs_snapshot(self):
+        matrix = MatchingMatrix()
+        matrix.record("a", "b")
+        assert matrix.pairs() == frozenset({("a", "b")})
+
+
+class TestAlternativeSorting:
+    def test_entries_collapse_duplicate_keys_within_xtuple(self):
+        sorting = AlternativeSorting(KEY, window=2)
+        t41 = XTuple.build(
+            "t41",
+            [
+                ({"name": "John", "job": "pilot"}, 0.8),
+                ({"name": "Johan", "job": "pianist"}, 0.2),
+            ],
+        )
+        entries = sorting.entries_for_xtuple(t41)
+        assert entries == [("Johpi", "t41")]
+
+    def test_most_probable_only_mode(self):
+        sorting = AlternativeSorting(KEY, window=2, all_alternatives=False)
+        t32 = r34().get("t32")
+        entries = sorting.entries_for_xtuple(t32)
+        assert entries == [("Jimba", "t32")]
+
+    def test_neighbor_dedup_can_be_disabled(self):
+        enabled = AlternativeSorting(KEY, window=2)
+        disabled = AlternativeSorting(KEY, window=2, neighbor_dedup=False)
+        relation = r34()
+        assert len(disabled.sorted_entries(relation)) >= len(
+            enabled.deduped_entries(relation)
+        )
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            AlternativeSorting(KEY, window=0)
+
+
+class TestUncertainKeySNM:
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            UncertainKeySNM(KEY, window=1)
+
+    def test_ranked_pairs_cover_neighbors(self):
+        from repro.experiments.paper_data import relation_r34
+
+        snm = UncertainKeySNM(KEY, window=2)
+        pairs = list(snm.pairs(relation_r34()))
+        assert ("t31", "t32") in [tuple(sorted(p)) for p in pairs]
+
+    def test_alternate_ranking_function(self):
+        from repro.experiments.paper_data import relation_r34
+        from repro.pdb import most_probable_key_order
+
+        snm = UncertainKeySNM(KEY, window=2, ranking=most_probable_key_order)
+        ids = snm.ranked_ids(relation_r34())
+        assert ids == ["t32", "t31", "t41", "t43", "t42"]
+
+
+class TestMultiPassSNM:
+    def test_selection_validated(self):
+        with pytest.raises(ValueError):
+            MultiPassSNM(KEY, selection="bogus")
+        with pytest.raises(ValueError):
+            MultiPassSNM(KEY, window=1)
+        with pytest.raises(ValueError):
+            MultiPassSNM(KEY, world_count=0)
+
+    def test_all_worlds_pass_counts(self):
+        relation = r34()
+        multipass = MultiPassSNM(KEY, window=2, selection="all")
+        worlds = multipass.select_worlds(relation)
+        # full worlds: t31(4 expanded alts since mu* → 3 jobs +1) ×
+        # t32(3) × t41(2) × t42(1) × t43(2)
+        assert len(worlds) == 4 * 3 * 2 * 1 * 2
+
+    def test_most_probable_selection_size(self):
+        multipass = MultiPassSNM(
+            KEY, window=2, selection="most_probable", world_count=3
+        )
+        assert len(multipass.select_worlds(r34())) == 3
+
+    def test_diverse_selection_size(self):
+        multipass = MultiPassSNM(
+            KEY, window=2, selection="diverse", world_count=3
+        )
+        assert len(multipass.select_worlds(r34())) == 3
+
+    def test_union_of_passes_superset_of_single_pass(self):
+        relation = r34()
+        single = MultiPassSNM(
+            KEY, window=2, selection="most_probable", world_count=1
+        )
+        multi = MultiPassSNM(KEY, window=2, selection="all")
+        assert set(single.pairs(relation)) <= set(multi.pairs(relation))
+
+    def test_certain_key_strategy_is_subset_of_multipass(self):
+        """Section V-A.2: the most-probable-world matchings are always a
+        subset of the all-worlds multi-pass matchings."""
+        relation = r34()
+        certain = SortedNeighborhood(KEY, window=2)
+        multipass = MultiPassSNM(KEY, window=2, selection="all")
+        assert set(certain.pairs(relation)) <= set(
+            multipass.pairs(relation)
+        )

@@ -1,0 +1,286 @@
+"""Unit tests for relations, possible worlds and conditioning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pdb import (
+    ConditioningError,
+    DuplicateTupleIdError,
+    PossibleWorld,
+    ProbabilisticRelation,
+    ProbabilisticTuple,
+    Schema,
+    SchemaMismatchError,
+    WorldEnumerationError,
+    XRelation,
+    XTuple,
+    condition_on_presence,
+    condition_worlds,
+    enumerate_full_worlds,
+    enumerate_worlds,
+    most_probable_world,
+    presence_probability,
+    sample_world,
+    value_in_world,
+    world_count,
+    world_overlap,
+)
+
+
+def make_xtuple(tid: str, rows) -> XTuple:
+    return XTuple.build(tid, rows)
+
+
+class TestSchema:
+    def test_attributes_ordered(self):
+        assert Schema(["name", "job"]).attributes == ("name", "job")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            Schema(["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            Schema([])
+
+    def test_index_of(self):
+        assert Schema(["a", "b"]).index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Schema(["a"]).index_of("z")
+
+    def test_equality(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+
+    def test_contains_and_len(self):
+        schema = Schema(["a", "b"])
+        assert "a" in schema
+        assert len(schema) == 2
+
+
+class TestRelations:
+    def test_duplicate_tuple_id_rejected(self):
+        with pytest.raises(DuplicateTupleIdError):
+            ProbabilisticRelation(
+                "R",
+                ["a"],
+                [
+                    ProbabilisticTuple("t1", {"a": "x"}),
+                    ProbabilisticTuple("t1", {"a": "y"}),
+                ],
+            )
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            ProbabilisticRelation(
+                "R", ["a"], [ProbabilisticTuple("t1", {"b": "x"})]
+            )
+
+    def test_lookup_and_contains(self):
+        relation = ProbabilisticRelation(
+            "R", ["a"], [ProbabilisticTuple("t1", {"a": "x"})]
+        )
+        assert relation.get("t1")["a"].certain_value == "x"
+        assert "t1" in relation
+        assert "t2" not in relation
+
+    def test_union_requires_same_schema(self):
+        left = XRelation("L", ["a"], [XTuple.certain("t1", {"a": "x"})])
+        right = XRelation("R", ["b"], [XTuple.certain("t2", {"b": "y"})])
+        with pytest.raises(SchemaMismatchError):
+            left.union(right)
+
+    def test_union_concatenates(self):
+        left = XRelation("L", ["a"], [XTuple.certain("t1", {"a": "x"})])
+        right = XRelation("R", ["a"], [XTuple.certain("t2", {"a": "y"})])
+        union = left.union(right)
+        assert union.tuple_ids == ("t1", "t2")
+
+    def test_flat_to_x_relation(self):
+        relation = ProbabilisticRelation(
+            "R", ["a"], [ProbabilisticTuple("t1", {"a": "x"}, 0.5)]
+        )
+        xrel = relation.to_x_relation()
+        assert xrel.get("t1").probability == pytest.approx(0.5)
+
+    def test_alternative_count(self):
+        xrel = XRelation(
+            "R",
+            ["a"],
+            [
+                XTuple.build("t1", [({"a": "x"}, 0.5), ({"a": "y"}, 0.5)]),
+                XTuple.certain("t2", {"a": "z"}),
+            ],
+        )
+        assert xrel.alternative_count() == 3
+
+    def test_conditioned_relation(self):
+        xrel = XRelation(
+            "R", ["a"], [XTuple.build("t1", [({"a": "x"}, 0.5)])]
+        )
+        assert xrel.conditioned().get("t1").probability == pytest.approx(1.0)
+
+    def test_pretty_renders_rows(self):
+        relation = ProbabilisticRelation(
+            "R", ["a"], [ProbabilisticTuple("t1", {"a": "x"})]
+        )
+        assert "R(a)" in relation.pretty()
+        assert "t1" in relation.pretty()
+
+
+class TestWorldEnumeration:
+    def setup_method(self):
+        self.t32 = make_xtuple(
+            "t32",
+            [
+                ({"name": "Tim"}, 0.3),
+                ({"name": "Jim"}, 0.2),
+                ({"name": "Kim"}, 0.4),
+            ],
+        )
+        self.t42 = make_xtuple("t42", [({"name": "Tom"}, 0.8)])
+
+    def test_world_count(self):
+        # (3 alternatives + absence) × (1 alternative + absence)
+        assert world_count([self.t32, self.t42]) == 8
+
+    def test_world_count_certain_tuple(self):
+        certain = XTuple.certain("t", {"name": "x"})
+        assert world_count([certain]) == 1
+
+    def test_enumeration_probabilities_sum_to_one(self):
+        worlds = list(enumerate_worlds([self.t32, self.t42]))
+        assert len(worlds) == 8
+        assert sum(w.probability for w in worlds) == pytest.approx(1.0)
+
+    def test_enumeration_bound_enforced(self):
+        xtuples = [
+            make_xtuple(f"t{i}", [({"a": "x"}, 0.5), ({"a": "y"}, 0.4)])
+            for i in range(30)
+        ]
+        with pytest.raises(WorldEnumerationError):
+            list(enumerate_worlds(xtuples, max_worlds=1000))
+
+    def test_full_worlds_conditioned(self):
+        full = enumerate_full_worlds([self.t32, self.t42])
+        assert len(full) == 3
+        assert sum(w.probability for w in full) == pytest.approx(1.0)
+
+    def test_full_worlds_unconditioned(self):
+        full = enumerate_full_worlds(
+            [self.t32, self.t42], renormalize=False
+        )
+        assert sum(w.probability for w in full) == pytest.approx(0.72)
+
+    def test_most_probable_world(self):
+        world = most_probable_world([self.t32, self.t42])
+        assert world.alternative_index("t32") == 2  # Kim, 0.4
+        assert world.alternative_index("t42") == 0
+
+    def test_most_probable_world_may_drop_unlikely_tuple(self):
+        unlikely = make_xtuple("u", [({"a": "x"}, 0.2)])
+        world = most_probable_world([unlikely], require_all=False)
+        assert not world.contains("u")
+
+    def test_value_in_world(self):
+        worlds = list(enumerate_worlds([self.t32]))
+        first_full = next(w for w in worlds if w.contains("t32"))
+        value = value_in_world(self.t32, first_full, "name")
+        assert value is not None
+        assert value.is_certain
+
+    def test_value_in_world_absent(self):
+        empty = PossibleWorld((), 1.0)
+        assert value_in_world(self.t32, empty, "name") is None
+
+
+class TestWorldSampling:
+    def test_sample_distribution_roughly_matches(self):
+        rng = random.Random(42)
+        xt = make_xtuple("t", [({"a": "x"}, 0.7), ({"a": "y"}, 0.3)])
+        counts = {0: 0, 1: 0}
+        for _ in range(4000):
+            world = sample_world([xt], rng, require_all=True)
+            counts[world.alternative_index("t")] += 1
+        assert counts[0] / 4000 == pytest.approx(0.7, abs=0.05)
+
+    def test_sample_require_all_never_drops(self):
+        rng = random.Random(1)
+        maybe = make_xtuple("t", [({"a": "x"}, 0.1)])
+        for _ in range(100):
+            world = sample_world([maybe], rng, require_all=True)
+            assert world.contains("t")
+
+    def test_sample_can_drop_maybe_tuples(self):
+        rng = random.Random(2)
+        maybe = make_xtuple("t", [({"a": "x"}, 0.1)])
+        dropped = sum(
+            1
+            for _ in range(200)
+            if not sample_world([maybe], rng).contains("t")
+        )
+        assert dropped > 100  # ~90% expected
+
+
+class TestWorldOverlap:
+    def test_identical_worlds_overlap_one(self):
+        world = PossibleWorld((("a", 0), ("b", 1)), 0.5)
+        assert world_overlap(world, world) == 1.0
+
+    def test_disjoint_choices_overlap_zero(self):
+        left = PossibleWorld((("a", 0),), 0.5)
+        right = PossibleWorld((("a", 1),), 0.5)
+        assert world_overlap(left, right) == 0.0
+
+    def test_partial_overlap(self):
+        left = PossibleWorld((("a", 0), ("b", 0)), 0.5)
+        right = PossibleWorld((("a", 0), ("b", 1)), 0.5)
+        assert world_overlap(left, right) == pytest.approx(0.5)
+
+    def test_absence_counts_as_agreement(self):
+        left = PossibleWorld((("a", 0),), 0.5)
+        right = PossibleWorld((("a", 0),), 0.5)
+        assert world_overlap(left, right) == 1.0
+
+    def test_empty_worlds_fully_overlap(self):
+        empty = PossibleWorld((), 1.0)
+        assert world_overlap(empty, empty) == 1.0
+
+
+class TestConditioning:
+    def test_presence_probability_factorizes(self):
+        t32 = make_xtuple(
+            "t32", [({"a": "x"}, 0.3), ({"a": "y"}, 0.6)]
+        )
+        t42 = make_xtuple("t42", [({"a": "z"}, 0.8)])
+        assert presence_probability([t32, t42]) == pytest.approx(0.72)
+
+    def test_condition_on_presence_drops_partial_worlds(self):
+        t32 = make_xtuple("t32", [({"a": "x"}, 0.9)])
+        t42 = make_xtuple("t42", [({"a": "z"}, 0.8)])
+        worlds = list(enumerate_worlds([t32, t42]))
+        kept, mass = condition_on_presence(worlds, ["t32", "t42"])
+        assert mass == pytest.approx(0.72)
+        assert len(kept) == 1
+        assert kept[0].probability == pytest.approx(1.0)
+
+    def test_zero_probability_event_raises(self):
+        worlds = [PossibleWorld((("a", 0),), 1.0)]
+        with pytest.raises(ConditioningError):
+            condition_worlds(worlds, lambda w: False)
+
+    def test_condition_worlds_renormalizes(self):
+        worlds = [
+            PossibleWorld((("a", 0),), 0.25),
+            PossibleWorld((("a", 1),), 0.75),
+        ]
+        kept, mass = condition_worlds(
+            worlds, lambda w: w.alternative_index("a") == 0
+        )
+        assert mass == pytest.approx(0.25)
+        assert kept[0].probability == pytest.approx(1.0)

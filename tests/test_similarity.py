@@ -1,0 +1,280 @@
+"""Unit tests for the certain-value comparison functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.similarity import (
+    COMPARATORS,
+    Glossary,
+    bigram_similarity,
+    checked,
+    damerau_levenshtein_distance,
+    damerau_levenshtein_similarity,
+    exact_similarity,
+    hamming_distance,
+    jaccard_qgram_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    normalized_hamming_similarity,
+    numeric_similarity,
+    qgram_similarity,
+    qgrams,
+    relative_numeric_similarity,
+    symmetrized,
+    token_jaccard_similarity,
+    trigram_similarity,
+    weighted_mean,
+)
+
+ALL_STRING_COMPARATORS = [
+    normalized_hamming_similarity,
+    levenshtein_similarity,
+    damerau_levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    bigram_similarity,
+    trigram_similarity,
+    jaccard_qgram_similarity,
+]
+
+
+class TestSharedContracts:
+    @pytest.mark.parametrize("fn", ALL_STRING_COMPARATORS)
+    def test_identity_scores_one(self, fn):
+        assert fn("duplicate", "duplicate") == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("fn", ALL_STRING_COMPARATORS)
+    def test_bounded(self, fn):
+        pairs = [
+            ("abc", "xyz"),
+            ("", "abc"),
+            ("a", ""),
+            ("Tim", "Timothy"),
+            ("machinist", "mechanic"),
+        ]
+        for left, right in pairs:
+            assert 0.0 <= fn(left, right) <= 1.0
+
+    @pytest.mark.parametrize("fn", ALL_STRING_COMPARATORS)
+    def test_symmetric(self, fn):
+        assert fn("Tim", "Timothy") == pytest.approx(fn("Timothy", "Tim"))
+
+    @pytest.mark.parametrize("fn", ALL_STRING_COMPARATORS)
+    def test_empty_vs_empty_is_one(self, fn):
+        assert fn("", "") == pytest.approx(1.0)
+
+
+class TestHamming:
+    def test_distance_equal_length(self):
+        assert hamming_distance("karolin", "kathrin") == 3
+
+    def test_distance_pads_shorter(self):
+        assert hamming_distance("abc", "abcd") == 1
+
+    def test_distance_order_independent(self):
+        assert hamming_distance("ab", "abcd") == hamming_distance(
+            "abcd", "ab"
+        )
+
+    def test_paper_value_machinist_mechanic(self):
+        assert normalized_hamming_similarity(
+            "machinist", "mechanic"
+        ) == pytest.approx(5 / 9)
+
+    def test_non_string_coerced(self):
+        assert normalized_hamming_similarity(123, 123) == 1.0
+
+
+class TestLevenshtein:
+    def test_classic_kitten_sitting(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_cases(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_distance("", "") == 0
+
+    def test_similarity_value(self):
+        assert levenshtein_similarity("kitten", "sitting") == pytest.approx(
+            1 - 3 / 7
+        )
+
+    def test_transposition_costs_two(self):
+        assert levenshtein_distance("ab", "ba") == 2
+
+    def test_damerau_transposition_costs_one(self):
+        assert damerau_levenshtein_distance("ab", "ba") == 1
+
+    def test_damerau_never_exceeds_levenshtein(self):
+        pairs = [("Tim", "Tmi"), ("abcdef", "abcdfe"), ("ca", "abc")]
+        for left, right in pairs:
+            assert damerau_levenshtein_distance(
+                left, right
+            ) <= levenshtein_distance(left, right)
+
+
+class TestJaro:
+    def test_known_value_martha_marhta(self):
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(
+            0.944444, abs=1e-5
+        )
+
+    def test_known_value_dwayne_duane(self):
+        assert jaro_similarity("DWAYNE", "DUANE") == pytest.approx(
+            0.822222, abs=1e-5
+        )
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("MARTHA", "MARHTA")
+        boosted = jaro_winkler_similarity("MARTHA", "MARHTA")
+        assert boosted > plain
+
+    def test_winkler_known_value(self):
+        assert jaro_winkler_similarity("MARTHA", "MARHTA") == pytest.approx(
+            0.961111, abs=1e-5
+        )
+
+    def test_winkler_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5, max_prefix=4)
+
+    def test_empty_operand(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+
+class TestNgrams:
+    def test_qgrams_padded(self):
+        grams = qgrams("ab", 2)
+        assert sum(grams.values()) == 3  # _a, ab, b_
+
+    def test_qgrams_unpadded(self):
+        grams = qgrams("abc", 2, pad=False)
+        assert set(grams) == {"ab", "bc"}
+
+    def test_qgrams_short_string(self):
+        assert sum(qgrams("a", 3, pad=False).values()) == 1
+
+    def test_qgrams_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_dice_disjoint(self):
+        assert qgram_similarity("abc", "xyz") == 0.0
+
+    def test_jaccard_leq_dice(self):
+        pairs = [("night", "nacht"), ("Tim", "Timothy")]
+        for left, right in pairs:
+            assert jaccard_qgram_similarity(left, right) <= qgram_similarity(
+                left, right
+            ) + 1e-9
+
+    def test_multiset_counts_matter(self):
+        # 'aaa' shares limited gram multiplicity with 'a'.
+        assert qgram_similarity("aaa", "a") < 1.0
+
+
+class TestBasicComparators:
+    def test_exact(self):
+        assert exact_similarity("x", "x") == 1.0
+        assert exact_similarity("x", "y") == 0.0
+        assert exact_similarity(1, 1.0) == 1.0
+
+    def test_numeric_decay(self):
+        assert numeric_similarity(10, 10) == 1.0
+        assert numeric_similarity(10, 11, scale=1.0) == pytest.approx(
+            0.3678794, abs=1e-6
+        )
+
+    def test_numeric_invalid_scale(self):
+        with pytest.raises(ValueError):
+            numeric_similarity(1, 2, scale=0.0)
+
+    def test_numeric_non_numeric_is_zero(self):
+        assert numeric_similarity("a", 1) == 0.0
+
+    def test_relative_numeric(self):
+        assert relative_numeric_similarity(100, 90) == pytest.approx(0.9)
+        assert relative_numeric_similarity(0, 0) == 1.0
+
+    def test_token_jaccard(self):
+        assert token_jaccard_similarity(
+            "main street 5", "Main Street"
+        ) == pytest.approx(2 / 3)
+
+
+class TestGlossary:
+    def make(self) -> Glossary:
+        return Glossary(
+            synonym_groups=[("confectioner", "confectionist")],
+            related={("machinist", "mechanic"): 0.8},
+        )
+
+    def test_synonyms_score_one(self):
+        assert self.make().lookup("confectioner", "confectionist") == 1.0
+
+    def test_case_insensitive_by_default(self):
+        assert self.make().lookup("Confectioner", "CONFECTIONIST") == 1.0
+
+    def test_related_pairs_score(self):
+        assert self.make().lookup("mechanic", "machinist") == 0.8
+
+    def test_unknown_pair_is_none(self):
+        assert self.make().lookup("baker", "pilot") is None
+
+    def test_equal_terms_score_one(self):
+        assert self.make().lookup("pilot", "pilot") == 1.0
+
+    def test_comparator_falls_back(self):
+        comparator = self.make().comparator(fallback=lambda a, b: 0.5)
+        assert comparator("baker", "pilot") == 0.5
+
+    def test_comparator_without_fallback_scores_zero(self):
+        comparator = self.make().comparator()
+        assert comparator("baker", "pilot") == 0.0
+
+    def test_invalid_related_score_rejected(self):
+        with pytest.raises(ValueError):
+            Glossary(related={("a", "b"): 1.5})
+
+    def test_contains(self):
+        assert "confectioner" in self.make()
+        assert "pilot" not in self.make()
+
+
+class TestCombinators:
+    def test_checked_passes_valid(self):
+        fn = checked(lambda a, b: 0.5)
+        assert fn("x", "y") == 0.5
+
+    def test_checked_raises_on_violation(self):
+        fn = checked(lambda a, b: 1.5)
+        with pytest.raises(ValueError):
+            fn("x", "y")
+
+    def test_symmetrized(self):
+        asymmetric = lambda a, b: 1.0 if a == "x" else 0.0
+        fn = symmetrized(asymmetric)
+        assert fn("x", "y") == pytest.approx(0.5)
+        assert fn("y", "x") == pytest.approx(0.5)
+
+    def test_weighted_mean(self):
+        fn = weighted_mean([(lambda a, b: 1.0, 3), (lambda a, b: 0.0, 1)])
+        assert fn("x", "y") == pytest.approx(0.75)
+
+    def test_weighted_mean_requires_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([])
+        with pytest.raises(ValueError):
+            weighted_mean([(exact_similarity, 0.0)])
+
+    def test_registry_names_are_unique_and_callable(self):
+        assert len(COMPARATORS) >= 10
+        for name, fn in COMPARATORS.items():
+            assert fn.name == name
+            assert 0.0 <= fn("abc", "abd") <= 1.0

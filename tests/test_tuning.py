@@ -1,0 +1,180 @@
+"""Unit tests for threshold tuning (repro.verification.tuning)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.verification import (
+    best_f1_threshold,
+    candidate_thresholds,
+    recommend_thresholds,
+    threshold_sweep,
+)
+
+
+def separable_samples():
+    """True matches at high similarity, non-matches at low — separable."""
+    return [(0.9, True), (0.95, True), (0.85, True), (0.2, False),
+            (0.1, False), (0.3, False)]
+
+
+def overlapping_samples(n=400, seed=3):
+    rng = random.Random(seed)
+    samples = []
+    for _ in range(n):
+        if rng.random() < 0.3:
+            samples.append((rng.gauss(0.8, 0.1), True))
+        else:
+            samples.append((rng.gauss(0.3, 0.15), False))
+    return samples
+
+
+class TestCandidateThresholds:
+    def test_midpoints_between_distinct_values(self):
+        candidates = candidate_thresholds([(0.2, False), (0.8, True)])
+        assert candidates == [-0.8, 0.5, 1.8]
+
+    def test_duplicates_collapse(self):
+        candidates = candidate_thresholds(
+            [(0.5, True), (0.5, False), (0.7, True)]
+        )
+        assert candidates == [-0.5, pytest.approx(0.6), 1.7]
+
+    def test_infinite_similarities_ignored(self):
+        candidates = candidate_thresholds(
+            [(float("inf"), True), (0.5, False)]
+        )
+        assert candidates == [-0.5, 1.5]
+
+    def test_all_infinite_fallback(self):
+        assert candidate_thresholds([(float("inf"), True)]) == [0.0]
+
+
+class TestThresholdSweep:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_sweep([])
+
+    def test_extreme_thresholds(self):
+        points = threshold_sweep(separable_samples())
+        lowest = points[0]
+        highest = points[-1]
+        # Below everything: all declared matches.
+        assert lowest.recall == 1.0
+        assert lowest.false_positives == 3
+        # Above everything: nothing declared.
+        assert highest.true_positives == 0
+        assert highest.recall == 0.0
+
+    def test_perfect_point_on_separable_data(self):
+        points = threshold_sweep(separable_samples())
+        assert any(p.f1 == 1.0 for p in points)
+
+    def test_counts_are_consistent(self):
+        samples = overlapping_samples()
+        total_true = sum(1 for _, label in samples if label)
+        for point in threshold_sweep(samples):
+            assert point.true_positives + point.false_negatives == total_true
+            assert point.true_positives >= 0
+            assert point.false_positives >= 0
+
+    def test_recall_monotone_decreasing_in_threshold(self):
+        points = threshold_sweep(overlapping_samples())
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_as_dict_keys(self):
+        point = threshold_sweep(separable_samples())[0]
+        assert set(point.as_dict()) == {
+            "threshold", "tp", "fp", "fn", "precision", "recall", "f1",
+        }
+
+
+class TestBestF1:
+    def test_separable_data_perfect_f1(self):
+        best = best_f1_threshold(separable_samples())
+        assert best.f1 == 1.0
+        assert 0.3 < best.threshold < 0.85
+
+    def test_matches_exhaustive_search(self):
+        samples = overlapping_samples()
+        best = best_f1_threshold(samples)
+        brute = max(threshold_sweep(samples), key=lambda p: p.f1)
+        assert best.f1 == pytest.approx(brute.f1)
+
+
+class TestRecommendThresholds:
+    def test_band_ordering(self):
+        classifier = recommend_thresholds(overlapping_samples())
+        assert classifier.unmatch_threshold <= classifier.match_threshold
+
+    def test_review_recall_controls_t_lambda(self):
+        samples = overlapping_samples()
+        strict = recommend_thresholds(samples, review_recall=0.999)
+        loose = recommend_thresholds(samples, review_recall=0.5)
+        assert strict.unmatch_threshold <= loose.unmatch_threshold
+
+    def test_review_recall_validated(self):
+        with pytest.raises(ValueError):
+            recommend_thresholds(separable_samples(), review_recall=0.0)
+
+    def test_recommended_band_catches_target_recall(self):
+        samples = overlapping_samples()
+        classifier = recommend_thresholds(samples, review_recall=0.95)
+        true_similarities = [s for s, label in samples if label]
+        caught = sum(
+            1
+            for s in true_similarities
+            if s >= classifier.unmatch_threshold
+        )
+        assert caught / len(true_similarities) >= 0.95
+
+    def test_no_true_matches_collapses_band(self):
+        classifier = recommend_thresholds(
+            [(0.5, False), (0.6, False)]
+        )
+        assert classifier.unmatch_threshold == classifier.match_threshold
+
+    def test_end_to_end_with_detector(self):
+        """The full Section III-E loop: detect → tune → re-detect."""
+        from repro.datagen import DatasetConfig, LIGHT_UNCERTAINTY, generate_dataset
+        from repro.matching import (
+            CombinedDecisionModel,
+            DuplicateDetector,
+            ThresholdClassifier,
+            WeightedSum,
+        )
+        from repro.experiments.quality import default_matcher
+        from repro.verification import evaluate_detection, normalize_pairs
+
+        dataset = generate_dataset(
+            DatasetConfig(
+                entity_count=60, profile=LIGHT_UNCERTAINTY, seed=57
+            ),
+            flat=True,
+        )
+        matcher = default_matcher()
+        # First pass with naive thresholds.
+        first_model = CombinedDecisionModel(
+            WeightedSum({"name": 0.5, "job": 0.5}),
+            ThresholdClassifier(0.99, 0.99),
+        )
+        detector = DuplicateDetector(matcher, first_model)
+        result = detector.detect(dataset.relation)
+        gold = normalize_pairs(dataset.true_matches)
+        samples = [
+            (d.similarity, tuple(sorted((d.left_id, d.right_id))) in gold)
+            for d in result.decisions
+        ]
+        tuned = recommend_thresholds(samples)
+        second_model = CombinedDecisionModel(
+            WeightedSum({"name": 0.5, "job": 0.5}), tuned
+        )
+        retuned = DuplicateDetector(matcher, second_model).detect(
+            dataset.relation
+        )
+        first_report = evaluate_detection(result, dataset.true_matches)
+        second_report = evaluate_detection(retuned, dataset.true_matches)
+        assert second_report.f1 >= first_report.f1

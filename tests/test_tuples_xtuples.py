@@ -1,0 +1,254 @@
+"""Unit tests for flat tuples and x-tuples (repro.pdb.tuples / xtuples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdb import (
+    NULL,
+    EmptyDistributionError,
+    InvalidProbabilityError,
+    ProbabilisticTuple,
+    ProbabilisticValue,
+    TupleAlternative,
+    UnknownAttributeError,
+    XTuple,
+    has_null_support,
+)
+
+
+class TestProbabilisticTuple:
+    def test_plain_values_become_certain(self):
+        t = ProbabilisticTuple("t1", {"name": "Tim", "job": "pilot"})
+        assert t["name"].is_certain
+        assert t["name"].certain_value == "Tim"
+
+    def test_mapping_values_become_distributions(self):
+        t = ProbabilisticTuple("t1", {"name": {"Tim": 0.6, "Tom": 0.4}})
+        assert t["name"].probability("Tom") == pytest.approx(0.4)
+
+    def test_none_becomes_null(self):
+        t = ProbabilisticTuple("t1", {"job": None})
+        assert t["job"].is_null
+
+    def test_probabilistic_value_passes_through(self):
+        value = ProbabilisticValue({"a": 0.5, "b": 0.5})
+        t = ProbabilisticTuple("t1", {"x": value})
+        assert t["x"] is value
+
+    def test_membership_probability_validated(self):
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticTuple("t1", {"x": "a"}, probability=0.0)
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticTuple("t1", {"x": "a"}, probability=1.5)
+
+    def test_is_maybe(self):
+        assert ProbabilisticTuple("t", {"x": "a"}, 0.6).is_maybe
+        assert not ProbabilisticTuple("t", {"x": "a"}, 1.0).is_maybe
+
+    def test_unknown_attribute_raises(self):
+        t = ProbabilisticTuple("t1", {"x": "a"})
+        with pytest.raises(UnknownAttributeError):
+            t.value("y")
+
+    def test_contains(self):
+        t = ProbabilisticTuple("t1", {"x": "a"})
+        assert "x" in t
+        assert "y" not in t
+
+    def test_possible_assignments_product(self):
+        t = ProbabilisticTuple(
+            "t1",
+            {"a": {"x": 0.5, "y": 0.5}, "b": {"u": 0.25, "v": 0.75}},
+        )
+        assignments = list(t.possible_assignments())
+        assert len(assignments) == 4
+        total = sum(prob for _, prob in assignments)
+        assert total == pytest.approx(1.0)
+
+    def test_possible_assignments_includes_null(self):
+        t = ProbabilisticTuple("t1", {"a": {"x": 0.5}})
+        outcomes = {
+            assignment["a"] for assignment, _ in t.possible_assignments()
+        }
+        assert outcomes == {"x", NULL}
+
+    def test_assignment_count(self):
+        t = ProbabilisticTuple(
+            "t1", {"a": {"x": 0.5, "y": 0.5}, "b": {"u": 0.5}}
+        )
+        assert t.assignment_count() == 4  # (x,y) × (u,⊥)
+
+    def test_most_probable_assignment(self):
+        t = ProbabilisticTuple(
+            "t1", {"a": {"x": 0.7, "y": 0.3}, "b": {"u": 0.2, "v": 0.8}}
+        )
+        assert t.most_probable_assignment() == {"a": "x", "b": "v"}
+
+    def test_map_values(self):
+        t = ProbabilisticTuple("t1", {"a": {"Tim": 0.6, "Tom": 0.4}})
+        mapped = t.map_values("a", str.lower)
+        assert mapped["a"].probability("tim") == pytest.approx(0.6)
+        assert t["a"].probability("Tim") == pytest.approx(0.6)  # original
+
+    def test_with_probability(self):
+        t = ProbabilisticTuple("t1", {"a": "x"}, 1.0)
+        assert t.with_probability(0.5).probability == 0.5
+
+    def test_is_certain(self):
+        assert ProbabilisticTuple("t", {"a": "x"}).is_certain
+        assert not ProbabilisticTuple("t", {"a": {"x": 0.5}}).is_certain
+
+    def test_has_null_support_helper(self):
+        t = ProbabilisticTuple("t", {"a": {"x": 0.5}, "b": "y"})
+        assert has_null_support(t, "a")
+        assert not has_null_support(t, "b")
+
+    def test_equality_and_hash(self):
+        left = ProbabilisticTuple("t", {"a": "x"}, 0.5)
+        right = ProbabilisticTuple("t", {"a": "x"}, 0.5)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_pretty_contains_id(self):
+        assert "t9" in ProbabilisticTuple("t9", {"a": "x"}).pretty()
+
+
+class TestTupleAlternative:
+    def test_probability_validated(self):
+        with pytest.raises(InvalidProbabilityError):
+            TupleAlternative({"a": "x"}, 0.0)
+        with pytest.raises(InvalidProbabilityError):
+            TupleAlternative({"a": "x"}, 1.2)
+
+    def test_value_coercion(self):
+        alt = TupleAlternative({"a": None, "b": "y"}, 0.5)
+        assert alt.value("a").is_null
+        assert alt.value("b").certain_value == "y"
+
+    def test_is_certain(self):
+        assert TupleAlternative({"a": "x"}, 1.0).is_certain
+        assert not TupleAlternative({"a": {"x": 0.5}}, 1.0).is_certain
+
+    def test_with_probability(self):
+        alt = TupleAlternative({"a": "x"}, 0.4)
+        assert alt.with_probability(0.8).probability == 0.8
+
+    def test_map_values(self):
+        alt = TupleAlternative({"a": "Tim"}, 1.0)
+        assert alt.map_values("a", str.upper).value("a").certain_value == "TIM"
+
+    def test_equality(self):
+        assert TupleAlternative({"a": "x"}, 0.5) == TupleAlternative(
+            {"a": "x"}, 0.5
+        )
+
+
+class TestXTuple:
+    def build_t32(self) -> XTuple:
+        return XTuple.build(
+            "t32",
+            [
+                ({"name": "Tim", "job": "mechanic"}, 0.3),
+                ({"name": "Jim", "job": "mechanic"}, 0.2),
+                ({"name": "Jim", "job": "baker"}, 0.4),
+            ],
+        )
+
+    def test_needs_alternatives(self):
+        with pytest.raises(EmptyDistributionError):
+            XTuple("t", [])
+
+    def test_mass_cannot_exceed_one(self):
+        with pytest.raises(InvalidProbabilityError):
+            XTuple.build("t", [({"a": "x"}, 0.7), ({"a": "y"}, 0.5)])
+
+    def test_probability_sums_alternatives(self):
+        assert self.build_t32().probability == pytest.approx(0.9)
+
+    def test_maybe_detection(self):
+        assert self.build_t32().is_maybe
+        assert not XTuple.certain("t", {"a": "x"}).is_maybe
+
+    def test_absence_probability(self):
+        assert self.build_t32().absence_probability == pytest.approx(0.1)
+
+    def test_len_and_iter(self):
+        t32 = self.build_t32()
+        assert len(t32) == 3
+        assert len(list(t32)) == 3
+
+    def test_conditioned_alternatives_sum_to_one(self):
+        conditioned = self.build_t32().conditioned_alternatives()
+        assert sum(p for _, p in conditioned) == pytest.approx(1.0)
+        assert [round(p, 6) for _, p in conditioned] == [
+            pytest.approx(3 / 9, abs=1e-6),
+            pytest.approx(2 / 9, abs=1e-6),
+            pytest.approx(4 / 9, abs=1e-6),
+        ]
+
+    def test_conditioned_returns_full_mass_copy(self):
+        conditioned = self.build_t32().conditioned()
+        assert conditioned.probability == pytest.approx(1.0)
+        assert not conditioned.is_maybe
+
+    def test_certain_constructor(self):
+        t = XTuple.certain("t", {"a": "x"})
+        assert t.probability == 1.0
+        assert len(t) == 1
+
+    def test_from_flat_preserves_distributions(self):
+        flat = ProbabilisticTuple(
+            "t", {"a": {"x": 0.5, "y": 0.5}}, probability=0.8
+        )
+        xt = XTuple.from_flat(flat)
+        assert len(xt) == 1
+        assert xt.probability == pytest.approx(0.8)
+        assert xt.alternatives[0].value("a").probability("x") == pytest.approx(
+            0.5
+        )
+
+    def test_expand_multiplies_out_value_uncertainty(self):
+        xt = XTuple.build(
+            "t", [({"a": {"x": 0.5, "y": 0.5}, "b": "u"}, 0.8)]
+        )
+        expanded = xt.expand()
+        assert len(expanded) == 2
+        assert expanded.probability == pytest.approx(0.8)
+        probabilities = sorted(
+            alt.probability for alt in expanded.alternatives
+        )
+        assert probabilities == [pytest.approx(0.4), pytest.approx(0.4)]
+
+    def test_expand_handles_null_outcomes(self):
+        xt = XTuple.build("t", [({"a": {"x": 0.75}}, 1.0)])
+        expanded = xt.expand()
+        values = {
+            alt.value("a").certain_value
+            if not alt.value("a").is_null
+            else NULL
+            for alt in expanded.alternatives
+        }
+        assert values == {"x", NULL}
+
+    def test_expand_patterns(self):
+        from repro.pdb import PatternValue
+
+        xt = XTuple.build(
+            "t", [({"job": PatternValue("mu*")}, 1.0)]
+        )
+        expanded = xt.expand_patterns({"job": ["musician", "muralist"]})
+        value = expanded.alternatives[0].value("job")
+        assert value.probability("musician") == pytest.approx(0.5)
+
+    def test_equality_and_hash(self):
+        assert self.build_t32() == self.build_t32()
+        assert hash(self.build_t32()) == hash(self.build_t32())
+
+    def test_repr_marks_maybe(self):
+        assert "?" in repr(self.build_t32())
+
+    def test_pretty_multi_row(self):
+        pretty = self.build_t32().pretty()
+        assert pretty.count("\n") == 2
+        assert "t32" in pretty

@@ -1,0 +1,283 @@
+"""Unit tests for probabilistic attribute values (repro.pdb.values)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.pdb import (
+    NULL,
+    EmptyDistributionError,
+    InvalidProbabilityError,
+    PatternValue,
+    ProbabilisticValue,
+)
+
+
+class TestNullSentinel:
+    def test_null_is_singleton(self):
+        assert NULL is type(NULL)()
+
+    def test_null_repr(self):
+        assert repr(NULL) == "⊥"
+
+    def test_null_equality(self):
+        assert NULL == type(NULL)()
+        assert NULL != "anything"
+
+    def test_null_survives_pickling(self):
+        assert pickle.loads(pickle.dumps(NULL)) == NULL
+
+    def test_null_hash_is_stable(self):
+        assert hash(NULL) == hash(type(NULL)())
+
+
+class TestConstruction:
+    def test_certain_value(self):
+        value = ProbabilisticValue.certain("Tim")
+        assert value.is_certain
+        assert value.certain_value == "Tim"
+        assert value.probability("Tim") == 1.0
+
+    def test_missing_value(self):
+        value = ProbabilisticValue.missing()
+        assert value.is_null
+        assert value.null_probability == 1.0
+
+    def test_residual_mass_goes_to_null(self):
+        """Figure 4 semantics: t11.job sums to 0.9 ⇒ P(⊥) = 0.1."""
+        value = ProbabilisticValue({"machinist": 0.7, "mechanic": 0.2})
+        assert value.null_probability == pytest.approx(0.1)
+
+    def test_full_mass_has_no_null(self):
+        value = ProbabilisticValue({"a": 0.5, "b": 0.5})
+        assert value.null_probability == 0.0
+
+    def test_uniform(self):
+        value = ProbabilisticValue.uniform(["a", "b", "c", "d"])
+        for outcome in "abcd":
+            assert value.probability(outcome) == pytest.approx(0.25)
+
+    def test_from_pairs(self):
+        value = ProbabilisticValue.from_pairs([("x", 0.4), ("y", 0.6)])
+        assert value.probability("y") == pytest.approx(0.6)
+
+    def test_explicit_null_merges_with_residual(self):
+        value = ProbabilisticValue({"a": 0.5, NULL: 0.2})
+        assert value.null_probability == pytest.approx(0.5)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(EmptyDistributionError):
+            ProbabilisticValue({})
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticValue({"a": 0.0})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticValue({"a": -0.1})
+
+    def test_nan_probability_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticValue({"a": float("nan")})
+
+    def test_excess_mass_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticValue({"a": 0.7, "b": 0.7})
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(EmptyDistributionError):
+            ProbabilisticValue.uniform([])
+
+
+class TestInspection:
+    def test_support_includes_null(self):
+        value = ProbabilisticValue({"a": 0.6})
+        assert set(value.support) == {"a", NULL}
+
+    def test_existing_support_excludes_null(self):
+        value = ProbabilisticValue({"a": 0.6})
+        assert value.existing_support == ("a",)
+
+    def test_most_probable(self):
+        value = ProbabilisticValue({"a": 0.2, "b": 0.5, "c": 0.3})
+        assert value.most_probable() == "b"
+
+    def test_most_probable_tie_prefers_first(self):
+        value = ProbabilisticValue({"a": 0.5, "b": 0.5})
+        assert value.most_probable() == "a"
+
+    def test_certain_value_raises_on_uncertain(self):
+        value = ProbabilisticValue({"a": 0.5, "b": 0.5})
+        with pytest.raises(ValueError):
+            _ = value.certain_value
+
+    def test_entropy_zero_for_certain(self):
+        assert ProbabilisticValue.certain("x").entropy() == 0.0
+
+    def test_entropy_of_fair_coin_is_one_bit(self):
+        value = ProbabilisticValue({"a": 0.5, "b": 0.5})
+        assert value.entropy() == pytest.approx(1.0)
+
+    def test_alternative_count(self):
+        value = ProbabilisticValue({"a": 0.6, "b": 0.2})
+        assert value.alternative_count() == 3  # a, b, ⊥
+
+
+class TestTransformation:
+    def test_map_applies_to_existing_outcomes(self):
+        value = ProbabilisticValue({"Tim": 0.6, "Tom": 0.4})
+        mapped = value.map(str.upper)
+        assert mapped.probability("TIM") == pytest.approx(0.6)
+
+    def test_map_preserves_null(self):
+        value = ProbabilisticValue({"Tim": 0.7})
+        mapped = value.map(str.upper)
+        assert mapped.null_probability == pytest.approx(0.3)
+
+    def test_map_merges_collisions(self):
+        value = ProbabilisticValue({"Tim": 0.6, "tim": 0.4})
+        mapped = value.map(str.lower)
+        assert mapped.is_certain
+        assert mapped.certain_value == "tim"
+
+    def test_filter_renormalizes(self):
+        value = ProbabilisticValue({"a": 0.25, "b": 0.75})
+        kept = value.filter(lambda v: v == "a")
+        assert kept.is_certain
+        assert kept.probability("a") == pytest.approx(1.0)
+
+    def test_filter_everything_out_raises(self):
+        value = ProbabilisticValue({"a": 1.0})
+        with pytest.raises(EmptyDistributionError):
+            value.filter(lambda v: False)
+
+
+class TestPatternValues:
+    def test_wildcard_matching(self):
+        pattern = PatternValue("mu*")
+        assert pattern.matches("musician")
+        assert not pattern.matches("pilot")
+
+    def test_literal_pattern_matches_exactly(self):
+        pattern = PatternValue("pilot")
+        assert pattern.matches("pilot")
+        assert not pattern.matches("pilots")
+
+    def test_pattern_prefix(self):
+        assert PatternValue("mu*").prefix == "mu"
+
+    def test_pattern_equality_and_hash(self):
+        assert PatternValue("mu*") == PatternValue("mu*")
+        assert hash(PatternValue("mu*")) == hash(PatternValue("mu*"))
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PatternValue("")
+
+    def test_from_pattern_uniform_expansion(self):
+        lexicon = ["musician", "muralist", "pilot"]
+        value = ProbabilisticValue.from_pattern("mu*", lexicon)
+        assert value.probability("musician") == pytest.approx(0.5)
+        assert value.probability("muralist") == pytest.approx(0.5)
+        assert value.probability("pilot") == 0.0
+
+    def test_from_pattern_no_match_raises(self):
+        with pytest.raises(EmptyDistributionError):
+            ProbabilisticValue.from_pattern("zz*", ["pilot"])
+
+    def test_expand_patterns_divides_mass(self):
+        value = ProbabilisticValue(
+            {PatternValue("mu*"): 0.6, "pilot": 0.4}
+        )
+        expanded = value.expand_patterns(["musician", "muralist"])
+        assert expanded.probability("musician") == pytest.approx(0.3)
+        assert expanded.probability("pilot") == pytest.approx(0.4)
+
+    def test_expand_patterns_noop_without_patterns(self):
+        value = ProbabilisticValue({"pilot": 1.0})
+        assert value.expand_patterns(["musician"]) == value
+
+
+class TestEquationFourAndFive:
+    def test_equality_probability_certain_equal(self):
+        left = ProbabilisticValue.certain("x")
+        assert left.equality_probability(left) == pytest.approx(1.0)
+
+    def test_equality_probability_disjoint_supports(self):
+        left = ProbabilisticValue.certain("x")
+        right = ProbabilisticValue.certain("y")
+        assert left.equality_probability(right) == 0.0
+
+    def test_equality_probability_overlap(self):
+        left = ProbabilisticValue({"x": 0.5, "y": 0.5})
+        right = ProbabilisticValue({"x": 0.5, "z": 0.5})
+        assert left.equality_probability(right) == pytest.approx(0.25)
+
+    def test_equality_counts_shared_null(self):
+        """sim(⊥,⊥)=1: both missing with 0.5·0.5 adds 0.25."""
+        left = ProbabilisticValue({"x": 0.5})
+        right = ProbabilisticValue({"y": 0.5})
+        assert left.equality_probability(right) == pytest.approx(0.25)
+
+    def test_expected_similarity_null_vs_existing_is_zero(self):
+        left = ProbabilisticValue.missing()
+        right = ProbabilisticValue.certain("x")
+        assert left.expected_similarity(right, lambda a, b: 1.0) == 0.0
+
+    def test_expected_similarity_null_vs_null_is_one(self):
+        left = ProbabilisticValue.missing()
+        assert left.expected_similarity(left, lambda a, b: 0.0) == 1.0
+
+    def test_expected_similarity_weights_by_joint_probability(self):
+        left = ProbabilisticValue({"ab": 0.5, "cd": 0.5})
+        right = ProbabilisticValue.certain("ab")
+        sim = left.expected_similarity(
+            right, lambda a, b: 1.0 if a == b else 0.25
+        )
+        assert sim == pytest.approx(0.5 * 1.0 + 0.5 * 0.25)
+
+    def test_similarity_fn_never_sees_null(self):
+        seen = []
+
+        def spy(a, b):
+            seen.append((a, b))
+            return 0.0
+
+        left = ProbabilisticValue({"x": 0.5})
+        right = ProbabilisticValue({"y": 0.5})
+        left.expected_similarity(right, spy)
+        assert seen == [("x", "y")]
+
+
+class TestValueProtocol:
+    def test_equality_is_tolerant(self):
+        left = ProbabilisticValue({"a": 0.1 + 0.2, "b": 0.7})
+        right = ProbabilisticValue({"a": 0.3, "b": 0.7})
+        assert left == right
+
+    def test_equal_values_hash_equal(self):
+        left = ProbabilisticValue({"a": 0.5, "b": 0.5})
+        right = ProbabilisticValue({"a": 0.5, "b": 0.5})
+        assert hash(left) == hash(right)
+
+    def test_inequality_different_support(self):
+        assert ProbabilisticValue.certain("a") != ProbabilisticValue.certain(
+            "b"
+        )
+
+    def test_pretty_certain(self):
+        assert ProbabilisticValue.certain("Tim").pretty() == "Tim"
+
+    def test_pretty_null(self):
+        assert ProbabilisticValue.missing().pretty() == "⊥"
+
+    def test_pretty_distribution_mentions_null(self):
+        value = ProbabilisticValue({"a": 0.6})
+        assert "⊥" in value.pretty()
+
+    def test_repr_roundtrip_certain(self):
+        value = ProbabilisticValue.certain("Tim")
+        assert "Tim" in repr(value)
