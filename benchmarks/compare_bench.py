@@ -1,0 +1,134 @@
+"""Benchmark trajectory tracker: run the suite, diff against last run.
+
+Runs the pytest-benchmark suite with ``--benchmark-json``, writes the
+result to ``BENCH_<n>.json`` at the repository root (n increments per
+run), and prints a regression table against the previous ``BENCH_*.json``
+so the performance trajectory is tracked from PR to PR.
+
+Usage::
+
+    python benchmarks/compare_bench.py              # full suite
+    python benchmarks/compare_bench.py -k kernels   # forward pytest args
+
+Exit status is the pytest exit status; the table marks every benchmark
+whose mean moved more than ``THRESHOLD`` in either direction.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+#: Relative mean-time change below which a benchmark counts as unchanged.
+THRESHOLD = 0.15
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def existing_runs() -> list[tuple[int, Path]]:
+    """All ``BENCH_<n>.json`` files at the repo root, ordered by n."""
+    runs = []
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        match = BENCH_PATTERN.search(path.name)
+        if match:
+            runs.append((int(match.group(1)), path))
+    return sorted(runs)
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """``{benchmark fullname: mean seconds}`` from a benchmark JSON."""
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def run_suite(json_path: Path, pytest_args: list[str]) -> int:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(REPO_ROOT / "benchmarks"),
+        f"--benchmark-json={json_path}",
+        *pytest_args,
+    ]
+    print("$", " ".join(command))
+    return subprocess.call(command, cwd=REPO_ROOT)
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    return f"{seconds * 1000.0:8.3f}ms"
+
+
+def print_table(previous: dict[str, float], current: dict[str, float]) -> None:
+    shared = sorted(set(previous) & set(current))
+    if not shared:
+        print("no overlapping benchmarks to compare")
+        return
+    name_width = max(len(_short(name)) for name in shared)
+    header = (
+        f"{'benchmark':<{name_width}}  {'previous':>10}  {'current':>10}"
+        f"  {'ratio':>7}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    regressions = 0
+    for name in shared:
+        old, new = previous[name], current[name]
+        ratio = new / old if old > 0 else float("inf")
+        if ratio > 1.0 + THRESHOLD:
+            verdict = "REGRESSED"
+            regressions += 1
+        elif ratio < 1.0 - THRESHOLD:
+            verdict = "improved"
+        else:
+            verdict = "~"
+        print(
+            f"{_short(name):<{name_width}}  {format_seconds(old)}"
+            f"  {format_seconds(new)}  {ratio:6.2f}x  {verdict}"
+        )
+    added = sorted(set(current) - set(previous))
+    removed = sorted(set(previous) - set(current))
+    print("-" * len(header))
+    print(
+        f"{len(shared)} compared, {regressions} regressed, "
+        f"{len(added)} new, {len(removed)} removed"
+    )
+
+
+def _short(fullname: str) -> str:
+    """Strip the ``benchmarks/`` prefix for narrower tables."""
+    return fullname.removeprefix("benchmarks/")
+
+
+def main(argv: list[str]) -> int:
+    runs = existing_runs()
+    next_index = runs[-1][0] + 1 if runs else 0
+    target = REPO_ROOT / f"BENCH_{next_index}.json"
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch = Path(tmp) / "bench.json"
+        status = run_suite(scratch, argv)
+        if not scratch.exists():
+            print("benchmark run produced no JSON; nothing written")
+            return status or 1
+        target.write_text(scratch.read_text())
+    print(f"\nwrote {target.name}")
+    if runs:
+        previous_path = runs[-1][1]
+        print(f"comparing against {previous_path.name}:\n")
+        print_table(load_means(previous_path), load_means(target))
+    else:
+        print("no previous BENCH_*.json — this run is the baseline")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

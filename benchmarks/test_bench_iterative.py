@@ -74,7 +74,15 @@ def test_bench_control_flows_agree(resolution_dataset):
     )
     iterative = resolver.resolve(relation).relation
 
-    # Same order of magnitude of resolved entities (iterative may merge
-    # more because fused evidence exposes extra matches).
-    assert abs(len(batch) - len(iterative)) <= 0.2 * len(relation)
-    assert len(iterative) <= len(batch)
+    # Principled tolerance, not determinism: both control flows are
+    # deterministic under the bench seed, but they legitimately disagree
+    # at the margin in *either* direction.  Iterative resolution can
+    # merge more (fused distributions accumulate evidence and expose
+    # matches neither source tuple exhibited) or fewer (an early merge
+    # can dilute an attribute distribution below the match threshold
+    # for a partner that batch detection, which always compares the
+    # *original* tuples, still catches — the seed run resolves 81 vs 80
+    # entities exactly this way).  We therefore bound the symmetric
+    # disagreement at 10% of the input instead of asserting an order
+    # between the two counts.
+    assert abs(len(batch) - len(iterative)) <= max(2, 0.1 * len(relation))

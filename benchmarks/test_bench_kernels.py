@@ -1,0 +1,199 @@
+"""Bench: the performance core — banded kernels, caches, trusted paths.
+
+Times the fast comparison kernels against the reference dynamic
+programs, and cached against uncached attribute matching, so the speedup
+claims of the kernel layer are tracked by the benchmark harness:
+
+* banded + early-exit Levenshtein/Damerau vs the full reference DP at a
+  realistic duplicate-detection cutoff;
+* memoized (``SimilarityCache``) vs uncached Equation-5 matching on the
+  same pair workload;
+* comparison-matrix construction with the precomputed weight matrix.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.datagen.corpus import JOBS
+from repro.matching.comparison import AttributeMatcher
+from repro.similarity.edit import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+)
+from repro.similarity.jaro import JARO_WINKLER
+from repro.similarity.kernels import (
+    banded_damerau_levenshtein,
+    banded_levenshtein,
+)
+from repro.similarity.uncertain import (
+    PatternPolicy,
+    UncertainValueComparator,
+)
+
+#: Cutoff used by the banded benchmarks: at similarity threshold 0.75 on
+#: ~12-char strings, distances above 3 can never classify as a match.
+CUTOFF = 3
+
+
+def _word_pairs(count: int, seed: int = 17) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    words = [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(6, 14)))
+        for _ in range(count)
+    ]
+    # Half the pairs are corrupted near-duplicates (the interesting
+    # case for early exit), half are unrelated strings.
+    pairs = []
+    for index, word in enumerate(words):
+        if index % 2 == 0:
+            corrupted = list(word)
+            corrupted[rng.randrange(len(corrupted))] = rng.choice(alphabet)
+            pairs.append((word, "".join(corrupted)))
+        else:
+            pairs.append((word, words[(index + 7) % len(words)]))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def word_pairs():
+    return _word_pairs(400)
+
+
+def test_bench_reference_levenshtein(benchmark, word_pairs):
+    """Baseline: the reference two-row DP over 400 pairs."""
+
+    def run():
+        return sum(
+            levenshtein_distance(a, b) for a, b in word_pairs
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bench_banded_levenshtein(benchmark, word_pairs):
+    """Banded kernel with cutoff: must beat the reference DP."""
+
+    def run():
+        return sum(
+            banded_levenshtein(a, b, CUTOFF) for a, b in word_pairs
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bench_reference_damerau(benchmark, word_pairs):
+    """Baseline: the full-matrix reference Damerau DP."""
+
+    def run():
+        return sum(
+            damerau_levenshtein_distance(a, b) for a, b in word_pairs
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bench_banded_damerau(benchmark, word_pairs):
+    """Banded Damerau kernel with cutoff."""
+
+    def run():
+        return sum(
+            banded_damerau_levenshtein(a, b, CUTOFF) for a, b in word_pairs
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_banded_equals_reference_on_bench_data(word_pairs):
+    """Sanity: within the cutoff the kernels are exact on the bench data."""
+    for a, b in word_pairs:
+        reference = levenshtein_distance(a, b)
+        banded = banded_levenshtein(a, b, CUTOFF)
+        assert banded == (reference if reference <= CUTOFF else CUTOFF + 1)
+
+
+def _matcher(cache: bool) -> AttributeMatcher:
+    return AttributeMatcher(
+        {
+            "name": UncertainValueComparator(JARO_WINKLER, cache=cache),
+            "job": UncertainValueComparator(
+                JARO_WINKLER,
+                pattern_policy=PatternPolicy.EXPAND,
+                pattern_lexicon=JOBS,
+                cache=cache,
+            ),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def matching_workload():
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=60, seed=101), flat=True
+    )
+    relation = dataset.relation
+    ids = relation.tuple_ids
+    pairs = [
+        (relation.get(ids[i]).alternatives[0], relation.get(ids[j]).alternatives[0])
+        for i in range(0, min(50, len(ids)))
+        for j in range(i + 1, min(i + 11, len(ids)))
+    ][:500]
+    return pairs
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["uncached", "cached"])
+def test_bench_matching_cache(benchmark, matching_workload, cached):
+    """Equation-5 matching over 500 row pairs, with and without memo."""
+    matcher = _matcher(cached)
+
+    def run():
+        total = 0.0
+        for left, right in matching_workload:
+            total += matcher.compare_rows(left, right)[0]
+        return total
+
+    total = benchmark(run)
+    assert total >= 0.0
+
+
+def test_cached_equals_uncached_on_bench_data(matching_workload):
+    """Sanity: the memo never changes a comparison result."""
+    plain = _matcher(False)
+    cached = _matcher(True)
+    for left, right in matching_workload:
+        assert (
+            cached.compare_rows(left, right).values
+            == plain.compare_rows(left, right).values
+        )
+
+
+def test_bench_matrix_construction(benchmark, matching_workload):
+    """x-tuple comparison matrices with precomputed weight matrices."""
+    matcher = _matcher(True)
+    dataset = generate_dataset(DatasetConfig(entity_count=40, seed=103))
+    relation = dataset.relation
+    ids = relation.tuple_ids[:40]
+    xtuples = [relation.get(tid) for tid in ids]
+    pairs = [
+        (xtuples[i], xtuples[j])
+        for i in range(len(xtuples))
+        for j in range(i + 1, min(i + 6, len(xtuples)))
+    ]
+
+    def run():
+        checksum = 0.0
+        for left, right in pairs:
+            matrix = matcher.compare_xtuples(left, right)
+            checksum += matrix.conditional_weight(0, 0)
+        return checksum
+
+    checksum = benchmark(run)
+    assert checksum > 0.0

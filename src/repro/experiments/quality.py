@@ -68,14 +68,17 @@ def default_matcher() -> AttributeMatcher:
 
     Generated jobs occasionally arrive as ``mu*``-style pattern values,
     so the job comparator expands them against the corpus lexicon.
+    Domain-element memoization is on: both attributes draw from finite
+    corpora, so the same string pairs recur across candidate pairs.
     """
     return AttributeMatcher(
         {
-            "name": UncertainValueComparator(JARO_WINKLER),
+            "name": UncertainValueComparator(JARO_WINKLER, cache=True),
             "job": UncertainValueComparator(
                 JARO_WINKLER,
                 pattern_policy=PatternPolicy.EXPAND,
                 pattern_lexicon=JOBS,
+                cache=True,
             ),
         }
     )

@@ -66,6 +66,7 @@ from repro.matching.derivation import (
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
 from repro.matching.iterative import IterativeResolver, ResolutionOutcome
 from repro.matching.pipeline import (
+    DEFAULT_CHUNK_SIZE,
     DetectionResult,
     DuplicateDetector,
     FullComparison,
@@ -74,6 +75,7 @@ from repro.matching.pipeline import (
 
 __all__ = [
     "COMBINATION_FUNCTIONS",
+    "DEFAULT_CHUNK_SIZE",
     "DERIVATIONS",
     "AttributeMatcher",
     "Average",

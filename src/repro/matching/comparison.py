@@ -16,10 +16,13 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping, Sequence
 from typing import Any, Union
 
+import numpy as np
+
 from repro.pdb.tuples import ProbabilisticTuple
 from repro.pdb.values import ProbabilisticValue
 from repro.pdb.xtuples import TupleAlternative, XTuple
 from repro.similarity.base import Comparator
+from repro.similarity.kernels import SimilarityCache
 from repro.similarity.uncertain import UncertainValueComparator
 
 #: Things an attribute matcher can compare: flat tuples or x-tuple alternatives.
@@ -33,7 +36,7 @@ class ComparisonVector:
     attribute names for reporting.
     """
 
-    __slots__ = ("_attributes", "_values")
+    __slots__ = ("_attributes", "_values", "_index")
 
     def __init__(
         self, attributes: Sequence[str], values: Sequence[float]
@@ -49,6 +52,24 @@ class ComparisonVector:
                 )
         self._attributes = tuple(attributes)
         self._values = tuple(min(float(v), 1.0) for v in values)
+        self._index: dict[str, int] | None = None
+
+    @classmethod
+    def trusted(
+        cls, attributes: tuple[str, ...], values: tuple[float, ...]
+    ) -> "ComparisonVector":
+        """Hot-path constructor that skips per-element validation.
+
+        Callers must guarantee aligned tuples with similarities already
+        in ``[0, 1]`` (true for everything produced by an
+        :class:`UncertainValueComparator`, whose results are convex
+        combinations of normalized base similarities).
+        """
+        vector = cls.__new__(cls)
+        vector._attributes = attributes
+        vector._values = values
+        vector._index = None
+        return vector
 
     @property
     def attributes(self) -> tuple[str, ...]:
@@ -62,9 +83,15 @@ class ComparisonVector:
 
     def similarity(self, attribute: str) -> float:
         """The similarity of one named attribute."""
+        index = self._index
+        if index is None:
+            index = {
+                name: pos for pos, name in enumerate(self._attributes)
+            }
+            self._index = index
         try:
-            return self._values[self._attributes.index(attribute)]
-        except ValueError:
+            return self._values[index[attribute]]
+        except KeyError:
             raise KeyError(attribute) from None
 
     def as_dict(self) -> dict[str, float]:
@@ -107,7 +134,13 @@ class ComparisonMatrix:
     every derivation function needs them.
     """
 
-    __slots__ = ("_vectors", "_left_probs", "_right_probs")
+    __slots__ = (
+        "_vectors",
+        "_left_probs",
+        "_right_probs",
+        "_weights",
+        "_weight_array",
+    )
 
     def __init__(
         self,
@@ -122,9 +155,54 @@ class ComparisonMatrix:
                 raise ValueError(
                     "column count must match right alternative count"
                 )
-        self._vectors = tuple(tuple(row) for row in vectors)
-        self._left_probs = tuple(float(p) for p in left_probabilities)
-        self._right_probs = tuple(float(p) for p in right_probabilities)
+        self._init_trusted(
+            tuple(tuple(row) for row in vectors),
+            tuple(float(p) for p in left_probabilities),
+            tuple(float(p) for p in right_probabilities),
+        )
+
+    @classmethod
+    def trusted(
+        cls,
+        vectors: tuple[tuple[ComparisonVector, ...], ...],
+        left_probabilities: tuple[float, ...],
+        right_probabilities: tuple[float, ...],
+    ) -> "ComparisonMatrix":
+        """Hot-path constructor that skips shape validation.
+
+        Callers must pass well-formed nested tuples whose row/column
+        counts match the probability tuples (guaranteed when the
+        matrix comes straight out of :meth:`AttributeMatcher.compare_xtuples`).
+        """
+        matrix = cls.__new__(cls)
+        matrix._init_trusted(
+            vectors, left_probabilities, right_probabilities
+        )
+        return matrix
+
+    def _init_trusted(
+        self,
+        vectors: tuple[tuple[ComparisonVector, ...], ...],
+        left_probabilities: tuple[float, ...],
+        right_probabilities: tuple[float, ...],
+    ) -> None:
+        self._vectors = vectors
+        self._left_probs = left_probabilities
+        self._right_probs = right_probabilities
+        # The Eq. 6/8/9 conditional pair weights p(t1ⁱ)/p(t1)·p(t2ʲ)/p(t2),
+        # built once as the normalized outer product instead of re-summing
+        # the alternative probabilities for every cell.  Plain tuples:
+        # matrices are usually tiny (1×1 for flat pairs), where scalar
+        # math beats array dispatch; the numpy view is created lazily.
+        left_total = sum(left_probabilities)
+        right_total = sum(right_probabilities)
+        left_conditional = [p / left_total for p in left_probabilities]
+        right_conditional = [p / right_total for p in right_probabilities]
+        self._weights = tuple(
+            tuple(lp * rp for rp in right_conditional)
+            for lp in left_conditional
+        )
+        self._weight_array: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -149,11 +227,36 @@ class ComparisonMatrix:
         i, j = index
         return self._vectors[i][j]
 
+    def rows(self) -> tuple[tuple[ComparisonVector, ...], ...]:
+        """All comparison vectors as row-major nested tuples."""
+        return self._vectors
+
     def cells(self) -> Iterator[tuple[int, int, ComparisonVector]]:
         """Iterate ``(i, j, vector)`` in row-major order."""
         for i, row in enumerate(self._vectors):
             for j, vector in enumerate(row):
                 yield i, j, vector
+
+    @property
+    def weights(self) -> tuple[tuple[float, ...], ...]:
+        """Row-major conditional pair weights, precomputed once.
+
+        Rows sum to the left conditional probabilities and the whole
+        matrix sums to 1.
+        """
+        return self._weights
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """Read-only ``(k, l)`` numpy view of :attr:`weights`.
+
+        Materialized on first access and cached for the matrix lifetime.
+        """
+        if self._weight_array is None:
+            array = np.asarray(self._weights, dtype=np.float64)
+            array.setflags(write=False)
+            self._weight_array = array
+        return self._weight_array
 
     def conditional_weight(self, i: int, j: int) -> float:
         """``p(t1ⁱ)/p(t1) · p(t2ʲ)/p(t2)`` — the Eq. 6/8/9 pair weight.
@@ -162,14 +265,7 @@ class ComparisonMatrix:
         two x-tuples) in which alternatives *i* and *j* co-occur,
         conditioned on both tuples being present (event B).
         """
-        left_total = sum(self._left_probs)
-        right_total = sum(self._right_probs)
-        return (
-            self._left_probs[i]
-            / left_total
-            * self._right_probs[j]
-            / right_total
-        )
+        return self._weights[i][j]
 
     def __repr__(self) -> str:
         k, l = self.shape
@@ -191,6 +287,13 @@ class AttributeMatcher:
     default:
         Comparator used for attributes without an explicit entry; when
         ``None`` (default), comparing an unconfigured attribute raises.
+    cache:
+        When true, every lifted comparator memoizes its domain-element
+        comparisons in a private
+        :class:`~repro.similarity.kernels.SimilarityCache` (pre-built
+        :class:`UncertainValueComparator` instances keep whatever cache
+        configuration they were constructed with).  Caching never changes
+        results — only how often the base comparator actually runs.
     """
 
     def __init__(
@@ -198,20 +301,38 @@ class AttributeMatcher:
         comparators: Mapping[str, Comparator | UncertainValueComparator],
         *,
         default: Comparator | UncertainValueComparator | None = None,
+        cache: bool = False,
     ) -> None:
+        self._cache_enabled = bool(cache)
         self._comparators: dict[str, UncertainValueComparator] = {
             str(attr): self._lift(comparator)
             for attr, comparator in comparators.items()
         }
         self._default = self._lift(default) if default is not None else None
 
-    @staticmethod
     def _lift(
+        self,
         comparator: Comparator | UncertainValueComparator,
     ) -> UncertainValueComparator:
         if isinstance(comparator, UncertainValueComparator):
             return comparator
-        return UncertainValueComparator(comparator)
+        return UncertainValueComparator(
+            comparator, cache=self._cache_enabled
+        )
+
+    def cache_stats(self) -> dict[str, SimilarityCache]:
+        """The live per-attribute caches, keyed by attribute name.
+
+        Only attributes whose comparator actually carries a cache appear;
+        inspect ``hits`` / ``misses`` / ``hit_rate`` on the values.
+        """
+        stats: dict[str, SimilarityCache] = {}
+        for attr, comparator in self._comparators.items():
+            if comparator.cache is not None:
+                stats[attr] = comparator.cache
+        if self._default is not None and self._default.cache is not None:
+            stats["<default>"] = self._default.cache
+        return stats
 
     def comparator_for(self, attribute: str) -> UncertainValueComparator:
         """The configured comparator for *attribute*."""
@@ -242,12 +363,34 @@ class AttributeMatcher:
         The attribute set is taken from the left row; both rows must share
         the schema (guaranteed when they come from unioned relations).
         """
-        attributes = list(left.attributes)
-        values = [
-            self.compare_values(attr, left.value(attr), right.value(attr))
-            for attr in attributes
-        ]
-        return ComparisonVector(attributes, values)
+        attributes = left.attributes
+        comparators = self._comparators
+        default = self._default
+        values: list[float] = []
+        for attr in attributes:
+            comparator = comparators.get(attr, default)
+            if comparator is None:
+                raise KeyError(
+                    f"no comparator configured for attribute {attr!r} "
+                    "and no default given"
+                )
+            value = comparator(left.value(attr), right.value(attr))
+            # Same contract as ComparisonVector.__init__, inlined once
+            # per value instead of re-looping in the constructor: loud
+            # error outside [0, 1] (a user-pluggable base comparator may
+            # not be normalized), round-off above 1 clamped.
+            if value > 1.0:
+                if value > 1.0 + 1e-12:
+                    raise ValueError(
+                        f"similarity of {attr!r} outside [0, 1]: {value}"
+                    )
+                value = 1.0
+            elif not value >= 0.0:
+                raise ValueError(
+                    f"similarity of {attr!r} outside [0, 1]: {value}"
+                )
+            values.append(value)
+        return ComparisonVector.trusted(tuple(attributes), tuple(values))
 
     # ------------------------------------------------------------------
     # Matrix level
@@ -255,15 +398,17 @@ class AttributeMatcher:
 
     def compare_xtuples(self, left: XTuple, right: XTuple) -> ComparisonMatrix:
         """The ``k × l`` comparison matrix of an x-tuple pair."""
-        vectors = [
-            [
-                self.compare_rows(left_alt, right_alt)
-                for right_alt in right.alternatives
-            ]
+        compare_rows = self.compare_rows
+        right_alternatives = right.alternatives
+        vectors = tuple(
+            tuple(
+                compare_rows(left_alt, right_alt)
+                for right_alt in right_alternatives
+            )
             for left_alt in left.alternatives
-        ]
-        return ComparisonMatrix(
+        )
+        return ComparisonMatrix.trusted(
             vectors,
-            [alt.probability for alt in left.alternatives],
-            [alt.probability for alt in right.alternatives],
+            tuple(alt.probability for alt in left.alternatives),
+            tuple(alt.probability for alt in right.alternatives),
         )

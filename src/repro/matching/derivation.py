@@ -42,12 +42,32 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.matching.decision.base import MatchStatus
+
+#: Cell count below which the derivation functions use scalar loops:
+#: typical comparison matrices are tiny (k, l ≤ 8) and array dispatch
+#: costs more than it saves there, while the loop also preserves the
+#: exact summation order of the original reference implementations.
+_VECTOR_THRESHOLD = 64
+
+#: Numeric coding of matching values (the paper's m=2, p=1, u=0).
+_STATUS_CODES = {
+    MatchStatus.MATCH: 2,
+    MatchStatus.POSSIBLE: 1,
+    MatchStatus.UNMATCH: 0,
+}
 
 
 @dataclass(frozen=True)
 class DerivationInput:
     """Everything a derivation function ϑ may look at.
+
+    The public fields stay plain tuples (hashable, picklable, printable —
+    the explainability surface), while numpy views of the same matrices
+    materialize lazily — and are cached on the instance — the first time
+    a vectorized derivation function asks for them.
 
     Attributes
     ----------
@@ -68,10 +88,54 @@ class DerivationInput:
     statuses: tuple[tuple[MatchStatus, ...], ...] | None
     weights: tuple[tuple[float, ...], ...]
 
+    def __getstate__(self):
+        # Cached numpy views are derived data — rebuild after unpickling
+        # instead of shipping them over process boundaries.
+        return (self.similarities, self.statuses, self.weights)
+
+    def __setstate__(self, state) -> None:
+        similarities, statuses, weights = state
+        object.__setattr__(self, "similarities", similarities)
+        object.__setattr__(self, "statuses", statuses)
+        object.__setattr__(self, "weights", weights)
+
     @property
     def shape(self) -> tuple[int, int]:
         """``(k, l)``."""
         return (len(self.weights), len(self.weights[0]))
+
+    @property
+    def similarity_array(self) -> np.ndarray:
+        """``(k, l)`` float array of the similarities, built once."""
+        cached = getattr(self, "_sim_array", None)
+        if cached is None:
+            cached = np.asarray(self.similarities, dtype=np.float64)
+            object.__setattr__(self, "_sim_array", cached)
+        return cached
+
+    @property
+    def weight_array(self) -> np.ndarray:
+        """``(k, l)`` float array of the conditional weights, built once."""
+        cached = getattr(self, "_weight_array", None)
+        if cached is None:
+            cached = np.asarray(self.weights, dtype=np.float64)
+            object.__setattr__(self, "_weight_array", cached)
+        return cached
+
+    @property
+    def status_code_array(self) -> np.ndarray | None:
+        """``(k, l)`` int array coding statuses m=2, p=1, u=0 (or None)."""
+        if self.statuses is None:
+            return None
+        cached = getattr(self, "_status_codes", None)
+        if cached is None:
+            codes = _STATUS_CODES
+            cached = np.asarray(
+                [[codes[s] for s in row] for row in self.statuses],
+                dtype=np.int8,
+            )
+            object.__setattr__(self, "_status_codes", cached)
+        return cached
 
     def cells(self):
         """Iterate ``(i, j, similarity, status, weight)``."""
@@ -108,9 +172,18 @@ class ExpectedSimilarity:
     requires_statuses = False
 
     def __call__(self, data: DerivationInput) -> float:
-        return sum(
-            weight * similarity
-            for _, _, similarity, _, weight in data.cells()
+        weights = data.weights
+        if len(weights) * len(weights[0]) <= _VECTOR_THRESHOLD:
+            # Small matrices (flat pairs degenerate to 1×1) dominate many
+            # workloads; scalar math beats array dispatch there and keeps
+            # the row-major summation order of the reference loop.
+            total = 0.0
+            for weight_row, sim_row in zip(weights, data.similarities):
+                for weight, similarity in zip(weight_row, sim_row):
+                    total += weight * similarity
+            return total
+        return float(
+            np.dot(data.weight_array.ravel(), data.similarity_array.ravel())
         )
 
     def __repr__(self) -> str:
@@ -129,13 +202,18 @@ class MostProbableWorldSimilarity:
     requires_statuses = False
 
     def __call__(self, data: DerivationInput) -> float:
-        best_weight = -1.0
-        best_similarity = 0.0
-        for _, _, similarity, _, weight in data.cells():
-            if weight > best_weight:
-                best_weight = weight
-                best_similarity = similarity
-        return best_similarity
+        weights = data.weights
+        if len(weights) * len(weights[0]) <= _VECTOR_THRESHOLD:
+            best_weight = -1.0
+            best_similarity = 0.0
+            for weight_row, sim_row in zip(weights, data.similarities):
+                for weight, similarity in zip(weight_row, sim_row):
+                    if weight > best_weight:
+                        best_weight = weight
+                        best_similarity = similarity
+            return best_similarity
+        flat_index = int(np.argmax(data.weight_array))
+        return float(data.similarity_array.ravel()[flat_index])
 
     def __repr__(self) -> str:
         return "MostProbableWorldSimilarity()"
@@ -151,9 +229,10 @@ class MaximumSimilarity:
     requires_statuses = False
 
     def __call__(self, data: DerivationInput) -> float:
-        return max(
-            similarity for _, _, similarity, _, weight in data.cells()
-        )
+        similarities = data.similarities
+        if len(similarities) * len(similarities[0]) <= _VECTOR_THRESHOLD:
+            return max(value for row in similarities for value in row)
+        return float(data.similarity_array.max())
 
     def __repr__(self) -> str:
         return "MaximumSimilarity()"
@@ -183,13 +262,21 @@ class MatchingWeight:
             raise ValueError(
                 "MatchingWeight is decision-based and needs statuses"
             )
-        p_match = 0.0
-        p_unmatch = 0.0
-        for _, _, _, status, weight in data.cells():
-            if status is MatchStatus.MATCH:
-                p_match += weight
-            elif status is MatchStatus.UNMATCH:
-                p_unmatch += weight
+        weights = data.weights
+        if len(weights) * len(weights[0]) <= _VECTOR_THRESHOLD:
+            p_match = 0.0
+            p_unmatch = 0.0
+            for weight_row, status_row in zip(weights, data.statuses):
+                for weight, status in zip(weight_row, status_row):
+                    if status is MatchStatus.MATCH:
+                        p_match += weight
+                    elif status is MatchStatus.UNMATCH:
+                        p_unmatch += weight
+        else:
+            weight_array = data.weight_array
+            codes = data.status_code_array
+            p_match = float(weight_array[codes == 2].sum())
+            p_unmatch = float(weight_array[codes == 0].sum())
         if p_unmatch <= 0.0:
             return math.inf if p_match > 0.0 else 1.0
         return p_match / p_unmatch
@@ -214,11 +301,16 @@ class MatchProbability:
             raise ValueError(
                 "MatchProbability is decision-based and needs statuses"
             )
-        return sum(
-            weight
-            for _, _, _, status, weight in data.cells()
-            if status is MatchStatus.MATCH
-        )
+        weights = data.weights
+        if len(weights) * len(weights[0]) <= _VECTOR_THRESHOLD:
+            return sum(
+                weight
+                for weight_row, status_row in zip(weights, data.statuses)
+                for weight, status in zip(weight_row, status_row)
+                if status is MatchStatus.MATCH
+            )
+        codes = data.status_code_array
+        return float(data.weight_array[codes == 2].sum())
 
     def __repr__(self) -> str:
         return "MatchProbability()"
@@ -239,9 +331,19 @@ class ExpectedMatchingResult:
             raise ValueError(
                 "ExpectedMatchingResult is decision-based and needs statuses"
             )
-        return sum(
-            weight * status.numeric
-            for _, _, _, status, weight in data.cells()
+        weights = data.weights
+        if len(weights) * len(weights[0]) <= _VECTOR_THRESHOLD:
+            total = 0.0
+            for weight_row, status_row in zip(weights, data.statuses):
+                for weight, status in zip(weight_row, status_row):
+                    total += weight * _STATUS_CODES[status]
+            return total
+        codes = data.status_code_array
+        return float(
+            np.dot(
+                data.weight_array.ravel(),
+                codes.ravel().astype(np.float64),
+            )
         )
 
     def __repr__(self) -> str:

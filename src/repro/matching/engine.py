@@ -50,13 +50,14 @@ class XTupleDecision:
     derivation_input:
         The intermediate matrices, kept for explainability: per-pair
         similarities, per-pair statuses (decision-based only) and the
-        conditional weights.
+        conditional weights.  ``None`` when the pipeline ran with
+        ``keep_derivations=False`` to bound memory on large runs.
     """
 
     left_id: str
     right_id: str
     decision: Decision
-    derivation_input: DerivationInput
+    derivation_input: DerivationInput | None
 
     @property
     def status(self) -> MatchStatus:
@@ -126,33 +127,33 @@ class XTupleDecisionProcedure:
     def derivation_input(
         self, matrix: ComparisonMatrix
     ) -> DerivationInput:
-        """Steps 1.1 (+1.2) — similarity and status matrices plus weights."""
-        k, l = matrix.shape
+        """Steps 1.1 (+1.2) — similarity and status matrices plus weights.
+
+        The conditional weights are reused from the comparison matrix
+        (computed once in its constructor) instead of being re-derived
+        per cell; numpy views of all matrices materialize lazily inside
+        :class:`DerivationInput` the first time a vectorized derivation
+        needs them.
+        """
+        model_similarity = self._model.similarity
+        classify = (
+            self._model.classifier.classify
+            if self._derivation.requires_statuses
+            else None
+        )
         similarities: list[tuple[float, ...]] = []
         statuses: list[tuple[MatchStatus, ...]] | None = (
-            [] if self._derivation.requires_statuses else None
+            [] if classify is not None else None
         )
-        for i in range(k):
-            sim_row: list[float] = []
-            status_row: list[MatchStatus] = []
-            for j in range(l):
-                similarity = self._model.similarity(matrix.vector(i, j))
-                sim_row.append(similarity)
-                if statuses is not None:
-                    status_row.append(
-                        self._model.classifier.classify(similarity)
-                    )
-            similarities.append(tuple(sim_row))
+        for vector_row in matrix.rows():
+            sim_row = tuple(model_similarity(v) for v in vector_row)
+            similarities.append(sim_row)
             if statuses is not None:
-                statuses.append(tuple(status_row))
-        weights = tuple(
-            tuple(matrix.conditional_weight(i, j) for j in range(l))
-            for i in range(k)
-        )
+                statuses.append(tuple(classify(s) for s in sim_row))
         return DerivationInput(
             similarities=tuple(similarities),
             statuses=tuple(statuses) if statuses is not None else None,
-            weights=weights,
+            weights=matrix.weights,
         )
 
     def similarity(self, left: XTuple, right: XTuple) -> float:
@@ -160,8 +161,20 @@ class XTupleDecisionProcedure:
         matrix = self.comparison_matrix(left, right)
         return self._derivation(self.derivation_input(matrix))
 
-    def decide(self, left: XTuple, right: XTuple) -> XTupleDecision:
-        """The full Figure-6 procedure for one x-tuple pair."""
+    def decide(
+        self,
+        left: XTuple,
+        right: XTuple,
+        *,
+        keep_derivations: bool = True,
+    ) -> XTupleDecision:
+        """The full Figure-6 procedure for one x-tuple pair.
+
+        With ``keep_derivations=False`` the intermediate matrices are
+        dropped from the returned record (``derivation_input`` is
+        ``None``) so large batched runs don't retain every comparison
+        matrix.
+        """
         matrix = self.comparison_matrix(left, right)
         data = self.derivation_input(matrix)
         similarity = self._derivation(data)
@@ -170,7 +183,7 @@ class XTupleDecisionProcedure:
             left_id=left.tuple_id,
             right_id=right.tuple_id,
             decision=decision,
-            derivation_input=data,
+            derivation_input=data if keep_derivations else None,
         )
 
     # ------------------------------------------------------------------

@@ -18,7 +18,9 @@ over one (possibly unioned) relation, comparing every candidate pair once.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+import itertools
+import multiprocessing
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -115,6 +117,46 @@ def _ordered(left: str, right: str) -> tuple[str, str]:
     return (left, right) if left <= right else (right, left)
 
 
+#: Default number of candidate pairs decided per batch.  Large enough to
+#: amortize dispatch overhead (and IPC when fanning out), small enough
+#: that per-chunk result lists never hold more than a sliver of a run.
+DEFAULT_CHUNK_SIZE = 1024
+
+#: Worker-process state for the multiprocessing fan-out, installed by
+#: :func:`_init_worker` via the fork of the parent.  Each worker gets its
+#: own copy of the decision procedure — and therefore its own similarity
+#: caches, which grow independently and never need synchronization.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _init_worker(procedure, relation, keep_derivations) -> None:
+    _WORKER_STATE["procedure"] = procedure
+    _WORKER_STATE["relation"] = relation
+    _WORKER_STATE["keep_derivations"] = keep_derivations
+
+
+def _decide_chunk(pairs: Sequence[tuple[str, str]]):
+    procedure = _WORKER_STATE["procedure"]
+    relation = _WORKER_STATE["relation"]
+    keep = _WORKER_STATE["keep_derivations"]
+    return [
+        procedure.decide(
+            relation.get(left), relation.get(right), keep_derivations=keep
+        )
+        for left, right in pairs
+    ]
+
+
+def _chunked(
+    pairs: Iterator[tuple[str, str]], size: int
+) -> Iterator[list[tuple[str, str]]]:
+    while True:
+        chunk = list(itertools.islice(pairs, size))
+        if not chunk:
+            return
+        yield chunk
+
+
 class DuplicateDetector:
     """Configurable five-step duplicate detection pipeline.
 
@@ -166,32 +208,89 @@ class DuplicateDetector:
         return self._reducer
 
     def detect(
-        self, relation: XRelation | ProbabilisticRelation
+        self,
+        relation: XRelation | ProbabilisticRelation,
+        *,
+        chunk_size: int | None = None,
+        n_jobs: int | None = 1,
+        keep_derivations: bool = True,
     ) -> DetectionResult:
         """Run steps A–D over one relation and collect the decisions.
 
         Flat probabilistic relations are embedded into the x-tuple model
         first (Section IV-A as the 1-alternative special case).
+
+        Parameters
+        ----------
+        chunk_size:
+            Candidate pairs decided per batch (default
+            :data:`DEFAULT_CHUNK_SIZE`).  Batching keeps the candidate
+            stream lazy and is the unit of work shipped to workers when
+            fanning out.
+        n_jobs:
+            Number of worker processes.  1 (default) decides everything
+            in-process; ``None`` uses one worker per CPU.  Workers are
+            forked, so each carries its own copy of the decision
+            procedure — including private similarity caches that grow
+            independently without synchronization.
+        keep_derivations:
+            When ``False``, decisions are returned without their
+            intermediate comparison matrices (``derivation_input`` is
+            ``None``), so large runs don't retain every ``k × l`` matrix.
         """
         if isinstance(relation, ProbabilisticRelation):
             relation = relation.to_x_relation()
         if self._preparation is not None:
             relation = self._preparation(relation)
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if n_jobs is None:
+            n_jobs = multiprocessing.cpu_count()
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1 (or None)")
+
+        seen: set[tuple[str, str]] = set()
+
+        def unique_pairs() -> Iterator[tuple[str, str]]:
+            for left_id, right_id in self._reducer.pairs(relation):
+                if left_id == right_id:
+                    continue
+                pair = _ordered(left_id, right_id)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                yield pair
 
         decisions: list[XTupleDecision] = []
-        seen: set[tuple[str, str]] = set()
-        for left_id, right_id in self._reducer.pairs(relation):
-            if left_id == right_id:
-                continue
-            pair = _ordered(left_id, right_id)
-            if pair in seen:
-                continue
-            seen.add(pair)
-            decisions.append(
-                self._procedure.decide(
-                    relation.get(pair[0]), relation.get(pair[1])
-                )
+        if n_jobs == 1:
+            decide = self._procedure.decide
+            get = relation.get
+            for chunk in _chunked(unique_pairs(), chunk_size):
+                for left_id, right_id in chunk:
+                    decisions.append(
+                        decide(
+                            get(left_id),
+                            get(right_id),
+                            keep_derivations=keep_derivations,
+                        )
+                    )
+        else:
+            context = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
             )
+            with context.Pool(
+                n_jobs,
+                initializer=_init_worker,
+                initargs=(self._procedure, relation, keep_derivations),
+            ) as pool:
+                for chunk_decisions in pool.imap(
+                    _decide_chunk, _chunked(unique_pairs(), chunk_size)
+                ):
+                    decisions.extend(chunk_decisions)
         return DetectionResult(
             decisions=tuple(decisions),
             compared_pairs=frozenset(seen),
@@ -202,18 +301,20 @@ class DuplicateDetector:
         self,
         left: XRelation | ProbabilisticRelation,
         right: XRelation | ProbabilisticRelation,
+        **detect_options,
     ) -> DetectionResult:
         """Inter-source detection: union the sources, then detect.
 
         The paper's scenario — consolidating two autonomous probabilistic
         sources (ℛ1/ℛ2 or ℛ3/ℛ4) — reduces to detection over the union;
-        intra-source duplicates are found along the way.
+        intra-source duplicates are found along the way.  Keyword options
+        are forwarded to :meth:`detect`.
         """
         if isinstance(left, ProbabilisticRelation):
             left = left.to_x_relation()
         if isinstance(right, ProbabilisticRelation):
             right = right.to_x_relation()
-        return self.detect(left.union(right))
+        return self.detect(left.union(right), **detect_options)
 
     def __repr__(self) -> str:
         return (

@@ -50,6 +50,15 @@ from repro.similarity.jaro import (
     jaro_similarity,
     jaro_winkler_similarity,
 )
+from repro.similarity.kernels import (
+    FAST_DAMERAU_LEVENSHTEIN,
+    FAST_LEVENSHTEIN,
+    SimilarityCache,
+    banded_damerau_levenshtein,
+    banded_damerau_levenshtein_similarity,
+    banded_levenshtein,
+    banded_levenshtein_similarity,
+)
 from repro.similarity.ngram import (
     BIGRAM,
     JACCARD_BIGRAM,
@@ -86,6 +95,8 @@ COMPARATORS = {
         HAMMING,
         LEVENSHTEIN,
         DAMERAU_LEVENSHTEIN,
+        FAST_LEVENSHTEIN,
+        FAST_DAMERAU_LEVENSHTEIN,
         JARO,
         JARO_WINKLER,
         BIGRAM,
@@ -107,6 +118,8 @@ __all__ = [
     "DAMERAU_LEVENSHTEIN",
     "EQUALITY_PROBABILITY",
     "EXACT",
+    "FAST_DAMERAU_LEVENSHTEIN",
+    "FAST_LEVENSHTEIN",
     "Glossary",
     "HAMMING",
     "JACCARD_BIGRAM",
@@ -120,10 +133,15 @@ __all__ = [
     "RELATIVE_NUMERIC",
     "SOUNDEX",
     "SOUNDEX_LEVENSHTEIN",
+    "SimilarityCache",
     "TOKEN_JACCARD",
     "TRIGRAM",
     "UncertainValueComparator",
     "as_strings",
+    "banded_damerau_levenshtein",
+    "banded_damerau_levenshtein_similarity",
+    "banded_levenshtein",
+    "banded_levenshtein_similarity",
     "bigram_similarity",
     "checked",
     "clamp01",

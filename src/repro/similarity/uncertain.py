@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.pdb.values import NULL, PatternValue, ProbabilisticValue
 from repro.similarity.base import Comparator, NamedComparator
+from repro.similarity.kernels import SimilarityCache
 
 
 class PatternPolicy:
@@ -77,6 +78,17 @@ class UncertainValueComparator:
         One of :class:`PatternPolicy`'s constants.
     pattern_lexicon:
         Lexicon used by the ``expand`` policy.
+    cache:
+        Optional memoization of domain-element comparisons.  Pass a
+        :class:`~repro.similarity.kernels.SimilarityCache` to share one
+        across comparators, or ``True`` to create a private one.
+        Identical domain elements recur constantly across alternatives
+        and candidate pairs, so hit rates are high; ignored for the
+        error-free Equation 4 (plain equality needs no memo).  The
+        value-level memo assumes each attribute's domain uses one
+        consistent value type (mixing e.g. ``1`` and ``1.0`` outcomes
+        inside uncertain values can alias memo entries, since Python
+        treats cross-type numeric equals as the same dict key).
     """
 
     def __init__(
@@ -85,6 +97,7 @@ class UncertainValueComparator:
         *,
         pattern_policy: str = PatternPolicy.STRICT,
         pattern_lexicon: Iterable[str] | None = None,
+        cache: SimilarityCache | bool | None = None,
     ) -> None:
         if pattern_policy not in PatternPolicy.ALL:
             raise ValueError(
@@ -98,11 +111,33 @@ class UncertainValueComparator:
         self._lexicon = (
             tuple(pattern_lexicon) if pattern_lexicon is not None else None
         )
+        # Explicit None/False test: a freshly created SimilarityCache is
+        # empty and therefore falsy (it defines __len__), but passing
+        # one must still enable caching.
+        enabled = cache is not None and cache is not False
+        self._memoize = enabled
+        self._cache: SimilarityCache | None = None
+        if enabled and base is not None:
+            self._cache = (
+                cache
+                if isinstance(cache, SimilarityCache)
+                else SimilarityCache(base)
+            )
+        # Value-level memos (enabled together with the element cache):
+        # full Equation-5 results keyed by the ordered value pair, and
+        # pattern expansions keyed by the unexpanded value.
+        self._pair_cache: dict[Any, float] = {}
+        self._prepared_cache: dict[ProbabilisticValue, ProbabilisticValue] = {}
 
     @property
     def is_error_free(self) -> bool:
         """Whether this comparator implements Equation 4 (no base sim)."""
         return self._base is None
+
+    @property
+    def cache(self) -> SimilarityCache | None:
+        """The domain-element memo, when caching is enabled."""
+        return self._cache
 
     def _domain_similarity(self, left: Any, right: Any) -> float:
         """Similarity of two concrete (non-⊥) domain elements."""
@@ -120,15 +155,26 @@ class UncertainValueComparator:
             return _prefix_pattern_similarity(base, right, left)
         if self._base is None:
             return 1.0 if left == right else 0.0
+        if self._cache is not None:
+            return self._cache(left, right)
         return self._base(left, right)
 
     def _prepared(self, value: ProbabilisticValue) -> ProbabilisticValue:
-        """Expand patterns when the policy requires it."""
+        """Expand patterns when the policy requires it (memoized)."""
         if self._policy != PatternPolicy.EXPAND:
             return value
+        if self._memoize:
+            cached = self._prepared_cache.get(value)
+            if cached is not None:
+                return cached
+        prepared = value
         if any(isinstance(v, PatternValue) for v in value.support):
-            return value.expand_patterns(self._lexicon or ())
-        return value
+            prepared = value.expand_patterns(self._lexicon or ())
+        if self._memoize:
+            if len(self._prepared_cache) >= _VALUE_MEMO_CAP:
+                self._prepared_cache.clear()
+            self._prepared_cache[value] = prepared
+        return prepared
 
     def __call__(
         self,
@@ -138,15 +184,61 @@ class UncertainValueComparator:
         """Expected similarity of two (possibly certain) attribute values.
 
         Plain Python values are coerced to certain probabilistic values so
-        the comparator can be used uniformly.
+        the comparator can be used uniformly.  Two *certain* values — the
+        dominant case for flat relations — skip coercion, pattern
+        expansion and the double loop of Equation 5 entirely and go
+        straight to the domain comparator.
         """
+        left_plain = self._plain_element(left)
+        if left_plain is not _UNCERTAIN:
+            right_plain = self._plain_element(right)
+            if right_plain is not _UNCERTAIN:
+                if left_plain is NULL or right_plain is NULL:
+                    return 1.0 if left_plain is right_plain else 0.0
+                return self._domain_similarity(left_plain, right_plain)
         left_value = _coerce(left)
         right_value = _coerce(right)
-        left_value = self._prepared(left_value)
-        right_value = self._prepared(right_value)
-        return left_value.expected_similarity(
-            right_value, self._domain_similarity
+        if self._memoize:
+            # Memoize whole Equation-5 results on the *ordered* value
+            # pair: uncertain values recur across candidate pairs, and
+            # the ordered key keeps memoized results bit-identical to
+            # the uncached double loop.
+            key = (left_value, right_value)
+            cached = self._pair_cache.get(key)
+            if cached is not None:
+                return cached
+            result = self._prepared(left_value).expected_similarity(
+                self._prepared(right_value), self._domain_similarity
+            )
+            if len(self._pair_cache) >= _VALUE_MEMO_CAP:
+                self._pair_cache.clear()
+            self._pair_cache[key] = result
+            return result
+        return self._prepared(left_value).expected_similarity(
+            self._prepared(right_value), self._domain_similarity
         )
+
+    def _plain_element(self, value: Any) -> Any:
+        """The single domain element behind *value*, or ``_UNCERTAIN``.
+
+        Maps ``None`` to ⊥ and unwraps certain probabilistic values.
+        Pattern values are only treated as plain when no expansion is
+        configured (``expand`` must go through the Equation-5 path).
+        """
+        if value is None or value is NULL:
+            return NULL
+        if isinstance(value, ProbabilisticValue):
+            if not value.is_certain:
+                return _UNCERTAIN
+            value = value.certain_value
+            if value is NULL:
+                return NULL
+        if (
+            isinstance(value, PatternValue)
+            and self._policy == PatternPolicy.EXPAND
+        ):
+            return _UNCERTAIN
+        return value
 
     def __repr__(self) -> str:
         base_name = (
@@ -158,6 +250,15 @@ class UncertainValueComparator:
             f"UncertainValueComparator(base={base_name}, "
             f"patterns={self._policy})"
         )
+
+
+#: Sentinel returned by ``_plain_element`` when a value is genuinely
+#: uncertain and must take the full Equation-5 path.
+_UNCERTAIN = object()
+
+#: Soft capacity of the per-comparator value-level memos; on overflow
+#: they are cleared wholesale (see SimilarityCache for the rationale).
+_VALUE_MEMO_CAP = 1 << 20
 
 
 def _equality(left: Any, right: Any) -> float:
