@@ -1,14 +1,19 @@
 """Benchmark trajectory tracker: run the suite, diff against last run.
 
 Runs the pytest-benchmark suite with ``--benchmark-json``, writes the
-result to ``BENCH_<n>.json`` at the repository root (n increments per
-run), and prints a regression table against the previous ``BENCH_*.json``
-so the performance trajectory is tracked from PR to PR.
+result compactly to ``BENCH_<n>.json`` at the repository root (n
+increments per run), and prints a regression table against the previous
+``BENCH_*.json`` so the performance trajectory is tracked from PR to PR.
 
 Usage::
 
     python benchmarks/compare_bench.py              # full suite
     python benchmarks/compare_bench.py -k kernels   # forward pytest args
+    python benchmarks/compare_bench.py --quick      # CI smoke subset
+
+``--quick`` runs only the kernel and planner benches with minimal
+rounds and writes ``BENCH_quick.json`` (outside the numbered
+trajectory), so CI can smoke the harness in well under a minute.
 
 Exit status is the pytest exit status; the table marks every benchmark
 whose mean moved more than ``THRESHOLD`` in either direction.
@@ -17,6 +22,7 @@ whose mean moved more than ``THRESHOLD`` in either direction.
 from __future__ import annotations
 
 import json
+import os
 import re
 import subprocess
 import sys
@@ -28,6 +34,17 @@ THRESHOLD = 0.15
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
+
+#: Pytest arguments selecting the CI smoke subset.  The round flags only
+#: affect non-pedantic benches; pedantic benches (the planner fan-out)
+#: honor the ``BENCH_QUICK`` environment variable instead, which
+#: :func:`run_suite` exports in quick mode.
+QUICK_ARGS = [
+    "-k",
+    "kernels or planner",
+    "--benchmark-min-rounds=1",
+    "--benchmark-max-time=0.1",
+]
 
 
 def existing_runs() -> list[tuple[int, Path]]:
@@ -49,7 +66,9 @@ def load_means(path: Path) -> dict[str, float]:
     }
 
 
-def run_suite(json_path: Path, pytest_args: list[str]) -> int:
+def run_suite(
+    json_path: Path, pytest_args: list[str], *, quick: bool = False
+) -> int:
     command = [
         sys.executable,
         "-m",
@@ -58,8 +77,11 @@ def run_suite(json_path: Path, pytest_args: list[str]) -> int:
         f"--benchmark-json={json_path}",
         *pytest_args,
     ]
+    env = dict(os.environ)
+    if quick:
+        env["BENCH_QUICK"] = "1"
     print("$", " ".join(command))
-    return subprocess.call(command, cwd=REPO_ROOT)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
 def format_seconds(seconds: float) -> str:
@@ -110,18 +132,34 @@ def _short(fullname: str) -> str:
 
 
 def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    argv = [argument for argument in argv if argument != "--quick"]
+    if quick:
+        argv = QUICK_ARGS + argv
     runs = existing_runs()
-    next_index = runs[-1][0] + 1 if runs else 0
-    target = REPO_ROOT / f"BENCH_{next_index}.json"
+    if quick:
+        target = REPO_ROOT / "BENCH_quick.json"
+    else:
+        next_index = runs[-1][0] + 1 if runs else 0
+        target = REPO_ROOT / f"BENCH_{next_index}.json"
     with tempfile.TemporaryDirectory() as tmp:
         scratch = Path(tmp) / "bench.json"
-        status = run_suite(scratch, argv)
+        status = run_suite(scratch, argv, quick=quick)
         if not scratch.exists():
             print("benchmark run produced no JSON; nothing written")
             return status or 1
-        target.write_text(scratch.read_text())
+        # Compact re-serialization: pytest-benchmark pretty-prints >100k
+        # lines; one line per run keeps the committed artifacts small.
+        data = json.loads(scratch.read_text())
+        target.write_text(
+            json.dumps(data, separators=(",", ":"), sort_keys=True) + "\n"
+        )
     print(f"\nwrote {target.name}")
-    if runs:
+    if quick:
+        # Single-round quick means are not comparable to full-length
+        # trajectory runs; diffing them would flag bogus regressions.
+        print("quick smoke run — trajectory comparison skipped")
+    elif runs:
         previous_path = runs[-1][1]
         print(f"comparing against {previous_path.name}:\n")
         print_table(load_means(previous_path), load_means(target))

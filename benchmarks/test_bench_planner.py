@@ -1,0 +1,116 @@
+"""Bench: block-aware execution planner vs legacy striped fan-out.
+
+The PR-1 fan-out striped anonymous chunks of the flat candidate stream
+across workers, so every fork re-learned the same similarity table.  The
+planner schedules whole block partitions per worker (disjoint cache
+working sets) and pre-warms the shared caches from the per-partition
+vocabulary before forking — these benches track that the partitioned
+path stays ahead of striping on the same blocking workload, and that
+plan construction and streaming stay cheap.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: compare_bench.py --quick exports BENCH_QUICK=1; pedantic benches drop
+#: to one round then so the CI smoke stays fast.
+ROUNDS = 1 if os.environ.get("BENCH_QUICK") else 3
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.matching import DuplicateDetector
+from repro.reduction import (
+    CertainKeyBlocking,
+    SubstringKey,
+    plan_candidates,
+)
+from repro.reduction.plan import partition_vocabulary
+
+BLOCK_KEY = SubstringKey([("name", 1), ("job", 1)])
+
+
+@pytest.fixture(scope="module")
+def planner_dataset():
+    """Large enough that worker compute dominates fork overhead."""
+    return generate_dataset(
+        DatasetConfig(entity_count=1200, seed=47), flat=True
+    )
+
+
+def _detector():
+    return DuplicateDetector(
+        default_matcher(),
+        weighted_model(),
+        reducer=CertainKeyBlocking(BLOCK_KEY),
+    )
+
+
+@pytest.mark.parametrize("scheduling", ["striped", "partitioned"])
+def test_bench_planner_blocking_fanout(
+    benchmark, planner_dataset, scheduling
+):
+    """Same blocking workload, n_jobs=2: partitions vs blind stripes."""
+    relation = planner_dataset.relation
+    expected = plan_candidates(
+        CertainKeyBlocking(BLOCK_KEY), relation
+    ).total_pairs
+
+    def run():
+        return _detector().detect(
+            relation,
+            scheduling=scheduling,
+            n_jobs=2,
+            keep_derivations=False,
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=ROUNDS)
+    assert len(result.decisions) == expected
+
+
+def test_bench_planner_plan_construction(benchmark, planner_dataset):
+    """Planning itself must stay a sliver of detection time."""
+    relation = planner_dataset.relation
+    reducer = CertainKeyBlocking(BLOCK_KEY)
+    plan = benchmark(lambda: plan_candidates(reducer, relation))
+    assert plan.total_pairs > 0
+
+
+def test_bench_planner_streamed_detection(benchmark, planner_dataset):
+    """Streaming per-partition slices without the global pair set."""
+    relation = planner_dataset.relation
+
+    def run():
+        total = 0
+        for piece in _detector().detect(
+            relation,
+            stream=True,
+            keep_derivations=False,
+            keep_compared_pairs=False,
+        ):
+            total += len(piece.decisions)
+        return total
+
+    total = benchmark.pedantic(run, iterations=1, rounds=ROUNDS)
+    assert total > 0
+
+
+def test_bench_planner_cache_prewarm(benchmark, planner_dataset):
+    """Warming the whole plan's vocabulary into fresh caches."""
+    relation = planner_dataset.relation
+    plan = plan_candidates(CertainKeyBlocking(BLOCK_KEY), relation)
+    vocabularies = [
+        partition_vocabulary(relation, partition) for partition in plan
+    ]
+
+    def run():
+        matcher = default_matcher()
+        warmed = 0
+        for vocabulary in vocabularies:
+            warmed += matcher.warm(vocabulary)[0]
+        return warmed
+
+    warmed = benchmark.pedantic(run, iterations=1, rounds=ROUNDS)
+    assert warmed > 0

@@ -114,6 +114,11 @@ class XTupleDecisionProcedure:
         """The configured ϑ."""
         return self._derivation
 
+    @property
+    def matcher(self) -> AttributeMatcher:
+        """The attribute matcher (exposed for cache pre-warming)."""
+        return self._matcher
+
     # ------------------------------------------------------------------
     # Steps
     # ------------------------------------------------------------------

@@ -14,6 +14,23 @@
 
 Intra-source and inter-source duplicates are both covered: detection runs
 over one (possibly unioned) relation, comparing every candidate pair once.
+
+Execution happens in three stages since the block-aware planner landed:
+
+1. **plan** — the reducer's block/window structure is materialized as a
+   :class:`~repro.reduction.plan.CandidatePlan` (legacy ``pairs()``-only
+   reducers fall back to one partition);
+2. **schedule** — whole partitions are assigned to workers, so each
+   worker's similarity-cache working set covers one block neighborhood
+   instead of a blind stripe of the pair stream; before forking, the
+   shared caches are pre-warmed from the observed per-partition
+   vocabulary and frozen read-only;
+3. **execute** — partitions are decided in plan order, either collected
+   into one :class:`DetectionResult` or streamed per partition
+   (``stream=True``).
+
+Every mode produces exactly the decisions of the plain serial pipeline,
+in the same order.
 """
 
 from __future__ import annotations
@@ -30,6 +47,15 @@ from repro.matching.decision.base import DecisionModel, MatchStatus
 from repro.matching.derivation import DerivationFunction
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
 from repro.pdb.relations import ProbabilisticRelation, XRelation
+from repro.reduction.plan import (
+    DEFAULT_PARTITION_PAIRS,
+    CandidatePartition,
+    CandidatePlan,
+    PlanBuilder,
+    ordered_pair as _ordered,
+    partition_vocabulary,
+    plan_candidates,
+)
 
 
 @runtime_checkable
@@ -51,6 +77,41 @@ class FullComparison:
             for right in ids[i + 1 :]:
                 yield left, right
 
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """Contiguous row bands with roughly equal pair counts.
+
+        Full comparison has no block structure, so partitions exist
+        purely for scheduling: row ``i`` contributes ``n - 1 - i``
+        pairs, and bands grow toward the tail to keep partitions
+        balanced.  Band boundaries never change the concatenated pair
+        order, so results are independent of the banding.
+        """
+        ids = relation.tuple_ids
+        n = len(ids)
+        builder = PlanBuilder()
+        start = 0
+        while start < n:
+            end = start + 1
+            estimated = n - 1 - start
+            while end < n and estimated < DEFAULT_PARTITION_PAIRS:
+                estimated += n - 1 - end
+                end += 1
+            builder.add(
+                f"rows[{start}:{end}]", self._band_pairs(ids, start, end)
+            )
+            start = end
+        return builder.build(relation_size=n, source=repr(self))
+
+    @staticmethod
+    def _band_pairs(
+        ids: Sequence[str], start: int, end: int
+    ) -> Iterator[tuple[str, str]]:
+        n = len(ids)
+        for i in range(start, end):
+            left = ids[i]
+            for j in range(i + 1, n):
+                yield left, ids[j]
+
     def __repr__(self) -> str:
         return "FullComparison()"
 
@@ -65,15 +126,21 @@ class DetectionResult:
         One :class:`XTupleDecision` per compared candidate pair.
     compared_pairs:
         The candidate pairs that were actually compared (normalized so
-        ``left <= right``), i.e. the reduced search space.
+        ``left <= right``), i.e. the reduced search space.  Empty when
+        detection ran with ``keep_compared_pairs=False``.
     relation_size:
         Number of tuples in the searched relation (for reduction-ratio
         computations).
+    partition_label:
+        For per-partition slices yielded by ``stream=True``: the label
+        of the :class:`~repro.reduction.plan.CandidatePartition` this
+        slice covers.  ``None`` for whole-run results.
     """
 
     decisions: tuple[XTupleDecision, ...]
     compared_pairs: frozenset[tuple[str, str]]
     relation_size: int
+    partition_label: str | None = None
 
     def pairs_with_status(
         self, status: MatchStatus
@@ -101,11 +168,18 @@ class DetectionResult:
         return self.pairs_with_status(MatchStatus.UNMATCH)
 
     def clusters(self, *, include_possible: bool = False) -> ClusteringResult:
-        """Transitive closure of the decisions into duplicate clusters."""
+        """Transitive closure of the decisions into duplicate clusters.
+
+        Falls back to the decisions' own pair set when
+        ``compared_pairs`` was dropped (``keep_compared_pairs=False``).
+        """
         ids: set[str] = set()
         for left, right in self.compared_pairs:
             ids.add(left)
             ids.add(right)
+        for decision in self.decisions:
+            ids.add(decision.left_id)
+            ids.add(decision.right_id)
         return cluster_matches(
             sorted(ids),
             [(d.left_id, d.right_id, d.status) for d in self.decisions],
@@ -113,19 +187,23 @@ class DetectionResult:
         )
 
 
-def _ordered(left: str, right: str) -> tuple[str, str]:
-    return (left, right) if left <= right else (right, left)
-
-
 #: Default number of candidate pairs decided per batch.  Large enough to
 #: amortize dispatch overhead (and IPC when fanning out), small enough
 #: that per-chunk result lists never hold more than a sliver of a run.
 DEFAULT_CHUNK_SIZE = 1024
 
+#: Total pairwise-similarity budget for cache pre-warming, across all
+#: partitions and attributes of one detection run.  Blocking plans warm
+#: completely well below this; the bound exists so an unstructured plan
+#: (full comparison) cannot spend the whole run warming in the parent.
+PREWARM_PAIR_BUDGET = 200_000
+
 #: Worker-process state for the multiprocessing fan-out, installed by
 #: :func:`_init_worker` via the fork of the parent.  Each worker gets its
 #: own copy of the decision procedure — and therefore its own similarity
-#: caches, which grow independently and never need synchronization.
+#: caches.  Under partitioned scheduling those caches arrive pre-warmed
+#: and frozen (read-only, shared copy-on-write); under striped
+#: scheduling they grow independently per worker.
 _WORKER_STATE: dict[str, object] = {}
 
 
@@ -147,6 +225,16 @@ def _decide_chunk(pairs: Sequence[tuple[str, str]]):
     ]
 
 
+def _decide_batch(batch):
+    """Decide one dispatch batch of ``(partition index, pairs)`` chunks.
+
+    Small partitions are coalesced into one batch so worker round trips
+    cost the same as the striped fan-out; the per-chunk result lists keep
+    the partition attribution for the parent's regrouping.
+    """
+    return [(index, _decide_chunk(pairs)) for index, pairs in batch]
+
+
 def _chunked(
     pairs: Iterator[tuple[str, str]], size: int
 ) -> Iterator[list[tuple[str, str]]]:
@@ -155,6 +243,56 @@ def _chunked(
         if not chunk:
             return
         yield chunk
+
+
+def _prewarm_plan(
+    matcher: AttributeMatcher,
+    relation: XRelation,
+    plan: CandidatePlan,
+    *,
+    budget: int = PREWARM_PAIR_BUDGET,
+) -> tuple[int, bool]:
+    """Warm the matcher's caches from every partition's vocabulary.
+
+    Returns ``(entries stored, complete)`` where *complete* means every
+    partition's full pairwise table fit the budget — the precondition
+    for freezing the caches read-only around a fork.
+    """
+    if not matcher.cache_stats():
+        return 0, False
+    total_warmed = 0
+    complete = True
+    remaining = budget
+    for partition in plan:
+        if remaining <= 0:
+            complete = False
+            break
+        vocabulary = partition_vocabulary(relation, partition)
+        warmed, examined, partition_complete = matcher.warm(
+            vocabulary, budget=remaining
+        )
+        total_warmed += warmed
+        remaining -= max(examined, 1)
+        complete = complete and partition_complete
+    return total_warmed, complete
+
+
+def _slice_result(
+    partition: CandidatePartition,
+    decisions: tuple[XTupleDecision, ...],
+    relation_size: int,
+    keep_compared_pairs: bool,
+) -> DetectionResult:
+    return DetectionResult(
+        decisions=decisions,
+        compared_pairs=(
+            frozenset(partition.pairs)
+            if keep_compared_pairs
+            else frozenset()
+        ),
+        relation_size=relation_size,
+        partition_label=partition.label,
+    )
 
 
 class DuplicateDetector:
@@ -207,6 +345,20 @@ class DuplicateDetector:
         """The configured search-space reduction strategy."""
         return self._reducer
 
+    def plan(self, relation: XRelation | ProbabilisticRelation) -> CandidatePlan:
+        """The execution plan detection would run (after preparation)."""
+        relation = self._prepared_relation(relation)
+        return plan_candidates(self._reducer, relation)
+
+    def _prepared_relation(
+        self, relation: XRelation | ProbabilisticRelation
+    ) -> XRelation:
+        if isinstance(relation, ProbabilisticRelation):
+            relation = relation.to_x_relation()
+        if self._preparation is not None:
+            relation = self._preparation(relation)
+        return relation
+
     def detect(
         self,
         relation: XRelation | ProbabilisticRelation,
@@ -214,7 +366,11 @@ class DuplicateDetector:
         chunk_size: int | None = None,
         n_jobs: int | None = 1,
         keep_derivations: bool = True,
-    ) -> DetectionResult:
+        keep_compared_pairs: bool = True,
+        scheduling: str = "partitioned",
+        stream: bool = False,
+        prewarm: bool | None = None,
+    ) -> DetectionResult | Iterator[DetectionResult]:
         """Run steps A–D over one relation and collect the decisions.
 
         Flat probabilistic relations are embedded into the x-tuple model
@@ -223,25 +379,44 @@ class DuplicateDetector:
         Parameters
         ----------
         chunk_size:
-            Candidate pairs decided per batch (default
-            :data:`DEFAULT_CHUNK_SIZE`).  Batching keeps the candidate
-            stream lazy and is the unit of work shipped to workers when
-            fanning out.
+            Candidate pairs per worker dispatch (default
+            :data:`DEFAULT_CHUNK_SIZE`).  Under partitioned scheduling,
+            partitions larger than this are split into contiguous
+            sub-chunks; chunk boundaries never cross partitions.
         n_jobs:
             Number of worker processes.  1 (default) decides everything
             in-process; ``None`` uses one worker per CPU.  Workers are
-            forked, so each carries its own copy of the decision
-            procedure — including private similarity caches that grow
-            independently without synchronization.
+            forked and receive *whole partitions*, so each worker's
+            similarity-cache working set covers one block neighborhood.
         keep_derivations:
             When ``False``, decisions are returned without their
             intermediate comparison matrices (``derivation_input`` is
             ``None``), so large runs don't retain every ``k × l`` matrix.
+        keep_compared_pairs:
+            When ``False``, the result's ``compared_pairs`` is empty, so
+            streaming large runs never accumulates a set of every pair
+            id.  Decisions are unaffected.
+        scheduling:
+            ``"partitioned"`` (default) plans the reducer's block/window
+            structure and schedules whole partitions;  ``"striped"`` is
+            the legacy mode striping anonymous chunks of the flat pair
+            stream across workers (kept for comparison and for reducers
+            whose plan should be bypassed).
+        stream:
+            With ``True`` (partitioned scheduling only), returns a lazy
+            iterator of per-partition :class:`DetectionResult` slices
+            instead of one collected result — decisions for a partition
+            are released to the caller as soon as it is decided, so a
+            run over a huge relation never materializes all decisions.
+        prewarm:
+            Whether to pre-warm the matcher's similarity caches from the
+            plan's per-partition vocabulary before executing.  Default
+            (``None``) warms exactly when forking (``n_jobs > 1``); when
+            the warm table is complete the caches are frozen read-only
+            for the pool's lifetime so every worker shares the parent's
+            table copy-on-write.  Ignored under striped scheduling.
         """
-        if isinstance(relation, ProbabilisticRelation):
-            relation = relation.to_x_relation()
-        if self._preparation is not None:
-            relation = self._preparation(relation)
+        relation = self._prepared_relation(relation)
         if chunk_size is None:
             chunk_size = DEFAULT_CHUNK_SIZE
         if chunk_size <= 0:
@@ -250,7 +425,191 @@ class DuplicateDetector:
             n_jobs = multiprocessing.cpu_count()
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1 (or None)")
+        if scheduling not in ("partitioned", "striped"):
+            raise ValueError(
+                f"unknown scheduling {scheduling!r}; "
+                "expected 'partitioned' or 'striped'"
+            )
+        if stream and scheduling != "partitioned":
+            raise ValueError("stream=True requires partitioned scheduling")
 
+        if scheduling == "striped":
+            return self._detect_striped(
+                relation,
+                chunk_size=chunk_size,
+                n_jobs=n_jobs,
+                keep_derivations=keep_derivations,
+                keep_compared_pairs=keep_compared_pairs,
+            )
+
+        plan = plan_candidates(self._reducer, relation)
+        slices = self._execute_plan(
+            relation,
+            plan,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+            keep_derivations=keep_derivations,
+            keep_compared_pairs=keep_compared_pairs,
+            prewarm=prewarm,
+        )
+        if stream:
+            return slices
+        decisions: list[XTupleDecision] = []
+        compared: set[tuple[str, str]] = set()
+        for piece in slices:
+            decisions.extend(piece.decisions)
+            if keep_compared_pairs:
+                compared.update(piece.compared_pairs)
+        return DetectionResult(
+            decisions=tuple(decisions),
+            compared_pairs=frozenset(compared),
+            relation_size=len(relation),
+        )
+
+    # ------------------------------------------------------------------
+    # Partitioned execution (plan → schedule → execute)
+    # ------------------------------------------------------------------
+
+    def _execute_plan(
+        self,
+        relation: XRelation,
+        plan: CandidatePlan,
+        *,
+        chunk_size: int,
+        n_jobs: int,
+        keep_derivations: bool,
+        keep_compared_pairs: bool,
+        prewarm: bool | None,
+    ) -> Iterator[DetectionResult]:
+        """Yield one :class:`DetectionResult` slice per partition."""
+        matcher = self._procedure.matcher
+        newly_frozen: list = []
+        should_warm = n_jobs > 1 if prewarm is None else prewarm
+        if should_warm:
+            _, complete = _prewarm_plan(matcher, relation, plan)
+            if complete and n_jobs > 1:
+                newly_frozen = matcher.freeze_caches()
+        try:
+            if n_jobs == 1:
+                yield from self._execute_serial(
+                    relation, plan, keep_derivations, keep_compared_pairs
+                )
+            else:
+                yield from self._execute_parallel(
+                    relation,
+                    plan,
+                    chunk_size,
+                    n_jobs,
+                    keep_derivations,
+                    keep_compared_pairs,
+                )
+        finally:
+            # Restore only the freezes this run established; caches the
+            # caller froze beforehand stay frozen.
+            for cache in newly_frozen:
+                cache.thaw()
+
+    def _execute_serial(
+        self,
+        relation: XRelation,
+        plan: CandidatePlan,
+        keep_derivations: bool,
+        keep_compared_pairs: bool,
+    ) -> Iterator[DetectionResult]:
+        decide = self._procedure.decide
+        get = relation.get
+        size = len(relation)
+        for partition in plan:
+            decisions = tuple(
+                decide(
+                    get(left_id),
+                    get(right_id),
+                    keep_derivations=keep_derivations,
+                )
+                for left_id, right_id in partition.pairs
+            )
+            yield _slice_result(
+                partition, decisions, size, keep_compared_pairs
+            )
+
+    def _execute_parallel(
+        self,
+        relation: XRelation,
+        plan: CandidatePlan,
+        chunk_size: int,
+        n_jobs: int,
+        keep_derivations: bool,
+        keep_compared_pairs: bool,
+    ) -> Iterator[DetectionResult]:
+        size = len(relation)
+        # One dispatch batch holds whole consecutive partitions (split
+        # only when a single partition exceeds chunk_size) and carries
+        # ~chunk_size pairs, so worker round trips stay as coarse as the
+        # striped fan-out while cache working sets stay block-aligned.
+        batches: list[list[tuple[int, tuple[tuple[str, str], ...]]]] = []
+        batch: list[tuple[int, tuple[tuple[str, str], ...]]] = []
+        batched_pairs = 0
+        for index, partition in enumerate(plan.partitions):
+            pairs = partition.pairs
+            for start in range(0, len(pairs), chunk_size):
+                piece = pairs[start : start + chunk_size]
+                batch.append((index, piece))
+                batched_pairs += len(piece)
+                if batched_pairs >= chunk_size:
+                    batches.append(batch)
+                    batch = []
+                    batched_pairs = 0
+        if batch:
+            batches.append(batch)
+        if not batches:
+            return
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        with context.Pool(
+            n_jobs,
+            initializer=_init_worker,
+            initargs=(self._procedure, relation, keep_derivations),
+        ) as pool:
+            current: int | None = None
+            bucket: list[XTupleDecision] = []
+            for batch_results in pool.imap(_decide_batch, batches):
+                for index, chunk_decisions in batch_results:
+                    if current is None:
+                        current = index
+                    elif index != current:
+                        yield _slice_result(
+                            plan.partitions[current],
+                            tuple(bucket),
+                            size,
+                            keep_compared_pairs,
+                        )
+                        bucket = []
+                        current = index
+                    bucket.extend(chunk_decisions)
+            if current is not None:
+                yield _slice_result(
+                    plan.partitions[current],
+                    tuple(bucket),
+                    size,
+                    keep_compared_pairs,
+                )
+
+    # ------------------------------------------------------------------
+    # Striped execution (legacy fan-out, pre-planner)
+    # ------------------------------------------------------------------
+
+    def _detect_striped(
+        self,
+        relation: XRelation,
+        *,
+        chunk_size: int,
+        n_jobs: int,
+        keep_derivations: bool,
+        keep_compared_pairs: bool,
+    ) -> DetectionResult:
         seen: set[tuple[str, str]] = set()
 
         def unique_pairs() -> Iterator[tuple[str, str]]:
@@ -293,7 +652,9 @@ class DuplicateDetector:
                     decisions.extend(chunk_decisions)
         return DetectionResult(
             decisions=tuple(decisions),
-            compared_pairs=frozenset(seen),
+            compared_pairs=(
+                frozenset(seen) if keep_compared_pairs else frozenset()
+            ),
             relation_size=len(relation),
         )
 
@@ -302,7 +663,7 @@ class DuplicateDetector:
         left: XRelation | ProbabilisticRelation,
         right: XRelation | ProbabilisticRelation,
         **detect_options,
-    ) -> DetectionResult:
+    ) -> DetectionResult | Iterator[DetectionResult]:
         """Inter-source detection: union the sources, then detect.
 
         The paper's scenario — consolidating two autonomous probabilistic

@@ -20,7 +20,11 @@ Blocking family (Section V-B):
 
 All strategies implement the ``pairs(relation)`` protocol of
 :class:`repro.matching.pipeline.PairGenerator` and can be plugged into
-:class:`repro.matching.DuplicateDetector` directly.
+:class:`repro.matching.DuplicateDetector` directly.  Every strategy also
+implements ``plan(relation)`` (:mod:`repro.reduction.plan`), exposing its
+block/window structure as a :class:`~repro.reduction.plan.CandidatePlan`
+of schedulable partitions — the input of the detector's block-aware
+scheduler and cache pre-warming.
 """
 
 from repro.reduction.alternatives import AlternativeSorting, MatchingMatrix
@@ -49,6 +53,19 @@ from repro.reduction.keys import (
     xtuple_key_distribution,
 )
 from repro.reduction.multipass import MultiPassSNM, WorldSelection
+from repro.reduction.plan import (
+    DEFAULT_PARTITION_PAIRS,
+    CandidatePartition,
+    CandidatePlan,
+    PlanBuilder,
+    PlanningReducer,
+    add_window_spans,
+    ordered_pair,
+    partition_vocabulary,
+    plan_candidates,
+    plan_from_blocks,
+    plan_from_window,
+)
 from repro.reduction.snm import (
     SortedNeighborhood,
     sort_by_key,
@@ -57,6 +74,7 @@ from repro.reduction.snm import (
 from repro.reduction.uncertain_clustering import (
     UncertainKeyClusteringBlocking,
     expected_key_distance,
+    normalized_key_distance,
 )
 from repro.reduction.uncertain_keys import UncertainKeySNM
 from repro.reduction.world_selection import (
@@ -68,18 +86,24 @@ from repro.reduction.world_selection import (
 __all__ = [
     "AlternativeKeyBlocking",
     "AlternativeSorting",
+    "CandidatePartition",
+    "CandidatePlan",
     "CertainKeyBlocking",
+    "DEFAULT_PARTITION_PAIRS",
     "DerivedKey",
     "KeyFunction",
     "PhoneticBlocking",
     "MatchingMatrix",
     "MultiPassBlocking",
     "MultiPassSNM",
+    "PlanBuilder",
+    "PlanningReducer",
     "SortedNeighborhood",
     "SubstringKey",
     "UncertainKeyClusteringBlocking",
     "UncertainKeySNM",
     "WorldSelection",
+    "add_window_spans",
     "alternative_key_distribution",
     "average_pairwise_overlap",
     "derived_most_probable_key",
@@ -88,8 +112,14 @@ __all__ = [
     "expected_key_distance",
     "keys_of_world_assignment",
     "most_probable_key",
+    "normalized_key_distance",
+    "ordered_pair",
     "pairs_from_blocks",
+    "partition_vocabulary",
     "phonetic_key",
+    "plan_candidates",
+    "plan_from_blocks",
+    "plan_from_window",
     "prefix_transform",
     "select_diverse_worlds",
     "select_probable_worlds",

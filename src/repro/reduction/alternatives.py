@@ -27,6 +27,7 @@ from repro.reduction.keys import (
     SubstringKey,
     alternative_key_distribution,
 )
+from repro.reduction.plan import CandidatePlan, plan_from_window
 from repro.reduction.snm import window_pairs
 
 
@@ -164,6 +165,24 @@ class AlternativeSorting:
         """
         ordered_ids = [tuple_id for _, tuple_id in self.deduped_entries(relation)]
         return window_pairs(ordered_ids, self._window)
+
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """Spans of the sorted *entry* sequence as partitions.
+
+        Entries repeat tuple ids (one per alternative key); the plan
+        builder supplies the Figure-12 matching matrix globally, so a
+        pair reachable from several spans is claimed by the first.
+        """
+        ordered_ids = [
+            tuple_id for _, tuple_id in self.deduped_entries(relation)
+        ]
+        return plan_from_window(
+            ordered_ids,
+            self._window,
+            relation_size=len(relation),
+            source=repr(self),
+            label="entries",
+        )
 
     def __repr__(self) -> str:
         return (

@@ -29,14 +29,17 @@ from repro.reduction.keys import (
     alternative_key_distribution,
     most_probable_key,
 )
+from repro.reduction.plan import (
+    CandidatePlan,
+    PlanBuilder,
+    ordered_pair as _ordered,
+    plan_from_blocks,
+    within_block_pairs,
+)
 from repro.reduction.world_selection import (
     select_diverse_worlds,
     select_probable_worlds,
 )
-
-
-def _ordered(left: str, right: str) -> tuple[str, str]:
-    return (left, right) if left <= right else (right, left)
 
 
 def pairs_from_blocks(
@@ -89,6 +92,14 @@ class CertainKeyBlocking:
         """Within-block candidate pairs."""
         return pairs_from_blocks(self.blocks(relation))
 
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """One partition per block — the natural scheduling unit."""
+        return plan_from_blocks(
+            self.blocks(relation),
+            relation_size=len(relation),
+            source=repr(self),
+        )
+
     def __repr__(self) -> str:
         return f"CertainKeyBlocking(key={self._key!r})"
 
@@ -125,6 +136,18 @@ class AlternativeKeyBlocking:
     def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
         """Within-block candidate pairs (across-block repeats removed)."""
         return pairs_from_blocks(self.blocks(relation))
+
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """One partition per block, repeats claimed by the first block.
+
+        The plan builder's global dedup reproduces the Figure-14
+        matching-matrix discipline across partitions.
+        """
+        return plan_from_blocks(
+            self.blocks(relation),
+            relation_size=len(relation),
+            source=repr(self),
+        )
 
     def __repr__(self) -> str:
         return f"AlternativeKeyBlocking(key={self._key!r})"
@@ -201,6 +224,20 @@ class MultiPassBlocking:
                 if pair not in emitted:
                     emitted.add(pair)
                     yield pair
+
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """One partition per (world, block); later worlds keep only new pairs."""
+        builder = PlanBuilder()
+        for index, world in enumerate(self.select_worlds(relation)):
+            for key, members in self.blocks_for_world(
+                relation, world
+            ).items():
+                builder.add(
+                    f"world{index}:{key}", within_block_pairs(members)
+                )
+        return builder.build(
+            relation_size=len(relation), source=repr(self)
+        )
 
     def __repr__(self) -> str:
         return (

@@ -205,5 +205,15 @@ class PhoneticBlocking:
 
         return pairs_from_blocks(self.blocks(relation))
 
+    def plan(self, relation):
+        """One partition per phonetic block."""
+        from repro.reduction.plan import plan_from_blocks
+
+        return plan_from_blocks(
+            self.blocks(relation),
+            relation_size=len(relation),
+            source=repr(self),
+        )
+
     def __repr__(self) -> str:
         return f"PhoneticBlocking({self._key!r})"

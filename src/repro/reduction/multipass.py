@@ -26,6 +26,11 @@ from repro.pdb.worlds import (
     enumerate_full_worlds,
 )
 from repro.reduction.keys import SubstringKey
+from repro.reduction.plan import (
+    CandidatePlan,
+    PlanBuilder,
+    add_window_spans,
+)
 from repro.reduction.snm import sort_by_key, window_pairs
 from repro.reduction.world_selection import (
     select_diverse_worlds,
@@ -144,6 +149,20 @@ class MultiPassSNM:
                 if pair not in emitted:
                     emitted.add(pair)
                     yield pair
+
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """Window spans per world pass; later passes keep only new pairs."""
+        builder = PlanBuilder()
+        for index, world in enumerate(self.select_worlds(relation)):
+            add_window_spans(
+                builder,
+                self.sorted_ids_for_world(relation, world),
+                self._window,
+                label=f"world{index}",
+            )
+        return builder.build(
+            relation_size=len(relation), source=repr(self)
+        )
 
     def passes(
         self, relation: XRelation

@@ -1,0 +1,325 @@
+"""Execution planning for the reduction→matching seam.
+
+The Section-V reducers know their block/window structure, but the
+legacy ``pairs(relation)`` protocol flattens it into one anonymous pair
+stream — so batched detection could only stripe chunks blindly across
+workers, duplicating similarity-cache misses in every fork.  This module
+makes the structure explicit:
+
+* :class:`CandidatePartition` — one schedulable unit of candidate pairs
+  (a block, a window span, one multi-pass world) together with the
+  member tuple ids it touches;
+* :class:`CandidatePlan` — the ordered, duplicate-free sequence of
+  partitions a reducer produces for one relation;
+* :class:`PlanBuilder` — the shared constructor enforcing the pipeline
+  invariants (pairs normalized ``left <= right``, self-pairs dropped,
+  global first-occurrence dedup), so a plan's concatenated pair sequence
+  is *exactly* the sequence the legacy ``detect`` loop would have
+  compared — planned execution stays bitwise-equivalent to the serial
+  seed pipeline;
+* :func:`plan_candidates` — planner entry point with a single-partition
+  fallback for legacy ``pairs()``-only reducers;
+* :func:`partition_vocabulary` — the observed per-attribute domain
+  elements of one partition, the input of similarity-cache pre-warming.
+
+Every reducer in :mod:`repro.reduction` implements ``plan(relation)``
+on top of :func:`plan_from_blocks` / :func:`plan_from_window`; the
+scheduler in :mod:`repro.matching.pipeline` assigns whole partitions to
+workers so cache working sets stay disjoint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+from repro.pdb.values import NULL
+
+#: Pair-count target per partition for window-family planners, chosen so
+#: partitions stay large enough to amortize worker dispatch and small
+#: enough that a plan has work for every worker.
+DEFAULT_PARTITION_PAIRS = 2048
+
+
+def ordered_pair(left: str, right: str) -> tuple[str, str]:
+    """The pipeline-wide pair normalization: ``left <= right``.
+
+    Single source of truth — the plan-equals-legacy-stream invariant
+    holds only while every layer (reducers, builder, detector) orders
+    pairs identically.
+    """
+    return (left, right) if left <= right else (right, left)
+
+
+@dataclass(frozen=True)
+class CandidatePartition:
+    """One schedulable unit of candidate pairs.
+
+    Attributes
+    ----------
+    label:
+        Human-readable origin of the partition (block key, window span,
+        world index) for logs and streamed result slices.
+    pairs:
+        The partition's candidate pairs, normalized ``left <= right``,
+        in emission order, globally unique across the whole plan.
+    members:
+        Tuple ids appearing in :attr:`pairs`, in first-occurrence order
+        (the deterministic base of vocabulary extraction).
+    """
+
+    label: str
+    pairs: tuple[tuple[str, str], ...]
+    members: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidatePartition({self.label!r}, pairs={len(self.pairs)}, "
+            f"members={len(self.members)})"
+        )
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """A reducer's partitioned candidate search space for one relation.
+
+    The concatenation of the partitions' pair sequences is duplicate-free
+    and equals the legacy ``pairs()`` emission order after the pipeline's
+    normalization — scheduling whole partitions therefore reorders
+    *work*, never *results*.
+    """
+
+    partitions: tuple[CandidatePartition, ...]
+    relation_size: int
+    source: str
+
+    @property
+    def total_pairs(self) -> int:
+        """Candidate pairs across all partitions."""
+        return sum(len(p.pairs) for p in self.partitions)
+
+    def pairs(self) -> Iterator[tuple[str, str]]:
+        """All candidate pairs in plan order."""
+        for partition in self.partitions:
+            yield from partition.pairs
+
+    def __iter__(self) -> Iterator[CandidatePartition]:
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidatePlan({self.source}, partitions={len(self.partitions)}, "
+            f"pairs={self.total_pairs})"
+        )
+
+
+@runtime_checkable
+class PlanningReducer(Protocol):
+    """Reducers that expose their block/window structure as a plan."""
+
+    def plan(self, relation) -> CandidatePlan:  # pragma: no cover
+        ...
+
+
+class PlanBuilder:
+    """Accumulates partitions under the pipeline's pair invariants.
+
+    One builder per plan: the dedup set spans partitions, so a pair
+    reachable through several blocks/worlds lands in the first partition
+    that emits it — exactly where the legacy flattened stream would have
+    compared it.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set[tuple[str, str]] = set()
+        self._partitions: list[CandidatePartition] = []
+
+    def add(
+        self, label: str, pairs: Iterable[tuple[str, str]]
+    ) -> int:
+        """Add one partition; returns how many unique pairs it kept.
+
+        Self-pairs and pairs already claimed by an earlier partition are
+        dropped; empty partitions are not recorded.
+        """
+        seen = self._seen
+        unique: list[tuple[str, str]] = []
+        members: dict[str, None] = {}
+        for left, right in pairs:
+            if left == right:
+                continue
+            pair = ordered_pair(left, right)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            unique.append(pair)
+            members[pair[0]] = None
+            members[pair[1]] = None
+        if unique:
+            self._partitions.append(
+                CandidatePartition(
+                    label=str(label),
+                    pairs=tuple(unique),
+                    members=tuple(members),
+                )
+            )
+        return len(unique)
+
+    def build(self, *, relation_size: int, source: str) -> CandidatePlan:
+        """Finalize the plan (the builder can be discarded afterwards)."""
+        return CandidatePlan(
+            partitions=tuple(self._partitions),
+            relation_size=relation_size,
+            source=source,
+        )
+
+
+def within_block_pairs(
+    members: Sequence[str],
+) -> Iterator[tuple[str, str]]:
+    """All unordered pairs inside one block, in enumeration order."""
+    for i, left in enumerate(members):
+        for right in members[i + 1 :]:
+            yield left, right
+
+
+def window_span_pairs(
+    ordered_ids: Sequence[str], window: int, start: int, end: int
+) -> Iterator[tuple[str, str]]:
+    """Sliding-window pairs whose *left* index lies in ``[start, end)``.
+
+    Mirrors :func:`repro.reduction.snm.window_pairs` cell for cell; the
+    caller's :class:`PlanBuilder` supplies the self-pair skip and the
+    matching-matrix dedup.
+    """
+    length = len(ordered_ids)
+    for index in range(start, end):
+        left = ordered_ids[index]
+        for offset in range(1, window):
+            follower = index + offset
+            if follower >= length:
+                break
+            yield left, ordered_ids[follower]
+
+
+def plan_from_blocks(
+    blocks: Mapping[str, Sequence[str]],
+    *,
+    relation_size: int,
+    source: str,
+    prefix: str = "block",
+) -> CandidatePlan:
+    """One partition per block, in block-insertion order."""
+    builder = PlanBuilder()
+    for key, members in blocks.items():
+        builder.add(f"{prefix}:{key}", within_block_pairs(members))
+    return builder.build(relation_size=relation_size, source=source)
+
+
+def add_window_spans(
+    builder: PlanBuilder,
+    ordered_ids: Sequence[str],
+    window: int,
+    *,
+    target_pairs: int = DEFAULT_PARTITION_PAIRS,
+    label: str = "rows",
+) -> None:
+    """Append one sliding-window pass to *builder* as contiguous row spans.
+
+    Row spans keep key-adjacent tuples — whose values the window will
+    compare against each other — in the same partition, so each worker's
+    cache working set covers one neighborhood of the sort order.
+    Multi-pass strategies call this once per world on a shared builder.
+    """
+    per_row = max(1, window - 1)
+    rows_per_partition = max(1, target_pairs // per_row)
+    length = len(ordered_ids)
+    start = 0
+    while start < length:
+        end = min(length, start + rows_per_partition)
+        builder.add(
+            f"{label}[{start}:{end}]",
+            window_span_pairs(ordered_ids, window, start, end),
+        )
+        start = end
+
+
+def plan_from_window(
+    ordered_ids: Sequence[str],
+    window: int,
+    *,
+    relation_size: int,
+    source: str,
+    target_pairs: int = DEFAULT_PARTITION_PAIRS,
+    label: str = "rows",
+) -> CandidatePlan:
+    """A finished single-pass plan of window spans (see :func:`add_window_spans`)."""
+    builder = PlanBuilder()
+    add_window_spans(
+        builder,
+        ordered_ids,
+        window,
+        target_pairs=target_pairs,
+        label=label,
+    )
+    return builder.build(relation_size=relation_size, source=source)
+
+
+def plan_candidates(reducer, relation) -> CandidatePlan:
+    """The execution plan of any reducer.
+
+    Planning reducers expose their own structure through
+    ``plan(relation)``; legacy ``pairs()``-only generators fall back to
+    a single partition holding the whole (normalized, deduplicated)
+    stream, which schedules exactly like the pre-planner pipeline.
+    """
+    plan_method = getattr(reducer, "plan", None)
+    if callable(plan_method):
+        plan = plan_method(relation)
+        if not isinstance(plan, CandidatePlan):
+            raise TypeError(
+                f"{reducer!r}.plan() returned {type(plan).__name__}, "
+                "expected CandidatePlan"
+            )
+        return plan
+    builder = PlanBuilder()
+    builder.add("all", reducer.pairs(relation))
+    return builder.build(relation_size=len(relation), source=repr(reducer))
+
+
+def partition_vocabulary(
+    relation, partition: CandidatePartition
+) -> dict[str, tuple[Any, ...]]:
+    """Observed domain elements per attribute of one partition.
+
+    Collects, in deterministic first-occurrence order, every outcome of
+    every member tuple's alternatives — the operand universe the
+    partition's attribute matching can draw from.  ⊥ is excluded (the
+    comparator layer resolves non-existence before the domain-element
+    cache); pattern values are kept, because an ``expand``-policy
+    comparator queries the cache with their lexicon expansions — the
+    warming layer maps them accordingly (see
+    :meth:`repro.similarity.uncertain.UncertainValueComparator.cacheable_vocabulary`).
+    """
+    vocabulary: dict[str, dict[Any, None]] = {}
+    get = relation.get
+    for tuple_id in partition.members:
+        xtuple = get(tuple_id)
+        for alternative in xtuple.alternatives:
+            for attribute in alternative.attributes:
+                observed = vocabulary.setdefault(attribute, {})
+                for outcome in alternative.value(attribute).support:
+                    if outcome is NULL:
+                        continue
+                    observed.setdefault(outcome, None)
+    return {
+        attribute: tuple(values)
+        for attribute, values in vocabulary.items()
+    }

@@ -20,10 +20,11 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from repro.pdb.relations import XRelation
 from repro.pdb.xtuples import XTuple
 from repro.reduction.keys import SubstringKey, most_probable_key
-
-
-def _ordered(left: str, right: str) -> tuple[str, str]:
-    return (left, right) if left <= right else (right, left)
+from repro.reduction.plan import (
+    CandidatePlan,
+    ordered_pair as _ordered,
+    plan_from_window,
+)
 
 
 def window_pairs(
@@ -120,6 +121,20 @@ class SortedNeighborhood:
     def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
         """Candidate pairs of the sliding window."""
         return window_pairs(self.sorted_ids(relation), self._window)
+
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """Contiguous spans of the sort order as partitions.
+
+        A span's tuples are key-neighbors, so its candidate pairs share
+        the cache working set; spans overlap only through the window
+        stragglers at each boundary.
+        """
+        return plan_from_window(
+            self.sorted_ids(relation),
+            self._window,
+            relation_size=len(relation),
+            source=repr(self),
+        )
 
     def __repr__(self) -> str:
         return (

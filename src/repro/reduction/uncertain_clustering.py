@@ -15,41 +15,65 @@ expected-distance measure, in the spirit of the UK-means family [39]:
 
 The resulting clusters act as blocks: only tuples in the same cluster
 are compared.
+
+The inner key-pair distance runs through the banded Levenshtein kernel
+(exact without a cutoff, so results match the reference DP bit for bit)
+and is memoized in a :class:`~repro.similarity.kernels.SimilarityCache`:
+the same key strings recur across distributions and leader comparisons,
+so clustering re-derives each distinct key pair only once.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
 
 from repro.pdb.relations import XRelation
 from repro.reduction.blocking import pairs_from_blocks
 from repro.reduction.keys import SubstringKey, xtuple_key_distribution
-from repro.similarity.edit import levenshtein_distance
+from repro.reduction.plan import CandidatePlan, plan_from_blocks
+from repro.similarity.kernels import SimilarityCache, banded_levenshtein
 
 #: An uncertain key: outcomes with probabilities.
 KeyDistribution = Sequence[tuple[str, float]]
 
+#: A normalized distance on concrete key strings.
+KeyDistance = Callable[[str, str], float]
+
+
+def normalized_key_distance(left: str, right: str) -> float:
+    """Edit distance normalized by the longer key, via the banded kernel.
+
+    Without a cutoff the banded kernel computes the exact Levenshtein
+    distance (property-tested against the reference DP), so this equals
+    the seed's ``levenshtein_distance(l, r) / max(len)`` bit for bit
+    while skipping trivial prefixes/suffixes faster.
+    """
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 0.0
+    return banded_levenshtein(left, right) / longest
+
 
 def expected_key_distance(
-    left: KeyDistribution, right: KeyDistribution
+    left: KeyDistribution,
+    right: KeyDistribution,
+    *,
+    distance: KeyDistance | None = None,
 ) -> float:
     """Expected normalized edit distance between two uncertain keys.
 
     Distances of individual key pairs are normalized by the longer key
     length, so the expectation stays in [0, 1]; two certain equal keys
-    have distance 0.
+    have distance 0.  Pass *distance* to reuse a memoized kernel (e.g. a
+    :class:`~repro.similarity.kernels.SimilarityCache` with
+    ``reflexive_value=0.0``) across many expectation evaluations.
     """
+    if distance is None:
+        distance = normalized_key_distance
     total = 0.0
     for left_key, left_prob in left:
         for right_key, right_prob in right:
-            longest = max(len(left_key), len(right_key))
-            if longest == 0:
-                distance = 0.0
-            else:
-                distance = (
-                    levenshtein_distance(left_key, right_key) / longest
-                )
-            total += left_prob * right_prob * distance
+            total += left_prob * right_prob * distance(left_key, right_key)
     left_mass = sum(p for _, p in left)
     right_mass = sum(p for _, p in right)
     if left_mass <= 0.0 or right_mass <= 0.0:
@@ -67,16 +91,45 @@ class UncertainKeyClusteringBlocking:
     radius:
         Maximum expected key distance to a cluster leader; smaller radius
         means more, tighter blocks.  Must lie in [0, 1].
+    cache:
+        Memoization of concrete key-pair distances.  ``True`` (default)
+        creates a private :class:`SimilarityCache` over the banded
+        kernel; pass an existing distance-configured cache
+        (``reflexive_value=0.0``) to share one, or ``False``/``None`` to
+        recompute every pair.  Caching never changes a cluster — only
+        how often the edit-distance DP actually runs.
     """
 
-    def __init__(self, key: SubstringKey, *, radius: float = 0.35) -> None:
+    def __init__(
+        self,
+        key: SubstringKey,
+        *,
+        radius: float = 0.35,
+        cache: SimilarityCache | bool | None = True,
+    ) -> None:
         if not 0.0 <= radius <= 1.0:
             raise ValueError(f"radius must lie in [0, 1], got {radius}")
         self._key = key
         self._radius = radius
+        self._cache: SimilarityCache | None = None
+        if isinstance(cache, SimilarityCache):
+            self._cache = cache
+        elif cache:
+            self._cache = SimilarityCache(
+                normalized_key_distance, reflexive_value=0.0
+            )
+
+    @property
+    def cache(self) -> SimilarityCache | None:
+        """The key-distance memo, when caching is enabled."""
+        return self._cache
+
+    def _distance(self) -> KeyDistance:
+        return self._cache if self._cache is not None else normalized_key_distance
 
     def clusters(self, relation: XRelation) -> dict[str, list[str]]:
         """``leader tuple id → member tuple ids`` (leaders included)."""
+        distance = self._distance()
         leaders: list[tuple[str, KeyDistribution]] = []
         clusters: dict[str, list[str]] = {}
         for xtuple in relation:
@@ -84,7 +137,11 @@ class UncertainKeyClusteringBlocking:
             assigned = False
             for leader_id, leader_distribution in leaders:
                 if (
-                    expected_key_distance(distribution, leader_distribution)
+                    expected_key_distance(
+                        distribution,
+                        leader_distribution,
+                        distance=distance,
+                    )
                     <= self._radius
                 ):
                     clusters[leader_id].append(xtuple.tuple_id)
@@ -98,6 +155,15 @@ class UncertainKeyClusteringBlocking:
     def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
         """Within-cluster candidate pairs."""
         return pairs_from_blocks(self.clusters(relation))
+
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """One partition per cluster."""
+        return plan_from_blocks(
+            self.clusters(relation),
+            relation_size=len(relation),
+            source=repr(self),
+            prefix="cluster",
+        )
 
     def __repr__(self) -> str:
         return (

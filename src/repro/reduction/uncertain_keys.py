@@ -19,6 +19,7 @@ from collections.abc import Callable, Iterator, Sequence
 from repro.pdb.ranking import KeyDistribution, expected_rank_order
 from repro.pdb.relations import XRelation
 from repro.reduction.keys import SubstringKey, xtuple_key_distribution
+from repro.reduction.plan import CandidatePlan, plan_from_window
 from repro.reduction.snm import window_pairs
 
 #: Signature of a ranking function over `(item, key distribution)` pairs.
@@ -77,6 +78,15 @@ class UncertainKeySNM:
     def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
         """Window pairs over the ranked order."""
         return window_pairs(self.ranked_ids(relation), self._window)
+
+    def plan(self, relation: XRelation) -> CandidatePlan:
+        """Contiguous spans of the ranked order as partitions."""
+        return plan_from_window(
+            self.ranked_ids(relation),
+            self._window,
+            relation_size=len(relation),
+            source=repr(self),
+        )
 
     def __repr__(self) -> str:
         ranking_name = getattr(

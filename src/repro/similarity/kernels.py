@@ -25,7 +25,12 @@ module provides the performance core:
   the same element pairs constantly (identical values recur across
   alternatives, x-tuples and candidate pairs), so hit rates are high;
   the cache turns a Jaro–Winkler or Levenshtein evaluation into one
-  dict lookup.
+  dict lookup.  For block-partitioned execution the cache also supports
+  **pre-warming** (:meth:`SimilarityCache.warm` fills the table from an
+  observed vocabulary before any candidate pair is decided) and
+  **freezing** (:meth:`SimilarityCache.freeze` makes the table
+  read-only, so forked workers share the warmed pages copy-on-write
+  without ever dirtying them).
 """
 
 from __future__ import annotations
@@ -269,12 +274,29 @@ class SimilarityCache:
         is cleared wholesale (cheap, and the working set repopulates in
         one pass) — a deliberate trade against LRU bookkeeping on the
         hot path.
+    reflexive_value:
+        The result for equal same-type operands, answered without
+        touching the dictionary.  1.0 (default) fits normalized
+        similarities; pass 0.0 to memoize a *distance* function.
     """
 
-    __slots__ = ("base", "max_entries", "hits", "misses", "_store")
+    __slots__ = (
+        "base",
+        "max_entries",
+        "hits",
+        "misses",
+        "warmed",
+        "reflexive_value",
+        "_frozen",
+        "_store",
+    )
 
     def __init__(
-        self, base: Comparator, *, max_entries: int = 1_000_000
+        self,
+        base: Comparator,
+        *,
+        max_entries: int = 1_000_000,
+        reflexive_value: float = 1.0,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -282,11 +304,14 @@ class SimilarityCache:
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
+        self.warmed = 0
+        self.reflexive_value = float(reflexive_value)
+        self._frozen = False
         self._store: dict[tuple[Any, Any], float] = {}
 
     def __call__(self, left: Any, right: Any) -> float:
         if left is right or (type(left) is type(right) and left == right):
-            return 1.0
+            return self.reflexive_value
         key = _pair_key(left, right)
         store = self._store
         cached = store.get(key)
@@ -295,9 +320,10 @@ class SimilarityCache:
             return cached
         self.misses += 1
         result = self.base(left, right)
-        if len(store) >= self.max_entries:
-            store.clear()
-        store[key] = result
+        if not self._frozen:
+            if len(store) >= self.max_entries:
+                store.clear()
+            store[key] = result
         return result
 
     def __len__(self) -> int:
@@ -309,11 +335,89 @@ class SimilarityCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # ------------------------------------------------------------------
+    # Pre-warm / freeze (block-partitioned execution support)
+    # ------------------------------------------------------------------
+
+    def warm(
+        self, values: Any, *, budget: int | None = None
+    ) -> int:
+        """Precompute all pairwise results of a vocabulary.
+
+        Fills the table with ``base(a, b)`` for every unordered pair of
+        distinct *values*, skipping pairs already stored, so a plan
+        scheduler can build the shared similarity table once in the
+        parent before forking workers.  Warming never changes a result —
+        entries hold exactly what a cold lookup would compute.
+
+        Parameters
+        ----------
+        values:
+            The observed vocabulary (duplicates are collapsed, input
+            order preserved so warming is deterministic).
+        budget:
+            Optional bound on the number of pairs *examined* (stored or
+            already present).  Warming stops once the budget or
+            :attr:`max_entries` is reached; it never triggers the
+            wholesale clear that a hot-path overflow would.
+
+        Returns
+        -------
+        int
+            Number of entries newly stored (always 0 while frozen —
+            warming is a write and respects the read-only contract).
+        """
+        if self._frozen:
+            return 0
+        unique = list(dict.fromkeys(values))
+        store = self._store
+        base = self.base
+        max_entries = self.max_entries
+        examined = 0
+        stored = 0
+        for i, left in enumerate(unique):
+            for right in unique[i + 1 :]:
+                if budget is not None and examined >= budget:
+                    self.warmed += stored
+                    return stored
+                examined += 1
+                key = _pair_key(left, right)
+                if key in store:
+                    continue
+                if len(store) >= max_entries:
+                    self.warmed += stored
+                    return stored
+                store[key] = base(left, right)
+                stored += 1
+        self.warmed += stored
+        return stored
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the table is read-only (lookups only, no inserts)."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the table read-only.
+
+        A frozen cache still answers hits and still computes misses —
+        it just stops storing new entries, so the warmed table can be
+        shared copy-on-write across forked workers without any page
+        ever being dirtied (and without the overflow clear wiping the
+        shared table mid-run).
+        """
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Re-enable inserts after :meth:`freeze`."""
+        self._frozen = False
+
     def clear(self) -> None:
         """Drop all entries and reset the statistics."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.warmed = 0
 
     @property
     def name(self) -> str:

@@ -139,6 +139,28 @@ class UncertainValueComparator:
         """The domain-element memo, when caching is enabled."""
         return self._cache
 
+    def cacheable_vocabulary(self, values: Iterable[Any]) -> tuple[Any, ...]:
+        """The concrete elements the element cache may be queried with.
+
+        Maps an observed vocabulary (which may contain pattern values)
+        to the operands that can actually reach :attr:`cache`: under the
+        ``expand`` policy a pattern contributes its lexicon expansions —
+        those are what Equation 5 compares after expansion — while under
+        the other policies patterns bypass the cache (prefix heuristic
+        calls the base comparator directly; strict raises) and are
+        dropped.  Used by cache pre-warming so a warmed-then-frozen
+        table covers every lookup the partition can make.
+        """
+        concrete: dict[Any, None] = {}
+        for value in values:
+            if isinstance(value, PatternValue):
+                if self._policy == PatternPolicy.EXPAND:
+                    for expansion in value.expansions(self._lexicon or ()):
+                        concrete.setdefault(expansion, None)
+                continue
+            concrete.setdefault(value, None)
+        return tuple(concrete)
+
     def _domain_similarity(self, left: Any, right: Any) -> float:
         """Similarity of two concrete (non-⊥) domain elements."""
         left_is_pattern = isinstance(left, PatternValue)
