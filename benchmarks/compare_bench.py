@@ -41,7 +41,7 @@ BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
 #: :func:`run_suite` exports in quick mode.
 QUICK_ARGS = [
     "-k",
-    "kernels or planner",
+    "kernels or planner or storage",
     "--benchmark-min-rounds=1",
     "--benchmark-max-time=0.1",
 ]

@@ -1,0 +1,234 @@
+"""Bench: in-memory vs spilled detection — wall clock and peak RSS.
+
+The out-of-core promise is a *memory* bound, not a speed win: detection
+over a :class:`~repro.pdb.storage.SpillingXTupleStore` must keep peak
+additional RSS bounded by the page cache plus one partition's working
+set — not by relation size — while staying within sight of the
+in-memory wall clock.  Wall clock is tracked by pytest-benchmark on the
+same blocking workload the planner benches use; peak RSS is measured
+in fresh subprocesses (``ru_maxrss`` is a process-lifetime high-water
+mark, so each backend gets its own interpreter) and stashed into the
+benchmark JSON via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+#: compare_bench.py --quick exports BENCH_QUICK=1; the workload shrinks
+#: and pedantic benches drop to one round so the CI smoke stays fast.
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+ROUNDS = 1 if QUICK else 3
+ENTITIES = 300 if QUICK else 1200
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.matching import DuplicateDetector
+from repro.pdb.io import open_store
+from repro.reduction import CertainKeyBlocking, SubstringKey, plan_candidates
+
+#: Blocking key spec, shipped to the measurement subprocess via argv so
+#: the child always measures the same workload as the in-process bench.
+KEY_SPEC = [("name", 1), ("job", 1)]
+BLOCK_KEY = SubstringKey(KEY_SPEC)
+
+#: Page-cache knobs for the spilled runs: at most 4 × 64 decoded tuples
+#: resident, far below the n=1200 relation.
+STORE_OPTIONS = {"page_size": 64, "max_pages": 4}
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Runs one detection pass in a fresh interpreter and reports the
+#: decision count, process RSS high-water marks (KB) and — because the
+#: ~50 MB interpreter+numpy import baseline dwarfs this workload's data
+#: and saturates ``ru_maxrss`` before any tuple is decoded — exact
+#: Python-heap figures from tracemalloc: bytes resident after loading
+#: the backend and the peak additional bytes detection allocated.
+_CHILD_SCRIPT = """
+import json, resource, sys, time, tracemalloc
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.matching import DuplicateDetector
+from repro.pdb.io import open_store
+from repro.reduction import CertainKeyBlocking, SubstringKey
+
+path, mode = sys.argv[1], sys.argv[2]
+options = json.loads(sys.argv[3]) if mode == "spilled" else {}
+key_spec = [tuple(part) for part in json.loads(sys.argv[4])]
+tracemalloc.start()
+relation = open_store(path, **options)
+load_bytes, _ = tracemalloc.get_traced_memory()
+tracemalloc.reset_peak()
+detector = DuplicateDetector(
+    default_matcher(),
+    weighted_model(),
+    reducer=CertainKeyBlocking(SubstringKey(key_spec)),
+)
+start = time.perf_counter()
+decisions = 0
+for piece in detector.detect(
+    relation,
+    stream=True,
+    keep_derivations=False,
+    keep_compared_pairs=False,
+):
+    decisions += len(piece.decisions)
+wall = time.perf_counter() - start
+current_bytes, peak_bytes = tracemalloc.get_traced_memory()
+tracemalloc.stop()
+print(json.dumps({
+    "mode": mode,
+    "decisions": decisions,
+    "load_bytes": load_bytes,
+    "detect_peak_bytes": peak_bytes,
+    "peak_bytes": load_bytes + peak_bytes,
+    "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "wall_s": wall,
+}))
+"""
+
+
+@pytest.fixture(scope="module")
+def storage_workload(tmp_path_factory):
+    """The blocking workload in both on-disk forms: spilled + plain JSON."""
+    from repro.pdb import io as pdb_io
+
+    relation = generate_dataset(
+        DatasetConfig(entity_count=ENTITIES, seed=47), flat=True
+    ).relation
+    root = tmp_path_factory.mktemp("bench_storage")
+    spill_path = str(root / "spilled")
+    json_path = str(root / "relation.json")
+    relation.spill(spill_path, **STORE_OPTIONS)
+    pdb_io.dump(relation, json_path, indent=None)
+    expected = plan_candidates(
+        CertainKeyBlocking(BLOCK_KEY), relation
+    ).total_pairs
+    return {
+        "relation": relation,
+        "spill_path": spill_path,
+        "json_path": json_path,
+        "expected_pairs": expected,
+    }
+
+
+def _detector():
+    return DuplicateDetector(
+        default_matcher(),
+        weighted_model(),
+        reducer=CertainKeyBlocking(BLOCK_KEY),
+    )
+
+
+def _measure_subprocess(path: str, mode: str) -> dict:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH")
+        else ""
+    )
+    output = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD_SCRIPT,
+            path,
+            mode,
+            json.dumps(STORE_OPTIONS),
+            json.dumps(KEY_SPEC),
+        ],
+        env=environment,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(output.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.parametrize("backend", ["in_memory", "spilled"])
+def test_bench_storage_streamed_detection(
+    benchmark, storage_workload, backend
+):
+    """Wall clock of streamed blocking detection, both backends."""
+    if backend == "in_memory":
+        relation = storage_workload["relation"]
+    else:
+        relation = open_store(
+            storage_workload["spill_path"], **STORE_OPTIONS
+        )
+
+    def run():
+        total = 0
+        for piece in _detector().detect(
+            relation,
+            stream=True,
+            keep_derivations=False,
+            keep_compared_pairs=False,
+        ):
+            total += len(piece.decisions)
+        return total
+
+    total = benchmark.pedantic(run, iterations=1, rounds=ROUNDS)
+    assert total == storage_workload["expected_pairs"]
+
+
+def test_bench_storage_peak_rss(benchmark, storage_workload):
+    """Peak memory: the spilled run must not pay for the whole relation.
+
+    Each backend runs in a fresh interpreter.  ``ru_maxrss`` is
+    recorded for the trajectory, but the load-bearing assertion uses
+    the tracemalloc figures: the spilled backend's resident load
+    footprint (ids + offsets) must undercut the decoded relation, its
+    whole-run peak must stay below the in-memory peak, and the extra
+    memory detection allocates on top of the loaded backend must be
+    bounded by cache + working-set structures — not relation size.
+    """
+    spilled = _measure_subprocess(
+        storage_workload["spill_path"], "spilled"
+    )
+    in_memory = _measure_subprocess(
+        storage_workload["json_path"], "in_memory"
+    )
+    assert (
+        spilled["decisions"]
+        == in_memory["decisions"]
+        == storage_workload["expected_pairs"]
+    )
+
+    benchmark.extra_info.update(
+        {
+            "entities": ENTITIES,
+            "spilled": spilled,
+            "in_memory": in_memory,
+        }
+    )
+    # Record a cheap single-pass timing so the result lands in the
+    # benchmark table alongside the memory extra_info.
+    benchmark.pedantic(
+        lambda: _measure_subprocess(
+            storage_workload["spill_path"], "spilled"
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    # Loading the store costs metadata only — a fraction of decoding
+    # the relation into memory.
+    assert spilled["load_bytes"] < in_memory["load_bytes"] / 2
+    # End-to-end, the spilled run's heap peak stays below the
+    # in-memory run's (which starts from the whole decoded relation).
+    assert spilled["peak_bytes"] < in_memory["peak_bytes"]
+    if not QUICK:
+        # The additional memory the spilled detection touches (page
+        # cache + per-partition working sets + similarity caches) is
+        # shared-structure-bound, not relation-bound: both backends
+        # allocate nearly the same during detection, so the spilled
+        # run never rebuilds the relation behind the scenes.
+        assert (
+            spilled["detect_peak_bytes"]
+            < in_memory["detect_peak_bytes"]
+            + in_memory["load_bytes"] / 4
+        )

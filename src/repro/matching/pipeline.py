@@ -19,7 +19,8 @@ Execution happens in three stages since the block-aware planner landed:
 
 1. **plan** — the reducer's block/window structure is materialized as a
    :class:`~repro.reduction.plan.CandidatePlan` (legacy ``pairs()``-only
-   reducers fall back to one partition);
+   reducers fall back to one partition); partitions carry tuple *ids*,
+   never tuples;
 2. **schedule** — whole partitions are assigned to workers, so each
    worker's similarity-cache working set covers one block neighborhood
    instead of a blind stripe of the pair stream; before forking, the
@@ -27,10 +28,16 @@ Execution happens in three stages since the block-aware planner landed:
    vocabulary and frozen read-only;
 3. **execute** — partitions are decided in plan order, either collected
    into one :class:`DetectionResult` or streamed per partition
-   (``stream=True``).
+   (``stream=True``).  Member tuples are loaded chunk by chunk as
+   bounded working sets through the storage backend
+   (:func:`repro.pdb.storage.fetch_tuples`), so detection over an
+   out-of-core :class:`~repro.pdb.storage.SpillingXTupleStore` keeps
+   only the current chunk's tuples plus the store's page cache decoded
+   — even for single-partition plans — and forked workers open the
+   store read-only, never duplicating the relation.
 
 Every mode produces exactly the decisions of the plain serial pipeline,
-in the same order.
+in the same order, for every storage backend.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from repro.matching.decision.base import DecisionModel, MatchStatus
 from repro.matching.derivation import DerivationFunction
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
 from repro.pdb.relations import ProbabilisticRelation, XRelation
+from repro.pdb.storage import XTupleStore, fetch_tuples
 from repro.reduction.plan import (
     DEFAULT_PARTITION_PAIRS,
     CandidatePartition,
@@ -213,13 +221,29 @@ def _init_worker(procedure, relation, keep_derivations) -> None:
     _WORKER_STATE["keep_derivations"] = keep_derivations
 
 
+def _chunk_working_set(relation, pairs: Sequence[tuple[str, str]]):
+    """The tuples one chunk of pairs touches, loaded as one batch.
+
+    One batched working-set load per chunk: out-of-core stores decode
+    each needed segment page once instead of per pair lookup, and the
+    caller only ever holds this chunk's tuples (plus the store's page
+    cache) decoded — never a whole single-partition plan's relation.
+    """
+    members: dict[str, None] = {}
+    for left, right in pairs:
+        members[left] = None
+        members[right] = None
+    return fetch_tuples(relation, members)
+
+
 def _decide_chunk(pairs: Sequence[tuple[str, str]]):
     procedure = _WORKER_STATE["procedure"]
     relation = _WORKER_STATE["relation"]
     keep = _WORKER_STATE["keep_derivations"]
+    working_set = _chunk_working_set(relation, pairs)
     return [
         procedure.decide(
-            relation.get(left), relation.get(right), keep_derivations=keep
+            working_set[left], working_set[right], keep_derivations=keep
         )
         for left, right in pairs
     ]
@@ -247,7 +271,7 @@ def _chunked(
 
 def _prewarm_plan(
     matcher: AttributeMatcher,
-    relation: XRelation,
+    relation: XRelation | XTupleStore,
     plan: CandidatePlan,
     *,
     budget: int = PREWARM_PAIR_BUDGET,
@@ -345,23 +369,34 @@ class DuplicateDetector:
         """The configured search-space reduction strategy."""
         return self._reducer
 
-    def plan(self, relation: XRelation | ProbabilisticRelation) -> CandidatePlan:
+    def plan(
+        self, relation: XRelation | ProbabilisticRelation | XTupleStore
+    ) -> CandidatePlan:
         """The execution plan detection would run (after preparation)."""
         relation = self._prepared_relation(relation)
         return plan_candidates(self._reducer, relation)
 
     def _prepared_relation(
-        self, relation: XRelation | ProbabilisticRelation
-    ) -> XRelation:
+        self, relation: XRelation | ProbabilisticRelation | XTupleStore
+    ) -> XRelation | XTupleStore:
         if isinstance(relation, ProbabilisticRelation):
             relation = relation.to_x_relation()
         if self._preparation is not None:
+            if not isinstance(relation, XRelation):
+                # Preparation hooks rewrite whole relations; rewriting an
+                # out-of-core store in place would defeat its read-only
+                # worker semantics.  Prepare, then spill.
+                raise TypeError(
+                    "preparation hooks require an in-memory XRelation; "
+                    "materialize the store, prepare, and re-spill "
+                    "(store.materialize() → prepare → XRelation.spill)"
+                )
             relation = self._preparation(relation)
         return relation
 
     def detect(
         self,
-        relation: XRelation | ProbabilisticRelation,
+        relation: XRelation | ProbabilisticRelation | XTupleStore,
         *,
         chunk_size: int | None = None,
         n_jobs: int | None = 1,
@@ -374,7 +409,14 @@ class DuplicateDetector:
         """Run steps A–D over one relation and collect the decisions.
 
         Flat probabilistic relations are embedded into the x-tuple model
-        first (Section IV-A as the 1-alternative special case).
+        first (Section IV-A as the 1-alternative special case).  The
+        relation may be any storage backend satisfying
+        :class:`~repro.pdb.storage.XTupleStore` — in particular an
+        out-of-core :class:`~repro.pdb.storage.SpillingXTupleStore`
+        opened via :func:`repro.pdb.io.open_store`, in which case only
+        one chunk-sized working set (plus the store's page cache) is
+        ever decoded at a time and results are identical bit for bit to
+        the in-memory run.
 
         Parameters
         ----------
@@ -388,6 +430,9 @@ class DuplicateDetector:
             in-process; ``None`` uses one worker per CPU.  Workers are
             forked and receive *whole partitions*, so each worker's
             similarity-cache working set covers one block neighborhood.
+            Storage backends are opened read-only by workers: a forked
+            worker re-opens a spilled store's segment files for itself
+            and never copies the relation.
         keep_derivations:
             When ``False``, decisions are returned without their
             intermediate comparison matrices (``derivation_input`` is
@@ -472,7 +517,7 @@ class DuplicateDetector:
 
     def _execute_plan(
         self,
-        relation: XRelation,
+        relation: XRelation | XTupleStore,
         plan: CandidatePlan,
         *,
         chunk_size: int,
@@ -492,7 +537,11 @@ class DuplicateDetector:
         try:
             if n_jobs == 1:
                 yield from self._execute_serial(
-                    relation, plan, keep_derivations, keep_compared_pairs
+                    relation,
+                    plan,
+                    chunk_size,
+                    keep_derivations,
+                    keep_compared_pairs,
                 )
             else:
                 yield from self._execute_parallel(
@@ -511,30 +560,40 @@ class DuplicateDetector:
 
     def _execute_serial(
         self,
-        relation: XRelation,
+        relation: XRelation | XTupleStore,
         plan: CandidatePlan,
+        chunk_size: int,
         keep_derivations: bool,
         keep_compared_pairs: bool,
     ) -> Iterator[DetectionResult]:
         decide = self._procedure.decide
-        get = relation.get
         size = len(relation)
         for partition in plan:
-            decisions = tuple(
-                decide(
-                    get(left_id),
-                    get(right_id),
-                    keep_derivations=keep_derivations,
+            # Load the working set chunk by chunk, exactly like the
+            # parallel dispatch path: residency stays bounded by
+            # chunk_size even when a plan degenerates to one partition
+            # spanning the whole relation (full comparison, legacy
+            # pairs()-only reducers).
+            decisions: list[XTupleDecision] = []
+            pairs = partition.pairs
+            for start in range(0, len(pairs), chunk_size):
+                chunk = pairs[start : start + chunk_size]
+                working_set = _chunk_working_set(relation, chunk)
+                decisions.extend(
+                    decide(
+                        working_set[left_id],
+                        working_set[right_id],
+                        keep_derivations=keep_derivations,
+                    )
+                    for left_id, right_id in chunk
                 )
-                for left_id, right_id in partition.pairs
-            )
             yield _slice_result(
-                partition, decisions, size, keep_compared_pairs
+                partition, tuple(decisions), size, keep_compared_pairs
             )
 
     def _execute_parallel(
         self,
-        relation: XRelation,
+        relation: XRelation | XTupleStore,
         plan: CandidatePlan,
         chunk_size: int,
         n_jobs: int,
@@ -603,7 +662,7 @@ class DuplicateDetector:
 
     def _detect_striped(
         self,
-        relation: XRelation,
+        relation: XRelation | XTupleStore,
         *,
         chunk_size: int,
         n_jobs: int,
@@ -675,6 +734,15 @@ class DuplicateDetector:
             left = left.to_x_relation()
         if isinstance(right, ProbabilisticRelation):
             right = right.to_x_relation()
+        if not (
+            isinstance(left, XRelation) and isinstance(right, XRelation)
+        ):
+            raise TypeError(
+                "detect_between unions its sources in memory; for "
+                "out-of-core runs union the relations first and spill "
+                "the union (XRelation.union(...).spill(path)), then "
+                "call detect on the opened store"
+            )
         return self.detect(left.union(right), **detect_options)
 
     def __repr__(self) -> str:

@@ -10,7 +10,10 @@ Implements the data models the paper operates on:
 * relations — :class:`ProbabilisticRelation`, :class:`XRelation`,
   :class:`Schema`;
 * possible-world semantics — enumeration, sampling, conditioning;
-* ranking by uncertain keys (Section V-A.4).
+* ranking by uncertain keys (Section V-A.4);
+* storage backends — the :class:`XTupleStore` protocol with the
+  in-memory :class:`XRelation` and the out-of-core
+  :class:`SpillingXTupleStore` (:mod:`repro.pdb.storage`).
 """
 
 from repro.pdb.conditioning import (
@@ -40,6 +43,13 @@ from repro.pdb.ranking import (
     prf_e_order,
 )
 from repro.pdb.relations import ProbabilisticRelation, Schema, XRelation
+from repro.pdb.storage import (
+    SpillingXTupleStore,
+    StorageError,
+    XTupleStore,
+    fetch_tuples,
+    spill_relation,
+)
 from repro.pdb.tuples import ProbabilisticTuple, has_null_support
 from repro.pdb.values import (
     NULL,
@@ -79,16 +89,20 @@ __all__ = [
     "ProbabilisticValue",
     "Schema",
     "SchemaMismatchError",
+    "SpillingXTupleStore",
+    "StorageError",
     "TupleAlternative",
     "UnknownAttributeError",
     "WorldEnumerationError",
     "XRelation",
     "XTuple",
+    "XTupleStore",
     "condition_on_presence",
     "condition_worlds",
     "enumerate_full_worlds",
     "enumerate_worlds",
     "expected_rank_order",
+    "fetch_tuples",
     "has_null_support",
     "most_probable_key_order",
     "most_probable_world",
@@ -96,6 +110,7 @@ __all__ = [
     "prf_e_order",
     "presence_probability",
     "sample_world",
+    "spill_relation",
     "value_in_world",
     "world_count",
     "world_overlap",

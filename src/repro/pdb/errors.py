@@ -38,3 +38,7 @@ class WorldEnumerationError(ProbabilisticDataError):
 
 class ConditioningError(ProbabilisticDataError):
     """Conditioning on an event of probability zero was requested."""
+
+
+class StorageError(ProbabilisticDataError):
+    """Missing, malformed or inconsistent on-disk relation storage."""

@@ -31,20 +31,35 @@ Value encodings:
 Distribution outcomes are stored as strings; non-string domain values
 round-trip through their ``str`` form (documented limitation — the
 paper's examples are string-valued).
+
+Two distribution encodings exist:
+
+* the **legacy** form above (``{"dist": ...}``), which groups outcomes
+  by kind and therefore loses their original iteration order;
+* the **exact** form ``{"outcomes": [[outcome, p], ...]}`` used by the
+  segment files of :mod:`repro.pdb.storage` — it preserves outcome
+  order bit for bit, so floating-point accumulations over a decoded
+  value (Equations 4/5) reproduce the source relation's results
+  exactly.  :func:`decode_value` accepts both.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 from typing import Any
 
-from repro.pdb.errors import ProbabilisticDataError
+from repro.pdb.errors import ProbabilisticDataError, StorageError
 from repro.pdb.relations import Schema, XRelation
 from repro.pdb.values import NULL, PatternValue, ProbabilisticValue
 from repro.pdb.xtuples import TupleAlternative, XTuple
 
 #: Format identifier embedded in every document.
 FORMAT_VERSION = 1
+
+#: Per-process sequence distinguishing concurrent atomic writers.
+_TEMP_COUNTER = itertools.count()
 
 
 class SerializationError(ProbabilisticDataError):
@@ -83,11 +98,76 @@ def encode_value(value: ProbabilisticValue) -> Any:
     return encoded
 
 
+def _encode_outcome(outcome: Any) -> Any:
+    """One domain element of the exact (order-preserving) encoding."""
+    if outcome is NULL:
+        return None
+    if isinstance(outcome, PatternValue):
+        return {"pattern": outcome.pattern}
+    if isinstance(outcome, (str, int, float, bool)):
+        return outcome
+    return str(outcome)
+
+
+def _decode_outcome(encoded: Any) -> Any:
+    if encoded is None:
+        return NULL
+    if isinstance(encoded, dict):
+        try:
+            return PatternValue(encoded["pattern"])
+        except KeyError:
+            raise SerializationError(
+                f"unrecognized outcome document: {encoded!r}"
+            ) from None
+    return encoded
+
+
+def encode_value_exact(value: ProbabilisticValue) -> Any:
+    """Encode a value preserving the exact outcome iteration order.
+
+    Certain values use the same compact forms as :func:`encode_value`;
+    uncertain values become an ordered ``{"outcomes": [[outcome, p],
+    ...]}`` list so that decoding rebuilds the distribution with
+    identical iteration order — the property the out-of-core segment
+    files need for bitwise-equal detection results.
+
+    The compact certain forms apply only when the single outcome's
+    probability is *exactly* 1.0: a probability one ulp below 1 is
+    within tolerance (so the value still counts as certain) but must
+    round-trip bit for bit, which only the ordered form preserves.
+    """
+    if value.is_null and value.null_probability == 1.0:
+        return None
+    if value.is_certain and value.probability(value.certain_value) == 1.0:
+        outcome = value.certain_value
+        if isinstance(outcome, PatternValue):
+            return {"pattern": outcome.pattern}
+        return outcome
+    return {
+        "outcomes": [
+            [_encode_outcome(outcome), probability]
+            for outcome, probability in value.items()
+        ]
+    }
+
+
 def decode_value(encoded: Any) -> ProbabilisticValue:
     """Decode the JSON form back into a probabilistic value."""
     if encoded is None:
         return ProbabilisticValue.missing()
     if isinstance(encoded, dict):
+        if "outcomes" in encoded:
+            outcomes: dict[Any, float] = {}
+            for outcome_doc, probability in encoded["outcomes"]:
+                outcome = _decode_outcome(outcome_doc)
+                if outcome in outcomes:
+                    raise SerializationError(
+                        f"outcome {outcome!r} listed twice"
+                    )
+                outcomes[outcome] = probability
+            if not outcomes:
+                raise SerializationError("empty distribution document")
+            return ProbabilisticValue(outcomes)
         if "pattern" in encoded and "dist" not in encoded:
             return ProbabilisticValue.certain(
                 PatternValue(encoded["pattern"])
@@ -115,15 +195,21 @@ def decode_value(encoded: Any) -> ProbabilisticValue:
 # ----------------------------------------------------------------------
 
 
-def encode_xtuple(xtuple: XTuple) -> dict[str, Any]:
-    """Encode one x-tuple."""
+def encode_xtuple(xtuple: XTuple, *, exact: bool = False) -> dict[str, Any]:
+    """Encode one x-tuple.
+
+    With ``exact=True`` uncertain attribute values use the
+    order-preserving encoding of :func:`encode_value_exact` (the
+    segment-file codec); the default keeps the legacy document form.
+    """
+    encode = encode_value_exact if exact else encode_value
     return {
         "id": xtuple.tuple_id,
         "alternatives": [
             {
                 "p": alternative.probability,
                 "values": {
-                    attribute: encode_value(alternative.value(attribute))
+                    attribute: encode(alternative.value(attribute))
                     for attribute in alternative.attributes
                 },
             }
@@ -210,13 +296,88 @@ def loads(text: str) -> XRelation:
     return relation_from_dict(document)
 
 
+def write_text_atomic(path: str, text: str) -> None:
+    """Write *text* to *path* so readers never see a partial file.
+
+    The content lands in a temporary sibling first and is moved into
+    place with :func:`os.replace`, so a crash mid-write leaves either
+    the old file or the new one — never a truncated mix.  The temporary
+    file is removed on failure.
+    """
+    # realpath: writing "through" a symlink must update its target (as
+    # a plain open(path, "w") would), not replace the link itself.
+    path = os.path.realpath(path)
+    try:
+        # Carry over an existing target's permissions so an atomic
+        # rewrite doesn't silently change a shared file's mode.
+        mode = os.stat(path).st_mode & 0o777
+    except OSError:
+        mode = None  # fresh file: the kernel applies the umask below
+    # pid + per-process counter make the name unique among live
+    # writers (threads included), so the EXCL open can only collide
+    # with a stale leftover of a crashed earlier process — never with
+    # a temp file another writer is still filling.
+    temp_path = f"{path}.{os.getpid()}.{next(_TEMP_COUNTER)}.tmp"
+    flags = os.O_CREAT | os.O_WRONLY | os.O_EXCL
+    try:
+        descriptor = os.open(temp_path, flags, 0o666)
+    except FileExistsError:
+        os.unlink(temp_path)  # stale leftover of a crashed writer
+        descriptor = os.open(temp_path, flags, 0o666)
+    try:
+        if mode is not None:
+            os.chmod(temp_path, mode)
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
 def dump(relation: XRelation, path: str, *, indent: int | None = 2) -> None:
-    """Write an x-relation to a JSON file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(relation, indent=indent))
+    """Write an x-relation to a JSON file (atomically).
+
+    The document is written to a temporary file in the target directory
+    and renamed over *path*, so a crash mid-dump can never leave a
+    truncated relation on disk.
+    """
+    write_text_atomic(path, dumps(relation, indent=indent))
 
 
 def load(path: str) -> XRelation:
     """Read an x-relation from a JSON file."""
     with open(path, encoding="utf-8") as handle:
         return loads(handle.read())
+
+
+def open_store(path: str, **store_options):
+    """Open an on-disk relation as the matching storage backend.
+
+    A directory is opened as an out-of-core
+    :class:`~repro.pdb.storage.SpillingXTupleStore` (``store_options``
+    — e.g. ``page_size`` / ``max_pages`` — are forwarded); a file is
+    read fully via :func:`load` into an in-memory
+    :class:`~repro.pdb.relations.XRelation`.  Both returns satisfy the
+    :class:`~repro.pdb.storage.XTupleStore` protocol the detection
+    pipeline consumes.
+    """
+    from repro.pdb.storage.spill import SpillingXTupleStore
+
+    if os.path.isdir(path):
+        return SpillingXTupleStore(path, **store_options)
+    if not os.path.exists(path):
+        raise StorageError(
+            f"no relation file or store directory at {path!r}"
+        )
+    if store_options:
+        raise TypeError(
+            "store options apply only to spilled store directories, "
+            f"but {path!r} is a plain relation file"
+        )
+    return load(path)

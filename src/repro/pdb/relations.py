@@ -120,6 +120,16 @@ class _BaseRelation:
         """Tuple lookup by id; raises ``KeyError`` for unknown ids."""
         return self._by_id[tuple_id]
 
+    def fetch(self, tuple_ids: Iterable[str]) -> dict[str, Any]:
+        """Batch lookup of a working set (the storage-backend protocol).
+
+        The in-memory backend just hands out its existing tuple objects;
+        out-of-core backends decode segment pages instead (see
+        :mod:`repro.pdb.storage`).
+        """
+        by_id = self._by_id
+        return {tuple_id: by_id[tuple_id] for tuple_id in tuple_ids}
+
     @property
     def tuple_ids(self) -> tuple[str, ...]:
         """All tuple ids in insertion order."""
@@ -233,3 +243,16 @@ class XRelation(_BaseRelation):
     def alternative_count(self) -> int:
         """Total number of alternatives across all x-tuples."""
         return sum(len(xt) for xt in self._tuples)
+
+    def spill(self, path: str, **spill_options):
+        """Write this relation to an out-of-core store directory.
+
+        Returns the opened
+        :class:`~repro.pdb.storage.SpillingXTupleStore`; keyword options
+        (``segment_size``, ``page_size``, ``max_pages``,
+        ``max_open_segments``) are forwarded to
+        :func:`repro.pdb.storage.spill_relation`.
+        """
+        from repro.pdb.storage import spill_relation
+
+        return spill_relation(self, path, **spill_options)

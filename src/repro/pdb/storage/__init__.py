@@ -1,0 +1,43 @@
+"""Storage backends for x-relations.
+
+Two interchangeable implementations of the :class:`XTupleStore`
+protocol feed the detection pipeline:
+
+* :class:`~repro.pdb.relations.XRelation` — the in-memory backend
+  (every tuple resident, ``fetch`` hands out the existing objects);
+* :class:`SpillingXTupleStore` — the out-of-core backend over a
+  directory of append-only JSONL segments with an LRU page cache
+  (only ids and segment offsets resident).
+
+Conversions: :func:`spill_relation` /
+:meth:`XRelation.spill <repro.pdb.relations.XRelation.spill>` write a
+store directory; :func:`repro.pdb.io.open_store` opens either form;
+:meth:`SpillingXTupleStore.materialize` loads a store back into memory.
+"""
+
+from repro.pdb.storage.base import XTupleStore, fetch_tuples
+from repro.pdb.storage.spill import (
+    DEFAULT_MAX_OPEN_SEGMENTS,
+    DEFAULT_MAX_PAGES,
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_SEGMENT_SIZE,
+    MANIFEST_NAME,
+    PageCacheInfo,
+    SpillingXTupleStore,
+    StorageError,
+    spill_relation,
+)
+
+__all__ = [
+    "DEFAULT_MAX_OPEN_SEGMENTS",
+    "DEFAULT_MAX_PAGES",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_SEGMENT_SIZE",
+    "MANIFEST_NAME",
+    "PageCacheInfo",
+    "SpillingXTupleStore",
+    "StorageError",
+    "XTupleStore",
+    "fetch_tuples",
+    "spill_relation",
+]

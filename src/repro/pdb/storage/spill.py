@@ -1,0 +1,526 @@
+"""Out-of-core x-relations: append-only segment files + LRU page cache.
+
+A *spilled* x-relation lives in a directory:
+
+.. code-block:: text
+
+    store/
+      manifest.json      # schema, tuple ids, per-tuple segment offsets
+      seg-00000.jsonl    # one exact-encoded x-tuple document per line
+      seg-00001.jsonl
+      ...
+
+Segments are written append-only by :func:`spill_relation` and never
+touched afterwards; the manifest is written last and atomically
+(:func:`repro.pdb.io.write_text_atomic`), so an interrupted spill never
+produces a directory that opens as a store.  Lines use the *exact*
+value codec (:func:`repro.pdb.io.encode_value_exact`): outcome
+iteration order survives the round trip, so floating-point
+accumulations over decoded tuples — and therefore detection results —
+are bitwise-identical to the in-memory relation's.
+
+:class:`SpillingXTupleStore` keeps only metadata resident: tuple ids
+and their ``(segment, offset)`` positions.  Tuples are decoded on
+demand through an LRU cache of fixed-size *pages* (runs of consecutive
+tuples within one segment), so random access during partitioned
+execution costs one page decode per miss while total decoded residency
+stays bounded by ``page_size × max_pages``.  Sequential iteration
+streams the segment files directly and never populates the cache.
+
+The store is fork-friendly: file handles are reopened lazily per
+process (a forked worker never shares seek positions with its parent),
+and pickling drops handles and cached pages, so shipping a store to a
+worker costs only the metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.pdb.errors import StorageError
+from repro.pdb.io import (
+    decode_xtuple,
+    encode_xtuple,
+    write_text_atomic,
+)
+from repro.pdb.relations import Schema, XRelation
+from repro.pdb.xtuples import XTuple
+
+#: Manifest file name inside a store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Format identifier of the store layout.
+STORE_FORMAT = 1
+
+#: Tuples per segment file written by :func:`spill_relation`.
+DEFAULT_SEGMENT_SIZE = 512
+
+#: Tuples decoded together on a page-cache miss.
+DEFAULT_PAGE_SIZE = 64
+
+#: Pages the LRU cache retains (decoded residency ≤ pages × page size).
+DEFAULT_MAX_PAGES = 32
+
+#: Segment file handles kept open per process (LRU); large relations
+#: have relation_size / segment_size segments, far beyond the default
+#: FD ulimit, so handles are evicted-and-closed like pages.
+DEFAULT_MAX_OPEN_SEGMENTS = 64
+
+
+@dataclass(frozen=True)
+class PageCacheInfo:
+    """A snapshot of one store's page-cache behaviour."""
+
+    hits: int
+    misses: int
+    evictions: int
+    pages: int
+    cached_tuples: int
+    page_size: int
+    max_pages: int
+
+    @property
+    def capacity_tuples(self) -> int:
+        """Upper bound on decoded tuples the cache can hold."""
+        return self.page_size * self.max_pages
+
+
+def _segment_name(index: int) -> str:
+    return f"seg-{index:05d}.jsonl"
+
+
+def _parse_segment_line(line: bytes, file_path: str) -> dict:
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as error:
+        raise StorageError(
+            f"corrupt segment line in {file_path!r}: {error}"
+        ) from error
+
+
+def spill_relation(
+    relation,
+    path: str,
+    *,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    max_pages: int = DEFAULT_MAX_PAGES,
+    max_open_segments: int = DEFAULT_MAX_OPEN_SEGMENTS,
+) -> "SpillingXTupleStore":
+    """Write *relation* (any :class:`XTupleStore`) to a store directory.
+
+    Tuples are streamed in insertion order into ``segment_size``-tuple
+    JSONL segments; the manifest (ids, offsets, schema) is written last
+    and atomically.  Returns the directory opened as a
+    :class:`SpillingXTupleStore` with the given cache knobs.
+    """
+    if segment_size < 1:
+        raise ValueError("segment_size must be >= 1")
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as error:
+        raise StorageError(
+            f"cannot create store directory {path!r}: {error}"
+        ) from error
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        raise StorageError(
+            f"{path!r} already contains a spilled store; refusing to "
+            "overwrite it"
+        )
+    segments: list[dict] = []
+    seen: set[str] = set()
+    iterator = iter(relation)
+    exhausted = False
+    index = 0
+    written_files: list[str] = []
+    try:
+        while not exhausted:
+            ids: list[str] = []
+            offsets: list[int] = []
+            file_name = _segment_name(index)
+            file_path = os.path.join(path, file_name)
+            written_files.append(file_path)
+            # newline="" disables platform newline translation: the
+            # recorded offsets must match the bytes on disk exactly.
+            with open(
+                file_path, "w", encoding="utf-8", newline=""
+            ) as handle:
+                position = 0
+                for _ in range(segment_size):
+                    try:
+                        xtuple = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    if xtuple.tuple_id in seen:
+                        raise StorageError(
+                            f"duplicate tuple id {xtuple.tuple_id!r} "
+                            f"while spilling to {path!r}"
+                        )
+                    seen.add(xtuple.tuple_id)
+                    line = json.dumps(
+                        encode_xtuple(xtuple, exact=True),
+                        separators=(",", ":"),
+                        ensure_ascii=False,
+                    )
+                    handle.write(line)
+                    handle.write("\n")
+                    ids.append(xtuple.tuple_id)
+                    offsets.append(position)
+                    position += len(line.encode("utf-8")) + 1
+                handle.flush()
+                os.fsync(handle.fileno())
+            if ids:
+                segments.append(
+                    {"file": file_name, "ids": ids, "offsets": offsets}
+                )
+                index += 1
+            else:
+                os.unlink(file_path)
+                written_files.pop()
+        manifest = {
+            "format": STORE_FORMAT,
+            "kind": "repro-xtuple-store",
+            "name": relation.name,
+            "schema": list(relation.schema.attributes),
+            "count": len(seen),
+            "segments": segments,
+        }
+        write_text_atomic(
+            manifest_path, json.dumps(manifest, separators=(",", ":"))
+        )
+    except BaseException:
+        # A failed spill must not leave anything behind: orphaned
+        # segments would silently coexist with a later spill into the
+        # same path, and a manifest without its segments is a corrupt
+        # store.
+        for file_path in written_files + [manifest_path]:
+            try:
+                os.unlink(file_path)
+            except OSError:
+                pass
+        raise
+    return SpillingXTupleStore(
+        path,
+        page_size=page_size,
+        max_pages=max_pages,
+        max_open_segments=max_open_segments,
+    )
+
+
+class SpillingXTupleStore:
+    """Read-only out-of-core x-tuple store over a spilled directory.
+
+    Satisfies :class:`~repro.pdb.storage.base.XTupleStore`.  Only ids
+    and segment offsets stay resident; :meth:`get` and :meth:`fetch`
+    decode tuples through the LRU page cache, :meth:`__iter__` streams
+    the segment files without caching.
+
+    Parameters
+    ----------
+    path:
+        A directory produced by :func:`spill_relation` /
+        :meth:`XRelation.spill <repro.pdb.relations.XRelation.spill>`.
+    page_size:
+        Consecutive tuples decoded per cache miss.
+    max_pages:
+        LRU capacity; decoded residency never exceeds
+        ``page_size × max_pages`` tuples (plus any working set a caller
+        is currently holding).
+    max_open_segments:
+        Open segment file handles kept per process (also LRU): the
+        least-recently-used handle is closed when the cap is reached,
+        so random access over thousands of segments never exhausts the
+        process FD limit.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_pages: int = DEFAULT_MAX_PAGES,
+        max_open_segments: int = DEFAULT_MAX_OPEN_SEGMENTS,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        if max_pages < 1:
+            raise ValueError("max_pages must be >= 1")
+        if max_open_segments < 1:
+            raise ValueError("max_open_segments must be >= 1")
+        self._path = os.path.abspath(path)
+        self._page_size = page_size
+        self._max_pages = max_pages
+        self._max_open_segments = max_open_segments
+        manifest_path = os.path.join(self._path, MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise StorageError(
+                f"{path!r} is not a spilled store (no {MANIFEST_NAME})"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise StorageError(
+                f"corrupt store manifest in {path!r}: {error}"
+            ) from error
+        if manifest.get("format") != STORE_FORMAT:
+            raise StorageError(
+                f"unsupported store format {manifest.get('format')!r}"
+            )
+        self._segment_files: list[str] = []
+        self._segment_offsets: list[list[int]] = []
+        #: tuple id → (segment index, position within segment)
+        self._locate: dict[str, tuple[int, int]] = {}
+        try:
+            self.name: str = manifest["name"]
+            self.schema = Schema(manifest["schema"])
+            segment_docs = manifest["segments"]
+            for segment_index, segment in enumerate(segment_docs):
+                ids = segment["ids"]
+                offsets = segment["offsets"]
+                if len(ids) != len(offsets):
+                    raise StorageError(
+                        f"segment {segment['file']!r} ids/offsets mismatch"
+                    )
+                self._segment_files.append(
+                    os.path.join(self._path, segment["file"])
+                )
+                self._segment_offsets.append(list(offsets))
+                for position, tuple_id in enumerate(ids):
+                    if tuple_id in self._locate:
+                        raise StorageError(
+                            f"duplicate tuple id {tuple_id!r} in manifest"
+                        )
+                    self._locate[tuple_id] = (segment_index, position)
+        except KeyError as missing:
+            raise StorageError(
+                f"store manifest in {path!r} missing key "
+                f"{missing.args[0]!r}"
+            ) from None
+        if len(self._locate) != manifest.get("count", len(self._locate)):
+            raise StorageError(
+                f"manifest count {manifest.get('count')} does not match "
+                f"{len(self._locate)} indexed tuples"
+            )
+        # Per-process file handles and LRU page cache.  Handles belong
+        # to the opening process: after a fork the child re-opens its
+        # own (shared descriptors would share seek positions).
+        self._pid = os.getpid()
+        self._handles: OrderedDict[int, object] = OrderedDict()
+        self._pages: OrderedDict[tuple[int, int], list[XTuple]] = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """The store directory."""
+        return self._path
+
+    @property
+    def tuple_ids(self) -> tuple[str, ...]:
+        """All tuple ids in insertion (spill) order."""
+        return tuple(self._locate.keys())
+
+    def __len__(self) -> int:
+        return len(self._locate)
+
+    def __contains__(self, tuple_id: str) -> bool:
+        return tuple_id in self._locate
+
+    def __iter__(self) -> Iterator[XTuple]:
+        """Stream all x-tuples in insertion order, bypassing the cache."""
+        for file_path in self._segment_files:
+            try:
+                with open(file_path, "rb") as handle:
+                    for line in handle:
+                        if line.strip():
+                            yield decode_xtuple(
+                                _parse_segment_line(line, file_path)
+                            )
+            except OSError as error:
+                raise StorageError(
+                    f"unreadable segment file {file_path!r}: {error}"
+                ) from error
+
+    # ------------------------------------------------------------------
+    # Random access through the page cache
+    # ------------------------------------------------------------------
+
+    def get(self, tuple_id: str) -> XTuple:
+        """Decode one x-tuple by id (via the page cache)."""
+        segment, position = self._locate[tuple_id]
+        page = self._load_page(segment, position // self._page_size)
+        return page[position % self._page_size]
+
+    def fetch(self, tuple_ids: Iterable[str]) -> dict[str, XTuple]:
+        """Decode a working set, touching each needed page only once.
+
+        Ids are grouped by page and pages are visited in file order, so
+        a partition whose members are clustered in the spill order costs
+        a handful of sequential page decodes.  Only the *requested*
+        tuples are retained: pages are processed one at a time (copying
+        out the wanted members before the next page loads), so a
+        scattered working set never pins more decoded tuples than the
+        working set itself plus the LRU page cache — even when every id
+        lands on a different page.
+        """
+        wanted = list(tuple_ids)
+        by_page: dict[tuple[int, int], list[str]] = {}
+        for tuple_id in wanted:
+            segment, position = self._locate[tuple_id]
+            by_page.setdefault(
+                (segment, position // self._page_size), []
+            ).append(tuple_id)
+        result: dict[str, XTuple] = {}
+        for key in sorted(by_page):
+            page = self._load_page(*key)
+            for tuple_id in by_page[key]:
+                position = self._locate[tuple_id][1]
+                result[tuple_id] = page[position % self._page_size]
+        # Same objects, re-keyed into the caller's request order.
+        return {tuple_id: result[tuple_id] for tuple_id in wanted}
+
+    def _load_page(
+        self, segment: int, page_number: int
+    ) -> list[XTuple]:
+        key = (segment, page_number)
+        pages = self._pages
+        page = pages.get(key)
+        if page is not None:
+            self._hits += 1
+            pages.move_to_end(key)
+            return page
+        self._misses += 1
+        offsets = self._segment_offsets[segment]
+        start = page_number * self._page_size
+        count = min(self._page_size, len(offsets) - start)
+        file_path = self._segment_files[segment]
+        try:
+            handle = self._handle(segment)
+            handle.seek(offsets[start])
+            page = [
+                decode_xtuple(
+                    _parse_segment_line(handle.readline(), file_path)
+                )
+                for _ in range(count)
+            ]
+        except OSError as error:
+            raise StorageError(
+                f"unreadable segment file {file_path!r}: {error}"
+            ) from error
+        pages[key] = page
+        if len(pages) > self._max_pages:
+            pages.popitem(last=False)
+            self._evictions += 1
+        return page
+
+    def _handle(self, segment: int):
+        handles = self._handles
+        if os.getpid() != self._pid:
+            # Forked child: inherited descriptors share seek positions
+            # with the parent.  Close our duplicated references (the
+            # parent's descriptors are unaffected) and open our own.
+            self._pid = os.getpid()
+            for inherited in handles.values():
+                try:
+                    inherited.close()
+                except OSError:
+                    pass
+            handles.clear()
+        handle = handles.get(segment)
+        if handle is None:
+            # Binary mode: the recorded offsets address raw bytes, and
+            # seeking a text-mode wrapper to arbitrary offsets is
+            # undefined behaviour per the io docs.
+            handle = open(self._segment_files[segment], "rb")
+            handles[segment] = handle
+            if len(handles) > self._max_open_segments:
+                handles.popitem(last=False)[1].close()
+        else:
+            handles.move_to_end(segment)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> PageCacheInfo:
+        """Current page-cache statistics."""
+        return PageCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            pages=len(self._pages),
+            cached_tuples=sum(len(page) for page in self._pages.values()),
+            page_size=self._page_size,
+            max_pages=self._max_pages,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached page (counters are kept)."""
+        self._pages.clear()
+
+    def materialize(self, name: str | None = None) -> XRelation:
+        """Load the whole store into an in-memory :class:`XRelation`."""
+        return XRelation(name or self.name, self.schema, iter(self))
+
+    @property
+    def open_segments(self) -> int:
+        """Currently open segment file handles (≤ ``max_open_segments``)."""
+        return len(self._handles)
+
+    def close(self) -> None:
+        """Close segment file handles and drop cached pages."""
+        for handle in self._handles.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._handles = OrderedDict()
+        self._pages.clear()
+
+    def __enter__(self) -> "SpillingXTupleStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        # Handles are process-local and pages are cheap to refill;
+        # pickling (e.g. spawn-based pools) ships metadata only.
+        state = self.__dict__.copy()
+        state["_handles"] = OrderedDict()
+        state["_pages"] = OrderedDict()
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillingXTupleStore({self._path!r}, {len(self)} tuples, "
+            f"{len(self._segment_files)} segments)"
+        )
+
+
+__all__ = [
+    "DEFAULT_MAX_OPEN_SEGMENTS",
+    "DEFAULT_MAX_PAGES",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_SEGMENT_SIZE",
+    "MANIFEST_NAME",
+    "PageCacheInfo",
+    "SpillingXTupleStore",
+    "StorageError",
+    "spill_relation",
+]

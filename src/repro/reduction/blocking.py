@@ -183,8 +183,12 @@ class MultiPassBlocking:
 
     def select_worlds(self, relation: XRelation) -> list[PossibleWorld]:
         """The worlds blocked over (full worlds, conditioned)."""
+        # Pass the relation itself: storage backends have no ``.xtuples``
+        # property.  Enumeration still materializes the x-tuple list —
+        # acceptable, since world passes are only tractable for small
+        # relations anyway.
         worlds = enumerate_full_worlds(
-            relation.xtuples, max_worlds=self._max_worlds
+            relation, max_worlds=self._max_worlds
         )
         if self._selection == "all":
             return worlds

@@ -34,12 +34,19 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any, Mapping, Protocol, runtime_checkable
 
+from repro.pdb.storage.base import fetch_tuples
 from repro.pdb.values import NULL
 
 #: Pair-count target per partition for window-family planners, chosen so
 #: partitions stay large enough to amortize worker dispatch and small
 #: enough that a plan has work for every worker.
 DEFAULT_PARTITION_PAIRS = 2048
+
+#: Members fetched per batch during vocabulary extraction, so planning
+#: passes never pin more than this many decoded tuples of an
+#: out-of-core store at once — even for partitions spanning the whole
+#: relation (full comparison, legacy single-partition fallbacks).
+VOCABULARY_BATCH_MEMBERS = 512
 
 
 def ordered_pair(left: str, right: str) -> tuple[str, str]:
@@ -309,16 +316,19 @@ def partition_vocabulary(
     :meth:`repro.similarity.uncertain.UncertainValueComparator.cacheable_vocabulary`).
     """
     vocabulary: dict[str, dict[Any, None]] = {}
-    get = relation.get
-    for tuple_id in partition.members:
-        xtuple = get(tuple_id)
-        for alternative in xtuple.alternatives:
-            for attribute in alternative.attributes:
-                observed = vocabulary.setdefault(attribute, {})
-                for outcome in alternative.value(attribute).support:
-                    if outcome is NULL:
-                        continue
-                    observed.setdefault(outcome, None)
+    members = partition.members
+    for start in range(0, len(members), VOCABULARY_BATCH_MEMBERS):
+        batch = members[start : start + VOCABULARY_BATCH_MEMBERS]
+        working_set = fetch_tuples(relation, batch)
+        for tuple_id in batch:
+            xtuple = working_set[tuple_id]
+            for alternative in xtuple.alternatives:
+                for attribute in alternative.attributes:
+                    observed = vocabulary.setdefault(attribute, {})
+                    for outcome in alternative.value(attribute).support:
+                        if outcome is NULL:
+                            continue
+                        observed.setdefault(outcome, None)
     return {
         attribute: tuple(values)
         for attribute, values in vocabulary.items()

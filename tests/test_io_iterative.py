@@ -72,6 +72,31 @@ class TestValueCodec:
             decode_value({"bogus": 1})
         with pytest.raises(SerializationError):
             decode_value({"dist": {}})
+        with pytest.raises(SerializationError):
+            decode_value({"outcomes": []})
+
+    def test_exact_form_preserves_outcome_order(self):
+        from repro.pdb.io import encode_value_exact
+
+        value = ProbabilisticValue(
+            {"pilot": 0.3, NULL: 0.2, PatternValue("mu*"): 0.1, "muser": 0.2}
+        )
+        encoded = encode_value_exact(value)
+        decoded = decode_value(encoded)
+        assert list(decoded.items()) == list(value.items())
+        # The legacy grouped form stays available and value-equal.
+        assert decode_value(encode_value(value)) == value
+
+    def test_exact_form_keeps_sub_ulp_certain_mass(self):
+        from repro.pdb.io import encode_value_exact
+
+        almost_one = 1.0 - 2.0**-53  # within tolerance: still "certain"
+        value = ProbabilisticValue({"Tim": almost_one})
+        decoded = decode_value(encode_value_exact(value))
+        assert decoded.probability("Tim") == almost_one
+        # Exactly-1.0 certain values keep the compact scalar form.
+        assert encode_value_exact(ProbabilisticValue.certain("Tim")) == "Tim"
+        assert encode_value_exact(ProbabilisticValue.missing()) is None
 
 
 class TestRelationCodec:
@@ -130,6 +155,73 @@ class TestRelationCodec:
             assert restored.get(xtuple.tuple_id).probability == (
                 pytest.approx(xtuple.probability)
             )
+
+    def test_dump_is_atomic_under_partial_write(self, tmp_path, monkeypatch):
+        """A crash mid-dump never leaves a truncated relation on disk.
+
+        The dump writes into a temporary sibling and renames it over the
+        target; simulated here by failing the pre-rename fsync — the
+        moment all content has (partially) hit the temp file but the
+        target has not yet been touched.
+        """
+        import os as os_module
+
+        from repro.pdb import io as pdb_io
+
+        path = str(tmp_path / "relation.json")
+        original = relation_r3()
+        dump(original, path)
+        before = open(path, encoding="utf-8").read()
+
+        def crash(fd):
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(pdb_io.os, "fsync", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            dump(relation_r4(), path)
+        monkeypatch.undo()
+
+        # The original file is untouched and still loads.
+        assert open(path, encoding="utf-8").read() == before
+        assert load(path).tuple_ids == original.tuple_ids
+        # The failed attempt's temporary file was cleaned up.
+        assert os_module.listdir(tmp_path) == ["relation.json"]
+
+    def test_dump_overwrites_via_rename(self, tmp_path):
+        path = str(tmp_path / "relation.json")
+        dump(relation_r3(), path)
+        dump(relation_r4(), path)  # replace succeeds atomically
+        assert load(path).tuple_ids == relation_r4().tuple_ids
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "relation.json"
+        ]
+
+    def test_dump_writes_through_symlinks(self, tmp_path):
+        """Atomic dump updates a symlink's target, as plain open() did."""
+        import os as os_module
+
+        real = tmp_path / "real.json"
+        dump(relation_r3(), str(real))
+        link = tmp_path / "link.json"
+        link.symlink_to(real)
+        dump(relation_r4(), str(link))
+        assert os_module.path.islink(link)  # the link survives
+        assert load(str(real)).tuple_ids == relation_r4().tuple_ids
+
+    def test_dump_preserves_file_permissions(self, tmp_path):
+        """The atomic rewrite must not leave mkstemp's 0600 mode behind."""
+        import os as os_module
+        import stat
+
+        path = str(tmp_path / "relation.json")
+        dump(relation_r3(), path)
+        mask = os_module.umask(0)
+        os_module.umask(mask)
+        fresh_mode = stat.S_IMODE(os_module.stat(path).st_mode)
+        assert fresh_mode == 0o666 & ~mask  # umask default, not 0600
+        os_module.chmod(path, 0o644)
+        dump(relation_r4(), path)
+        assert stat.S_IMODE(os_module.stat(path).st_mode) == 0o644
 
 
 def make_resolver(**kwargs) -> IterativeResolver:
