@@ -1,9 +1,15 @@
-"""Benchmark trajectory tracker: run the suite, diff against last run.
+"""Benchmark trajectory tracker: run the suite, diff against all runs.
 
 Runs the pytest-benchmark suite with ``--benchmark-json``, writes the
 result compactly to ``BENCH_<n>.json`` at the repository root (n
-increments per run), and prints a regression table against the previous
-``BENCH_*.json`` so the performance trajectory is tracked from PR to PR.
+increments per run), and prints two tables:
+
+* a **regression table** against the immediately previous
+  ``BENCH_*.json`` (ratio + REGRESSED/improved verdict per benchmark);
+* the full **trajectory table** ``BENCH_0 → BENCH_N``: one row per
+  benchmark of the current run, one column per recorded run, so the
+  whole performance history is reviewable per PR — not just the last
+  hop.
 
 Usage::
 
@@ -11,12 +17,45 @@ Usage::
     python benchmarks/compare_bench.py -k kernels   # forward pytest args
     python benchmarks/compare_bench.py --quick      # CI smoke subset
 
-``--quick`` runs only the kernel and planner benches with minimal
-rounds and writes ``BENCH_quick.json`` (outside the numbered
-trajectory), so CI can smoke the harness in well under a minute.
+``--quick`` runs only the kernel, planner, storage and cutoff benches
+with minimal rounds and writes ``BENCH_quick.json`` (outside the
+numbered trajectory), so CI can smoke the harness in well under a
+minute.
 
-Exit status is the pytest exit status; the table marks every benchmark
-whose mean moved more than ``THRESHOLD`` in either direction.
+Exit status is the pytest exit status; the regression table marks every
+benchmark whose mean moved more than ``THRESHOLD`` in either direction.
+
+BENCH JSON schema
+-----------------
+
+``BENCH_<n>.json`` is pytest-benchmark's ``--benchmark-json`` output,
+re-serialized to a single line (``json.dumps(..., separators=(",", ":"),
+sort_keys=True)``).  The fields this tracker and the benches rely on:
+
+``benchmarks``
+    List of run benchmarks.  Per entry:
+
+    ``fullname``
+        ``"benchmarks/<module>.py::<test>[<param>]"`` — the stable key
+        the trajectory is joined on across runs.
+    ``stats``
+        Timing statistics in **seconds**; this tracker reads
+        ``stats.mean`` only, but ``min``/``max``/``stddev``/
+        ``median``/``rounds``/``iterations`` are preserved for manual
+        analysis.
+    ``params`` / ``name`` / ``group``
+        pytest-benchmark bookkeeping, preserved verbatim.
+
+``machine_info`` / ``commit_info``
+    Provenance of the run (hostname, Python build, git revision).
+    Means are only comparable within one machine generation; the
+    README's benchmark section records which machine produced which
+    artifact.
+``datetime`` / ``version``
+    Run timestamp and pytest-benchmark schema version.
+
+Anything else pytest-benchmark emits is carried along untouched —
+consumers must tolerate unknown keys.
 """
 
 from __future__ import annotations
@@ -41,7 +80,7 @@ BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
 #: :func:`run_suite` exports in quick mode.
 QUICK_ARGS = [
     "-k",
-    "kernels or planner or storage",
+    "kernels or planner or storage or cutoffs",
     "--benchmark-min-rounds=1",
     "--benchmark-max-time=0.1",
 ]
@@ -126,6 +165,43 @@ def print_table(previous: dict[str, float], current: dict[str, float]) -> None:
     )
 
 
+def print_trajectory(
+    runs: list[tuple[int, Path]], current_index: int, current: dict[str, float]
+) -> None:
+    """The full BENCH_0 → BENCH_N history of the current benchmarks.
+
+    One row per benchmark of the *current* run, one column per recorded
+    run (missing cells — benchmarks that did not exist yet, or were
+    retired and re-added — print as ``—``), so a PR review sees the
+    whole trajectory instead of only the last hop.
+    """
+    history: list[tuple[int, dict[str, float]]] = [
+        (index, load_means(path)) for index, path in runs
+    ]
+    history.append((current_index, current))
+    names = sorted(current)
+    if not names:
+        print("no benchmarks in the current run")
+        return
+    name_width = max(len(_short(name)) for name in names)
+    columns = [f"BENCH_{index}" for index, _ in history]
+    header = f"{'benchmark':<{name_width}}  " + "  ".join(
+        f"{column:>10}" for column in columns
+    )
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        cells = []
+        for _, means in history:
+            mean = means.get(name)
+            cells.append(
+                f"{format_seconds(mean):>10}" if mean is not None else
+                f"{'—':>10}"
+            )
+        print(f"{_short(name):<{name_width}}  " + "  ".join(cells))
+    print("-" * len(header))
+
+
 def _short(fullname: str) -> str:
     """Strip the ``benchmarks/`` prefix for narrower tables."""
     return fullname.removeprefix("benchmarks/")
@@ -160,9 +236,13 @@ def main(argv: list[str]) -> int:
         # trajectory runs; diffing them would flag bogus regressions.
         print("quick smoke run — trajectory comparison skipped")
     elif runs:
+        current = load_means(target)
         previous_path = runs[-1][1]
         print(f"comparing against {previous_path.name}:\n")
-        print_table(load_means(previous_path), load_means(target))
+        print_table(load_means(previous_path), current)
+        next_index = runs[-1][0] + 1
+        print(f"\nfull trajectory BENCH_0 → BENCH_{next_index}:\n")
+        print_trajectory(runs, next_index, current)
     else:
         print("no previous BENCH_*.json — this run is the baseline")
     return status

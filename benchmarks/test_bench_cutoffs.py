@@ -1,0 +1,214 @@
+"""Bench: threshold pushdown (``min_similarity``) vs exact matching.
+
+The PR-4 pushdown threads the decision model's classifier structure
+down to the banded edit-distance kernels: a Fellegi–Sunter model reads
+attribute similarities only through ``γ_a = [c_a ≥ agreement]``, so
+every comparison may stop as soon as the similarity provably falls
+below the agreement threshold.  These benches track that
+
+* cutoff-aware detection (``min_similarity="auto"``) stays measurably
+  ahead of the exact path on a blocking workload whose attribute
+  strings are long enough for the kernels to matter, while producing
+  the identical decisions (pinned bitwise by
+  ``tests/test_threshold_pushdown.py``);
+* the kernel-level cutoff band itself stays ahead of the exact DP on
+  the workload's vocabulary pairs.
+
+The workload differs deliberately from the planner bench: longer
+attribute values (full names, multi-word affiliations) shift cost into
+the comparison kernels — exactly the regime the paper's "compute only
+what the thresholds can observe" argument targets.  Short-string
+workloads (the generated-corpus benches) are cache- and
+pipeline-bound; pushdown neither helps nor hurts them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+
+import pytest
+
+#: compare_bench.py --quick exports BENCH_QUICK=1; pedantic benches drop
+#: to one round then so the CI smoke stays fast.
+ROUNDS = 1 if os.environ.get("BENCH_QUICK") else 3
+
+from repro.matching import (
+    AttributeMatcher,
+    DuplicateDetector,
+    FellegiSunterModel,
+    ThresholdClassifier,
+)
+from repro.pdb.relations import XRelation
+from repro.pdb.xtuples import TupleAlternative, XTuple
+from repro.reduction import CertainKeyBlocking, SubstringKey
+from repro.similarity import (
+    FAST_LEVENSHTEIN,
+    UncertainValueComparator,
+    banded_levenshtein_similarity,
+)
+
+BLOCK_KEY = SubstringKey([("name", 1)])
+AGREEMENT = 0.85
+
+_FIRST = [
+    "alexander", "bernadette", "christopher", "dominique", "elisabeth",
+    "francesca", "gwendolyn", "henrietta", "immanuel", "jacqueline",
+    "konstantin", "leopoldine", "maximilian", "nathanael", "ottoline",
+    "persephone", "quentin", "rosalinde", "sebastian", "theodora",
+]
+_LAST = [
+    "abramowitz", "blumenthal", "castellano", "delacroix", "eisenhower",
+    "fitzgerald", "goldschmidt", "hutchinson", "iannucci", "jankowski",
+    "kaltenbrunner", "lichtenstein", "montgomery", "neumayer",
+    "oppenheimer", "pellegrini", "quarshie", "rosenberger",
+    "schwarzenegger", "tchaikovsky",
+]
+_AFFILIATIONS = [
+    "institute of probabilistic databases",
+    "department of record linkage",
+    "laboratory for uncertain data",
+    "center for data integration",
+    "school of information systems",
+    "faculty of computer science",
+    "observatory of data quality",
+    "bureau of entity resolution",
+]
+
+
+def _corrupt(rng: random.Random, text: str) -> str:
+    letters = list(text)
+    for _ in range(rng.randint(1, 2)):
+        index = rng.randrange(len(letters))
+        roll = rng.random()
+        if roll < 0.5:
+            letters[index] = chr(97 + rng.randrange(26))
+        elif roll < 0.75:
+            letters.insert(index, chr(97 + rng.randrange(26)))
+        else:
+            del letters[index]
+    return "".join(letters)
+
+
+def _build_relation(size: int, seed: int = 29) -> XRelation:
+    """Flat person records with long string attributes and duplicates."""
+    rng = random.Random(seed)
+    tuples: list[XTuple] = []
+    counter = 0
+    while len(tuples) < size:
+        name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+        affiliation = rng.choice(_AFFILIATIONS)
+        copies = 2 if rng.random() < 0.35 else 1
+        for copy in range(copies):
+            if copy == 0:
+                observed_name, observed_affiliation = name, affiliation
+            else:
+                observed_name = _corrupt(rng, name)
+                observed_affiliation = (
+                    affiliation
+                    if rng.random() < 0.6
+                    else _corrupt(rng, affiliation)
+                )
+            tuples.append(
+                XTuple(
+                    f"t{counter}",
+                    (
+                        TupleAlternative(
+                            {
+                                "name": observed_name,
+                                "affil": observed_affiliation,
+                            },
+                            1.0,
+                        ),
+                    ),
+                )
+            )
+            counter += 1
+    return XRelation("people", ("name", "affil"), tuples[:size])
+
+
+@pytest.fixture(scope="module")
+def cutoff_relation():
+    return _build_relation(1200)
+
+
+def _detector() -> DuplicateDetector:
+    matcher = AttributeMatcher(
+        {
+            "name": UncertainValueComparator(FAST_LEVENSHTEIN, cache=True),
+            "affil": UncertainValueComparator(
+                FAST_LEVENSHTEIN, cache=True
+            ),
+        }
+    )
+    model = FellegiSunterModel(
+        m_probabilities={"name": 0.9, "affil": 0.75},
+        u_probabilities={"name": 0.02, "affil": 0.1},
+        classifier=ThresholdClassifier(40.0, 2.0),
+        agreement_threshold=AGREEMENT,
+    )
+    return DuplicateDetector(
+        matcher, model, reducer=CertainKeyBlocking(BLOCK_KEY)
+    )
+
+
+@pytest.mark.parametrize("mode", ["exact", "auto"])
+def test_bench_cutoff_detection(benchmark, cutoff_relation, mode):
+    """Blocking workload, serial: exact vs derivation-aware cutoffs."""
+    min_similarity = None if mode == "exact" else "auto"
+
+    def run():
+        return _detector().detect(
+            cutoff_relation,
+            min_similarity=min_similarity,
+            keep_derivations=False,
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=ROUNDS)
+    assert len(result.decisions) > 0
+    assert len(result.matches) > 0
+
+
+def test_bench_cutoff_detection_results_agree(cutoff_relation):
+    """Shape pin riding the bench data: same matches, either path.
+
+    (Bitwise equivalence over all ten reducers and every execution
+    mode lives in ``tests/test_threshold_pushdown.py``.)
+    """
+    exact = _detector().detect(cutoff_relation, keep_derivations=False)
+    pruned = _detector().detect(
+        cutoff_relation, min_similarity="auto", keep_derivations=False
+    )
+    assert [
+        (d.left_id, d.right_id, d.status, d.similarity)
+        for d in exact.decisions
+    ] == [
+        (d.left_id, d.right_id, d.status, d.similarity)
+        for d in pruned.decisions
+    ]
+
+
+def test_bench_cutoff_kernel_band(benchmark, cutoff_relation):
+    """The kernel-level effect: banded cutoff DP on vocabulary pairs."""
+    names = sorted(
+        {
+            str(alternative.value("name").certain_value)
+            for xtuple in cutoff_relation
+            for alternative in xtuple.alternatives
+        }
+    )
+    pairs = list(
+        itertools.islice(itertools.combinations(names, 2), 30_000)
+    )
+
+    def run():
+        total = 0.0
+        for left, right in pairs:
+            total += banded_levenshtein_similarity(
+                left, right, min_similarity=AGREEMENT
+            )
+        return total
+
+    total = benchmark(run)
+    assert total >= 0.0

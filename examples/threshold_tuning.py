@@ -1,0 +1,145 @@
+"""Threshold tuning → derived cutoffs → pruned detection.
+
+The Section III-E feedback loop, extended with PR-4 threshold pushdown:
+
+1. run detection with first-guess thresholds over a paper-style person
+   relation with known ground truth;
+2. sweep candidate thresholds on the labeled similarities and let
+   ``recommend_thresholds`` pick T_μ (best F1) and T_λ (clerical-review
+   recall) — Figure 2's two-threshold classification, data-driven;
+3. invert the tuned decision configuration into per-attribute
+   ``min_similarity`` cutoffs (``detector.attribute_floors()``) and
+   re-run detection with ``min_similarity="auto"`` — identical
+   decisions, pruned kernels;
+4. sanity-check the same pushdown on the paper's own ℛ34 x-relation.
+
+Run:  python examples/threshold_tuning.py
+"""
+
+import time
+
+from repro.datagen import JOBS, DatasetConfig, generate_dataset
+from repro.experiments.paper_data import MU_JOBS, relation_r34
+from repro.matching import (
+    AttributeMatcher,
+    DuplicateDetector,
+    FellegiSunterModel,
+    ThresholdClassifier,
+)
+from repro.pdb.relations import XRelation
+from repro.similarity import (
+    FAST_LEVENSHTEIN,
+    PatternPolicy,
+    UncertainValueComparator,
+)
+from repro.verification import (
+    evaluate_detection,
+    normalize_pairs,
+    recommend_thresholds,
+    threshold_sweep,
+)
+
+
+def matcher() -> AttributeMatcher:
+    """Levenshtein matching (bandable kernels), pattern-aware jobs."""
+    return AttributeMatcher(
+        {
+            "name": UncertainValueComparator(FAST_LEVENSHTEIN, cache=True),
+            "job": UncertainValueComparator(
+                FAST_LEVENSHTEIN,
+                cache=True,
+                pattern_policy=PatternPolicy.EXPAND,
+                pattern_lexicon=JOBS,
+            ),
+        }
+    )
+
+
+def model(classifier: ThresholdClassifier) -> FellegiSunterModel:
+    return FellegiSunterModel(
+        m_probabilities={"name": 0.92, "job": 0.7},
+        u_probabilities={"name": 0.03, "job": 0.05},
+        classifier=classifier,
+        agreement_threshold=0.75,
+    )
+
+
+def main() -> None:
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=150, duplicate_rate=0.5, seed=23),
+        flat=True,
+    )
+    relation = dataset.relation
+    gold = normalize_pairs(dataset.true_matches)
+
+    # 1. First pass with guessed ratio thresholds.
+    first = DuplicateDetector(matcher(), model(ThresholdClassifier(100.0, 100.0)))
+    result = first.detect(relation)
+    report = evaluate_detection(result, dataset.true_matches)
+    print(f"first pass (T_mu = T_lambda = 100): "
+          f"precision={report.precision:.3f} recall={report.recall:.3f} "
+          f"f1={report.f1:.3f}")
+
+    # 2. Sweep the labeled similarities, pick T_mu / T_lambda.
+    samples = [
+        (d.similarity, tuple(sorted((d.left_id, d.right_id))) in gold)
+        for d in result.decisions
+    ]
+    sweep = threshold_sweep(samples)
+    print(f"swept {len(sweep)} candidate thresholds "
+          f"(similarity range of the matching weight R)")
+    tuned = recommend_thresholds(samples, review_recall=0.95)
+    print(f"recommended: T_mu={tuned.match_threshold:.3g}, "
+          f"T_lambda={tuned.unmatch_threshold:.3g}")
+
+    # 3. The tuned configuration inverts into per-attribute cutoffs:
+    #    Fellegi–Sunter observes similarities only through
+    #    gamma_a = [c_a >= agreement_threshold], so every comparison may
+    #    stop once it provably falls below that floor — for any T_lambda.
+    detector = DuplicateDetector(matcher(), model(tuned))
+    floors = detector.attribute_floors()
+    print(f"derived min_similarity cutoffs: {floors}")
+
+    start = time.perf_counter()
+    exact = detector.detect(relation, keep_derivations=False)
+    exact_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    pruned = detector.detect(
+        relation, min_similarity="auto", keep_derivations=False
+    )
+    pruned_seconds = time.perf_counter() - start
+
+    identical = [
+        (d.left_id, d.right_id, d.status, d.similarity)
+        for d in exact.decisions
+    ] == [
+        (d.left_id, d.right_id, d.status, d.similarity)
+        for d in pruned.decisions
+    ]
+    print(f"exact {exact_seconds:.3f}s vs pruned {pruned_seconds:.3f}s — "
+          f"decisions bitwise identical: {identical}")
+    assert identical, "pushdown must never change a decision"
+    tuned_report = evaluate_detection(pruned, dataset.true_matches)
+    print(f"tuned pass: precision={tuned_report.precision:.3f} "
+          f"recall={tuned_report.recall:.3f} f1={tuned_report.f1:.3f}")
+
+    # 4. The paper's own x-relation (ℛ34), patterns expanded.
+    r34 = XRelation(
+        "R34x",
+        ("name", "job"),
+        [
+            xt.expand_patterns({"job": MU_JOBS}).expand()
+            for xt in relation_r34()
+        ],
+    )
+    exact_r34 = detector.detect(r34)
+    pruned_r34 = detector.detect(r34, min_similarity="auto")
+    assert [
+        (d.status, d.similarity) for d in exact_r34.decisions
+    ] == [(d.status, d.similarity) for d in pruned_r34.decisions]
+    print(f"paper relation ℛ34: {len(pruned_r34.decisions)} pairs decided, "
+          f"{len(pruned_r34.matches)} matches — pushdown exact")
+
+
+if __name__ == "__main__":
+    main()

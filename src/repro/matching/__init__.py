@@ -64,6 +64,7 @@ from repro.matching.derivation import (
     normalized_weights,
 )
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.pushdown import SimilarityFloors, derive_floors
 from repro.matching.iterative import IterativeResolver, ResolutionOutcome
 from repro.matching.pipeline import (
     DEFAULT_CHUNK_SIZE,
@@ -109,6 +110,7 @@ __all__ = [
     "Product",
     "ResolutionOutcome",
     "RuleBasedModel",
+    "SimilarityFloors",
     "ThresholdClassifier",
     "UnionFind",
     "WeightedSum",
@@ -116,6 +118,7 @@ __all__ = [
     "XTupleDecisionProcedure",
     "agreement_pattern",
     "cluster_matches",
+    "derive_floors",
     "estimate_em",
     "normalized_weights",
     "paper_example_rule",

@@ -23,6 +23,7 @@ from collections.abc import Mapping, Sequence
 from typing import Protocol, runtime_checkable
 
 from repro.matching.comparison import ComparisonVector
+from repro.matching.pushdown import SimilarityFloors
 
 
 @runtime_checkable
@@ -202,6 +203,16 @@ class LogLikelihoodRatio:
     def agreement_pattern(self, vector: ComparisonVector) -> tuple[bool, ...]:
         """The binary agreement vector γ derived from c⃗."""
         return tuple(c >= self._threshold for c in vector.values)
+
+    def attribute_floors(self) -> SimilarityFloors:
+        """Pushdown floors: the agreement threshold, for every attribute.
+
+        Like the full Fellegi–Sunter model, this combiner reads each
+        similarity only through ``γ_a = [c_a ≥ agreement_threshold]``,
+        so similarities below the threshold are interchangeable with
+        0.0 bit for bit (see :mod:`repro.matching.pushdown`).
+        """
+        return SimilarityFloors.uniform(self._threshold)
 
     def __call__(self, vector: ComparisonVector) -> float:
         weight = 0.0

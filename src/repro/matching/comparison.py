@@ -320,6 +320,52 @@ class AttributeMatcher:
             comparator, cache=self._cache_enabled
         )
 
+    def with_floors(self, floors) -> "AttributeMatcher":
+        """A matcher whose comparators prune below per-attribute floors.
+
+        The threshold-pushdown seam: *floors* (a
+        :class:`~repro.matching.pushdown.SimilarityFloors`, normally
+        derived from the decision model via
+        :func:`~repro.matching.pushdown.derive_floors`) is distributed
+        over the per-attribute comparators with
+        :meth:`~repro.similarity.uncertain.UncertainValueComparator.with_min_similarity`.
+        Comparators whose base cannot prune (no banded kernel) are
+        reused unchanged, as is the matcher itself when no floor is
+        positive.  Exact domain-element caches are *shared* between the
+        original and the clone; banded caches are drawn per band from
+        :meth:`~repro.similarity.kernels.SimilarityCache.banded`, so
+        repeated calls with the same floors hit the same warmed tables.
+        """
+        changed = False
+        comparators: dict[str, UncertainValueComparator] = {}
+        for attribute, comparator in self._comparators.items():
+            pruned = comparator.with_min_similarity(floors.floor(attribute))
+            changed = changed or pruned is not comparator
+            comparators[attribute] = pruned
+        default = self._default
+        if default is not None:
+            # Attributes the floors name explicitly but the matcher
+            # serves through the default comparator get a dedicated
+            # floor-configured entry; the default itself prunes at the
+            # floors' default level.
+            for attribute, floor in floors.per_attribute.items():
+                if attribute not in comparators:
+                    comparators[attribute] = default.with_min_similarity(
+                        floor
+                    )
+                    changed = (
+                        changed or comparators[attribute] is not default
+                    )
+            default = default.with_min_similarity(floors.default)
+            changed = changed or default is not self._default
+        if not changed:
+            return self
+        # The constructor passes UncertainValueComparator instances
+        # through _lift unchanged, so this shares the pruned clones.
+        return AttributeMatcher(
+            comparators, default=default, cache=self._cache_enabled
+        )
+
     def cache_stats(self) -> dict[str, SimilarityCache]:
         """The live per-attribute caches, keyed by attribute name.
 

@@ -190,6 +190,21 @@ class CombinedDecisionModel:
         """Classify the pair based on φ(c⃗)."""
         return self.classifier.decide(self.similarity(vector))
 
+    def attribute_floors(self):
+        """Pushdown floors, when the combination function is prunable.
+
+        A combined model is only as invariant as its φ: a step-function
+        combiner like
+        :class:`~repro.matching.combination.LogLikelihoodRatio` exposes
+        its own ``attribute_floors()`` and the model forwards them; a
+        continuous combiner (``WeightedSum``, ``Average``, …) observes
+        every similarity bit, so no floor is safe and the model returns
+        ``None`` — the pipeline then keeps the exact path (see
+        :func:`repro.matching.pushdown.derive_floors`).
+        """
+        supplier = getattr(self._combination, "attribute_floors", None)
+        return supplier() if callable(supplier) else None
+
     def __repr__(self) -> str:
         return (
             f"CombinedDecisionModel({self.name!r}, {self._combination!r}, "

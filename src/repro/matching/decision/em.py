@@ -25,7 +25,11 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.matching.comparison import ComparisonVector
-from repro.matching.decision.fellegi_sunter import agreement_pattern
+from repro.matching.decision.base import ThresholdClassifier
+from repro.matching.decision.fellegi_sunter import (
+    FellegiSunterModel,
+    agreement_pattern,
+)
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,10 @@ class EMEstimate:
     converged:
         Whether the log-likelihood improvement fell below the tolerance
         before the iteration cap.
+    agreement_threshold:
+        The similarity level the estimation reduced comparison vectors
+        with — recorded so :meth:`to_model` builds a model that reads
+        agreement exactly the way the parameters were fitted.
     """
 
     m_probabilities: dict[str, float]
@@ -53,6 +61,40 @@ class EMEstimate:
     log_likelihood: float
     iterations: int
     converged: bool
+    agreement_threshold: float = 0.85
+
+    def to_model(
+        self,
+        classifier: ThresholdClassifier,
+        *,
+        use_log: bool = False,
+    ) -> FellegiSunterModel:
+        """The Fellegi–Sunter decision model this estimate implies.
+
+        The model inherits the estimate's m/u parameters *and* its
+        agreement threshold, so EM-estimated models take part in
+        threshold pushdown exactly like hand-parameterized ones:
+        ``model.attribute_floors()`` exposes the agreement threshold as
+        the per-attribute ``min_similarity`` cutoff (see
+        :mod:`repro.matching.pushdown`).
+
+        >>> from repro.matching.comparison import ComparisonVector
+        >>> vectors = (
+        ...     [ComparisonVector(("name",), (0.95,))] * 20
+        ...     + [ComparisonVector(("name",), (0.10,))] * 80
+        ... )
+        >>> estimate = estimate_em(vectors, agreement_threshold=0.9)
+        >>> model = estimate.to_model(ThresholdClassifier(2.0, 0.5))
+        >>> model.attribute_floors().floor("name")
+        0.9
+        """
+        return FellegiSunterModel(
+            self.m_probabilities,
+            self.u_probabilities,
+            classifier,
+            agreement_threshold=self.agreement_threshold,
+            use_log=use_log,
+        )
 
 
 def _clip(p: float, epsilon: float = 1e-6) -> float:
@@ -168,4 +210,5 @@ def estimate_em(
         log_likelihood=log_likelihood,
         iterations=iteration,
         converged=converged,
+        agreement_threshold=agreement_threshold,
     )

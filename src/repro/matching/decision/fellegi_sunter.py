@@ -35,6 +35,7 @@ from repro.matching.decision.base import (
     Decision,
     ThresholdClassifier,
 )
+from repro.matching.pushdown import SimilarityFloors
 
 
 def agreement_pattern(
@@ -61,6 +62,20 @@ class FellegiSunterModel:
     use_log:
         Work with ``log2 R`` instead of ``R`` (numerically safer for many
         attributes); thresholds are then in the log domain.
+
+    >>> model = FellegiSunterModel(
+    ...     m_probabilities={"name": 0.9, "job": 0.6},
+    ...     u_probabilities={"name": 0.05, "job": 0.2},
+    ...     classifier=ThresholdClassifier(10.0, 1.0),
+    ...     agreement_threshold=0.8,
+    ... )
+    >>> both_agree = ComparisonVector(("name", "job"), (0.95, 1.0))
+    >>> round(model.matching_weight(both_agree))  # (0.9·0.6)/(0.05·0.2)
+    54
+    >>> model.decide(both_agree).status.value
+    'm'
+    >>> model.attribute_floors()  # threshold pushdown (PR 4)
+    SimilarityFloors(—, default=0.8)
     """
 
     def __init__(
@@ -105,6 +120,25 @@ class FellegiSunterModel:
     def attributes(self) -> tuple[str, ...]:
         """Attributes covered by the m/u parameters."""
         return tuple(self._m.keys())
+
+    @property
+    def agreement_threshold(self) -> float:
+        """Similarity level from which an attribute counts as agreeing."""
+        return self._agreement_threshold
+
+    def attribute_floors(self) -> SimilarityFloors:
+        """Pushdown floors: the agreement threshold, for every attribute.
+
+        Equations 1–2 consume the comparison vector only through the
+        binary agreement pattern ``γ_a = [c_a ≥ agreement_threshold]``,
+        so any similarity below the agreement threshold produces
+        bitwise the same matching weight ``R`` as 0.0 does — which is
+        exactly the banded kernels' "below cutoff" answer.  The floor
+        is therefore the agreement threshold, for listed and (the
+        conservative default) unlisted attributes alike; see
+        :mod:`repro.matching.pushdown` for the safety argument.
+        """
+        return SimilarityFloors.uniform(self._agreement_threshold)
 
     @property
     def m_probabilities(self) -> dict[str, float]:

@@ -30,6 +30,7 @@ from repro.matching.decision.base import (
     Decision,
     ThresholdClassifier,
 )
+from repro.matching.pushdown import SimilarityFloors
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,16 @@ class RuleBasedModel:
         not considered"), but a two-threshold classifier is accepted.
     combination:
         One of :class:`CertaintyCombination`'s constants.
+
+    >>> model = RuleBasedModel(
+    ...     [paper_example_rule(0.8, 0.5)], ThresholdClassifier(0.7)
+    ... )
+    >>> print(model.pretty())
+    IF name > 0.8 AND job > 0.5 THEN DUPLICATES with CERTAINTY=0.8
+    >>> vector = ComparisonVector(("name", "job"), (0.9, 0.6))
+    >>> decision = model.decide(vector)
+    >>> (decision.status.value, decision.similarity)
+    ('m', 0.8)
     """
 
     def __init__(
@@ -191,6 +202,44 @@ class RuleBasedModel:
     def decide(self, vector: ComparisonVector) -> Decision:
         """Classify the pair by its combined certainty."""
         return self.classifier.decide(self.similarity(vector))
+
+    def attribute_floors(self) -> SimilarityFloors:
+        """Pushdown floors: the weakest condition threshold per attribute.
+
+        A condition ``attribute > t`` (or ``>= t``) cannot distinguish
+        similarities below ``t`` — they all leave the condition false —
+        so the rule set's combined certainty is bitwise invariant under
+        replacing any similarity below the attribute's weakest
+        threshold with 0.0.  That makes the per-attribute minimum a
+        safe ``min_similarity`` cutoff for the banded kernels (see
+        :mod:`repro.matching.pushdown`).  Attributes no rule conditions
+        on are unobservable, so the default floor is 1.0.  Inclusive
+        conditions at threshold 0.0 fire for every similarity and
+        constrain nothing; a *strict* threshold 0.0 pins the floor to
+        0.0 (any positive similarity fires, so nothing may be pruned).
+
+        >>> model = RuleBasedModel(
+        ...     [
+        ...         paper_example_rule(0.8, 0.5),
+        ...         IdentificationRule.build(
+        ...             [("name", 0.95)], certainty=0.9, name="exact-name"
+        ...         ),
+        ...     ],
+        ...     ThresholdClassifier(0.7),
+        ... )
+        >>> model.attribute_floors()
+        SimilarityFloors(job≥0.5, name≥0.8, default=1)
+        """
+        floors: dict[str, float] = {}
+        for rule in self._rules:
+            for condition in rule.conditions:
+                if condition.inclusive and condition.threshold == 0.0:
+                    # Fires for every similarity — value-independent.
+                    continue
+                current = floors.get(condition.attribute)
+                if current is None or condition.threshold < current:
+                    floors[condition.attribute] = condition.threshold
+        return SimilarityFloors(floors, default=1.0)
 
     def pretty(self) -> str:
         """Render the whole rule set Figure-1 style."""

@@ -33,6 +33,7 @@ from repro.matching.derivation import (
     DerivationInput,
     ExpectedSimilarity,
 )
+from repro.matching.pushdown import SimilarityFloors, derive_floors
 from repro.pdb.tuples import ProbabilisticTuple
 from repro.pdb.xtuples import XTuple
 
@@ -118,6 +119,51 @@ class XTupleDecisionProcedure:
     def matcher(self) -> AttributeMatcher:
         """The attribute matcher (exposed for cache pre-warming)."""
         return self._matcher
+
+    @property
+    def model(self) -> DecisionModel:
+        """The per-alternative decision model (steps 1.1/1.2)."""
+        return self._model
+
+    @property
+    def final_classifier(self) -> ThresholdClassifier:
+        """The step-3 classifier deciding the derived similarity."""
+        return self._final_classifier
+
+    # ------------------------------------------------------------------
+    # Threshold pushdown
+    # ------------------------------------------------------------------
+
+    def attribute_floors(self) -> SimilarityFloors | None:
+        """The safe pushdown floors of this configuration, if any.
+
+        Delegates to :func:`repro.matching.pushdown.derive_floors` with
+        this procedure's model, ϑ and final classifier; ``None`` means
+        pruning must stay off for this configuration.
+        """
+        return derive_floors(
+            self._model, self._derivation, self._final_classifier
+        )
+
+    def with_floors(
+        self, floors: SimilarityFloors
+    ) -> "XTupleDecisionProcedure":
+        """A clone whose attribute matching prunes below *floors*.
+
+        Model, derivation and final classifier are shared; only the
+        matcher is replaced by its floor-configured clone (see
+        :meth:`AttributeMatcher.with_floors`).  Returns ``self`` when
+        the floors change nothing.
+        """
+        matcher = self._matcher.with_floors(floors)
+        if matcher is self._matcher:
+            return self
+        return XTupleDecisionProcedure(
+            matcher,
+            self._model,
+            self._derivation,
+            classifier=self._final_classifier,
+        )
 
     # ------------------------------------------------------------------
     # Steps

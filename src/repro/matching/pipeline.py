@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
-from collections.abc import Callable, Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -53,6 +53,7 @@ from repro.matching.comparison import AttributeMatcher
 from repro.matching.decision.base import DecisionModel, MatchStatus
 from repro.matching.derivation import DerivationFunction
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.pushdown import SimilarityFloors
 from repro.pdb.relations import ProbabilisticRelation, XRelation
 from repro.pdb.storage import XTupleStore, fetch_tuples
 from repro.reduction.plan import (
@@ -93,6 +94,17 @@ class FullComparison:
         pairs, and bands grow toward the tail to keep partitions
         balanced.  Band boundaries never change the concatenated pair
         order, so results are independent of the banding.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple(f"t{i}", (TupleAlternative({"name": n}, 1.0),))
+        ...     for i, n in enumerate(["anna", "anne", "bob"])])
+        >>> plan = FullComparison().plan(relation)
+        >>> [p.label for p in plan]
+        ['rows[0:3]']
+        >>> list(plan.pairs())
+        [('t0', 't1'), ('t0', 't2'), ('t1', 't2')]
         """
         ids = relation.tuple_ids
         n = len(ids)
@@ -199,6 +211,13 @@ class DetectionResult:
 #: amortize dispatch overhead (and IPC when fanning out), small enough
 #: that per-chunk result lists never hold more than a sliver of a run.
 DEFAULT_CHUNK_SIZE = 1024
+
+#: Soft bound on memoized pruned pipeline clones per detector.  A
+#: normal workload uses one ("auto") or a handful of configurations;
+#: a float-cutoff sweep past the bound clears the memo wholesale (the
+#: repo-wide cache policy) rather than retaining every clone and its
+#: banded similarity caches for the detector's lifetime.
+_MAX_PRUNED_PROCEDURES = 8
 
 #: Total pairwise-similarity budget for cache pre-warming, across all
 #: partitions and attributes of one detection run.  Blocking plans warm
@@ -358,11 +377,65 @@ class DuplicateDetector:
             reducer if reducer is not None else FullComparison()
         )
         self._preparation = preparation
+        # Pruned pipeline clones, memoized per floors signature: one
+        # configuration is inverted (and its banded caches created)
+        # once, however many detect calls reuse it.  Bounded: a cutoff
+        # sweep over many distinct floors clears the memo wholesale
+        # instead of retaining one clone (plus banded caches) per
+        # floor ever tried.
+        self._pruned_procedures: dict[tuple, XTupleDecisionProcedure] = {}
 
     @property
     def procedure(self) -> XTupleDecisionProcedure:
         """The underlying Figure-6 decision procedure."""
         return self._procedure
+
+    def attribute_floors(self) -> SimilarityFloors | None:
+        """The cutoffs ``min_similarity="auto"`` would push down.
+
+        ``None`` means this configuration cannot prune (its model
+        derives no safe floors) and auto mode silently runs exact; see
+        :func:`repro.matching.pushdown.derive_floors`.
+        """
+        return self._procedure.attribute_floors()
+
+    def _resolve_procedure(
+        self,
+        min_similarity: float | Mapping[str, float] | str | None,
+    ) -> XTupleDecisionProcedure:
+        """The procedure a detect run should execute with.
+
+        Resolves the ``min_similarity`` option into
+        :class:`~repro.matching.pushdown.SimilarityFloors`, derives the
+        floor-configured pipeline clone once per distinct configuration
+        and reuses it afterwards (including its band-keyed similarity
+        caches).
+        """
+        if min_similarity is None:
+            return self._procedure
+        if isinstance(min_similarity, str):
+            if min_similarity != "auto":
+                raise ValueError(
+                    f"unknown min_similarity mode {min_similarity!r}; "
+                    "expected 'auto', a float, a mapping, or None"
+                )
+            floors = self._procedure.attribute_floors()
+            if floors is None:
+                return self._procedure
+        elif isinstance(min_similarity, Mapping):
+            floors = SimilarityFloors(dict(min_similarity))
+        else:
+            floors = SimilarityFloors.uniform(float(min_similarity))
+        if floors.is_exact:
+            return self._procedure
+        key = floors.signature()
+        procedure = self._pruned_procedures.get(key)
+        if procedure is None:
+            procedure = self._procedure.with_floors(floors)
+            if len(self._pruned_procedures) >= _MAX_PRUNED_PROCEDURES:
+                self._pruned_procedures.clear()
+            self._pruned_procedures[key] = procedure
+        return procedure
 
     @property
     def reducer(self) -> PairGenerator:
@@ -405,6 +478,7 @@ class DuplicateDetector:
         scheduling: str = "partitioned",
         stream: bool = False,
         prewarm: bool | None = None,
+        min_similarity: float | Mapping[str, float] | str | None = None,
     ) -> DetectionResult | Iterator[DetectionResult]:
         """Run steps A–D over one relation and collect the decisions.
 
@@ -417,6 +491,34 @@ class DuplicateDetector:
         one chunk-sized working set (plus the store's page cache) is
         ever decoded at a time and results are identical bit for bit to
         the in-memory run.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.matching import (AttributeMatcher,
+        ...     FellegiSunterModel, ThresholdClassifier)
+        >>> from repro.similarity import (FAST_LEVENSHTEIN,
+        ...     UncertainValueComparator)
+        >>> relation = XRelation("people", ("name", "job"), [
+        ...     XTuple(t, (TupleAlternative({"name": n, "job": j}, 1.0),))
+        ...     for t, n, j in [("t1", "meier", "baker"),
+        ...                     ("t2", "meyer", "baker"),
+        ...                     ("t3", "smith", "clerk")]])
+        >>> detector = DuplicateDetector(
+        ...     AttributeMatcher({
+        ...         "name": UncertainValueComparator(
+        ...             FAST_LEVENSHTEIN, cache=True),
+        ...         "job": UncertainValueComparator(
+        ...             FAST_LEVENSHTEIN, cache=True)}),
+        ...     FellegiSunterModel(
+        ...         {"name": 0.9, "job": 0.6}, {"name": 0.05, "job": 0.2},
+        ...         ThresholdClassifier(10.0, 1.0),
+        ...         agreement_threshold=0.8),
+        ... )
+        >>> detector.detect(relation).matches
+        (('t1', 't2'),)
+        >>> # Threshold pushdown: identical decisions, pruned kernels.
+        >>> detector.detect(relation, min_similarity="auto").matches
+        (('t1', 't2'),)
 
         Parameters
         ----------
@@ -460,8 +562,25 @@ class DuplicateDetector:
             the warm table is complete the caches are frozen read-only
             for the pool's lifetime so every worker shares the parent's
             table copy-on-write.  Ignored under striped scheduling.
+        min_similarity:
+            Threshold pushdown.  ``"auto"`` derives per-attribute
+            cutoffs from the decision model's classifier structure
+            (:func:`repro.matching.pushdown.derive_floors`) and runs
+            attribute matching through the cutoff-banded kernels —
+            provably bitwise-equal decisions at a fraction of the
+            comparison cost; configurations that cannot prove a safe
+            cutoff silently run exact (inspect
+            :meth:`attribute_floors`).  A float applies one uniform
+            floor, a mapping per-attribute floors — both are
+            *assertions* by the caller that similarities below the
+            floor cannot change any decision; unlike ``"auto"`` they
+            are not validated against the model.  ``None`` (default)
+            computes every similarity exactly.  Cache pre-warming
+            under pushdown fills the band-keyed cutoff caches instead
+            of the exact tables.
         """
         relation = self._prepared_relation(relation)
+        procedure = self._resolve_procedure(min_similarity)
         if chunk_size is None:
             chunk_size = DEFAULT_CHUNK_SIZE
         if chunk_size <= 0:
@@ -481,6 +600,7 @@ class DuplicateDetector:
         if scheduling == "striped":
             return self._detect_striped(
                 relation,
+                procedure,
                 chunk_size=chunk_size,
                 n_jobs=n_jobs,
                 keep_derivations=keep_derivations,
@@ -491,6 +611,7 @@ class DuplicateDetector:
         slices = self._execute_plan(
             relation,
             plan,
+            procedure,
             chunk_size=chunk_size,
             n_jobs=n_jobs,
             keep_derivations=keep_derivations,
@@ -519,6 +640,7 @@ class DuplicateDetector:
         self,
         relation: XRelation | XTupleStore,
         plan: CandidatePlan,
+        procedure: XTupleDecisionProcedure,
         *,
         chunk_size: int,
         n_jobs: int,
@@ -527,7 +649,7 @@ class DuplicateDetector:
         prewarm: bool | None,
     ) -> Iterator[DetectionResult]:
         """Yield one :class:`DetectionResult` slice per partition."""
-        matcher = self._procedure.matcher
+        matcher = procedure.matcher
         newly_frozen: list = []
         should_warm = n_jobs > 1 if prewarm is None else prewarm
         if should_warm:
@@ -539,6 +661,7 @@ class DuplicateDetector:
                 yield from self._execute_serial(
                     relation,
                     plan,
+                    procedure,
                     chunk_size,
                     keep_derivations,
                     keep_compared_pairs,
@@ -547,6 +670,7 @@ class DuplicateDetector:
                 yield from self._execute_parallel(
                     relation,
                     plan,
+                    procedure,
                     chunk_size,
                     n_jobs,
                     keep_derivations,
@@ -562,11 +686,12 @@ class DuplicateDetector:
         self,
         relation: XRelation | XTupleStore,
         plan: CandidatePlan,
+        procedure: XTupleDecisionProcedure,
         chunk_size: int,
         keep_derivations: bool,
         keep_compared_pairs: bool,
     ) -> Iterator[DetectionResult]:
-        decide = self._procedure.decide
+        decide = procedure.decide
         size = len(relation)
         for partition in plan:
             # Load the working set chunk by chunk, exactly like the
@@ -595,6 +720,7 @@ class DuplicateDetector:
         self,
         relation: XRelation | XTupleStore,
         plan: CandidatePlan,
+        procedure: XTupleDecisionProcedure,
         chunk_size: int,
         n_jobs: int,
         keep_derivations: bool,
@@ -630,7 +756,7 @@ class DuplicateDetector:
         with context.Pool(
             n_jobs,
             initializer=_init_worker,
-            initargs=(self._procedure, relation, keep_derivations),
+            initargs=(procedure, relation, keep_derivations),
         ) as pool:
             current: int | None = None
             bucket: list[XTupleDecision] = []
@@ -663,6 +789,7 @@ class DuplicateDetector:
     def _detect_striped(
         self,
         relation: XRelation | XTupleStore,
+        procedure: XTupleDecisionProcedure,
         *,
         chunk_size: int,
         n_jobs: int,
@@ -683,7 +810,7 @@ class DuplicateDetector:
 
         decisions: list[XTupleDecision] = []
         if n_jobs == 1:
-            decide = self._procedure.decide
+            decide = procedure.decide
             get = relation.get
             for chunk in _chunked(unique_pairs(), chunk_size):
                 for left_id, right_id in chunk:
@@ -703,7 +830,7 @@ class DuplicateDetector:
             with context.Pool(
                 n_jobs,
                 initializer=_init_worker,
-                initargs=(self._procedure, relation, keep_derivations),
+                initargs=(procedure, relation, keep_derivations),
             ) as pool:
                 for chunk_decisions in pool.imap(
                     _decide_chunk, _chunked(unique_pairs(), chunk_size)

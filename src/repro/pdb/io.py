@@ -365,7 +365,27 @@ def open_store(path: str, **store_options):
     read fully via :func:`load` into an in-memory
     :class:`~repro.pdb.relations.XRelation`.  Both returns satisfy the
     :class:`~repro.pdb.storage.XTupleStore` protocol the detection
-    pipeline consumes.
+    pipeline consumes, and detection over a spilled store is bitwise
+    identical to the in-memory run (the exact value codec preserves
+    outcome order and probability bits).
+
+    >>> import tempfile, os.path
+    >>> from repro.pdb.relations import XRelation
+    >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+    >>> relation = XRelation("R", ("name",), [
+    ...     XTuple(f"t{i}", (TupleAlternative({"name": n}, 1.0),))
+    ...     for i, n in enumerate(["anna", "anne", "bob"])])
+    >>> root = tempfile.mkdtemp()
+    >>> store = relation.spill(os.path.join(root, "people"),
+    ...                        page_size=2, max_pages=2)
+    >>> reopened = open_store(os.path.join(root, "people"),
+    ...                       page_size=2, max_pages=2)
+    >>> len(reopened), reopened.tuple_ids == relation.tuple_ids
+    (3, True)
+    >>> reopened.get("t1").alternatives[0].value("name").certain_value
+    'anne'
+    >>> reopened.materialize().tuple_ids
+    ('t0', 't1', 't2')
     """
     from repro.pdb.storage.spill import SpillingXTupleStore
 

@@ -172,6 +172,21 @@ class AlternativeSorting:
         Entries repeat tuple ids (one per alternative key); the plan
         builder supplies the Figure-12 matching matrix globally, so a
         pair reachable from several spans is claimed by the first.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple("t1", (TupleAlternative({"name": "anna"}, 0.6),
+        ...                   TupleAlternative({"name": "zoe"}, 0.4))),
+        ...     XTuple("t2", (TupleAlternative({"name": "anne"}, 1.0),)),
+        ...     XTuple("t3", (TupleAlternative({"name": "zara"}, 1.0),))])
+        >>> reducer = AlternativeSorting(SubstringKey([("name", 1)]), window=2)
+        >>> plan = reducer.plan(relation)
+        >>> [p.label for p in plan]
+        ['entries[0:4]']
+        >>> list(plan.pairs())  # t1 sorts as both 'a…' and 'z…'
+        [('t1', 't2'), ('t1', 't3')]
         """
         ordered_ids = [
             tuple_id for _, tuple_id in self.deduped_entries(relation)

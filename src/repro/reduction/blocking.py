@@ -93,7 +93,23 @@ class CertainKeyBlocking:
         return pairs_from_blocks(self.blocks(relation))
 
     def plan(self, relation: XRelation) -> CandidatePlan:
-        """One partition per block — the natural scheduling unit."""
+        """One partition per block — the natural scheduling unit.
+
+        Blocks whose single member can form no pair are dropped; each
+        surviving partition carries exactly its block's within-block
+        pairs, so a worker's cache working set covers one key
+        neighborhood.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple(t, (TupleAlternative({"name": n}, 1.0),))
+        ...     for t, n in [("t1", "anna"), ("t2", "anne"), ("t3", "bob")]])
+        >>> plan = CertainKeyBlocking(SubstringKey([("name", 1)])).plan(relation)
+        >>> [(p.label, p.pairs) for p in plan]
+        [('block:a', (('t1', 't2'),))]
+        """
         return plan_from_blocks(
             self.blocks(relation),
             relation_size=len(relation),
@@ -142,6 +158,18 @@ class AlternativeKeyBlocking:
 
         The plan builder's global dedup reproduces the Figure-14
         matching-matrix discipline across partitions.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> uncertain = XTuple("t1", (
+        ...     TupleAlternative({"name": "anna"}, 0.5),
+        ...     TupleAlternative({"name": "hanna"}, 0.5)))
+        >>> certain = XTuple("t2", (TupleAlternative({"name": "hans"}, 1.0),))
+        >>> relation = XRelation("R", ("name",), [uncertain, certain])
+        >>> plan = AlternativeKeyBlocking(SubstringKey([("name", 1)])).plan(relation)
+        >>> [(p.label, p.pairs) for p in plan]  # t1 joins blocks 'a' and 'h'
+        [('block:h', (('t1', 't2'),))]
         """
         return plan_from_blocks(
             self.blocks(relation),
@@ -230,7 +258,21 @@ class MultiPassBlocking:
                     yield pair
 
     def plan(self, relation: XRelation) -> CandidatePlan:
-        """One partition per (world, block); later worlds keep only new pairs."""
+        """One partition per (world, block); later worlds keep only new pairs.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple("t1", (TupleAlternative({"name": "anna"}, 0.6),
+        ...                   TupleAlternative({"name": "hanna"}, 0.4))),
+        ...     XTuple("t2", (TupleAlternative({"name": "anne"}, 1.0),))])
+        >>> reducer = MultiPassBlocking(SubstringKey([("name", 1)]),
+        ...                             selection="most_probable",
+        ...                             world_count=1)
+        >>> [(p.label, p.pairs) for p in reducer.plan(relation)]
+        [('world0:a', (('t1', 't2'),))]
+        """
         builder = PlanBuilder()
         for index, world in enumerate(self.select_worlds(relation)):
             for key, members in self.blocks_for_world(

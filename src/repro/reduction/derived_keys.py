@@ -206,7 +206,20 @@ class PhoneticBlocking:
         return pairs_from_blocks(self.blocks(relation))
 
     def plan(self, relation):
-        """One partition per phonetic block."""
+        """One partition per phonetic block.
+
+        Alternatives contribute their Soundex keys, so phonetically
+        close spellings land in one block regardless of which
+        alternative is true.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple(t, (TupleAlternative({"name": n}, 1.0),))
+        ...     for t, n in [("t1", "meier"), ("t2", "meyer"), ("t3", "smith")]])
+        >>> [(p.label, p.pairs) for p in PhoneticBlocking().plan(relation)]
+        [('block:M600', (('t1', 't2'),))]
+        """
         from repro.reduction.plan import plan_from_blocks
 
         return plan_from_blocks(

@@ -155,7 +155,25 @@ class MultiPassSNM:
                     yield pair
 
     def plan(self, relation: XRelation) -> CandidatePlan:
-        """Window spans per world pass; later passes keep only new pairs."""
+        """Window spans per world pass; later passes keep only new pairs.
+
+        Each selected possible world contributes one SNM pass over its
+        own certain sort order; the shared plan builder keeps a pair in
+        the first pass that reaches it, so the concatenated plan equals
+        the multi-pass union stream.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple("t1", (TupleAlternative({"name": "anna"}, 0.6),
+        ...                   TupleAlternative({"name": "hanna"}, 0.4))),
+        ...     XTuple("t2", (TupleAlternative({"name": "anne"}, 1.0),))])
+        >>> reducer = MultiPassSNM(SubstringKey([("name", 2)]), window=2,
+        ...                        selection="most_probable", world_count=1)
+        >>> [(p.label, p.pairs) for p in reducer.plan(relation)]
+        [('world0[0:2]', (('t1', 't2'),))]
+        """
         builder = PlanBuilder()
         for index, world in enumerate(self.select_worlds(relation)):
             add_window_spans(

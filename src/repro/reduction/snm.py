@@ -128,6 +128,19 @@ class SortedNeighborhood:
         A span's tuples are key-neighbors, so its candidate pairs share
         the cache working set; spans overlap only through the window
         stragglers at each boundary.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple(t, (TupleAlternative({"name": n}, 1.0),))
+        ...     for t, n in [("t1", "anna"), ("t2", "bob"), ("t3", "anne")]])
+        >>> reducer = SortedNeighborhood(SubstringKey([("name", 3)]), window=2)
+        >>> plan = reducer.plan(relation)
+        >>> [p.label for p in plan]  # one span: 3 rows fit the target
+        ['rows[0:3]']
+        >>> list(plan.pairs())  # key order ann, ann, bob; window 2
+        [('t1', 't3'), ('t2', 't3')]
         """
         return plan_from_window(
             self.sorted_ids(relation),

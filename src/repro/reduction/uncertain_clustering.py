@@ -157,7 +157,19 @@ class UncertainKeyClusteringBlocking:
         return pairs_from_blocks(self.clusters(relation))
 
     def plan(self, relation: XRelation) -> CandidatePlan:
-        """One partition per cluster."""
+        """One partition per cluster, labeled by its leader tuple.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple(t, (TupleAlternative({"name": n}, 1.0),))
+        ...     for t, n in [("t1", "anna"), ("t2", "anne"), ("t3", "zoe")]])
+        >>> reducer = UncertainKeyClusteringBlocking(
+        ...     SubstringKey([("name", 4)]), radius=0.4)
+        >>> [(p.label, p.pairs) for p in reducer.plan(relation)]
+        [('cluster:t1', (('t1', 't2'),))]
+        """
         return plan_from_blocks(
             self.clusters(relation),
             relation_size=len(relation),

@@ -80,7 +80,27 @@ class UncertainKeySNM:
         return window_pairs(self.ranked_ids(relation), self._window)
 
     def plan(self, relation: XRelation) -> CandidatePlan:
-        """Contiguous spans of the ranked order as partitions."""
+        """Contiguous spans of the ranked order as partitions.
+
+        The uncertain keys never collapse to certain values: tuples are
+        *ranked* by their whole key distribution (Figure 13) and the
+        window slides over that ranking, so a span's tuples are
+        neighbors in expected-rank space.
+
+        >>> from repro.pdb.relations import XRelation
+        >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+        >>> from repro.reduction.keys import SubstringKey
+        >>> relation = XRelation("R", ("name",), [
+        ...     XTuple("t1", (TupleAlternative({"name": "anna"}, 0.7),
+        ...                   TupleAlternative({"name": "hanna"}, 0.3))),
+        ...     XTuple("t2", (TupleAlternative({"name": "anne"}, 1.0),)),
+        ...     XTuple("t3", (TupleAlternative({"name": "zoe"}, 1.0),))])
+        >>> plan = UncertainKeySNM(SubstringKey([("name", 2)]), window=2).plan(relation)
+        >>> [p.label for p in plan]
+        ['rows[0:3]']
+        >>> sorted(plan.pairs())
+        [('t1', 't2'), ('t1', 't3')]
+        """
         return plan_from_window(
             self.ranked_ids(relation),
             self._window,

@@ -53,6 +53,7 @@ from repro.similarity.jaro import (
 from repro.similarity.kernels import (
     FAST_DAMERAU_LEVENSHTEIN,
     FAST_LEVENSHTEIN,
+    BandedEditComparator,
     SimilarityCache,
     banded_damerau_levenshtein,
     banded_damerau_levenshtein_similarity,
@@ -118,6 +119,7 @@ __all__ = [
     "DAMERAU_LEVENSHTEIN",
     "EQUALITY_PROBABILITY",
     "EXACT",
+    "BandedEditComparator",
     "FAST_DAMERAU_LEVENSHTEIN",
     "FAST_LEVENSHTEIN",
     "Glossary",

@@ -20,6 +20,16 @@ module provides the performance core:
   sentinel ``max_distance + 1`` otherwise (property tests in
   ``tests/test_kernels.py`` pin this equivalence to the reference DP).
 
+* :class:`BandedEditComparator` — the *bandable* comparator wrapper
+  behind threshold pushdown: :meth:`BandedEditComparator.with_min_similarity`
+  produces a clone whose kernel runs with a true cutoff band and
+  answers "below cutoff" (0.0) instead of the exact value whenever the
+  similarity provably falls under the configured floor.  The decision
+  layer derives safe floors from its classifier thresholds
+  (:mod:`repro.matching.pushdown`) and the pipeline threads them down
+  here, so the hottest comparisons stop as soon as a pair can no
+  longer influence any matching decision.
+
 * :class:`SimilarityCache` — memoizes a symmetric comparator on
   *unordered* pairs of domain elements.  Duplicate detection re-compares
   the same element pairs constantly (identical values recur across
@@ -30,7 +40,12 @@ module provides the performance core:
   observed vocabulary before any candidate pair is decided) and
   **freezing** (:meth:`SimilarityCache.freeze` makes the table
   read-only, so forked workers share the warmed pages copy-on-write
-  without ever dirtying them).
+  without ever dirtying them).  Cutoff-pruned results are *banded*:
+  each cache records the similarity floor its base comparator was
+  configured with (:attr:`SimilarityCache.band`), and
+  :meth:`SimilarityCache.banded` hands out one derived cache per active
+  band, so pruned entries can never be served to an exact lookup (or
+  vice versa).
 """
 
 from __future__ import annotations
@@ -39,7 +54,6 @@ from typing import Any
 
 from repro.similarity.base import (
     Comparator,
-    NamedComparator,
     as_strings,
     similarity_from_distance,
 )
@@ -232,6 +246,85 @@ def banded_damerau_levenshtein_similarity(
     return similarity_from_distance(distance, longest)
 
 
+class BandedEditComparator:
+    """A banded edit-distance comparator with a configurable similarity floor.
+
+    Callable like any comparator (``(left, right) -> float``) and
+    additionally *bandable*: :meth:`with_min_similarity` returns a clone
+    whose kernel computes with a true cutoff band.  The contract is the
+    pushdown contract of :func:`banded_levenshtein_similarity`:
+
+    * results **at or above** the floor are exact, bit for bit;
+    * results **below** the floor are either exact or 0.0 ("below
+      cutoff") — whichever the band boundary reaches first.
+
+    That contract is what makes decision-layer pruning safe: a
+    classifier whose weakest decisive threshold is at least the floor
+    (see :func:`repro.matching.pushdown.derive_floors`) cannot
+    distinguish the two below-floor answers.
+
+    >>> exact = BandedEditComparator(
+    ...     "fast_levenshtein", banded_levenshtein_similarity
+    ... )
+    >>> pruned = exact.with_min_similarity(0.8)
+    >>> exact("meier", "meyer") == pruned("meier", "meyer") == 0.8
+    True
+    >>> round(exact("meier", "baker"), 2)
+    0.4
+    >>> pruned("meier", "baker")  # below the floor: early-exit band
+    0.0
+    """
+
+    __slots__ = ("name", "min_similarity", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Any,
+        *,
+        min_similarity: float = 0.0,
+    ) -> None:
+        if not 0.0 <= min_similarity <= 1.0:
+            raise ValueError(
+                f"min_similarity outside [0, 1]: {min_similarity}"
+            )
+        self.name = str(name)
+        self.min_similarity = float(min_similarity)
+        self._fn = fn
+
+    def __call__(self, left: Any, right: Any) -> float:
+        return self._fn(left, right, min_similarity=self.min_similarity)
+
+    def with_min_similarity(self, min_similarity: float) -> "BandedEditComparator":
+        """A clone computing with the given similarity floor.
+
+        The clone prunes at exactly *min_similarity* — raising,
+        lowering, or (with ``0.0``) removing the current band; only a
+        floor of ``0.0`` yields a comparator bitwise-equal to the exact
+        kernel everywhere.
+        """
+        if min_similarity == self.min_similarity:
+            return self
+        return BandedEditComparator(
+            self.name, self._fn, min_similarity=min_similarity
+        )
+
+    def __repr__(self) -> str:
+        if self.min_similarity > 0.0:
+            return (
+                f"BandedEditComparator({self.name!r}, "
+                f"min_similarity={self.min_similarity:g})"
+            )
+        return f"BandedEditComparator({self.name!r})"
+
+
+#: Soft bound on derived band caches memoized per exact cache; on
+#: overflow the registry is cleared wholesale (derived caches are
+#: re-derivable, and live references keep working — they just stop
+#: being shared with future clones).
+_MAX_BANDS = 8
+
+
 def _pair_key(left: Any, right: Any) -> tuple[Any, Any]:
     """Canonical unordered-pair key for a symmetric comparator.
 
@@ -278,6 +371,13 @@ class SimilarityCache:
         The result for equal same-type operands, answered without
         touching the dictionary.  1.0 (default) fits normalized
         similarities; pass 0.0 to memoize a *distance* function.
+    band:
+        The similarity floor the *base* comparator is configured with
+        (0.0 for an exact comparator).  Entries of a banded cache hold
+        cutoff-pruned results — exact at or above the band, possibly
+        0.0 below it — so caches of different bands never share a
+        store; :meth:`banded` is the constructor that keeps one derived
+        cache per active band.
     """
 
     __slots__ = (
@@ -287,6 +387,8 @@ class SimilarityCache:
         "misses",
         "warmed",
         "reflexive_value",
+        "band",
+        "_bands",
         "_frozen",
         "_store",
     )
@@ -297,15 +399,20 @@ class SimilarityCache:
         *,
         max_entries: int = 1_000_000,
         reflexive_value: float = 1.0,
+        band: float = 0.0,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if not 0.0 <= band <= 1.0:
+            raise ValueError(f"band outside [0, 1]: {band}")
         self.base = base
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
         self.warmed = 0
         self.reflexive_value = float(reflexive_value)
+        self.band = float(band)
+        self._bands: dict[float, "SimilarityCache"] = {}
         self._frozen = False
         self._store: dict[tuple[Any, Any], float] = {}
 
@@ -412,6 +519,41 @@ class SimilarityCache:
         """Re-enable inserts after :meth:`freeze`."""
         self._frozen = False
 
+    def banded(self, band: float, base: Comparator) -> "SimilarityCache":
+        """The derived cache for one cutoff band.
+
+        Returns a cache whose entries hold the results of *base* (the
+        band's cutoff-configured comparator) and whose :attr:`band`
+        records the floor — one derived cache per distinct band is
+        memoized on this instance, so repeated pushdown configurations
+        (e.g. re-running detection with the same derived floors) reuse
+        the same warmed banded table.  Asking for this cache's own band
+        returns ``self``.
+
+        Band stores are deliberately *not* shared across bands: an
+        entry computed under a cutoff may read 0.0 where the exact
+        table reads the true similarity, and serving one to the other
+        would break the pushdown contract.
+        """
+        band = float(band)
+        if band == self.band:
+            return self
+        derived = self._bands.get(band)
+        if derived is None:
+            derived = SimilarityCache(
+                base,
+                max_entries=self.max_entries,
+                reflexive_value=self.reflexive_value,
+                band=band,
+            )
+            # Soft bound (repo-wide cache policy: clear wholesale, no
+            # LRU bookkeeping): a cutoff sweep over many distinct
+            # floors must not retain one table per floor ever tried.
+            if len(self._bands) >= _MAX_BANDS:
+                self._bands.clear()
+            self._bands[band] = derived
+        return derived
+
     def clear(self) -> None:
         """Drop all entries and reset the statistics."""
         self._store.clear()
@@ -425,17 +567,21 @@ class SimilarityCache:
         return getattr(self.base, "name", "comparator")
 
     def __repr__(self) -> str:
+        banded = f", band={self.band:g}" if self.band > 0.0 else ""
         return (
             f"SimilarityCache({self.name}, entries={len(self._store)}, "
-            f"hit_rate={self.hit_rate:.2%})"
+            f"hit_rate={self.hit_rate:.2%}{banded})"
         )
 
 
 #: Ready-to-use banded comparator instances (exact: cutoff disabled at
-#: similarity floor 0, so they equal the reference comparators bit for bit).
-FAST_LEVENSHTEIN = NamedComparator(
+#: similarity floor 0, so they equal the reference comparators bit for
+#: bit).  Both are *bandable*: ``with_min_similarity(floor)`` yields the
+#: cutoff-pruned variant the threshold-pushdown layer threads through
+#: :class:`~repro.similarity.uncertain.UncertainValueComparator`.
+FAST_LEVENSHTEIN = BandedEditComparator(
     "fast_levenshtein", banded_levenshtein_similarity
 )
-FAST_DAMERAU_LEVENSHTEIN = NamedComparator(
+FAST_DAMERAU_LEVENSHTEIN = BandedEditComparator(
     "fast_damerau_levenshtein", banded_damerau_levenshtein_similarity
 )

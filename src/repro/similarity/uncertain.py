@@ -89,6 +89,22 @@ class UncertainValueComparator:
         consistent value type (mixing e.g. ``1`` and ``1.0`` outcomes
         inside uncertain values can alias memo entries, since Python
         treats cross-type numeric equals as the same dict key).
+    min_similarity:
+        Threshold-pushdown floor.  With a positive floor and a
+        *bandable* base comparator (one exposing
+        ``with_min_similarity``, e.g.
+        :data:`~repro.similarity.kernels.FAST_LEVENSHTEIN`), the
+        **certain-value fast path** runs the cutoff-banded kernel:
+        results at or above the floor stay exact bit for bit, results
+        below it may come back as 0.0 ("below cutoff") without paying
+        for the full dynamic program.  The Equation-5 expectation over
+        genuinely uncertain values always uses *exact* domain
+        similarities — a convex combination of clamped terms could
+        cross a decision step the exact expectation does not, so
+        pruning inside the expectation would be unsound.  Floors are
+        normally derived from the decision model
+        (:func:`repro.matching.pushdown.derive_floors`) rather than
+        chosen by hand.
     """
 
     def __init__(
@@ -98,6 +114,7 @@ class UncertainValueComparator:
         pattern_policy: str = PatternPolicy.STRICT,
         pattern_lexicon: Iterable[str] | None = None,
         cache: SimilarityCache | bool | None = None,
+        min_similarity: float = 0.0,
     ) -> None:
         if pattern_policy not in PatternPolicy.ALL:
             raise ValueError(
@@ -128,6 +145,55 @@ class UncertainValueComparator:
         # pattern expansions keyed by the unexpanded value.
         self._pair_cache: dict[Any, float] = {}
         self._prepared_cache: dict[ProbabilisticValue, ProbabilisticValue] = {}
+        # Threshold pushdown: a positive floor plus a bandable base
+        # arms the certain-value fast path with the cutoff-banded
+        # kernel and its band-keyed cache.
+        self._floor = float(min_similarity)
+        if not 0.0 <= self._floor <= 1.0:
+            raise ValueError(
+                f"min_similarity outside [0, 1]: {min_similarity}"
+            )
+        self._banded_base: Comparator | None = None
+        self._banded_cache: SimilarityCache | None = None
+        if self._floor > 0.0 and base is not None:
+            maker = getattr(base, "with_min_similarity", None)
+            if callable(maker):
+                self._banded_base = maker(self._floor)
+                if self._cache is not None:
+                    self._banded_cache = self._cache.banded(
+                        self._floor, self._banded_base
+                    )
+
+    def with_min_similarity(self, floor: float) -> "UncertainValueComparator":
+        """A clone whose certain-value fast path prunes below *floor*.
+
+        The clone shares this comparator's *exact* domain-element cache
+        (the Equation-5 expectation still needs exact similarities) and
+        draws its banded cache from
+        :meth:`SimilarityCache.banded`, so repeated pushdown
+        configurations reuse one warmed table per band.  Returns
+        ``self`` unchanged when pruning cannot apply: a floor equal to
+        the current one, the error-free Equation 4 (results are
+        already 0/1 steps), or a base comparator without a cutoff band
+        (no ``with_min_similarity``) — cloning those would cost warm
+        value-level memos without skipping any work.
+        """
+        floor = float(floor)
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError(f"min_similarity outside [0, 1]: {floor}")
+        if floor == self._floor or self._base is None:
+            return self
+        if floor > 0.0 and not callable(
+            getattr(self._base, "with_min_similarity", None)
+        ):
+            return self
+        return UncertainValueComparator(
+            self._base,
+            pattern_policy=self._policy,
+            pattern_lexicon=self._lexicon,
+            cache=self._cache if self._cache is not None else self._memoize,
+            min_similarity=floor,
+        )
 
     @property
     def is_error_free(self) -> bool:
@@ -135,8 +201,26 @@ class UncertainValueComparator:
         return self._base is None
 
     @property
+    def min_similarity(self) -> float:
+        """The configured pushdown floor (0.0 means exact everywhere)."""
+        return self._floor
+
+    @property
     def cache(self) -> SimilarityCache | None:
-        """The domain-element memo, when caching is enabled."""
+        """The domain-element memo the fast path uses, when enabled.
+
+        For a floor-configured comparator with a bandable base this is
+        the *banded* cache (entries keyed by the active band via one
+        cache instance per band); :attr:`exact_cache` exposes the
+        shared exact table the Equation-5 expectation reads.
+        """
+        if self._banded_cache is not None:
+            return self._banded_cache
+        return self._cache
+
+    @property
+    def exact_cache(self) -> SimilarityCache | None:
+        """The exact (band-0) domain-element memo, when enabled."""
         return self._cache
 
     def cacheable_vocabulary(self, values: Iterable[Any]) -> tuple[Any, ...]:
@@ -161,8 +245,29 @@ class UncertainValueComparator:
             concrete.setdefault(value, None)
         return tuple(concrete)
 
+    def _certain_similarity(self, left: Any, right: Any) -> float:
+        """Fast-path similarity of two concrete elements, floor-aware.
+
+        The only place pruning may engage: both operands are certain,
+        so the domain-element similarity *is* the attribute similarity
+        and the banded kernel's "exact at or above the floor, possibly
+        0.0 below" contract holds end to end.  Pattern values keep the
+        exact path (their prefix heuristic slices operands before
+        comparing, which the band math does not model).
+        """
+        if (
+            self._banded_base is not None
+            and not isinstance(left, PatternValue)
+            and not isinstance(right, PatternValue)
+        ):
+            cache = self._banded_cache
+            if cache is not None:
+                return cache(left, right)
+            return self._banded_base(left, right)
+        return self._domain_similarity(left, right)
+
     def _domain_similarity(self, left: Any, right: Any) -> float:
-        """Similarity of two concrete (non-⊥) domain elements."""
+        """Similarity of two concrete (non-⊥) domain elements (exact)."""
         left_is_pattern = isinstance(left, PatternValue)
         right_is_pattern = isinstance(right, PatternValue)
         if left_is_pattern or right_is_pattern:
@@ -217,7 +322,7 @@ class UncertainValueComparator:
             if right_plain is not _UNCERTAIN:
                 if left_plain is NULL or right_plain is NULL:
                     return 1.0 if left_plain is right_plain else 0.0
-                return self._domain_similarity(left_plain, right_plain)
+                return self._certain_similarity(left_plain, right_plain)
         left_value = _coerce(left)
         right_value = _coerce(right)
         if self._memoize:
@@ -268,9 +373,12 @@ class UncertainValueComparator:
             if self._base is None
             else getattr(self._base, "name", "comparator")
         )
+        floored = (
+            f", min_similarity={self._floor:g}" if self._floor > 0.0 else ""
+        )
         return (
             f"UncertainValueComparator(base={base_name}, "
-            f"patterns={self._policy})"
+            f"patterns={self._policy}{floored})"
         )
 
 

@@ -178,3 +178,65 @@ class TestRecommendThresholds:
         first_report = evaluate_detection(result, dataset.true_matches)
         second_report = evaluate_detection(retuned, dataset.true_matches)
         assert second_report.f1 >= first_report.f1
+
+
+class TestSweepBoundaries:
+    """Boundary sweeps backing the threshold-pushdown cutoffs.
+
+    The pushdown layer derives ``min_similarity`` floors from the same
+    classifier thresholds the tuning loop recommends, so the sweep must
+    behave exactly at the edges: a cutoff sitting *on* T_λ, a cutoff
+    above every observed similarity, and tuning over a detection run
+    that produced no samples at all (an empty relation).
+    """
+
+    def test_cutoff_exactly_at_t_lambda_keeps_the_pair(self):
+        # recommend_thresholds nudges T_λ just below the weakest true
+        # match it must keep, so a similarity exactly at that weakest
+        # value classifies at-or-above T_λ (never UNMATCH) — matching
+        # the strict-inequality reading of Figure 2 that pushdown's
+        # "exact at or above the floor" kernel contract mirrors.
+        samples = separable_samples()
+        classifier = recommend_thresholds(samples, review_recall=1.0)
+        weakest_true = min(s for s, label in samples if label)
+        assert classifier.unmatch_threshold <= weakest_true
+        assert classifier.classify(weakest_true).value != "u"
+
+    def test_kernel_cutoff_exactly_at_the_floor_stays_exact(self):
+        # The companion kernel guarantee: a cutoff placed exactly on an
+        # achievable similarity still computes that similarity exactly
+        # (the banded kernels keep one row of slack at the boundary).
+        from repro.similarity import banded_levenshtein_similarity
+
+        exact = banded_levenshtein_similarity("meier", "meyer")
+        assert exact == 0.8
+        assert banded_levenshtein_similarity(
+            "meier", "meyer", min_similarity=exact
+        ) == exact
+
+    def test_cutoff_above_all_similarities(self):
+        samples = separable_samples()
+        points = threshold_sweep(samples)
+        top = points[-1]
+        assert top.threshold > max(s for s, _ in samples)
+        assert top.true_positives == 0
+        assert top.false_positives == 0
+        assert top.false_negatives == sum(1 for _, l in samples if l)
+        assert top.precision == 1.0  # nothing declared ⇒ vacuous
+        assert top.recall == 0.0
+
+    def test_empty_relation_yields_no_samples_and_loud_errors(self):
+        from repro.experiments.quality import default_matcher, weighted_model
+        from repro.matching import DuplicateDetector
+        from repro.pdb.relations import XRelation
+
+        empty = XRelation("empty", ("name", "job"), [])
+        result = DuplicateDetector(
+            default_matcher(), weighted_model()
+        ).detect(empty)
+        samples = [(d.similarity, False) for d in result.decisions]
+        assert samples == []
+        with pytest.raises(ValueError, match="calibration samples"):
+            threshold_sweep(samples)
+        with pytest.raises(ValueError, match="calibration samples"):
+            recommend_thresholds(samples)
