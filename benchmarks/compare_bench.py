@@ -17,10 +17,10 @@ Usage::
     python benchmarks/compare_bench.py -k kernels   # forward pytest args
     python benchmarks/compare_bench.py --quick      # CI smoke subset
 
-``--quick`` runs only the kernel, planner, storage and cutoff benches
-with minimal rounds and writes ``BENCH_quick.json`` (outside the
-numbered trajectory), so CI can smoke the harness in well under a
-minute.
+``--quick`` runs only the kernel, planner, storage, cutoff and
+scheduler benches with minimal rounds and writes ``BENCH_quick.json``
+(outside the numbered trajectory), so CI can smoke the harness
+quickly.
 
 Exit status is the pytest exit status; the regression table marks every
 benchmark whose mean moved more than ``THRESHOLD`` in either direction.
@@ -80,7 +80,7 @@ BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
 #: :func:`run_suite` exports in quick mode.
 QUICK_ARGS = [
     "-k",
-    "kernels or planner or storage or cutoffs",
+    "kernels or planner or storage or cutoffs or scheduler",
     "--benchmark-min-rounds=1",
     "--benchmark-max-time=0.1",
 ]

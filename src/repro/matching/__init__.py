@@ -64,6 +64,12 @@ from repro.matching.derivation import (
     normalized_weights,
 )
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.executor import (
+    ExecutionEngine,
+    ExecutionReport,
+    ExecutionSettings,
+    PartitionProgress,
+)
 from repro.matching.pushdown import SimilarityFloors, derive_floors
 from repro.matching.iterative import IterativeResolver, ResolutionOutcome
 from repro.matching.pipeline import (
@@ -92,6 +98,9 @@ __all__ = [
     "DetectionResult",
     "DuplicateDetector",
     "EMEstimate",
+    "ExecutionEngine",
+    "ExecutionReport",
+    "ExecutionSettings",
     "ExpectedMatchingResult",
     "ExpectedSimilarity",
     "FellegiSunterModel",
@@ -107,6 +116,7 @@ __all__ = [
     "Minimum",
     "MostProbableWorldSimilarity",
     "PairGenerator",
+    "PartitionProgress",
     "Product",
     "ResolutionOutcome",
     "RuleBasedModel",

@@ -1,0 +1,67 @@
+"""The execution engine behind :class:`~repro.matching.DuplicateDetector`.
+
+Everything between planning and the per-pair decision:
+
+* :mod:`~repro.matching.executor.scheduler` —
+  :class:`ExecutionEngine` / :class:`ExecutionSettings`: partitioned
+  scheduling, skew-aware work stealing (cost-budget subdivision through
+  the reducers' ``split_partition`` hook, largest-first dispatch,
+  plan-order reassembly), cache pre-warm/freeze around forks;
+* :mod:`~repro.matching.executor.workers` — forked worker state and the
+  chunk/batch deciding helpers shared by serial and fanned-out paths;
+* :mod:`~repro.matching.executor.multisource` — source-tagged planning
+  over :class:`~repro.pdb.storage.MultiSourceStore` views and
+  cross-source pruning (the ℛ1/ℛ2, ℛ3/ℛ4 consolidation scenario
+  without materializing a union);
+* :mod:`~repro.matching.executor.progress` —
+  :class:`ExecutionReport` run reports and per-partition
+  :class:`PartitionProgress` events;
+* :mod:`~repro.matching.executor.results` — the
+  :class:`DetectionResult` container every path produces.
+
+Every mode yields exactly the decisions of the plain serial pipeline,
+in the same order, for every storage backend.
+"""
+
+from repro.matching.executor.multisource import (
+    cross_source_plan,
+    partition_sources,
+    plan_sources,
+    tag_plan_sources,
+)
+from repro.matching.executor.progress import (
+    ExecutionReport,
+    PartitionProgress,
+    ProgressObserver,
+)
+from repro.matching.executor.results import DetectionResult, slice_result
+from repro.matching.executor.scheduler import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_SPLIT_PAIRS,
+    ENGINE_SCHEDULING_MODES,
+    PREWARM_PAIR_BUDGET,
+    ExecutionEngine,
+    ExecutionSettings,
+    prewarm_plan,
+    subdivide_partition,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_SPLIT_PAIRS",
+    "ENGINE_SCHEDULING_MODES",
+    "PREWARM_PAIR_BUDGET",
+    "DetectionResult",
+    "ExecutionEngine",
+    "ExecutionReport",
+    "ExecutionSettings",
+    "PartitionProgress",
+    "ProgressObserver",
+    "cross_source_plan",
+    "partition_sources",
+    "plan_sources",
+    "prewarm_plan",
+    "slice_result",
+    "subdivide_partition",
+    "tag_plan_sources",
+]

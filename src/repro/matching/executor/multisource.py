@@ -1,0 +1,155 @@
+"""Multi-source planning: the paper's consolidation scenario at scale.
+
+The headline workload of the paper is integrating *autonomous
+probabilistic sources* — ℛ34 = ℛ3 ∪ ℛ4 (Section II) — and the seed
+pipeline handled it by materializing that union in memory.  This module
+plans source pairs without the copy:
+
+* :func:`plan_sources` runs the configured reducer's planner over a
+  :class:`~repro.pdb.storage.MultiSourceStore` *view* of the sources
+  (iteration order = union order, so the plan — and therefore every
+  decision — is bitwise identical to planning the materialized union)
+  and tags each partition with the sources its members come from.
+  Tags are computed from the view's id → source map alone; no tuple is
+  decoded, so two spilled stores plan without either being loaded.
+* :func:`cross_source_plan` restricts a tagged plan to the
+  consolidation question proper — which records of source A duplicate
+  records of source B — by *pruning* every partition whose tag names a
+  single source (for key-structured reducers that is exactly a key
+  range the other source never reaches: a block key with members from
+  one source, a sort-order span inside one source's key range) and
+  filtering mixed partitions to their cross-source pairs.  The
+  surviving pair sequence is a subsequence of the union plan's, so
+  cross-only decisions equal the union run's decisions filtered to
+  cross pairs.
+
+>>> from repro.pdb.relations import XRelation
+>>> from repro.pdb.storage import MultiSourceStore
+>>> from repro.pdb.xtuples import TupleAlternative, XTuple
+>>> from repro.reduction import CertainKeyBlocking, SubstringKey
+>>> def rel(name, *rows):
+...     return XRelation(name, ("name",), [
+...         XTuple(t, (TupleAlternative({"name": n}, 1.0),))
+...         for t, n in rows])
+>>> view = MultiSourceStore([
+...     rel("R1", ("a1", "anna"), ("a2", "bob")),
+...     rel("R2", ("b1", "anne"), ("b2", "bert"))])
+>>> plan = plan_sources(CertainKeyBlocking(SubstringKey([("name", 1)])), view)
+>>> [(p.label, p.sources, p.pairs) for p in plan]
+[('block:a', ('R1', 'R2'), (('a1', 'b1'),)), ('block:b', ('R1', 'R2'), (('a2', 'b2'),))]
+>>> cross = cross_source_plan(plan, view)
+>>> list(cross.pairs()) == list(plan.pairs())  # all pairs were cross
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.pdb.storage import MultiSourceStore, XTupleStore
+from repro.reduction.plan import (
+    CandidatePartition,
+    CandidatePlan,
+    members_of_pairs,
+    plan_candidates,
+)
+
+
+def partition_sources(
+    partition: CandidatePartition, view: MultiSourceStore
+) -> tuple[str, ...]:
+    """Source tags of a partition's members, in first-occurrence order.
+
+    Metadata-only: consults the view's id → source map, never a tuple.
+    """
+    seen: dict[str, None] = {}
+    for member in partition.members:
+        seen[view.source_of(member)] = None
+    return tuple(seen)
+
+
+def tag_plan_sources(
+    plan: CandidatePlan, view: MultiSourceStore
+) -> CandidatePlan:
+    """The same plan with every partition source-tagged."""
+    return replace(
+        plan,
+        partitions=tuple(
+            replace(partition, sources=partition_sources(partition, view))
+            for partition in plan.partitions
+        ),
+        source_names=view.source_names,
+    )
+
+
+def plan_sources(reducer, view: XTupleStore) -> CandidatePlan:
+    """Plan a (possibly multi-source) store, tagging partition sources.
+
+    For a :class:`~repro.pdb.storage.MultiSourceStore` the reducer
+    plans the union *view* — the view's iteration order is the union's,
+    so the plan equals the materialized-union plan partition for
+    partition — and every partition is tagged with the sources its
+    members come from.  Plain single stores plan as usual, untagged.
+    """
+    plan = plan_candidates(reducer, view)
+    if isinstance(view, MultiSourceStore):
+        plan = tag_plan_sources(plan, view)
+    return plan
+
+
+def cross_source_plan(
+    plan: CandidatePlan, view: MultiSourceStore
+) -> CandidatePlan:
+    """Restrict a tagged plan to cross-source candidate pairs.
+
+    Partitions tagged with a single source are pruned outright — their
+    key range exists in only one source, so they cannot contribute a
+    cross-source pair and none of their tuples need touching.  Mixed
+    partitions keep the (plan-ordered) subsequence of their pairs whose
+    endpoints come from different sources; partitions left empty are
+    dropped like the plan builder drops empty partitions.
+    """
+    kept: list[CandidatePartition] = []
+    for partition in plan.partitions:
+        sources = partition.sources
+        if sources is None:
+            raise ValueError(
+                "cross_source_plan needs a source-tagged plan; build it "
+                "with plan_sources over a MultiSourceStore"
+            )
+        if len(sources) < 2:
+            continue
+        cross = tuple(
+            pair
+            for pair in partition.pairs
+            if view.source_of(pair[0]) != view.source_of(pair[1])
+        )
+        if not cross:
+            continue
+        if len(cross) == len(partition.pairs):
+            kept.append(partition)
+            continue
+        members = members_of_pairs(cross)
+        kept.append(
+            CandidatePartition(
+                label=partition.label,
+                pairs=cross,
+                members=members,
+                sources=tuple(
+                    dict.fromkeys(view.source_of(m) for m in members)
+                ),
+            )
+        )
+    return replace(
+        plan,
+        partitions=tuple(kept),
+        source=f"{plan.source} [cross-source]",
+    )
+
+
+__all__ = [
+    "cross_source_plan",
+    "partition_sources",
+    "plan_sources",
+    "tag_plan_sources",
+]

@@ -1,0 +1,150 @@
+"""Execution introspection: run reports and partition progress events.
+
+Large detections are opaque without this: a caller streaming a
+million-pair run wants to know how far along it is, whether the
+scheduler had to subdivide skewed blocks, and whether cache pre-warming
+actually completed before the fork.  The engine fills one
+:class:`ExecutionReport` per run (exposed as
+``DuplicateDetector.last_report``) and, when an observer callable is
+installed, emits one :class:`PartitionProgress` event per completed
+partition slice — cheap enough to leave on in production.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartitionProgress:
+    """One completed partition slice of a running detection."""
+
+    #: Label of the completed partition.
+    label: str
+    #: Pairs the partition contributed.
+    pairs: int
+    #: Index of the partition in plan order (0-based).
+    index: int
+    #: Total partitions in the plan.
+    partitions: int
+    #: Pairs decided so far, including this partition.
+    decided_pairs: int
+    #: Total pairs the plan will decide.
+    total_pairs: int
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the run's pairs (0.0 – 1.0)."""
+        if self.total_pairs <= 0:
+            return 1.0
+        return self.decided_pairs / self.total_pairs
+
+
+#: Observer signature: called once per completed partition slice, in
+#: plan order, from the process driving the execution.
+ProgressObserver = Callable[[PartitionProgress], None]
+
+
+@dataclass
+class ExecutionReport:
+    """What one execution did — scheduling decisions included.
+
+    Counters are filled as the run progresses (a streamed run's report
+    is complete only once the slice iterator is exhausted).
+    """
+
+    #: Scheduling mode the engine ran ("partitioned" or "stealing").
+    scheduling: str = ""
+    #: Worker processes used (1 = in-process).
+    n_jobs: int = 1
+    #: Partitions in the executed plan.
+    partitions: int = 0
+    #: Candidate pairs in the executed plan.
+    total_pairs: int = 0
+    #: Similarity-cache entries stored by pre-warming.
+    prewarmed_entries: int = 0
+    #: Whether the warmed caches were frozen around the fork.
+    caches_frozen: bool = False
+    #: Partitions that exceeded the split budget.
+    oversized_partitions: int = 0
+    #: Oversized partitions a reducer subdivided by sub-key.
+    subkey_split_partitions: int = 0
+    #: Oversized partitions (or sub-key groups) banded contiguously.
+    banded_partitions: int = 0
+    #: Schedulable work units after subdivision (stealing mode).
+    work_units: int = 0
+    #: Dispatch tasks handed to the worker queue.
+    dispatch_tasks: int = 0
+    #: Pairs decided so far.
+    decided_pairs: int = 0
+    #: Partition slices yielded so far.
+    completed_partitions: int = 0
+
+    def summary(self) -> str:
+        """One log-friendly line describing the run."""
+        parts = [
+            f"{self.scheduling} n_jobs={self.n_jobs}",
+            f"{self.completed_partitions}/{self.partitions} partitions",
+            f"{self.decided_pairs}/{self.total_pairs} pairs",
+        ]
+        if self.oversized_partitions:
+            parts.append(
+                f"split {self.oversized_partitions} oversized "
+                f"({self.subkey_split_partitions} by sub-key, "
+                f"{self.banded_partitions} banded) "
+                f"into {self.work_units} units"
+            )
+        if self.dispatch_tasks:
+            parts.append(f"{self.dispatch_tasks} dispatches")
+        if self.prewarmed_entries:
+            frozen = "frozen" if self.caches_frozen else "unfrozen"
+            parts.append(
+                f"prewarmed {self.prewarmed_entries} entries ({frozen})"
+            )
+        return ", ".join(parts)
+
+
+@dataclass
+class ProgressTracker:
+    """Shared bookkeeping behind the engine's slice emission.
+
+    Wraps the run's :class:`ExecutionReport` and optional observer so
+    every execution path reports identically: the engine calls
+    :meth:`slice_done` once per partition slice, in plan order.
+    """
+
+    report: ExecutionReport
+    observer: ProgressObserver | None = None
+
+    def start(self, plan, *, scheduling: str, n_jobs: int) -> None:
+        """Record the plan shape before execution begins."""
+        self.report.scheduling = scheduling
+        self.report.n_jobs = n_jobs
+        self.report.partitions = len(plan.partitions)
+        self.report.total_pairs = plan.total_pairs
+
+    def slice_done(self, partition) -> None:
+        """Account one completed partition and notify the observer."""
+        report = self.report
+        report.decided_pairs += len(partition.pairs)
+        report.completed_partitions += 1
+        if self.observer is not None:
+            self.observer(
+                PartitionProgress(
+                    label=partition.label,
+                    pairs=len(partition.pairs),
+                    index=report.completed_partitions - 1,
+                    partitions=report.partitions,
+                    decided_pairs=report.decided_pairs,
+                    total_pairs=report.total_pairs,
+                )
+            )
+
+
+__all__ = [
+    "ExecutionReport",
+    "PartitionProgress",
+    "ProgressObserver",
+    "ProgressTracker",
+]

@@ -1,0 +1,110 @@
+"""Detection results: what execution hands back to verification.
+
+:class:`DetectionResult` is the pipeline's output container (one per
+run, or one per partition under streaming).  It lives in the executor
+package because every execution path produces it, but it is re-exported
+from :mod:`repro.matching` and :mod:`repro.matching.pipeline` — caller
+imports are unaffected by the executor extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.clustering import ClusteringResult, cluster_matches
+from repro.matching.decision.base import MatchStatus
+from repro.matching.engine import XTupleDecision
+from repro.reduction.plan import CandidatePartition, ordered_pair as _ordered
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Everything duplicate detection produced, ready for verification.
+
+    Attributes
+    ----------
+    decisions:
+        One :class:`XTupleDecision` per compared candidate pair.
+    compared_pairs:
+        The candidate pairs that were actually compared (normalized so
+        ``left <= right``), i.e. the reduced search space.  Empty when
+        detection ran with ``keep_compared_pairs=False``.
+    relation_size:
+        Number of tuples in the searched relation (for reduction-ratio
+        computations).
+    partition_label:
+        For per-partition slices yielded by ``stream=True``: the label
+        of the :class:`~repro.reduction.plan.CandidatePartition` this
+        slice covers.  ``None`` for whole-run results.
+    """
+
+    decisions: tuple[XTupleDecision, ...]
+    compared_pairs: frozenset[tuple[str, str]]
+    relation_size: int
+    partition_label: str | None = None
+
+    def pairs_with_status(
+        self, status: MatchStatus
+    ) -> tuple[tuple[str, str], ...]:
+        """All compared pairs that received the given matching value."""
+        return tuple(
+            _ordered(d.left_id, d.right_id)
+            for d in self.decisions
+            if d.status is status
+        )
+
+    @property
+    def matches(self) -> tuple[tuple[str, str], ...]:
+        """The set M."""
+        return self.pairs_with_status(MatchStatus.MATCH)
+
+    @property
+    def possible_matches(self) -> tuple[tuple[str, str], ...]:
+        """The set P (clerical review)."""
+        return self.pairs_with_status(MatchStatus.POSSIBLE)
+
+    @property
+    def unmatches(self) -> tuple[tuple[str, str], ...]:
+        """The set U."""
+        return self.pairs_with_status(MatchStatus.UNMATCH)
+
+    def clusters(self, *, include_possible: bool = False) -> ClusteringResult:
+        """Transitive closure of the decisions into duplicate clusters.
+
+        Falls back to the decisions' own pair set when
+        ``compared_pairs`` was dropped (``keep_compared_pairs=False``).
+        """
+        ids: set[str] = set()
+        for left, right in self.compared_pairs:
+            ids.add(left)
+            ids.add(right)
+        for decision in self.decisions:
+            ids.add(decision.left_id)
+            ids.add(decision.right_id)
+        return cluster_matches(
+            sorted(ids),
+            [(d.left_id, d.right_id, d.status) for d in self.decisions],
+            include_possible=include_possible,
+        )
+
+
+def slice_result(
+    partition: CandidatePartition,
+    decisions: tuple[XTupleDecision, ...],
+    relation_size: int,
+    keep_compared_pairs: bool,
+) -> DetectionResult:
+    """One partition's share of a run, as a labeled result slice."""
+    return DetectionResult(
+        decisions=decisions,
+        compared_pairs=(
+            frozenset(partition.pairs)
+            if keep_compared_pairs
+            else frozenset()
+        ),
+        relation_size=relation_size,
+        partition_label=partition.label,
+    )
+
+
+__all__ = ["DetectionResult", "slice_result"]

@@ -1,0 +1,600 @@
+"""The execution engine: schedule and decide a candidate plan.
+
+Everything between *planning* (:func:`repro.reduction.plan.plan_candidates`)
+and the per-pair decision (:meth:`XTupleDecisionProcedure.decide
+<repro.matching.engine.XTupleDecisionProcedure.decide>`) lives here.
+:class:`ExecutionEngine` consumes a
+:class:`~repro.reduction.plan.CandidatePlan` over any
+:class:`~repro.pdb.storage.XTupleStore` and yields one
+:class:`~repro.matching.executor.results.DetectionResult` slice per
+partition, in plan order, bitwise identical to the serial seed pipeline
+under every mode:
+
+``scheduling="partitioned"``
+    Whole partitions are assigned to workers in plan order
+    (consecutive small partitions coalesced into chunk-sized dispatch
+    batches); before forking, the matcher's shared similarity caches
+    are pre-warmed from the per-partition vocabulary and frozen
+    read-only, so every worker shares the parent's table copy-on-write.
+
+``scheduling="stealing"``
+    Skew-aware work stealing.  Partitions exceeding the ``split_pairs``
+    cost budget are subdivided — by the reducer's sub-key
+    ``split_partition`` hook (:class:`~repro.reduction.plan.SplittableReducer`)
+    when available, by contiguous row-banding otherwise — and the
+    resulting work units are dispatched *largest first* through the
+    pool's shared task queue, so an idle worker always steals the
+    biggest remaining unit and one giant block no longer serializes the
+    run.  Sub-key groups keep each unit's member working set coherent,
+    so workers decide them with cold caches without duplicating
+    similarity work.  The parent reassembles each partition's decisions
+    into the partition's original pair order before yielding, so
+    results are independent of stealing order.
+
+Both modes equal the serial path decision for decision: a pair's
+decision is a pure function of its two x-tuples and the configured
+procedure (similarity caches memoize deterministic values), so
+execution order can never change results — only the emission order
+could, and reassembly pins that to plan order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.executor.progress import (
+    ExecutionReport,
+    ProgressObserver,
+    ProgressTracker,
+)
+from repro.matching.executor.results import DetectionResult, slice_result
+from repro.matching.executor.workers import (
+    decide_batch,
+    decide_pairs,
+    fork_context,
+    init_worker,
+)
+from repro.reduction.plan import (
+    CandidatePartition,
+    CandidatePlan,
+    band_partition,
+    partition_vocabulary,
+)
+
+#: Default number of candidate pairs decided per batch.  Large enough to
+#: amortize dispatch overhead (and IPC when fanning out), small enough
+#: that per-chunk result lists never hold more than a sliver of a run.
+DEFAULT_CHUNK_SIZE = 1024
+
+#: Cost budget (candidate pairs) above which the stealing scheduler
+#: subdivides a partition.  Matches the window-family planning target:
+#: a unit this size amortizes dispatch but cannot monopolize a worker.
+DEFAULT_SPLIT_PAIRS = 2048
+
+#: Total pairwise-similarity budget for cache pre-warming, across all
+#: partitions and attributes of one detection run.  Blocking plans warm
+#: completely well below this; the bound exists so an unstructured plan
+#: (full comparison) cannot spend the whole run warming in the parent.
+PREWARM_PAIR_BUDGET = 200_000
+
+#: Scheduling modes the engine itself implements.  The legacy pre-plan
+#: "striped" fan-out lives in the detector facade.
+ENGINE_SCHEDULING_MODES = ("partitioned", "stealing")
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """One detection run's execution knobs (validated on construction).
+
+    Parameters mirror :meth:`DuplicateDetector.detect
+    <repro.matching.pipeline.DuplicateDetector.detect>`; ``split_pairs``
+    is the stealing scheduler's cost budget.
+    """
+
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    n_jobs: int = 1
+    keep_derivations: bool = True
+    keep_compared_pairs: bool = True
+    scheduling: str = "partitioned"
+    prewarm: bool | None = None
+    split_pairs: int = DEFAULT_SPLIT_PAIRS
+    #: Parent-side warm budget (pairwise similarity evaluations).  A
+    #: partition whose vocabulary table exceeds what remains of the
+    #: budget leaves the warm *incomplete*: the caches are then not
+    #: frozen around the fork and every worker re-learns its share —
+    #: the skew pathology the stealing scheduler avoids (see
+    #: ``benchmarks/test_bench_scheduler.py``).
+    prewarm_budget: int = PREWARM_PAIR_BUDGET
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1 (or None)")
+        if self.scheduling not in ENGINE_SCHEDULING_MODES:
+            raise ValueError(
+                f"unknown engine scheduling {self.scheduling!r}; "
+                f"expected one of {ENGINE_SCHEDULING_MODES}"
+            )
+        if self.split_pairs <= 0:
+            raise ValueError("split_pairs must be positive")
+        if self.prewarm_budget < 0:
+            raise ValueError("prewarm_budget must be >= 0")
+
+    @property
+    def should_prewarm(self) -> bool:
+        """Resolved pre-warm default.
+
+        Partitioned scheduling warms exactly when forking; stealing
+        defaults to *not* warming — its sub-key units keep worker
+        working sets coherent, so parent-side warming would serialize
+        similarity work the workers can compute in parallel.
+        """
+        if self.prewarm is not None:
+            return self.prewarm
+        return self.scheduling == "partitioned" and self.n_jobs > 1
+
+
+def prewarm_plan(
+    matcher,
+    relation,
+    plan: CandidatePlan,
+    *,
+    budget: int = PREWARM_PAIR_BUDGET,
+) -> tuple[int, bool]:
+    """Warm the matcher's caches from every partition's vocabulary.
+
+    Returns ``(entries stored, complete)`` where *complete* means every
+    partition's full pairwise table fit the budget — the precondition
+    for freezing the caches read-only around a fork.
+    """
+    if not matcher.cache_stats():
+        return 0, False
+    total_warmed = 0
+    complete = True
+    remaining = budget
+    for partition in plan:
+        if remaining <= 0:
+            complete = False
+            break
+        vocabulary = partition_vocabulary(relation, partition)
+        warmed, examined, partition_complete = matcher.warm(
+            vocabulary, budget=remaining
+        )
+        total_warmed += warmed
+        remaining -= max(examined, 1)
+        complete = complete and partition_complete
+    return total_warmed, complete
+
+
+def subdivide_partition(
+    splitter,
+    relation,
+    partition: CandidatePartition,
+    *,
+    max_pairs: int,
+    report: ExecutionReport | None = None,
+) -> list[CandidatePartition]:
+    """Exact subdivision of one oversized partition into work units.
+
+    Prefers the reducer's sub-key hook
+    (:class:`~repro.reduction.plan.SplittableReducer`), validating that
+    the returned sub-partitions cover the partition's pairs exactly
+    once; any sub-key group still exceeding the budget — and the whole
+    partition when no hook applies — is banded contiguously.
+    """
+    subs: list[CandidatePartition] | None = None
+    split_hook = getattr(splitter, "split_partition", None)
+    if callable(split_hook):
+        raw = split_hook(relation, partition, max_pairs=max_pairs)
+        if raw is not None:
+            subs = list(raw)
+            _check_exact_cover(partition, subs)
+            if report is not None and len(subs) > 1:
+                report.subkey_split_partitions += 1
+    if subs is None:
+        subs = [partition]
+    units: list[CandidatePartition] = []
+    banded = False
+    for sub in subs:
+        if len(sub) > max_pairs:
+            pieces = band_partition(sub, max_pairs)
+            banded = banded or len(pieces) > 1
+            units.extend(pieces)
+        else:
+            units.append(sub)
+    if report is not None:
+        report.oversized_partitions += 1
+        if banded:
+            report.banded_partitions += 1
+    return units
+
+
+def _check_exact_cover(
+    partition: CandidatePartition, subs: Sequence[CandidatePartition]
+) -> None:
+    total = sum(len(sub) for sub in subs)
+    covered = {pair for sub in subs for pair in sub.pairs}
+    if total != len(partition.pairs) or covered != set(partition.pairs):
+        raise ValueError(
+            f"split_partition produced an inexact cover of "
+            f"{partition.label!r}: {total} pairs across {len(subs)} "
+            f"sub-partitions covering {len(covered)} distinct of "
+            f"{len(partition.pairs)} original pairs"
+        )
+
+
+class ExecutionEngine:
+    """Schedules and decides one candidate plan.
+
+    Parameters
+    ----------
+    procedure:
+        The configured Figure-6 decision procedure (possibly a
+        floor-pruned clone).
+    settings:
+        Execution knobs; see :class:`ExecutionSettings`.
+    splitter:
+        Optional provider of the ``split_partition`` sub-key hook —
+        normally the detector's reducer.  Only consulted under stealing
+        scheduling for partitions over the cost budget.
+    observer:
+        Optional per-partition progress callback
+        (:data:`~repro.matching.executor.progress.ProgressObserver`).
+    """
+
+    def __init__(
+        self,
+        procedure: XTupleDecisionProcedure,
+        settings: ExecutionSettings | None = None,
+        *,
+        splitter=None,
+        observer: ProgressObserver | None = None,
+    ) -> None:
+        self._procedure = procedure
+        self._settings = settings if settings is not None else ExecutionSettings()
+        self._splitter = splitter
+        self.report = ExecutionReport()
+        self._tracker = ProgressTracker(self.report, observer)
+
+    @property
+    def settings(self) -> ExecutionSettings:
+        """The engine's execution knobs."""
+        return self._settings
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, relation, plan: CandidatePlan
+    ) -> Iterator[DetectionResult]:
+        """Yield one result slice per partition, in plan order."""
+        settings = self._settings
+        self._tracker.start(
+            plan, scheduling=settings.scheduling, n_jobs=settings.n_jobs
+        )
+        matcher = self._procedure.matcher
+        newly_frozen: list = []
+        if settings.should_prewarm:
+            warmed, complete = prewarm_plan(
+                matcher, relation, plan, budget=settings.prewarm_budget
+            )
+            self.report.prewarmed_entries = warmed
+            if complete and settings.n_jobs > 1:
+                newly_frozen = matcher.freeze_caches()
+                self.report.caches_frozen = True
+        try:
+            if settings.scheduling == "stealing":
+                yield from self._execute_stealing(relation, plan)
+            elif settings.n_jobs == 1:
+                yield from self._execute_serial(relation, plan)
+            else:
+                yield from self._execute_partitioned(relation, plan)
+        finally:
+            # Restore only the freezes this run established; caches the
+            # caller froze beforehand stay frozen.
+            for cache in newly_frozen:
+                cache.thaw()
+
+    # ------------------------------------------------------------------
+    # Partitioned execution (plan order, whole partitions per worker)
+    # ------------------------------------------------------------------
+
+    def _execute_serial(
+        self, relation, plan: CandidatePlan
+    ) -> Iterator[DetectionResult]:
+        settings = self._settings
+        size = plan.relation_size
+        for partition in plan:
+            # Load the working set chunk by chunk, exactly like the
+            # parallel dispatch path: residency stays bounded by
+            # chunk_size even when a plan degenerates to one partition
+            # spanning the whole relation (full comparison, legacy
+            # pairs()-only reducers).
+            decisions: list[XTupleDecision] = []
+            pairs = partition.pairs
+            for start in range(0, len(pairs), settings.chunk_size):
+                chunk = pairs[start : start + settings.chunk_size]
+                decisions.extend(
+                    decide_pairs(
+                        self._procedure,
+                        relation,
+                        chunk,
+                        settings.keep_derivations,
+                    )
+                )
+            yield slice_result(
+                partition,
+                tuple(decisions),
+                size,
+                settings.keep_compared_pairs,
+            )
+            self._tracker.slice_done(partition)
+
+    def _execute_partitioned(
+        self, relation, plan: CandidatePlan
+    ) -> Iterator[DetectionResult]:
+        settings = self._settings
+        size = plan.relation_size
+        chunk_size = settings.chunk_size
+        # One dispatch batch holds whole consecutive partitions (split
+        # only when a single partition exceeds chunk_size) and carries
+        # ~chunk_size pairs, so worker round trips stay as coarse as the
+        # striped fan-out while cache working sets stay block-aligned.
+        batches: list[list[tuple[int, tuple[tuple[str, str], ...]]]] = []
+        batch: list[tuple[int, tuple[tuple[str, str], ...]]] = []
+        batched_pairs = 0
+        for index, partition in enumerate(plan.partitions):
+            pairs = partition.pairs
+            for start in range(0, len(pairs), chunk_size):
+                piece = pairs[start : start + chunk_size]
+                batch.append((index, piece))
+                batched_pairs += len(piece)
+                if batched_pairs >= chunk_size:
+                    batches.append(batch)
+                    batch = []
+                    batched_pairs = 0
+        if batch:
+            batches.append(batch)
+        if not batches:
+            return
+        self.report.dispatch_tasks = len(batches)
+        with fork_context().Pool(
+            settings.n_jobs,
+            initializer=init_worker,
+            initargs=(
+                self._procedure,
+                relation,
+                settings.keep_derivations,
+            ),
+        ) as pool:
+            current: int | None = None
+            bucket: list[XTupleDecision] = []
+            for batch_results in pool.imap(decide_batch, batches):
+                for index, chunk_decisions in batch_results:
+                    if current is None:
+                        current = index
+                    elif index != current:
+                        yield self._partition_slice(
+                            plan, current, tuple(bucket), size
+                        )
+                        bucket = []
+                        current = index
+                    bucket.extend(chunk_decisions)
+            if current is not None:
+                yield self._partition_slice(
+                    plan, current, tuple(bucket), size
+                )
+
+    def _partition_slice(
+        self,
+        plan: CandidatePlan,
+        index: int,
+        decisions: tuple[XTupleDecision, ...],
+        size: int,
+    ) -> DetectionResult:
+        partition = plan.partitions[index]
+        result = slice_result(
+            partition,
+            decisions,
+            size,
+            self._settings.keep_compared_pairs,
+        )
+        self._tracker.slice_done(partition)
+        return result
+
+    # ------------------------------------------------------------------
+    # Skew-aware work stealing
+    # ------------------------------------------------------------------
+
+    def _stealing_units(
+        self, relation, plan: CandidatePlan
+    ) -> tuple[list[tuple[tuple[str, str], ...]], list[int], list[int]]:
+        """Subdivide the plan into schedulable work units.
+
+        Returns ``(unit pair tuples, unit → partition index, units per
+        partition)``; unit ids are list positions.
+        """
+        settings = self._settings
+        unit_pairs: list[tuple[tuple[str, str], ...]] = []
+        unit_partition: list[int] = []
+        units_per_partition = [0] * len(plan.partitions)
+        for index, partition in enumerate(plan.partitions):
+            if len(partition) <= settings.split_pairs:
+                units = [partition]
+            else:
+                units = subdivide_partition(
+                    self._splitter,
+                    relation,
+                    partition,
+                    max_pairs=settings.split_pairs,
+                    report=self.report,
+                )
+            units_per_partition[index] = len(units)
+            for unit in units:
+                unit_partition.append(index)
+                unit_pairs.append(unit.pairs)
+        self.report.work_units = len(unit_pairs)
+        return unit_pairs, unit_partition, units_per_partition
+
+    def _stealing_tasks(
+        self, unit_pairs: list[tuple[tuple[str, str], ...]]
+    ) -> list[list[tuple[int, tuple[tuple[str, str], ...]]]]:
+        """Pack units into dispatch tasks, largest units first.
+
+        Largest-first (LPT) dispatch through the pool's shared queue is
+        what makes the stealing: whichever worker goes idle takes the
+        biggest remaining unit, so the skewed block's sub-units spread
+        across workers instead of queueing behind each other.  Units of
+        a chunk's worth of pairs or more always ship alone — coalescing
+        them would glue a skewed block's sub-units back together — and
+        only smaller units are packed into ~chunk-sized tasks so tiny
+        blocks don't pay one IPC round trip each.
+        """
+        chunk_size = self._settings.chunk_size
+        order = sorted(
+            range(len(unit_pairs)),
+            key=lambda unit: (-len(unit_pairs[unit]), unit),
+        )
+        tasks: list[list[tuple[int, tuple[tuple[str, str], ...]]]] = []
+        task: list[tuple[int, tuple[tuple[str, str], ...]]] = []
+        task_pairs = 0
+        for unit in order:
+            size = len(unit_pairs[unit])
+            if size >= chunk_size:
+                tasks.append([(unit, unit_pairs[unit])])
+                continue
+            task.append((unit, unit_pairs[unit]))
+            task_pairs += size
+            if task_pairs >= chunk_size:
+                tasks.append(task)
+                task = []
+                task_pairs = 0
+        if task:
+            tasks.append(task)
+        return tasks
+
+    def _execute_stealing(
+        self, relation, plan: CandidatePlan
+    ) -> Iterator[DetectionResult]:
+        settings = self._settings
+        if not plan.partitions:
+            return
+        unit_pairs, unit_partition, remaining = self._stealing_units(
+            relation, plan
+        )
+        tasks = self._stealing_tasks(unit_pairs)
+        self.report.dispatch_tasks = len(tasks)
+        if settings.n_jobs == 1:
+            results = (
+                [
+                    (
+                        unit,
+                        decide_pairs(
+                            self._procedure,
+                            relation,
+                            pairs,
+                            settings.keep_derivations,
+                        ),
+                    )
+                    for unit, pairs in task
+                ]
+                for task in tasks
+            )
+            yield from self._collect_stolen(
+                plan, results, unit_pairs, unit_partition, remaining
+            )
+        else:
+            with fork_context().Pool(
+                settings.n_jobs,
+                initializer=init_worker,
+                initargs=(
+                    self._procedure,
+                    relation,
+                    settings.keep_derivations,
+                ),
+            ) as pool:
+                yield from self._collect_stolen(
+                    plan,
+                    pool.imap_unordered(decide_batch, tasks),
+                    unit_pairs,
+                    unit_partition,
+                    remaining,
+                )
+
+    def _collect_stolen(
+        self,
+        plan: CandidatePlan,
+        results,
+        unit_pairs: list[tuple[tuple[str, str], ...]],
+        unit_partition: list[int],
+        remaining: list[int],
+    ) -> Iterator[DetectionResult]:
+        """Regroup stolen units and emit partitions in plan order.
+
+        Units arrive in completion order; each partition's decisions
+        are reassembled into its original pair emission order, and
+        finished partitions are buffered until every earlier partition
+        has been yielded — stealing reorders *work*, never *results*.
+        """
+        size = plan.relation_size
+        keep = self._settings.keep_compared_pairs
+        pending: dict[int, dict[int, list[XTupleDecision]]] = {}
+        ready: dict[int, tuple[XTupleDecision, ...]] = {}
+        next_index = 0
+        for task_results in results:
+            for unit, decisions in task_results:
+                index = unit_partition[unit]
+                bucket = pending.setdefault(index, {})
+                bucket[unit] = decisions
+                remaining[index] -= 1
+                if remaining[index]:
+                    continue
+                ready[index] = _reassemble(
+                    plan.partitions[index], pending.pop(index), unit_pairs
+                )
+                while next_index in ready:
+                    partition = plan.partitions[next_index]
+                    yield slice_result(
+                        partition, ready.pop(next_index), size, keep
+                    )
+                    self._tracker.slice_done(partition)
+                    next_index += 1
+        if pending or next_index != len(plan.partitions):  # pragma: no cover
+            raise RuntimeError(
+                "work-stealing execution lost "
+                f"{len(plan.partitions) - next_index} partitions"
+            )
+
+
+def _reassemble(
+    partition: CandidatePartition,
+    buckets: dict[int, list[XTupleDecision]],
+    unit_pairs: list[tuple[tuple[str, str], ...]],
+) -> tuple[XTupleDecision, ...]:
+    """One partition's decisions, restored to plan emission order."""
+    if len(buckets) == 1:
+        # Whole partitions ride as one unit — most of a typical plan —
+        # and sub-key groups that stayed intact: no reorder needed.
+        ((unit, decisions),) = buckets.items()
+        if unit_pairs[unit] == partition.pairs:
+            return tuple(decisions)
+    by_pair: dict[tuple[str, str], XTupleDecision] = {}
+    for unit, decisions in buckets.items():
+        for pair, decision in zip(unit_pairs[unit], decisions):
+            by_pair[pair] = decision
+    return tuple(by_pair[pair] for pair in partition.pairs)
+
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_SPLIT_PAIRS",
+    "ENGINE_SCHEDULING_MODES",
+    "ExecutionEngine",
+    "ExecutionSettings",
+    "prewarm_plan",
+    "subdivide_partition",
+]

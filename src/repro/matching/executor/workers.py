@@ -1,0 +1,117 @@
+"""Worker-process plumbing of the execution engine.
+
+Workers are forked (where the platform allows) with the decision
+procedure, the relation handle and the run options installed once per
+process by :func:`init_worker`; every dispatch then ships only pair
+ids.  Storage backends are opened read-only by workers — a forked
+worker re-opens a spilled store's segment files for itself and never
+copies the relation (see
+:meth:`repro.pdb.storage.spill.SpillingXTupleStore._handle`).
+
+The same chunk-deciding helpers back the in-process serial paths, so
+serial and fanned-out execution share one code path per pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from collections.abc import Iterator, Sequence
+
+from repro.pdb.storage import fetch_tuples
+
+#: Worker-process state for the multiprocessing fan-out, installed by
+#: :func:`init_worker` via the fork of the parent.  Each worker gets its
+#: own copy of the decision procedure — and therefore its own similarity
+#: caches.  Under partitioned scheduling those caches arrive pre-warmed
+#: and frozen (read-only, shared copy-on-write); under stealing and
+#: striped scheduling they grow independently per worker.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def init_worker(procedure, relation, keep_derivations) -> None:
+    """Pool initializer: install per-process decision state."""
+    _WORKER_STATE["procedure"] = procedure
+    _WORKER_STATE["relation"] = relation
+    _WORKER_STATE["keep_derivations"] = keep_derivations
+
+
+def fork_context():
+    """The pool context: fork when available (shares pre-warmed caches)."""
+    return multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+
+
+def chunk_working_set(relation, pairs: Sequence[tuple[str, str]]):
+    """The tuples one chunk of pairs touches, loaded as one batch.
+
+    One batched working-set load per chunk: out-of-core stores decode
+    each needed segment page once instead of per pair lookup (and a
+    multi-source view splits the batch per backing store), and the
+    caller only ever holds this chunk's tuples (plus the store's page
+    cache) decoded — never a whole single-partition plan's relation.
+    """
+    members: dict[str, None] = {}
+    for left, right in pairs:
+        members[left] = None
+        members[right] = None
+    return fetch_tuples(relation, members)
+
+
+def decide_pairs(procedure, relation, pairs, keep_derivations):
+    """Decide one bounded chunk of pairs against one working set."""
+    working_set = chunk_working_set(relation, pairs)
+    decide = procedure.decide
+    return [
+        decide(
+            working_set[left], working_set[right],
+            keep_derivations=keep_derivations,
+        )
+        for left, right in pairs
+    ]
+
+
+def decide_chunk(pairs: Sequence[tuple[str, str]]):
+    """Worker entry point: decide one chunk from the installed state."""
+    return decide_pairs(
+        _WORKER_STATE["procedure"],
+        _WORKER_STATE["relation"],
+        pairs,
+        _WORKER_STATE["keep_derivations"],
+    )
+
+
+def decide_batch(batch):
+    """Decide one dispatch batch of ``(tag, pairs)`` chunks.
+
+    Small chunks are coalesced into one batch so worker round trips
+    cost the same as a flat fan-out; the per-chunk result lists keep
+    the tag (a partition index, or a stealing-mode work-unit id) for
+    the parent's regrouping.
+    """
+    return [(tag, decide_chunk(pairs)) for tag, pairs in batch]
+
+
+def chunked(
+    pairs: Iterator[tuple[str, str]], size: int
+) -> Iterator[list[tuple[str, str]]]:
+    """Bounded chunks of a pair stream (the striped legacy fan-out)."""
+    while True:
+        chunk = list(itertools.islice(pairs, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+__all__ = [
+    "chunk_working_set",
+    "chunked",
+    "decide_batch",
+    "decide_chunk",
+    "decide_pairs",
+    "fork_context",
+    "init_worker",
+]

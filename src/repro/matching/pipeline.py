@@ -12,29 +12,17 @@
 (E) verification — the returned :class:`DetectionResult` feeds directly
     into :mod:`repro.verification`.
 
-Intra-source and inter-source duplicates are both covered: detection runs
-over one (possibly unioned) relation, comparing every candidate pair once.
-
-Execution happens in three stages since the block-aware planner landed:
-
-1. **plan** — the reducer's block/window structure is materialized as a
-   :class:`~repro.reduction.plan.CandidatePlan` (legacy ``pairs()``-only
-   reducers fall back to one partition); partitions carry tuple *ids*,
-   never tuples;
-2. **schedule** — whole partitions are assigned to workers, so each
-   worker's similarity-cache working set covers one block neighborhood
-   instead of a blind stripe of the pair stream; before forking, the
-   shared caches are pre-warmed from the observed per-partition
-   vocabulary and frozen read-only;
-3. **execute** — partitions are decided in plan order, either collected
-   into one :class:`DetectionResult` or streamed per partition
-   (``stream=True``).  Member tuples are loaded chunk by chunk as
-   bounded working sets through the storage backend
-   (:func:`repro.pdb.storage.fetch_tuples`), so detection over an
-   out-of-core :class:`~repro.pdb.storage.SpillingXTupleStore` keeps
-   only the current chunk's tuples plus the store's page cache decoded
-   — even for single-partition plans — and forked workers open the
-   store read-only, never duplicating the relation.
+Since the executor extraction, this module is a thin *configuration
+facade*: the detector resolves its configuration (reducer, decision
+procedure, threshold-pushdown clones, preparation hooks) into a
+:class:`~repro.reduction.plan.CandidatePlan` and an
+:class:`~repro.matching.executor.ExecutionEngine`, and the engine in
+:mod:`repro.matching.executor` does everything between planning and the
+per-pair decision — partition scheduling, cache pre-warming, worker
+fan-out, skew-aware work stealing, streaming.  Inter-source detection
+(:meth:`DuplicateDetector.detect_between`) plans source pairs over a
+:class:`~repro.pdb.storage.MultiSourceStore` view — two spilled stores
+are consolidated without ever materializing their union.
 
 Every mode produces exactly the decisions of the plain serial pipeline,
 in the same order, for every storage backend.
@@ -42,29 +30,48 @@ in the same order, for every storage backend.
 
 from __future__ import annotations
 
-import itertools
 import multiprocessing
+from collections import OrderedDict
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
-from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
-from repro.matching.clustering import ClusteringResult, cluster_matches
 from repro.matching.comparison import AttributeMatcher
-from repro.matching.decision.base import DecisionModel, MatchStatus
+from repro.matching.decision.base import DecisionModel
 from repro.matching.derivation import DerivationFunction
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.executor import (
+    DEFAULT_CHUNK_SIZE,
+    ExecutionEngine,
+    ExecutionSettings,
+    cross_source_plan,
+    plan_sources,
+)
+from repro.matching.executor.progress import ProgressObserver
+from repro.matching.executor.results import DetectionResult
+from repro.matching.executor.workers import (
+    chunked as _chunked,
+    decide_chunk as _decide_chunk,
+    fork_context as _fork_context,
+    init_worker as _init_worker,
+)
 from repro.matching.pushdown import SimilarityFloors
 from repro.pdb.relations import ProbabilisticRelation, XRelation
-from repro.pdb.storage import XTupleStore, fetch_tuples
+from repro.pdb.storage import XTupleStore, combine_sources
 from repro.reduction.plan import (
     DEFAULT_PARTITION_PAIRS,
-    CandidatePartition,
     CandidatePlan,
     PlanBuilder,
     ordered_pair as _ordered,
-    partition_vocabulary,
     plan_candidates,
 )
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "DetectionResult",
+    "DuplicateDetector",
+    "FullComparison",
+    "PairGenerator",
+]
 
 
 @runtime_checkable
@@ -136,206 +143,16 @@ class FullComparison:
         return "FullComparison()"
 
 
-@dataclass(frozen=True)
-class DetectionResult:
-    """Everything duplicate detection produced, ready for verification.
-
-    Attributes
-    ----------
-    decisions:
-        One :class:`XTupleDecision` per compared candidate pair.
-    compared_pairs:
-        The candidate pairs that were actually compared (normalized so
-        ``left <= right``), i.e. the reduced search space.  Empty when
-        detection ran with ``keep_compared_pairs=False``.
-    relation_size:
-        Number of tuples in the searched relation (for reduction-ratio
-        computations).
-    partition_label:
-        For per-partition slices yielded by ``stream=True``: the label
-        of the :class:`~repro.reduction.plan.CandidatePartition` this
-        slice covers.  ``None`` for whole-run results.
-    """
-
-    decisions: tuple[XTupleDecision, ...]
-    compared_pairs: frozenset[tuple[str, str]]
-    relation_size: int
-    partition_label: str | None = None
-
-    def pairs_with_status(
-        self, status: MatchStatus
-    ) -> tuple[tuple[str, str], ...]:
-        """All compared pairs that received the given matching value."""
-        return tuple(
-            _ordered(d.left_id, d.right_id)
-            for d in self.decisions
-            if d.status is status
-        )
-
-    @property
-    def matches(self) -> tuple[tuple[str, str], ...]:
-        """The set M."""
-        return self.pairs_with_status(MatchStatus.MATCH)
-
-    @property
-    def possible_matches(self) -> tuple[tuple[str, str], ...]:
-        """The set P (clerical review)."""
-        return self.pairs_with_status(MatchStatus.POSSIBLE)
-
-    @property
-    def unmatches(self) -> tuple[tuple[str, str], ...]:
-        """The set U."""
-        return self.pairs_with_status(MatchStatus.UNMATCH)
-
-    def clusters(self, *, include_possible: bool = False) -> ClusteringResult:
-        """Transitive closure of the decisions into duplicate clusters.
-
-        Falls back to the decisions' own pair set when
-        ``compared_pairs`` was dropped (``keep_compared_pairs=False``).
-        """
-        ids: set[str] = set()
-        for left, right in self.compared_pairs:
-            ids.add(left)
-            ids.add(right)
-        for decision in self.decisions:
-            ids.add(decision.left_id)
-            ids.add(decision.right_id)
-        return cluster_matches(
-            sorted(ids),
-            [(d.left_id, d.right_id, d.status) for d in self.decisions],
-            include_possible=include_possible,
-        )
-
-
-#: Default number of candidate pairs decided per batch.  Large enough to
-#: amortize dispatch overhead (and IPC when fanning out), small enough
-#: that per-chunk result lists never hold more than a sliver of a run.
-DEFAULT_CHUNK_SIZE = 1024
-
 #: Soft bound on memoized pruned pipeline clones per detector.  A
-#: normal workload uses one ("auto") or a handful of configurations;
-#: a float-cutoff sweep past the bound clears the memo wholesale (the
-#: repo-wide cache policy) rather than retaining every clone and its
-#: banded similarity caches for the detector's lifetime.
+#: normal workload uses one ("auto") or a handful of configurations; a
+#: float-cutoff sweep past the bound evicts the least recently used
+#: clone (true LRU — the hot "auto" clone of an interleaved sweep is
+#: never dropped by unrelated cutoffs).
 _MAX_PRUNED_PROCEDURES = 8
 
-#: Total pairwise-similarity budget for cache pre-warming, across all
-#: partitions and attributes of one detection run.  Blocking plans warm
-#: completely well below this; the bound exists so an unstructured plan
-#: (full comparison) cannot spend the whole run warming in the parent.
-PREWARM_PAIR_BUDGET = 200_000
-
-#: Worker-process state for the multiprocessing fan-out, installed by
-#: :func:`_init_worker` via the fork of the parent.  Each worker gets its
-#: own copy of the decision procedure — and therefore its own similarity
-#: caches.  Under partitioned scheduling those caches arrive pre-warmed
-#: and frozen (read-only, shared copy-on-write); under striped
-#: scheduling they grow independently per worker.
-_WORKER_STATE: dict[str, object] = {}
-
-
-def _init_worker(procedure, relation, keep_derivations) -> None:
-    _WORKER_STATE["procedure"] = procedure
-    _WORKER_STATE["relation"] = relation
-    _WORKER_STATE["keep_derivations"] = keep_derivations
-
-
-def _chunk_working_set(relation, pairs: Sequence[tuple[str, str]]):
-    """The tuples one chunk of pairs touches, loaded as one batch.
-
-    One batched working-set load per chunk: out-of-core stores decode
-    each needed segment page once instead of per pair lookup, and the
-    caller only ever holds this chunk's tuples (plus the store's page
-    cache) decoded — never a whole single-partition plan's relation.
-    """
-    members: dict[str, None] = {}
-    for left, right in pairs:
-        members[left] = None
-        members[right] = None
-    return fetch_tuples(relation, members)
-
-
-def _decide_chunk(pairs: Sequence[tuple[str, str]]):
-    procedure = _WORKER_STATE["procedure"]
-    relation = _WORKER_STATE["relation"]
-    keep = _WORKER_STATE["keep_derivations"]
-    working_set = _chunk_working_set(relation, pairs)
-    return [
-        procedure.decide(
-            working_set[left], working_set[right], keep_derivations=keep
-        )
-        for left, right in pairs
-    ]
-
-
-def _decide_batch(batch):
-    """Decide one dispatch batch of ``(partition index, pairs)`` chunks.
-
-    Small partitions are coalesced into one batch so worker round trips
-    cost the same as the striped fan-out; the per-chunk result lists keep
-    the partition attribution for the parent's regrouping.
-    """
-    return [(index, _decide_chunk(pairs)) for index, pairs in batch]
-
-
-def _chunked(
-    pairs: Iterator[tuple[str, str]], size: int
-) -> Iterator[list[tuple[str, str]]]:
-    while True:
-        chunk = list(itertools.islice(pairs, size))
-        if not chunk:
-            return
-        yield chunk
-
-
-def _prewarm_plan(
-    matcher: AttributeMatcher,
-    relation: XRelation | XTupleStore,
-    plan: CandidatePlan,
-    *,
-    budget: int = PREWARM_PAIR_BUDGET,
-) -> tuple[int, bool]:
-    """Warm the matcher's caches from every partition's vocabulary.
-
-    Returns ``(entries stored, complete)`` where *complete* means every
-    partition's full pairwise table fit the budget — the precondition
-    for freezing the caches read-only around a fork.
-    """
-    if not matcher.cache_stats():
-        return 0, False
-    total_warmed = 0
-    complete = True
-    remaining = budget
-    for partition in plan:
-        if remaining <= 0:
-            complete = False
-            break
-        vocabulary = partition_vocabulary(relation, partition)
-        warmed, examined, partition_complete = matcher.warm(
-            vocabulary, budget=remaining
-        )
-        total_warmed += warmed
-        remaining -= max(examined, 1)
-        complete = complete and partition_complete
-    return total_warmed, complete
-
-
-def _slice_result(
-    partition: CandidatePartition,
-    decisions: tuple[XTupleDecision, ...],
-    relation_size: int,
-    keep_compared_pairs: bool,
-) -> DetectionResult:
-    return DetectionResult(
-        decisions=decisions,
-        compared_pairs=(
-            frozenset(partition.pairs)
-            if keep_compared_pairs
-            else frozenset()
-        ),
-        relation_size=relation_size,
-        partition_label=partition.label,
-    )
+#: Scheduling modes ``detect`` accepts: the engine's plan-driven modes
+#: plus the legacy pre-planner stripe fan-out.
+SCHEDULING_MODES = ("partitioned", "stealing", "striped")
 
 
 class DuplicateDetector:
@@ -355,9 +172,21 @@ class DuplicateDetector:
         Optional relation-level preparation hook (step A): a callable
         ``XRelation -> XRelation`` applied before anything else, e.g.
         :func:`repro.preparation.standardize_relation` partially applied.
+        :meth:`detect_between` applies it to *each source separately*,
+        before any planning — per-source standardization of autonomous
+        sources.
     final_classifier:
         Optional distinct classifier for the x-tuple level (step 3 of
         Figure 6); defaults to the model's classifier.
+
+    Attributes
+    ----------
+    last_report:
+        The :class:`~repro.matching.executor.ExecutionReport` of the
+        most recent plan-driven ``detect`` / ``detect_between`` call
+        (``None`` before the first run and for striped runs).  For
+        streamed runs the counters finish filling as the slice iterator
+        is consumed.
     """
 
     def __init__(
@@ -379,11 +208,14 @@ class DuplicateDetector:
         self._preparation = preparation
         # Pruned pipeline clones, memoized per floors signature: one
         # configuration is inverted (and its banded caches created)
-        # once, however many detect calls reuse it.  Bounded: a cutoff
-        # sweep over many distinct floors clears the memo wholesale
-        # instead of retaining one clone (plus banded caches) per
-        # floor ever tried.
-        self._pruned_procedures: dict[tuple, XTupleDecisionProcedure] = {}
+        # once, however many detect calls reuse it.  Bounded by true
+        # LRU eviction: a cutoff sweep over many distinct floors only
+        # ever drops the least recently used clone, so the hot clone
+        # (e.g. "auto") survives the sweep.
+        self._pruned_procedures: OrderedDict[
+            tuple, XTupleDecisionProcedure
+        ] = OrderedDict()
+        self.last_report = None
 
     @property
     def procedure(self) -> XTupleDecisionProcedure:
@@ -409,7 +241,7 @@ class DuplicateDetector:
         :class:`~repro.matching.pushdown.SimilarityFloors`, derives the
         floor-configured pipeline clone once per distinct configuration
         and reuses it afterwards (including its band-keyed similarity
-        caches).
+        caches), evicting least-recently-used clones past the bound.
         """
         if min_similarity is None:
             return self._procedure
@@ -429,12 +261,15 @@ class DuplicateDetector:
         if floors.is_exact:
             return self._procedure
         key = floors.signature()
-        procedure = self._pruned_procedures.get(key)
+        memo = self._pruned_procedures
+        procedure = memo.get(key)
         if procedure is None:
             procedure = self._procedure.with_floors(floors)
-            if len(self._pruned_procedures) >= _MAX_PRUNED_PROCEDURES:
-                self._pruned_procedures.clear()
-            self._pruned_procedures[key] = procedure
+            while len(memo) >= _MAX_PRUNED_PROCEDURES:
+                memo.popitem(last=False)
+            memo[key] = procedure
+        else:
+            memo.move_to_end(key)
         return procedure
 
     @property
@@ -479,6 +314,9 @@ class DuplicateDetector:
         stream: bool = False,
         prewarm: bool | None = None,
         min_similarity: float | Mapping[str, float] | str | None = None,
+        split_pairs: int | None = None,
+        prewarm_budget: int | None = None,
+        on_progress: ProgressObserver | None = None,
     ) -> DetectionResult | Iterator[DetectionResult]:
         """Run steps A–D over one relation and collect the decisions.
 
@@ -524,17 +362,19 @@ class DuplicateDetector:
         ----------
         chunk_size:
             Candidate pairs per worker dispatch (default
-            :data:`DEFAULT_CHUNK_SIZE`).  Under partitioned scheduling,
-            partitions larger than this are split into contiguous
-            sub-chunks; chunk boundaries never cross partitions.
+            :data:`~repro.matching.executor.DEFAULT_CHUNK_SIZE`).
+            Under plan-driven scheduling, partitions larger than this
+            are split into contiguous sub-chunks; chunk boundaries
+            never cross partitions.
         n_jobs:
             Number of worker processes.  1 (default) decides everything
             in-process; ``None`` uses one worker per CPU.  Workers are
-            forked and receive *whole partitions*, so each worker's
-            similarity-cache working set covers one block neighborhood.
-            Storage backends are opened read-only by workers: a forked
-            worker re-opens a spilled store's segment files for itself
-            and never copies the relation.
+            forked and receive *whole partitions* (or, under stealing,
+            whole work units), so each worker's similarity-cache
+            working set covers one block neighborhood.  Storage
+            backends are opened read-only by workers: a forked worker
+            re-opens a spilled store's segment files for itself and
+            never copies the relation.
         keep_derivations:
             When ``False``, decisions are returned without their
             intermediate comparison matrices (``derivation_input`` is
@@ -545,12 +385,19 @@ class DuplicateDetector:
             id.  Decisions are unaffected.
         scheduling:
             ``"partitioned"`` (default) plans the reducer's block/window
-            structure and schedules whole partitions;  ``"striped"`` is
-            the legacy mode striping anonymous chunks of the flat pair
+            structure and schedules whole partitions in plan order;
+            ``"stealing"`` additionally subdivides partitions exceeding
+            the ``split_pairs`` cost budget (via the reducer's sub-key
+            ``split_partition`` hook, else contiguous banding) and
+            dispatches the work units largest-first through a
+            work-stealing queue — one skewed block no longer serializes
+            a parallel run, and results are reassembled into plan order
+            so decisions stay bitwise identical;  ``"striped"`` is the
+            legacy mode striping anonymous chunks of the flat pair
             stream across workers (kept for comparison and for reducers
             whose plan should be bypassed).
         stream:
-            With ``True`` (partitioned scheduling only), returns a lazy
+            With ``True`` (plan-driven scheduling only), returns a lazy
             iterator of per-partition :class:`DetectionResult` slices
             instead of one collected result — decisions for a partition
             are released to the caller as soon as it is decided, so a
@@ -558,10 +405,14 @@ class DuplicateDetector:
         prewarm:
             Whether to pre-warm the matcher's similarity caches from the
             plan's per-partition vocabulary before executing.  Default
-            (``None``) warms exactly when forking (``n_jobs > 1``); when
-            the warm table is complete the caches are frozen read-only
-            for the pool's lifetime so every worker shares the parent's
-            table copy-on-write.  Ignored under striped scheduling.
+            (``None``) warms exactly when forking under partitioned
+            scheduling (when the warm table is complete the caches are
+            frozen read-only for the pool's lifetime so every worker
+            shares the parent's table copy-on-write); stealing defaults
+            to *no* parent-side warming — its sub-key work units keep
+            worker working sets coherent, so warming would serialize
+            similarity work the workers compute in parallel.  Ignored
+            under striped scheduling.
         min_similarity:
             Threshold pushdown.  ``"auto"`` derives per-attribute
             cutoffs from the decision model's classifier structure
@@ -578,26 +429,150 @@ class DuplicateDetector:
             computes every similarity exactly.  Cache pre-warming
             under pushdown fills the band-keyed cutoff caches instead
             of the exact tables.
+        split_pairs:
+            Stealing-mode cost budget: partitions above this many pairs
+            are subdivided (default
+            :data:`~repro.matching.executor.DEFAULT_SPLIT_PAIRS`).
+        prewarm_budget:
+            Parent-side warm budget in pairwise similarity evaluations
+            (default
+            :data:`~repro.matching.executor.PREWARM_PAIR_BUDGET`).
+            When one partition's vocabulary table exceeds what remains,
+            warming stops incomplete and the caches are not frozen —
+            the skewed-block regime where ``scheduling="stealing"``
+            takes over.
+        on_progress:
+            Optional callback invoked once per completed partition with
+            a :class:`~repro.matching.executor.PartitionProgress`
+            event; the run's summary is available afterwards as
+            :attr:`last_report`.
         """
         relation = self._prepared_relation(relation)
+        return self._detect_prepared(
+            relation,
+            plan=None,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+            keep_derivations=keep_derivations,
+            keep_compared_pairs=keep_compared_pairs,
+            scheduling=scheduling,
+            stream=stream,
+            prewarm=prewarm,
+            min_similarity=min_similarity,
+            split_pairs=split_pairs,
+            prewarm_budget=prewarm_budget,
+            on_progress=on_progress,
+        )
+
+    def detect_between(
+        self,
+        left: XRelation | ProbabilisticRelation | XTupleStore,
+        right: XRelation | ProbabilisticRelation | XTupleStore,
+        *more: XRelation | ProbabilisticRelation | XTupleStore,
+        within_sources: bool = True,
+        **detect_options,
+    ) -> DetectionResult | Iterator[DetectionResult]:
+        """Inter-source detection without materializing the union.
+
+        The paper's scenario — consolidating autonomous probabilistic
+        sources (ℛ1/ℛ2 or ℛ3/ℛ4) — is planned over a
+        :class:`~repro.pdb.storage.MultiSourceStore` *view* of the
+        sources: iteration order equals the union's, so decisions are
+        bitwise identical to ``detect(left.union(right))``, but no
+        combined relation is ever built — two (or more) out-of-core
+        :class:`~repro.pdb.storage.SpillingXTupleStore` sources are
+        consolidated through multi-store working-set fetches.  Every
+        partition of the plan is tagged with the sources it touches.
+
+        With ``within_sources=False`` only *cross-source* pairs are
+        decided (which records of one source duplicate records of
+        another): partitions whose key range exists in a single source
+        are pruned from the plan without touching their tuples, and the
+        remaining decisions equal the union run's decisions filtered to
+        cross-source pairs, in the same order.
+
+        A configured ``preparation`` hook is applied to *each source
+        separately, before planning* — per-source standardization —
+        and requires in-memory sources (materialize stores first).
+        Keyword options are forwarded to :meth:`detect`.
+        """
+        sources = [self._prepare_source(s) for s in (left, right, *more)]
+        view = combine_sources(sources)
+        if detect_options.get("scheduling") == "striped":
+            if not within_sources:
+                raise ValueError(
+                    "within_sources=False needs a plan-driven scheduling "
+                    "mode; striped execution cannot prune source pairs"
+                )
+            # Striped execution regenerates the flat pair stream itself;
+            # building (and discarding) the partitioned plan here would
+            # double the planning cost for nothing.
+            return self._detect_prepared(view, plan=None, **detect_options)
+        plan = plan_sources(self._reducer, view)
+        if not within_sources:
+            plan = cross_source_plan(plan, view)
+        return self._detect_prepared(view, plan=plan, **detect_options)
+
+    def _prepare_source(
+        self, source: XRelation | ProbabilisticRelation | XTupleStore
+    ) -> XRelation | XTupleStore:
+        """Step A for one autonomous source of ``detect_between``."""
+        if isinstance(source, ProbabilisticRelation):
+            source = source.to_x_relation()
+        if self._preparation is not None:
+            if not isinstance(source, XRelation):
+                raise TypeError(
+                    "preparation hooks require in-memory sources; "
+                    "materialize each store, prepare, and re-spill "
+                    "(store.materialize() → prepare → XRelation.spill) "
+                    "before detect_between"
+                )
+            source = self._preparation(source)
+        return source
+
+    # ------------------------------------------------------------------
+    # Execution (delegated to repro.matching.executor)
+    # ------------------------------------------------------------------
+
+    def _detect_prepared(
+        self,
+        relation: XRelation | XTupleStore,
+        *,
+        plan: CandidatePlan | None,
+        chunk_size: int | None = None,
+        n_jobs: int | None = 1,
+        keep_derivations: bool = True,
+        keep_compared_pairs: bool = True,
+        scheduling: str = "partitioned",
+        stream: bool = False,
+        prewarm: bool | None = None,
+        min_similarity: float | Mapping[str, float] | str | None = None,
+        split_pairs: int | None = None,
+        prewarm_budget: int | None = None,
+        on_progress: ProgressObserver | None = None,
+    ) -> DetectionResult | Iterator[DetectionResult]:
         procedure = self._resolve_procedure(min_similarity)
         if chunk_size is None:
             chunk_size = DEFAULT_CHUNK_SIZE
-        if chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
         if n_jobs is None:
             n_jobs = multiprocessing.cpu_count()
-        if n_jobs < 1:
-            raise ValueError("n_jobs must be at least 1 (or None)")
-        if scheduling not in ("partitioned", "striped"):
+        if scheduling not in SCHEDULING_MODES:
             raise ValueError(
                 f"unknown scheduling {scheduling!r}; "
-                "expected 'partitioned' or 'striped'"
+                f"expected one of {SCHEDULING_MODES}"
             )
-        if stream and scheduling != "partitioned":
-            raise ValueError("stream=True requires partitioned scheduling")
+        if stream and scheduling == "striped":
+            raise ValueError(
+                "stream=True requires plan-driven scheduling "
+                "(partitioned or stealing)"
+            )
 
         if scheduling == "striped":
+            if chunk_size <= 0:
+                raise ValueError("chunk_size must be positive")
+            if n_jobs < 1:
+                raise ValueError("n_jobs must be at least 1 (or None)")
+            self.last_report = None
             return self._detect_striped(
                 relation,
                 procedure,
@@ -607,17 +582,28 @@ class DuplicateDetector:
                 keep_compared_pairs=keep_compared_pairs,
             )
 
-        plan = plan_candidates(self._reducer, relation)
-        slices = self._execute_plan(
-            relation,
-            plan,
-            procedure,
+        settings_options = dict(
             chunk_size=chunk_size,
             n_jobs=n_jobs,
             keep_derivations=keep_derivations,
             keep_compared_pairs=keep_compared_pairs,
+            scheduling=scheduling,
             prewarm=prewarm,
         )
+        if split_pairs is not None:
+            settings_options["split_pairs"] = split_pairs
+        if prewarm_budget is not None:
+            settings_options["prewarm_budget"] = prewarm_budget
+        engine = ExecutionEngine(
+            procedure,
+            ExecutionSettings(**settings_options),
+            splitter=self._reducer,
+            observer=on_progress,
+        )
+        self.last_report = engine.report
+        if plan is None:
+            plan = plan_candidates(self._reducer, relation)
+        slices = engine.execute(relation, plan)
         if stream:
             return slices
         decisions: list[XTupleDecision] = []
@@ -631,156 +617,6 @@ class DuplicateDetector:
             compared_pairs=frozenset(compared),
             relation_size=len(relation),
         )
-
-    # ------------------------------------------------------------------
-    # Partitioned execution (plan → schedule → execute)
-    # ------------------------------------------------------------------
-
-    def _execute_plan(
-        self,
-        relation: XRelation | XTupleStore,
-        plan: CandidatePlan,
-        procedure: XTupleDecisionProcedure,
-        *,
-        chunk_size: int,
-        n_jobs: int,
-        keep_derivations: bool,
-        keep_compared_pairs: bool,
-        prewarm: bool | None,
-    ) -> Iterator[DetectionResult]:
-        """Yield one :class:`DetectionResult` slice per partition."""
-        matcher = procedure.matcher
-        newly_frozen: list = []
-        should_warm = n_jobs > 1 if prewarm is None else prewarm
-        if should_warm:
-            _, complete = _prewarm_plan(matcher, relation, plan)
-            if complete and n_jobs > 1:
-                newly_frozen = matcher.freeze_caches()
-        try:
-            if n_jobs == 1:
-                yield from self._execute_serial(
-                    relation,
-                    plan,
-                    procedure,
-                    chunk_size,
-                    keep_derivations,
-                    keep_compared_pairs,
-                )
-            else:
-                yield from self._execute_parallel(
-                    relation,
-                    plan,
-                    procedure,
-                    chunk_size,
-                    n_jobs,
-                    keep_derivations,
-                    keep_compared_pairs,
-                )
-        finally:
-            # Restore only the freezes this run established; caches the
-            # caller froze beforehand stay frozen.
-            for cache in newly_frozen:
-                cache.thaw()
-
-    def _execute_serial(
-        self,
-        relation: XRelation | XTupleStore,
-        plan: CandidatePlan,
-        procedure: XTupleDecisionProcedure,
-        chunk_size: int,
-        keep_derivations: bool,
-        keep_compared_pairs: bool,
-    ) -> Iterator[DetectionResult]:
-        decide = procedure.decide
-        size = len(relation)
-        for partition in plan:
-            # Load the working set chunk by chunk, exactly like the
-            # parallel dispatch path: residency stays bounded by
-            # chunk_size even when a plan degenerates to one partition
-            # spanning the whole relation (full comparison, legacy
-            # pairs()-only reducers).
-            decisions: list[XTupleDecision] = []
-            pairs = partition.pairs
-            for start in range(0, len(pairs), chunk_size):
-                chunk = pairs[start : start + chunk_size]
-                working_set = _chunk_working_set(relation, chunk)
-                decisions.extend(
-                    decide(
-                        working_set[left_id],
-                        working_set[right_id],
-                        keep_derivations=keep_derivations,
-                    )
-                    for left_id, right_id in chunk
-                )
-            yield _slice_result(
-                partition, tuple(decisions), size, keep_compared_pairs
-            )
-
-    def _execute_parallel(
-        self,
-        relation: XRelation | XTupleStore,
-        plan: CandidatePlan,
-        procedure: XTupleDecisionProcedure,
-        chunk_size: int,
-        n_jobs: int,
-        keep_derivations: bool,
-        keep_compared_pairs: bool,
-    ) -> Iterator[DetectionResult]:
-        size = len(relation)
-        # One dispatch batch holds whole consecutive partitions (split
-        # only when a single partition exceeds chunk_size) and carries
-        # ~chunk_size pairs, so worker round trips stay as coarse as the
-        # striped fan-out while cache working sets stay block-aligned.
-        batches: list[list[tuple[int, tuple[tuple[str, str], ...]]]] = []
-        batch: list[tuple[int, tuple[tuple[str, str], ...]]] = []
-        batched_pairs = 0
-        for index, partition in enumerate(plan.partitions):
-            pairs = partition.pairs
-            for start in range(0, len(pairs), chunk_size):
-                piece = pairs[start : start + chunk_size]
-                batch.append((index, piece))
-                batched_pairs += len(piece)
-                if batched_pairs >= chunk_size:
-                    batches.append(batch)
-                    batch = []
-                    batched_pairs = 0
-        if batch:
-            batches.append(batch)
-        if not batches:
-            return
-        context = multiprocessing.get_context(
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else None
-        )
-        with context.Pool(
-            n_jobs,
-            initializer=_init_worker,
-            initargs=(procedure, relation, keep_derivations),
-        ) as pool:
-            current: int | None = None
-            bucket: list[XTupleDecision] = []
-            for batch_results in pool.imap(_decide_batch, batches):
-                for index, chunk_decisions in batch_results:
-                    if current is None:
-                        current = index
-                    elif index != current:
-                        yield _slice_result(
-                            plan.partitions[current],
-                            tuple(bucket),
-                            size,
-                            keep_compared_pairs,
-                        )
-                        bucket = []
-                        current = index
-                    bucket.extend(chunk_decisions)
-            if current is not None:
-                yield _slice_result(
-                    plan.partitions[current],
-                    tuple(bucket),
-                    size,
-                    keep_compared_pairs,
-                )
 
     # ------------------------------------------------------------------
     # Striped execution (legacy fan-out, pre-planner)
@@ -822,12 +658,7 @@ class DuplicateDetector:
                         )
                     )
         else:
-            context = multiprocessing.get_context(
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else None
-            )
-            with context.Pool(
+            with _fork_context().Pool(
                 n_jobs,
                 initializer=_init_worker,
                 initargs=(procedure, relation, keep_derivations),
@@ -843,34 +674,6 @@ class DuplicateDetector:
             ),
             relation_size=len(relation),
         )
-
-    def detect_between(
-        self,
-        left: XRelation | ProbabilisticRelation,
-        right: XRelation | ProbabilisticRelation,
-        **detect_options,
-    ) -> DetectionResult | Iterator[DetectionResult]:
-        """Inter-source detection: union the sources, then detect.
-
-        The paper's scenario — consolidating two autonomous probabilistic
-        sources (ℛ1/ℛ2 or ℛ3/ℛ4) — reduces to detection over the union;
-        intra-source duplicates are found along the way.  Keyword options
-        are forwarded to :meth:`detect`.
-        """
-        if isinstance(left, ProbabilisticRelation):
-            left = left.to_x_relation()
-        if isinstance(right, ProbabilisticRelation):
-            right = right.to_x_relation()
-        if not (
-            isinstance(left, XRelation) and isinstance(right, XRelation)
-        ):
-            raise TypeError(
-                "detect_between unions its sources in memory; for "
-                "out-of-core runs union the relations first and spill "
-                "the union (XRelation.union(...).spill(path)), then "
-                "call detect on the opened store"
-            )
-        return self.detect(left.union(right), **detect_options)
 
     def __repr__(self) -> str:
         return (

@@ -16,6 +16,7 @@ store directory; :func:`repro.pdb.io.open_store` opens either form;
 """
 
 from repro.pdb.storage.base import XTupleStore, fetch_tuples
+from repro.pdb.storage.multi import MultiSourceStore, combine_sources
 from repro.pdb.storage.spill import (
     DEFAULT_MAX_OPEN_SEGMENTS,
     DEFAULT_MAX_PAGES,
@@ -34,10 +35,12 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_SEGMENT_SIZE",
     "MANIFEST_NAME",
+    "MultiSourceStore",
     "PageCacheInfo",
     "SpillingXTupleStore",
     "StorageError",
     "XTupleStore",
+    "combine_sources",
     "fetch_tuples",
     "spill_relation",
 ]

@@ -42,6 +42,8 @@ from repro.reduction.blocking import (
     CertainKeyBlocking,
     MultiPassBlocking,
     pairs_from_blocks,
+    refine_key,
+    split_block_by_refined_key,
 )
 from repro.reduction.keys import (
     KeyFunction,
@@ -59,12 +61,16 @@ from repro.reduction.plan import (
     CandidatePlan,
     PlanBuilder,
     PlanningReducer,
+    SplittableReducer,
     add_window_spans,
+    band_partition,
+    members_of_pairs,
     ordered_pair,
     partition_vocabulary,
     plan_candidates,
     plan_from_blocks,
     plan_from_window,
+    split_partition_by_groups,
 )
 from repro.reduction.snm import (
     SortedNeighborhood,
@@ -99,11 +105,13 @@ __all__ = [
     "PlanBuilder",
     "PlanningReducer",
     "SortedNeighborhood",
+    "SplittableReducer",
     "SubstringKey",
     "UncertainKeyClusteringBlocking",
     "UncertainKeySNM",
     "WorldSelection",
     "add_window_spans",
+    "band_partition",
     "alternative_key_distribution",
     "average_pairwise_overlap",
     "derived_most_probable_key",
@@ -111,6 +119,7 @@ __all__ = [
     "expand_pattern_keys",
     "expected_key_distance",
     "keys_of_world_assignment",
+    "members_of_pairs",
     "most_probable_key",
     "normalized_key_distance",
     "ordered_pair",
@@ -121,10 +130,13 @@ __all__ = [
     "plan_from_blocks",
     "plan_from_window",
     "prefix_transform",
+    "refine_key",
+    "split_block_by_refined_key",
     "select_diverse_worlds",
     "select_probable_worlds",
     "sort_by_key",
     "soundex_transform",
+    "split_partition_by_groups",
     "window_pairs",
     "xtuple_key_distribution",
 ]

@@ -20,7 +20,16 @@ makes the structure explicit:
 * :func:`plan_candidates` — planner entry point with a single-partition
   fallback for legacy ``pairs()``-only reducers;
 * :func:`partition_vocabulary` — the observed per-attribute domain
-  elements of one partition, the input of similarity-cache pre-warming.
+  elements of one partition, the input of similarity-cache pre-warming;
+* :func:`split_partition_by_groups` / :func:`band_partition` — exact
+  subdivisions of one partition (by member grouping, or contiguous
+  banding) for the skew-aware scheduler; reducers with sub-key
+  structure expose it through the :class:`SplittableReducer` hook.
+
+Partitions and plans additionally carry optional *source tags*
+(:attr:`CandidatePartition.sources`), set when a plan is built over a
+multi-source view — the signal consolidation runs prune single-source
+partitions by.
 
 Every reducer in :mod:`repro.reduction` implements ``plan(relation)``
 on top of :func:`plan_from_blocks` / :func:`plan_from_window`; the
@@ -74,19 +83,31 @@ class CandidatePartition:
     members:
         Tuple ids appearing in :attr:`pairs`, in first-occurrence order
         (the deterministic base of vocabulary extraction).
+    sources:
+        Source tags of the relations the members come from, in
+        first-occurrence order — set by multi-source planning
+        (:func:`repro.matching.executor.multisource.plan_sources`);
+        ``None`` for single-relation plans.  A single-source tag on a
+        partition of a multi-source plan proves the partition can
+        contribute no cross-source pair — the pruning signal of
+        consolidation-only runs.
     """
 
     label: str
     pairs: tuple[tuple[str, str], ...]
     members: tuple[str, ...]
+    sources: tuple[str, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.pairs)
 
     def __repr__(self) -> str:
+        tagged = (
+            f", sources={'×'.join(self.sources)}" if self.sources else ""
+        )
         return (
             f"CandidatePartition({self.label!r}, pairs={len(self.pairs)}, "
-            f"members={len(self.members)})"
+            f"members={len(self.members)}{tagged})"
         )
 
 
@@ -103,6 +124,9 @@ class CandidatePlan:
     partitions: tuple[CandidatePartition, ...]
     relation_size: int
     source: str
+    #: Source tags of a multi-source plan (union order); ``None`` for
+    #: single-relation plans.
+    source_names: tuple[str, ...] | None = None
 
     @property
     def total_pairs(self) -> int:
@@ -132,6 +156,26 @@ class PlanningReducer(Protocol):
     """Reducers that expose their block/window structure as a plan."""
 
     def plan(self, relation) -> CandidatePlan:  # pragma: no cover
+        ...
+
+
+@runtime_checkable
+class SplittableReducer(Protocol):
+    """Reducers that can subdivide one of their partitions by sub-key.
+
+    The skew-aware scheduler calls ``split_partition`` on partitions
+    exceeding its cost budget; the reducer may return sub-partitions
+    whose concatenated pair *sets* cover the partition's pairs exactly
+    once (order may differ — the scheduler restores emission order when
+    reassembling), grouped so each sub-partition touches a small,
+    coherent member subset (e.g. a refined block key).  Returning
+    ``None`` (or raising nothing but producing one group) falls back to
+    the scheduler's contiguous row-banding.
+    """
+
+    def split_partition(
+        self, relation, partition: "CandidatePartition", *, max_pairs: int
+    ) -> "list[CandidatePartition] | None":  # pragma: no cover
         ...
 
 
@@ -299,6 +343,90 @@ def plan_candidates(reducer, relation) -> CandidatePlan:
     builder = PlanBuilder()
     builder.add("all", reducer.pairs(relation))
     return builder.build(relation_size=len(relation), source=repr(reducer))
+
+
+def members_of_pairs(
+    pairs: Sequence[tuple[str, str]],
+) -> tuple[str, ...]:
+    """Tuple ids of a pair sequence, in first-occurrence order."""
+    members: dict[str, None] = {}
+    for left, right in pairs:
+        members[left] = None
+        members[right] = None
+    return tuple(members)
+
+
+def split_partition_by_groups(
+    partition: CandidatePartition,
+    group_of: Mapping[str, str],
+) -> list[CandidatePartition]:
+    """Subdivide a partition by a member → group assignment.
+
+    Every pair lands in exactly one sub-partition — the one keyed by
+    its (unordered) endpoint group pair — so the sub-partitions' pair
+    sets cover the partition exactly once, whatever the grouping.  The
+    grouping only steers *locality*: a good assignment (refined block
+    key, sub-range of the sort order) gives each sub-partition a small
+    member working set, which is what lets a worker decide it with a
+    cold cache and no duplicated similarity work.
+
+    Pairs keep their relative emission order inside each sub-partition;
+    sub-partitions are ordered by first pair occurrence, so
+    concatenating them is a stable grouping of the original sequence.
+    Members inherit source tags per sub-partition.
+    """
+    buckets: dict[tuple[str, str], list[tuple[str, str]]] = {}
+    for pair in partition.pairs:
+        left_group = group_of[pair[0]]
+        right_group = group_of[pair[1]]
+        key = (
+            (left_group, right_group)
+            if left_group <= right_group
+            else (right_group, left_group)
+        )
+        buckets.setdefault(key, []).append(pair)
+    if len(buckets) <= 1:
+        return [partition]
+    subdivided: list[CandidatePartition] = []
+    for (one, other), pairs in buckets.items():
+        suffix = one if one == other else f"{one}×{other}"
+        subdivided.append(
+            CandidatePartition(
+                label=f"{partition.label}/{suffix}",
+                pairs=tuple(pairs),
+                members=members_of_pairs(pairs),
+                sources=partition.sources,
+            )
+        )
+    return subdivided
+
+
+def band_partition(
+    partition: CandidatePartition, max_pairs: int
+) -> list[CandidatePartition]:
+    """Fallback subdivision: contiguous ≤ ``max_pairs`` pair bands.
+
+    Works for *opaque* partitions (no sub-key structure known): slicing
+    the emission order preserves pair order trivially, so bands cover
+    the partition exactly once and concatenate back to it.
+    """
+    if max_pairs < 1:
+        raise ValueError("max_pairs must be >= 1")
+    pairs = partition.pairs
+    if len(pairs) <= max_pairs:
+        return [partition]
+    bands: list[CandidatePartition] = []
+    for start in range(0, len(pairs), max_pairs):
+        piece = pairs[start : start + max_pairs]
+        bands.append(
+            CandidatePartition(
+                label=f"{partition.label}/band[{start}:{start + len(piece)}]",
+                pairs=piece,
+                members=members_of_pairs(piece),
+                sources=partition.sources,
+            )
+        )
+    return bands
 
 
 def partition_vocabulary(

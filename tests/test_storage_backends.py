@@ -253,10 +253,24 @@ def test_preparation_hook_rejects_stores(stores):
         detector.detect(open_store(stores["x"]))
 
 
-def test_detect_between_rejects_stores(x_relation, stores):
+def test_detect_between_accepts_stores(x_relation, stores):
+    """Stores consolidate through the multi-source view now; the old
+    union-only path rejected them.  Colliding ids across sources (here:
+    the same relation twice) still fail loudly, and a preparation hook
+    still requires in-memory sources."""
+    from repro.pdb.errors import DuplicateTupleIdError
+
     detector = _detector(lambda: CertainKeyBlocking(BLOCK_KEY))
-    with pytest.raises(TypeError, match="spill the union"):
+    with pytest.raises(DuplicateTupleIdError):
         detector.detect_between(open_store(stores["x"]), x_relation)
+    prepared = DuplicateDetector(
+        default_matcher(),
+        weighted_model(),
+        reducer=CertainKeyBlocking(BLOCK_KEY),
+        preparation=lambda relation: relation,
+    )
+    with pytest.raises(TypeError, match="materialize each store"):
+        prepared.detect_between(open_store(stores["x"]), x_relation)
 
 
 # ----------------------------------------------------------------------
