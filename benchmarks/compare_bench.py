@@ -17,8 +17,8 @@ Usage::
     python benchmarks/compare_bench.py -k kernels   # forward pytest args
     python benchmarks/compare_bench.py --quick      # CI smoke subset
 
-``--quick`` runs only the kernel, planner, storage, cutoff and
-scheduler benches with minimal rounds and writes ``BENCH_quick.json``
+``--quick`` runs only the kernel, planner, storage, cutoff, scheduler
+and fault benches with minimal rounds and writes ``BENCH_quick.json``
 (outside the numbered trajectory), so CI can smoke the harness
 quickly.
 
@@ -80,7 +80,7 @@ BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
 #: :func:`run_suite` exports in quick mode.
 QUICK_ARGS = [
     "-k",
-    "kernels or planner or storage or cutoffs or scheduler",
+    "kernels or planner or storage or cutoffs or scheduler or faults",
     "--benchmark-min-rounds=1",
     "--benchmark-max-time=0.1",
 ]

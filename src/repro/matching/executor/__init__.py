@@ -13,9 +13,15 @@ Everything between planning and the per-pair decision:
   over :class:`~repro.pdb.storage.MultiSourceStore` views and
   cross-source pruning (the ℛ1/ℛ2, ℛ3/ℛ4 consolidation scenario
   without materializing a union);
+* :mod:`~repro.matching.executor.faults` — the fault-tolerance layer:
+  structured error taxonomy (:class:`WorkerCrash` /
+  :class:`WorkerTimeout` / :class:`PartitionFailure`),
+  :class:`RetryPolicy` and the supervised dispatcher driving
+  retry-then-degrade recovery;
 * :mod:`~repro.matching.executor.progress` —
-  :class:`ExecutionReport` run reports and per-partition
-  :class:`PartitionProgress` events;
+  :class:`ExecutionReport` run reports, per-partition
+  :class:`PartitionProgress` events and :class:`FaultEvent` recovery
+  events;
 * :mod:`~repro.matching.executor.results` — the
   :class:`DetectionResult` container every path produces.
 
@@ -23,6 +29,14 @@ Every mode yields exactly the decisions of the plain serial pipeline,
 in the same order, for every storage backend.
 """
 
+from repro.matching.executor.faults import (
+    ON_ERROR_MODES,
+    ExecutionFault,
+    PartitionFailure,
+    RetryPolicy,
+    WorkerCrash,
+    WorkerTimeout,
+)
 from repro.matching.executor.multisource import (
     cross_source_plan,
     partition_sources,
@@ -31,6 +45,8 @@ from repro.matching.executor.multisource import (
 )
 from repro.matching.executor.progress import (
     ExecutionReport,
+    FaultEvent,
+    FaultObserver,
     PartitionProgress,
     ProgressObserver,
 )
@@ -50,13 +66,21 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_SPLIT_PAIRS",
     "ENGINE_SCHEDULING_MODES",
+    "ON_ERROR_MODES",
     "PREWARM_PAIR_BUDGET",
     "DetectionResult",
     "ExecutionEngine",
+    "ExecutionFault",
     "ExecutionReport",
     "ExecutionSettings",
+    "FaultEvent",
+    "FaultObserver",
+    "PartitionFailure",
     "PartitionProgress",
     "ProgressObserver",
+    "RetryPolicy",
+    "WorkerCrash",
+    "WorkerTimeout",
     "cross_source_plan",
     "partition_sources",
     "plan_sources",

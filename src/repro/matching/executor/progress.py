@@ -13,7 +13,7 @@ partition slice — cheap enough to leave on in production.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,34 @@ class PartitionProgress:
 #: Observer signature: called once per completed partition slice, in
 #: plan order, from the process driving the execution.
 ProgressObserver = Callable[[PartitionProgress], None]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recovery action of a supervised run.
+
+    Emitted by the fault layer (see
+    :mod:`repro.matching.executor.faults`) whenever a failed dispatch
+    is retried (``kind="retry"``), re-executed in-process
+    (``kind="degraded"``) or resolved terminally (``kind="failed"``) —
+    the observable trail that makes silent degradation impossible.
+    """
+
+    #: Recovery action: ``"retry"``, ``"degraded"`` or ``"failed"``.
+    kind: str
+    #: Taxonomy tag of the underlying fault (``"crash"``/``"timeout"``).
+    fault: str
+    #: Labels of the plan partitions the faulting work unit touched.
+    partitions: tuple[str, ...]
+    #: Attempt (1-based) that observed the fault.
+    attempt: int
+    #: Human-readable description of the underlying error.
+    error: str
+
+
+#: Observer signature for recovery actions: called from the process
+#: driving the execution, once per retry/degradation/terminal failure.
+FaultObserver = Callable[[FaultEvent], None]
 
 
 @dataclass
@@ -80,6 +108,25 @@ class ExecutionReport:
     decided_pairs: int = 0
     #: Partition slices yielded so far.
     completed_partitions: int = 0
+    #: Dispatch attempts that raised inside a worker (or in-process).
+    worker_crashes: int = 0
+    #: Dispatch attempts that missed their deadline (hang or dead worker).
+    worker_timeouts: int = 0
+    #: Failed attempts that were re-dispatched within the retry budget.
+    retried_dispatches: int = 0
+    #: Exhausted work units re-executed in-process (``on_error="degrade"``).
+    degraded_tasks: int = 0
+    #: Terminal ``PartitionFailure`` objects, one per failed partition
+    #: (``on_error="skip"``, or degradation that itself failed).
+    failures: list = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the run saw faults but still decided every partition."""
+        return (
+            self.worker_crashes + self.worker_timeouts > 0
+            and not self.failures
+        )
 
     def summary(self) -> str:
         """One log-friendly line describing the run."""
@@ -102,6 +149,15 @@ class ExecutionReport:
             parts.append(
                 f"prewarmed {self.prewarmed_entries} entries ({frozen})"
             )
+        faults = self.worker_crashes + self.worker_timeouts
+        if faults:
+            parts.append(
+                f"{faults} faults ({self.worker_crashes} crashes, "
+                f"{self.worker_timeouts} timeouts; "
+                f"{self.retried_dispatches} retried, "
+                f"{self.degraded_tasks} degraded, "
+                f"{len(self.failures)} failed)"
+            )
         return ", ".join(parts)
 
 
@@ -116,6 +172,7 @@ class ProgressTracker:
 
     report: ExecutionReport
     observer: ProgressObserver | None = None
+    fault_observer: FaultObserver | None = None
 
     def start(self, plan, *, scheduling: str, n_jobs: int) -> None:
         """Record the plan shape before execution begins."""
@@ -141,9 +198,16 @@ class ProgressTracker:
                 )
             )
 
+    def fault_event(self, event: FaultEvent) -> None:
+        """Notify the fault observer of one recovery action."""
+        if self.fault_observer is not None:
+            self.fault_observer(event)
+
 
 __all__ = [
     "ExecutionReport",
+    "FaultEvent",
+    "FaultObserver",
     "PartitionProgress",
     "ProgressObserver",
     "ProgressTracker",

@@ -44,8 +44,15 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.executor.faults import (
+    ON_ERROR_MODES,
+    RetryPolicy,
+    SupervisedDispatcher,
+    run_supervised_inline,
+)
 from repro.matching.executor.progress import (
     ExecutionReport,
+    FaultObserver,
     ProgressObserver,
     ProgressTracker,
 )
@@ -53,6 +60,8 @@ from repro.matching.executor.results import DetectionResult, slice_result
 from repro.matching.executor.workers import (
     decide_batch,
     decide_pairs,
+    decide_supervised,
+    fault_hook,
     fork_context,
     init_worker,
 )
@@ -107,6 +116,17 @@ class ExecutionSettings:
     #: the skew pathology the stealing scheduler avoids (see
     #: ``benchmarks/test_bench_scheduler.py``).
     prewarm_budget: int = PREWARM_PAIR_BUDGET
+    #: Recovery budget for supervised dispatch (attempts / per-dispatch
+    #: timeout / backoff); the default policy never retries and sets no
+    #: deadline, which — together with ``on_error="raise"`` — keeps the
+    #: unsupervised zero-overhead execution paths.
+    retry: RetryPolicy = RetryPolicy()
+    #: How a work unit that exhausts the retry budget is resolved:
+    #: ``"raise"`` aborts with a ``PartitionFailure``, ``"degrade"``
+    #: re-executes in-process (bitwise-identical, merely slower),
+    #: ``"skip"`` drops the unit's partitions and records the failures
+    #: in ``ExecutionReport.failures``.
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -122,6 +142,21 @@ class ExecutionSettings:
             raise ValueError("split_pairs must be positive")
         if self.prewarm_budget < 0:
             raise ValueError("prewarm_budget must be >= 0")
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"unknown on_error {self.on_error!r}; "
+                f"expected one of {ON_ERROR_MODES}"
+            )
+
+    @property
+    def supervised(self) -> bool:
+        """Whether this run needs the supervised dispatch machinery.
+
+        False for the defaults (one attempt, no timeout, raise), so
+        existing runs keep the unsupervised code paths — raw exceptions
+        propagate unchanged and the clean path pays nothing.
+        """
+        return self.retry.supervises or self.on_error != "raise"
 
     @property
     def should_prewarm(self) -> bool:
@@ -243,6 +278,11 @@ class ExecutionEngine:
     observer:
         Optional per-partition progress callback
         (:data:`~repro.matching.executor.progress.ProgressObserver`).
+    fault_observer:
+        Optional recovery-action callback
+        (:data:`~repro.matching.executor.progress.FaultObserver`),
+        called on every retry, degradation and terminal failure of a
+        supervised run.
     """
 
     def __init__(
@@ -252,12 +292,13 @@ class ExecutionEngine:
         *,
         splitter=None,
         observer: ProgressObserver | None = None,
+        fault_observer: FaultObserver | None = None,
     ) -> None:
         self._procedure = procedure
         self._settings = settings if settings is not None else ExecutionSettings()
         self._splitter = splitter
         self.report = ExecutionReport()
-        self._tracker = ProgressTracker(self.report, observer)
+        self._tracker = ProgressTracker(self.report, observer, fault_observer)
 
     @property
     def settings(self) -> ExecutionSettings:
@@ -287,10 +328,20 @@ class ExecutionEngine:
                 newly_frozen = matcher.freeze_caches()
                 self.report.caches_frozen = True
         try:
+            supervised = settings.supervised
             if settings.scheduling == "stealing":
                 yield from self._execute_stealing(relation, plan)
             elif settings.n_jobs == 1:
-                yield from self._execute_serial(relation, plan)
+                if supervised:
+                    yield from self._execute_serial_supervised(
+                        relation, plan
+                    )
+                else:
+                    yield from self._execute_serial(relation, plan)
+            elif supervised:
+                yield from self._execute_partitioned_supervised(
+                    relation, plan
+                )
             else:
                 yield from self._execute_partitioned(relation, plan)
         finally:
@@ -309,23 +360,73 @@ class ExecutionEngine:
         settings = self._settings
         size = plan.relation_size
         for partition in plan:
-            # Load the working set chunk by chunk, exactly like the
-            # parallel dispatch path: residency stays bounded by
-            # chunk_size even when a plan degenerates to one partition
-            # spanning the whole relation (full comparison, legacy
-            # pairs()-only reducers).
-            decisions: list[XTupleDecision] = []
-            pairs = partition.pairs
-            for start in range(0, len(pairs), settings.chunk_size):
-                chunk = pairs[start : start + settings.chunk_size]
-                decisions.extend(
-                    decide_pairs(
-                        self._procedure,
-                        relation,
-                        chunk,
-                        settings.keep_derivations,
-                    )
+            yield slice_result(
+                partition,
+                tuple(self._decide_partition(relation, partition)),
+                size,
+                settings.keep_compared_pairs,
+            )
+            self._tracker.slice_done(partition)
+
+    def _decide_partition(
+        self, relation, partition: CandidatePartition
+    ) -> list[XTupleDecision]:
+        """Decide one whole partition in-process, chunk by chunk.
+
+        Loads the working set chunk by chunk, exactly like the parallel
+        dispatch path: residency stays bounded by chunk_size even when
+        a plan degenerates to one partition spanning the whole relation
+        (full comparison, legacy pairs()-only reducers).  Also the
+        hook-free degraded re-execution of a supervised run.
+        """
+        settings = self._settings
+        decisions: list[XTupleDecision] = []
+        pairs = partition.pairs
+        for start in range(0, len(pairs), settings.chunk_size):
+            chunk = pairs[start : start + settings.chunk_size]
+            decisions.extend(
+                decide_pairs(
+                    self._procedure,
+                    relation,
+                    chunk,
+                    settings.keep_derivations,
                 )
+            )
+        return decisions
+
+    def _execute_serial_supervised(
+        self, relation, plan: CandidatePlan
+    ) -> Iterator[DetectionResult]:
+        """Serial execution under the attempt budget, one unit per
+        partition.
+
+        Timeouts are dispatch deadlines and cannot preempt in-process
+        work, so only crash faults arise here; the fault-injection hook
+        is consulted once per attempt with the partition's pairs, and
+        the degraded fallback is hook-free.
+        """
+        settings = self._settings
+        size = plan.relation_size
+        for partition in plan:
+
+            def attempt_partition(attempt, partition=partition):
+                hook = fault_hook()
+                if hook is not None:
+                    hook(attempt, list(partition.pairs))
+                return self._decide_partition(relation, partition)
+
+            decisions = run_supervised_inline(
+                attempt_partition,
+                fallback=lambda partition=partition: self._decide_partition(
+                    relation, partition
+                ),
+                partitions=(partition,),
+                policy=settings.retry,
+                on_error=settings.on_error,
+                tracker=self._tracker,
+            )
+            if decisions is None:
+                continue
             yield slice_result(
                 partition,
                 tuple(decisions),
@@ -334,16 +435,17 @@ class ExecutionEngine:
             )
             self._tracker.slice_done(partition)
 
-    def _execute_partitioned(
-        self, relation, plan: CandidatePlan
-    ) -> Iterator[DetectionResult]:
-        settings = self._settings
-        size = plan.relation_size
-        chunk_size = settings.chunk_size
-        # One dispatch batch holds whole consecutive partitions (split
-        # only when a single partition exceeds chunk_size) and carries
-        # ~chunk_size pairs, so worker round trips stay as coarse as the
-        # striped fan-out while cache working sets stay block-aligned.
+    def _partition_batches(
+        self, plan: CandidatePlan
+    ) -> list[list[tuple[int, tuple[tuple[str, str], ...]]]]:
+        """Coalesce the plan into chunk-sized dispatch batches.
+
+        One dispatch batch holds whole consecutive partitions (split
+        only when a single partition exceeds chunk_size) and carries
+        ~chunk_size pairs, so worker round trips stay as coarse as the
+        striped fan-out while cache working sets stay block-aligned.
+        """
+        chunk_size = self._settings.chunk_size
         batches: list[list[tuple[int, tuple[tuple[str, str], ...]]]] = []
         batch: list[tuple[int, tuple[tuple[str, str], ...]]] = []
         batched_pairs = 0
@@ -359,6 +461,14 @@ class ExecutionEngine:
                     batched_pairs = 0
         if batch:
             batches.append(batch)
+        return batches
+
+    def _execute_partitioned(
+        self, relation, plan: CandidatePlan
+    ) -> Iterator[DetectionResult]:
+        settings = self._settings
+        size = plan.relation_size
+        batches = self._partition_batches(plan)
         if not batches:
             return
         self.report.dispatch_tasks = len(batches)
@@ -405,6 +515,100 @@ class ExecutionEngine:
         )
         self._tracker.slice_done(partition)
         return result
+
+    def _execute_partitioned_supervised(
+        self, relation, plan: CandidatePlan
+    ) -> Iterator[DetectionResult]:
+        """Partitioned execution under retry/timeout supervision.
+
+        Dispatches the same coalesced batches as the unsupervised path,
+        but through the :class:`SupervisedDispatcher`; completed tasks
+        are re-ordered to plan order before emission.  A task resolved
+        terminally (``on_error="skip"``, or a degraded re-execution
+        that itself failed) drops *every* partition it covers — chunks
+        of those partitions decided by neighbouring successful tasks
+        are discarded at the emission boundary, so a partition is
+        either complete or absent, never truncated.
+        """
+        settings = self._settings
+        size = plan.relation_size
+        batches = self._partition_batches(plan)
+        if not batches:
+            return
+        self.report.dispatch_tasks = len(batches)
+
+        def batch_partitions(index: int) -> list[CandidatePartition]:
+            seen = dict.fromkeys(tag for tag, _pairs in batches[index])
+            return [plan.partitions[tag] for tag in seen]
+
+        def fallback(index: int):
+            return [
+                (
+                    tag,
+                    decide_pairs(
+                        self._procedure,
+                        relation,
+                        pairs,
+                        settings.keep_derivations,
+                    ),
+                )
+                for tag, pairs in batches[index]
+            ]
+
+        dispatcher = SupervisedDispatcher(
+            policy=settings.retry,
+            on_error=settings.on_error,
+            tracker=self._tracker,
+            task_partitions=batch_partitions,
+            fallback=fallback,
+            max_outstanding=settings.n_jobs,
+        )
+        with fork_context().Pool(
+            settings.n_jobs,
+            initializer=init_worker,
+            initargs=(
+                self._procedure,
+                relation,
+                settings.keep_derivations,
+            ),
+        ) as pool:
+            buffer: dict[int, list | None] = {}
+            next_task = 0
+            current: int | None = None
+            bucket: list[XTupleDecision] = []
+            failed: set[int] = set()
+            for task_index, task_results in dispatcher.run(
+                pool, decide_supervised, batches
+            ):
+                buffer[task_index] = task_results
+                while next_task in buffer:
+                    results = buffer.pop(next_task)
+                    if results is None:
+                        # Terminal failure: every partition the batch
+                        # covers is dropped; keep the emission cursor
+                        # moving with decision-free placeholders.
+                        covered = dict.fromkeys(
+                            tag for tag, _pairs in batches[next_task]
+                        )
+                        failed.update(covered)
+                        results = [(tag, None) for tag in covered]
+                    next_task += 1
+                    for index, chunk_decisions in results:
+                        if current is None:
+                            current = index
+                        elif index != current:
+                            if current not in failed:
+                                yield self._partition_slice(
+                                    plan, current, tuple(bucket), size
+                                )
+                            bucket = []
+                            current = index
+                        if chunk_decisions is not None:
+                            bucket.extend(chunk_decisions)
+            if current is not None and current not in failed:
+                yield self._partition_slice(
+                    plan, current, tuple(bucket), size
+                )
 
     # ------------------------------------------------------------------
     # Skew-aware work stealing
@@ -477,6 +681,22 @@ class ExecutionEngine:
             tasks.append(task)
         return tasks
 
+    def _decide_task(self, relation, task) -> list:
+        """Decide one stealing task of ``(unit, pairs)`` in-process."""
+        settings = self._settings
+        return [
+            (
+                unit,
+                decide_pairs(
+                    self._procedure,
+                    relation,
+                    pairs,
+                    settings.keep_derivations,
+                ),
+            )
+            for unit, pairs in task
+        ]
+
     def _execute_stealing(
         self, relation, plan: CandidatePlan
     ) -> Iterator[DetectionResult]:
@@ -488,35 +708,58 @@ class ExecutionEngine:
         )
         tasks = self._stealing_tasks(unit_pairs)
         self.report.dispatch_tasks = len(tasks)
-        if settings.n_jobs == 1:
-            results = (
-                [
-                    (
-                        unit,
-                        decide_pairs(
-                            self._procedure,
-                            relation,
-                            pairs,
-                            settings.keep_derivations,
-                        ),
-                    )
-                    for unit, pairs in task
-                ]
-                for task in tasks
+        supervised = settings.supervised
+
+        def task_partitions(index: int) -> list[CandidatePartition]:
+            seen = dict.fromkeys(
+                unit_partition[unit] for unit, _pairs in tasks[index]
             )
+            return [plan.partitions[i] for i in seen]
+
+        if settings.n_jobs == 1:
+            if supervised:
+                runner = self._run_tasks_inline_supervised(
+                    relation, tasks, task_partitions
+                )
+                yield from self._collect_stolen_supervised(
+                    plan, runner, tasks, unit_pairs, unit_partition,
+                    remaining,
+                )
+                return
+            results = (self._decide_task(relation, task) for task in tasks)
             yield from self._collect_stolen(
                 plan, results, unit_pairs, unit_partition, remaining
             )
-        else:
-            with fork_context().Pool(
-                settings.n_jobs,
-                initializer=init_worker,
-                initargs=(
-                    self._procedure,
-                    relation,
-                    settings.keep_derivations,
-                ),
-            ) as pool:
+            return
+        with fork_context().Pool(
+            settings.n_jobs,
+            initializer=init_worker,
+            initargs=(
+                self._procedure,
+                relation,
+                settings.keep_derivations,
+            ),
+        ) as pool:
+            if supervised:
+                dispatcher = SupervisedDispatcher(
+                    policy=settings.retry,
+                    on_error=settings.on_error,
+                    tracker=self._tracker,
+                    task_partitions=task_partitions,
+                    fallback=lambda index: self._decide_task(
+                        relation, tasks[index]
+                    ),
+                    max_outstanding=settings.n_jobs,
+                )
+                yield from self._collect_stolen_supervised(
+                    plan,
+                    dispatcher.run(pool, decide_supervised, tasks),
+                    tasks,
+                    unit_pairs,
+                    unit_partition,
+                    remaining,
+                )
+            else:
                 yield from self._collect_stolen(
                     plan,
                     pool.imap_unordered(decide_batch, tasks),
@@ -524,6 +767,39 @@ class ExecutionEngine:
                     unit_partition,
                     remaining,
                 )
+
+    def _run_tasks_inline_supervised(
+        self, relation, tasks, task_partitions
+    ) -> Iterator[tuple[int, list | None]]:
+        """Serial stealing under the attempt budget.
+
+        Yields ``(task index, results | None)`` exactly like the
+        parallel dispatcher; the fault hook is consulted once per
+        attempt with the task's flattened pairs, the degraded fallback
+        is hook-free.
+        """
+        settings = self._settings
+        for task_index, task in enumerate(tasks):
+
+            def attempt_task(attempt, task=task):
+                hook = fault_hook()
+                if hook is not None:
+                    hook(
+                        attempt,
+                        [pair for _unit, pairs in task for pair in pairs],
+                    )
+                return self._decide_task(relation, task)
+
+            yield task_index, run_supervised_inline(
+                attempt_task,
+                fallback=lambda task=task: self._decide_task(
+                    relation, task
+                ),
+                partitions=task_partitions(task_index),
+                policy=settings.retry,
+                on_error=settings.on_error,
+                tracker=self._tracker,
+            )
 
     def _collect_stolen(
         self,
@@ -566,6 +842,67 @@ class ExecutionEngine:
         if pending or next_index != len(plan.partitions):  # pragma: no cover
             raise RuntimeError(
                 "work-stealing execution lost "
+                f"{len(plan.partitions) - next_index} partitions"
+            )
+
+    def _collect_stolen_supervised(
+        self,
+        plan: CandidatePlan,
+        runner: Iterator[tuple[int, list | None]],
+        tasks,
+        unit_pairs: list[tuple[tuple[str, str], ...]],
+        unit_partition: list[int],
+        remaining: list[int],
+    ) -> Iterator[DetectionResult]:
+        """Regroup supervised stolen units, dropping failed partitions.
+
+        Like :meth:`_collect_stolen`, but the runner yields ``(task
+        index, results | None)`` — ``None`` marks a task resolved
+        terminally, which drops every partition any of its units
+        belongs to (a partition is either complete or absent, never
+        truncated); the remaining partitions still emit in plan order.
+        """
+        size = plan.relation_size
+        keep = self._settings.keep_compared_pairs
+        pending: dict[int, dict[int, list[XTupleDecision]]] = {}
+        ready: dict[int, tuple[XTupleDecision, ...] | None] = {}
+        failed: set[int] = set()
+        next_index = 0
+
+        def resolve(index: int) -> None:
+            if index in failed:
+                pending.pop(index, None)
+                ready[index] = None
+            else:
+                ready[index] = _reassemble(
+                    plan.partitions[index], pending.pop(index), unit_pairs
+                )
+
+        for task_index, task_results in runner:
+            if task_results is None:
+                for unit, _pairs in tasks[task_index]:
+                    index = unit_partition[unit]
+                    failed.add(index)
+                    remaining[index] -= 1
+                    if not remaining[index]:
+                        resolve(index)
+            else:
+                for unit, decisions in task_results:
+                    index = unit_partition[unit]
+                    pending.setdefault(index, {})[unit] = decisions
+                    remaining[index] -= 1
+                    if not remaining[index]:
+                        resolve(index)
+            while next_index in ready:
+                decisions = ready.pop(next_index)
+                partition = plan.partitions[next_index]
+                if decisions is not None:
+                    yield slice_result(partition, decisions, size, keep)
+                    self._tracker.slice_done(partition)
+                next_index += 1
+        if pending or next_index != len(plan.partitions):  # pragma: no cover
+            raise RuntimeError(
+                "supervised work-stealing execution lost "
                 f"{len(plan.partitions) - next_index} partitions"
             )
 

@@ -95,6 +95,45 @@ def decide_batch(batch):
     return [(tag, decide_chunk(pairs)) for tag, pairs in batch]
 
 
+#: Test seam for deterministic fault injection (see
+#: :mod:`repro.testing.faults`).  Installed in the *parent* before the
+#: pool forks, so every worker inherits it; consulted only by the
+#: supervised dispatch path, once per attempt, with the attempt number
+#: and the flattened pairs of the dispatch — ``None`` (the production
+#: default) costs nothing.
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook) -> None:
+    """Install (or with ``None`` clear) the fault-injection hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
+
+def fault_hook():
+    """The installed fault-injection hook, or ``None``.
+
+    Read through a function (not a ``from … import``) so callers always
+    see the live module state :func:`set_fault_hook` mutates.
+    """
+    return _FAULT_HOOK
+
+
+def decide_supervised(payload):
+    """Supervised worker entry point: ``(attempt, batch)`` dispatches.
+
+    Identical to :func:`decide_batch` except that the attempt number
+    travels with the task — retries land on whichever worker is free,
+    so per-process counters cannot target "the second attempt", but a
+    payload-borne attempt can — and the fault hook is consulted first.
+    """
+    attempt, batch = payload
+    hook = _FAULT_HOOK
+    if hook is not None:
+        hook(attempt, [pair for _tag, pairs in batch for pair in pairs])
+    return decide_batch(batch)
+
+
 def chunked(
     pairs: Iterator[tuple[str, str]], size: int
 ) -> Iterator[list[tuple[str, str]]]:
@@ -112,6 +151,9 @@ __all__ = [
     "decide_batch",
     "decide_chunk",
     "decide_pairs",
+    "decide_supervised",
+    "fault_hook",
     "fork_context",
     "init_worker",
+    "set_fault_hook",
 ]

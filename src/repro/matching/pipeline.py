@@ -43,10 +43,11 @@ from repro.matching.executor import (
     DEFAULT_CHUNK_SIZE,
     ExecutionEngine,
     ExecutionSettings,
+    RetryPolicy,
     cross_source_plan,
     plan_sources,
 )
-from repro.matching.executor.progress import ProgressObserver
+from repro.matching.executor.progress import FaultObserver, ProgressObserver
 from repro.matching.executor.results import DetectionResult
 from repro.matching.executor.workers import (
     chunked as _chunked,
@@ -317,6 +318,9 @@ class DuplicateDetector:
         split_pairs: int | None = None,
         prewarm_budget: int | None = None,
         on_progress: ProgressObserver | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "raise",
+        on_fault: FaultObserver | None = None,
     ) -> DetectionResult | Iterator[DetectionResult]:
         """Run steps A–D over one relation and collect the decisions.
 
@@ -446,6 +450,33 @@ class DuplicateDetector:
             a :class:`~repro.matching.executor.PartitionProgress`
             event; the run's summary is available afterwards as
             :attr:`last_report`.
+        retry:
+            Fault-tolerance budget, a
+            :class:`~repro.matching.executor.RetryPolicy`: failed or
+            timed-out worker dispatches are retried up to
+            ``max_attempts`` (with exponential ``backoff``), each
+            dispatch bounded by ``timeout`` seconds.  The default
+            policy (one attempt, no deadline) together with
+            ``on_error="raise"`` keeps the zero-overhead unsupervised
+            execution paths, where worker errors propagate raw exactly
+            as before.  Plan-driven scheduling only.
+        on_error:
+            What happens to a work unit that exhausts the retry
+            budget: ``"raise"`` (default) aborts the run with a
+            :class:`~repro.matching.executor.PartitionFailure`;
+            ``"degrade"`` re-executes the unit in-process — work units
+            are pure, so a degraded run's decisions stay bitwise
+            identical, merely slower; ``"skip"`` drops the unit's
+            partitions and records one
+            :class:`~repro.matching.executor.PartitionFailure` per
+            partition in ``last_report.failures`` (partial results for
+            consolidation workloads that prefer serving healthy
+            partitions).  Every recovery is counted in
+            :attr:`last_report` — silent degradation is impossible.
+        on_fault:
+            Optional callback invoked on every retry, degradation and
+            terminal failure with a
+            :class:`~repro.matching.executor.FaultEvent`.
         """
         relation = self._prepared_relation(relation)
         return self._detect_prepared(
@@ -462,6 +493,9 @@ class DuplicateDetector:
             split_pairs=split_pairs,
             prewarm_budget=prewarm_budget,
             on_progress=on_progress,
+            retry=retry,
+            on_error=on_error,
+            on_fault=on_fault,
         )
 
     def detect_between(
@@ -550,6 +584,9 @@ class DuplicateDetector:
         split_pairs: int | None = None,
         prewarm_budget: int | None = None,
         on_progress: ProgressObserver | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "raise",
+        on_fault: FaultObserver | None = None,
     ) -> DetectionResult | Iterator[DetectionResult]:
         procedure = self._resolve_procedure(min_similarity)
         if chunk_size is None:
@@ -572,6 +609,12 @@ class DuplicateDetector:
                 raise ValueError("chunk_size must be positive")
             if n_jobs < 1:
                 raise ValueError("n_jobs must be at least 1 (or None)")
+            if (retry is not None and retry.supervises) or on_error != "raise":
+                raise ValueError(
+                    "retry/on_error supervision requires plan-driven "
+                    "scheduling (partitioned or stealing); striped "
+                    "execution has no partitions to attribute faults to"
+                )
             self.last_report = None
             return self._detect_striped(
                 relation,
@@ -589,7 +632,10 @@ class DuplicateDetector:
             keep_compared_pairs=keep_compared_pairs,
             scheduling=scheduling,
             prewarm=prewarm,
+            on_error=on_error,
         )
+        if retry is not None:
+            settings_options["retry"] = retry
         if split_pairs is not None:
             settings_options["split_pairs"] = split_pairs
         if prewarm_budget is not None:
@@ -599,6 +645,7 @@ class DuplicateDetector:
             ExecutionSettings(**settings_options),
             splitter=self._reducer,
             observer=on_progress,
+            fault_observer=on_fault,
         )
         self.last_report = engine.report
         if plan is None:

@@ -42,3 +42,30 @@ class ConditioningError(ProbabilisticDataError):
 
 class StorageError(ProbabilisticDataError):
     """Missing, malformed or inconsistent on-disk relation storage."""
+
+
+class SegmentCorruptionError(StorageError):
+    """A segment file's bytes no longer match its manifest checksum.
+
+    Carries enough context to act on: ``segment_file`` (absolute path),
+    ``expected_crc`` / ``actual_crc``, and ``tuple_ids`` (the tuples the
+    manifest locates in the segment) — exactly what
+    :meth:`SpillingXTupleStore.quarantine
+    <repro.pdb.storage.spill.SpillingXTupleStore.quarantine>` needs to
+    isolate the damage.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        segment_file: str,
+        expected_crc: int | None = None,
+        actual_crc: int | None = None,
+        tuple_ids: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.segment_file = segment_file
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+        self.tuple_ids = tuple_ids

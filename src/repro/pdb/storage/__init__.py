@@ -23,9 +23,14 @@ from repro.pdb.storage.spill import (
     DEFAULT_PAGE_SIZE,
     DEFAULT_SEGMENT_SIZE,
     MANIFEST_NAME,
+    QUARANTINE_DIR,
     PageCacheInfo,
+    QuarantinedSegment,
+    SegmentCorruptionError,
+    SegmentIntegrity,
     SpillingXTupleStore,
     StorageError,
+    StoreVerification,
     spill_relation,
 )
 
@@ -37,8 +42,13 @@ __all__ = [
     "MANIFEST_NAME",
     "MultiSourceStore",
     "PageCacheInfo",
+    "QUARANTINE_DIR",
+    "QuarantinedSegment",
+    "SegmentCorruptionError",
+    "SegmentIntegrity",
     "SpillingXTupleStore",
     "StorageError",
+    "StoreVerification",
     "XTupleStore",
     "combine_sources",
     "fetch_tuples",

@@ -31,17 +31,29 @@ The store is fork-friendly: file handles are reopened lazily per
 process (a forked worker never shares seek positions with its parent),
 and pickling drops handles and cached pages, so shipping a store to a
 worker costs only the metadata.
+
+Integrity: :func:`spill_relation` records a CRC32 checksum per segment
+in the manifest.  The store verifies a segment's bytes against its
+checksum lazily — on the segment's first page load, and during
+streaming iteration as each segment ends — raising
+:class:`~repro.pdb.errors.SegmentCorruptionError` (path, expected and
+actual CRC, affected tuple ids) on mismatch.  :meth:`verify` audits the
+whole directory without serving tuples, and :meth:`quarantine` isolates
+a corrupt segment — the manifest is atomically rewritten *without* the
+segment first, then the file is moved into ``quarantine/`` — so the
+remaining tuples stay servable for partial runs.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
-from repro.pdb.errors import StorageError
+from repro.pdb.errors import SegmentCorruptionError, StorageError
 from repro.pdb.io import (
     decode_xtuple,
     encode_xtuple,
@@ -89,16 +101,93 @@ class PageCacheInfo:
         return self.page_size * self.max_pages
 
 
+@dataclass(frozen=True)
+class SegmentIntegrity:
+    """Audit result for one segment of a store."""
+
+    #: Segment file name (relative to the store directory).
+    file: str
+    #: Tuples the manifest locates in the segment.
+    tuples: int
+    #: Manifest CRC32 (``None`` = pre-checksum spill, unverifiable).
+    expected_crc: int | None
+    #: CRC32 of the bytes on disk (``None`` when the file is unreadable).
+    actual_crc: int | None
+    #: Human-readable status: ``"ok"``, ``"corrupt"``, ``"unreadable"``
+    #: or ``"unverifiable"``.
+    status: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class StoreVerification:
+    """Whole-store audit produced by :meth:`SpillingXTupleStore.verify`."""
+
+    #: Store directory audited.
+    path: str
+    #: Per-segment results, in manifest order.
+    segments: tuple[SegmentIntegrity, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every segment verified clean."""
+        return all(segment.ok for segment in self.segments)
+
+    @property
+    def corrupt(self) -> tuple[SegmentIntegrity, ...]:
+        """Segments that failed the audit (corrupt or unreadable)."""
+        return tuple(
+            segment
+            for segment in self.segments
+            if segment.status in ("corrupt", "unreadable")
+        )
+
+
+@dataclass(frozen=True)
+class QuarantinedSegment:
+    """Receipt of one :meth:`SpillingXTupleStore.quarantine` call."""
+
+    #: Segment file name that was isolated.
+    file: str
+    #: Where the corrupt bytes were moved (inside ``quarantine/``), or
+    #: ``None`` if the file had already vanished.
+    quarantined_path: str | None
+    #: Ids of the tuples that became unavailable.
+    tuple_ids: tuple[str, ...]
+    #: Tuples still servable from the store afterwards.
+    remaining: int
+
+
+#: Directory (inside a store) quarantined segment files are moved to.
+QUARANTINE_DIR = "quarantine"
+
+
 def _segment_name(index: int) -> str:
     return f"seg-{index:05d}.jsonl"
 
 
-def _parse_segment_line(line: bytes, file_path: str) -> dict:
+def _parse_segment_line(
+    line: bytes,
+    file_path: str,
+    *,
+    offset: int | None = None,
+    tuple_id: str | None = None,
+) -> dict:
     try:
         return json.loads(line)
-    except json.JSONDecodeError as error:
+    # ValueError covers both JSONDecodeError and the UnicodeDecodeError
+    # a non-UTF-8 byte flip produces.
+    except ValueError as error:
+        context = ""
+        if offset is not None:
+            context += f" at byte offset {offset}"
+        if tuple_id is not None:
+            context += f" (tuple {tuple_id!r})"
         raise StorageError(
-            f"corrupt segment line in {file_path!r}: {error}"
+            f"corrupt segment line in {file_path!r}{context}: {error}"
         ) from error
 
 
@@ -151,6 +240,7 @@ def spill_relation(
                 file_path, "w", encoding="utf-8", newline=""
             ) as handle:
                 position = 0
+                crc = 0
                 for _ in range(segment_size):
                     try:
                         xtuple = next(iterator)
@@ -170,14 +260,26 @@ def spill_relation(
                     )
                     handle.write(line)
                     handle.write("\n")
+                    encoded = line.encode("utf-8") + b"\n"
+                    crc = zlib.crc32(encoded, crc)
                     ids.append(xtuple.tuple_id)
                     offsets.append(position)
-                    position += len(line.encode("utf-8")) + 1
+                    position += len(encoded)
                 handle.flush()
                 os.fsync(handle.fileno())
             if ids:
                 segments.append(
-                    {"file": file_name, "ids": ids, "offsets": offsets}
+                    {
+                        "file": file_name,
+                        "ids": ids,
+                        "offsets": offsets,
+                        # Whole-file CRC32: cheap to compute while
+                        # writing, cheap to re-check on read.  An
+                        # optional key, so pre-checksum stores (and
+                        # their readers) keep working — STORE_FORMAT
+                        # stays 1.
+                        "crc32": crc,
+                    }
                 )
                 index += 1
             else:
@@ -237,6 +339,12 @@ class SpillingXTupleStore:
         least-recently-used handle is closed when the cap is reached,
         so random access over thousands of segments never exhausts the
         process FD limit.
+    verify_checksums:
+        Verify each segment's bytes against its manifest CRC32 lazily —
+        on the segment's first page load, and at each segment boundary
+        of a streaming iteration (default on; segments without a
+        recorded checksum, i.e. pre-checksum spills, are served
+        unverified either way).
     """
 
     def __init__(
@@ -246,6 +354,7 @@ class SpillingXTupleStore:
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pages: int = DEFAULT_MAX_PAGES,
         max_open_segments: int = DEFAULT_MAX_OPEN_SEGMENTS,
+        verify_checksums: bool = True,
     ) -> None:
         if page_size < 1:
             raise ValueError("page_size must be >= 1")
@@ -257,6 +366,23 @@ class SpillingXTupleStore:
         self._page_size = page_size
         self._max_pages = max_pages
         self._max_open_segments = max_open_segments
+        self._verify_checksums = verify_checksums
+        self._load_manifest()
+        # Per-process file handles and LRU page cache.  Handles belong
+        # to the opening process: after a fork the child re-opens its
+        # own (shared descriptors would share seek positions).
+        self._pid = os.getpid()
+        self._handles: OrderedDict[int, object] = OrderedDict()
+        self._pages: OrderedDict[tuple[int, int], list[XTuple]] = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _load_manifest(self) -> None:
+        """(Re)build the resident metadata from the manifest on disk."""
+        path = self._path
         manifest_path = os.path.join(self._path, MANIFEST_NAME)
         try:
             with open(manifest_path, encoding="utf-8") as handle:
@@ -275,6 +401,12 @@ class SpillingXTupleStore:
             )
         self._segment_files: list[str] = []
         self._segment_offsets: list[list[int]] = []
+        self._segment_ids: list[list[str]] = []
+        #: Manifest CRC32 per segment (``None`` for pre-checksum spills).
+        self._segment_crcs: list[int | None] = []
+        #: Segments whose bytes already matched their checksum (lazy
+        #: verification happens once per segment per store instance).
+        self._verified_segments: set[int] = set()
         #: tuple id → (segment index, position within segment)
         self._locate: dict[str, tuple[int, int]] = {}
         try:
@@ -292,6 +424,8 @@ class SpillingXTupleStore:
                     os.path.join(self._path, segment["file"])
                 )
                 self._segment_offsets.append(list(offsets))
+                self._segment_ids.append(list(ids))
+                self._segment_crcs.append(segment.get("crc32"))
                 for position, tuple_id in enumerate(ids):
                     if tuple_id in self._locate:
                         raise StorageError(
@@ -308,17 +442,6 @@ class SpillingXTupleStore:
                 f"manifest count {manifest.get('count')} does not match "
                 f"{len(self._locate)} indexed tuples"
             )
-        # Per-process file handles and LRU page cache.  Handles belong
-        # to the opening process: after a fork the child re-opens its
-        # own (shared descriptors would share seek positions).
-        self._pid = os.getpid()
-        self._handles: OrderedDict[int, object] = OrderedDict()
-        self._pages: OrderedDict[tuple[int, int], list[XTuple]] = (
-            OrderedDict()
-        )
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -341,19 +464,59 @@ class SpillingXTupleStore:
         return tuple_id in self._locate
 
     def __iter__(self) -> Iterator[XTuple]:
-        """Stream all x-tuples in insertion order, bypassing the cache."""
-        for file_path in self._segment_files:
+        """Stream all x-tuples in insertion order, bypassing the cache.
+
+        A running CRC32 is folded over each segment's bytes and checked
+        against the manifest at the segment boundary (when checksum
+        verification is on), so corruption is detected before any tuple
+        of the *next* segment is served — without a separate read pass.
+        A line that fails to parse inside a checksummed segment is
+        re-diagnosed with a full checksum first, so bit rot surfaces as
+        :class:`~repro.pdb.errors.SegmentCorruptionError` (with the
+        segment's full blast radius) rather than a single-line decode
+        error.
+        """
+        for segment, file_path in enumerate(self._segment_files):
+            ids = self._segment_ids[segment]
+            verify = (
+                self._verify_checksums
+                and self._segment_crcs[segment] is not None
+                and segment not in self._verified_segments
+            )
+            crc = 0
+            offset = 0
+            position = 0
             try:
                 with open(file_path, "rb") as handle:
                     for line in handle:
+                        if verify:
+                            crc = zlib.crc32(line, crc)
                         if line.strip():
-                            yield decode_xtuple(
-                                _parse_segment_line(line, file_path)
-                            )
+                            try:
+                                doc = _parse_segment_line(
+                                    line,
+                                    file_path,
+                                    offset=offset,
+                                    tuple_id=(
+                                        ids[position]
+                                        if position < len(ids)
+                                        else None
+                                    ),
+                                )
+                            except StorageError:
+                                if verify:
+                                    self.verify_segment(segment)
+                                raise
+                            yield decode_xtuple(doc)
+                            position += 1
+                        offset += len(line)
             except OSError as error:
                 raise StorageError(
                     f"unreadable segment file {file_path!r}: {error}"
                 ) from error
+            if verify:
+                self._check_crc(segment, crc)
+                self._verified_segments.add(segment)
 
     # ------------------------------------------------------------------
     # Random access through the page cache
@@ -404,7 +567,19 @@ class SpillingXTupleStore:
             pages.move_to_end(key)
             return page
         self._misses += 1
+        if (
+            self._verify_checksums
+            and self._segment_crcs[segment] is not None
+            and segment not in self._verified_segments
+        ):
+            # Lazy integrity check: the first page load of a segment
+            # verifies the whole file's bytes against the manifest CRC,
+            # so a corrupt segment is caught before any of its tuples
+            # is decoded (and only segments a run actually touches pay
+            # the read).
+            self.verify_segment(segment)
         offsets = self._segment_offsets[segment]
+        ids = self._segment_ids[segment]
         start = page_number * self._page_size
         count = min(self._page_size, len(offsets) - start)
         file_path = self._segment_files[segment]
@@ -413,9 +588,14 @@ class SpillingXTupleStore:
             handle.seek(offsets[start])
             page = [
                 decode_xtuple(
-                    _parse_segment_line(handle.readline(), file_path)
+                    _parse_segment_line(
+                        handle.readline(),
+                        file_path,
+                        offset=offsets[start + i],
+                        tuple_id=ids[start + i],
+                    )
                 )
-                for _ in range(count)
+                for i in range(count)
             ]
         except OSError as error:
             raise StorageError(
@@ -482,15 +662,178 @@ class SpillingXTupleStore:
         """Currently open segment file handles (≤ ``max_open_segments``)."""
         return len(self._handles)
 
-    def close(self) -> None:
-        """Close segment file handles and drop cached pages."""
-        for handle in self._handles.values():
+    # ------------------------------------------------------------------
+    # Integrity: checksums, audit, quarantine
+    # ------------------------------------------------------------------
+
+    def _segment_crc(self, segment: int) -> int:
+        """CRC32 of a segment file's bytes as they are on disk now."""
+        crc = 0
+        with open(self._segment_files[segment], "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 16), b""):
+                crc = zlib.crc32(block, crc)
+        return crc
+
+    def _check_crc(self, segment: int, actual: int) -> None:
+        expected = self._segment_crcs[segment]
+        if expected is not None and actual != expected:
+            file_path = self._segment_files[segment]
+            raise SegmentCorruptionError(
+                f"segment file {file_path!r} failed its integrity "
+                f"check: CRC32 {actual:#010x} on disk, manifest "
+                f"records {expected:#010x} "
+                f"({len(self._segment_ids[segment])} tuples affected; "
+                "quarantine() isolates the segment)",
+                segment_file=file_path,
+                expected_crc=expected,
+                actual_crc=actual,
+                tuple_ids=tuple(self._segment_ids[segment]),
+            )
+
+    def verify_segment(self, segment: int) -> None:
+        """Check one segment's bytes against its manifest checksum.
+
+        Raises :class:`~repro.pdb.errors.SegmentCorruptionError` on
+        mismatch and :class:`StorageError` when the file is unreadable;
+        a clean (or checksum-less) segment is remembered as verified
+        for this store instance.
+        """
+        try:
+            actual = self._segment_crc(segment)
+        except OSError as error:
+            raise StorageError(
+                "unreadable segment file "
+                f"{self._segment_files[segment]!r}: {error}"
+            ) from error
+        self._check_crc(segment, actual)
+        self._verified_segments.add(segment)
+
+    def verify(self) -> StoreVerification:
+        """Audit every segment against the manifest without serving tuples.
+
+        Never raises for corruption — the audit reports *all* damage in
+        one pass (``result.corrupt``), so an operator can quarantine
+        every bad segment before re-serving.
+        """
+        results: list[SegmentIntegrity] = []
+        for segment, file_path in enumerate(self._segment_files):
+            expected = self._segment_crcs[segment]
+            tuples = len(self._segment_ids[segment])
+            file_name = os.path.basename(file_path)
             try:
-                handle.close()
+                actual = self._segment_crc(segment)
             except OSError:
-                pass
+                results.append(
+                    SegmentIntegrity(
+                        file_name, tuples, expected, None, "unreadable"
+                    )
+                )
+                continue
+            if expected is None:
+                status = "unverifiable"
+            elif actual == expected:
+                status = "ok"
+                self._verified_segments.add(segment)
+            else:
+                status = "corrupt"
+            results.append(
+                SegmentIntegrity(
+                    file_name, tuples, expected, actual, status
+                )
+            )
+        return StoreVerification(self._path, tuple(results))
+
+    def quarantine(self, segment: int | str) -> QuarantinedSegment:
+        """Isolate one corrupt segment; the rest stays servable.
+
+        *segment* is a manifest index, a segment file name, or the
+        absolute path a :class:`~repro.pdb.errors.SegmentCorruptionError`
+        carries in ``segment_file``.  The manifest is rewritten
+        atomically *without* the segment first, then the file is moved
+        into the store's ``quarantine/`` directory — a crash in between
+        leaves a valid manifest plus one orphaned (never again served)
+        segment file, never a manifest pointing at missing data.  The
+        open store reloads itself from the new manifest, so subsequent
+        reads serve exactly the surviving tuples.
+        """
+        if isinstance(segment, str):
+            wanted = os.path.basename(segment)
+            names = [
+                os.path.basename(file_path)
+                for file_path in self._segment_files
+            ]
+            if wanted not in names:
+                raise StorageError(
+                    f"no segment {wanted!r} in store {self._path!r} "
+                    f"(segments: {names})"
+                )
+            segment = names.index(wanted)
+        if not 0 <= segment < len(self._segment_files):
+            raise StorageError(
+                f"no segment index {segment} in store {self._path!r} "
+                f"({len(self._segment_files)} segments)"
+            )
+        file_path = self._segment_files[segment]
+        file_name = os.path.basename(file_path)
+        dropped_ids = tuple(self._segment_ids[segment])
+        manifest_path = os.path.join(self._path, MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise StorageError(
+                f"cannot rewrite store manifest in {self._path!r}: "
+                f"{error}"
+            ) from error
+        kept = [
+            doc
+            for doc in manifest.get("segments", ())
+            if doc.get("file") != file_name
+        ]
+        manifest["segments"] = kept
+        manifest["count"] = sum(len(doc["ids"]) for doc in kept)
+        write_text_atomic(
+            manifest_path, json.dumps(manifest, separators=(",", ":"))
+        )
+        # Manifest first, move second: after the atomic rewrite the
+        # store no longer references the segment, so a crash before the
+        # move merely leaves an orphaned file behind.
+        quarantine_dir = os.path.join(self._path, QUARANTINE_DIR)
+        quarantined_path: str | None = None
+        if os.path.exists(file_path):
+            os.makedirs(quarantine_dir, exist_ok=True)
+            quarantined_path = os.path.join(quarantine_dir, file_name)
+            os.replace(file_path, quarantined_path)
+        self.close()
+        self._load_manifest()
+        return QuarantinedSegment(
+            file=file_name,
+            quarantined_path=quarantined_path,
+            tuple_ids=dropped_ids,
+            remaining=len(self._locate),
+        )
+
+    def close(self) -> None:
+        """Close segment file handles and drop cached pages.
+
+        Idempotent, and safe on *any* store object — including one a
+        forked child inherited, or an unpickled copy whose handles were
+        never opened: already-closed (or never-opened) lazy handles are
+        skipped, never raised on.
+        """
+        handles = getattr(self, "_handles", None)
+        if handles:
+            for handle in handles.values():
+                try:
+                    handle.close()
+                except (OSError, ValueError):
+                    pass
         self._handles = OrderedDict()
-        self._pages.clear()
+        pages = getattr(self, "_pages", None)
+        if pages is not None:
+            pages.clear()
+        else:
+            self._pages = OrderedDict()
 
     def __enter__(self) -> "SpillingXTupleStore":
         return self
@@ -519,8 +862,13 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_SEGMENT_SIZE",
     "MANIFEST_NAME",
+    "QUARANTINE_DIR",
     "PageCacheInfo",
+    "QuarantinedSegment",
+    "SegmentCorruptionError",
+    "SegmentIntegrity",
     "SpillingXTupleStore",
     "StorageError",
+    "StoreVerification",
     "spill_relation",
 ]

@@ -1,0 +1,33 @@
+"""Test harnesses shipped with the library.
+
+Currently one: :mod:`repro.testing.faults`, the deterministic
+fault-injection harness behind the chaos suite — seeded injectors that
+kill the worker handling a chosen dispatch, stall it past its deadline,
+crash it outright, or flip a byte of a spilled segment on disk.  Lives
+in the package (not ``tests/``) so downstream deployments can chaos-test
+their own configurations with the same tools CI uses.
+"""
+
+from repro.testing.faults import (
+    FaultHook,
+    FaultInjector,
+    FlippedByte,
+    InjectedWorkerCrash,
+    compose,
+    crash_on,
+    installed,
+    kill_on,
+    stall_on,
+)
+
+__all__ = [
+    "FaultHook",
+    "FaultInjector",
+    "FlippedByte",
+    "InjectedWorkerCrash",
+    "compose",
+    "crash_on",
+    "installed",
+    "kill_on",
+    "stall_on",
+]

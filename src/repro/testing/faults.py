@@ -1,0 +1,296 @@
+"""Deterministic fault injection for the execution and storage layers.
+
+Chaos testing is only useful when it is *reproducible*: a fault that
+appears once in a thousand runs proves nothing about recovery.  This
+module injects the three production failure modes the fault-tolerance
+layer defends against — worker death, hung dispatch, bit rot — at
+seed-chosen but fully deterministic targets:
+
+* **content-addressed dispatch hooks** — the executor's supervised
+  paths consult an installed hook once per dispatch attempt with the
+  attempt number and the dispatch's candidate pairs
+  (:func:`repro.matching.executor.workers.set_fault_hook`).  Hooks
+  built here fire when a chosen *target pair* is part of the dispatch,
+  so the same pair misbehaves wherever scheduling happens to place it —
+  across ``"partitioned"`` / ``"stealing"``, any worker count, any
+  chunking.  The attempt number travels in the dispatch payload, so
+  ``attempts=(1,)`` injectors fail the first attempt and let the retry
+  succeed no matter which worker process the retry lands on;
+* **on-disk byte flips** — :meth:`FaultInjector.flip_byte` corrupts a
+  seed-chosen byte of a seed-chosen segment of a spilled store, for
+  exercising checksum verification and quarantine.
+
+The hooks are installed in the parent *before* the engine forks its
+pool, so every worker inherits them (fork start method; the platforms
+the pipeline fans out on).  The degraded in-process fallback
+deliberately bypasses the hook — recovery must not re-trigger the
+fault it recovers from.
+
+Example — first attempt of whatever dispatch carries ``pair`` crashes,
+the retry completes the run bitwise-identically::
+
+    injector = FaultInjector(seed=7)
+    pair = injector.pick_pair(plan)
+    with installed(crash_on(pair)):
+        result = detector.detect(
+            relation, n_jobs=2,
+            retry=RetryPolicy(max_attempts=2), on_error="raise",
+        )
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import parent_process
+
+from repro.matching.executor.workers import set_fault_hook
+
+#: Hook signature the executor consults: ``(attempt, pairs) -> None``;
+#: raising (or not returning) is the injection.
+FaultHook = Callable[[int, Sequence[tuple[str, str]]], None]
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """The exception :func:`crash_on` injectors raise inside a worker."""
+
+
+@contextmanager
+def installed(hook: FaultHook) -> Iterator[FaultHook]:
+    """Install *hook* for the duration of a ``with`` block.
+
+    Install *before* the detect call so the engine's forked workers
+    inherit it; always cleared on exit, even when the run raises.
+    """
+    set_fault_hook(hook)
+    try:
+        yield hook
+    finally:
+        set_fault_hook(None)
+
+
+def _targets(
+    pair: tuple[str, str], attempts: Sequence[int]
+) -> Callable[[int, Sequence[tuple[str, str]]], bool]:
+    target = tuple(pair)
+    wanted = frozenset(attempts)
+
+    def matches(attempt: int, pairs: Sequence[tuple[str, str]]) -> bool:
+        return attempt in wanted and any(
+            tuple(candidate) == target for candidate in pairs
+        )
+
+    return matches
+
+
+def crash_on(
+    pair: tuple[str, str], *, attempts: Sequence[int] = (1,)
+) -> FaultHook:
+    """Raise :class:`InjectedWorkerCrash` in the dispatch carrying *pair*.
+
+    Models a work unit whose execution raises (poison input, transient
+    resource failure): the exception travels back through the pool's
+    error callback and surfaces as a
+    :class:`~repro.matching.executor.WorkerCrash` — detected
+    immediately, no timeout needed.
+    """
+    matches = _targets(pair, attempts)
+
+    def hook(attempt: int, pairs: Sequence[tuple[str, str]]) -> None:
+        if matches(attempt, pairs):
+            raise InjectedWorkerCrash(
+                f"injected crash for pair {tuple(pair)!r} "
+                f"on attempt {attempt}"
+            )
+
+    return hook
+
+
+def kill_on(
+    pair: tuple[str, str], *, attempts: Sequence[int] = (1,)
+) -> FaultHook:
+    """Kill the worker process handling the dispatch that carries *pair*.
+
+    Models hard process death (OOM killer, SIGKILL): ``os._exit`` skips
+    every handler, so the task is simply lost and the pool respawns a
+    replacement worker — detection therefore requires a
+    ``RetryPolicy(timeout=...)`` deadline, after which the unit
+    surfaces as a :class:`~repro.matching.executor.WorkerTimeout`.
+    When consulted *in-process* (serial supervision — there is no
+    worker process to lose), it degenerates to an
+    :class:`InjectedWorkerCrash` instead of killing the test run.
+    """
+    matches = _targets(pair, attempts)
+
+    def hook(attempt: int, pairs: Sequence[tuple[str, str]]) -> None:
+        if matches(attempt, pairs):
+            if parent_process() is None:
+                raise InjectedWorkerCrash(
+                    f"injected kill for pair {tuple(pair)!r} on attempt "
+                    f"{attempt} (in-process: no worker to kill)"
+                )
+            os._exit(1)
+
+    return hook
+
+
+def stall_on(
+    pair: tuple[str, str],
+    seconds: float,
+    *,
+    attempts: Sequence[int] = (1,),
+) -> FaultHook:
+    """Stall the dispatch carrying *pair* for *seconds*.
+
+    Models a hung comparison (pathological input, stuck I/O): the
+    worker stays alive but the dispatch misses its deadline and is
+    retried as a :class:`~repro.matching.executor.WorkerTimeout`; the
+    stalled attempt's late result is discarded as stale.  Keep
+    *seconds* comfortably above the policy's ``timeout`` but bounded —
+    the sleeping worker occupies its pool slot until it wakes.
+    """
+    matches = _targets(pair, attempts)
+
+    def hook(attempt: int, pairs: Sequence[tuple[str, str]]) -> None:
+        if matches(attempt, pairs):
+            time.sleep(seconds)
+
+    return hook
+
+
+def compose(*hooks: FaultHook) -> FaultHook:
+    """One hook running several injectors in order (first raise wins)."""
+
+    def hook(attempt: int, pairs: Sequence[tuple[str, str]]) -> None:
+        for inner in hooks:
+            inner(attempt, pairs)
+
+    return hook
+
+
+@dataclass(frozen=True)
+class FlippedByte:
+    """Receipt of one on-disk byte flip (enough to undo it)."""
+
+    #: Absolute path of the segment file that was corrupted.
+    path: str
+    #: Byte offset that was flipped.
+    offset: int
+    #: The byte's original value.
+    original: int
+    #: The value written in its place (``original ^ 0xFF``).
+    flipped: int
+
+    def restore(self) -> None:
+        """Write the original byte back (undo the corruption)."""
+        with open(self.path, "r+b") as handle:
+            handle.seek(self.offset)
+            handle.write(bytes([self.original]))
+
+
+class FaultInjector:
+    """Seeded chooser of *where* to inject — same seed, same faults.
+
+    All randomness flows through one ``random.Random(seed)``: given the
+    same plan/store and the same call sequence, every chosen partition,
+    pair and byte is identical across runs — the property the chaos CI
+    matrix relies on.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Target selection
+    # ------------------------------------------------------------------
+
+    def pick_partition(self, plan):
+        """A seed-chosen non-empty partition of *plan*."""
+        candidates = [
+            partition for partition in plan.partitions if partition.pairs
+        ]
+        if not candidates:
+            raise ValueError("plan has no partitions with pairs")
+        return self._rng.choice(candidates)
+
+    def pick_pair(self, plan) -> tuple[str, str]:
+        """A seed-chosen candidate pair of a seed-chosen partition."""
+        partition = self.pick_partition(plan)
+        return tuple(self._rng.choice(partition.pairs))
+
+    # ------------------------------------------------------------------
+    # Executor faults (content-addressed dispatch hooks)
+    # ------------------------------------------------------------------
+
+    def worker_kill(
+        self, plan, *, attempts: Sequence[int] = (1,)
+    ) -> FaultHook:
+        """Kill the worker handling a seed-chosen pair's dispatch."""
+        return kill_on(self.pick_pair(plan), attempts=attempts)
+
+    def partition_crash(
+        self, plan, *, attempts: Sequence[int] = (1,)
+    ) -> FaultHook:
+        """Crash the dispatch carrying a seed-chosen pair."""
+        return crash_on(self.pick_pair(plan), attempts=attempts)
+
+    def partition_stall(
+        self, plan, seconds: float, *, attempts: Sequence[int] = (1,)
+    ) -> FaultHook:
+        """Stall the dispatch carrying a seed-chosen pair."""
+        return stall_on(self.pick_pair(plan), seconds, attempts=attempts)
+
+    # ------------------------------------------------------------------
+    # Storage faults (on-disk corruption)
+    # ------------------------------------------------------------------
+
+    def flip_byte(
+        self, store, *, segment: int | None = None
+    ) -> FlippedByte:
+        """Flip one seed-chosen byte of one segment of a spilled store.
+
+        *store* is a :class:`~repro.pdb.storage.SpillingXTupleStore`
+        (any object exposing ``_segment_files``); *segment* pins the
+        segment index, otherwise it is seed-chosen.  Returns a
+        :class:`FlippedByte` receipt that can :meth:`~FlippedByte.restore`
+        the original byte.
+        """
+        files = list(store._segment_files)
+        if not files:
+            raise ValueError("store has no segments to corrupt")
+        if segment is None:
+            segment = self._rng.randrange(len(files))
+        path = files[segment]
+        size = os.path.getsize(path)
+        if size == 0:
+            raise ValueError(f"segment {path!r} is empty")
+        offset = self._rng.randrange(size)
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            original = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([original ^ 0xFF]))
+        return FlippedByte(
+            path=path,
+            offset=offset,
+            original=original,
+            flipped=original ^ 0xFF,
+        )
+
+
+__all__ = [
+    "FaultHook",
+    "FaultInjector",
+    "FlippedByte",
+    "InjectedWorkerCrash",
+    "compose",
+    "crash_on",
+    "installed",
+    "kill_on",
+    "stall_on",
+]

@@ -1,0 +1,628 @@
+"""Fault-tolerance golden suite: recovery is bitwise, failure is loud.
+
+The contract under test (the PR-6 acceptance pin): with deterministic,
+seeded fault injection — worker crashes, worker kills, stalled
+dispatches, flipped segment bytes —
+
+* whenever recovery succeeds (retry or in-process degradation), the
+  run's decisions are **bitwise identical** to the clean serial
+  pipeline's, across reducers and scheduling modes;
+* whenever recovery is exhausted, the run resolves per ``on_error``:
+  a structured ``PartitionFailure`` raised, or recorded in
+  ``ExecutionReport.failures`` with the partitions dropped whole;
+* **no recovery is silent** — every injected fault shows up in the
+  report's counters and in the ``on_fault`` event stream (the property
+  the chaos CI job asserts over its seed matrix);
+* storage corruption is caught by checksums *mid-detect*, is
+  attributable (segment path, byte offset, tuple ids), and quarantine
+  leaves the surviving tuples servable — including one source of a
+  ``detect_between`` consolidation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import DatasetConfig, generate_dataset
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.matching import DuplicateDetector, FullComparison
+from repro.matching.executor import (
+    ExecutionReport,
+    ExecutionSettings,
+    PartitionFailure,
+    RetryPolicy,
+    WorkerCrash,
+    WorkerTimeout,
+)
+from repro.pdb.errors import SegmentCorruptionError
+from repro.pdb.io import open_store
+from repro.pdb.relations import XRelation
+from repro.reduction import (
+    CertainKeyBlocking,
+    SortedNeighborhood,
+    SubstringKey,
+)
+from repro.testing import (
+    FaultInjector,
+    InjectedWorkerCrash,
+    compose,
+    crash_on,
+    installed,
+    kill_on,
+    stall_on,
+)
+
+BLOCK_KEY = SubstringKey([("name", 1)])
+SORT_KEY = SubstringKey([("name", 3), ("job", 2)])
+
+REDUCERS = {
+    "blocking": lambda: CertainKeyBlocking(BLOCK_KEY),
+    "snm": lambda: SortedNeighborhood(SORT_KEY, window=5),
+    "full": lambda: FullComparison(),
+}
+
+#: The chaos job's fixed seed matrix: each seed picks different fault
+#: targets, every run with one seed picks the same.
+FAULT_SEEDS = (11, 29)
+
+#: Generous next to the ~5ms dispatches here; keeps slow-CI wiggle room
+#: while a stalled dispatch still times out quickly.
+TIMEOUT = 0.4
+STALL = 1.5
+
+
+@pytest.fixture(scope="module")
+def flat_relation():
+    return generate_dataset(
+        DatasetConfig(entity_count=40, seed=7), flat=True
+    ).relation
+
+
+def _detector(reducer):
+    return DuplicateDetector(
+        default_matcher(), weighted_model(), reducer=reducer
+    )
+
+
+def _triples(result):
+    return [
+        (d.left_id, d.right_id, d.status, d.similarity)
+        for d in result.decisions
+    ]
+
+
+@pytest.fixture(scope="module")
+def references(flat_relation):
+    """Clean serial (striped) decisions per reducer: the golden runs."""
+    return {
+        name: _triples(
+            _detector(make()).detect(flat_relation, scheduling="striped")
+        )
+        for name, make in REDUCERS.items()
+    }
+
+
+def _assert_observable(report: ExecutionReport, events) -> None:
+    """No silent degradation: faults ⇒ counters ⇒ events, consistently."""
+    faults = report.worker_crashes + report.worker_timeouts
+    assert faults >= 1
+    recoveries = (
+        report.retried_dispatches
+        + report.degraded_tasks
+        + len(report.failures)
+    )
+    assert recoveries >= 1
+    kinds = [event.kind for event in events]
+    assert len([k for k in kinds if k == "retry"]) == (
+        report.retried_dispatches
+    )
+    assert len([k for k in kinds if k == "degraded"]) == (
+        report.degraded_tasks
+    )
+    for event in events:
+        assert event.partitions
+        assert event.attempt >= 1
+        assert event.fault in ("crash", "timeout")
+
+
+# ----------------------------------------------------------------------
+# Retry-then-degrade stays bitwise golden: 3 reducers × both schedulings
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduling", ["partitioned", "stealing"])
+@pytest.mark.parametrize("name", sorted(REDUCERS))
+def test_retry_then_degrade_bitwise_golden(
+    name, scheduling, flat_relation, references
+):
+    """Crash every attempt: the budget is spent retrying, then the unit
+    degrades to an in-process re-execution — decisions bitwise-equal to
+    the clean serial pipeline, and every recovery step observable."""
+    detector = _detector(REDUCERS[name]())
+    plan = detector.plan(flat_relation)
+    pair = FaultInjector(7).pick_pair(plan)
+    events = []
+    with installed(crash_on(pair, attempts=(1, 2))):
+        result = detector.detect(
+            flat_relation,
+            n_jobs=2,
+            chunk_size=16,
+            scheduling=scheduling,
+            split_pairs=16,
+            retry=RetryPolicy(max_attempts=2),
+            on_error="degrade",
+            on_fault=events.append,
+        )
+    assert _triples(result) == references[name]
+    report = detector.last_report
+    assert report.retried_dispatches >= 1
+    assert report.degraded_tasks >= 1
+    assert not report.failures
+    assert report.recovered
+    _assert_observable(report, events)
+
+
+@pytest.mark.parametrize("name", sorted(REDUCERS))
+def test_first_attempt_crash_retry_recovers(
+    name, flat_relation, references
+):
+    """A transient fault (first attempt only) needs no degradation."""
+    detector = _detector(REDUCERS[name]())
+    pair = FaultInjector(3).pick_pair(detector.plan(flat_relation))
+    with installed(crash_on(pair, attempts=(1,))):
+        result = detector.detect(
+            flat_relation,
+            n_jobs=2,
+            chunk_size=16,
+            retry=RetryPolicy(max_attempts=2),
+        )
+    assert _triples(result) == references[name]
+    assert detector.last_report.retried_dispatches >= 1
+    assert detector.last_report.degraded_tasks == 0
+
+
+# ----------------------------------------------------------------------
+# The chaos seed matrix: worker-kill and stall recover via deadlines
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_worker_kill_recovered_by_deadline(
+    seed, flat_relation, references
+):
+    """A killed worker never reports back: the task is lost, the pool
+    respawns a replacement, and the dispatch deadline converts the loss
+    into a retried WorkerTimeout — the retry lands on a live worker."""
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    events = []
+    with installed(FaultInjector(seed).worker_kill(plan)):
+        result = detector.detect(
+            flat_relation,
+            n_jobs=2,
+            chunk_size=16,
+            retry=RetryPolicy(max_attempts=2, timeout=TIMEOUT),
+            on_error="degrade",
+            on_fault=events.append,
+        )
+    assert _triples(result) == references["blocking"]
+    report = detector.last_report
+    assert report.worker_timeouts >= 1
+    assert report.recovered
+    _assert_observable(report, events)
+
+
+@pytest.mark.parametrize("scheduling", ["partitioned", "stealing"])
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_stall_recovered_by_deadline(
+    seed, scheduling, flat_relation, references
+):
+    """A hung dispatch misses its deadline and is retried; the stalled
+    attempt's late result is discarded as stale, not double-counted."""
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    events = []
+    with installed(FaultInjector(seed).partition_stall(plan, STALL)):
+        result = detector.detect(
+            flat_relation,
+            n_jobs=2,
+            chunk_size=16,
+            scheduling=scheduling,
+            split_pairs=16,
+            retry=RetryPolicy(max_attempts=2, timeout=TIMEOUT),
+            on_fault=events.append,
+        )
+    assert _triples(result) == references["blocking"]
+    report = detector.last_report
+    assert report.worker_timeouts >= 1
+    assert report.retried_dispatches >= 1
+    assert report.recovered
+    _assert_observable(report, events)
+
+
+def test_composed_faults_recover(flat_relation, references):
+    """Crash one dispatch and stall another in the same run."""
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    injector = FaultInjector(5)
+    hook = compose(
+        crash_on(injector.pick_pair(plan)),
+        stall_on(injector.pick_pair(plan), STALL),
+    )
+    with installed(hook):
+        result = detector.detect(
+            flat_relation,
+            n_jobs=2,
+            chunk_size=16,
+            retry=RetryPolicy(max_attempts=3, timeout=TIMEOUT),
+            on_error="degrade",
+        )
+    assert _triples(result) == references["blocking"]
+    assert detector.last_report.recovered
+
+
+# ----------------------------------------------------------------------
+# Exhausted budgets: on_error semantics
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduling", ["partitioned", "stealing"])
+def test_skip_drops_failed_partitions_whole(
+    scheduling, flat_relation, references
+):
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    pair = FaultInjector(7).pick_pair(plan)
+    with installed(crash_on(pair, attempts=(1, 2, 3))):
+        result = detector.detect(
+            flat_relation,
+            n_jobs=2,
+            chunk_size=8,
+            scheduling=scheduling,
+            split_pairs=16,
+            retry=RetryPolicy(max_attempts=2),
+            on_error="skip",
+        )
+    report = detector.last_report
+    assert report.failures
+    failed_labels = {failure.partition for failure in report.failures}
+    # skip(): the crash-degrade fallback ran in-process and crashed too?
+    # No — skip never degrades; the partitions are dropped whole.
+    reference = {(t[0], t[1]): t for t in references["blocking"]}
+    decided = _triples(result)
+    assert (pair[0], pair[1]) not in {(t[0], t[1]) for t in decided}
+    # Every surviving decision is bitwise-equal to the clean run's.
+    for triple in decided:
+        assert reference[(triple[0], triple[1])] == triple
+    assert len(decided) < len(references["blocking"])
+    for failure in report.failures:
+        assert isinstance(failure, PartitionFailure)
+        assert failure.partition in failed_labels
+        assert failure.attempt == 2
+
+
+def test_raise_surfaces_structured_partition_failure(flat_relation):
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    pair = FaultInjector(7).pick_pair(plan)
+    with installed(crash_on(pair, attempts=(1, 2))):
+        with pytest.raises(PartitionFailure) as info:
+            detector.detect(
+                flat_relation,
+                n_jobs=2,
+                chunk_size=8,
+                retry=RetryPolicy(max_attempts=2),
+                on_error="raise",
+            )
+    failure = info.value
+    assert failure.partition
+    assert failure.attempt == 2
+    assert isinstance(failure.__cause__, WorkerCrash)
+    assert "attempt" in str(failure)
+
+
+def test_degrade_failure_falls_back_to_recorded_failure(flat_relation):
+    """When even the in-process degraded re-execution raises, the
+    partition fails terminally — recorded, not silently dropped."""
+    detector = _detector(REDUCERS["blocking"]())
+
+    class Poison(Exception):
+        pass
+
+    original = detector.procedure.decide
+    plan = detector.plan(flat_relation)
+    pair = FaultInjector(7).pick_pair(plan)
+
+    def poisoned(left, right, **kwargs):
+        if {left.tuple_id, right.tuple_id} == set(pair):
+            raise Poison("poison pair")
+        return original(left, right, **kwargs)
+
+    detector.procedure.decide = poisoned
+    try:
+        result = detector.detect(
+            flat_relation,
+            n_jobs=1,
+            chunk_size=8,
+            retry=RetryPolicy(max_attempts=2),
+            on_error="degrade",
+        )
+    finally:
+        detector.procedure.decide = original
+    report = detector.last_report
+    assert report.failures
+    assert report.degraded_tasks == 0
+    assert not report.recovered
+    decided = {(t[0], t[1]) for t in _triples(result)}
+    assert tuple(pair) not in decided
+
+
+# ----------------------------------------------------------------------
+# Serial supervision (n_jobs=1)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduling", ["partitioned", "stealing"])
+def test_serial_supervision_retries_and_degrades(
+    scheduling, flat_relation, references
+):
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    pair = FaultInjector(7).pick_pair(plan)
+    events = []
+    with installed(crash_on(pair, attempts=(1, 2))):
+        result = detector.detect(
+            flat_relation,
+            n_jobs=1,
+            scheduling=scheduling,
+            split_pairs=16,
+            retry=RetryPolicy(max_attempts=2),
+            on_error="degrade",
+            on_fault=events.append,
+        )
+    assert _triples(result) == references["blocking"]
+    report = detector.last_report
+    assert report.retried_dispatches >= 1
+    assert report.degraded_tasks >= 1
+    _assert_observable(report, events)
+
+
+def test_serial_kill_degenerates_to_crash(flat_relation, references):
+    """In-process there is no worker to kill: kill_on injects a crash
+    instead of taking down the test process."""
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    with installed(FaultInjector(11).worker_kill(plan)):
+        result = detector.detect(
+            flat_relation,
+            retry=RetryPolicy(max_attempts=2),
+        )
+    assert _triples(result) == references["blocking"]
+    assert detector.last_report.worker_crashes >= 1
+
+
+def test_unsupervised_default_never_consults_hook(flat_relation):
+    """The compat pin: default settings take the unsupervised paths and
+    worker exceptions propagate raw — not wrapped, not retried."""
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    pair = FaultInjector(7).pick_pair(plan)
+    with installed(crash_on(pair)):
+        # The hook is only consulted by supervised dispatch; a default
+        # run never sees it at all.
+        result = detector.detect(flat_relation, n_jobs=1)
+    assert result.decisions
+    assert detector.last_report.worker_crashes == 0
+
+
+# ----------------------------------------------------------------------
+# Policy validation and facade guards
+# ----------------------------------------------------------------------
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="timeout"):
+        RetryPolicy(timeout=0.0)
+    with pytest.raises(ValueError, match="backoff"):
+        RetryPolicy(backoff=-1.0)
+    assert RetryPolicy().supervises is False
+    assert RetryPolicy(max_attempts=2).supervises is True
+    assert RetryPolicy(timeout=1.0).supervises is True
+    policy = RetryPolicy(max_attempts=4, backoff=0.1)
+    assert [policy.delay(k) for k in (1, 2, 3)] == [0.1, 0.2, 0.4]
+    assert RetryPolicy(max_attempts=4).delay(3) == 0.0
+
+
+def test_settings_reject_unknown_on_error():
+    with pytest.raises(ValueError, match="on_error"):
+        ExecutionSettings(on_error="retry-forever")
+
+
+def test_striped_rejects_supervision(flat_relation):
+    detector = _detector(REDUCERS["blocking"]())
+    with pytest.raises(ValueError, match="plan-driven"):
+        detector.detect(
+            flat_relation,
+            scheduling="striped",
+            retry=RetryPolicy(max_attempts=2),
+        )
+    with pytest.raises(ValueError, match="plan-driven"):
+        detector.detect(
+            flat_relation, scheduling="striped", on_error="skip"
+        )
+
+
+def test_fault_taxonomy_carries_context():
+    crash = WorkerCrash(
+        "boom", partitions=("block:A",), sources=("left",), attempt=2
+    )
+    assert crash.partitions == ("block:A",)
+    assert crash.sources == ("left",)
+    assert crash.attempt == 2
+    assert crash.kind == "crash"
+    assert WorkerTimeout("slow").kind == "timeout"
+    failure = PartitionFailure(
+        "gone", partition="block:A", sources=("left",), attempt=3
+    )
+    assert failure.partition == "block:A"
+    assert failure.kind == "failure"
+
+
+def test_injector_is_deterministic(flat_relation):
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    for seed in FAULT_SEEDS:
+        assert FaultInjector(seed).pick_pair(plan) == FaultInjector(
+            seed
+        ).pick_pair(plan)
+        assert (
+            FaultInjector(seed).pick_partition(plan).label
+            == FaultInjector(seed).pick_partition(plan).label
+        )
+
+
+# ----------------------------------------------------------------------
+# Storage: byte flips mid-detect, quarantine, partial consolidation
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_byte_flip_detected_mid_detect(seed, tmp_path, flat_relation):
+    """Corruption that lands *after* the store was opened is still
+    caught by the lazy checksum before any damaged tuple is decoded."""
+    store = flat_relation.spill(str(tmp_path / "store"), segment_size=16)
+    detector = _detector(REDUCERS["blocking"]())
+    flip = FaultInjector(seed).flip_byte(store)
+    with pytest.raises(SegmentCorruptionError) as info:
+        detector.detect(store)
+    error = info.value
+    assert error.segment_file == flip.path
+    assert error.tuple_ids
+    assert error.expected_crc != error.actual_crc
+    # Restored bytes verify clean again and detection completes.
+    flip.restore()
+    fresh = open_store(str(tmp_path / "store"))
+    assert fresh.verify().ok
+    assert detector.detect(fresh).decisions
+
+
+def test_tampered_manifest_checksum_detected_mid_detect(
+    tmp_path, flat_relation
+):
+    """A manifest whose recorded checksum disagrees with healthy bytes
+    is just as corrupt: open succeeds, first page load mid-detect does
+    not."""
+    import json
+
+    path = str(tmp_path / "store")
+    flat_relation.spill(path, segment_size=16).close()
+    manifest_file = os.path.join(path, "manifest.json")
+    with open(manifest_file, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    manifest["segments"][0]["crc32"] ^= 0xDEADBEEF
+    with open(manifest_file, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    store = open_store(path)
+    detector = _detector(REDUCERS["blocking"]())
+    with pytest.raises(SegmentCorruptionError, match="integrity"):
+        detector.detect(store)
+
+
+def test_quarantine_keeps_rest_servable(tmp_path, flat_relation):
+    store = flat_relation.spill(str(tmp_path / "store"), segment_size=16)
+    flip = FaultInjector(11).flip_byte(store, segment=2)
+    audit = store.verify()
+    assert not audit.ok
+    assert [bad.file for bad in audit.corrupt] == [
+        os.path.basename(flip.path)
+    ]
+    receipt = store.quarantine(audit.corrupt[0].file)
+    assert receipt.remaining == len(flat_relation) - len(
+        receipt.tuple_ids
+    )
+    assert len(store) == receipt.remaining
+    assert store.verify().ok
+    assert os.path.exists(receipt.quarantined_path)
+    assert not os.path.exists(flip.path)
+    for tuple_id in receipt.tuple_ids:
+        assert tuple_id not in store
+    # Survivors decode identically to the original relation.
+    survivor = next(iter(store.tuple_ids))
+    assert store.get(survivor) == flat_relation.get(survivor)
+    # The rewritten manifest is durable: a fresh open agrees.
+    fresh = open_store(store.path)
+    assert len(fresh) == receipt.remaining
+    assert fresh.verify().ok
+
+
+def test_detect_between_with_quarantined_source(tmp_path, flat_relation):
+    """One source of a consolidation loses a segment: quarantine it and
+    the partial run equals the clean run over the surviving tuples."""
+    ids = flat_relation.tuple_ids
+    half = len(ids) // 2
+    left = XRelation(
+        "left",
+        flat_relation.schema,
+        (flat_relation.get(i) for i in ids[:half]),
+    )
+    right = XRelation(
+        "right",
+        flat_relation.schema,
+        (flat_relation.get(i) for i in ids[half:]),
+    )
+    left_store = left.spill(str(tmp_path / "left"), segment_size=8)
+    right_store = right.spill(str(tmp_path / "right"), segment_size=8)
+    detector = _detector(REDUCERS["blocking"]())
+
+    FaultInjector(29).flip_byte(right_store, segment=1)
+    with pytest.raises(SegmentCorruptionError) as info:
+        detector.detect_between(left_store, right_store)
+    receipt = right_store.quarantine(info.value.segment_file)
+    assert receipt.tuple_ids
+
+    partial = detector.detect_between(left_store, right_store)
+    surviving_right = XRelation(
+        "right",
+        right.schema,
+        (
+            right.get(i)
+            for i in right.tuple_ids
+            if i not in receipt.tuple_ids
+        ),
+    )
+    clean = detector.detect_between(left, surviving_right)
+    assert _triples(partial) == _triples(clean)
+
+
+def test_close_is_idempotent_and_fork_safe(tmp_path, flat_relation):
+    import pickle
+
+    store = flat_relation.spill(str(tmp_path / "store"), segment_size=8)
+    some_id = store.tuple_ids[0]
+    store.get(some_id)
+    assert store.open_segments >= 1
+    store.close()
+    store.close()  # second close: no-op, no raise
+    with store:
+        assert store.get(some_id).tuple_id == some_id
+    store.close()
+    # A pickled copy (what a spawn pool would ship) has lazy handles
+    # that were never opened; closing it must not raise either.
+    clone = pickle.loads(pickle.dumps(store))
+    clone.close()
+    clone.close()
+    assert clone.get(some_id).tuple_id == some_id
+
+
+def test_kill_hook_degenerates_in_main_process():
+    """kill_on must never ``os._exit`` the main (test) process."""
+    hook = kill_on(("a", "b"))
+    with pytest.raises(InjectedWorkerCrash, match="no worker to kill"):
+        hook(1, [("a", "b")])
+    # Non-matching dispatches and attempts pass through silently.
+    hook(2, [("a", "b")])
+    hook(1, [("x", "y")])

@@ -32,6 +32,7 @@ from repro.pdb import NULL, PatternValue, ProbabilisticValue
 from repro.pdb.io import open_store
 from repro.pdb.relations import Schema, XRelation
 from repro.pdb.storage import (
+    SegmentCorruptionError,
     SpillingXTupleStore,
     StorageError,
     XTupleStore,
@@ -462,17 +463,30 @@ def test_segment_read_errors_surface_as_storage_errors(
     tmp_path, x_relation
 ):
     """A store whose segments vanished or rotted after opening reports
-    StorageError from get/fetch/iteration, not raw OS/JSON errors."""
+    StorageError from get/fetch/iteration, not raw OS/JSON errors.
+
+    With checksums verified (the default), overwritten bytes are caught
+    by the CRC before any line is decoded; with verification off, the
+    per-line decode error surfaces instead, carrying the segment path,
+    byte offset and tuple id.
+    """
     target = tmp_path / "rotting"
     store = x_relation.spill(str(target), segment_size=4)
     victim = sorted(target.glob("seg-*.jsonl"))[1]
     original = victim.read_bytes()
     victim.write_bytes(b"{corrupt\n" * 4)
     store.clear_cache()
-    with pytest.raises(StorageError, match="corrupt segment line"):
+    with pytest.raises(SegmentCorruptionError, match="integrity"):
         store.get(x_relation.tuple_ids[4])
-    with pytest.raises(StorageError, match="corrupt segment line"):
+    # Iteration re-diagnoses the unparseable line via the checksum, so
+    # bit rot reports the whole segment's blast radius, not one line.
+    with pytest.raises(SegmentCorruptionError, match="integrity"):
         list(store)
+    unverified = SpillingXTupleStore(str(target), verify_checksums=False)
+    with pytest.raises(StorageError, match="corrupt segment line") as info:
+        unverified.get(x_relation.tuple_ids[4])
+    assert "byte offset" in str(info.value)
+    assert repr(x_relation.tuple_ids[4]) in str(info.value)
     victim.unlink()
     store.close()
     with pytest.raises(StorageError, match="unreadable segment"):
