@@ -6,6 +6,10 @@ claims of the kernel layer are tracked by the benchmark harness:
 
 * banded + early-exit Levenshtein/Damerau vs the full reference DP at a
   realistic duplicate-detection cutoff;
+* the Myers bit-parallel kernels and the numpy batch scorer vs both of
+  the above, with bitwise-agreement sanity asserts — the CI smoke runs
+  this module per backend, so any divergence from the ``"python"``
+  reference fails the build;
 * memoized (``SimilarityCache``) vs uncached Equation-5 matching on the
   same pair workload;
 * comparison-matrix construction with the precomputed weight matrix.
@@ -20,6 +24,11 @@ import pytest
 from repro.datagen import DatasetConfig, generate_dataset
 from repro.datagen.corpus import JOBS
 from repro.matching.comparison import AttributeMatcher
+from repro.similarity.backends import numpy_backend
+from repro.similarity.backends.bitparallel import (
+    bitparallel_damerau_levenshtein,
+    bitparallel_levenshtein,
+)
 from repro.similarity.edit import (
     damerau_levenshtein_distance,
     levenshtein_distance,
@@ -28,6 +37,7 @@ from repro.similarity.jaro import JARO_WINKLER
 from repro.similarity.kernels import (
     banded_damerau_levenshtein,
     banded_levenshtein,
+    banded_levenshtein_similarity,
 )
 from repro.similarity.uncertain import (
     PatternPolicy,
@@ -112,12 +122,125 @@ def test_bench_banded_damerau(benchmark, word_pairs):
     assert total > 0
 
 
+def test_bench_bitparallel_levenshtein(benchmark, word_pairs):
+    """Myers bit-parallel kernel with the same cutoff."""
+
+    def run():
+        return sum(
+            bitparallel_levenshtein(a, b, max_distance=CUTOFF)
+            for a, b in word_pairs
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bench_bitparallel_damerau(benchmark, word_pairs):
+    """Bit-parallel Damerau (Hyyrö transposition term) with cutoff."""
+
+    def run():
+        return sum(
+            bitparallel_damerau_levenshtein(a, b, max_distance=CUTOFF)
+            for a, b in word_pairs
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.fixture(scope="module")
+def warm_batch():
+    """A prewarm-shaped workload: one partition vocabulary crossed.
+
+    This is what the pair-aware prewarm hands the batch scorer — a few
+    thousand pairs drawn from a modest vocabulary, so shape groups are
+    large enough for vectorization to amortize array setup.
+    """
+    rng = random.Random(23)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    words = [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(6, 14)))
+        for _ in range(60)
+    ]
+    # Half the vocabulary is one-edit corruptions — the cross product
+    # then mixes near-duplicates with unrelated pairs like a real block.
+    for word in list(words):
+        corrupted = list(word)
+        corrupted[rng.randrange(len(corrupted))] = rng.choice(alphabet)
+        words.append("".join(corrupted))
+    return [
+        (words[i], words[j])
+        for i in range(len(words))
+        for j in range(i + 1, len(words))
+    ]
+
+
+def test_bench_perpair_similarity_python(benchmark, warm_batch):
+    """Baseline for the batch scorer: per-pair banded similarities."""
+
+    def run():
+        return sum(
+            banded_levenshtein_similarity(a, b, min_similarity=0.75)
+            for a, b in warm_batch
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.skipif(
+    not numpy_backend.available(), reason="numpy not installed"
+)
+def test_bench_numpy_batch_similarities(benchmark, warm_batch):
+    """Partition-vectorized scoring of the whole warm batch at once."""
+
+    def run():
+        return sum(
+            numpy_backend.batch_levenshtein_similarities(
+                warm_batch, min_similarity=0.75
+            )
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
 def test_banded_equals_reference_on_bench_data(word_pairs):
     """Sanity: within the cutoff the kernels are exact on the bench data."""
     for a, b in word_pairs:
         reference = levenshtein_distance(a, b)
         banded = banded_levenshtein(a, b, CUTOFF)
         assert banded == (reference if reference <= CUTOFF else CUTOFF + 1)
+
+
+def test_backends_agree_bitwise_on_bench_data(word_pairs):
+    """The CI divergence gate: every backend pins to the reference.
+
+    Runs inside the ``--quick`` smoke (this module matches the
+    ``kernels`` selector), so a backend drifting from the ``"python"``
+    kernels fails the benchmark job, not just the unit suite.
+    """
+    for a, b in word_pairs:
+        reference = levenshtein_distance(a, b)
+        capped = bitparallel_levenshtein(a, b, max_distance=CUTOFF)
+        if reference <= CUTOFF:
+            assert capped == reference
+        else:
+            assert capped > CUTOFF
+        assert bitparallel_levenshtein(a, b) == reference
+        assert bitparallel_damerau_levenshtein(a, b) == (
+            damerau_levenshtein_distance(a, b)
+        )
+    if numpy_backend.available():
+        assert numpy_backend.batch_levenshtein_similarities(
+            word_pairs, min_similarity=0.75
+        ) == [
+            banded_levenshtein_similarity(a, b, min_similarity=0.75)
+            for a, b in word_pairs
+        ]
+        assert numpy_backend.batch_edit_distances(word_pairs) == [
+            levenshtein_distance(a, b) for a, b in word_pairs
+        ]
 
 
 def _matcher(cache: bool) -> AttributeMatcher:

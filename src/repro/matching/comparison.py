@@ -366,6 +366,36 @@ class AttributeMatcher:
             comparators, default=default, cache=self._cache_enabled
         )
 
+    def with_backend(self, backend) -> "AttributeMatcher":
+        """A matcher whose edit comparators run on a kernel backend.
+
+        The kernel-backend seam: *backend* (a name like
+        ``"bitparallel"`` / ``"numpy"`` or a resolved
+        :class:`~repro.similarity.backends.KernelBackend`) is
+        distributed over the per-attribute comparators with
+        :meth:`~repro.similarity.uncertain.UncertainValueComparator.with_backend`.
+        Comparators that are not backend-aware (Jaro–Winkler, custom
+        functions, Equation 4) are reused unchanged, as is the matcher
+        itself when nothing changes.  Every backend is pinned bitwise
+        to the reference DPs, so results are identical; domain-element
+        caches are shared between the original and the clone.
+        """
+        changed = False
+        comparators: dict[str, UncertainValueComparator] = {}
+        for attribute, comparator in self._comparators.items():
+            switched = comparator.with_backend(backend)
+            changed = changed or switched is not comparator
+            comparators[attribute] = switched
+        default = self._default
+        if default is not None:
+            default = default.with_backend(backend)
+            changed = changed or default is not self._default
+        if not changed:
+            return self
+        return AttributeMatcher(
+            comparators, default=default, cache=self._cache_enabled
+        )
+
     def cache_stats(self) -> dict[str, SimilarityCache]:
         """The live per-attribute caches, keyed by attribute name.
 
@@ -432,6 +462,53 @@ class AttributeMatcher:
             ):
                 complete = False
             warmed += cache.warm(unique, budget=remaining)
+            examined += (
+                min(needed, remaining) if remaining is not None else needed
+            )
+        return warmed, examined, complete
+
+    def warm_pairs(
+        self,
+        value_pairs: Mapping[str, Sequence[tuple[Any, Any]]],
+        *,
+        budget: int | None = None,
+    ) -> tuple[int, int, bool]:
+        """Pre-warm the per-attribute caches from candidate value pairs.
+
+        The pair-aware counterpart of :meth:`warm`: instead of the full
+        pairwise square of each attribute's vocabulary, only the value
+        combinations that actually occur across candidate tuple pairs
+        (collected by
+        :func:`repro.reduction.plan.partition_value_pairs`) are scored
+        — window-family plans over-warm by roughly
+        ``|span| / (2·(w−1))`` under the square, and the smaller
+        working set is what the vectorized batch scorer
+        (:meth:`~repro.similarity.kernels.SimilarityCache.warm_pairs`)
+        encodes and scores in bulk.
+
+        Same return contract as :meth:`warm`: ``(warmed, examined,
+        complete)`` with *examined* counting pairs in the caller's
+        budget bookkeeping unit.
+        """
+        warmed = 0
+        examined = 0
+        complete = True
+        for attribute, pairs in value_pairs.items():
+            comparator = self._comparators.get(attribute, self._default)
+            if comparator is None or comparator.cache is None:
+                continue
+            cache = comparator.cache
+            concrete = comparator.cacheable_pairs(pairs)
+            needed = len(concrete)
+            remaining = None if budget is None else budget - examined
+            if remaining is not None and remaining <= 0:
+                complete = complete and needed == 0
+                continue
+            if (remaining is not None and needed > remaining) or (
+                len(cache) + needed > cache.max_entries
+            ):
+                complete = False
+            warmed += cache.warm_pairs(concrete, budget=remaining)
             examined += (
                 min(needed, remaining) if remaining is not None else needed
             )

@@ -165,6 +165,26 @@ class XTupleDecisionProcedure:
             classifier=self._final_classifier,
         )
 
+    def with_backend(self, backend) -> "XTupleDecisionProcedure":
+        """A clone whose edit kernels run on a different backend.
+
+        Model, derivation and final classifier are shared; only the
+        matcher is replaced by its backend-configured clone (see
+        :meth:`AttributeMatcher.with_backend`).  Backends are pinned
+        bitwise to the reference DPs, so decisions are identical.
+        Returns ``self`` when nothing changes (no backend-aware
+        comparators, or the backend is already active).
+        """
+        matcher = self._matcher.with_backend(backend)
+        if matcher is self._matcher:
+            return self
+        return XTupleDecisionProcedure(
+            matcher,
+            self._model,
+            self._derivation,
+            classifier=self._final_classifier,
+        )
+
     # ------------------------------------------------------------------
     # Steps
     # ------------------------------------------------------------------

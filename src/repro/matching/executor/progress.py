@@ -90,6 +90,9 @@ class ExecutionReport:
     partitions: int = 0
     #: Candidate pairs in the executed plan.
     total_pairs: int = 0
+    #: Comparison-kernel backend recorded in the run's settings
+    #: (``"auto"`` when the caller never resolved a concrete one).
+    kernel_backend: str = ""
     #: Similarity-cache entries stored by pre-warming.
     prewarmed_entries: int = 0
     #: Whether the warmed caches were frozen around the fork.

@@ -69,6 +69,7 @@ from repro.reduction.plan import (
     CandidatePartition,
     CandidatePlan,
     band_partition,
+    partition_value_pairs,
     partition_vocabulary,
 )
 
@@ -87,6 +88,16 @@ DEFAULT_SPLIT_PAIRS = 2048
 #: completely well below this; the bound exists so an unstructured plan
 #: (full comparison) cannot spend the whole run warming in the parent.
 PREWARM_PAIR_BUDGET = 200_000
+
+#: Minimum structural shrinkage required to take the pair-aware warm
+#: path.  Enumerating a partition's candidate tuple pairs costs work
+#: proportional to the pair count; it only beats the legacy
+#: vocabulary-square warm when the pair set is materially smaller than
+#: the member square.  Window-family plans (pairs ≈ (w−1)·|span|) pass
+#: easily; dense blocking partitions (pairs ≈ |block|²/2) fail and keep
+#: the cheaper square warm, which still batches through
+#: ``warm → warm_pairs → batch_similarities``.
+PAIR_AWARE_ADVANTAGE = 2
 
 #: Scheduling modes the engine itself implements.  The legacy pre-plan
 #: "striped" fan-out lives in the detector facade.
@@ -116,6 +127,12 @@ class ExecutionSettings:
     #: the skew pathology the stealing scheduler avoids (see
     #: ``benchmarks/test_bench_scheduler.py``).
     prewarm_budget: int = PREWARM_PAIR_BUDGET
+    #: Comparison-kernel backend the run's procedure was configured
+    #: with (``"auto"`` when the caller did not resolve one).  Purely
+    #: informational at the engine level — the detector facade resolves
+    #: the selector and clones the procedure before constructing the
+    #: engine — but validated here so a typo fails loudly.
+    kernel_backend: str = "auto"
     #: Recovery budget for supervised dispatch (attempts / per-dispatch
     #: timeout / backoff); the default policy never retries and sets no
     #: deadline, which — together with ``on_error="raise"`` — keeps the
@@ -142,6 +159,12 @@ class ExecutionSettings:
             raise ValueError("split_pairs must be positive")
         if self.prewarm_budget < 0:
             raise ValueError("prewarm_budget must be >= 0")
+        if self.kernel_backend != "auto":
+            # Raises ValueError for unregistered names; availability is
+            # checked at resolution time, not here.
+            from repro.similarity.backends.base import get_backend
+
+            get_backend(self.kernel_backend)
         if self.on_error not in ON_ERROR_MODES:
             raise ValueError(
                 f"unknown on_error {self.on_error!r}; "
@@ -179,14 +202,36 @@ def prewarm_plan(
     *,
     budget: int = PREWARM_PAIR_BUDGET,
 ) -> tuple[int, bool]:
-    """Warm the matcher's caches from every partition's vocabulary.
+    """Warm the matcher's caches from every partition's candidate pairs.
+
+    **Pair-aware**: each partition contributes only the attribute-value
+    combinations its candidate tuple pairs can actually compare
+    (:func:`~repro.reduction.plan.partition_value_pairs`), not the full
+    pairwise square of its vocabulary — window-family plans over-warm
+    by roughly ``|span| / (2·(w−1))`` under the square.  The collected
+    batches are scored through
+    :meth:`~repro.matching.comparison.AttributeMatcher.warm_pairs`,
+    which hands whole batches to the kernel backend's vectorized scorer
+    when one is configured (encode once, score in bulk) and loops per
+    pair otherwise.
+
+    Pair-awareness is per partition, not per run: enumerating candidate
+    tuple pairs is itself O(pairs), so a partition only takes the
+    pair-aware path when its pair count promises at least
+    :data:`PAIR_AWARE_ADVANTAGE`-fold shrinkage under its member square.
+    Dense blocking partitions — where the candidate set *is* roughly
+    the square — warm from the vocabulary instead, paying nothing for
+    an enumeration that could not shrink anything.
 
     Returns ``(entries stored, complete)`` where *complete* means every
-    partition's full pairwise table fit the budget — the precondition
-    for freezing the caches read-only around a fork.
+    partition's candidate combinations fit the budget — the
+    precondition for freezing the caches read-only around a fork.
+    Matchers without the pair-aware hook fall back to the legacy
+    vocabulary-square warm.
     """
     if not matcher.cache_stats():
         return 0, False
+    pair_aware = callable(getattr(matcher, "warm_pairs", None))
     total_warmed = 0
     complete = True
     remaining = budget
@@ -194,10 +239,24 @@ def prewarm_plan(
         if remaining <= 0:
             complete = False
             break
-        vocabulary = partition_vocabulary(relation, partition)
-        warmed, examined, partition_complete = matcher.warm(
-            vocabulary, budget=remaining
-        )
+        members = len(partition.members)
+        member_square = members * (members - 1) // 2
+        if (
+            pair_aware
+            and len(partition.pairs) * PAIR_AWARE_ADVANTAGE <= member_square
+        ):
+            value_pairs, truncated = partition_value_pairs(
+                relation, partition, limit=remaining + 1
+            )
+            warmed, examined, partition_complete = matcher.warm_pairs(
+                value_pairs, budget=remaining
+            )
+            partition_complete = partition_complete and not truncated
+        else:
+            vocabulary = partition_vocabulary(relation, partition)
+            warmed, examined, partition_complete = matcher.warm(
+                vocabulary, budget=remaining
+            )
         total_warmed += warmed
         remaining -= max(examined, 1)
         complete = complete and partition_complete
@@ -317,6 +376,7 @@ class ExecutionEngine:
         self._tracker.start(
             plan, scheduling=settings.scheduling, n_jobs=settings.n_jobs
         )
+        self.report.kernel_backend = settings.kernel_backend
         matcher = self._procedure.matcher
         newly_frozen: list = []
         if settings.should_prewarm:

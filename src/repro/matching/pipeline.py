@@ -56,6 +56,7 @@ from repro.matching.executor.workers import (
     init_worker as _init_worker,
 )
 from repro.matching.pushdown import SimilarityFloors
+from repro.similarity.backends.base import resolve_backend_name
 from repro.pdb.relations import ProbabilisticRelation, XRelation
 from repro.pdb.storage import XTupleStore, combine_sources
 from repro.reduction.plan import (
@@ -235,37 +236,48 @@ class DuplicateDetector:
     def _resolve_procedure(
         self,
         min_similarity: float | Mapping[str, float] | str | None,
+        kernel_backend: str | None = None,
     ) -> XTupleDecisionProcedure:
         """The procedure a detect run should execute with.
 
         Resolves the ``min_similarity`` option into
-        :class:`~repro.matching.pushdown.SimilarityFloors`, derives the
-        floor-configured pipeline clone once per distinct configuration
-        and reuses it afterwards (including its band-keyed similarity
-        caches), evicting least-recently-used clones past the bound.
+        :class:`~repro.matching.pushdown.SimilarityFloors` and the
+        ``kernel_backend`` selector into a registered backend name,
+        derives the configured pipeline clone once per distinct
+        ``(floors, backend)`` combination and reuses it afterwards
+        (including its band-keyed similarity caches), evicting
+        least-recently-used clones past the bound.
         """
-        if min_similarity is None:
-            return self._procedure
-        if isinstance(min_similarity, str):
-            if min_similarity != "auto":
-                raise ValueError(
-                    f"unknown min_similarity mode {min_similarity!r}; "
-                    "expected 'auto', a float, a mapping, or None"
-                )
-            floors = self._procedure.attribute_floors()
-            if floors is None:
-                return self._procedure
-        elif isinstance(min_similarity, Mapping):
-            floors = SimilarityFloors(dict(min_similarity))
-        else:
-            floors = SimilarityFloors.uniform(float(min_similarity))
-        if floors.is_exact:
-            return self._procedure
-        key = floors.signature()
+        backend = resolve_backend_name(kernel_backend)
+        floors: SimilarityFloors | None = None
+        if min_similarity is not None:
+            if isinstance(min_similarity, str):
+                if min_similarity != "auto":
+                    raise ValueError(
+                        f"unknown min_similarity mode {min_similarity!r}; "
+                        "expected 'auto', a float, a mapping, or None"
+                    )
+                floors = self._procedure.attribute_floors()
+            elif isinstance(min_similarity, Mapping):
+                floors = SimilarityFloors(dict(min_similarity))
+            else:
+                floors = SimilarityFloors.uniform(float(min_similarity))
+            if floors is not None and floors.is_exact:
+                floors = None
+        key = (
+            floors.signature() if floors is not None else None,
+            backend,
+        )
         memo = self._pruned_procedures
         procedure = memo.get(key)
         if procedure is None:
-            procedure = self._procedure.with_floors(floors)
+            procedure = self._procedure.with_backend(backend)
+            if floors is not None:
+                procedure = procedure.with_floors(floors)
+            if procedure is self._procedure:
+                # Nothing changed (no backend-aware comparators and no
+                # floors): the base procedure needs no memo slot.
+                return procedure
             while len(memo) >= _MAX_PRUNED_PROCEDURES:
                 memo.popitem(last=False)
             memo[key] = procedure
@@ -315,6 +327,7 @@ class DuplicateDetector:
         stream: bool = False,
         prewarm: bool | None = None,
         min_similarity: float | Mapping[str, float] | str | None = None,
+        kernel_backend: str | None = None,
         split_pairs: int | None = None,
         prewarm_budget: int | None = None,
         on_progress: ProgressObserver | None = None,
@@ -433,6 +446,21 @@ class DuplicateDetector:
             computes every similarity exactly.  Cache pre-warming
             under pushdown fills the band-keyed cutoff caches instead
             of the exact tables.
+        kernel_backend:
+            Which comparison-kernel implementation family scores
+            attribute similarities: ``"python"`` (the reference banded
+            DPs), ``"bitparallel"`` (Myers bit-parallel automatons), or
+            ``"numpy"`` (bit-parallel per pair plus a vectorized batch
+            scorer for cache pre-warming).  ``None``/``"auto"``
+            (default) picks the fastest available backend —
+            ``REPRO_KERNEL_BACKEND`` overrides, then numpy when
+            importable, then bitparallel.  Every backend is pinned
+            bitwise to the reference DPs
+            (:mod:`repro.similarity.backends`), so this is purely a
+            performance knob; it composes with ``min_similarity``
+            (cutoff-banded kernels exist per backend) and only affects
+            backend-aware comparators such as
+            :data:`~repro.similarity.FAST_LEVENSHTEIN`.
         split_pairs:
             Stealing-mode cost budget: partitions above this many pairs
             are subdivided (default
@@ -490,6 +518,7 @@ class DuplicateDetector:
             stream=stream,
             prewarm=prewarm,
             min_similarity=min_similarity,
+            kernel_backend=kernel_backend,
             split_pairs=split_pairs,
             prewarm_budget=prewarm_budget,
             on_progress=on_progress,
@@ -581,6 +610,7 @@ class DuplicateDetector:
         stream: bool = False,
         prewarm: bool | None = None,
         min_similarity: float | Mapping[str, float] | str | None = None,
+        kernel_backend: str | None = None,
         split_pairs: int | None = None,
         prewarm_budget: int | None = None,
         on_progress: ProgressObserver | None = None,
@@ -588,7 +618,8 @@ class DuplicateDetector:
         on_error: str = "raise",
         on_fault: FaultObserver | None = None,
     ) -> DetectionResult | Iterator[DetectionResult]:
-        procedure = self._resolve_procedure(min_similarity)
+        backend = resolve_backend_name(kernel_backend)
+        procedure = self._resolve_procedure(min_similarity, backend)
         if chunk_size is None:
             chunk_size = DEFAULT_CHUNK_SIZE
         if n_jobs is None:
@@ -632,6 +663,7 @@ class DuplicateDetector:
             keep_compared_pairs=keep_compared_pairs,
             scheduling=scheduling,
             prewarm=prewarm,
+            kernel_backend=backend,
             on_error=on_error,
         )
         if retry is not None:

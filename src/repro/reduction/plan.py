@@ -45,6 +45,7 @@ from typing import Any, Mapping, Protocol, runtime_checkable
 
 from repro.pdb.storage.base import fetch_tuples
 from repro.pdb.values import NULL
+from repro.similarity.kernels import pair_key
 
 #: Pair-count target per partition for window-family planners, chosen so
 #: partitions stay large enough to amortize worker dispatch and small
@@ -461,3 +462,105 @@ def partition_vocabulary(
         attribute: tuple(values)
         for attribute, values in vocabulary.items()
     }
+
+
+def partition_value_pairs(
+    relation,
+    partition: CandidatePartition,
+    *,
+    limit: int | None = None,
+) -> tuple[dict[str, tuple[tuple[Any, Any], ...]], bool]:
+    """Attribute-value combinations the partition's pairs can compare.
+
+    The pair-aware refinement of :func:`partition_vocabulary`: instead
+    of the full pairwise square of each attribute's vocabulary, walks
+    the partition's *candidate tuple pairs* and collects, per
+    attribute, only the cross products of the two tuples' observed
+    outcomes — exactly the domain-element comparisons attribute
+    matching can issue for this partition.  Window-family plans whose
+    pairs span a sorted run of length ``|span|`` over-warm by roughly
+    ``|span| / (2·(w−1))`` under the square; the pair-aware set is what
+    the vectorized prewarm scorer encodes and scores in bulk.
+
+    Deduplicated per attribute under the cache's unordered-pair key
+    (first occurrence wins, so collection is deterministic in plan
+    order); ⊥ and reflexive same-type-equal combinations are excluded
+    — the comparator layer answers both without touching the cache.
+    Pattern values are kept for
+    :meth:`repro.similarity.uncertain.UncertainValueComparator.cacheable_pairs`
+    to expand or drop by policy.
+
+    Returns ``({attribute: value pairs}, truncated)``; with a *limit*,
+    collection stops once that many combinations are gathered and
+    *truncated* reports whether the partition may hold more — callers
+    warming under a budget pass ``limit=budget + 1`` so truncation
+    implies the budget was insufficient.
+    """
+    collected: dict[str, dict[tuple[Any, Any], tuple[Any, Any]]] = {}
+    outcomes_by_member: dict[str, dict[str, tuple[Any, ...]]] = {}
+    total = 0
+    truncated = False
+    pairs = partition.pairs
+    for start in range(0, len(pairs), VOCABULARY_BATCH_MEMBERS):
+        batch = pairs[start : start + VOCABULARY_BATCH_MEMBERS]
+        needed_members = [
+            member
+            for pair in batch
+            for member in pair
+            if member not in outcomes_by_member
+        ]
+        if needed_members:
+            working_set = fetch_tuples(
+                relation, list(dict.fromkeys(needed_members))
+            )
+            for tuple_id, xtuple in working_set.items():
+                observed: dict[str, dict[Any, None]] = {}
+                for alternative in xtuple.alternatives:
+                    for attribute in alternative.attributes:
+                        outcomes = observed.setdefault(attribute, {})
+                        for outcome in alternative.value(attribute).support:
+                            if outcome is NULL:
+                                continue
+                            outcomes.setdefault(outcome, None)
+                outcomes_by_member[tuple_id] = {
+                    attribute: tuple(outcomes)
+                    for attribute, outcomes in observed.items()
+                }
+        for left_id, right_id in batch:
+            left_outcomes = outcomes_by_member[left_id]
+            right_outcomes = outcomes_by_member[right_id]
+            for attribute, left_values in left_outcomes.items():
+                right_values = right_outcomes.get(attribute)
+                if not right_values:
+                    continue
+                seen = collected.setdefault(attribute, {})
+                for left_value in left_values:
+                    for right_value in right_values:
+                        if left_value is right_value or (
+                            type(left_value) is type(right_value)
+                            and left_value == right_value
+                        ):
+                            continue
+                        key = pair_key(left_value, right_value)
+                        if key in seen:
+                            continue
+                        if limit is not None and total >= limit:
+                            truncated = True
+                            break
+                        seen[key] = (left_value, right_value)
+                        total += 1
+                    if truncated:
+                        break
+                if truncated:
+                    break
+            if truncated:
+                break
+        if truncated:
+            break
+    return (
+        {
+            attribute: tuple(pairs.values())
+            for attribute, pairs in collected.items()
+        },
+        truncated,
+    )

@@ -8,9 +8,26 @@ Section IV-A (matching of uncertain attribute values):
   :mod:`repro.similarity.jaro`, :mod:`repro.similarity.ngram`,
   :mod:`repro.similarity.basic`, :mod:`repro.similarity.semantic`;
 * the probabilistic lift — :mod:`repro.similarity.uncertain`
-  (Equations 4 and 5 with ⊥ and pattern-value semantics).
+  (Equations 4 and 5 with ⊥ and pattern-value semantics);
+* pluggable comparison kernels — :mod:`repro.similarity.backends`
+  (reference Python DPs, Myers bit-parallel kernels and a
+  numpy-vectorized batch scorer, all pinned bitwise to each other).
 """
 
+from repro.similarity.backends import (
+    BACKEND_ENV_VAR,
+    KERNEL_KINDS,
+    KernelBackend,
+    available_backends,
+    bitparallel_damerau_levenshtein,
+    bitparallel_damerau_levenshtein_similarity,
+    bitparallel_levenshtein,
+    bitparallel_levenshtein_similarity,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    resolve_backend_name,
+)
 from repro.similarity.base import (
     Comparator,
     NamedComparator,
@@ -45,10 +62,13 @@ from repro.similarity.hamming import (
     normalized_hamming_similarity,
 )
 from repro.similarity.jaro import (
+    FAST_JARO_WINKLER,
     JARO,
     JARO_WINKLER,
+    BoundedJaroWinkler,
     jaro_similarity,
     jaro_winkler_similarity,
+    jaro_winkler_upper_bound,
 )
 from repro.similarity.kernels import (
     FAST_DAMERAU_LEVENSHTEIN,
@@ -100,6 +120,7 @@ COMPARATORS = {
         FAST_DAMERAU_LEVENSHTEIN,
         JARO,
         JARO_WINKLER,
+        FAST_JARO_WINKLER,
         BIGRAM,
         TRIGRAM,
         JACCARD_BIGRAM,
@@ -113,6 +134,7 @@ COMPARATORS = {
 }
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "BIGRAM",
     "COMPARATORS",
     "Comparator",
@@ -120,9 +142,13 @@ __all__ = [
     "EQUALITY_PROBABILITY",
     "EXACT",
     "BandedEditComparator",
+    "BoundedJaroWinkler",
     "FAST_DAMERAU_LEVENSHTEIN",
+    "FAST_JARO_WINKLER",
     "FAST_LEVENSHTEIN",
     "Glossary",
+    "KERNEL_KINDS",
+    "KernelBackend",
     "HAMMING",
     "JACCARD_BIGRAM",
     "JARO",
@@ -140,11 +166,16 @@ __all__ = [
     "TRIGRAM",
     "UncertainValueComparator",
     "as_strings",
+    "available_backends",
     "banded_damerau_levenshtein",
     "banded_damerau_levenshtein_similarity",
     "banded_levenshtein",
     "banded_levenshtein_similarity",
     "bigram_similarity",
+    "bitparallel_damerau_levenshtein",
+    "bitparallel_damerau_levenshtein_similarity",
+    "bitparallel_levenshtein",
+    "bitparallel_levenshtein_similarity",
     "checked",
     "clamp01",
     "damerau_levenshtein_distance",
@@ -152,10 +183,12 @@ __all__ = [
     "equality_probability",
     "exact_similarity",
     "expected_similarity",
+    "get_backend",
     "hamming_distance",
     "jaccard_qgram_similarity",
     "jaro_similarity",
     "jaro_winkler_similarity",
+    "jaro_winkler_upper_bound",
     "levenshtein_distance",
     "levenshtein_similarity",
     "normalized_hamming_similarity",
@@ -167,7 +200,10 @@ __all__ = [
     "soundex_similarity",
     "qgram_similarity",
     "qgrams",
+    "register_backend",
     "relative_numeric_similarity",
+    "resolve_backend",
+    "resolve_backend_name",
     "similarity_from_distance",
     "symmetrized",
     "token_jaccard_similarity",

@@ -1,0 +1,40 @@
+"""Pluggable comparison-kernel backends (python / bitparallel / numpy).
+
+See :mod:`repro.similarity.backends.base` for the registry and
+selection rules, :mod:`repro.similarity.backends.bitparallel` for the
+Myers bit-parallel kernels, and
+:mod:`repro.similarity.backends.numpy_backend` for the vectorized
+batch scorer.
+"""
+
+from repro.similarity.backends.base import (
+    BACKEND_ENV_VAR,
+    KERNEL_KINDS,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    resolve_backend_name,
+)
+from repro.similarity.backends.bitparallel import (
+    bitparallel_damerau_levenshtein,
+    bitparallel_damerau_levenshtein_similarity,
+    bitparallel_levenshtein,
+    bitparallel_levenshtein_similarity,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "KERNEL_KINDS",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "resolve_backend_name",
+    "bitparallel_damerau_levenshtein",
+    "bitparallel_damerau_levenshtein_similarity",
+    "bitparallel_levenshtein",
+    "bitparallel_levenshtein_similarity",
+]

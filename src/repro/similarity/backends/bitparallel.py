@@ -1,0 +1,196 @@
+"""Myers bit-parallel edit-distance kernels.
+
+The banded DPs in :mod:`repro.similarity.kernels` touch every cell of a
+diagonal band — ``O(k · n)`` Python-level operations per pair.  Myers'
+bit-parallel algorithm [Myers 1999, in Hyyrö's formulation] encodes a
+whole DP *column* in the bits of one integer and advances it with a
+constant number of word operations per text character: ``O(n · ⌈m/w⌉)``
+for word size ``w``.  CPython integers are arbitrary precision, so the
+"block extension" for patterns longer than a machine word falls out for
+free — one ``m``-bit integer per delta vector, however large ``m`` is —
+while patterns ≤ 64 characters stay within a single machine word
+internally.
+
+Two kernels are provided:
+
+* :func:`bitparallel_levenshtein` — plain Levenshtein (insert / delete /
+  substitute), Hyyrö's ``D0/HP/HN/VP/VN`` recurrence;
+* :func:`bitparallel_damerau_levenshtein` — the restricted
+  Damerau–Levenshtein (OSA) variant via Hyyrö's transposition term
+  [Hyyrö 2003]: a transposition is folded into ``D0`` from the previous
+  column's match vector and diagonal vector.
+
+Both honor exactly the contract of their banded counterparts — the exact
+distance when it is ``≤ max_distance``, the sentinel ``max_distance + 1``
+otherwise — including the early exit: the bottom-row score changes by at
+most ±1 per text character, so once ``score - remaining > max_distance``
+no suffix can bring the distance back under the cutoff.  The similarity
+wrappers reproduce the ``min_similarity`` pushdown contract of
+:func:`repro.similarity.kernels.banded_levenshtein_similarity` bit for
+bit (property-pinned in ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.similarity.base import as_strings, similarity_from_distance
+
+
+def _pattern_masks(pattern: str) -> dict[str, int]:
+    """Per-character match bitmasks (``peq``): bit *i* set ⇔ pattern[i]."""
+    masks: dict[str, int] = {}
+    bit = 1
+    for char in pattern:
+        masks[char] = masks.get(char, 0) | bit
+        bit <<= 1
+    return masks
+
+
+def bitparallel_levenshtein(
+    left: str, right: str, max_distance: int | None = None
+) -> int:
+    """Levenshtein distance via Myers' bit-parallel column automaton.
+
+    Same contract as :func:`repro.similarity.kernels.banded_levenshtein`:
+    the exact distance when it is ``≤ max_distance``, the sentinel
+    ``max_distance + 1`` otherwise; ``None`` computes exactly.
+    """
+    if left == right:
+        return 0
+    if len(left) < len(right):
+        left, right = right, left
+    m, n = len(left), len(right)
+    if max_distance is not None:
+        if max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        if m - n > max_distance:
+            return max_distance + 1
+    if n == 0:
+        if max_distance is not None and m > max_distance:
+            return max_distance + 1
+        return m
+    # Pattern = longer string: its length sets the word width, while the
+    # shorter string drives the (Python-level, hence costly) iteration.
+    peq = _pattern_masks(left)
+    mask = (1 << m) - 1
+    last = 1 << (m - 1)
+    vp = mask
+    vn = 0
+    score = m
+    remaining = n
+    for char in right:
+        eq = peq.get(char, 0)
+        d0 = ((((eq & vp) + vp) ^ vp) | eq | vn) & mask
+        hp = vn | (mask & ~(d0 | vp))
+        hn = vp & d0
+        if hp & last:
+            score += 1
+        elif hn & last:
+            score -= 1
+        hp = ((hp << 1) | 1) & mask
+        hn = (hn << 1) & mask
+        vp = hn | (mask & ~(d0 | hp))
+        vn = hp & d0
+        remaining -= 1
+        if max_distance is not None and score - remaining > max_distance:
+            return max_distance + 1
+    if max_distance is not None and score > max_distance:
+        return max_distance + 1
+    return score
+
+
+def bitparallel_damerau_levenshtein(
+    left: str, right: str, max_distance: int | None = None
+) -> int:
+    """Restricted Damerau–Levenshtein (OSA) via Hyyrö's 2003 automaton.
+
+    Same contract as
+    :func:`repro.similarity.kernels.banded_damerau_levenshtein`.  The
+    transposition term extends :func:`bitparallel_levenshtein`'s ``D0``
+    with matches that cross the previous text character: a bit is added
+    where the previous column did *not* lie on a diagonal match but the
+    swapped character pair does.
+    """
+    if left == right:
+        return 0
+    if len(left) < len(right):
+        left, right = right, left
+    m, n = len(left), len(right)
+    if max_distance is not None:
+        if max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        if m - n > max_distance:
+            return max_distance + 1
+    if n == 0:
+        if max_distance is not None and m > max_distance:
+            return max_distance + 1
+        return m
+    peq = _pattern_masks(left)
+    mask = (1 << m) - 1
+    last = 1 << (m - 1)
+    vp = mask
+    vn = 0
+    d0 = 0
+    eq_prev = 0
+    score = m
+    remaining = n
+    for char in right:
+        eq = peq.get(char, 0)
+        # Transposition candidates: positions where the previous column
+        # had no diagonal match (~d0) but matches this character, shifted
+        # onto positions the previous character matches.
+        tr = (((mask & ~d0) & eq) << 1) & eq_prev
+        d0 = (((((eq & vp) + vp) ^ vp) | eq | vn) | tr) & mask
+        hp = vn | (mask & ~(d0 | vp))
+        hn = vp & d0
+        if hp & last:
+            score += 1
+        elif hn & last:
+            score -= 1
+        hp = ((hp << 1) | 1) & mask
+        hn = (hn << 1) & mask
+        vp = hn | (mask & ~(d0 | hp))
+        vn = hp & d0
+        eq_prev = eq
+        remaining -= 1
+        if max_distance is not None and score - remaining > max_distance:
+            return max_distance + 1
+    if max_distance is not None and score > max_distance:
+        return max_distance + 1
+    return score
+
+
+def bitparallel_levenshtein_similarity(
+    left: Any, right: Any, *, min_similarity: float = 0.0
+) -> float:
+    """``1 - d/max(len)`` via the bit-parallel kernel.
+
+    Pushdown contract of
+    :func:`repro.similarity.kernels.banded_levenshtein_similarity`, bit
+    for bit: exact at or above *min_similarity*, exact or 0.0 below it.
+    """
+    left_str, right_str = as_strings(left, right)
+    longest = max(len(left_str), len(right_str))
+    if longest == 0:
+        return 1.0
+    cutoff = int((1.0 - min_similarity) * longest) + 1
+    distance = bitparallel_levenshtein(left_str, right_str, cutoff)
+    if distance > cutoff:
+        return 0.0
+    return similarity_from_distance(distance, longest)
+
+
+def bitparallel_damerau_levenshtein_similarity(
+    left: Any, right: Any, *, min_similarity: float = 0.0
+) -> float:
+    """Damerau variant of :func:`bitparallel_levenshtein_similarity`."""
+    left_str, right_str = as_strings(left, right)
+    longest = max(len(left_str), len(right_str))
+    if longest == 0:
+        return 1.0
+    cutoff = int((1.0 - min_similarity) * longest) + 1
+    distance = bitparallel_damerau_levenshtein(left_str, right_str, cutoff)
+    if distance > cutoff:
+        return 0.0
+    return similarity_from_distance(distance, longest)

@@ -88,6 +88,115 @@ def jaro_winkler_similarity(
     return clamp01(jaro + prefix * prefix_scale * (1.0 - jaro))
 
 
+def jaro_winkler_upper_bound(
+    left_str: str,
+    right_str: str,
+    *,
+    prefix_scale: float = 0.1,
+    max_prefix: int = 4,
+) -> float:
+    """A cheap upper bound on the Jaro–Winkler similarity.
+
+    Matches are at most ``min(len(a), len(b))`` and the transposition
+    term is at most 1, so ``jaro ≤ (mn/la + mn/lb + 1) / 3``; Winkler's
+    bonus is monotone in the Jaro score, so substituting the bound and
+    the *actual* common prefix (``O(max_prefix)`` to compute) bounds the
+    final similarity.  Costs a handful of arithmetic operations versus
+    the ``O(la · lb)`` match window scan — the pushdown layer uses it to
+    skip the scan entirely when a pair provably falls below a floor.
+    """
+    if left_str == right_str:
+        return 1.0
+    left_len, right_len = len(left_str), len(right_str)
+    if left_len == 0 or right_len == 0:
+        return 0.0
+    shortest = min(left_len, right_len)
+    jaro_bound = (shortest / left_len + shortest / right_len + 1.0) / 3.0
+    prefix = 0
+    for left_char, right_char in zip(left_str, right_str):
+        if left_char != right_char or prefix >= max_prefix:
+            break
+        prefix += 1
+    return clamp01(jaro_bound + prefix * prefix_scale * (1.0 - jaro_bound))
+
+
+class BoundedJaroWinkler:
+    """A Jaro–Winkler comparator with a pushdown similarity floor.
+
+    Callable like any comparator and *bandable* like
+    :class:`repro.similarity.kernels.BandedEditComparator`: clones from
+    :meth:`with_min_similarity` first evaluate
+    :func:`jaro_winkler_upper_bound` and answer 0.0 without running the
+    ``O(la · lb)`` match scan whenever the bound proves the pair falls
+    below the floor.  Same pushdown contract as the edit kernels —
+    exact at or above the floor, exact or 0.0 below it — so decision
+    models with ``T_λ ≥ min_similarity`` cannot observe the pruning.
+    """
+
+    __slots__ = ("name", "min_similarity", "_scale", "_max_prefix")
+
+    def __init__(
+        self,
+        name: str = "fast_jaro_winkler",
+        *,
+        min_similarity: float = 0.0,
+        prefix_scale: float = 0.1,
+        max_prefix: int = 4,
+    ) -> None:
+        if not 0.0 <= min_similarity <= 1.0:
+            raise ValueError(
+                f"min_similarity outside [0, 1]: {min_similarity}"
+            )
+        self.name = str(name)
+        self.min_similarity = float(min_similarity)
+        self._scale = float(prefix_scale)
+        self._max_prefix = int(max_prefix)
+
+    def __call__(self, left: Any, right: Any) -> float:
+        left_str, right_str = as_strings(left, right)
+        if self.min_similarity > 0.0:
+            bound = jaro_winkler_upper_bound(
+                left_str,
+                right_str,
+                prefix_scale=self._scale,
+                max_prefix=self._max_prefix,
+            )
+            if bound < self.min_similarity:
+                return 0.0
+        return jaro_winkler_similarity(
+            left_str,
+            right_str,
+            prefix_scale=self._scale,
+            max_prefix=self._max_prefix,
+        )
+
+    def with_min_similarity(
+        self, min_similarity: float
+    ) -> "BoundedJaroWinkler":
+        """A clone pruning at exactly *min_similarity* (0.0 disables)."""
+        if min_similarity == self.min_similarity:
+            return self
+        return BoundedJaroWinkler(
+            self.name,
+            min_similarity=min_similarity,
+            prefix_scale=self._scale,
+            max_prefix=self._max_prefix,
+        )
+
+    def __repr__(self) -> str:
+        if self.min_similarity > 0.0:
+            return (
+                f"BoundedJaroWinkler({self.name!r}, "
+                f"min_similarity={self.min_similarity:g})"
+            )
+        return f"BoundedJaroWinkler({self.name!r})"
+
+
 #: Ready-to-use named comparator instances.
 JARO = NamedComparator("jaro", jaro_similarity)
 JARO_WINKLER = NamedComparator("jaro_winkler", jaro_winkler_similarity)
+
+#: The bandable Jaro–Winkler: exact (bitwise equal to
+#: :data:`JARO_WINKLER`) until the threshold-pushdown layer hands it a
+#: floor, after which provably-below-floor pairs short-circuit to 0.0.
+FAST_JARO_WINKLER = BoundedJaroWinkler()

@@ -50,7 +50,8 @@ module provides the performance core:
 
 from __future__ import annotations
 
-from typing import Any
+from itertools import combinations
+from typing import Any, Iterable
 
 from repro.similarity.base import (
     Comparator,
@@ -273,9 +274,16 @@ class BandedEditComparator:
     0.4
     >>> pruned("meier", "baker")  # below the floor: early-exit band
     0.0
+
+    Comparators built with a *kind* are additionally **backend-aware**:
+    :meth:`with_backend` swaps the kernel implementation family (see
+    :mod:`repro.similarity.backends`) while keeping name, floor and —
+    because every backend is pinned bitwise to the reference DPs —
+    results unchanged, and :meth:`batch_similarities` exposes the
+    backend's vectorized batch scorer to the cache prewarm path.
     """
 
-    __slots__ = ("name", "min_similarity", "_fn")
+    __slots__ = ("name", "min_similarity", "_fn", "_kind", "_backend")
 
     def __init__(
         self,
@@ -283,6 +291,8 @@ class BandedEditComparator:
         fn: Any,
         *,
         min_similarity: float = 0.0,
+        kind: str | None = None,
+        backend: str | None = None,
     ) -> None:
         if not 0.0 <= min_similarity <= 1.0:
             raise ValueError(
@@ -291,9 +301,29 @@ class BandedEditComparator:
         self.name = str(name)
         self.min_similarity = float(min_similarity)
         self._fn = fn
+        self._kind = kind
+        self._backend = backend if backend is not None else (
+            "python" if kind is not None else None
+        )
 
     def __call__(self, left: Any, right: Any) -> float:
         return self._fn(left, right, min_similarity=self.min_similarity)
+
+    @property
+    def kind(self) -> str | None:
+        """The kernel kind (``"levenshtein"`` / ``"damerau_levenshtein"``)
+        when backend-aware, else ``None``."""
+        return self._kind
+
+    @property
+    def backend_name(self) -> str | None:
+        """The kernel backend computing this comparator's results.
+
+        ``None`` for comparators wrapping an opaque function — those
+        cannot be switched and are treated as their own (anonymous)
+        backend by the band-cache registry.
+        """
+        return self._backend
 
     def with_min_similarity(self, min_similarity: float) -> "BandedEditComparator":
         """A clone computing with the given similarity floor.
@@ -306,7 +336,59 @@ class BandedEditComparator:
         if min_similarity == self.min_similarity:
             return self
         return BandedEditComparator(
-            self.name, self._fn, min_similarity=min_similarity
+            self.name,
+            self._fn,
+            min_similarity=min_similarity,
+            kind=self._kind,
+            backend=self._backend,
+        )
+
+    def with_backend(self, backend: Any) -> "BandedEditComparator":
+        """A clone whose kernel runs on *backend* (name or instance).
+
+        Results are unchanged — every registered backend is pinned
+        bitwise to the reference DPs — so this is purely a performance
+        selection.  Comparators without a :attr:`kind` (opaque wrapped
+        functions) return themselves unchanged.
+        """
+        if self._kind is None:
+            return self
+        from repro.similarity.backends.base import resolve_backend
+
+        resolved = (
+            backend
+            if hasattr(backend, "similarity_fn")
+            else resolve_backend(backend)
+        )
+        if resolved.name == self._backend:
+            return self
+        return BandedEditComparator(
+            self.name,
+            resolved.similarity_fn(self._kind),
+            min_similarity=self.min_similarity,
+            kind=self._kind,
+            backend=resolved.name,
+        )
+
+    def batch_similarities(
+        self, pairs: Any
+    ) -> list[float] | None:
+        """Score a batch of pairs via the backend's vectorized path.
+
+        Returns ``None`` when the configured backend has no batch
+        scorer (the caller then loops per pair); a returned list is
+        positionally aligned with *pairs* and bitwise equal to calling
+        the comparator on each pair.
+        """
+        if self._kind is None:
+            return None
+        from repro.similarity.backends.base import get_backend
+
+        backend = get_backend(self._backend)
+        if not backend.available:
+            return None
+        return backend.batch_similarities(
+            self._kind, pairs, min_similarity=self.min_similarity
         )
 
     def __repr__(self) -> str:
@@ -346,6 +428,12 @@ def _pair_key(left: Any, right: Any) -> tuple[Any, Any]:
         if hash(right) < hash(left):
             left, right = right, left
     return ((type(left), left), (type(right), right))
+
+
+#: Public alias: the canonical unordered-pair key, used by pair-aware
+#: prewarm collection (:func:`repro.reduction.plan.partition_value_pairs`)
+#: to deduplicate candidate value pairs exactly as the cache would.
+pair_key = _pair_key
 
 
 class SimilarityCache:
@@ -412,7 +500,9 @@ class SimilarityCache:
         self.warmed = 0
         self.reflexive_value = float(reflexive_value)
         self.band = float(band)
-        self._bands: dict[float, "SimilarityCache"] = {}
+        self._bands: dict[
+            tuple[float, str | None], "SimilarityCache"
+        ] = {}
         self._frozen = False
         self._store: dict[tuple[Any, Any], float] = {}
 
@@ -474,30 +564,65 @@ class SimilarityCache:
             Number of entries newly stored (always 0 while frozen —
             warming is a write and respects the read-only contract).
         """
+        unique = dict.fromkeys(values)
+        return self.warm_pairs(combinations(unique, 2), budget=budget)
+
+    def warm_pairs(
+        self,
+        pairs: Iterable[tuple[Any, Any]],
+        *,
+        budget: int | None = None,
+    ) -> int:
+        """Precompute results for an explicit sequence of value pairs.
+
+        The pair-aware counterpart of :meth:`warm`: instead of the full
+        vocabulary square, only the given candidate combinations are
+        examined (duplicates and reflexive same-type-equal pairs — which
+        the lookup path short-circuits anyway — are skipped).  When the
+        base comparator exposes a vectorized ``batch_similarities`` hook
+        (see :meth:`BandedEditComparator.batch_similarities`), all
+        missing entries of the batch are scored in one call instead of
+        pair by pair — results are identical either way, the hook is
+        purely a throughput lever.
+
+        Same bookkeeping contract as :meth:`warm`: *budget* bounds the
+        number of pairs examined, warming stops at :attr:`max_entries`
+        without triggering the wholesale clear, and the return value is
+        the number of entries newly stored (0 while frozen).
+        """
         if self._frozen:
             return 0
-        unique = list(dict.fromkeys(values))
         store = self._store
-        base = self.base
         max_entries = self.max_entries
         examined = 0
-        stored = 0
-        for i, left in enumerate(unique):
-            for right in unique[i + 1 :]:
-                if budget is not None and examined >= budget:
-                    self.warmed += stored
-                    return stored
-                examined += 1
-                key = _pair_key(left, right)
-                if key in store:
-                    continue
-                if len(store) >= max_entries:
-                    self.warmed += stored
-                    return stored
-                store[key] = base(left, right)
-                stored += 1
-        self.warmed += stored
-        return stored
+        pending: dict[tuple[Any, Any], tuple[Any, Any]] = {}
+        for left, right in pairs:
+            if budget is not None and examined >= budget:
+                break
+            examined += 1
+            if left is right or (
+                type(left) is type(right) and left == right
+            ):
+                continue
+            key = _pair_key(left, right)
+            if key in store or key in pending:
+                continue
+            if len(store) + len(pending) >= max_entries:
+                break
+            pending[key] = (left, right)
+        if not pending:
+            return 0
+        results: list[float] | None = None
+        batch = getattr(self.base, "batch_similarities", None)
+        if callable(batch):
+            results = batch(list(pending.values()))
+        if results is None:
+            base = self.base
+            results = [base(left, right) for left, right in pending.values()]
+        for key, result in zip(pending, results):
+            store[key] = result
+        self.warmed += len(pending)
+        return len(pending)
 
     @property
     def frozen(self) -> bool:
@@ -524,21 +649,30 @@ class SimilarityCache:
 
         Returns a cache whose entries hold the results of *base* (the
         band's cutoff-configured comparator) and whose :attr:`band`
-        records the floor — one derived cache per distinct band is
-        memoized on this instance, so repeated pushdown configurations
-        (e.g. re-running detection with the same derived floors) reuse
-        the same warmed banded table.  Asking for this cache's own band
+        records the floor — one derived cache per distinct
+        ``(band, backend)`` combination is memoized on this instance,
+        so repeated pushdown configurations (re-running detection with
+        the same derived floors, or switching kernel backends back and
+        forth) reuse the same warmed banded table instead of silently
+        dropping it.  Asking for this cache's own band *and* backend
         returns ``self``.
 
         Band stores are deliberately *not* shared across bands: an
         entry computed under a cutoff may read 0.0 where the exact
         table reads the true similarity, and serving one to the other
-        would break the pushdown contract.
+        would break the pushdown contract.  (Backends, by contrast,
+        are bitwise-interchangeable — the per-backend keying exists so
+        each derived cache keeps computing its misses with the backend
+        it was requested for.)
         """
         band = float(band)
-        if band == self.band:
+        backend = getattr(base, "backend_name", None)
+        if band == self.band and backend == getattr(
+            self.base, "backend_name", None
+        ):
             return self
-        derived = self._bands.get(band)
+        key = (band, backend)
+        derived = self._bands.get(key)
         if derived is None:
             derived = SimilarityCache(
                 base,
@@ -551,8 +685,31 @@ class SimilarityCache:
             # floors must not retain one table per floor ever tried.
             if len(self._bands) >= _MAX_BANDS:
                 self._bands.clear()
-            self._bands[band] = derived
+            self._bands[key] = derived
         return derived
+
+    def with_base(self, base: Comparator) -> "SimilarityCache":
+        """A view of this cache computing misses with *base* instead.
+
+        Used by kernel-backend switching: the clone **shares** this
+        cache's store, band registry and frozen flag (every registered
+        backend returns bitwise-identical results, so sharing entries
+        across backends is safe and keeps warmed tables warm), but
+        scores cache misses with the new comparator.  Hit/miss
+        statistics are tracked per view.
+        """
+        if base is self.base:
+            return self
+        clone = SimilarityCache(
+            base,
+            max_entries=self.max_entries,
+            reflexive_value=self.reflexive_value,
+            band=self.band,
+        )
+        clone._store = self._store
+        clone._bands = self._bands
+        clone._frozen = self._frozen
+        return clone
 
     def clear(self) -> None:
         """Drop all entries and reset the statistics."""
@@ -580,8 +737,14 @@ class SimilarityCache:
 #: cutoff-pruned variant the threshold-pushdown layer threads through
 #: :class:`~repro.similarity.uncertain.UncertainValueComparator`.
 FAST_LEVENSHTEIN = BandedEditComparator(
-    "fast_levenshtein", banded_levenshtein_similarity
+    "fast_levenshtein",
+    banded_levenshtein_similarity,
+    kind="levenshtein",
+    backend="python",
 )
 FAST_DAMERAU_LEVENSHTEIN = BandedEditComparator(
-    "fast_damerau_levenshtein", banded_damerau_levenshtein_similarity
+    "fast_damerau_levenshtein",
+    banded_damerau_levenshtein_similarity,
+    kind="damerau_levenshtein",
+    backend="python",
 )

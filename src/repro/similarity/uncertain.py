@@ -26,7 +26,7 @@ from typing import Any
 
 from repro.pdb.values import NULL, PatternValue, ProbabilisticValue
 from repro.similarity.base import Comparator, NamedComparator
-from repro.similarity.kernels import SimilarityCache
+from repro.similarity.kernels import SimilarityCache, pair_key
 
 
 class PatternPolicy:
@@ -195,6 +195,38 @@ class UncertainValueComparator:
             min_similarity=floor,
         )
 
+    def with_backend(self, backend: Any) -> "UncertainValueComparator":
+        """A clone whose base comparator runs on a different kernel backend.
+
+        Kernel backends are pinned bitwise to the reference DPs (see
+        :mod:`repro.similarity.backends`), so the clone returns exactly
+        the same similarities — only faster.  The domain-element cache
+        is therefore *shared* with this comparator
+        (:meth:`SimilarityCache.with_base` — same store, misses scored
+        by the new backend), keeping warmed tables warm across backend
+        switches.  Returns ``self`` when the base comparator is not
+        backend-aware (e.g. Jaro–Winkler) or already runs on *backend*.
+        """
+        if self._base is None:
+            return self
+        switch = getattr(self._base, "with_backend", None)
+        if not callable(switch):
+            return self
+        base = switch(backend)
+        if base is self._base:
+            return self
+        return UncertainValueComparator(
+            base,
+            pattern_policy=self._policy,
+            pattern_lexicon=self._lexicon,
+            cache=(
+                self._cache.with_base(base)
+                if self._cache is not None
+                else self._memoize
+            ),
+            min_similarity=self._floor,
+        )
+
     @property
     def is_error_free(self) -> bool:
         """Whether this comparator implements Equation 4 (no base sim)."""
@@ -244,6 +276,49 @@ class UncertainValueComparator:
                 continue
             concrete.setdefault(value, None)
         return tuple(concrete)
+
+    def _cacheable_elements(self, value: Any) -> tuple[Any, ...]:
+        """The concrete operands *value* can put in front of the cache."""
+        if isinstance(value, PatternValue):
+            if self._policy == PatternPolicy.EXPAND:
+                return tuple(value.expansions(self._lexicon or ()))
+            return ()
+        return (value,)
+
+    def cacheable_pairs(
+        self, pairs: Iterable[tuple[Any, Any]]
+    ) -> tuple[tuple[Any, Any], ...]:
+        """The element pairs the cache may be queried with for *pairs*.
+
+        The pair-level counterpart of :meth:`cacheable_vocabulary`:
+        maps observed candidate *value* pairs to the domain-element
+        pairs that can actually reach :attr:`cache` — expanding
+        patterns under the ``expand`` policy (their expansions are what
+        Equation 5 compares), dropping patterns under the other
+        policies, and skipping reflexive same-type-equal pairs (the
+        lookup path short-circuits those without touching the store).
+        Deduplicated under the cache's unordered-pair key, first
+        occurrence wins, so pair-aware pre-warming examines each
+        distinct comparison exactly once.
+        """
+        concrete: dict[tuple[Any, Any], tuple[Any, Any]] = {}
+        for left, right in pairs:
+            left_options = self._cacheable_elements(left)
+            if not left_options:
+                continue
+            right_options = self._cacheable_elements(right)
+            for left_element in left_options:
+                for right_element in right_options:
+                    if left_element is right_element or (
+                        type(left_element) is type(right_element)
+                        and left_element == right_element
+                    ):
+                        continue
+                    concrete.setdefault(
+                        pair_key(left_element, right_element),
+                        (left_element, right_element),
+                    )
+        return tuple(concrete.values())
 
     def _certain_similarity(self, left: Any, right: Any) -> float:
         """Fast-path similarity of two concrete elements, floor-aware.

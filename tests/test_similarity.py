@@ -6,6 +6,8 @@ import pytest
 
 from repro.similarity import (
     COMPARATORS,
+    FAST_JARO_WINKLER,
+    BoundedJaroWinkler,
     Glossary,
     bigram_similarity,
     checked,
@@ -16,6 +18,7 @@ from repro.similarity import (
     jaccard_qgram_similarity,
     jaro_similarity,
     jaro_winkler_similarity,
+    jaro_winkler_upper_bound,
     levenshtein_distance,
     levenshtein_similarity,
     normalized_hamming_similarity,
@@ -146,6 +149,61 @@ class TestJaro:
 
     def test_empty_operand(self):
         assert jaro_similarity("", "abc") == 0.0
+
+
+class TestJaroWinklerBound:
+    PAIRS = [
+        ("MARTHA", "MARHTA"),
+        ("DWAYNE", "DUANE"),
+        ("abc", "xyz"),
+        ("", "abc"),
+        ("meier", "meier"),
+        ("jo", "johannes"),
+        ("a", "ab"),
+    ]
+
+    @pytest.mark.parametrize("left,right", PAIRS)
+    def test_bound_dominates_the_exact_similarity(self, left, right):
+        bound = jaro_winkler_upper_bound(left, right)
+        assert bound >= jaro_winkler_similarity(left, right)
+        assert 0.0 <= bound <= 1.0
+
+    def test_bound_is_cheap_length_arithmetic(self):
+        # Shared length and a full prefix pin the bound at 1.0 even for
+        # unequal strings — it never inspects beyond the prefix.
+        assert jaro_winkler_upper_bound("abcdx", "abcdy") == 1.0
+        assert jaro_winkler_upper_bound("same", "same") == 1.0
+        assert jaro_winkler_upper_bound("", "") == 1.0
+        assert jaro_winkler_upper_bound("", "abc") == 0.0
+
+    @pytest.mark.parametrize("left,right", PAIRS)
+    @pytest.mark.parametrize("floor", [0.0, 0.4, 0.9, 0.99])
+    def test_floored_comparator_prunes_without_changing_scores(
+        self, left, right, floor
+    ):
+        comparator = FAST_JARO_WINKLER.with_min_similarity(floor)
+        exact = jaro_winkler_similarity(left, right)
+        observed = comparator(left, right)
+        if exact >= floor:
+            assert observed == exact
+        else:
+            assert observed in (0.0, exact)
+
+    def test_comparator_skips_the_quadratic_pass_below_floor(self):
+        # "jo" vs an 8-char string: matches ≤ 2 bounds jaro well below
+        # 0.9, so the floored comparator answers 0.0 from lengths alone.
+        comparator = FAST_JARO_WINKLER.with_min_similarity(0.9)
+        assert comparator("jo", "xyzvwxyz") == 0.0
+        assert FAST_JARO_WINKLER.min_similarity == 0.0
+        assert comparator.min_similarity == 0.9
+        assert comparator.with_min_similarity(0.9) is comparator
+        assert isinstance(comparator, BoundedJaroWinkler)
+
+    def test_unfloored_comparator_equals_the_reference(self):
+        for left, right in self.PAIRS:
+            assert FAST_JARO_WINKLER(left, right) == (
+                jaro_winkler_similarity(left, right)
+            )
 
 
 class TestNgrams:
