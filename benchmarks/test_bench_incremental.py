@@ -1,0 +1,180 @@
+"""Bench: incremental delta refresh vs full recompute.
+
+The incremental service's headline claim (PR-8 acceptance): on a
+skewed-block workload, ingesting a ~1% delta re-executes only the
+partitions the delta touched and lands ≥5× faster than a from-scratch
+detection over the materialized union, with bitwise-identical
+decisions.
+
+Three bench families:
+
+* ``ingest_delta`` — wall clock of one ingest of a 1%-of-tuples batch
+  against a warm :class:`~repro.service.DetectionSession`.  Each round
+  rewrites the same handful of tuples with fresh content, so every
+  round re-executes the same touched blocks and splices the rest.
+* ``full_union`` — the baseline being displaced: a from-scratch
+  ``detect`` over the materialized base ⊎ delta.
+* ``delta_speedup`` — the explicit acceptance assertion, measured
+  inside one test so the ratio is taken on the same host under the
+  same load: ≥5× and bitwise equality.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+#: compare_bench.py --quick exports BENCH_QUICK=1; pedantic benches drop
+#: to one round then so the CI smoke stays fast.
+ROUNDS = 1 if os.environ.get("BENCH_QUICK") else 3
+
+from repro.experiments.quality import default_matcher, weighted_model
+from repro.matching import DuplicateDetector
+from repro.pdb.relations import XRelation
+from repro.pdb.xtuples import TupleAlternative, XTuple
+from repro.reduction import CertainKeyBlocking, SubstringKey
+
+BLOCK_KEY = SubstringKey([("name", 1)])
+
+#: 16 blocks × 30 members = 480 tuples; every block carries 435 pairs,
+#: skewed only by content length — the delta below touches one block.
+BLOCK_LETTERS = "abcdefghijklmnop"
+BLOCK_MEMBERS = 30
+#: ~1% of the tuples, all in the 'a' block.
+DELTA_SIZE = 5
+
+
+def _word(rng: random.Random, prefix: str, length: int = 14) -> str:
+    return prefix + "".join(
+        rng.choice("aeioubcdfgstlmnr") for _ in range(length)
+    )
+
+
+def _blocked_relation(seed: int = 20810) -> XRelation:
+    rng = random.Random(seed)
+    tuples = []
+    for block, letter in enumerate(BLOCK_LETTERS):
+        tuples.extend(
+            XTuple(
+                f"t{block:02d}{i:03d}",
+                (
+                    TupleAlternative(
+                        {
+                            "name": _word(rng, letter),
+                            "job": _word(rng, "r"),
+                        },
+                        1.0,
+                    ),
+                ),
+            )
+            for i in range(BLOCK_MEMBERS)
+        )
+    return XRelation("blocked", ("name", "job"), tuples)
+
+
+def _delta(relation: XRelation, salt: int) -> list[XTuple]:
+    """Rewrite DELTA_SIZE tuples of the 'a' block with fresh content."""
+    rng = random.Random(90_000 + salt)
+    victims = [f"t00{i:03d}" for i in range(DELTA_SIZE)]
+    return [
+        XTuple(
+            tuple_id,
+            (
+                TupleAlternative(
+                    {"name": _word(rng, "a"), "job": _word(rng, "r")},
+                    1.0,
+                ),
+            ),
+        )
+        for tuple_id in victims
+    ]
+
+
+def _apply(relation: XRelation, delta: list[XTuple]) -> XRelation:
+    overlay = {xt.tuple_id: xt for xt in delta}
+    return XRelation(
+        "blocked+delta",
+        relation.schema.attributes,
+        [overlay.get(xt.tuple_id, xt) for xt in relation],
+    )
+
+
+def _detector() -> DuplicateDetector:
+    return DuplicateDetector(
+        default_matcher(),
+        weighted_model(),
+        reducer=CertainKeyBlocking(BLOCK_KEY),
+    )
+
+
+@pytest.fixture(scope="module")
+def blocked_relation():
+    return _blocked_relation()
+
+
+def test_bench_incremental_ingest_delta(benchmark, blocked_relation):
+    """One 1% ingest against a warm session: touched block only."""
+    session = _detector().session(
+        blocked_relation, keep_derivations=False
+    )
+    session.detect()
+    planned = session.stats.partitions_planned
+    salt = iter(range(1_000))
+
+    def run():
+        return session.ingest(_delta(blocked_relation, next(salt)))
+
+    result = benchmark.pedantic(run, iterations=1, rounds=ROUNDS)
+    assert result.relation_size == len(blocked_relation)
+    # Every round re-executed the touched block and spliced the rest.
+    assert session.last_report.partitions == 1
+    assert session.stats.partitions_reused > planned
+
+
+def test_bench_incremental_full_union(benchmark, blocked_relation):
+    """The displaced baseline: from-scratch detect over base ⊎ delta."""
+    union = _apply(blocked_relation, _delta(blocked_relation, 0))
+    detector = _detector()
+
+    def run():
+        return detector.detect(union, keep_derivations=False)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=ROUNDS)
+    assert result.relation_size == len(union)
+
+
+def test_incremental_delta_speedup_and_equality(blocked_relation):
+    """Acceptance: ≥5× vs full recompute, bitwise-identical decisions."""
+    session = _detector().session(
+        blocked_relation, keep_derivations=False
+    )
+    session.detect()
+    delta = _delta(blocked_relation, 0)
+
+    started = time.perf_counter()
+    incremental = session.ingest(delta)
+    ingest_elapsed = time.perf_counter() - started
+
+    union = _apply(blocked_relation, delta)
+    detector = _detector()
+    started = time.perf_counter()
+    scratch = detector.detect(union, keep_derivations=False)
+    full_elapsed = time.perf_counter() - started
+
+    assert [
+        (d.left_id, d.right_id, d.status, d.similarity)
+        for d in incremental.decisions
+    ] == [
+        (d.left_id, d.right_id, d.status, d.similarity)
+        for d in scratch.decisions
+    ]
+    assert incremental.compared_pairs == scratch.compared_pairs
+    # 1/16 of the plan re-executes; even with refresh overhead the
+    # margin over the acceptance floor is wide.
+    assert full_elapsed / ingest_elapsed >= 5.0, (
+        f"delta refresh {ingest_elapsed:.3f}s vs full "
+        f"{full_elapsed:.3f}s — below the 5× acceptance floor"
+    )

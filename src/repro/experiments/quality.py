@@ -44,7 +44,7 @@ from repro.matching.derivation import (
 )
 from repro.matching.pipeline import DuplicateDetector
 from repro.datagen.corpus import JOBS
-from repro.similarity.jaro import JARO_WINKLER
+from repro.similarity.jaro import FAST_JARO_WINKLER
 from repro.similarity.uncertain import (
     PatternPolicy,
     UncertainValueComparator,
@@ -70,12 +70,15 @@ def default_matcher() -> AttributeMatcher:
     so the job comparator expands them against the corpus lexicon.
     Domain-element memoization is on: both attributes draw from finite
     corpora, so the same string pairs recur across candidate pairs.
+    The bounded comparator (:data:`~repro.similarity.FAST_JARO_WINKLER`)
+    is bitwise-equal to the unbounded reference without floors and adds
+    the length-bound short-circuit under threshold pushdown.
     """
     return AttributeMatcher(
         {
-            "name": UncertainValueComparator(JARO_WINKLER, cache=True),
+            "name": UncertainValueComparator(FAST_JARO_WINKLER, cache=True),
             "job": UncertainValueComparator(
-                JARO_WINKLER,
+                FAST_JARO_WINKLER,
                 pattern_policy=PatternPolicy.EXPAND,
                 pattern_lexicon=JOBS,
                 cache=True,

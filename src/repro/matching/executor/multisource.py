@@ -55,6 +55,19 @@ from repro.reduction.plan import (
 )
 
 
+def source_tagged(view) -> bool:
+    """Whether *view* can tag partitions with member sources.
+
+    Duck-typed on the ``source_of`` / ``source_names`` surface so that
+    both :class:`~repro.pdb.storage.MultiSourceStore` and overlay views
+    that forward it (a :class:`~repro.pdb.storage.SessionStore` whose
+    appended delta forms one extra source) plan source-tagged.
+    """
+    return callable(getattr(view, "source_of", None)) and (
+        getattr(view, "source_names", None) is not None
+    )
+
+
 def partition_sources(
     partition: CandidatePartition, view: MultiSourceStore
 ) -> tuple[str, ...]:
@@ -92,7 +105,7 @@ def plan_sources(reducer, view: XTupleStore) -> CandidatePlan:
     members come from.  Plain single stores plan as usual, untagged.
     """
     plan = plan_candidates(reducer, view)
-    if isinstance(view, MultiSourceStore):
+    if isinstance(view, MultiSourceStore) or source_tagged(view):
         plan = tag_plan_sources(plan, view)
     return plan
 
@@ -151,5 +164,6 @@ __all__ = [
     "cross_source_plan",
     "partition_sources",
     "plan_sources",
+    "source_tagged",
     "tag_plan_sources",
 ]

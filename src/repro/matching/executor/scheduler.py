@@ -144,6 +144,13 @@ class ExecutionSettings:
     #: ``"skip"`` drops the unit's partitions and records the failures
     #: in ``ExecutionReport.failures``.
     on_error: str = "raise"
+    #: Retained-cache mode (incremental sessions): the caller keeps the
+    #: matcher's similarity caches warm *across* runs, so the engine
+    #: must not spend the run re-prewarming them — ``should_prewarm``
+    #: resolves to False — but still freezes them read-only around a
+    #: fork (restoring afterwards) so workers share the retained tables
+    #: copy-on-write exactly like a freshly warmed run would.
+    retain_caches: bool = False
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -188,8 +195,12 @@ class ExecutionSettings:
         Partitioned scheduling warms exactly when forking; stealing
         defaults to *not* warming — its sub-key units keep worker
         working sets coherent, so parent-side warming would serialize
-        similarity work the workers can compute in parallel.
+        similarity work the workers can compute in parallel.  Retained-
+        cache runs never re-prewarm: the session already holds the warm
+        tables.
         """
+        if self.retain_caches:
+            return False
         if self.prewarm is not None:
             return self.prewarm
         return self.scheduling == "partitioned" and self.n_jobs > 1
@@ -387,6 +398,12 @@ class ExecutionEngine:
             if complete and settings.n_jobs > 1:
                 newly_frozen = matcher.freeze_caches()
                 self.report.caches_frozen = True
+        elif settings.retain_caches and settings.n_jobs > 1:
+            # Retained-cache session: tables were warmed by earlier runs
+            # and live across calls — freeze them read-only around the
+            # fork so workers share them copy-on-write, thaw after.
+            newly_frozen = matcher.freeze_caches()
+            self.report.caches_frozen = bool(newly_frozen)
         try:
             supervised = settings.supervised
             if settings.scheduling == "stealing":

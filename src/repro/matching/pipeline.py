@@ -527,6 +527,49 @@ class DuplicateDetector:
             on_fault=on_fault,
         )
 
+    def session(
+        self,
+        relation: XRelation | ProbabilisticRelation | XTupleStore,
+        *,
+        journal=None,
+        min_similarity: float | Mapping[str, float] | str | None = None,
+        kernel_backend: str | None = None,
+        **session_options,
+    ):
+        """Open an incremental detection session over *relation*.
+
+        The session (:class:`~repro.service.DetectionSession`) overlays
+        the prepared relation with a mutable delta view, keeps plan
+        fingerprints, per-partition decisions and similarity caches
+        alive between calls, and re-executes only the partitions each
+        ingested batch touches.  The procedure is resolved exactly as
+        :meth:`detect` would (floors, kernel backend), so the session's
+        first result is bitwise-identical to a one-shot ``detect`` over
+        the same input, and every refresh stays bitwise-identical to a
+        from-scratch detection over the base with all deltas applied.
+
+        ``journal`` names a session directory (or an opened
+        :class:`~repro.pdb.storage.SessionJournal`) for durable
+        sessions: ingests append to the journal, and a restart replays
+        it and restores the snapshot's caches and fingerprint index.
+        Remaining keyword options are those of :meth:`detect` that a
+        plan-driven run accepts (``n_jobs``, ``scheduling``,
+        ``keep_derivations``, ``retry`` …), plus ``within_sources``.
+        """
+        from repro.service.session import DetectionSession
+
+        backend = resolve_backend_name(kernel_backend)
+        procedure = self._resolve_procedure(min_similarity, backend)
+        prepared = self._prepared_relation(relation)
+        return DetectionSession(
+            procedure,
+            self._reducer,
+            prepared,
+            journal=journal,
+            kernel_backend=backend,
+            **session_options,
+        )
+
     def detect_between(
         self,
         left: XRelation | ProbabilisticRelation | XTupleStore,
@@ -646,8 +689,7 @@ class DuplicateDetector:
                     "scheduling (partitioned or stealing); striped "
                     "execution has no partitions to attribute faults to"
                 )
-            self.last_report = None
-            return self._detect_striped(
+            result = self._detect_striped(
                 relation,
                 procedure,
                 chunk_size=chunk_size,
@@ -655,6 +697,10 @@ class DuplicateDetector:
                 keep_derivations=keep_derivations,
                 keep_compared_pairs=keep_compared_pairs,
             )
+            # Striped runs have no report; clear only after success so a
+            # raising run never destroys the previous run's counters.
+            self.last_report = None
+            return result
 
         settings_options = dict(
             chunk_size=chunk_size,

@@ -17,6 +17,11 @@ store directory; :func:`repro.pdb.io.open_store` opens either form;
 
 from repro.pdb.storage.base import XTupleStore, fetch_tuples
 from repro.pdb.storage.multi import MultiSourceStore, combine_sources
+from repro.pdb.storage.session import (
+    DELTA_SOURCE,
+    SessionJournal,
+    SessionStore,
+)
 from repro.pdb.storage.spill import (
     DEFAULT_MAX_OPEN_SEGMENTS,
     DEFAULT_MAX_PAGES,
@@ -39,6 +44,7 @@ __all__ = [
     "DEFAULT_MAX_PAGES",
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_SEGMENT_SIZE",
+    "DELTA_SOURCE",
     "MANIFEST_NAME",
     "MultiSourceStore",
     "PageCacheInfo",
@@ -46,6 +52,8 @@ __all__ = [
     "QuarantinedSegment",
     "SegmentCorruptionError",
     "SegmentIntegrity",
+    "SessionJournal",
+    "SessionStore",
     "SpillingXTupleStore",
     "StorageError",
     "StoreVerification",

@@ -1,0 +1,358 @@
+"""Mutable session view + append-only journal for incremental detection.
+
+A long-running detection session sees *deltas* — batches of new,
+changed or retracted x-tuples arriving against a large, already-planned
+base — but every storage backend in this package is read-only by
+contract (forked workers share stores and only ever read).  This module
+supplies the two pieces that reconcile the contracts:
+
+* :class:`SessionStore` — a mutable *overlay* over any read-only
+  :class:`~repro.pdb.storage.base.XTupleStore` (in-memory relation,
+  spilled store, multi-source view).  Upserts of existing ids replace
+  the base tuple in place, deletes hide it, and genuinely new ids are
+  appended after the base — so the store's iteration order equals the
+  order of the materialized union ``base ⊎ deltas``, which is what
+  keeps incremental decisions bitwise-comparable to a from-scratch run
+  over that union.  The view satisfies the full read protocol, so
+  planning, fingerprinting and execution consume it like any relation.
+  When the base is itself source-tagged (a
+  :class:`~repro.pdb.storage.multi.MultiSourceStore`), the view
+  forwards ``source_of``/``source_names`` and tags appended tuples with
+  :data:`DELTA_SOURCE` — the ℛ1/ℛ2 consolidation scenario with the
+  delta as the second source.
+
+* :class:`SessionJournal` — the appendable on-disk form of a session: a
+  JSONL journal of upsert/delete operations (appended per ingest, so a
+  restart replays the exact overlay) plus an atomically-replaced
+  snapshot document the service layer uses for its partition
+  fingerprint index and similarity-cache entries.  Snapshot staleness
+  is safe by construction: fingerprints cover the decision-relevant
+  content, so a stale index simply fails to match and the refresh
+  recomputes — never serves wrong retained state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.pdb.errors import SchemaMismatchError
+from repro.pdb.io import (
+    decode_xtuple,
+    encode_xtuple,
+    write_text_atomic,
+)
+from repro.pdb.storage.base import XTupleStore
+from repro.pdb.xtuples import XTuple
+
+#: Source tag of tuples appended to a session (ids the base never
+#: held), used when the base view is itself source-tagged.
+DELTA_SOURCE = "Δ"
+
+#: File names inside a session journal directory.
+JOURNAL_NAME = "journal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+
+class SessionStore:
+    """Mutable overlay view over a read-only x-tuple store.
+
+    Iteration order — the order that fixes candidate-pair emission and
+    therefore result order — is the base's insertion order with deleted
+    ids skipped and replaced ids substituted in place, followed by
+    appended ids in arrival order.  That is exactly the iteration order
+    of the materialized union of the base with every applied delta, so
+    detection over the view is bitwise-comparable to a from-scratch
+    detection over that union.
+
+    >>> from repro.pdb.relations import XRelation
+    >>> from repro.pdb.xtuples import TupleAlternative, XTuple
+    >>> def xt(t, n):
+    ...     return XTuple(t, (TupleAlternative({"name": n}, 1.0),))
+    >>> base = XRelation("R", ("name",), [xt("a", "anna"), xt("b", "bob")])
+    >>> view = SessionStore(base)
+    >>> view.upsert(xt("c", "carl"))
+    >>> view.upsert(xt("b", "bert"))
+    >>> view.delete("a")
+    >>> [t.tuple_id for t in view], view.get("b").alternatives[0]["name"].support
+    (['b', 'c'], ('bert',))
+    >>> base.get("b").alternatives[0]["name"].support  # base untouched
+    ('bob',)
+    """
+
+    def __init__(self, base: XTupleStore, *, name: str | None = None) -> None:
+        self._base = base
+        self.schema = base.schema
+        self.name = name if name is not None else f"{base.name}+Δ"
+        self._replaced: dict[str, XTuple] = {}
+        self._added: dict[str, XTuple] = {}
+        self._deleted: set[str] = set()
+        self._ids_cache: tuple[str, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Mutation (the only writable surface in the storage package)
+    # ------------------------------------------------------------------
+
+    def _check_schema(self, xtuple: XTuple) -> None:
+        expected = self.schema.attributes
+        for alternative in xtuple.alternatives:
+            if tuple(alternative.attributes) != expected:
+                raise SchemaMismatchError(
+                    f"x-tuple {xtuple.tuple_id!r} does not match session "
+                    f"schema {expected}: alternative has "
+                    f"{tuple(alternative.attributes)}"
+                )
+
+    def upsert(self, xtuple: XTuple) -> None:
+        """Insert a new x-tuple, or replace the one holding its id.
+
+        Ids the base holds are replaced *in place* (keeping their
+        position in iteration order, un-hiding a previously deleted
+        id); new ids append after the base in arrival order.
+        """
+        self._check_schema(xtuple)
+        tuple_id = xtuple.tuple_id
+        if tuple_id in self._added:
+            self._added[tuple_id] = xtuple
+            return
+        if tuple_id in self._base:
+            self._deleted.discard(tuple_id)
+            self._replaced[tuple_id] = xtuple
+            self._ids_cache = None
+            return
+        self._added[tuple_id] = xtuple
+        self._ids_cache = None
+
+    def delete(self, tuple_id: str) -> None:
+        """Retract one x-tuple from the view (``KeyError`` if absent)."""
+        if tuple_id in self._added:
+            del self._added[tuple_id]
+            self._ids_cache = None
+            return
+        if tuple_id in self._base and tuple_id not in self._deleted:
+            self._deleted.add(tuple_id)
+            self._replaced.pop(tuple_id, None)
+            self._ids_cache = None
+            return
+        raise KeyError(tuple_id)
+
+    def apply(self, operation: Mapping) -> None:
+        """Apply one journal operation document (see :class:`SessionJournal`)."""
+        kind = operation.get("op")
+        if kind == "upsert":
+            self.upsert(decode_xtuple(operation["tuple"]))
+        elif kind == "delete":
+            self.delete(operation["id"])
+        else:
+            raise ValueError(f"unknown session operation {kind!r}")
+
+    @property
+    def overlay_size(self) -> int:
+        """Number of ids the overlay currently diverges from the base on."""
+        return len(self._replaced) + len(self._added) + len(self._deleted)
+
+    # ------------------------------------------------------------------
+    # XTupleStore protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def tuple_ids(self) -> tuple[str, ...]:
+        ids = self._ids_cache
+        if ids is None:
+            deleted = self._deleted
+            ids = tuple(
+                tuple_id
+                for tuple_id in self._base.tuple_ids
+                if tuple_id not in deleted
+            ) + tuple(self._added)
+            self._ids_cache = ids
+        return ids
+
+    def __iter__(self) -> Iterator[XTuple]:
+        deleted = self._deleted
+        replaced = self._replaced
+        for xtuple in self._base:
+            tuple_id = xtuple.tuple_id
+            if tuple_id in deleted:
+                continue
+            yield replaced.get(tuple_id, xtuple)
+        yield from self._added.values()
+
+    def __len__(self) -> int:
+        return len(self._base) - len(self._deleted) + len(self._added)
+
+    def __contains__(self, tuple_id: str) -> bool:
+        if tuple_id in self._added:
+            return True
+        if tuple_id in self._deleted:
+            return False
+        return tuple_id in self._base
+
+    def get(self, tuple_id: str) -> XTuple:
+        if tuple_id in self._added:
+            return self._added[tuple_id]
+        if tuple_id in self._deleted:
+            raise KeyError(tuple_id)
+        overlay = self._replaced.get(tuple_id)
+        if overlay is not None:
+            return overlay
+        return self._base.get(tuple_id)
+
+    def fetch(self, tuple_ids: Iterable[str]) -> Mapping[str, XTuple]:
+        """Working-set fetch: overlay ids served here, the rest batched.
+
+        Base ids are fetched through the base store in one batch (the
+        spilling store groups them by segment page), then the merged
+        mapping is re-keyed into request order.
+        """
+        requested = list(tuple_ids)
+        base_ids: list[str] = []
+        for tuple_id in requested:
+            if tuple_id in self._deleted:
+                raise KeyError(tuple_id)
+            if (
+                tuple_id not in self._added
+                and tuple_id not in self._replaced
+            ):
+                base_ids.append(tuple_id)
+        from_base = self._base.fetch(base_ids) if base_ids else {}
+        working_set: dict[str, XTuple] = {}
+        for tuple_id in requested:
+            if tuple_id in self._added:
+                working_set[tuple_id] = self._added[tuple_id]
+            elif tuple_id in self._replaced:
+                working_set[tuple_id] = self._replaced[tuple_id]
+            else:
+                working_set[tuple_id] = from_base[tuple_id]
+        return working_set
+
+    # ------------------------------------------------------------------
+    # Source tagging (consolidation-scenario support)
+    # ------------------------------------------------------------------
+
+    @property
+    def source_names(self) -> tuple[str, ...]:
+        """Source tags of the view: the base's, plus Δ once ids append.
+
+        When the base is itself source-tagged (a multi-source view) its
+        tags pass through; a plain base contributes its name.  The
+        appended delta forms one additional source, so consolidation
+        planning (``cross_source_plan``) can restrict a session plan to
+        base-versus-delta pairs.
+        """
+        names = getattr(self._base, "source_names", None)
+        base_names = tuple(names) if names is not None else (self._base.name,)
+        if self._added:
+            return base_names + (DELTA_SOURCE,)
+        return base_names
+
+    def source_of(self, tuple_id: str) -> str:
+        """The source tag a tuple id belongs to (``KeyError`` if absent)."""
+        if tuple_id in self._added:
+            return DELTA_SOURCE
+        if tuple_id in self._deleted or tuple_id not in self._base:
+            raise KeyError(tuple_id)
+        base_source = getattr(self._base, "source_of", None)
+        if base_source is not None:
+            return base_source(tuple_id)
+        return self._base.name
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionStore({self._base.name!r}, tuples={len(self)}, "
+            f"+{len(self._added)} ~{len(self._replaced)} "
+            f"-{len(self._deleted)})"
+        )
+
+
+class SessionJournal:
+    """Appendable on-disk persistence of one detection session.
+
+    Layout under *path*:
+
+    * ``journal.jsonl`` — one JSON document per applied operation
+      (``{"op": "upsert", "tuple": {...exact codec...}}`` /
+      ``{"op": "delete", "id": ...}``), appended and flushed per
+      ingest.  Replaying the journal over the base store rebuilds the
+      session's overlay exactly.
+    * ``snapshot.json`` — an atomically-replaced document the service
+      layer owns (partition fingerprint index, portable
+      similarity-cache entries, optionally retained decisions).  The
+      journal never interprets it beyond JSON.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        os.makedirs(self.path, exist_ok=True)
+        self._journal_path = os.path.join(self.path, JOURNAL_NAME)
+        self._snapshot_path = os.path.join(self.path, SNAPSHOT_NAME)
+
+    # -- operations ----------------------------------------------------
+
+    @staticmethod
+    def upsert_op(xtuple: XTuple) -> dict:
+        """The journal document recording one upsert (exact codec)."""
+        return {"op": "upsert", "tuple": encode_xtuple(xtuple, exact=True)}
+
+    @staticmethod
+    def delete_op(tuple_id: str) -> dict:
+        """The journal document recording one delete."""
+        return {"op": "delete", "id": tuple_id}
+
+    def append_ops(self, operations: Iterable[Mapping]) -> int:
+        """Append operation documents to the journal, flushed durably."""
+        count = 0
+        with open(self._journal_path, "a", encoding="utf-8") as journal:
+            for operation in operations:
+                # No sort_keys: encoded alternatives carry attribute
+                # order, which replay must reproduce byte for byte.
+                journal.write(json.dumps(operation, separators=(",", ":")))
+                journal.write("\n")
+                count += 1
+            journal.flush()
+            os.fsync(journal.fileno())
+        return count
+
+    def ops(self) -> Iterator[dict]:
+        """Replay the journal's operations in append order."""
+        if not os.path.exists(self._journal_path):
+            return
+        with open(self._journal_path, "r", encoding="utf-8") as journal:
+            for line in journal:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def replay_into(self, store: SessionStore) -> int:
+        """Apply every journaled operation to *store*; returns the count."""
+        count = 0
+        for operation in self.ops():
+            store.apply(operation)
+            count += 1
+        return count
+
+    # -- snapshot ------------------------------------------------------
+
+    def save_snapshot(self, document: Mapping) -> None:
+        """Atomically replace the snapshot document."""
+        write_text_atomic(
+            self._snapshot_path,
+            json.dumps(document, separators=(",", ":"), sort_keys=True),
+        )
+
+    def load_snapshot(self) -> dict | None:
+        """The last saved snapshot document, or ``None``."""
+        if not os.path.exists(self._snapshot_path):
+            return None
+        with open(self._snapshot_path, "r", encoding="utf-8") as snapshot:
+            return json.load(snapshot)
+
+
+__all__ = [
+    "DELTA_SOURCE",
+    "JOURNAL_NAME",
+    "SNAPSHOT_NAME",
+    "SessionJournal",
+    "SessionStore",
+]

@@ -64,13 +64,17 @@ from repro.reduction.plan import (
     SplittableReducer,
     add_window_spans,
     band_partition,
+    delta_plan,
     members_of_pairs,
     ordered_pair,
+    partition_fingerprint,
     partition_vocabulary,
     plan_candidates,
+    plan_fingerprints,
     plan_from_blocks,
     plan_from_window,
     split_partition_by_groups,
+    tuple_fingerprint,
 )
 from repro.reduction.snm import (
     SortedNeighborhood,
@@ -112,6 +116,7 @@ __all__ = [
     "WorldSelection",
     "add_window_spans",
     "band_partition",
+    "delta_plan",
     "alternative_key_distribution",
     "average_pairwise_overlap",
     "derived_most_probable_key",
@@ -123,6 +128,8 @@ __all__ = [
     "most_probable_key",
     "normalized_key_distance",
     "ordered_pair",
+    "partition_fingerprint",
+    "plan_fingerprints",
     "pairs_from_blocks",
     "partition_vocabulary",
     "phonetic_key",
@@ -131,6 +138,7 @@ __all__ = [
     "plan_from_window",
     "prefix_transform",
     "refine_key",
+    "tuple_fingerprint",
     "split_block_by_refined_key",
     "select_diverse_worlds",
     "select_probable_worlds",

@@ -24,7 +24,13 @@ makes the structure explicit:
 * :func:`split_partition_by_groups` / :func:`band_partition` — exact
   subdivisions of one partition (by member grouping, or contiguous
   banding) for the skew-aware scheduler; reducers with sub-key
-  structure expose it through the :class:`SplittableReducer` hook.
+  structure expose it through the :class:`SplittableReducer` hook;
+* :func:`tuple_fingerprint` / :func:`partition_fingerprint` /
+  :func:`plan_fingerprints` / :func:`delta_plan` — content fingerprints
+  over a partition's decision-relevant state (pairs + member tuple
+  contents) and the delta-plan entry point, the basis of incremental
+  re-detection: a refresh executes only partitions whose fingerprint
+  changed and provably reuses retained decisions for the rest.
 
 Partitions and plans additionally carry optional *source tags*
 (:attr:`CandidatePartition.sources`), set when a plan is built over a
@@ -39,9 +45,11 @@ workers so cache working sets stay disjoint.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass
-from typing import Any, Mapping, Protocol, runtime_checkable
+import hashlib
+import json
+from collections.abc import Iterable, Iterator, MutableMapping, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Collection, Mapping, Protocol, runtime_checkable
 
 from repro.pdb.storage.base import fetch_tuples
 from repro.pdb.values import NULL
@@ -563,4 +571,130 @@ def partition_value_pairs(
             for attribute, pairs in collected.items()
         },
         truncated,
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition fingerprints (incremental detection support)
+# ----------------------------------------------------------------------
+
+#: Digest size of the content fingerprints below.  16 bytes keeps the
+#: per-partition index small while collisions stay out of reach for any
+#: realistic plan (2^64 partitions to a birthday collision).
+_FINGERPRINT_BYTES = 16
+
+
+def tuple_fingerprint(xtuple) -> str:
+    """Content fingerprint of one x-tuple.
+
+    Hashes the tuple's *exact* serialized form — id, alternatives in
+    order, per-attribute values under the order-preserving segment
+    codec — so two tuples fingerprint equal iff a decision procedure
+    could not tell them apart.  The incremental layer uses this to
+    detect modified tuples without diffing values attribute by
+    attribute.
+    """
+    from repro.pdb.io import encode_xtuple
+
+    document = json.dumps(
+        encode_xtuple(xtuple, exact=True),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(
+        document.encode("utf-8"), digest_size=_FINGERPRINT_BYTES
+    ).hexdigest()
+
+
+def partition_fingerprint(
+    partition: CandidatePartition,
+    tuple_fingerprints: Mapping[str, str],
+) -> str:
+    """Fingerprint of one partition's *decision-relevant* state.
+
+    Covers the partition's pair sequence and every member tuple's
+    content fingerprint — exactly the inputs a partition's decisions
+    are a pure function of (each decision depends only on its two
+    x-tuples and the configured procedure).  Labels and source tags are
+    deliberately excluded: a relabeled or re-tagged partition with the
+    same pairs over the same tuple contents decides identically, so its
+    retained decisions stay reusable.
+
+    Two partitions of one plan can never fingerprint equal (the builder
+    dedups pairs globally, so their pair sequences differ); across plan
+    generations, an equal fingerprint proves the retained decisions for
+    the old partition are bitwise-valid for the new one.
+    """
+    digest = hashlib.blake2b(digest_size=_FINGERPRINT_BYTES)
+    for left, right in partition.pairs:
+        digest.update(left.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(right.encode("utf-8"))
+        digest.update(b"\x01")
+    digest.update(b"\x02")
+    for member in partition.members:
+        digest.update(tuple_fingerprints[member].encode("ascii"))
+    return digest.hexdigest()
+
+
+def plan_fingerprints(
+    relation,
+    plan: CandidatePlan,
+    *,
+    tuple_fingerprints: MutableMapping[str, str] | None = None,
+) -> tuple[str, ...]:
+    """Per-partition fingerprints of a plan, in plan order.
+
+    Member tuples are fetched in :data:`VOCABULARY_BATCH_MEMBERS`-sized
+    working sets (out-of-core stores never decode more than a batch at
+    once).  *tuple_fingerprints* is an optional cross-call memo: ids
+    already present are trusted without fetching the tuple — a session
+    that invalidates the memo on upsert/delete pays one hash per
+    *changed* tuple per refresh, not one per tuple.
+    """
+    memo: MutableMapping[str, str] = (
+        tuple_fingerprints if tuple_fingerprints is not None else {}
+    )
+    fingerprints: list[str] = []
+    for partition in plan.partitions:
+        missing = [m for m in partition.members if m not in memo]
+        for start in range(0, len(missing), VOCABULARY_BATCH_MEMBERS):
+            batch = missing[start : start + VOCABULARY_BATCH_MEMBERS]
+            working_set = fetch_tuples(relation, batch)
+            for tuple_id in batch:
+                memo[tuple_id] = tuple_fingerprint(working_set[tuple_id])
+        fingerprints.append(partition_fingerprint(partition, memo))
+    return tuple(fingerprints)
+
+
+def delta_plan(
+    plan: CandidatePlan,
+    fingerprints: Sequence[str],
+    retained: Collection[str],
+) -> CandidatePlan:
+    """The sub-plan an incremental refresh must actually execute.
+
+    Keeps, in plan order, exactly the partitions whose fingerprint is
+    *not* in *retained* (the fingerprints a session holds reusable
+    decisions for) — new blocks, blocks whose membership or member
+    contents changed, window spans shifted by an insertion.  Partitions
+    with a retained fingerprint are provably untouched, so the delta
+    plan never contains one; their decisions merge back unexecuted.
+    """
+    if len(fingerprints) != len(plan.partitions):
+        raise ValueError(
+            f"{len(fingerprints)} fingerprints for "
+            f"{len(plan.partitions)} partitions"
+        )
+    stale = tuple(
+        partition
+        for partition, fingerprint in zip(plan.partitions, fingerprints)
+        if fingerprint not in retained
+    )
+    if len(stale) == len(plan.partitions):
+        return plan
+    return replace(
+        plan,
+        partitions=stale,
+        source=f"{plan.source} [delta]",
     )

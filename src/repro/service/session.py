@@ -1,0 +1,463 @@
+"""Incremental detection sessions: delta-only re-detection.
+
+A :class:`DetectionSession` keeps the products of a detect run alive
+between calls — the blocking/sorting *plan* over the current view, a
+partition *fingerprint index*, the per-partition *decisions*, and the
+matcher's similarity caches — so that the next batch of upserts and
+deletes re-executes only the partitions the delta actually touched.
+
+Correctness rests on two properties of the underlying pipeline:
+
+* A partition's decisions are a pure function of its candidate pairs
+  and the exact content of its member x-tuples (Section III: every
+  stage downstream of reduction sees nothing else).  The fingerprint of
+  a partition (:func:`~repro.reduction.plan.partition_fingerprint`)
+  hashes exactly those inputs, so *equal fingerprint ⇒ bitwise-equal
+  decisions* and retained slices can be spliced in verbatim.
+* The session view (:class:`~repro.pdb.storage.SessionStore`) iterates
+  in materialized-union order, so the refreshed plan — and therefore
+  the merged decision sequence — equals the plan of a from-scratch
+  detection over ``base ⊎ deltas``.
+
+Staleness is safe by construction: a fingerprint that no longer
+matches simply drops out of the retained index and its partition is
+recomputed; retained state is never *wrongly* reused.
+
+The session degrades gracefully to a full run: on the first
+:meth:`~DetectionSession.detect` the retained index is empty, every
+partition is stale, and the refresh is an ordinary plan-driven
+execution (including pair-aware cache prewarming).  Subsequent
+refreshes skip prewarming and instead retain the already-warm caches
+across calls (``ExecutionSettings(retain_caches=True)`` freezes them
+read-only around forks so parallel workers share them copy-on-write).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.matching.decision import Decision, MatchStatus
+from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.matching.executor import (
+    DetectionResult,
+    ExecutionEngine,
+    ExecutionSettings,
+    ExecutionReport,
+    FaultObserver,
+    ProgressObserver,
+    RetryPolicy,
+    cross_source_plan,
+    plan_sources,
+)
+from repro.matching.executor.scheduler import DEFAULT_CHUNK_SIZE
+from repro.pdb.storage import SessionJournal, SessionStore, XTupleStore
+from repro.pdb.xtuples import XTuple
+from repro.reduction import delta_plan, plan_fingerprints
+
+#: Snapshot schema version; unknown versions are ignored on restore.
+SNAPSHOT_FORMAT = 1
+
+#: Scheduling modes a session may use (striped execution has no plan,
+#: hence nothing to fingerprint or retain).
+SESSION_SCHEDULING = ("partitioned", "stealing")
+
+
+@dataclass
+class SessionStats:
+    """Cumulative counters of one session's incremental behaviour."""
+
+    #: Ingest batches applied.
+    ingests: int = 0
+    #: Refreshes run (initial detect included).
+    refreshes: int = 0
+    #: Upserts / deletes in the most recent ingest batch.
+    last_upserts: int = 0
+    last_deletes: int = 0
+    #: Partitions across all refreshed plans / reused verbatim /
+    #: re-executed because their fingerprint changed.
+    partitions_planned: int = 0
+    partitions_reused: int = 0
+    partitions_executed: int = 0
+    #: Candidate pairs across all refreshed plans / actually re-decided.
+    pairs_planned: int = 0
+    pairs_executed: int = 0
+    #: Previously reported pairs retracted by later refreshes.
+    tombstoned_pairs: int = 0
+
+    def summary(self) -> str:
+        """One-line operator summary of the session so far."""
+        return (
+            f"ingests={self.ingests} refreshes={self.refreshes} "
+            f"partitions {self.partitions_reused} reused / "
+            f"{self.partitions_executed} executed of "
+            f"{self.partitions_planned} planned; "
+            f"pairs {self.pairs_executed}/{self.pairs_planned} decided, "
+            f"{self.tombstoned_pairs} tombstoned"
+        )
+
+
+class DetectionSession:
+    """A persistent, incrementally refreshable detection.
+
+    Build one through :meth:`~repro.matching.DuplicateDetector.session`
+    — the detector resolves its configured procedure (floors, kernel
+    backend) and prepares the base relation exactly as ``detect``
+    would, so the session's first result is bitwise-identical to a
+    one-shot ``detect`` over the same input.
+
+    Parameters
+    ----------
+    procedure:
+        The resolved Figure-6 decision procedure.
+    reducer:
+        The detector's search-space reduction strategy (planner and,
+        under stealing, the sub-key splitter).
+    base:
+        The prepared base relation or store the session overlays.
+    journal:
+        Optional session directory (or an opened
+        :class:`~repro.pdb.storage.SessionJournal`).  When given, the
+        journal's operations are replayed over the base on startup, the
+        snapshot's similarity-cache entries and fingerprint index are
+        restored, and every ingest appends its operations durably.
+    within_sources:
+        ``False`` restricts every refresh to cross-source pairs
+        (:func:`~repro.matching.executor.cross_source_plan`) — the
+        paper's ℛ1/ℛ2 consolidation question with the session delta as
+        one more autonomous source.
+    """
+
+    def __init__(
+        self,
+        procedure: XTupleDecisionProcedure,
+        reducer,
+        base: XTupleStore,
+        *,
+        journal: SessionJournal | str | None = None,
+        within_sources: bool = True,
+        chunk_size: int | None = None,
+        n_jobs: int | None = 1,
+        keep_derivations: bool = True,
+        keep_compared_pairs: bool = True,
+        scheduling: str = "partitioned",
+        prewarm: bool | None = None,
+        prewarm_budget: int | None = None,
+        split_pairs: int | None = None,
+        kernel_backend: str = "auto",
+        retry: RetryPolicy | None = None,
+        on_error: str = "raise",
+        on_progress: ProgressObserver | None = None,
+        on_fault: FaultObserver | None = None,
+    ) -> None:
+        if scheduling not in SESSION_SCHEDULING:
+            raise ValueError(
+                f"unknown session scheduling {scheduling!r}; "
+                f"expected one of {SESSION_SCHEDULING}"
+            )
+        self._procedure = procedure
+        self._reducer = reducer
+        self._store = SessionStore(base)
+        self._within_sources = within_sources
+        self._chunk_size = (
+            DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        )
+        self._n_jobs = (
+            multiprocessing.cpu_count() if n_jobs is None else n_jobs
+        )
+        self._keep_derivations = keep_derivations
+        self._keep_compared_pairs = keep_compared_pairs
+        self._scheduling = scheduling
+        self._prewarm = prewarm
+        self._prewarm_budget = prewarm_budget
+        self._split_pairs = split_pairs
+        self._backend = kernel_backend
+        self._retry = retry
+        self._on_error = on_error
+        self._on_progress = on_progress
+        self._on_fault = on_fault
+
+        #: Memoized per-tuple content fingerprints, invalidated on
+        #: upsert/delete of the id.
+        self._tuple_fps: dict[str, str] = {}
+        #: Fingerprint → retained per-partition decision slice.
+        self._retained: dict[str, tuple[XTupleDecision, ...]] = {}
+        #: Pairs the current result covers, in plan order.
+        self._previous_pairs: tuple[tuple[str, str], ...] = ()
+        self._result: DetectionResult | None = None
+
+        self.stats = SessionStats()
+        #: Report of the most recent refresh's execution (the *delta*
+        #: plan), ``None`` until a refresh executes at least one
+        #: partition.
+        self.last_report: ExecutionReport | None = None
+        #: Pairs retracted by the most recent refresh.
+        self.tombstones: tuple[tuple[str, str], ...] = ()
+
+        if isinstance(journal, str):
+            journal = SessionJournal(journal)
+        self._journal = journal
+        if self._journal is not None:
+            self._journal.replay_into(self._store)
+            self._restore_snapshot()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> SessionStore:
+        """The session's overlay view (read it; mutate via ingest)."""
+        return self._store
+
+    @property
+    def journal(self) -> SessionJournal | None:
+        """The session's journal, when persistent."""
+        return self._journal
+
+    def detect(self) -> DetectionResult:
+        """The current result, running the initial detection if needed."""
+        if self._result is None:
+            return self.refresh()
+        return self._result
+
+    def ingest(
+        self,
+        upserts: Iterable[XTuple] = (),
+        *,
+        deletes: Iterable[str] = (),
+    ) -> DetectionResult:
+        """Apply one delta batch and refresh, re-deciding only touched
+        partitions.
+
+        Upserts of known ids replace the stored x-tuple; new ids append
+        after the base in arrival order.  Operations are journaled (when
+        the session is persistent) *before* the refresh, so a crash
+        mid-refresh replays to the post-ingest view.
+        """
+        operations: list[dict] = []
+        upserted = 0
+        for xtuple in upserts:
+            self._store.upsert(xtuple)
+            self._tuple_fps.pop(xtuple.tuple_id, None)
+            operations.append(SessionJournal.upsert_op(xtuple))
+            upserted += 1
+        deleted = 0
+        for tuple_id in deletes:
+            self._store.delete(tuple_id)
+            self._tuple_fps.pop(tuple_id, None)
+            operations.append(SessionJournal.delete_op(tuple_id))
+            deleted += 1
+        if self._journal is not None and operations:
+            self._journal.append_ops(operations)
+        self.stats.ingests += 1
+        self.stats.last_upserts = upserted
+        self.stats.last_deletes = deleted
+        result = self.refresh()
+        if self._journal is not None:
+            self.save()
+        return result
+
+    def refresh(self) -> DetectionResult:
+        """Re-plan the view and re-execute only fingerprint-stale
+        partitions, splicing retained decisions in plan order."""
+        view = self._store
+        plan = plan_sources(self._reducer, view)
+        if not self._within_sources:
+            plan = cross_source_plan(plan, view)
+        fingerprints = plan_fingerprints(
+            view, plan, tuple_fingerprints=self._tuple_fps
+        )
+        stale = delta_plan(plan, fingerprints, self._retained)
+
+        executed: dict[str, tuple[XTupleDecision, ...]] = {}
+        if stale.partitions:
+            engine = ExecutionEngine(
+                self._procedure,
+                self._settings(retain=self.stats.refreshes > 0),
+                splitter=self._reducer,
+                observer=self._on_progress,
+                fault_observer=self._on_fault,
+            )
+            # Published before execution so a raising refresh still
+            # exposes the partial counters (matching detect()).
+            self.last_report = engine.report
+            stale_fps = [
+                fingerprint
+                for fingerprint in fingerprints
+                if fingerprint not in self._retained
+            ]
+            index = 0
+            for piece in engine.execute(view, stale):
+                # Under on_error="skip" supervision may drop slices;
+                # realign by label (slices arrive in plan order).
+                while (
+                    index < len(stale.partitions)
+                    and stale.partitions[index].label != piece.partition_label
+                ):
+                    index += 1
+                if index == len(stale.partitions):
+                    break
+                executed[stale_fps[index]] = piece.decisions
+                index += 1
+
+        decisions: list[XTupleDecision] = []
+        covered: list[tuple[str, str]] = []
+        retained: dict[str, tuple[XTupleDecision, ...]] = {}
+        reused = 0
+        for partition, fingerprint in zip(plan.partitions, fingerprints):
+            if fingerprint in self._retained:
+                slice_decisions = self._retained[fingerprint]
+                reused += 1
+            elif fingerprint in executed:
+                slice_decisions = executed[fingerprint]
+            else:
+                continue  # partition skipped by on_error="skip"
+            retained[fingerprint] = slice_decisions
+            decisions.extend(slice_decisions)
+            covered.extend(partition.pairs)
+
+        current = set(covered)
+        self.tombstones = tuple(
+            pair for pair in self._previous_pairs if pair not in current
+        )
+        self._previous_pairs = tuple(covered)
+        self._retained = retained
+
+        self.stats.refreshes += 1
+        self.stats.partitions_planned += len(plan.partitions)
+        self.stats.partitions_executed += len(executed)
+        self.stats.partitions_reused += reused
+        self.stats.pairs_planned += plan.total_pairs
+        self.stats.pairs_executed += stale.total_pairs
+        self.stats.tombstoned_pairs += len(self.tombstones)
+
+        self._result = DetectionResult(
+            decisions=tuple(decisions),
+            compared_pairs=(
+                frozenset(covered)
+                if self._keep_compared_pairs
+                else frozenset()
+            ),
+            relation_size=len(view),
+        )
+        return self._result
+
+    def cache_hit_rates(self) -> dict[str, float]:
+        """Per-attribute similarity-cache hit rates (live counters)."""
+        return {
+            attribute: cache.hit_rate
+            for attribute, cache in self._matcher.cache_stats().items()
+        }
+
+    def save(self) -> None:
+        """Persist the snapshot (cache entries, retained index)."""
+        if self._journal is None:
+            raise ValueError("session has no journal to save into")
+        self._journal.save_snapshot(self._snapshot_document())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @property
+    def _matcher(self):
+        return self._procedure.matcher
+
+    def _settings(self, *, retain: bool) -> ExecutionSettings:
+        options: dict = dict(
+            chunk_size=self._chunk_size,
+            n_jobs=self._n_jobs,
+            keep_derivations=self._keep_derivations,
+            keep_compared_pairs=self._keep_compared_pairs,
+            scheduling=self._scheduling,
+            kernel_backend=self._backend,
+            on_error=self._on_error,
+            retain_caches=retain,
+        )
+        if not retain:
+            # Initial run prewarms like a one-shot detect; later runs
+            # keep the already-warm caches instead.
+            options["prewarm"] = self._prewarm
+        if self._prewarm_budget is not None:
+            options["prewarm_budget"] = self._prewarm_budget
+        if self._split_pairs is not None:
+            options["split_pairs"] = self._split_pairs
+        if self._retry is not None:
+            options["retry"] = self._retry
+        return ExecutionSettings(**options)
+
+    def _snapshot_document(self) -> dict:
+        caches: dict[str, list] = {}
+        for attribute, cache in self._matcher.cache_stats().items():
+            entries = [
+                [left, right, value]
+                for left, right, value in cache.export_entries()
+            ]
+            if entries:
+                caches[attribute] = entries
+        document: dict = {"format": SNAPSHOT_FORMAT, "caches": caches}
+        if not self._keep_derivations:
+            # Decisions are portable only without derivation matrices;
+            # JSON round-trips Python floats exactly, so restored
+            # decisions stay bitwise-identical.
+            retained: dict[str, list] = {}
+            portable = True
+            for fingerprint, slice_decisions in self._retained.items():
+                rows = []
+                for decision in slice_decisions:
+                    if decision.derivation_input is not None:
+                        portable = False
+                        break
+                    rows.append(
+                        [
+                            decision.left_id,
+                            decision.right_id,
+                            decision.decision.status.value,
+                            decision.decision.similarity,
+                        ]
+                    )
+                if not portable:
+                    break
+                retained[fingerprint] = rows
+            if portable:
+                document["retained"] = retained
+        return document
+
+    def _restore_snapshot(self) -> None:
+        document = self._journal.load_snapshot()
+        if not document or document.get("format") != SNAPSHOT_FORMAT:
+            return
+        live = self._matcher.cache_stats()
+        for attribute, rows in (document.get("caches") or {}).items():
+            cache = live.get(attribute)
+            if cache is not None:
+                cache.absorb(tuple(row) for row in rows)
+        if self._keep_derivations:
+            return
+        for fingerprint, rows in (document.get("retained") or {}).items():
+            self._retained[fingerprint] = tuple(
+                XTupleDecision(
+                    left_id,
+                    right_id,
+                    Decision(MatchStatus(status), float(similarity)),
+                    None,
+                )
+                for left_id, right_id, status, similarity in rows
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectionSession({self._store!r}, "
+            f"retained={len(self._retained)}, "
+            f"refreshes={self.stats.refreshes})"
+        )
+
+
+__all__ = [
+    "DetectionSession",
+    "SESSION_SCHEDULING",
+    "SNAPSHOT_FORMAT",
+    "SessionStats",
+]

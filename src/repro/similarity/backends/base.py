@@ -163,13 +163,16 @@ def resolve_backend_name(name: str | None = None) -> str:
     """Resolve a backend selector to a concrete registered name.
 
     ``None`` and ``"auto"`` consult :data:`BACKEND_ENV_VAR`, then prefer
-    ``numpy`` when available, then ``bitparallel``.  Explicit names are
-    validated loudly: an unknown name or an explicitly requested
-    unavailable backend raises ``ValueError`` rather than silently
-    falling back.
+    ``numpy`` when available, then ``bitparallel``.  Environment values
+    are case-normalized (``REPRO_KERNEL_BACKEND=NumPy`` means
+    ``numpy``) — an environment variable is typed by an operator, not
+    an API caller — but a genuinely unknown value still fails loudly.
+    Explicit names are validated loudly: an unknown name or an
+    explicitly requested unavailable backend raises ``ValueError``
+    rather than silently falling back.
     """
     if name is None or name == "auto":
-        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
         if env and env != "auto":
             name = env
         else:

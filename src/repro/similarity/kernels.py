@@ -51,7 +51,7 @@ module provides the performance core:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.similarity.base import (
     Comparator,
@@ -710,6 +710,47 @@ class SimilarityCache:
         clone._bands = self._bands
         clone._frozen = self._frozen
         return clone
+
+    def export_entries(self) -> Iterator[tuple[str, str, float]]:
+        """Stream the portable (string-keyed) entries of the table.
+
+        Yields ``(left, right, similarity)`` triples for every entry
+        whose operands are plain strings — the dominant domain, and the
+        only one a session store can round-trip through JSON without a
+        type codec.  Entries under composite keys (non-string operands)
+        are simply not exported; they are re-derivable on demand.
+        """
+        for key, value in self._store.items():
+            left, right = key
+            if type(left) is str and type(right) is str:
+                yield left, right, value
+
+    def absorb(self, entries: Iterable[tuple[Any, Any, float]]) -> int:
+        """Restore previously exported entries without recomputation.
+
+        The persistence counterpart of :meth:`export_entries`: each
+        ``(left, right, similarity)`` triple is stored under the
+        canonical unordered-pair key, skipping pairs already present.
+        Only values a prior run actually computed should be absorbed —
+        the cache trusts them exactly as it trusts its own memoized
+        results.  Respects :attr:`frozen` (absorbs nothing) and stops
+        at :attr:`max_entries` without triggering the wholesale clear.
+        Returns the number of entries newly stored.
+        """
+        if self._frozen:
+            return 0
+        store = self._store
+        stored = 0
+        for left, right, value in entries:
+            if len(store) >= self.max_entries:
+                break
+            key = _pair_key(left, right)
+            if key in store:
+                continue
+            store[key] = float(value)
+            stored += 1
+        self.warmed += stored
+        return stored
 
     def clear(self) -> None:
         """Drop all entries and reset the statistics."""

@@ -228,6 +228,34 @@ class TestBackendSelection:
         with pytest.raises(ValueError, match="unknown kernel backend"):
             resolve_backend_name(None)
 
+    def test_env_var_is_case_normalized(self, monkeypatch):
+        # Operators type environment values; "NumPy", "PYTHON" and
+        # surrounding whitespace all resolve to the registered name.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "PYTHON")
+        assert resolve_backend_name(None) == "python"
+        monkeypatch.setenv(BACKEND_ENV_VAR, " BitParallel ")
+        assert resolve_backend_name("auto") == "bitparallel"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "AUTO")
+        # Case-normalized "auto" falls through to preference order.
+        expected = (
+            "numpy" if numpy_backend.available() else "bitparallel"
+        )
+        assert resolve_backend_name(None) == expected
+        if numpy_backend.available():
+            monkeypatch.setenv(BACKEND_ENV_VAR, "NumPy")
+            assert resolve_backend_name(None) == "numpy"
+
+    def test_env_var_casing_does_not_relax_unknown_names(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "IMAGINARY")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend_name(None)
+        # Explicit API names stay case-sensitive: loud error, no guess.
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend_name("Python")
+
     def test_unknown_backend_raises(self):
         with pytest.raises(ValueError, match="unknown kernel backend"):
             resolve_backend_name("imaginary")

@@ -626,3 +626,55 @@ def test_kill_hook_degenerates_in_main_process():
     # Non-matching dispatches and attempts pass through silently.
     hook(2, [("a", "b")])
     hook(1, [("x", "y")])
+
+
+# ----------------------------------------------------------------------
+# last_report publication (regression: raising runs must not lose it)
+# ----------------------------------------------------------------------
+
+
+class TestLastReportPublication:
+    """A raising detect still publishes its partial report, and a
+    raising striped run never destroys the previous run's counters."""
+
+    def test_plan_driven_raise_publishes_partial_report(
+        self, flat_relation
+    ):
+        detector = _detector(REDUCERS["blocking"]())
+        detector.detect(flat_relation)
+        previous = detector.last_report
+        plan = detector.plan(flat_relation)
+        pair = FaultInjector(7).pick_pair(plan)
+        with installed(crash_on(pair, attempts=(1, 2))):
+            with pytest.raises(PartitionFailure):
+                detector.detect(
+                    flat_relation,
+                    n_jobs=2,
+                    chunk_size=8,
+                    retry=RetryPolicy(max_attempts=2),
+                    on_error="raise",
+                )
+        report = detector.last_report
+        assert report is not None
+        assert report is not previous
+        # The partial counters of the raising run are inspectable.
+        assert report.worker_crashes >= 1
+        assert report.retried_dispatches >= 1
+
+    def test_striped_raise_preserves_previous_report(self, flat_relation):
+        detector = _detector(REDUCERS["blocking"]())
+        detector.detect(flat_relation)
+        previous = detector.last_report
+        assert previous is not None
+        with pytest.raises(ValueError, match="chunk_size"):
+            detector.detect(
+                flat_relation, scheduling="striped", chunk_size=0
+            )
+        assert detector.last_report is previous
+
+    def test_striped_success_clears_report(self, flat_relation):
+        detector = _detector(REDUCERS["blocking"]())
+        detector.detect(flat_relation)
+        assert detector.last_report is not None
+        detector.detect(flat_relation, scheduling="striped")
+        assert detector.last_report is None
