@@ -1,0 +1,17 @@
+"""Audit manifests: byte-reproducible records of detection runs."""
+
+from repro.audit.manifest import (
+    MANIFEST_FORMAT,
+    AuditManifest,
+    ManifestIntegrityError,
+    build_manifest,
+    load_manifest,
+)
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "AuditManifest",
+    "ManifestIntegrityError",
+    "build_manifest",
+    "load_manifest",
+]

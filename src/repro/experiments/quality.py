@@ -10,8 +10,11 @@ probabilistic data with known ground truth and score every combination:
 * **E2** — derivation functions on x-relations (similarity-based Eq. 6 vs
   decision-based Eq. 7 vs expected matching result), same decision model
   underneath.
+* **E3** — threshold calibration: conformal vs Neyman–Pearson match
+  thresholds fit on labeled scores from one detection run, evaluated by
+  held-out false-positive rate against the requested target.
 
-Both return structured rows ready for :mod:`repro.experiments.tables`.
+All return structured rows ready for :mod:`repro.experiments.tables`.
 """
 
 from __future__ import annotations
@@ -29,6 +32,12 @@ from repro.matching.comparison import AttributeMatcher
 from repro.matching.decision.base import (
     CombinedDecisionModel,
     ThresholdClassifier,
+)
+from repro.matching.decision.calibration import (
+    CALIBRATION_METHODS,
+    CalibrationSet,
+    calibrate,
+    empirical_fpr,
 )
 from repro.matching.decision.fellegi_sunter import FellegiSunterModel
 from repro.matching.decision.rules import (
@@ -250,5 +259,83 @@ def run_e2_derivations(
             )
             rows.append(
                 QualityRow("E2", derivation_name, profile_name, report)
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One result row of E3: a (method, target) calibration outcome."""
+
+    method: str
+    target_fpr: float
+    threshold: float
+    holdout_fpr: float
+    feasible: bool
+    gate_trips: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "method": self.method,
+            "target_fpr": self.target_fpr,
+            "threshold": self.threshold,
+            "holdout_fpr": self.holdout_fpr,
+            "feasible": self.feasible,
+            "gate_trips": ",".join(self.gate_trips) or "-",
+        }
+
+
+def run_e3_calibration(
+    *,
+    entity_count: int = 120,
+    seed: int = 11,
+    targets: tuple[float, ...] = (0.01, 0.05, 0.1),
+    holdout_fraction: float = 0.5,
+    split_seed: int = 20100301,
+) -> list[CalibrationRow]:
+    """E3: conformal vs NP thresholds, scored by held-out FPR.
+
+    One detection run over a labeled flat relation produces the scored
+    pairs; the resulting :class:`CalibrationSet` is split into a fit and
+    a holdout half.  Each (method, target) combination is calibrated on
+    the fit half and judged by the empirical false-positive rate its
+    threshold attains on the holdout non-match scores.  Conformal
+    thresholds are conservative (holdout FPR at or below target up to
+    finite-sample noise); NP thresholds track the target more tightly
+    but without the finite-sample guarantee.
+    """
+    matcher = default_matcher()
+    model = weighted_model()
+    dataset = generate_dataset(
+        DatasetConfig(entity_count=entity_count, seed=seed),
+        flat=True,
+    )
+    detector = DuplicateDetector(matcher, model)
+    result = detector.detect(dataset.relation)
+    pairs = CalibrationSet.from_result(result, dataset.true_matches)
+    fit, holdout = pairs.split(
+        holdout_fraction=holdout_fraction, seed=split_seed
+    )
+    rows: list[CalibrationRow] = []
+    for method in CALIBRATION_METHODS:
+        for target in targets:
+            calibrated = calibrate(
+                model, fit, method=method, target_fpr=target
+            )
+            calibration = calibrated.calibration
+            rows.append(
+                CalibrationRow(
+                    method=method,
+                    target_fpr=target,
+                    threshold=calibration.threshold,
+                    holdout_fpr=empirical_fpr(
+                        calibration.threshold, holdout.nonmatch_scores
+                    ),
+                    feasible=calibration.feasible,
+                    gate_trips=tuple(
+                        trip.gate for trip in calibrated.gate_trips
+                    ),
+                )
             )
     return rows

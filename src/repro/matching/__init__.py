@@ -35,18 +35,34 @@ from repro.matching.comparison import (
     ComparisonVector,
 )
 from repro.matching.decision import (
+    Calibration,
+    CalibrationPair,
+    CalibrationSet,
+    CalibratedModel,
     CertaintyCombination,
     CombinedDecisionModel,
     Condition,
     Decision,
     DecisionModel,
+    DecisionReason,
     EMEstimate,
     FellegiSunterModel,
+    ForcedUnsureClassifier,
+    GateTrip,
     IdentificationRule,
     MatchStatus,
+    ReasonCategory,
+    ReasonCode,
     RuleBasedModel,
+    SafetyGates,
     ThresholdClassifier,
     agreement_pattern,
+    calibrate,
+    calibrate_conformal,
+    calibrate_np,
+    categorize_decision,
+    check_safety_gates,
+    empirical_fpr,
     estimate_em,
     paper_example_rule,
     select_thresholds,
@@ -86,6 +102,10 @@ __all__ = [
     "DERIVATIONS",
     "AttributeMatcher",
     "Average",
+    "Calibration",
+    "CalibrationPair",
+    "CalibrationSet",
+    "CalibratedModel",
     "CertaintyCombination",
     "ClusteringResult",
     "CombinationFunction",
@@ -95,6 +115,7 @@ __all__ = [
     "Condition",
     "Decision",
     "DecisionModel",
+    "DecisionReason",
     "DetectionResult",
     "DuplicateDetector",
     "EMEstimate",
@@ -104,7 +125,9 @@ __all__ = [
     "ExpectedMatchingResult",
     "ExpectedSimilarity",
     "FellegiSunterModel",
+    "ForcedUnsureClassifier",
     "FullComparison",
+    "GateTrip",
     "IdentificationRule",
     "IterativeResolver",
     "LogLikelihoodRatio",
@@ -118,8 +141,11 @@ __all__ = [
     "PairGenerator",
     "PartitionProgress",
     "Product",
+    "ReasonCategory",
+    "ReasonCode",
     "ResolutionOutcome",
     "RuleBasedModel",
+    "SafetyGates",
     "SimilarityFloors",
     "ThresholdClassifier",
     "UnionFind",
@@ -127,8 +153,14 @@ __all__ = [
     "XTupleDecision",
     "XTupleDecisionProcedure",
     "agreement_pattern",
+    "calibrate",
+    "calibrate_conformal",
+    "calibrate_np",
+    "categorize_decision",
+    "check_safety_gates",
     "cluster_matches",
     "derive_floors",
+    "empirical_fpr",
     "estimate_em",
     "normalized_weights",
     "paper_example_rule",

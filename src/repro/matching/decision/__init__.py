@@ -7,11 +7,34 @@ from repro.matching.decision.base import (
     MatchStatus,
     ThresholdClassifier,
 )
+from repro.matching.decision.calibration import (
+    CALIBRATION_METHODS,
+    Calibration,
+    CalibrationPair,
+    CalibrationSet,
+    CalibratedModel,
+    ForcedUnsureClassifier,
+    calibrate,
+    calibrate_conformal,
+    calibrate_np,
+    empirical_fpr,
+)
 from repro.matching.decision.em import EMEstimate, estimate_em
 from repro.matching.decision.fellegi_sunter import (
     FellegiSunterModel,
     agreement_pattern,
     select_thresholds,
+)
+from repro.matching.decision.gates import (
+    GateTrip,
+    SafetyGates,
+    check_safety_gates,
+)
+from repro.matching.decision.reasons import (
+    DecisionReason,
+    ReasonCategory,
+    ReasonCode,
+    categorize_decision,
 )
 from repro.matching.decision.rules import (
     CertaintyCombination,
@@ -22,18 +45,35 @@ from repro.matching.decision.rules import (
 )
 
 __all__ = [
+    "CALIBRATION_METHODS",
+    "Calibration",
+    "CalibrationPair",
+    "CalibrationSet",
+    "CalibratedModel",
     "CertaintyCombination",
     "CombinedDecisionModel",
     "Condition",
     "Decision",
     "DecisionModel",
+    "DecisionReason",
     "EMEstimate",
     "FellegiSunterModel",
+    "ForcedUnsureClassifier",
+    "GateTrip",
     "IdentificationRule",
     "MatchStatus",
+    "ReasonCategory",
+    "ReasonCode",
     "RuleBasedModel",
+    "SafetyGates",
     "ThresholdClassifier",
     "agreement_pattern",
+    "calibrate",
+    "calibrate_conformal",
+    "calibrate_np",
+    "categorize_decision",
+    "check_safety_gates",
+    "empirical_fpr",
     "estimate_em",
     "paper_example_rule",
     "select_thresholds",

@@ -194,6 +194,39 @@ class FellegiSunterModel:
         """Classify by R against T_μ / T_λ (Figure 2)."""
         return self.classifier.decide(self.matching_weight(vector))
 
+    def forcing_term(self, similarity: float) -> str | None:
+        """Name the agreement pattern γ whose weight equals *similarity*.
+
+        R depends on the comparison vector only through γ, so the
+        decided weight identifies the pattern (up to weight ties, where
+        the pattern with most agreements wins deterministically).  The
+        enumeration is 2^n; models with more than 12 attributes skip
+        the recovery and return ``None``.
+        """
+        attributes = self.attributes
+        if len(attributes) > 12:
+            return None
+        candidates: list[tuple[int, str]] = []
+        for mask in range(1 << len(attributes)):
+            m = u = 1.0
+            agreeing: list[str] = []
+            for index, attribute in enumerate(attributes):
+                if mask >> index & 1:
+                    m *= self._m[attribute]
+                    u *= self._u[attribute]
+                    agreeing.append(attribute)
+                else:
+                    m *= 1.0 - self._m[attribute]
+                    u *= 1.0 - self._u[attribute]
+            weight = math.log2(m) - math.log2(u) if self._use_log else m / u
+            if weight == similarity:
+                candidates.append(
+                    (len(agreeing), "agree(" + ",".join(agreeing) + ")")
+                )
+        if not candidates:
+            return None
+        return max(candidates)[1]
+
     # ------------------------------------------------------------------
     # Estimation from labeled data
     # ------------------------------------------------------------------

@@ -1,0 +1,214 @@
+"""Safety gates: refuse to auto-decide on untrustworthy calibrations.
+
+A calibrated threshold is only as good as the calibration set behind
+it.  When that set is too small, degenerate, or fails a held-out drift
+check, the honest answer is *UNSURE* — so
+:func:`check_safety_gates` inspects a :class:`Calibration
+<repro.matching.decision.calibration.Calibration>` against a
+:class:`SafetyGates` policy and returns the tripped gates; any trip
+makes :func:`calibrate <repro.matching.decision.calibration.calibrate>`
+install a :class:`ForcedUnsureClassifier
+<repro.matching.decision.calibration.ForcedUnsureClassifier>` that
+sends every pair to clerical review instead of silently deciding with
+a threshold nobody should trust.
+
+All checks are deterministic: the drift gate re-splits the calibration
+set with a fixed seed, so the same inputs trip the same gates — which
+is what lets the chaos suite assert gates trip *reproducibly* under
+injected faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Gate names, as they appear in trips, reason codes and manifests.
+GATE_MIN_CALIBRATION_SIZE = "min_calibration_size"
+GATE_MAX_FPR_DRIFT = "max_fpr_drift"
+GATE_DEGENERATE_SCORES = "degenerate_score_distribution"
+GATE_INFEASIBLE = "infeasible_calibration"
+
+
+@dataclass(frozen=True)
+class GateTrip:
+    """One tripped safety gate: which, what was observed, what's allowed."""
+
+    gate: str
+    observed: float
+    limit: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "gate": self.gate,
+            "observed": self.observed,
+            "limit": self.limit,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return (
+            f"{self.gate}: observed {self.observed:g}, "
+            f"limit {self.limit:g}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class SafetyGates:
+    """The gate policy: when is a calibration trustworthy enough?
+
+    Attributes
+    ----------
+    min_calibration_size:
+        Minimum number of labeled *non-match* pairs — the class the
+        FPR guarantee quantifies over.  Below it, the quantile is too
+        coarse to mean anything.
+    max_fpr_drift:
+        Allowed excess of the held-out empirical FPR over the target:
+        the set is re-split (seeded), the threshold re-calibrated on
+        the fit part, and its FPR measured on the holdout; exceeding
+        ``target_fpr + max_fpr_drift`` trips.  ``None`` disables the
+        drift check.
+    min_score_spread:
+        Minimum spread (max − min) of the non-match scores; a
+        (near-)constant score distribution cannot be thresholded
+        meaningfully.
+    holdout_fraction / seed:
+        Deterministic split parameters of the drift check.
+    """
+
+    min_calibration_size: int = 30
+    max_fpr_drift: float | None = 0.1
+    min_score_spread: float = 1e-9
+    holdout_fraction: float = 0.5
+    seed: int = 20100301
+
+    def __post_init__(self) -> None:
+        if self.min_calibration_size < 1:
+            raise ValueError(
+                f"min_calibration_size must be >= 1, "
+                f"got {self.min_calibration_size}"
+            )
+        if self.max_fpr_drift is not None and self.max_fpr_drift < 0.0:
+            raise ValueError(
+                f"max_fpr_drift must be >= 0, got {self.max_fpr_drift}"
+            )
+        if self.min_score_spread < 0.0:
+            raise ValueError(
+                f"min_score_spread must be >= 0, got {self.min_score_spread}"
+            )
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise ValueError(
+                f"holdout_fraction outside (0, 1): {self.holdout_fraction}"
+            )
+
+
+def check_safety_gates(
+    calibration_set,
+    calibration,
+    *,
+    gates: SafetyGates | None = None,
+) -> tuple[GateTrip, ...]:
+    """Run every gate; return the trips (empty tuple ⇒ trustworthy).
+
+    Checks, in order: calibration-set size, degenerate score
+    distribution, calibration feasibility, and held-out FPR drift.
+    The drift check only runs when the earlier gates passed — re-
+    calibrating on a half of an already-too-small or degenerate set
+    would just duplicate those trips with noisier evidence.
+    """
+    from repro.matching.decision.calibration import (
+        calibrate_conformal,
+        calibrate_np,
+        empirical_fpr,
+    )
+
+    if gates is None:
+        gates = SafetyGates()
+    trips: list[GateTrip] = []
+
+    nonmatch = calibration_set.nonmatch_scores
+    if len(nonmatch) < gates.min_calibration_size:
+        trips.append(
+            GateTrip(
+                gate=GATE_MIN_CALIBRATION_SIZE,
+                observed=float(len(nonmatch)),
+                limit=float(gates.min_calibration_size),
+                detail="labeled non-match pairs",
+            )
+        )
+
+    if nonmatch:
+        spread = nonmatch[-1] - nonmatch[0]
+        if spread < gates.min_score_spread:
+            trips.append(
+                GateTrip(
+                    gate=GATE_DEGENERATE_SCORES,
+                    observed=spread,
+                    limit=gates.min_score_spread,
+                    detail="non-match score spread (max - min)",
+                )
+            )
+
+    if not calibration.feasible:
+        trips.append(
+            GateTrip(
+                gate=GATE_INFEASIBLE,
+                observed=float(calibration.n_nonmatch),
+                limit=float(
+                    # Smallest conformal-feasible n for the target:
+                    # ceil((n+1)(1-target)) <= n  ⇔  n >= (1-t)/t.
+                    0.0
+                    if calibration.target_fpr <= 0.0
+                    else (1.0 - calibration.target_fpr)
+                    / calibration.target_fpr
+                ),
+                detail=(
+                    "calibration set cannot certify target_fpr="
+                    f"{calibration.target_fpr:g}"
+                ),
+            )
+        )
+
+    if gates.max_fpr_drift is not None and not trips:
+        fit, holdout = calibration_set.split(
+            gates.holdout_fraction, gates.seed
+        )
+        if fit.nonmatch_scores and holdout.nonmatch_scores:
+            if calibration.method == "np":
+                refit = calibrate_np(fit, calibration.target_fpr)
+            else:
+                refit = calibrate_conformal(
+                    fit, calibration.target_fpr, alpha=calibration.alpha
+                )
+            if refit.feasible:
+                holdout_fpr = empirical_fpr(
+                    refit.threshold, holdout.nonmatch_scores
+                )
+                limit = calibration.target_fpr + gates.max_fpr_drift
+                if holdout_fpr > limit:
+                    trips.append(
+                        GateTrip(
+                            gate=GATE_MAX_FPR_DRIFT,
+                            observed=holdout_fpr,
+                            limit=limit,
+                            detail=(
+                                "held-out FPR of a re-calibrated "
+                                "threshold (seeded split)"
+                            ),
+                        )
+                    )
+
+    return tuple(trips)
+
+
+__all__ = [
+    "GATE_DEGENERATE_SCORES",
+    "GATE_INFEASIBLE",
+    "GATE_MAX_FPR_DRIFT",
+    "GATE_MIN_CALIBRATION_SIZE",
+    "GateTrip",
+    "SafetyGates",
+    "check_safety_gates",
+]

@@ -1,0 +1,194 @@
+"""Per-decision reason codes: *why* a pair got its matching value.
+
+A calibrated production pipeline cannot stop at η ∈ {m, p, u} — a
+reviewer (or an auditor reading the manifest) needs to know *which*
+threshold the similarity cleared by *how much*, which identification
+rule or likelihood term forced the decision, and whether a safety gate
+overrode the classifier entirely.  :func:`categorize_decision` maps any
+``(similarity, classifier)`` to exactly one
+:class:`ReasonCategory` — the categorization is **total**: every float
+(±inf and NaN included) lands in precisely one category, mirroring
+:meth:`ThresholdClassifier.classify
+<repro.matching.decision.base.ThresholdClassifier.classify>`'s
+branch structure so reason and status can never disagree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.matching.decision.base import MatchStatus, ThresholdClassifier
+
+
+class ReasonCategory(enum.Enum):
+    """The primary reason a decision came out the way it did.
+
+    Exactly one applies to every decision:
+
+    ``GATE_FORCED``
+        A safety gate tripped at calibration time; the classifier
+        refuses to auto-decide and everything is POSSIBLE.
+    ``ABOVE_MATCH``
+        ``sim > T_μ`` — auto-matched.
+    ``BELOW_UNMATCH``
+        ``sim < T_λ`` — auto-rejected.
+    ``POSSIBLE_BAND``
+        Neither strict inequality held (the ``[T_λ, T_μ]`` band, which
+        also absorbs NaN similarities) — clerical review.
+    """
+
+    GATE_FORCED = "gate_forced"
+    ABOVE_MATCH = "above_match"
+    BELOW_UNMATCH = "below_unmatch"
+    POSSIBLE_BAND = "possible_band"
+
+    @property
+    def status(self) -> MatchStatus:
+        """The matching value this category implies."""
+        if self is ReasonCategory.ABOVE_MATCH:
+            return MatchStatus.MATCH
+        if self is ReasonCategory.BELOW_UNMATCH:
+            return MatchStatus.UNMATCH
+        return MatchStatus.POSSIBLE
+
+
+@dataclass(frozen=True)
+class ReasonCode:
+    """One decision's primary reason, margin, and provenance.
+
+    Attributes
+    ----------
+    category:
+        The (single) primary :class:`ReasonCategory`.
+    margin:
+        Signed distance to the decisive threshold: ``sim - T_μ`` for
+        matches (positive), ``sim - T_λ`` for non-matches (negative),
+        and for the possible band the signed distance to the *nearer*
+        boundary (``min(T_μ - sim, sim - T_λ)``, ≥ 0 inside the band;
+        NaN similarity yields a NaN margin).
+    threshold:
+        The threshold the margin is measured against.
+    gates:
+        Names of the tripped gates (``GATE_FORCED`` only).
+    term:
+        The rule / likelihood term that forced the similarity, when the
+        model can name one (``RuleBasedModel`` names the strongest
+        firing rule; ``FellegiSunterModel`` names the agreement
+        pattern).  ``None`` when not recoverable.
+    """
+
+    category: ReasonCategory
+    margin: float
+    threshold: float
+    gates: tuple[str, ...] = ()
+    term: str | None = None
+
+    @property
+    def code(self) -> str:
+        """Compact primary code, e.g. ``above_match:figure1``."""
+        base = self.category.value
+        if self.category is ReasonCategory.GATE_FORCED and self.gates:
+            return f"{base}:{','.join(self.gates)}"
+        if self.term is not None:
+            return f"{base}:{self.term}"
+        return base
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (for reports and manifests)."""
+        return {
+            "category": self.category.value,
+            "code": self.code,
+            "margin": self.margin,
+            "threshold": self.threshold,
+            "gates": list(self.gates),
+            "term": self.term,
+        }
+
+
+@dataclass(frozen=True)
+class DecisionReason:
+    """A decision joined with its reason code (one row of an audit)."""
+
+    left_id: str
+    right_id: str
+    status: MatchStatus
+    similarity: float
+    reason: ReasonCode
+
+    def as_dict(self) -> dict:
+        return {
+            "left_id": self.left_id,
+            "right_id": self.right_id,
+            "status": self.status.value,
+            "similarity": self.similarity,
+            "reason": self.reason.as_dict(),
+        }
+
+
+def _forcing_term(model, similarity: float, category: ReasonCategory):
+    """Ask the model which of its terms forced a decisive similarity."""
+    if model is None or category is ReasonCategory.POSSIBLE_BAND:
+        return None
+    supplier = getattr(model, "forcing_term", None)
+    if not callable(supplier):
+        return None
+    return supplier(similarity)
+
+
+def categorize_decision(
+    similarity: float,
+    classifier: ThresholdClassifier,
+    *,
+    model=None,
+) -> ReasonCode:
+    """Total categorization of one decided similarity.
+
+    The branch order mirrors ``ThresholdClassifier.classify`` exactly
+    (gate check first — a forcing classifier never reaches the
+    threshold comparisons), so the returned category's
+    :attr:`~ReasonCategory.status` always equals the status the
+    classifier produced for the same similarity.
+    """
+    trips = getattr(classifier, "trips", ())
+    if trips:
+        return ReasonCode(
+            category=ReasonCategory.GATE_FORCED,
+            margin=similarity - classifier.match_threshold,
+            threshold=classifier.match_threshold,
+            gates=tuple(trip.gate for trip in trips),
+        )
+    t_mu = classifier.match_threshold
+    t_lambda = classifier.unmatch_threshold
+    if similarity > t_mu:
+        category, margin, threshold = (
+            ReasonCategory.ABOVE_MATCH,
+            similarity - t_mu,
+            t_mu,
+        )
+    elif similarity < t_lambda:
+        category, margin, threshold = (
+            ReasonCategory.BELOW_UNMATCH,
+            similarity - t_lambda,
+            t_lambda,
+        )
+    else:
+        # The closed band [T_λ, T_μ]; NaN comparisons are both False and
+        # land here too, with a NaN margin.
+        category = ReasonCategory.POSSIBLE_BAND
+        margin = min(t_mu - similarity, similarity - t_lambda)
+        threshold = t_mu
+    return ReasonCode(
+        category=category,
+        margin=margin,
+        threshold=threshold,
+        term=_forcing_term(model, similarity, category),
+    )
+
+
+__all__ = [
+    "DecisionReason",
+    "ReasonCategory",
+    "ReasonCode",
+    "categorize_decision",
+]

@@ -203,6 +203,24 @@ class RuleBasedModel:
         """Classify the pair by its combined certainty."""
         return self.classifier.decide(self.similarity(vector))
 
+    def forcing_term(self, similarity: float) -> str | None:
+        """Name of the rule that forced a decided similarity, if unique.
+
+        Under ``MAXIMUM`` combination the combined certainty *is* the
+        certainty of the strongest firing rule, so any rule with
+        exactly that certainty names the decision (reason codes,
+        audit).  Noisy-or mixes all firing certainties, and no single
+        rule can be credited — ``None``.
+        """
+        if self._combination != CertaintyCombination.MAXIMUM:
+            return None
+        names = [
+            rule.name
+            for rule in self._rules
+            if rule.certainty == similarity
+        ]
+        return names[0] if names else None
+
     def attribute_floors(self) -> SimilarityFloors:
         """Pushdown floors: the weakest condition threshold per attribute.
 

@@ -109,6 +109,12 @@ class ExecutionReport:
     dispatch_tasks: int = 0
     #: Pairs decided so far.
     decided_pairs: int = 0
+    #: Decisions so far with η = m (declared duplicates).
+    decided_matches: int = 0
+    #: Decisions so far with η = p (clerical review).
+    decided_possibles: int = 0
+    #: Decisions so far with η = u (declared distinct).
+    decided_unmatches: int = 0
     #: Partition slices yielded so far.
     completed_partitions: int = 0
     #: Dispatch attempts that raised inside a worker (or in-process).
@@ -137,6 +143,8 @@ class ExecutionReport:
             f"{self.scheduling} n_jobs={self.n_jobs}",
             f"{self.completed_partitions}/{self.partitions} partitions",
             f"{self.decided_pairs}/{self.total_pairs} pairs",
+            f"eta m={self.decided_matches} p={self.decided_possibles} "
+            f"u={self.decided_unmatches}",
         ]
         if self.oversized_partitions:
             parts.append(
@@ -184,11 +192,25 @@ class ProgressTracker:
         self.report.partitions = len(plan.partitions)
         self.report.total_pairs = plan.total_pairs
 
-    def slice_done(self, partition) -> None:
-        """Account one completed partition and notify the observer."""
+    def slice_done(self, partition, decisions=()) -> None:
+        """Account one completed partition and notify the observer.
+
+        *decisions* are the partition's
+        :class:`~repro.matching.engine.XTupleDecision` objects; their
+        matching values feed the report's η counters (and, through the
+        audit layer, the manifest's per-partition counts).
+        """
         report = self.report
         report.decided_pairs += len(partition.pairs)
         report.completed_partitions += 1
+        for decided in decisions:
+            status = decided.decision.status.value
+            if status == "m":
+                report.decided_matches += 1
+            elif status == "p":
+                report.decided_possibles += 1
+            else:
+                report.decided_unmatches += 1
         if self.observer is not None:
             self.observer(
                 PartitionProgress(

@@ -437,13 +437,14 @@ class ExecutionEngine:
         settings = self._settings
         size = plan.relation_size
         for partition in plan:
+            decisions = tuple(self._decide_partition(relation, partition))
             yield slice_result(
                 partition,
-                tuple(self._decide_partition(relation, partition)),
+                decisions,
                 size,
                 settings.keep_compared_pairs,
             )
-            self._tracker.slice_done(partition)
+            self._tracker.slice_done(partition, decisions)
 
     def _decide_partition(
         self, relation, partition: CandidatePartition
@@ -504,13 +505,14 @@ class ExecutionEngine:
             )
             if decisions is None:
                 continue
+            decisions = tuple(decisions)
             yield slice_result(
                 partition,
-                tuple(decisions),
+                decisions,
                 size,
                 settings.keep_compared_pairs,
             )
-            self._tracker.slice_done(partition)
+            self._tracker.slice_done(partition, decisions)
 
     def _partition_batches(
         self, plan: CandidatePlan
@@ -590,7 +592,7 @@ class ExecutionEngine:
             size,
             self._settings.keep_compared_pairs,
         )
-        self._tracker.slice_done(partition)
+        self._tracker.slice_done(partition, decisions)
         return result
 
     def _execute_partitioned_supervised(
@@ -911,10 +913,9 @@ class ExecutionEngine:
                 )
                 while next_index in ready:
                     partition = plan.partitions[next_index]
-                    yield slice_result(
-                        partition, ready.pop(next_index), size, keep
-                    )
-                    self._tracker.slice_done(partition)
+                    assembled = ready.pop(next_index)
+                    yield slice_result(partition, assembled, size, keep)
+                    self._tracker.slice_done(partition, assembled)
                     next_index += 1
         if pending or next_index != len(plan.partitions):  # pragma: no cover
             raise RuntimeError(
@@ -975,7 +976,7 @@ class ExecutionEngine:
                 partition = plan.partitions[next_index]
                 if decisions is not None:
                     yield slice_result(partition, decisions, size, keep)
-                    self._tracker.slice_done(partition)
+                    self._tracker.slice_done(partition, decisions)
                 next_index += 1
         if pending or next_index != len(plan.partitions):  # pragma: no cover
             raise RuntimeError(

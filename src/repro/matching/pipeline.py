@@ -31,6 +31,7 @@ in the same order, for every storage backend.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from typing import Protocol, runtime_checkable
@@ -65,6 +66,7 @@ from repro.reduction.plan import (
     PlanBuilder,
     ordered_pair as _ordered,
     plan_candidates,
+    plan_fingerprints,
 )
 
 __all__ = [
@@ -145,6 +147,20 @@ class FullComparison:
         return "FullComparison()"
 
 
+def _status_counts(decisions) -> list[int]:
+    """η counts ``[matches, possibles, unmatches]`` of one slice."""
+    counts = [0, 0, 0]
+    for decided in decisions:
+        status = decided.decision.status.value
+        if status == "m":
+            counts[0] += 1
+        elif status == "p":
+            counts[1] += 1
+        else:
+            counts[2] += 1
+    return counts
+
+
 #: Soft bound on memoized pruned pipeline clones per detector.  A
 #: normal workload uses one ("auto") or a handful of configurations; a
 #: float-cutoff sweep past the bound evicts the least recently used
@@ -218,6 +234,7 @@ class DuplicateDetector:
             tuple, XTupleDecisionProcedure
         ] = OrderedDict()
         self.last_report = None
+        self.last_manifest = None
 
     @property
     def procedure(self) -> XTupleDecisionProcedure:
@@ -232,6 +249,32 @@ class DuplicateDetector:
         :func:`repro.matching.pushdown.derive_floors`.
         """
         return self._procedure.attribute_floors()
+
+    def _resolve_floors(
+        self, min_similarity: float | Mapping[str, float] | str | None
+    ) -> SimilarityFloors | None:
+        """The pushdown floors a ``min_similarity`` option resolves to.
+
+        ``None`` means the run stays exact — either because no floors
+        were requested or because the resolved floors would never
+        prune.
+        """
+        floors: SimilarityFloors | None = None
+        if min_similarity is not None:
+            if isinstance(min_similarity, str):
+                if min_similarity != "auto":
+                    raise ValueError(
+                        f"unknown min_similarity mode {min_similarity!r}; "
+                        "expected 'auto', a float, a mapping, or None"
+                    )
+                floors = self._procedure.attribute_floors()
+            elif isinstance(min_similarity, Mapping):
+                floors = SimilarityFloors(dict(min_similarity))
+            else:
+                floors = SimilarityFloors.uniform(float(min_similarity))
+            if floors is not None and floors.is_exact:
+                floors = None
+        return floors
 
     def _resolve_procedure(
         self,
@@ -249,21 +292,7 @@ class DuplicateDetector:
         least-recently-used clones past the bound.
         """
         backend = resolve_backend_name(kernel_backend)
-        floors: SimilarityFloors | None = None
-        if min_similarity is not None:
-            if isinstance(min_similarity, str):
-                if min_similarity != "auto":
-                    raise ValueError(
-                        f"unknown min_similarity mode {min_similarity!r}; "
-                        "expected 'auto', a float, a mapping, or None"
-                    )
-                floors = self._procedure.attribute_floors()
-            elif isinstance(min_similarity, Mapping):
-                floors = SimilarityFloors(dict(min_similarity))
-            else:
-                floors = SimilarityFloors.uniform(float(min_similarity))
-            if floors is not None and floors.is_exact:
-                floors = None
+        floors = self._resolve_floors(min_similarity)
         key = (
             floors.signature() if floors is not None else None,
             backend,
@@ -334,6 +363,7 @@ class DuplicateDetector:
         retry: RetryPolicy | None = None,
         on_error: str = "raise",
         on_fault: FaultObserver | None = None,
+        audit: str | os.PathLike | bool | None = None,
     ) -> DetectionResult | Iterator[DetectionResult]:
         """Run steps A–D over one relation and collect the decisions.
 
@@ -505,6 +535,17 @@ class DuplicateDetector:
             Optional callback invoked on every retry, degradation and
             terminal failure with a
             :class:`~repro.matching.executor.FaultEvent`.
+        audit:
+            Build an :class:`~repro.audit.AuditManifest` for the run —
+            calibration fingerprints, resolved thresholds/floors, plan
+            fingerprints and per-partition η counts, canonicalized so
+            any execution variant of the same inputs (n_jobs, spilled
+            storage, kernel backend) fingerprints byte-identically.
+            ``True`` records it as :attr:`last_manifest` only; a path
+            additionally writes the manifest JSON (with a tamper-
+            evident self-digest) to that file.  Requires a collected
+            plan-driven run (not ``stream=True``, not
+            ``scheduling="striped"``).
         """
         relation = self._prepared_relation(relation)
         return self._detect_prepared(
@@ -525,6 +566,7 @@ class DuplicateDetector:
             retry=retry,
             on_error=on_error,
             on_fault=on_fault,
+            audit=audit,
         )
 
     def session(
@@ -567,6 +609,7 @@ class DuplicateDetector:
             prepared,
             journal=journal,
             kernel_backend=backend,
+            floors=self._resolve_floors(min_similarity),
             **session_options,
         )
 
@@ -660,9 +703,15 @@ class DuplicateDetector:
         retry: RetryPolicy | None = None,
         on_error: str = "raise",
         on_fault: FaultObserver | None = None,
+        audit: str | os.PathLike | bool | None = None,
     ) -> DetectionResult | Iterator[DetectionResult]:
         backend = resolve_backend_name(kernel_backend)
         procedure = self._resolve_procedure(min_similarity, backend)
+        if audit and (stream or scheduling == "striped"):
+            raise ValueError(
+                "audit manifests require a collected plan-driven run "
+                "(stream=False, scheduling='partitioned' or 'stealing')"
+            )
         if chunk_size is None:
             chunk_size = DEFAULT_CHUNK_SIZE
         if n_jobs is None:
@@ -733,15 +782,65 @@ class DuplicateDetector:
             return slices
         decisions: list[XTupleDecision] = []
         compared: set[tuple[str, str]] = set()
+        partition_counts: dict[str, list[int]] = {}
         for piece in slices:
             decisions.extend(piece.decisions)
             if keep_compared_pairs:
                 compared.update(piece.compared_pairs)
+            if audit:
+                partition_counts[piece.partition_label] = (
+                    _status_counts(piece.decisions)
+                )
+        if audit:
+            self.last_manifest = self._build_manifest(
+                relation,
+                plan,
+                procedure,
+                partition_counts,
+                floors=self._resolve_floors(min_similarity),
+                backend=backend,
+                audit=audit,
+            )
         return DetectionResult(
             decisions=tuple(decisions),
             compared_pairs=frozenset(compared),
             relation_size=len(relation),
         )
+
+    def _build_manifest(
+        self,
+        relation,
+        plan: CandidatePlan,
+        procedure: XTupleDecisionProcedure,
+        partition_counts: Mapping[str, Sequence[int]],
+        *,
+        floors: SimilarityFloors | None,
+        backend: str,
+        audit: str | os.PathLike | bool,
+    ):
+        """Assemble (and possibly write) the run's audit manifest."""
+        from repro.audit import build_manifest
+
+        report = self.last_report
+        manifest = build_manifest(
+            procedure=procedure,
+            plan_fingerprints=plan_fingerprints(relation, plan),
+            partition_counts=partition_counts,
+            floors=floors,
+            failures=tuple(
+                failure.partition for failure in report.failures
+            ),
+            environment={
+                "n_jobs": report.n_jobs,
+                "scheduling": report.scheduling,
+                "kernel_backend": backend,
+                "storage": type(relation).__name__,
+                "model": type(procedure.model).__name__,
+            },
+        )
+        if not isinstance(audit, bool):
+            manifest.write(audit)
+        return manifest
 
     # ------------------------------------------------------------------
     # Striped execution (legacy fan-out, pre-planner)

@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.experiments.quality import default_matcher, weighted_model
 from repro.matching import DuplicateDetector
+from repro.matching.decision import CalibrationSet, calibrate
 from repro.matching.executor import DetectionResult
 from repro.pdb import io as pdb_io
 from repro.pdb.io import decode_xtuple
@@ -60,15 +61,32 @@ def parse_key(spec: str) -> SubstringKey:
 
 
 def build_detector(args: argparse.Namespace) -> DuplicateDetector:
-    """The detector the CLI session runs with."""
+    """The detector the CLI session runs with.
+
+    With ``--calibration FILE`` the weighted model's match threshold is
+    re-calibrated from the labeled pair file
+    (:meth:`~repro.matching.decision.CalibrationSet.load`) at the
+    requested ``--target-fpr`` and wrapped in a
+    :class:`~repro.matching.decision.CalibratedModel` — safety gates
+    included, so an untrustworthy calibration file forces every
+    decision to UNSURE rather than silently deciding.
+    """
     reducer = None
     if args.block:
         reducer = CertainKeyBlocking(parse_key(args.block))
     elif args.sort:
         reducer = SortedNeighborhood(parse_key(args.sort), window=args.window)
+    model = weighted_model(args.t_mu, args.t_lambda)
+    if args.calibration:
+        model = calibrate(
+            model,
+            CalibrationSet.load(args.calibration),
+            method=args.calibration_method,
+            target_fpr=args.target_fpr,
+        )
     return DuplicateDetector(
         default_matcher(),
-        weighted_model(args.t_mu, args.t_lambda),
+        model,
         reducer=reducer,
     )
 
@@ -102,6 +120,7 @@ def build_session(args: argparse.Namespace):
         min_similarity=args.min_similarity,
         kernel_backend=args.kernel_backend,
         on_progress=on_progress,
+        audit=args.audit,
     )
 
 
@@ -109,7 +128,7 @@ def result_document(session, result: DetectionResult) -> dict[str, Any]:
     """The JSON answer for one refresh."""
     stats = session.stats
     report = session.last_report
-    return {
+    document = {
         "tuples": result.relation_size,
         "decided_pairs": len(result.decisions),
         "matches": [list(pair) for pair in result.matches],
@@ -124,10 +143,17 @@ def result_document(session, result: DetectionResult) -> dict[str, Any]:
             "pairs_planned": stats.pairs_planned,
             "pairs_executed": stats.pairs_executed,
             "tombstoned_pairs": stats.tombstoned_pairs,
+            "gate_trips": stats.gate_trips,
             "cache_hit_rates": session.cache_hit_rates(),
         },
         "report": report.summary() if report is not None else None,
     }
+    trips = session.gate_trips
+    if trips:
+        document["gate_trips"] = [str(trip) for trip in trips]
+    if session.manifests:
+        document["manifest"] = session.manifests[-1].fingerprint()
+    return document
 
 
 def stats_document(session) -> dict[str, Any]:
@@ -230,6 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--window", type=int, default=5, help="SNM window size (with --sort)")
         sub.add_argument("--t-mu", type=float, default=0.9, help="match threshold")
         sub.add_argument("--t-lambda", type=float, default=0.78, help="possible-match threshold")
+        sub.add_argument("--calibration", default=None, metavar="FILE", help="labeled calibration-pair file; re-calibrates the match threshold")
+        sub.add_argument("--calibration-method", default="conformal", choices=("conformal", "np"), help="threshold calibration method (with --calibration)")
+        sub.add_argument("--target-fpr", type=float, default=0.05, help="false-positive-rate target for calibration")
+        sub.add_argument("--audit", default=None, metavar="DIR", help="write one audit manifest per refresh into this directory")
         sub.add_argument("--min-similarity", default=None, help="similarity floors: 'auto' or a float")
         sub.add_argument("--kernel-backend", default=None, help="comparison kernel backend")
         sub.add_argument("--n-jobs", type=int, default=1, help="worker processes")

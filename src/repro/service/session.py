@@ -35,6 +35,7 @@ read-only around forks so parallel workers share them copy-on-write).
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -85,10 +86,14 @@ class SessionStats:
     pairs_executed: int = 0
     #: Previously reported pairs retracted by later refreshes.
     tombstoned_pairs: int = 0
+    #: Safety-gate trips observed across refreshes (a calibrated model
+    #: whose gates tripped counts its trips once per refresh — every
+    #: refresh it force-decides UNSURE is one more audit-worthy event).
+    gate_trips: int = 0
 
     def summary(self) -> str:
         """One-line operator summary of the session so far."""
-        return (
+        line = (
             f"ingests={self.ingests} refreshes={self.refreshes} "
             f"partitions {self.partitions_reused} reused / "
             f"{self.partitions_executed} executed of "
@@ -96,6 +101,9 @@ class SessionStats:
             f"pairs {self.pairs_executed}/{self.pairs_planned} decided, "
             f"{self.tombstoned_pairs} tombstoned"
         )
+        if self.gate_trips:
+            line += f"; {self.gate_trips} gate trips (forced UNSURE)"
+        return line
 
 
 class DetectionSession:
@@ -150,6 +158,8 @@ class DetectionSession:
         on_error: str = "raise",
         on_progress: ProgressObserver | None = None,
         on_fault: FaultObserver | None = None,
+        audit: str | os.PathLike | bool | None = None,
+        floors=None,
     ) -> None:
         if scheduling not in SESSION_SCHEDULING:
             raise ValueError(
@@ -177,6 +187,8 @@ class DetectionSession:
         self._on_error = on_error
         self._on_progress = on_progress
         self._on_fault = on_fault
+        self._audit = audit
+        self._floors = floors
 
         #: Memoized per-tuple content fingerprints, invalidated on
         #: upsert/delete of the id.
@@ -194,6 +206,9 @@ class DetectionSession:
         self.last_report: ExecutionReport | None = None
         #: Pairs retracted by the most recent refresh.
         self.tombstones: tuple[tuple[str, str], ...] = ()
+        #: One :class:`~repro.audit.AuditManifest` per refresh, when the
+        #: session was opened with ``audit`` (oldest first).
+        self.manifests: list = []
 
         if isinstance(journal, str):
             journal = SessionJournal(journal)
@@ -305,6 +320,8 @@ class DetectionSession:
         decisions: list[XTupleDecision] = []
         covered: list[tuple[str, str]] = []
         retained: dict[str, tuple[XTupleDecision, ...]] = {}
+        partition_counts: dict[str, list[int]] = {}
+        skipped: list[str] = []
         reused = 0
         for partition, fingerprint in zip(plan.partitions, fingerprints):
             if fingerprint in self._retained:
@@ -313,10 +330,17 @@ class DetectionSession:
             elif fingerprint in executed:
                 slice_decisions = executed[fingerprint]
             else:
+                skipped.append(partition.label)
                 continue  # partition skipped by on_error="skip"
             retained[fingerprint] = slice_decisions
             decisions.extend(slice_decisions)
             covered.extend(partition.pairs)
+            if self._audit:
+                counts = [0, 0, 0]
+                for decided in slice_decisions:
+                    status = decided.decision.status.value
+                    counts["mpu".index(status)] += 1
+                partition_counts[partition.label] = counts
 
         current = set(covered)
         self.tombstones = tuple(
@@ -332,6 +356,10 @@ class DetectionSession:
         self.stats.pairs_planned += plan.total_pairs
         self.stats.pairs_executed += stale.total_pairs
         self.stats.tombstoned_pairs += len(self.tombstones)
+        self.stats.gate_trips += len(self.gate_trips)
+
+        if self._audit:
+            self._record_manifest(fingerprints, partition_counts, skipped)
 
         self._result = DetectionResult(
             decisions=tuple(decisions),
@@ -343,6 +371,60 @@ class DetectionSession:
             relation_size=len(view),
         )
         return self._result
+
+    @property
+    def gate_trips(self) -> tuple:
+        """The decision model's tripped safety gates (empty when sane).
+
+        Non-empty exactly when the session's model is a
+        :class:`~repro.matching.decision.CalibratedModel` whose
+        calibration failed a gate — every refresh then force-decides
+        UNSURE, and :attr:`SessionStats.gate_trips` accumulates one
+        count per trip per refresh.
+        """
+        return tuple(getattr(self._procedure.model, "gate_trips", ()))
+
+    def _record_manifest(
+        self,
+        fingerprints,
+        partition_counts: dict[str, list[int]],
+        skipped: list[str],
+    ) -> None:
+        """Append (and possibly write) this refresh's audit manifest.
+
+        Reuses the plan fingerprints the refresh already computed, so
+        auditing adds no extra content hashing; the manifest is built
+        exactly as ``DuplicateDetector.detect(audit=...)`` builds one,
+        so a session refresh over some view fingerprints identically
+        to a from-scratch audited detection over the same content.
+        """
+        from repro.audit import build_manifest
+
+        manifest = build_manifest(
+            procedure=self._procedure,
+            plan_fingerprints=fingerprints,
+            partition_counts=partition_counts,
+            floors=self._floors,
+            failures=skipped,
+            environment={
+                "n_jobs": self._n_jobs,
+                "scheduling": self._scheduling,
+                "kernel_backend": self._backend,
+                "storage": type(self._store).__name__,
+                "model": type(self._procedure.model).__name__,
+                "refresh": self.stats.refreshes,
+            },
+        )
+        self.manifests.append(manifest)
+        if not isinstance(self._audit, bool):
+            directory = os.fspath(self._audit)
+            os.makedirs(directory, exist_ok=True)
+            manifest.write(
+                os.path.join(
+                    directory,
+                    f"manifest-{self.stats.refreshes:04d}.json",
+                )
+            )
 
     def cache_hit_rates(self) -> dict[str, float]:
         """Per-attribute similarity-cache hit rates (live counters)."""

@@ -274,6 +274,34 @@ def test_pruned_detection_is_bitwise_exact(
             assert decision.similarity == accepted[key]
 
 
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+@pytest.mark.parametrize("reducer_name", sorted(REDUCERS))
+def test_jaro_winkler_floors_bitwise_exact(
+    reducer_name, model_name, flat_relation, x_relation
+):
+    """The experiments' Jaro–Winkler matcher under pushdown, re-pinned.
+
+    ``default_matcher`` (:data:`~repro.similarity.FAST_JARO_WINKLER`
+    with pattern expansion) is the matcher every Tier-B study and the
+    service CLI run with — so its floor path gets the same golden
+    treatment as the Levenshtein one: every reducer, both prunable
+    model families, pruned bitwise equal to exact.
+    """
+    from repro.experiments.quality import default_matcher
+
+    factory, kind = REDUCERS[reducer_name]
+    model_factory = MODELS[model_name]
+    relation = _relation_for(kind, flat_relation, x_relation)
+    exact = DuplicateDetector(
+        default_matcher(), model_factory(), reducer=factory()
+    ).detect(relation)
+    pruned = DuplicateDetector(
+        default_matcher(), model_factory(), reducer=factory()
+    ).detect(relation, min_similarity="auto")
+    assert _triples(pruned) == _triples(exact)
+    assert pruned.compared_pairs == exact.compared_pairs
+
+
 def test_pruned_derivation_inputs_are_bitwise_exact(flat_relation):
     """keep_derivations: the intermediate matrices agree bit for bit."""
     factory = lambda: SortedNeighborhood(SORT_KEY, window=5)  # noqa: E731
