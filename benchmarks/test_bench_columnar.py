@@ -1,0 +1,273 @@
+"""Bench: columnar planning scans and statistics-driven source pruning.
+
+The columnar backend's two plan-time promises, asserted (not just
+timed):
+
+* **projection beats row decode** — a key-extraction pass over a wide
+  spilled relation reads only the key column through
+  :func:`~repro.reduction.plan.planning_view`, so building the same
+  plan must be at least 3× faster than over the row store, which
+  decodes every fat payload column of every tuple just to read a one
+  character block key;
+* **zone maps prune before any fetch** — consolidating sources whose
+  first-key-part ranges are provably disjoint drops those sources from
+  ``detect_between(within_sources=False)`` planning entirely: at least
+  half the partitions disappear, and the pruning decision itself
+  touches statistics only — zero tuple fetches, zero scans.
+
+Both assertions ride the same wall-clock tracking as every other bench
+(pytest-benchmark JSON + ``extra_info``), so regressions show up in
+``compare_bench.py`` trajectories too.
+"""
+
+from __future__ import annotations
+
+import os
+import string
+import time
+
+import pytest
+
+from repro.matching.executor import (
+    plan_sources,
+    prune_disjoint_sources,
+)
+from repro.pdb.relations import XRelation
+from repro.pdb.storage import combine_sources
+from repro.pdb.xtuples import XTuple
+from repro.reduction import CertainKeyBlocking, SubstringKey, plan_candidates
+
+#: compare_bench.py --quick exports BENCH_QUICK=1; the workload shrinks
+#: and the timing loops drop to one round so the CI smoke stays fast.
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+ROUNDS = 1 if QUICK else 3
+WIDE_TUPLES = 240 if QUICK else 600
+
+#: The wide workload: 2 key-ish columns + 12 fat payload columns the
+#: planning pass never needs, 3 alternatives per tuple.  Row planning
+#: decodes all of it; columnar planning reads the name column plus the
+#: thin structure file.
+NOTE_COLUMNS = 12
+ALTERNATIVES = 3
+PAYLOAD = "q" * 160
+
+BLOCK_KEY = SubstringKey([("name", 1)])
+
+#: Floor asserted on the row/columnar planning-time ratio.  Measured
+#: ~3.7× on the reference workload; 3.0 is the acceptance criterion.
+MIN_PLANNING_SPEEDUP = 3.0
+
+STORE_OPTIONS = {"segment_size": 64, "page_size": 32, "max_pages": 2}
+
+
+def _wide_relation() -> XRelation:
+    letters = string.ascii_lowercase
+    rows = []
+    for i in range(WIDE_TUPLES):
+        name = letters[i % 26] + f"name-{i:05d}"
+        alternatives = []
+        for a in range(ALTERNATIVES):
+            values = {"name": name, "job": f"job-{i % 7}-{a}"}
+            for k in range(NOTE_COLUMNS):
+                values[f"note{k}"] = f"payload-{k}-{a}-{PAYLOAD}"
+            alternatives.append((values, round(1.0 / ALTERNATIVES, 6)))
+        rows.append(XTuple.build(f"t{i:05d}", alternatives))
+    schema = ("name", "job") + tuple(
+        f"note{k}" for k in range(NOTE_COLUMNS)
+    )
+    return XRelation("wide", schema, rows)
+
+
+@pytest.fixture(scope="module")
+def wide_stores(tmp_path_factory):
+    """The wide workload spilled in both layouts."""
+    relation = _wide_relation()
+    root = tmp_path_factory.mktemp("bench_columnar")
+    row = relation.spill(str(root / "rows"), **STORE_OPTIONS)
+    columnar = relation.spill(
+        str(root / "columnar"), layout="columnar", **STORE_OPTIONS
+    )
+    return {"row": row, "columnar": columnar}
+
+
+def _best_plan_time(store, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        plan_candidates(CertainKeyBlocking(BLOCK_KEY), store)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_columnar_planning_scan_beats_row_decode(
+    benchmark, wide_stores
+):
+    """Plan construction over the columnar projection is ≥3× faster
+    than over the row store — and builds the identical plan."""
+    row, columnar = wide_stores["row"], wide_stores["columnar"]
+    row_plan = plan_candidates(CertainKeyBlocking(BLOCK_KEY), row)
+    columnar_plan = plan_candidates(
+        CertainKeyBlocking(BLOCK_KEY), columnar
+    )
+    assert [p.label for p in columnar_plan] == [
+        p.label for p in row_plan
+    ]
+    assert [p.pairs for p in columnar_plan] == [
+        p.pairs for p in row_plan
+    ]
+    # Warm-up above also paid the one-time per-file CRC verification;
+    # the timed rounds below measure steady-state planning.
+    row_s = _best_plan_time(row, ROUNDS)
+    columnar_s = _best_plan_time(columnar, ROUNDS)
+    speedup = row_s / columnar_s
+    assert speedup >= MIN_PLANNING_SPEEDUP, (
+        f"columnar planning speedup {speedup:.2f}× over row decode is "
+        f"below the {MIN_PLANNING_SPEEDUP}× floor "
+        f"(row {row_s * 1000:.1f} ms, columnar {columnar_s * 1000:.1f} ms)"
+    )
+    benchmark.extra_info["row_plan_s"] = row_s
+    benchmark.extra_info["columnar_plan_s"] = columnar_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.pedantic(
+        lambda: plan_candidates(CertainKeyBlocking(BLOCK_KEY), columnar),
+        iterations=1,
+        rounds=ROUNDS,
+    )
+
+
+# ----------------------------------------------------------------------
+# Zone-map source pruning
+# ----------------------------------------------------------------------
+
+
+class _FetchSpy:
+    """Counts every tuple-touching call on a wrapped store."""
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self.touches = 0
+
+    def fetch(self, tuple_ids):
+        self.touches += 1
+        return self._store.fetch(tuple_ids)
+
+    def get(self, tuple_id):
+        self.touches += 1
+        return self._store.get(tuple_id)
+
+    def __iter__(self):
+        self.touches += 1
+        return iter(self._store)
+
+    def __len__(self):
+        return len(self._store)
+
+    def __getattr__(self, attribute):
+        return getattr(self._store, attribute)
+
+
+def _source(name: str, letters: str, per_letter: int) -> XRelation:
+    rows = [
+        XTuple.build(
+            f"{name}-{letter}{i}",
+            [({"name": f"{letter}{name}-{i}", "job": "clerk"}, 1.0)],
+        )
+        for letter in letters
+        for i in range(per_letter)
+    ]
+    return XRelation(name, ("name", "job"), rows)
+
+
+@pytest.fixture(scope="module")
+def consolidation_sources(tmp_path_factory):
+    """Four columnar sources: A/B overlap on a–f, C and D are disjoint
+    from everything (n–r and s–w)."""
+    root = tmp_path_factory.mktemp("bench_prune")
+    stores = {}
+    for name, letters in (
+        ("A", "abcdef"),
+        ("B", "abcdef"),
+        ("C", "nopqr"),
+        ("D", "stuvw"),
+    ):
+        relation = _source(name, letters, 4)
+        stores[name] = relation.spill(
+            str(root / name), layout="columnar", segment_size=8
+        )
+    return stores
+
+
+def test_bench_columnar_zone_maps_prune_before_fetch(
+    benchmark, consolidation_sources
+):
+    """Disjoint-key-range sources are dropped before planning: ≥50%
+    of the partitions vanish and the decision reads statistics only."""
+    from repro.experiments.quality import default_matcher, weighted_model
+    from repro.matching import DuplicateDetector
+
+    reducer = CertainKeyBlocking(BLOCK_KEY)
+    spies = {
+        name: _FetchSpy(store)
+        for name, store in consolidation_sources.items()
+    }
+    view = combine_sources(list(spies.values()))
+    full_plan = plan_sources(reducer, view)
+    for spy in spies.values():
+        spy.touches = 0
+    pruned_view, pruned = prune_disjoint_sources(view, reducer)
+    assert pruned == ("C", "D")
+    assert all(spy.touches == 0 for spy in spies.values()), (
+        "pruning must decide from spill-time statistics alone"
+    )
+    pruned_plan = plan_sources(reducer, pruned_view)
+    fraction = 1.0 - len(pruned_plan.partitions) / len(
+        full_plan.partitions
+    )
+    assert fraction >= 0.5, (
+        f"zone-map pruning removed only {fraction:.0%} of the "
+        f"{len(full_plan.partitions)} partitions; the floor is 50%"
+    )
+    # C and D contribute no cross-source pairs, so consolidating all
+    # four sources equals consolidating just A and B — bitwise.
+    def _detector():
+        return DuplicateDetector(
+            default_matcher(),
+            weighted_model(),
+            reducer=CertainKeyBlocking(BLOCK_KEY),
+        )
+
+    def triples(result):
+        return [
+            (d.left_id, d.right_id, d.status, d.similarity)
+            for d in result.decisions
+        ]
+
+    stores = consolidation_sources
+    all_four = _detector().detect_between(
+        stores["A"],
+        stores["B"],
+        stores["C"],
+        stores["D"],
+        within_sources=False,
+    )
+    two = _detector().detect_between(
+        stores["A"], stores["B"], within_sources=False
+    )
+    assert triples(all_four) == triples(two)
+    benchmark.extra_info["partitions_full"] = len(full_plan.partitions)
+    benchmark.extra_info["partitions_pruned"] = len(
+        pruned_plan.partitions
+    )
+    benchmark.extra_info["pruned_fraction"] = fraction
+    detector = _detector()
+    benchmark.pedantic(
+        lambda: detector.detect_between(
+            stores["A"],
+            stores["B"],
+            stores["C"],
+            stores["D"],
+            within_sources=False,
+        ),
+        iterations=1,
+        rounds=ROUNDS,
+    )

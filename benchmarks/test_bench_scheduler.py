@@ -182,7 +182,9 @@ def test_bench_scheduler_serial_section_stealing(
             ExecutionSettings(scheduling="stealing"),
             splitter=reducer,
         )
-        unit_pairs, _, _ = engine._stealing_units(skewed_relation, plan)
+        unit_pairs, _, _, _ = engine._stealing_units(
+            skewed_relation, plan
+        )
         return unit_pairs
 
     unit_pairs = benchmark(run)

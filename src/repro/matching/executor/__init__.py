@@ -31,16 +31,20 @@ in the same order, for every storage backend.
 
 from repro.matching.executor.faults import (
     ON_ERROR_MODES,
+    DeadlineExceeded,
     ExecutionFault,
     PartitionFailure,
     RetryPolicy,
     WorkerCrash,
     WorkerTimeout,
+    check_deadline,
 )
 from repro.matching.executor.multisource import (
     cross_source_plan,
     partition_sources,
     plan_sources,
+    prune_disjoint_sources,
+    source_key_ranges,
     tag_plan_sources,
 )
 from repro.matching.executor.progress import (
@@ -56,8 +60,10 @@ from repro.matching.executor.scheduler import (
     DEFAULT_SPLIT_PAIRS,
     ENGINE_SCHEDULING_MODES,
     PREWARM_PAIR_BUDGET,
+    SPLIT_COST_MODELS,
     ExecutionEngine,
     ExecutionSettings,
+    estimate_partition_weight,
     prewarm_plan,
     subdivide_partition,
 )
@@ -68,6 +74,8 @@ __all__ = [
     "ENGINE_SCHEDULING_MODES",
     "ON_ERROR_MODES",
     "PREWARM_PAIR_BUDGET",
+    "SPLIT_COST_MODELS",
+    "DeadlineExceeded",
     "DetectionResult",
     "ExecutionEngine",
     "ExecutionFault",
@@ -81,11 +89,15 @@ __all__ = [
     "RetryPolicy",
     "WorkerCrash",
     "WorkerTimeout",
+    "check_deadline",
     "cross_source_plan",
+    "estimate_partition_weight",
     "partition_sources",
     "plan_sources",
     "prewarm_plan",
+    "prune_disjoint_sources",
     "slice_result",
+    "source_key_ranges",
     "subdivide_partition",
     "tag_plan_sources",
 ]

@@ -52,6 +52,15 @@ dispatch deadline lapses.  Supervising against crashes therefore needs
 ``RetryPolicy(timeout=...)`` set; exceptions raised *inside* a live
 worker surface immediately as :class:`WorkerCrash` without any
 deadline.
+
+In-process attempts (serial execution, ``n_jobs=1`` stealing) honor
+the same timeout *cooperatively*: the engine's chunk loops call
+:func:`check_deadline` at every chunk boundary, and a lapsed attempt
+raises :class:`DeadlineExceeded` — classified by
+:func:`run_supervised_inline` as a :class:`WorkerTimeout` and resolved
+through exactly the same retry → degrade/skip/raise ladder as a
+dispatched timeout.  Only the degraded re-execution runs
+deadline-free: it is the run's last resort and must complete.
 """
 
 from __future__ import annotations
@@ -81,12 +90,18 @@ class RetryPolicy:
         Total attempts per work unit, the first included (1 = never
         retry).
     timeout:
-        Seconds one dispatched attempt may run before it counts as a
-        :class:`WorkerTimeout` (``None`` = no deadline).  Applies to
-        worker dispatch only — an in-process (serial or degraded)
-        execution cannot be preempted.  With a timeout set, dispatch is
-        throttled to ``n_jobs`` outstanding tasks so time spent queued
-        behind other tasks never counts against a unit's deadline.
+        Seconds one attempt may run before it counts as a
+        :class:`WorkerTimeout` (``None`` = no deadline).  Dispatched
+        attempts are detected the moment the deadline lapses; with a
+        timeout set, dispatch is throttled to ``n_jobs`` outstanding
+        tasks so time spent queued behind other tasks never counts
+        against a unit's deadline.  In-process (serial) attempts
+        enforce the same budget cooperatively — the chunk loops check
+        the attempt deadline at every chunk boundary
+        (:func:`check_deadline`), so a lapsed attempt times out
+        between chunks; a comparison stuck *inside* one chunk still
+        cannot be preempted.  The degraded re-execution runs
+        deadline-free.
     backoff:
         Base delay in seconds before retry ``k`` (waits
         ``backoff * 2**(k-1)``); 0 retries immediately.
@@ -114,6 +129,17 @@ class RetryPolicy:
         if self.backoff <= 0:
             return 0.0
         return self.backoff * (2.0 ** (failed_attempt - 1))
+
+    def deadline(self) -> float | None:
+        """Monotonic deadline for an attempt starting now.
+
+        ``None`` when the policy sets no timeout.  In-process attempt
+        loops capture this once per attempt and hand it to the chunk
+        loops, whose :func:`check_deadline` calls enforce it.
+        """
+        if self.timeout is None:
+            return None
+        return time.monotonic() + self.timeout
 
 
 class ExecutionFault(Exception):
@@ -157,6 +183,30 @@ class WorkerTimeout(ExecutionFault):
     """A dispatched work unit missed its per-attempt deadline."""
 
     kind = "timeout"
+
+
+class DeadlineExceeded(Exception):
+    """An in-process chunk loop observed its attempt deadline lapse.
+
+    Control-flow signal, not part of the public fault taxonomy: raised
+    by the cooperative :func:`check_deadline` checks inside the
+    engine's chunk loops and converted to a :class:`WorkerTimeout` by
+    :func:`run_supervised_inline`.
+    """
+
+
+def check_deadline(deadline: float | None) -> None:
+    """Raise :class:`DeadlineExceeded` when *deadline* has lapsed.
+
+    The in-process enforcement point: chunk loops call this at every
+    chunk boundary with the deadline captured by
+    :meth:`RetryPolicy.deadline` at attempt start (``None`` = no
+    timeout configured, never raises).
+    """
+    if deadline is not None and time.monotonic() > deadline:
+        raise DeadlineExceeded(
+            "attempt deadline lapsed at a chunk boundary"
+        )
 
 
 class PartitionFailure(ExecutionFault):
@@ -301,19 +351,32 @@ def run_supervised_inline(
     """Drive one in-process work unit through the attempt budget.
 
     ``execute(attempt)`` runs the unit (consulting any installed fault
-    hook); ``fallback()`` is the hook-free degraded re-execution.
-    Returns the unit's results, or ``None`` when it was skipped /
-    failed terminally (already recorded; raises under
-    ``on_error="raise"``).  Timeouts are not enforceable in-process —
-    only :class:`WorkerCrash` faults arise here.
+    hook); ``fallback()`` is the hook-free, deadline-free degraded
+    re-execution.  Returns the unit's results, or ``None`` when it was
+    skipped / failed terminally (already recorded; raises under
+    ``on_error="raise"``).  Timeouts are enforced cooperatively:
+    ``execute`` raises :class:`DeadlineExceeded` at a chunk boundary
+    once ``policy.timeout`` lapses, classified here as a
+    :class:`WorkerTimeout`; every other exception is a
+    :class:`WorkerCrash`.
     """
     labels, sources = _partitions_context(partitions)
     attempt = 1
     while True:
+        fault: ExecutionFault
         try:
             return execute(attempt)
         except PartitionFailure:
             raise
+        except DeadlineExceeded as error:
+            fault = WorkerTimeout(
+                f"in-process execution exceeded its {policy.timeout}s "
+                "deadline at a chunk boundary",
+                partitions=labels,
+                sources=sources,
+                attempt=attempt,
+            )
+            fault.__cause__ = error
         except Exception as error:  # noqa: BLE001 — classified below
             fault = WorkerCrash(
                 f"in-process execution raised {type(error).__name__}: "
@@ -323,35 +386,35 @@ def run_supervised_inline(
                 attempt=attempt,
             )
             fault.__cause__ = error
-            _record_attempt(tracker, fault)
-            if attempt < policy.max_attempts:
-                _record_retry(tracker, fault)
-                delay = policy.delay(attempt)
-                if delay > 0:
-                    time.sleep(delay)
-                attempt += 1
-                continue
-            if on_error == "degrade":
-                try:
-                    results = fallback()
-                except Exception as degraded_error:  # noqa: BLE001
-                    fault = WorkerCrash(
-                        "degraded in-process re-execution raised "
-                        f"{type(degraded_error).__name__}: "
-                        f"{degraded_error}",
-                        partitions=labels,
-                        sources=sources,
-                        attempt=attempt,
-                    )
-                    fault.__cause__ = degraded_error
-                    fail_partitions(
-                        tracker, partitions, fault, on_error=on_error
-                    )
-                    return None
-                _record_degraded(tracker, fault)
-                return results
-            fail_partitions(tracker, partitions, fault, on_error=on_error)
-            return None
+        _record_attempt(tracker, fault)
+        if attempt < policy.max_attempts:
+            _record_retry(tracker, fault)
+            delay = policy.delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+            continue
+        if on_error == "degrade":
+            try:
+                results = fallback()
+            except Exception as degraded_error:  # noqa: BLE001
+                fault = WorkerCrash(
+                    "degraded in-process re-execution raised "
+                    f"{type(degraded_error).__name__}: "
+                    f"{degraded_error}",
+                    partitions=labels,
+                    sources=sources,
+                    attempt=attempt,
+                )
+                fault.__cause__ = degraded_error
+                fail_partitions(
+                    tracker, partitions, fault, on_error=on_error
+                )
+                return None
+            _record_degraded(tracker, fault)
+            return results
+        fail_partitions(tracker, partitions, fault, on_error=on_error)
+        return None
 
 
 @dataclass
@@ -584,12 +647,14 @@ class SupervisedDispatcher:
 
 __all__ = [
     "ON_ERROR_MODES",
+    "DeadlineExceeded",
     "ExecutionFault",
     "PartitionFailure",
     "RetryPolicy",
     "SupervisedDispatcher",
     "WorkerCrash",
     "WorkerTimeout",
+    "check_deadline",
     "fail_partitions",
     "run_supervised_inline",
 ]

@@ -46,12 +46,16 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.pdb.relations import XRelation
 from repro.pdb.storage import MultiSourceStore, XTupleStore
+from repro.pdb.storage.stats import relation_statistics
+from repro.reduction.keys import SubstringKey
 from repro.reduction.plan import (
     CandidatePartition,
     CandidatePlan,
     members_of_pairs,
     plan_candidates,
+    store_statistics,
 )
 
 
@@ -110,6 +114,121 @@ def plan_sources(reducer, view: XTupleStore) -> CandidatePlan:
     return plan
 
 
+def _prefix_successor(prefix: str) -> str | None:
+    """Smallest string above every extension of *prefix* (``None`` = ∞)."""
+    for index in range(len(prefix) - 1, -1, -1):
+        code = ord(prefix[index])
+        if code < 0x10FFFF:
+            return prefix[:index] + chr(code + 1)
+    return None
+
+
+def _ranges_may_share_key(
+    first: tuple[str, str] | None,
+    second: tuple[str, str] | None,
+    *,
+    whole_key: bool,
+) -> bool:
+    """Whether two first-part zones can produce one equal block key.
+
+    With *whole_key* (single-part keys) equal keys force equal first
+    parts, so the closed intervals must intersect.  Multi-part keys
+    concatenate pieces: equal keys only force one first part to prefix
+    the other, so each zone is widened to ``[lo, successor(hi))`` — the
+    interval covering every string extending a part in the zone —
+    before intersecting.  ``None`` means unbounded: never prune.
+    """
+    if first is None or second is None:
+        return True
+    if whole_key:
+        return first[0] <= second[1] and second[0] <= first[1]
+    first_end = _prefix_successor(first[1])
+    second_end = _prefix_successor(second[1])
+    return (second_end is None or first[0] < second_end) and (
+        first_end is None or second[0] < first_end
+    )
+
+
+def source_key_ranges(
+    view: MultiSourceStore, key: SubstringKey
+) -> list[tuple[str, str] | None]:
+    """First-key-part zone per source, from statistics alone.
+
+    Columnar sources answer from their spill-time zone maps without
+    touching tuple data; in-memory relations stream their resident
+    values once; row-spilled stores (which would have to decode every
+    segment) report ``None`` — unbounded, never pruned.
+    """
+    attribute, length = key.parts[0]
+    ranges: list[tuple[str, str] | None] = []
+    for store in view.stores:
+        statistics = store_statistics(store)
+        if statistics is None and isinstance(store, XRelation):
+            statistics = relation_statistics(store)
+        if statistics is None:
+            ranges.append(None)
+            continue
+        ranges.append(statistics.key_range(attribute, length))
+    return ranges
+
+
+def prune_disjoint_sources(
+    view, reducer
+) -> tuple[XTupleStore, tuple[str, ...]]:
+    """Drop sources whose key zone overlaps *no* other source's.
+
+    The plan-time embodiment of the paper's search-space reduction
+    (Section V) applied *across sources*: an equality-blocking reducer
+    (one exposing ``prune_key``) can only pair two sources inside a
+    shared block key, so a source whose first-key-part zone — read
+    from store statistics, no tuple fetched — is disjoint from every
+    other source's cannot contribute a cross-source pair.  Its blocks
+    are all single-source, which :func:`cross_source_plan` would drop
+    *after* planning; dropping the source first means its tuples are
+    never scanned at all.
+
+    Returns ``(view, pruned source names)``.  The view is returned
+    unchanged — no names pruned — when it is not a multi-source view,
+    the reducer exposes no ``prune_key``, the key is not a substring
+    key (derived transforms break prefix monotonicity), or statistics
+    cannot prove any source disjoint.  When every source is pairwise
+    disjoint one source is kept so downstream planning still has a
+    view; its plan's partitions are all single-source and the cross
+    filter empties them.
+    """
+    if not isinstance(view, MultiSourceStore) or len(view.stores) < 2:
+        return view, ()
+    key = getattr(reducer, "prune_key", None)
+    if not isinstance(key, SubstringKey):
+        return view, ()
+    whole_key = len(key.parts) == 1
+    ranges = source_key_ranges(view, key)
+    kept = [
+        index
+        for index in range(len(ranges))
+        if any(
+            other != index
+            and _ranges_may_share_key(
+                ranges[index], ranges[other], whole_key=whole_key
+            )
+            for other in range(len(ranges))
+        )
+    ]
+    if len(kept) == len(ranges):
+        return view, ()
+    if not kept:
+        kept = [0]
+    pruned = tuple(
+        view.source_names[index]
+        for index in range(len(ranges))
+        if index not in set(kept)
+    )
+    survivor = MultiSourceStore(
+        [view.stores[index] for index in kept], name=view.name
+    )
+    return survivor, pruned
+
+
 def cross_source_plan(
     plan: CandidatePlan, view: MultiSourceStore
 ) -> CandidatePlan:
@@ -164,6 +283,8 @@ __all__ = [
     "cross_source_plan",
     "partition_sources",
     "plan_sources",
+    "prune_disjoint_sources",
+    "source_key_ranges",
     "source_tagged",
     "tag_plan_sources",
 ]

@@ -44,10 +44,13 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.matching.engine import XTupleDecision, XTupleDecisionProcedure
+from repro.pdb.storage.base import fetch_tuples
+from repro.pdb.values import NULL, PatternValue
 from repro.matching.executor.faults import (
     ON_ERROR_MODES,
     RetryPolicy,
     SupervisedDispatcher,
+    check_deadline,
     run_supervised_inline,
 )
 from repro.matching.executor.progress import (
@@ -103,6 +106,56 @@ PAIR_AWARE_ADVANTAGE = 2
 #: "striped" fan-out lives in the detector facade.
 ENGINE_SCHEDULING_MODES = ("partitioned", "stealing")
 
+#: Cost models for the stealing scheduler's split/dispatch decisions.
+#: ``"pairs"`` (default) costs a unit by its candidate-pair count;
+#: ``"weighted"`` additionally weighs each partition by its members'
+#: alternative counts and string lengths, so fat-tuple partitions split
+#: earlier and dispatch first even when their pair counts are modest.
+SPLIT_COST_MODELS = ("pairs", "weighted")
+
+#: Members sampled per partition when estimating a weighted cost —
+#: bounds the scheduling-time fetch work regardless of partition size.
+COST_SAMPLE_MEMBERS = 64
+
+
+def estimate_partition_weight(
+    relation,
+    partition: CandidatePartition,
+    *,
+    sample: int = COST_SAMPLE_MEMBERS,
+) -> float:
+    """Relative per-pair decision cost of one partition's tuples.
+
+    A pair's decision work scales with the alternative combinations it
+    compares (``alternatives²``) times the length of the strings each
+    comparison edits — pair counts alone treat a partition of 1-line
+    certain tuples and one of 8-alternative long-string tuples as equal
+    work.  The estimate samples up to *sample* members (one bounded
+    ``fetch``, served from resident objects or the store's page cache)
+    and returns ``mean_alternatives² × mean plain-outcome length``; the
+    caller normalizes across the plan, so only *relative* magnitudes
+    matter.
+    """
+    members = partition.members[:sample]
+    if not members:
+        return 1.0
+    working_set = fetch_tuples(relation, members)
+    alternatives = 0
+    plain_bytes = 0
+    for xtuple in working_set.values():
+        alternatives += len(xtuple.alternatives)
+        for alternative in xtuple.alternatives:
+            for attribute in alternative.attributes:
+                for outcome, _probability in alternative.value(
+                    attribute
+                ).items():
+                    if outcome is NULL or isinstance(outcome, PatternValue):
+                        continue
+                    plain_bytes += len(str(outcome))
+    mean_alternatives = alternatives / len(members)
+    mean_bytes = plain_bytes / max(1, alternatives)
+    return (mean_alternatives**2) * max(1.0, mean_bytes)
+
 
 @dataclass(frozen=True)
 class ExecutionSettings:
@@ -144,6 +197,14 @@ class ExecutionSettings:
     #: ``"skip"`` drops the unit's partitions and records the failures
     #: in ``ExecutionReport.failures``.
     on_error: str = "raise"
+    #: Stealing-mode cost model: ``"pairs"`` costs work units by pair
+    #: count alone; ``"weighted"`` weighs each partition by sampled
+    #: alternative counts and string lengths
+    #: (:func:`estimate_partition_weight`), so a partition of fat
+    #: tuples splits at a lower pair count and its units dispatch
+    #: earlier.  Scheduling-only: reassembly pins results to plan
+    #: order, so decisions are bitwise identical under either model.
+    split_cost_model: str = "pairs"
     #: Retained-cache mode (incremental sessions): the caller keeps the
     #: matcher's similarity caches warm *across* runs, so the engine
     #: must not spend the run re-prewarming them — ``should_prewarm``
@@ -172,6 +233,11 @@ class ExecutionSettings:
             from repro.similarity.backends.base import get_backend
 
             get_backend(self.kernel_backend)
+        if self.split_cost_model not in SPLIT_COST_MODELS:
+            raise ValueError(
+                f"unknown split_cost_model {self.split_cost_model!r}; "
+                f"expected one of {SPLIT_COST_MODELS}"
+            )
         if self.on_error not in ON_ERROR_MODES:
             raise ValueError(
                 f"unknown on_error {self.on_error!r}; "
@@ -447,20 +513,28 @@ class ExecutionEngine:
             self._tracker.slice_done(partition, decisions)
 
     def _decide_partition(
-        self, relation, partition: CandidatePartition
+        self,
+        relation,
+        partition: CandidatePartition,
+        deadline: float | None = None,
     ) -> list[XTupleDecision]:
         """Decide one whole partition in-process, chunk by chunk.
 
         Loads the working set chunk by chunk, exactly like the parallel
         dispatch path: residency stays bounded by chunk_size even when
         a plan degenerates to one partition spanning the whole relation
-        (full comparison, legacy pairs()-only reducers).  Also the
-        hook-free degraded re-execution of a supervised run.
+        (full comparison, legacy pairs()-only reducers).  With a
+        *deadline* (supervised serial attempts), every chunk boundary
+        checks it — a lapsed attempt raises
+        :class:`~repro.matching.executor.faults.DeadlineExceeded` for
+        the supervisor to classify as a timeout.  Also the hook-free,
+        deadline-free degraded re-execution of a supervised run.
         """
         settings = self._settings
         decisions: list[XTupleDecision] = []
         pairs = partition.pairs
         for start in range(0, len(pairs), settings.chunk_size):
+            check_deadline(deadline)
             chunk = pairs[start : start + settings.chunk_size]
             decisions.extend(
                 decide_pairs(
@@ -478,20 +552,28 @@ class ExecutionEngine:
         """Serial execution under the attempt budget, one unit per
         partition.
 
-        Timeouts are dispatch deadlines and cannot preempt in-process
-        work, so only crash faults arise here; the fault-injection hook
-        is consulted once per attempt with the partition's pairs, and
-        the degraded fallback is hook-free.
+        Each attempt captures its deadline from the retry policy before
+        running, and the partition's chunk loop checks it at every
+        chunk boundary — a lapsed attempt surfaces as a
+        :class:`~repro.matching.executor.faults.WorkerTimeout` and
+        consumes retry budget like any dispatched timeout.  The
+        fault-injection hook is consulted once per attempt with the
+        partition's pairs (inside the deadline, so a hook that stalls
+        trips the timeout), and the degraded fallback is hook- and
+        deadline-free.
         """
         settings = self._settings
         size = plan.relation_size
         for partition in plan:
 
             def attempt_partition(attempt, partition=partition):
+                deadline = settings.retry.deadline()
                 hook = fault_hook()
                 if hook is not None:
                     hook(attempt, list(partition.pairs))
-                return self._decide_partition(relation, partition)
+                return self._decide_partition(
+                    relation, partition, deadline=deadline
+                )
 
             decisions = run_supervised_inline(
                 attempt_partition,
@@ -693,54 +775,109 @@ class ExecutionEngine:
     # Skew-aware work stealing
     # ------------------------------------------------------------------
 
+    def _partition_weights(
+        self, relation, plan: CandidatePlan
+    ) -> list[float] | None:
+        """Per-partition cost weights under the configured model.
+
+        ``None`` for the pair-count model.  Under ``"weighted"`` each
+        partition's sampled weight (alternative counts × string
+        lengths) is normalized by the plan's pair-weighted mean, so the
+        plan's *total* weighted cost equals its total pair count and
+        ``split_pairs`` keeps its meaning of "average-tuple pairs".
+        """
+        if self._settings.split_cost_model != "weighted":
+            return None
+        if not plan.partitions:
+            return []
+        raw = [
+            estimate_partition_weight(relation, partition)
+            for partition in plan.partitions
+        ]
+        total_pairs = sum(len(p.pairs) for p in plan.partitions)
+        if total_pairs <= 0:
+            return [1.0] * len(raw)
+        baseline = (
+            sum(
+                weight * len(partition.pairs)
+                for weight, partition in zip(raw, plan.partitions)
+            )
+            / total_pairs
+        )
+        if baseline <= 0.0:
+            return [1.0] * len(raw)
+        return [weight / baseline for weight in raw]
+
     def _stealing_units(
         self, relation, plan: CandidatePlan
-    ) -> tuple[list[tuple[tuple[str, str], ...]], list[int], list[int]]:
+    ) -> tuple[
+        list[tuple[tuple[str, str], ...]],
+        list[int],
+        list[int],
+        list[float],
+    ]:
         """Subdivide the plan into schedulable work units.
 
         Returns ``(unit pair tuples, unit → partition index, units per
-        partition)``; unit ids are list positions.
+        partition, unit costs)``; unit ids are list positions.  Under
+        the weighted cost model a partition's effective split budget is
+        ``split_pairs / weight`` — fat-tuple partitions subdivide at
+        lower pair counts — and unit costs carry the weight into
+        dispatch ordering.
         """
         settings = self._settings
+        weights = self._partition_weights(relation, plan)
         unit_pairs: list[tuple[tuple[str, str], ...]] = []
         unit_partition: list[int] = []
+        unit_costs: list[float] = []
         units_per_partition = [0] * len(plan.partitions)
         for index, partition in enumerate(plan.partitions):
-            if len(partition) <= settings.split_pairs:
+            weight = weights[index] if weights else 1.0
+            budget = settings.split_pairs
+            if weight > 0.0:
+                budget = max(1, int(settings.split_pairs / weight))
+            if len(partition) <= budget:
                 units = [partition]
             else:
                 units = subdivide_partition(
                     self._splitter,
                     relation,
                     partition,
-                    max_pairs=settings.split_pairs,
+                    max_pairs=budget,
                     report=self.report,
                 )
             units_per_partition[index] = len(units)
             for unit in units:
                 unit_partition.append(index)
                 unit_pairs.append(unit.pairs)
+                unit_costs.append(len(unit.pairs) * weight)
         self.report.work_units = len(unit_pairs)
-        return unit_pairs, unit_partition, units_per_partition
+        return unit_pairs, unit_partition, units_per_partition, unit_costs
 
     def _stealing_tasks(
-        self, unit_pairs: list[tuple[tuple[str, str], ...]]
+        self,
+        unit_pairs: list[tuple[tuple[str, str], ...]],
+        unit_costs: list[float] | None = None,
     ) -> list[list[tuple[int, tuple[tuple[str, str], ...]]]]:
-        """Pack units into dispatch tasks, largest units first.
+        """Pack units into dispatch tasks, costliest units first.
 
         Largest-first (LPT) dispatch through the pool's shared queue is
         what makes the stealing: whichever worker goes idle takes the
         biggest remaining unit, so the skewed block's sub-units spread
-        across workers instead of queueing behind each other.  Units of
-        a chunk's worth of pairs or more always ship alone — coalescing
-        them would glue a skewed block's sub-units back together — and
-        only smaller units are packed into ~chunk-sized tasks so tiny
-        blocks don't pay one IPC round trip each.
+        across workers instead of queueing behind each other.  "Biggest"
+        is the unit's cost — pair count under the default model, weight-
+        scaled pairs under ``"weighted"``.  Units of a chunk's worth of
+        pairs or more always ship alone — coalescing them would glue a
+        skewed block's sub-units back together — and only smaller units
+        are packed into ~chunk-sized tasks so tiny blocks don't pay one
+        IPC round trip each.
         """
         chunk_size = self._settings.chunk_size
+        if unit_costs is None:
+            unit_costs = [float(len(pairs)) for pairs in unit_pairs]
         order = sorted(
             range(len(unit_pairs)),
-            key=lambda unit: (-len(unit_pairs[unit]), unit),
+            key=lambda unit: (-unit_costs[unit], unit),
         )
         tasks: list[list[tuple[int, tuple[tuple[str, str], ...]]]] = []
         task: list[tuple[int, tuple[tuple[str, str], ...]]] = []
@@ -760,21 +897,32 @@ class ExecutionEngine:
             tasks.append(task)
         return tasks
 
-    def _decide_task(self, relation, task) -> list:
-        """Decide one stealing task of ``(unit, pairs)`` in-process."""
+    def _decide_task(
+        self, relation, task, deadline: float | None = None
+    ) -> list:
+        """Decide one stealing task of ``(unit, pairs)`` in-process.
+
+        With a *deadline* (supervised serial stealing), each unit is
+        decided in chunk-sized slices with a deadline check at every
+        chunk boundary; without one (the default, and the degraded
+        fallback) the loop is equivalent to deciding each unit whole.
+        """
         settings = self._settings
-        return [
-            (
-                unit,
-                decide_pairs(
-                    self._procedure,
-                    relation,
-                    pairs,
-                    settings.keep_derivations,
-                ),
-            )
-            for unit, pairs in task
-        ]
+        results: list = []
+        for unit, pairs in task:
+            decisions: list[XTupleDecision] = []
+            for start in range(0, len(pairs), settings.chunk_size):
+                check_deadline(deadline)
+                decisions.extend(
+                    decide_pairs(
+                        self._procedure,
+                        relation,
+                        pairs[start : start + settings.chunk_size],
+                        settings.keep_derivations,
+                    )
+                )
+            results.append((unit, decisions))
+        return results
 
     def _execute_stealing(
         self, relation, plan: CandidatePlan
@@ -782,10 +930,10 @@ class ExecutionEngine:
         settings = self._settings
         if not plan.partitions:
             return
-        unit_pairs, unit_partition, remaining = self._stealing_units(
-            relation, plan
+        unit_pairs, unit_partition, remaining, unit_costs = (
+            self._stealing_units(relation, plan)
         )
-        tasks = self._stealing_tasks(unit_pairs)
+        tasks = self._stealing_tasks(unit_pairs, unit_costs)
         self.report.dispatch_tasks = len(tasks)
         supervised = settings.supervised
 
@@ -853,21 +1001,25 @@ class ExecutionEngine:
         """Serial stealing under the attempt budget.
 
         Yields ``(task index, results | None)`` exactly like the
-        parallel dispatcher; the fault hook is consulted once per
-        attempt with the task's flattened pairs, the degraded fallback
-        is hook-free.
+        parallel dispatcher.  Each attempt captures its deadline before
+        running and the task's chunk loop checks it at every chunk
+        boundary, so ``RetryPolicy.timeout`` is honored without a pool;
+        the fault hook is consulted once per attempt with the task's
+        flattened pairs (inside the deadline), the degraded fallback is
+        hook- and deadline-free.
         """
         settings = self._settings
         for task_index, task in enumerate(tasks):
 
             def attempt_task(attempt, task=task):
+                deadline = settings.retry.deadline()
                 hook = fault_hook()
                 if hook is not None:
                     hook(
                         attempt,
                         [pair for _unit, pairs in task for pair in pairs],
                     )
-                return self._decide_task(relation, task)
+                return self._decide_task(relation, task, deadline=deadline)
 
             yield task_index, run_supervised_inline(
                 attempt_task,
@@ -1005,11 +1157,14 @@ def _reassemble(
 
 
 __all__ = [
+    "COST_SAMPLE_MEMBERS",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_SPLIT_PAIRS",
     "ENGINE_SCHEDULING_MODES",
     "ExecutionEngine",
     "ExecutionSettings",
+    "SPLIT_COST_MODELS",
+    "estimate_partition_weight",
     "prewarm_plan",
     "subdivide_partition",
 ]

@@ -47,6 +47,7 @@ from repro.matching.executor import (
     RetryPolicy,
     cross_source_plan,
     plan_sources,
+    prune_disjoint_sources,
 )
 from repro.matching.executor.progress import FaultObserver, ProgressObserver
 from repro.matching.executor.results import DetectionResult
@@ -358,6 +359,7 @@ class DuplicateDetector:
         min_similarity: float | Mapping[str, float] | str | None = None,
         kernel_backend: str | None = None,
         split_pairs: int | None = None,
+        split_cost_model: str | None = None,
         prewarm_budget: int | None = None,
         on_progress: ProgressObserver | None = None,
         retry: RetryPolicy | None = None,
@@ -495,6 +497,13 @@ class DuplicateDetector:
             Stealing-mode cost budget: partitions above this many pairs
             are subdivided (default
             :data:`~repro.matching.executor.DEFAULT_SPLIT_PAIRS`).
+        split_cost_model:
+            How the stealing scheduler costs work units: ``"pairs"``
+            (default) by candidate-pair count alone, ``"weighted"`` by
+            pairs scaled with sampled alternative counts and string
+            lengths, so fat-tuple partitions split earlier and dispatch
+            first.  Scheduling-only — decisions are bitwise identical
+            under either model.
         prewarm_budget:
             Parent-side warm budget in pairwise similarity evaluations
             (default
@@ -561,6 +570,7 @@ class DuplicateDetector:
             min_similarity=min_similarity,
             kernel_backend=kernel_backend,
             split_pairs=split_pairs,
+            split_cost_model=split_cost_model,
             prewarm_budget=prewarm_budget,
             on_progress=on_progress,
             retry=retry,
@@ -657,6 +667,15 @@ class DuplicateDetector:
             # building (and discarding) the partitioned plan here would
             # double the planning cost for nothing.
             return self._detect_prepared(view, plan=None, **detect_options)
+        if not within_sources:
+            # Zone-map pruning (Section V's search-space reduction across
+            # sources): statistics prove some sources share no block key
+            # with any other, so those sources are dropped *before*
+            # planning — their tuples are never scanned or fetched.  The
+            # surviving cross plan is identical: pruned sources could
+            # only have formed single-source partitions, which the cross
+            # filter removes anyway.
+            view, _pruned = prune_disjoint_sources(view, self._reducer)
         plan = plan_sources(self._reducer, view)
         if not within_sources:
             plan = cross_source_plan(plan, view)
@@ -698,6 +717,7 @@ class DuplicateDetector:
         min_similarity: float | Mapping[str, float] | str | None = None,
         kernel_backend: str | None = None,
         split_pairs: int | None = None,
+        split_cost_model: str | None = None,
         prewarm_budget: int | None = None,
         on_progress: ProgressObserver | None = None,
         retry: RetryPolicy | None = None,
@@ -765,6 +785,8 @@ class DuplicateDetector:
             settings_options["retry"] = retry
         if split_pairs is not None:
             settings_options["split_pairs"] = split_pairs
+        if split_cost_model is not None:
+            settings_options["split_cost_model"] = split_cost_model
         if prewarm_budget is not None:
             settings_options["prewarm_budget"] = prewarm_budget
         engine = ExecutionEngine(

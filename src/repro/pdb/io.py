@@ -359,8 +359,11 @@ def load(path: str) -> XRelation:
 def open_store(path: str, **store_options):
     """Open an on-disk relation as the matching storage backend.
 
-    A directory is opened as an out-of-core
-    :class:`~repro.pdb.storage.SpillingXTupleStore` (``store_options``
+    A directory is opened as the out-of-core store class its manifest
+    declares — row-JSONL directories as a
+    :class:`~repro.pdb.storage.SpillingXTupleStore`, columnar ones
+    (``spill_relation(layout="columnar")``) as a
+    :class:`~repro.pdb.storage.ColumnarXTupleStore` (``store_options``
     — e.g. ``page_size`` / ``max_pages`` — are forwarded); a file is
     read fully via :func:`load` into an in-memory
     :class:`~repro.pdb.relations.XRelation`.  Both returns satisfy the
@@ -387,9 +390,26 @@ def open_store(path: str, **store_options):
     >>> reopened.materialize().tuple_ids
     ('t0', 't1', 't2')
     """
-    from repro.pdb.storage.spill import SpillingXTupleStore
+    from repro.pdb.storage.columnar import (
+        COLUMNAR_LAYOUT,
+        ColumnarXTupleStore,
+    )
+    from repro.pdb.storage.spill import MANIFEST_NAME, SpillingXTupleStore
 
     if os.path.isdir(path):
+        # The manifest's layout marker picks the store class; malformed
+        # or missing manifests fall through to the row loader, whose
+        # errors name the real problem.
+        layout = "rows"
+        try:
+            with open(
+                os.path.join(path, MANIFEST_NAME), encoding="utf-8"
+            ) as handle:
+                layout = json.load(handle).get("layout", "rows")
+        except (OSError, json.JSONDecodeError):
+            pass
+        if layout == COLUMNAR_LAYOUT:
+            return ColumnarXTupleStore(path, **store_options)
         return SpillingXTupleStore(path, **store_options)
     if not os.path.exists(path):
         raise StorageError(

@@ -1,25 +1,45 @@
 """Storage backends for x-relations.
 
-Two interchangeable implementations of the :class:`XTupleStore`
+Three interchangeable implementations of the :class:`XTupleStore`
 protocol feed the detection pipeline:
 
 * :class:`~repro.pdb.relations.XRelation` — the in-memory backend
   (every tuple resident, ``fetch`` hands out the existing objects);
-* :class:`SpillingXTupleStore` — the out-of-core backend over a
+* :class:`SpillingXTupleStore` — the out-of-core row backend over a
   directory of append-only JSONL segments with an LRU page cache
-  (only ids and segment offsets resident).
+  (only ids and segment offsets resident);
+* :class:`ColumnarXTupleStore` — the out-of-core columnar backend
+  (per-attribute column files, mmap-backed reads, spill-time zone maps
+  and key histograms) whose :meth:`~ColumnarXTupleStore.project` scans
+  a subset of attributes without decoding the rest and whose
+  :meth:`~ColumnarXTupleStore.statistics` feeds plan-time pruning.
 
-Conversions: :func:`spill_relation` /
+Conversions: :func:`spill_relation` (``layout="rows"|"columnar"``) /
 :meth:`XRelation.spill <repro.pdb.relations.XRelation.spill>` write a
 store directory; :func:`repro.pdb.io.open_store` opens either form;
-:meth:`SpillingXTupleStore.materialize` loads a store back into memory.
+``materialize()`` loads a store back into memory.
 """
 
-from repro.pdb.storage.base import XTupleStore, fetch_tuples
-from repro.pdb.storage.multi import MultiSourceStore, combine_sources
+from repro.pdb.storage.base import (
+    XTupleStore,
+    fetch_tuples,
+    project_xtuple,
+)
+from repro.pdb.storage.columnar import (
+    COLUMNAR_LAYOUT,
+    ColumnarProjection,
+    ColumnarXTupleStore,
+    spill_columnar,
+)
+from repro.pdb.storage.multi import (
+    MultiSourceProjection,
+    MultiSourceStore,
+    combine_sources,
+)
 from repro.pdb.storage.session import (
     DELTA_SOURCE,
     SessionJournal,
+    SessionProjection,
     SessionStore,
 )
 from repro.pdb.storage.spill import (
@@ -38,14 +58,27 @@ from repro.pdb.storage.spill import (
     StoreVerification,
     spill_relation,
 )
+from repro.pdb.storage.stats import (
+    AttributeStatistics,
+    StatisticsBuilder,
+    StoreStatistics,
+    merge_statistics,
+    ranges_overlap,
+    relation_statistics,
+)
 
 __all__ = [
+    "AttributeStatistics",
+    "COLUMNAR_LAYOUT",
+    "ColumnarProjection",
+    "ColumnarXTupleStore",
     "DEFAULT_MAX_OPEN_SEGMENTS",
     "DEFAULT_MAX_PAGES",
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_SEGMENT_SIZE",
     "DELTA_SOURCE",
     "MANIFEST_NAME",
+    "MultiSourceProjection",
     "MultiSourceStore",
     "PageCacheInfo",
     "QUARANTINE_DIR",
@@ -53,12 +86,20 @@ __all__ = [
     "SegmentCorruptionError",
     "SegmentIntegrity",
     "SessionJournal",
+    "SessionProjection",
     "SessionStore",
     "SpillingXTupleStore",
+    "StatisticsBuilder",
     "StorageError",
+    "StoreStatistics",
     "StoreVerification",
     "XTupleStore",
     "combine_sources",
     "fetch_tuples",
+    "merge_statistics",
+    "project_xtuple",
+    "ranges_overlap",
+    "relation_statistics",
+    "spill_columnar",
     "spill_relation",
 ]

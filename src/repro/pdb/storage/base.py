@@ -64,6 +64,33 @@ class XTupleStore(Protocol):
         ...
 
 
+def project_xtuple(xtuple: "XTuple", attributes: Iterable[str]) -> "XTuple":
+    """One x-tuple restricted to *attributes* (order-preserving).
+
+    Each alternative keeps its probability and its own attribute order,
+    filtered to the selection — the in-memory counterpart of a columnar
+    projection scan, used by overlay/union views to project tuples the
+    backing store cannot serve column-wise.
+    """
+    from repro.pdb.xtuples import TupleAlternative, XTuple
+
+    selected = set(attributes)
+    return XTuple(
+        xtuple.tuple_id,
+        tuple(
+            TupleAlternative(
+                {
+                    attribute: alternative.value(attribute)
+                    for attribute in alternative.attributes
+                    if attribute in selected
+                },
+                alternative.probability,
+            )
+            for alternative in xtuple.alternatives
+        ),
+    )
+
+
 def fetch_tuples(
     relation, tuple_ids: Iterable[str]
 ) -> Mapping[str, "XTuple"]:

@@ -1,0 +1,914 @@
+"""Columnar, mmap-backed x-relation storage with spill-time statistics.
+
+A *columnar* store decomposes each segment of tuples into one
+*structure* file plus one file per schema attribute:
+
+.. code-block:: text
+
+    store/
+      manifest.json            # layout marker, offsets, zone maps,
+                               # per-source key histograms, CRCs
+      seg-00000.tuples.jsonl   # per tuple: id, alternative
+                               # probabilities + attribute order
+      seg-00000.col00.jsonl    # per tuple: exact-encoded values of
+                               # schema attribute 0, one list per line
+      seg-00000.col01.jsonl
+      ...
+
+The structure line records, per alternative, its probability and its
+attribute *order* (``0`` when it equals the schema order) — the detail
+that makes reassembled tuples bitwise-identical to the row backend:
+per-alternative attribute iteration order survives the round trip just
+like outcome order does (the exact value codec of
+:func:`repro.pdb.io.encode_value_exact` is shared with the row layout).
+A column line holds the values of the alternatives that carry the
+attribute, in alternative order, so any subset of columns can be
+reassembled without consulting the others.
+
+Reads are **mmap-backed**: every file is mapped once per process and
+lines are sliced straight out of the mapping, so OS-cached pages are
+served without a read syscall or userspace buffering, and forked
+workers share the page cache with their parent for free (a mapping has
+no seek position, unlike the row backend's file handles).  Mappings
+are pickled away (`__getstate__`), so shipping a store to a spawn-based
+worker costs only metadata.
+
+The payoff is **projection**: :meth:`ColumnarXTupleStore.project`
+scans the structure file plus only the named attributes' columns —
+key-extraction and planning passes over a wide relation decode a small
+fraction of the stored bytes.  At spill time the writer also folds
+per-segment **zone maps** (min/max value bytes, null / uncertain /
+pattern counts) and per-source **key histograms**
+(:mod:`repro.pdb.storage.stats`) into the manifest, so planners can
+prune work whose key ranges cannot overlap before touching any tuple
+data.
+
+Integrity mirrors the row backend: a CRC32 per file, verified lazily
+the first time a mapping is sliced (a projection pass therefore only
+pays for the files it actually reads), :meth:`verify` for a whole-store
+audit and :meth:`quarantine` to isolate a segment *family* — structure
+file and all its columns move together, the manifest is rewritten
+atomically first.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import zlib
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.pdb.errors import SegmentCorruptionError, StorageError
+from repro.pdb.io import (
+    decode_value,
+    encode_value_exact,
+    write_text_atomic,
+)
+from repro.pdb.relations import Schema, XRelation
+from repro.pdb.storage.spill import (
+    DEFAULT_MAX_OPEN_SEGMENTS,
+    DEFAULT_MAX_PAGES,
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_SEGMENT_SIZE,
+    MANIFEST_NAME,
+    QUARANTINE_DIR,
+    STORE_FORMAT,
+    PageCacheInfo,
+    QuarantinedSegment,
+    SegmentIntegrity,
+    StoreVerification,
+)
+from repro.pdb.storage.stats import StatisticsBuilder, StoreStatistics
+from repro.pdb.xtuples import TupleAlternative, XTuple
+
+#: Manifest value of the ``layout`` key identifying this format.
+COLUMNAR_LAYOUT = "columnar"
+
+#: Pseudo column index of a segment's structure (tuples) file.
+_STRUCTURE = -1
+
+
+def _tuples_name(index: int) -> str:
+    return f"seg-{index:05d}.tuples.jsonl"
+
+
+def _column_name(index: int, column: int) -> str:
+    return f"seg-{index:05d}.col{column:02d}.jsonl"
+
+
+def _write_lines(file_path: str, lines: Sequence[str]) -> tuple[list[int], int]:
+    """Write JSONL lines; return their byte offsets and the file CRC32."""
+    offsets: list[int] = []
+    crc = 0
+    position = 0
+    # newline="" disables newline translation: recorded offsets must
+    # match the bytes on disk exactly (same contract as the row spill).
+    with open(file_path, "w", encoding="utf-8", newline="") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+            encoded = line.encode("utf-8") + b"\n"
+            crc = zlib.crc32(encoded, crc)
+            offsets.append(position)
+            position += len(encoded)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return offsets, crc
+
+
+def _dump(document) -> str:
+    return json.dumps(document, separators=(",", ":"), ensure_ascii=False)
+
+
+def spill_columnar(
+    relation,
+    path: str,
+    *,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    max_pages: int = DEFAULT_MAX_PAGES,
+    max_open_segments: int = DEFAULT_MAX_OPEN_SEGMENTS,
+) -> "ColumnarXTupleStore":
+    """Write *relation* to *path* in the columnar layout.
+
+    Streams tuples in insertion order into ``segment_size``-tuple
+    segment families (structure file + one file per schema attribute),
+    folding zone maps and key histograms as it goes; the manifest —
+    offsets, CRCs, statistics — is written last and atomically, so an
+    interrupted spill never produces a directory that opens as a store.
+    Returns the directory opened as a :class:`ColumnarXTupleStore`.
+    """
+    if segment_size < 1:
+        raise ValueError("segment_size must be >= 1")
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as error:
+        raise StorageError(
+            f"cannot create store directory {path!r}: {error}"
+        ) from error
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        raise StorageError(
+            f"{path!r} already contains a spilled store; refusing to "
+            "overwrite it"
+        )
+    schema_attributes = tuple(relation.schema.attributes)
+    schema_set = set(schema_attributes)
+    column_of = {
+        attribute: column
+        for column, attribute in enumerate(schema_attributes)
+    }
+    overall = StatisticsBuilder(schema_attributes)
+    segments: list[dict] = []
+    seen: set[str] = set()
+    iterator = iter(relation)
+    exhausted = False
+    index = 0
+    written_files: list[str] = []
+    try:
+        while not exhausted:
+            batch: list[XTuple] = []
+            for _ in range(segment_size):
+                try:
+                    xtuple = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                if xtuple.tuple_id in seen:
+                    raise StorageError(
+                        f"duplicate tuple id {xtuple.tuple_id!r} "
+                        f"while spilling to {path!r}"
+                    )
+                seen.add(xtuple.tuple_id)
+                batch.append(xtuple)
+            if not batch:
+                continue
+            zone = StatisticsBuilder(schema_attributes)
+            structure_lines: list[str] = []
+            column_lines: list[list[str]] = [
+                [] for _ in schema_attributes
+            ]
+            for xtuple in batch:
+                zone.observe(xtuple)
+                overall.observe(xtuple)
+                alternatives_doc = []
+                per_column: list[list] = [[] for _ in schema_attributes]
+                for alternative in xtuple.alternatives:
+                    names = alternative.attributes
+                    for attribute in names:
+                        if attribute not in schema_set:
+                            raise StorageError(
+                                f"tuple {xtuple.tuple_id!r} carries "
+                                f"attribute {attribute!r} outside the "
+                                f"schema {schema_attributes!r}; the "
+                                "columnar layout stores schema "
+                                "attributes only"
+                            )
+                        per_column[column_of[attribute]].append(
+                            encode_value_exact(
+                                alternative.value(attribute)
+                            )
+                        )
+                    alternatives_doc.append(
+                        [
+                            alternative.probability,
+                            0 if names == schema_attributes else list(names),
+                        ]
+                    )
+                structure_lines.append(
+                    _dump(
+                        {"id": xtuple.tuple_id, "alts": alternatives_doc}
+                    )
+                )
+                for column, values in enumerate(per_column):
+                    column_lines[column].append(_dump(values))
+            tuples_file = _tuples_name(index)
+            tuples_path = os.path.join(path, tuples_file)
+            written_files.append(tuples_path)
+            offsets, crc = _write_lines(tuples_path, structure_lines)
+            columns_doc = []
+            for column, lines in enumerate(column_lines):
+                column_file = _column_name(index, column)
+                column_path = os.path.join(path, column_file)
+                written_files.append(column_path)
+                column_offsets, column_crc = _write_lines(
+                    column_path, lines
+                )
+                columns_doc.append(
+                    {
+                        "file": column_file,
+                        "offsets": column_offsets,
+                        "crc32": column_crc,
+                    }
+                )
+            segment_statistics = zone.build(relation.name).to_dict()
+            segments.append(
+                {
+                    "tuples": tuples_file,
+                    "ids": [xtuple.tuple_id for xtuple in batch],
+                    "offsets": offsets,
+                    "crc32": crc,
+                    "columns": columns_doc,
+                    "zones": segment_statistics["zones"],
+                }
+            )
+            index += 1
+        manifest = {
+            "format": STORE_FORMAT,
+            "kind": "repro-xtuple-store",
+            "layout": COLUMNAR_LAYOUT,
+            "name": relation.name,
+            "schema": list(schema_attributes),
+            "count": len(seen),
+            "segments": segments,
+            "statistics": overall.build(relation.name).to_dict(),
+        }
+        write_text_atomic(manifest_path, _dump(manifest))
+    except BaseException:
+        # A failed spill must not leave anything behind (same contract
+        # as the row backend): orphaned segment families would silently
+        # coexist with a later spill into the same path.
+        for file_path in written_files + [manifest_path]:
+            try:
+                os.unlink(file_path)
+            except OSError:
+                pass
+        raise
+    return ColumnarXTupleStore(
+        path,
+        page_size=page_size,
+        max_pages=max_pages,
+        max_open_segments=max_open_segments,
+    )
+
+
+class ColumnarXTupleStore:
+    """Read-only, mmap-backed columnar x-tuple store.
+
+    Satisfies :class:`~repro.pdb.storage.base.XTupleStore` — iteration
+    order, decoded values and probabilities are bitwise-identical to
+    both the in-memory relation and the row-JSONL backend.  Beyond the
+    protocol it offers :meth:`project` (scan a subset of attributes
+    without decoding the rest) and :meth:`statistics` (the spill-time
+    zone maps and histograms as a
+    :class:`~repro.pdb.storage.stats.StoreStatistics`).
+
+    Parameters
+    ----------
+    path:
+        A directory produced by :func:`spill_columnar` /
+        ``spill_relation(layout="columnar")``.
+    page_size / max_pages:
+        LRU cache of fully-decoded tuples for :meth:`get` /
+        :meth:`fetch`, exactly as in the row backend.
+    max_open_segments:
+        Mapped *files* kept per process (LRU).  A full-tuple scan keeps
+        ``1 + len(schema)`` files of the current segment mapped, so the
+        cap should exceed the attribute count (the default 64 does).
+    verify_checksums:
+        Verify each file's bytes against its manifest CRC32 the first
+        time the mapping is sliced (default on).  Lazy and per-file:
+        a projection pass only verifies the files it reads.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_pages: int = DEFAULT_MAX_PAGES,
+        max_open_segments: int = DEFAULT_MAX_OPEN_SEGMENTS,
+        verify_checksums: bool = True,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        if max_pages < 1:
+            raise ValueError("max_pages must be >= 1")
+        if max_open_segments < 1:
+            raise ValueError("max_open_segments must be >= 1")
+        self._path = os.path.abspath(path)
+        self._page_size = page_size
+        self._max_pages = max_pages
+        self._max_open_segments = max_open_segments
+        self._verify_checksums = verify_checksums
+        self._load_manifest()
+        #: (segment, column) → mmap; column -1 is the structure file.
+        self._maps: OrderedDict[tuple[int, int], mmap.mmap] = OrderedDict()
+        self._pages: OrderedDict[tuple[int, int], list[XTuple]] = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _load_manifest(self) -> None:
+        """(Re)build the resident metadata from the manifest on disk."""
+        path = self._path
+        manifest_path = os.path.join(self._path, MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise StorageError(
+                f"{path!r} is not a spilled store (no {MANIFEST_NAME})"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise StorageError(
+                f"corrupt store manifest in {path!r}: {error}"
+            ) from error
+        if manifest.get("format") != STORE_FORMAT:
+            raise StorageError(
+                f"unsupported store format {manifest.get('format')!r}"
+            )
+        layout = manifest.get("layout", "rows")
+        if layout != COLUMNAR_LAYOUT:
+            raise StorageError(
+                f"store at {path!r} uses the {layout!r} layout, not "
+                f"{COLUMNAR_LAYOUT!r}; open it with open_store() or "
+                "SpillingXTupleStore"
+            )
+        self._segment_files: list[list[str]] = []  # [structure, col...]
+        self._segment_offsets: list[list[list[int]]] = []
+        self._segment_ids: list[list[str]] = []
+        self._segment_crcs: list[list[int | None]] = []
+        self._segment_zones: list[dict] = []
+        #: (segment, column) pairs whose bytes already matched their CRC.
+        self._verified: set[tuple[int, int]] = set()
+        #: tuple id → (segment index, position within segment)
+        self._locate: dict[str, tuple[int, int]] = {}
+        try:
+            self.name: str = manifest["name"]
+            self.schema = Schema(manifest["schema"])
+            self._statistics_doc = manifest.get("statistics", {})
+            expected_columns = len(self.schema.attributes)
+            for segment_index, segment in enumerate(manifest["segments"]):
+                ids = segment["ids"]
+                offsets = segment["offsets"]
+                if len(ids) != len(offsets):
+                    raise StorageError(
+                        f"segment {segment['tuples']!r} ids/offsets "
+                        "mismatch"
+                    )
+                columns = segment["columns"]
+                if len(columns) != expected_columns:
+                    raise StorageError(
+                        f"segment {segment['tuples']!r} stores "
+                        f"{len(columns)} columns for a "
+                        f"{expected_columns}-attribute schema"
+                    )
+                files = [os.path.join(self._path, segment["tuples"])]
+                per_file_offsets = [list(offsets)]
+                crcs: list[int | None] = [segment.get("crc32")]
+                for column in columns:
+                    if len(column["offsets"]) != len(ids):
+                        raise StorageError(
+                            f"column {column['file']!r} offsets do not "
+                            "cover every tuple of its segment"
+                        )
+                    files.append(
+                        os.path.join(self._path, column["file"])
+                    )
+                    per_file_offsets.append(list(column["offsets"]))
+                    crcs.append(column.get("crc32"))
+                self._segment_files.append(files)
+                self._segment_offsets.append(per_file_offsets)
+                self._segment_ids.append(list(ids))
+                self._segment_crcs.append(crcs)
+                self._segment_zones.append(segment.get("zones", {}))
+                for position, tuple_id in enumerate(ids):
+                    if tuple_id in self._locate:
+                        raise StorageError(
+                            f"duplicate tuple id {tuple_id!r} in manifest"
+                        )
+                    self._locate[tuple_id] = (segment_index, position)
+        except KeyError as missing:
+            raise StorageError(
+                f"store manifest in {path!r} missing key "
+                f"{missing.args[0]!r}"
+            ) from None
+        if len(self._locate) != manifest.get("count", len(self._locate)):
+            raise StorageError(
+                f"manifest count {manifest.get('count')} does not match "
+                f"{len(self._locate)} indexed tuples"
+            )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """The store directory."""
+        return self._path
+
+    @property
+    def tuple_ids(self) -> tuple[str, ...]:
+        """All tuple ids in insertion (spill) order."""
+        return tuple(self._locate.keys())
+
+    def __len__(self) -> int:
+        return len(self._locate)
+
+    def __contains__(self, tuple_id: str) -> bool:
+        return tuple_id in self._locate
+
+    def __iter__(self) -> Iterator[XTuple]:
+        """Stream all x-tuples in insertion order, bypassing the cache."""
+        columns = self._all_columns()
+        for segment in range(len(self._segment_files)):
+            for position in range(len(self._segment_ids[segment])):
+                yield self._decode(segment, position, columns)
+
+    # ------------------------------------------------------------------
+    # mmap plumbing
+    # ------------------------------------------------------------------
+
+    def _file_path(self, segment: int, column: int) -> str:
+        return self._segment_files[segment][column + 1]
+
+    def _map(self, segment: int, column: int) -> mmap.mmap:
+        """The (lazily created, LRU-bounded) mapping of one file.
+
+        The first slice of a file triggers its CRC verification (when
+        enabled); a mapping evicted and re-created later is not
+        re-verified — like the row backend, verification happens once
+        per file per store instance.
+        """
+        key = (segment, column)
+        maps = self._maps
+        mapped = maps.get(key)
+        if mapped is not None:
+            maps.move_to_end(key)
+            return mapped
+        file_path = self._file_path(segment, column)
+        try:
+            with open(file_path, "rb") as handle:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except (OSError, ValueError) as error:
+            raise StorageError(
+                f"unreadable segment file {file_path!r}: {error}"
+            ) from error
+        expected = self._segment_crcs[segment][column + 1]
+        if (
+            self._verify_checksums
+            and expected is not None
+            and key not in self._verified
+        ):
+            actual = zlib.crc32(mapped)
+            if actual != expected:
+                mapped.close()
+                raise SegmentCorruptionError(
+                    f"segment file {file_path!r} failed its integrity "
+                    f"check: CRC32 {actual:#010x} on disk, manifest "
+                    f"records {expected:#010x} "
+                    f"({len(self._segment_ids[segment])} tuples "
+                    "affected; quarantine() isolates the segment "
+                    "family)",
+                    segment_file=file_path,
+                    expected_crc=expected,
+                    actual_crc=actual,
+                    tuple_ids=tuple(self._segment_ids[segment]),
+                )
+            self._verified.add(key)
+        maps[key] = mapped
+        if len(maps) > self._max_open_segments:
+            maps.popitem(last=False)[1].close()
+        return mapped
+
+    def _line(self, segment: int, column: int, position: int) -> bytes:
+        mapped = self._map(segment, column)
+        offsets = self._segment_offsets[segment][column + 1]
+        start = offsets[position]
+        end = (
+            offsets[position + 1]
+            if position + 1 < len(offsets)
+            else mapped.size()
+        )
+        return mapped[start:end]
+
+    def _parse(self, segment: int, column: int, position: int):
+        line = self._line(segment, column, position)
+        try:
+            # Decode before parsing: ``json.loads`` on raw bytes re-sniffs
+            # the encoding per call, which dominates thin-column scans.
+            return json.loads(line.decode("utf-8"))
+        except ValueError as error:
+            file_path = self._file_path(segment, column)
+            offset = self._segment_offsets[segment][column + 1][position]
+            tuple_id = self._segment_ids[segment][position]
+            raise StorageError(
+                f"corrupt segment line in {file_path!r} at byte offset "
+                f"{offset} (tuple {tuple_id!r}): {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def _all_columns(self) -> dict[str, int]:
+        return {
+            attribute: column
+            for column, attribute in enumerate(self.schema.attributes)
+        }
+
+    def _decode(
+        self, segment: int, position: int, columns: dict[str, int]
+    ) -> XTuple:
+        """Reassemble one tuple from the structure line + *columns*.
+
+        *columns* maps attribute name → column index and may cover any
+        subset of the schema (projection); unselected attributes are
+        skipped without reading their files.  Per-alternative attribute
+        order is restored from the structure line, so full decodes are
+        bitwise-identical to the row backend.
+        """
+        structure = self._parse(segment, _STRUCTURE, position)
+        column_values = {
+            attribute: self._parse(segment, column, position)
+            for attribute, column in columns.items()
+        }
+        cursors = dict.fromkeys(column_values, 0)
+        schema_attributes = self.schema.attributes
+        alternatives = []
+        for probability, names in structure["alts"]:
+            if names == 0:
+                names = schema_attributes
+            values = {}
+            for attribute in names:
+                selected = column_values.get(attribute)
+                if selected is None:
+                    continue
+                cursor = cursors[attribute]
+                cursors[attribute] = cursor + 1
+                values[attribute] = decode_value(selected[cursor])
+            alternatives.append(TupleAlternative(values, probability))
+        return XTuple(structure["id"], alternatives)
+
+    # ------------------------------------------------------------------
+    # Random access through the page cache
+    # ------------------------------------------------------------------
+
+    def get(self, tuple_id: str) -> XTuple:
+        """Decode one x-tuple by id (via the page cache)."""
+        segment, position = self._locate[tuple_id]
+        page = self._load_page(segment, position // self._page_size)
+        return page[position % self._page_size]
+
+    def fetch(self, tuple_ids: Iterable[str]) -> dict[str, XTuple]:
+        """Decode a working set, touching each needed page only once."""
+        wanted = list(tuple_ids)
+        by_page: dict[tuple[int, int], list[str]] = {}
+        for tuple_id in wanted:
+            segment, position = self._locate[tuple_id]
+            by_page.setdefault(
+                (segment, position // self._page_size), []
+            ).append(tuple_id)
+        result: dict[str, XTuple] = {}
+        for key in sorted(by_page):
+            page = self._load_page(*key)
+            for tuple_id in by_page[key]:
+                position = self._locate[tuple_id][1]
+                result[tuple_id] = page[position % self._page_size]
+        return {tuple_id: result[tuple_id] for tuple_id in wanted}
+
+    def _load_page(self, segment: int, page_number: int) -> list[XTuple]:
+        key = (segment, page_number)
+        pages = self._pages
+        page = pages.get(key)
+        if page is not None:
+            self._hits += 1
+            pages.move_to_end(key)
+            return page
+        self._misses += 1
+        columns = self._all_columns()
+        start = page_number * self._page_size
+        count = min(
+            self._page_size, len(self._segment_ids[segment]) - start
+        )
+        page = [
+            self._decode(segment, start + i, columns) for i in range(count)
+        ]
+        pages[key] = page
+        if len(pages) > self._max_pages:
+            pages.popitem(last=False)
+            self._evictions += 1
+        return page
+
+    # ------------------------------------------------------------------
+    # Projection and statistics — the planner-facing surface
+    # ------------------------------------------------------------------
+
+    def project(self, attributes: Iterable[str]) -> "ColumnarProjection":
+        """A scan view over a subset of attributes.
+
+        Iterating the view yields x-tuples whose alternatives carry
+        only the selected attributes (probabilities, ids and order are
+        untouched), decoded from the structure file plus the selected
+        columns — the other columns' bytes are never read.  Key
+        strategies evaluate identically on the view because they read
+        nothing but the key attributes and the alternative
+        probabilities.
+        """
+        selected = tuple(dict.fromkeys(attributes))
+        known = set(self.schema.attributes)
+        for attribute in selected:
+            if attribute not in known:
+                raise KeyError(
+                    f"attribute {attribute!r} is not in the schema "
+                    f"{self.schema.attributes!r}"
+                )
+        return ColumnarProjection(self, selected)
+
+    def statistics(self) -> StoreStatistics:
+        """The spill-time zone maps and key histograms of this store."""
+        return StoreStatistics.from_dict(self.name, self._statistics_doc)
+
+    def segment_zones(self, segment: int) -> dict:
+        """Raw per-segment zone-map documents (attribute → zone)."""
+        return dict(self._segment_zones[segment])
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> PageCacheInfo:
+        """Current page-cache statistics."""
+        return PageCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            pages=len(self._pages),
+            cached_tuples=sum(len(page) for page in self._pages.values()),
+            page_size=self._page_size,
+            max_pages=self._max_pages,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached page (counters are kept)."""
+        self._pages.clear()
+
+    def materialize(self, name: str | None = None) -> XRelation:
+        """Load the whole store into an in-memory :class:`XRelation`."""
+        return XRelation(name or self.name, self.schema, iter(self))
+
+    @property
+    def open_segments(self) -> int:
+        """Currently mapped files (≤ ``max_open_segments``)."""
+        return len(self._maps)
+
+    # ------------------------------------------------------------------
+    # Integrity: audit and quarantine
+    # ------------------------------------------------------------------
+
+    def verify(self) -> StoreVerification:
+        """Audit every file of every segment family without serving tuples.
+
+        Never raises for corruption — all damage is reported in one
+        pass (``result.corrupt``), one entry per *file* (structure and
+        columns alike), so an operator can quarantine every affected
+        segment family before re-serving.
+        """
+        results: list[SegmentIntegrity] = []
+        for segment, files in enumerate(self._segment_files):
+            tuples = len(self._segment_ids[segment])
+            for column, file_path in enumerate(files):
+                expected = self._segment_crcs[segment][column]
+                file_name = os.path.basename(file_path)
+                try:
+                    crc = 0
+                    with open(file_path, "rb") as handle:
+                        for block in iter(
+                            lambda: handle.read(1 << 16), b""
+                        ):
+                            crc = zlib.crc32(block, crc)
+                except OSError:
+                    results.append(
+                        SegmentIntegrity(
+                            file_name, tuples, expected, None, "unreadable"
+                        )
+                    )
+                    continue
+                if expected is None:
+                    status = "unverifiable"
+                elif crc == expected:
+                    status = "ok"
+                    self._verified.add((segment, column - 1))
+                else:
+                    status = "corrupt"
+                results.append(
+                    SegmentIntegrity(
+                        file_name, tuples, expected, crc, status
+                    )
+                )
+        return StoreVerification(self._path, tuple(results))
+
+    def quarantine(self, segment: int | str) -> QuarantinedSegment:
+        """Isolate one corrupt segment *family*; the rest stays servable.
+
+        *segment* is a manifest index, or the name/path of **any** file
+        of the family (structure or column — e.g. the ``segment_file``
+        a :class:`~repro.pdb.errors.SegmentCorruptionError` carries).
+        The manifest is rewritten atomically without the family first,
+        then every file of the family is moved into ``quarantine/`` —
+        a crash in between leaves a valid manifest plus orphaned (never
+        again served) files, never a manifest pointing at missing data.
+        """
+        if isinstance(segment, str):
+            wanted = os.path.basename(segment)
+            index = None
+            for candidate, files in enumerate(self._segment_files):
+                if wanted in [os.path.basename(f) for f in files]:
+                    index = candidate
+                    break
+            if index is None:
+                raise StorageError(
+                    f"no segment file {wanted!r} in store {self._path!r}"
+                )
+            segment = index
+        if not 0 <= segment < len(self._segment_files):
+            raise StorageError(
+                f"no segment index {segment} in store {self._path!r} "
+                f"({len(self._segment_files)} segments)"
+            )
+        family = list(self._segment_files[segment])
+        tuples_name = os.path.basename(family[0])
+        dropped_ids = tuple(self._segment_ids[segment])
+        manifest_path = os.path.join(self._path, MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise StorageError(
+                f"cannot rewrite store manifest in {self._path!r}: "
+                f"{error}"
+            ) from error
+        kept = [
+            doc
+            for doc in manifest.get("segments", ())
+            if doc.get("tuples") != tuples_name
+        ]
+        manifest["segments"] = kept
+        manifest["count"] = sum(len(doc["ids"]) for doc in kept)
+        write_text_atomic(manifest_path, _dump(manifest))
+        # Manifest first, move second (same crash contract as the row
+        # backend's quarantine).
+        quarantine_dir = os.path.join(self._path, QUARANTINE_DIR)
+        quarantined_path: str | None = None
+        for file_path in family:
+            if os.path.exists(file_path):
+                os.makedirs(quarantine_dir, exist_ok=True)
+                moved = os.path.join(
+                    quarantine_dir, os.path.basename(file_path)
+                )
+                os.replace(file_path, moved)
+                if quarantined_path is None:
+                    quarantined_path = moved
+        self.close()
+        self._load_manifest()
+        return QuarantinedSegment(
+            file=tuples_name,
+            quarantined_path=quarantined_path,
+            tuple_ids=dropped_ids,
+            remaining=len(self._locate),
+        )
+
+    def close(self) -> None:
+        """Close every mapping and drop cached pages (idempotent)."""
+        maps = getattr(self, "_maps", None)
+        if maps:
+            for mapped in maps.values():
+                try:
+                    mapped.close()
+                except (OSError, ValueError):
+                    pass
+        self._maps = OrderedDict()
+        pages = getattr(self, "_pages", None)
+        if pages is not None:
+            pages.clear()
+        else:
+            self._pages = OrderedDict()
+
+    def __enter__(self) -> "ColumnarXTupleStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        # Mappings are process-local and pages are cheap to refill;
+        # pickling (e.g. spawn-based pools) ships metadata only.
+        state = self.__dict__.copy()
+        state["_maps"] = OrderedDict()
+        state["_pages"] = OrderedDict()
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarXTupleStore({self._path!r}, {len(self)} tuples, "
+            f"{len(self._segment_files)} segments, "
+            f"{len(self.schema.attributes)} columns)"
+        )
+
+
+class ColumnarProjection:
+    """A read-only scan over a subset of a columnar store's attributes.
+
+    Yields x-tuples whose alternatives carry only the selected
+    attributes — ids, iteration order, alternative probabilities and
+    the selected values are exactly those of the base store, so key
+    strategies (which read nothing else) evaluate identically while the
+    unselected columns' bytes stay untouched.
+    """
+
+    def __init__(
+        self, store: ColumnarXTupleStore, attributes: tuple[str, ...]
+    ) -> None:
+        self._store = store
+        self._attributes = attributes
+        column_of = store._all_columns()
+        self._columns = {
+            attribute: column_of[attribute] for attribute in attributes
+        }
+
+    @property
+    def name(self) -> str:
+        return self._store.name
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(self._attributes)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def tuple_ids(self) -> tuple[str, ...]:
+        return self._store.tuple_ids
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[XTuple]:
+        store = self._store
+        for segment in range(len(store._segment_files)):
+            for position in range(len(store._segment_ids[segment])):
+                yield store._decode(segment, position, self._columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarProjection({self._store.path!r}, "
+            f"attributes={self._attributes!r})"
+        )
+
+
+__all__ = [
+    "COLUMNAR_LAYOUT",
+    "ColumnarProjection",
+    "ColumnarXTupleStore",
+    "spill_columnar",
+]

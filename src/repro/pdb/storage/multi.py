@@ -139,6 +139,46 @@ class MultiSourceStore:
         """Delegate a single lookup to the owning store."""
         return self._stores[self._locate[tuple_id]].get(tuple_id)
 
+    def project(self, attributes: Iterable[str]) -> "MultiSourceProjection":
+        """A union scan over a subset of attributes.
+
+        Each source that can project column-wise (columnar stores,
+        nested views) serves its stretch of the union from the selected
+        columns alone; sources without a ``project`` method stream
+        whole tuples — key strategies read only the selected attributes
+        either way, so the scan is planning-equivalent to iterating the
+        full view.
+        """
+        selected = tuple(dict.fromkeys(attributes))
+        known = set(self.schema.attributes)
+        for attribute in selected:
+            if attribute not in known:
+                raise KeyError(
+                    f"attribute {attribute!r} is not in the schema "
+                    f"{self.schema.attributes!r}"
+                )
+        return MultiSourceProjection(self, selected)
+
+    def statistics(self):
+        """Merged zone maps of the sources, or ``None``.
+
+        Available only when *every* source precomputes statistics (the
+        columnar backend's spill-time zone maps) — the view never
+        streams tuple data to synthesize them.
+        """
+        from repro.pdb.storage.stats import merge_statistics
+
+        collected = []
+        for store in self._stores:
+            statistics = getattr(store, "statistics", None)
+            if not callable(statistics):
+                return None
+            computed = statistics()
+            if computed is None:
+                return None
+            collected.append(computed)
+        return merge_statistics(self.name, collected)
+
     def fetch(self, tuple_ids: Iterable[str]) -> dict[str, XTuple]:
         """Multi-store working-set fetch.
 
@@ -160,6 +200,54 @@ class MultiSourceStore:
         return (
             f"MultiSourceStore({self.name!r}, {len(self._stores)} sources, "
             f"{len(self)} tuples)"
+        )
+
+
+class MultiSourceProjection:
+    """A read-only union scan over a subset of attributes.
+
+    Chains per-source projection scans in union order; sources that
+    cannot project stream whole tuples (a planning-equivalent
+    over-approximation — consumers read only the selected attributes).
+    """
+
+    def __init__(
+        self, view: MultiSourceStore, attributes: tuple[str, ...]
+    ) -> None:
+        self._view = view
+        self._attributes = attributes
+
+    @property
+    def name(self) -> str:
+        return self._view.name
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def tuple_ids(self) -> tuple[str, ...]:
+        return self._view.tuple_ids
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def __iter__(self) -> Iterator[XTuple]:
+        for store in self._view.stores:
+            project = getattr(store, "project", None)
+            if callable(project):
+                try:
+                    scan = project(self._attributes)
+                except (KeyError, TypeError):
+                    scan = store
+            else:
+                scan = store
+            yield from scan
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiSourceProjection({self._view.name!r}, "
+            f"attributes={self._attributes!r})"
         )
 
 
@@ -194,4 +282,4 @@ def combine_sources(
     return MultiSourceStore(stores, name=name)
 
 
-__all__ = ["MultiSourceStore", "combine_sources"]
+__all__ = ["MultiSourceProjection", "MultiSourceStore", "combine_sources"]

@@ -43,7 +43,7 @@ from repro.pdb.io import (
     encode_xtuple,
     write_text_atomic,
 )
-from repro.pdb.storage.base import XTupleStore
+from repro.pdb.storage.base import XTupleStore, project_xtuple
 from repro.pdb.xtuples import XTuple
 
 #: Source tag of tuples appended to a session (ids the base never
@@ -227,6 +227,25 @@ class SessionStore:
                 working_set[tuple_id] = from_base[tuple_id]
         return working_set
 
+    def project(self, attributes: Iterable[str]) -> "SessionProjection":
+        """An overlay scan over a subset of attributes.
+
+        The base's stretch comes through its own ``project`` (columnar
+        bases serve it from the selected columns alone); overlay
+        tuples — replaced in place, appended after — are projected in
+        memory.  The scan reads the session's *live* overlay state at
+        iteration time, like ``__iter__``.
+        """
+        selected = tuple(dict.fromkeys(attributes))
+        known = set(self.schema.attributes)
+        for attribute in selected:
+            if attribute not in known:
+                raise KeyError(
+                    f"attribute {attribute!r} is not in the schema "
+                    f"{self.schema.attributes!r}"
+                )
+        return SessionProjection(self, selected)
+
     # ------------------------------------------------------------------
     # Source tagging (consolidation-scenario support)
     # ------------------------------------------------------------------
@@ -263,6 +282,68 @@ class SessionStore:
             f"SessionStore({self._base.name!r}, tuples={len(self)}, "
             f"+{len(self._added)} ~{len(self._replaced)} "
             f"-{len(self._deleted)})"
+        )
+
+
+class SessionProjection:
+    """A read-only overlay scan over a subset of attributes.
+
+    Mirrors :meth:`SessionStore.__iter__` — deleted ids skipped,
+    replaced ids substituted in place, appends last — with the base
+    served column-wise when it can and overlay tuples projected via
+    :func:`~repro.pdb.storage.base.project_xtuple`.
+    """
+
+    def __init__(
+        self, session: SessionStore, attributes: tuple[str, ...]
+    ) -> None:
+        self._session = session
+        self._attributes = attributes
+
+    @property
+    def name(self) -> str:
+        return self._session.name
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def tuple_ids(self) -> tuple[str, ...]:
+        return self._session.tuple_ids
+
+    def __len__(self) -> int:
+        return len(self._session)
+
+    def __iter__(self) -> Iterator[XTuple]:
+        session = self._session
+        base = session._base
+        project = getattr(base, "project", None)
+        if callable(project):
+            try:
+                scan = project(self._attributes)
+            except (KeyError, TypeError):
+                scan = base
+        else:
+            scan = base
+        deleted = session._deleted
+        replaced = session._replaced
+        for xtuple in scan:
+            tuple_id = xtuple.tuple_id
+            if tuple_id in deleted:
+                continue
+            overlay = replaced.get(tuple_id)
+            if overlay is not None:
+                yield project_xtuple(overlay, self._attributes)
+            else:
+                yield xtuple
+        for xtuple in session._added.values():
+            yield project_xtuple(xtuple, self._attributes)
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionProjection({self._session.name!r}, "
+            f"attributes={self._attributes!r})"
         )
 
 
@@ -354,5 +435,6 @@ __all__ = [
     "JOURNAL_NAME",
     "SNAPSHOT_NAME",
     "SessionJournal",
+    "SessionProjection",
     "SessionStore",
 ]

@@ -199,14 +199,36 @@ def spill_relation(
     page_size: int = DEFAULT_PAGE_SIZE,
     max_pages: int = DEFAULT_MAX_PAGES,
     max_open_segments: int = DEFAULT_MAX_OPEN_SEGMENTS,
-) -> "SpillingXTupleStore":
+    layout: str = "rows",
+):
     """Write *relation* (any :class:`XTupleStore`) to a store directory.
 
     Tuples are streamed in insertion order into ``segment_size``-tuple
-    JSONL segments; the manifest (ids, offsets, schema) is written last
-    and atomically.  Returns the directory opened as a
-    :class:`SpillingXTupleStore` with the given cache knobs.
+    segments; the manifest (ids, offsets, schema) is written last and
+    atomically.  ``layout`` selects the on-disk format: ``"rows"`` (the
+    default) writes one JSONL document per tuple and returns a
+    :class:`SpillingXTupleStore`; ``"columnar"`` decomposes segments
+    into per-attribute column files with spill-time zone maps and key
+    histograms and returns a
+    :class:`~repro.pdb.storage.columnar.ColumnarXTupleStore`.  Both
+    backends decode bitwise-identically; ``open_store`` re-opens either
+    from the manifest's layout marker.
     """
+    if layout == "columnar":
+        from repro.pdb.storage.columnar import spill_columnar
+
+        return spill_columnar(
+            relation,
+            path,
+            segment_size=segment_size,
+            page_size=page_size,
+            max_pages=max_pages,
+            max_open_segments=max_open_segments,
+        )
+    if layout != "rows":
+        raise ValueError(
+            f"unknown spill layout {layout!r} (use 'rows' or 'columnar')"
+        )
     if segment_size < 1:
         raise ValueError("segment_size must be >= 1")
     try:
@@ -398,6 +420,13 @@ class SpillingXTupleStore:
         if manifest.get("format") != STORE_FORMAT:
             raise StorageError(
                 f"unsupported store format {manifest.get('format')!r}"
+            )
+        layout = manifest.get("layout", "rows")
+        if layout != "rows":
+            raise StorageError(
+                f"store at {path!r} uses the {layout!r} layout, not "
+                "'rows'; open it with open_store() or the matching "
+                "store class"
             )
         self._segment_files: list[str] = []
         self._segment_offsets: list[list[int]] = []

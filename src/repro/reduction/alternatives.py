@@ -27,8 +27,16 @@ from repro.reduction.keys import (
     SubstringKey,
     alternative_key_distribution,
 )
-from repro.reduction.plan import CandidatePlan, plan_from_window
-from repro.reduction.snm import window_pairs
+from repro.reduction.plan import (
+    CandidatePartition,
+    CandidatePlan,
+    plan_from_window,
+    planning_view,
+)
+from repro.reduction.snm import (
+    split_window_partition_by_key,
+    window_pairs,
+)
 
 
 class MatchingMatrix:
@@ -136,7 +144,7 @@ class AlternativeSorting:
         relative order under equal keys — the layout the figure shows.
         """
         entries: list[tuple[str, str]] = []
-        for xtuple in relation:
+        for xtuple in planning_view(relation, self._key.attributes):
             entries.extend(self.entries_for_xtuple(xtuple))
         entries.sort(key=lambda entry: entry[0])
         return entries
@@ -197,6 +205,24 @@ class AlternativeSorting:
             relation_size=len(relation),
             source=repr(self),
             label="entries",
+        )
+
+    def split_partition(
+        self,
+        relation,
+        partition: "CandidatePartition",
+        *,
+        max_pairs: int,
+    ) -> "list[CandidatePartition] | None":
+        """Skew hook: subdivide one oversized entry span by key range.
+
+        Members bucket by their *most probable* key — a locality proxy
+        for the multi-entry sort positions an x-tuple occupies; the
+        regrouping is an exact pair cover either way, so decisions
+        never change (see :func:`split_window_partition_by_key`).
+        """
+        return split_window_partition_by_key(
+            relation, partition, self._key, max_pairs=max_pairs
         )
 
     def __repr__(self) -> str:

@@ -36,6 +36,7 @@ from repro.reduction.plan import (
     PlanBuilder,
     ordered_pair as _ordered,
     plan_from_blocks,
+    planning_view,
     split_partition_by_groups,
     within_block_pairs,
 )
@@ -168,12 +169,31 @@ class CertainKeyBlocking:
         self._key_strategy = key_strategy
 
     def blocks(self, relation: XRelation) -> dict[str, list[str]]:
-        """Partition: ``key value → member tuple ids``."""
+        """Partition: ``key value → member tuple ids``.
+
+        The scan reads nothing but the key attributes (and alternative
+        probabilities), so key extraction runs over
+        :func:`~repro.reduction.plan.planning_view` — columnar stores
+        serve it from the keyed columns alone.
+        """
         blocks: dict[str, list[str]] = {}
-        for xtuple in relation:
+        for xtuple in planning_view(relation, self._key.attributes):
             key_value = self._key_strategy(xtuple, self._key)
             blocks.setdefault(key_value, []).append(xtuple.tuple_id)
         return blocks
+
+    @property
+    def prune_key(self) -> SubstringKey:
+        """The equality key candidate pairs must share.
+
+        Blocking admits a pair only when both sides produce the *same*
+        block key, so disjoint key ranges between two sources prove the
+        absence of cross pairs — the zone-map pruning contract of
+        :func:`repro.matching.executor.multisource.prune_disjoint_sources`.
+        (Window- and radius-based reducers pair *nearby* keys and must
+        not expose this.)
+        """
+        return self._key
 
     def pairs(self, relation: XRelation) -> Iterator[tuple[str, str]]:
         """Within-block candidate pairs."""
@@ -241,10 +261,16 @@ class AlternativeKeyBlocking:
     def __init__(self, key: SubstringKey) -> None:
         self._key = key
 
+    @property
+    def prune_key(self) -> SubstringKey:
+        """Equality key shared by all candidate pairs (see
+        :attr:`CertainKeyBlocking.prune_key`)."""
+        return self._key
+
     def blocks(self, relation: XRelation) -> dict[str, list[str]]:
         """``key value → member tuple ids`` with in-block tuple dedup."""
         blocks: dict[str, list[str]] = {}
-        for xtuple in relation:
+        for xtuple in planning_view(relation, self._key.attributes):
             key_values: list[str] = []
             for alternative in xtuple.alternatives:
                 for key_value, _ in alternative_key_distribution(
@@ -365,7 +391,7 @@ class MultiPassBlocking:
     ) -> dict[str, list[str]]:
         """Certain-key blocks of one world."""
         blocks: dict[str, list[str]] = {}
-        for xtuple in relation:
+        for xtuple in planning_view(relation, self._key.attributes):
             index = world.alternative_index(xtuple.tuple_id)
             if index is None:
                 continue

@@ -183,9 +183,15 @@ class PhoneticBlocking:
         self._key = key if key is not None else phonetic_key()
 
     def blocks(self, relation) -> dict[str, list[str]]:
-        """``key → member tuple ids`` with in-block dedup."""
+        """``key → member tuple ids`` with in-block dedup.
+
+        Runs over :func:`~repro.reduction.plan.planning_view`, so
+        columnar stores serve the pass from the keyed columns alone.
+        """
+        from repro.reduction.plan import planning_view
+
         blocks: dict[str, list[str]] = {}
-        for xtuple in relation:
+        for xtuple in planning_view(relation, self._key.attributes):
             key_values: list[str] = []
             for alternative in xtuple.alternatives:
                 for key_value, _ in derived_alternative_key_distribution(

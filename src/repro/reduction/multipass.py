@@ -30,6 +30,7 @@ from repro.reduction.plan import (
     CandidatePlan,
     PlanBuilder,
     add_window_spans,
+    planning_view,
 )
 from repro.reduction.snm import sort_by_key, window_pairs
 from repro.reduction.world_selection import (
@@ -123,7 +124,7 @@ class MultiPassSNM:
         the paper's premise that a world fixes each tuple's appearance.
         """
         keyed: list[tuple[str, str]] = []
-        for xtuple in relation:
+        for xtuple in planning_view(relation, self._key.attributes):
             index = world.alternative_index(xtuple.tuple_id)
             if index is None:
                 continue

@@ -25,6 +25,11 @@ makes the structure explicit:
   subdivisions of one partition (by member grouping, or contiguous
   banding) for the skew-aware scheduler; reducers with sub-key
   structure expose it through the :class:`SplittableReducer` hook;
+* :func:`planning_view` / :func:`store_statistics` — the storage
+  pushdown seam: key-extraction passes scan only the keyed attributes'
+  columns of stores that support projection (the columnar backend),
+  and spill-time statistics (zone maps, key histograms) reach the
+  planner without touching tuple data;
 * :func:`tuple_fingerprint` / :func:`partition_fingerprint` /
   :func:`plan_fingerprints` / :func:`delta_plan` — content fingerprints
   over a partition's decision-relevant state (pairs + member tuple
@@ -52,6 +57,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Collection, Mapping, Protocol, runtime_checkable
 
 from repro.pdb.storage.base import fetch_tuples
+from repro.pdb.storage.stats import StoreStatistics
 from repro.pdb.values import NULL
 from repro.similarity.kernels import pair_key
 
@@ -186,6 +192,51 @@ class SplittableReducer(Protocol):
         self, relation, partition: "CandidatePartition", *, max_pairs: int
     ) -> "list[CandidatePartition] | None":  # pragma: no cover
         ...
+
+
+# ----------------------------------------------------------------------
+# Store statistics and projection — the storage→planner pushdown seam
+# ----------------------------------------------------------------------
+
+
+def store_statistics(relation) -> StoreStatistics | None:
+    """Precomputed statistics of *relation*, or ``None``.
+
+    Stores that fold zone maps and key histograms at spill time (the
+    columnar backend) answer from their manifest; everything else —
+    in-memory relations, row stores — returns ``None``, and callers
+    that *need* statistics fall back to
+    :func:`repro.pdb.storage.stats.relation_statistics` (one streaming
+    pass) or skip the statistics-driven optimization.
+    """
+    statistics = getattr(relation, "statistics", None)
+    if not callable(statistics):
+        return None
+    computed = statistics()
+    return computed if isinstance(computed, StoreStatistics) else None
+
+
+def planning_view(relation, attributes: Iterable[str]):
+    """The cheapest scan of *relation* that covers *attributes*.
+
+    Key-extraction passes read nothing but the key attributes and the
+    alternative probabilities, so a store that can serve an attribute
+    subset without decoding whole tuples (``project`` — the columnar
+    backend, and composites forwarding it) hands back a projection;
+    anything else is returned unchanged.  Either way iteration order,
+    tuple ids and the selected values are identical, so plans built
+    over the view are bitwise-identical to plans built over the
+    relation.
+    """
+    project = getattr(relation, "project", None)
+    if not callable(project):
+        return relation
+    try:
+        return project(tuple(attributes))
+    except (KeyError, TypeError):
+        # Attributes outside the store's schema (or a non-conforming
+        # project signature): scan the full relation instead.
+        return relation
 
 
 class PlanBuilder:

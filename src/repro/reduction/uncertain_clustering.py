@@ -30,7 +30,11 @@ from collections.abc import Callable, Iterator, Sequence
 from repro.pdb.relations import XRelation
 from repro.reduction.blocking import pairs_from_blocks
 from repro.reduction.keys import SubstringKey, xtuple_key_distribution
-from repro.reduction.plan import CandidatePlan, plan_from_blocks
+from repro.reduction.plan import (
+    CandidatePlan,
+    plan_from_blocks,
+    planning_view,
+)
 from repro.similarity.kernels import SimilarityCache, banded_levenshtein
 
 #: An uncertain key: outcomes with probabilities.
@@ -132,7 +136,7 @@ class UncertainKeyClusteringBlocking:
         distance = self._distance()
         leaders: list[tuple[str, KeyDistribution]] = []
         clusters: dict[str, list[str]] = {}
-        for xtuple in relation:
+        for xtuple in planning_view(relation, self._key.attributes):
             distribution = xtuple_key_distribution(xtuple, self._key)
             assigned = False
             for leader_id, leader_distribution in leaders:

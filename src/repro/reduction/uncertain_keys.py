@@ -19,8 +19,16 @@ from collections.abc import Callable, Iterator, Sequence
 from repro.pdb.ranking import KeyDistribution, expected_rank_order
 from repro.pdb.relations import XRelation
 from repro.reduction.keys import SubstringKey, xtuple_key_distribution
-from repro.reduction.plan import CandidatePlan, plan_from_window
-from repro.reduction.snm import window_pairs
+from repro.reduction.plan import (
+    CandidatePartition,
+    CandidatePlan,
+    plan_from_window,
+    planning_view,
+)
+from repro.reduction.snm import (
+    split_window_partition_by_key,
+    window_pairs,
+)
 
 #: Signature of a ranking function over `(item, key distribution)` pairs.
 RankingFunction = Callable[
@@ -68,7 +76,7 @@ class UncertainKeySNM:
                 xtuple.tuple_id,
                 xtuple_key_distribution(xtuple, self._key),
             )
-            for xtuple in relation
+            for xtuple in planning_view(relation, self._key.attributes)
         ]
 
     def ranked_ids(self, relation: XRelation) -> list[str]:
@@ -106,6 +114,24 @@ class UncertainKeySNM:
             self._window,
             relation_size=len(relation),
             source=repr(self),
+        )
+
+    def split_partition(
+        self,
+        relation,
+        partition: "CandidatePartition",
+        *,
+        max_pairs: int,
+    ) -> "list[CandidatePartition] | None":
+        """Skew hook: subdivide one oversized ranked span by key range.
+
+        Members bucket by their *most probable* key — a locality proxy
+        for the expected-rank order; the regrouping is an exact pair
+        cover either way, so decisions never change (see
+        :func:`split_window_partition_by_key`).
+        """
+        return split_window_partition_by_key(
+            relation, partition, self._key, max_pairs=max_pairs
         )
 
     def __repr__(self) -> str:

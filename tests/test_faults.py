@@ -678,3 +678,95 @@ class TestLastReportPublication:
         assert detector.last_report is not None
         detector.detect(flat_relation, scheduling="striped")
         assert detector.last_report is None
+
+
+# ----------------------------------------------------------------------
+# In-process deadlines: RetryPolicy.timeout honored without a pool
+# ----------------------------------------------------------------------
+
+
+def test_serial_timeout_retries_then_recovers(flat_relation, references):
+    """A first-attempt stall past the deadline surfaces as a
+    WorkerTimeout at the next chunk boundary — no pool involved — and
+    the clean retry keeps the decisions bitwise golden."""
+    detector = _detector(REDUCERS["blocking"]())
+    pair = FaultInjector(5).pick_pair(detector.plan(flat_relation))
+    events = []
+    with installed(stall_on(pair, TIMEOUT * 2, attempts=(1,))):
+        result = detector.detect(
+            flat_relation,
+            chunk_size=16,
+            retry=RetryPolicy(max_attempts=2, timeout=TIMEOUT),
+            on_error="degrade",
+            on_fault=events.append,
+        )
+    assert _triples(result) == references["blocking"]
+    report = detector.last_report
+    assert report.worker_timeouts >= 1
+    assert report.worker_crashes == 0
+    assert report.retried_dispatches >= 1
+    assert report.degraded_tasks == 0
+    assert not report.failures
+    assert report.recovered
+    _assert_observable(report, events)
+
+
+def test_serial_stealing_timeout_degrades_bitwise(
+    flat_relation, references
+):
+    """Serial stealing (n_jobs=1): every attempt stalls, the budget is
+    spent on timeouts, and the deadline-free degraded re-execution
+    completes bitwise-identical — ``RetryPolicy.timeout`` is honored
+    without a pool."""
+    detector = _detector(REDUCERS["snm"]())
+    pair = FaultInjector(5).pick_pair(detector.plan(flat_relation))
+    events = []
+    with installed(stall_on(pair, TIMEOUT * 2, attempts=(1, 2))):
+        result = detector.detect(
+            flat_relation,
+            scheduling="stealing",
+            split_pairs=16,
+            chunk_size=16,
+            retry=RetryPolicy(max_attempts=2, timeout=TIMEOUT),
+            on_error="degrade",
+            on_fault=events.append,
+        )
+    assert _triples(result) == references["snm"]
+    report = detector.last_report
+    assert report.worker_timeouts >= 2
+    assert report.degraded_tasks >= 1
+    assert not report.failures
+    _assert_observable(report, events)
+
+
+def test_in_process_timeout_skip_drops_partitions_whole(
+    flat_relation, references
+):
+    """on_error="skip" under an in-process timeout drops exactly the
+    stalled unit's partitions and records structured failures."""
+    detector = _detector(REDUCERS["blocking"]())
+    plan = detector.plan(flat_relation)
+    pair = FaultInjector(5).pick_pair(plan)
+    victims = {
+        partition.label
+        for partition in plan
+        if pair in partition.pairs
+    }
+    with installed(stall_on(pair, TIMEOUT * 2, attempts=(1,))):
+        result = detector.detect(
+            flat_relation,
+            chunk_size=16,
+            retry=RetryPolicy(max_attempts=1, timeout=TIMEOUT),
+            on_error="skip",
+        )
+    report = detector.last_report
+    assert {failure.partition for failure in report.failures} == victims
+    assert all(failure.attempt == 1 for failure in report.failures)
+    assert report.worker_timeouts >= 1
+    assert report.worker_crashes == 0
+    reference = {(t[0], t[1]): t for t in references["blocking"]}
+    decided = _triples(result)
+    assert (pair[0], pair[1]) not in {(t[0], t[1]) for t in decided}
+    for triple in decided:
+        assert reference[(triple[0], triple[1])] == triple
+    assert len(decided) < len(references["blocking"])

@@ -34,9 +34,11 @@ from repro.matching import (
 from repro.matching.executor import (
     ExecutionEngine,
     ExecutionSettings,
+    estimate_partition_weight,
     subdivide_partition,
 )
 from repro.pdb.relations import XRelation
+from repro.pdb.xtuples import XTuple
 from repro.reduction import (
     CandidatePartition,
     CertainKeyBlocking,
@@ -419,3 +421,105 @@ def test_pruned_procedure_memo_evicts_oldest_not_everything():
     assert procedures[0] not in memo_values
     assert all(p in memo_values for p in procedures[1:])
     assert len(memo_values) == _MAX_PRUNED_PROCEDURES
+
+
+# ----------------------------------------------------------------------
+# Weighted stealing cost model
+# ----------------------------------------------------------------------
+
+
+def _fat_thin_relation():
+    """Two blocks of equal pair count but wildly different pair cost:
+    "fat" tuples carry two long-string alternatives each (4 alternative
+    combinations per pair, long edit distances), "thin" tuples a single
+    short certain row."""
+    fat = [
+        XTuple.build(
+            f"fat-{i}",
+            [
+                (
+                    {
+                        "name": f"aardvark-{i}-" + "x" * 28,
+                        "job": "archivist-" + "y" * 15,
+                    },
+                    0.6,
+                ),
+                (
+                    {
+                        "name": f"aardwolf-{i}-" + "x" * 28,
+                        "job": "archivist-" + "z" * 15,
+                    },
+                    0.4,
+                ),
+            ],
+        )
+        for i in range(8)
+    ]
+    thin = [
+        XTuple.build(
+            f"thin-{i}", [({"name": f"zed-{i}", "job": "zk"}, 1.0)]
+        )
+        for i in range(8)
+    ]
+    return XRelation("fatthin", ("name", "job"), fat + thin)
+
+
+def test_weight_estimate_separates_fat_from_thin():
+    relation = _fat_thin_relation()
+    plan = CertainKeyBlocking(BLOCK_KEY).plan(relation)
+    weights = {
+        partition.members[0][:3]: estimate_partition_weight(
+            relation, partition
+        )
+        for partition in plan
+    }
+    assert set(weights) == {"fat", "thi"}
+    assert weights["fat"] > 10 * weights["thi"]
+
+
+def test_weighted_cost_model_is_bitwise_and_splits_finer(
+    flat_relation,
+):
+    """The weighted model subdivides expensive partitions that the
+    pair-count model leaves whole — and stays bitwise-identical."""
+    relation = _fat_thin_relation()
+    reference = _detector(CertainKeyBlocking(BLOCK_KEY)).detect(
+        relation, scheduling="striped"
+    )
+    by_pairs = _detector(CertainKeyBlocking(BLOCK_KEY))
+    pairs_result = by_pairs.detect(
+        relation, scheduling="stealing", split_pairs=28
+    )
+    by_weight = _detector(CertainKeyBlocking(BLOCK_KEY))
+    weight_result = by_weight.detect(
+        relation,
+        scheduling="stealing",
+        split_pairs=28,
+        split_cost_model="weighted",
+    )
+    assert _triples(pairs_result) == _triples(reference)
+    assert _triples(weight_result) == _triples(reference)
+    # Both blocks hold 28 pairs: the pair model splits neither, the
+    # weighted model subdivides the fat block's budget-blowing pairs.
+    assert (
+        by_weight.last_report.work_units
+        > by_pairs.last_report.work_units
+    )
+    # The weighted run also works fanned out.
+    fanned = _detector(CertainKeyBlocking(BLOCK_KEY)).detect(
+        relation,
+        scheduling="stealing",
+        split_pairs=28,
+        split_cost_model="weighted",
+        n_jobs=2,
+    )
+    assert _triples(fanned) == _triples(reference)
+
+
+def test_split_cost_model_validates():
+    with pytest.raises(ValueError):
+        ExecutionSettings(split_cost_model="bogus")
+    assert (
+        ExecutionSettings(split_cost_model="weighted").split_cost_model
+        == "weighted"
+    )
